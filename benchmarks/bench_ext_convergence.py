@@ -1,0 +1,12 @@
+"""Extension: iterations-to-accuracy of K-FAC vs SGD (real training)."""
+
+from benchmarks.conftest import one_row, run_experiment
+
+
+def test_ext_convergence(benchmark):
+    result = run_experiment(benchmark, "ext_convergence")
+    kfac = one_row(result, optimizer="K-FAC")
+    sgd = one_row(result, optimizer="SGD")
+    assert isinstance(kfac["iters_to_99%"], int)
+    if isinstance(sgd["iters_to_99%"], int):
+        assert kfac["iters_to_99%"] <= sgd["iters_to_99%"]

@@ -1,0 +1,10 @@
+"""Extension: ablation of fusion-planner and LBP-weight design choices."""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_ext_planner_ablation(benchmark):
+    result = run_experiment(benchmark, "ext_planner")
+    for row in result.rows:
+        assert row["A-pass DP(s)"] <= row["A-pass greedy(s)"] + 1e-9
+        assert row["inverse LBP-d2(s)"] <= row["inverse LBP-d(s)"] * 1.1

@@ -1,0 +1,12 @@
+"""Extension: cluster-size scaling sweep (beyond the paper's 64-GPU point)."""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_ext_scaling(benchmark):
+    result = run_experiment(benchmark, "ext_scaling")
+    for row in result.rows:
+        assert row["SPD-KFAC"] <= row["D-KFAC"] + 1e-9
+    # SPD-KFAC's advantage grows from small to large clusters.
+    sp1 = result.column("SP1")
+    assert sp1[-1] > sp1[0]

@@ -1,0 +1,15 @@
+"""Fig. 2: iteration-time breakdowns of the five training schemes."""
+
+from benchmarks.conftest import one_row, run_experiment
+
+
+def test_fig02_breakdown(benchmark):
+    result = run_experiment(benchmark, "fig2")
+    sgd = one_row(result, scheme="SGD")["total"]
+    kfac = one_row(result, scheme="KFAC")["total"]
+    d = one_row(result, scheme="D-KFAC")
+    mpd = one_row(result, scheme="MPD-KFAC")
+    assert 2.0 < kfac / sgd < 6.0  # paper: KFAC ~4x SGD
+    assert d["FactorComm"] > d["GradComm"]
+    assert mpd["InverseComp"] < d["InverseComp"]
+    assert mpd["InverseComm"] > 0.0

@@ -1,0 +1,11 @@
+"""Fig. 3: Kronecker-factor tensor-size distributions."""
+
+from benchmarks.conftest import one_row, run_experiment
+
+
+def test_fig03_tensor_sizes(benchmark):
+    result = run_experiment(benchmark, "fig3")
+    rn50 = one_row(result, model="ResNet-50")
+    assert rn50["min"] == 2080  # the paper's quoted extremes
+    assert rn50["max"] == 10_619_136
+    assert sum(r["factors"] for r in result.rows) == 108 + 312 + 402 + 300

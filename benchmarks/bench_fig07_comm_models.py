@@ -1,0 +1,13 @@
+"""Fig. 7: all-reduce / broadcast communication model calibration."""
+
+import pytest
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig07_comm_models(benchmark):
+    result = run_experiment(benchmark, "fig7")
+    for row in result.rows:
+        assert row["alpha"] == pytest.approx(row["paper_alpha"], rel=0.25)
+        assert row["beta"] == pytest.approx(row["paper_beta"], rel=0.1)
+        assert row["R2"] > 0.99

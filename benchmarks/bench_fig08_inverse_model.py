@@ -1,0 +1,11 @@
+"""Fig. 8: inverse computation-time model (real Cholesky measurements)."""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig08_inverse_model(benchmark):
+    result = run_experiment(benchmark, "fig8")
+    measured = result.column("measured(s)")
+    assert measured == sorted(measured)  # strictly growing cost with d
+    r2 = float(result.notes[0].split("R2=")[1].split(" ")[0].rstrip(","))
+    assert r2 > 0.8

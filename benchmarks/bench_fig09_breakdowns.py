@@ -1,0 +1,15 @@
+"""Fig. 9: per-phase breakdowns of the three D-KFAC variants."""
+
+from benchmarks.conftest import one_row, run_experiment
+from repro.experiments.base import PAPER_MODEL_NAMES
+
+
+def test_fig09_breakdowns(benchmark):
+    result = run_experiment(benchmark, "fig9")
+    for name in PAPER_MODEL_NAMES:
+        d = one_row(result, model=name, algorithm="D-KFAC")
+        mpd = one_row(result, model=name, algorithm="MPD-KFAC")
+        spd = one_row(result, model=name, algorithm="SPD-KFAC")
+        assert spd["FactorComm"] < d["FactorComm"]  # pipelining hides it
+        assert mpd["InverseComp"] < d["InverseComp"]  # model parallelism
+        assert mpd["InverseComm"] > spd["InverseComm"]  # LBP avoids bcasts

@@ -1,0 +1,12 @@
+"""Fig. 10: factor computation/communication pipelining strategies."""
+
+from benchmarks.conftest import rows_by, run_experiment
+from repro.experiments.base import PAPER_MODEL_NAMES
+
+
+def test_fig10_pipelining(benchmark):
+    result = run_experiment(benchmark, "fig10")
+    for name in PAPER_MODEL_NAMES:
+        totals = {r["strategy"]: r["total"] for r in rows_by(result, model=name)}
+        assert totals["LW w/o TF"] == max(totals.values())
+        assert totals["SP w/ OTF"] <= min(totals.values()) * 1.01

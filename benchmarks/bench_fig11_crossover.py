@@ -1,0 +1,11 @@
+"""Fig. 11: inverse-compute vs broadcast-communication crossover."""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig11_crossover(benchmark):
+    result = run_experiment(benchmark, "fig11")
+    crossover = int(result.notes[0].split("d ~= ")[1].split(":")[0])
+    assert 3000 < crossover < 4500
+    small = [r for r in result.rows if r["d"] <= 1024]
+    assert all(r["cheaper"] == "compute (NCT)" for r in small)

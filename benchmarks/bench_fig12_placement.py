@@ -1,0 +1,13 @@
+"""Fig. 12: inverse placement strategy comparison."""
+
+from benchmarks.conftest import rows_by, run_experiment
+from repro.experiments.base import PAPER_MODEL_NAMES
+
+
+def test_fig12_placement(benchmark):
+    result = run_experiment(benchmark, "fig12")
+    for name in PAPER_MODEL_NAMES:
+        totals = {r["strategy"]: r["total"] for r in rows_by(result, model=name)}
+        assert totals["lbp"] == min(totals.values())  # LBP always best
+    densenet = {r["strategy"]: r["total"] for r in rows_by(result, model="DenseNet-201")}
+    assert densenet["seq_dist"] > densenet["non_dist"]

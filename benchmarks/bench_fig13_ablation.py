@@ -1,0 +1,12 @@
+"""Fig. 13 / Table IV: ablation of pipelining and LBP."""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig13_ablation(benchmark):
+    result = run_experiment(benchmark, "fig13")
+    for row in result.rows:
+        base = row["-Pipe-LBP"]
+        assert row["+Pipe-LBP"] < base
+        assert row["-Pipe+LBP"] < base
+        assert row["+Pipe+LBP"] <= min(row["+Pipe-LBP"], row["-Pipe+LBP"])

@@ -1,0 +1,71 @@
+"""Micro-benchmarks of the library's hot kernels.
+
+Unlike the ``bench_fig*`` reproduction harnesses these use pytest-benchmark
+conventionally (many rounds) to track the performance of the pieces a
+user actually runs: factor construction, damped inversion, the fusion
+planner DP, LBP, and the simulator engine itself.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.factors import conv_factor_A, linear_factor_A
+from repro.core.fusion import plan_optimal_fusion
+from repro.core.kfac import damped_inverse
+from repro.core.placement import lbp_placement
+from repro.core.schedule import build_spd_kfac_graph
+from repro.models import get_model_spec, resnet50_spec
+from repro.nn import Conv2d
+from repro.perf import paper_cluster_profile
+from repro.sim import simulate
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return paper_cluster_profile()
+
+
+def test_damped_inverse_d256(benchmark):
+    rng = np.random.default_rng(0)
+    root = rng.normal(size=(256, 256))
+    spd = root @ root.T / 256 + np.eye(256)
+    benchmark(damped_inverse, spd, 1e-2)
+
+
+def test_linear_factor_a(benchmark):
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(256, 512))
+    benchmark(linear_factor_A, x, True)
+
+
+def test_conv_factor_a(benchmark):
+    rng = np.random.default_rng(0)
+    layer = Conv2d(16, 32, kernel_size=3, padding=1, rng=0)
+    x = rng.normal(size=(8, 16, 16, 16))
+    benchmark(conv_factor_A, x, layer)
+
+
+def test_optimal_fusion_planner_resnet152(benchmark, profile):
+    spec = get_model_spec("ResNet-152")
+    sizes = [layer.a_elements for layer in spec.layers]
+    avail = list(np.cumsum(np.full(len(sizes), 2e-3)))
+    benchmark(plan_optimal_fusion, sizes, avail, profile.allreduce_streamed)
+
+
+def test_lbp_planner_densenet201(benchmark, profile):
+    spec = get_model_spec("DenseNet-201")
+    dims = spec.factor_dims()
+    benchmark(
+        lbp_placement, dims, 64, profile.inverse_actual, profile.broadcast_streamed
+    )
+
+
+def test_simulator_spd_kfac_resnet50_64gpu(benchmark, profile):
+    """Build + simulate a full 64-GPU SPD-KFAC iteration (~25k tasks)."""
+    spec = resnet50_spec()
+
+    def run():
+        return simulate(build_spd_kfac_graph(spec, profile)).makespan
+
+    makespan = benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=0)
+    assert makespan > 0

@@ -1,0 +1,13 @@
+"""Table II: model statistics derived from the architecture specs."""
+
+import pytest
+
+from benchmarks.conftest import run_experiment
+
+
+def test_table2_model_stats(benchmark):
+    result = run_experiment(benchmark, "tab2")
+    for row in result.rows:
+        assert row["layers"] == row["paper#L"]
+        assert row["params(M)"] == pytest.approx(row["paper"], rel=0.02)
+        assert row["As(M)"] == pytest.approx(row["paperAs"], rel=0.02)

@@ -1,0 +1,12 @@
+"""Table III: wall-clock iteration times and SP1/SP2 speedups."""
+
+from benchmarks.conftest import one_row, run_experiment
+
+
+def test_table3_iteration_time(benchmark):
+    result = run_experiment(benchmark, "tab3")
+    for row in result.rows:
+        assert row["SPD-KFAC"] < min(row["D-KFAC"], row["MPD-KFAC"])
+        assert row["SP1"] > 1.05 and row["SP2"] > 1.05
+    densenet = one_row(result, model="DenseNet-201")
+    assert densenet["MPD-KFAC"] > densenet["D-KFAC"]  # the paper's inversion

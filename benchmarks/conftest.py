@@ -1,0 +1,36 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Each ``bench_*.py`` regenerates one table/figure of the paper via
+pytest-benchmark (``pytest benchmarks/ --benchmark-only``).  The
+experiment body runs exactly once per benchmark (``rounds=1``) — these
+are reproduction harnesses whose *output* is the point; the benchmark
+timing records how long the reproduction itself takes.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import get_experiment
+
+
+def run_experiment(benchmark, experiment_id: str):
+    """Run experiment ``experiment_id`` once under the benchmark fixture,
+    print its table (visible with ``pytest -s``), and return the result."""
+    module = get_experiment(experiment_id)
+    result = benchmark.pedantic(module.run, rounds=1, iterations=1, warmup_rounds=0)
+    print(file=sys.stderr)
+    print(result.to_text(), file=sys.stderr)
+    return result
+
+
+def rows_by(result, **filters):
+    rows = [r for r in result.rows if all(r.get(k) == v for k, v in filters.items())]
+    assert rows, f"no rows matching {filters}"
+    return rows
+
+
+def one_row(result, **filters):
+    rows = rows_by(result, **filters)
+    assert len(rows) == 1
+    return rows[0]

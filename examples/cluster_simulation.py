@@ -1,0 +1,67 @@
+"""Simulate one training iteration of every algorithm on a GPU cluster.
+
+Rebuilds the paper's Fig. 9-style comparison for any of the four CNNs and
+any cluster size, using the discrete-event simulator calibrated with the
+paper's measured cost constants.  Optionally dumps a Chrome trace
+(chrome://tracing or https://ui.perfetto.dev) of the SPD-KFAC schedule.
+
+Run:  python examples/cluster_simulation.py [model] [num_gpus] [trace.json]
+e.g.  python examples/cluster_simulation.py ResNet-50 64 spd_trace.json
+"""
+
+import sys
+
+from repro.core.schedule import (
+    build_dkfac_graph,
+    build_mpd_kfac_graph,
+    build_sgd_graph,
+    build_spd_kfac_graph,
+    build_ssgd_graph,
+    build_kfac_graph,
+    run_iteration,
+)
+from repro.models import get_model_spec
+from repro.perf import scaled_cluster_profile
+from repro.sim.timeline import PAPER_CATEGORIES
+
+ALGORITHMS = (
+    ("SGD (1 GPU)", build_sgd_graph),
+    ("S-SGD", build_ssgd_graph),
+    ("KFAC (1 GPU)", build_kfac_graph),
+    ("D-KFAC", build_dkfac_graph),
+    ("MPD-KFAC", build_mpd_kfac_graph),
+    ("SPD-KFAC", build_spd_kfac_graph),
+)
+
+
+def main() -> None:
+    model = sys.argv[1] if len(sys.argv) > 1 else "ResNet-50"
+    num_gpus = int(sys.argv[2]) if len(sys.argv) > 2 else 64
+    trace_path = sys.argv[3] if len(sys.argv) > 3 else None
+
+    spec = get_model_spec(model)
+    profile = scaled_cluster_profile(num_gpus)
+    print(f"{spec.name}, batch {spec.batch_size}/GPU, {num_gpus} GPUs "
+          f"(cost models calibrated to the paper's testbed)\n")
+
+    header = f"{'algorithm':14} {'iter(s)':>8} " + " ".join(f"{c:>11}" for c in PAPER_CATEGORIES)
+    print(header)
+    print("-" * len(header))
+    spd_result = None
+    for name, builder in ALGORITHMS:
+        result = run_iteration(builder(spec, profile), name, spec.name)
+        cats = result.categories()
+        row = f"{name:14} {result.iteration_time:>8.4f} " + " ".join(
+            f"{cats[c]:>11.4f}" for c in PAPER_CATEGORIES
+        )
+        print(row)
+        if builder is build_spd_kfac_graph:
+            spd_result = result
+
+    if trace_path and spd_result is not None:
+        spd_result.timeline.save_chrome_trace(trace_path)
+        print(f"\nSPD-KFAC Chrome trace written to {trace_path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""Distributed K-FAC: 4 data-parallel workers training one model.
+
+Demonstrates the numerically exact distributed stack: each rank (thread)
+sees a different data shard, Kronecker factors and gradients are
+all-reduced, inverse workloads are placed by LBP (Algorithm 1), and CT
+inverses are broadcast packed as upper triangles.  At the end the ranks'
+models are verified to be bit-identical — the paper's consistency
+requirement — and the collective traffic is reported.
+
+Run:  python examples/distributed_training.py
+"""
+
+import numpy as np
+
+from repro.comm import CollectiveGroup
+from repro.core.distributed import DistKFACOptimizer, InverseStrategy
+from repro.models import make_small_cnn
+from repro.nn import CrossEntropyLoss
+from repro.utils import human_count
+from repro.workloads import sharded_batches, synthetic_images
+
+WORLD_SIZE = 4
+ITERATIONS = 8
+BATCH_PER_RANK = 8
+
+
+def worker(comm, batches_for_rank):
+    """One rank's training loop (runs in its own thread)."""
+    net = make_small_cnn(in_channels=1, num_classes=4, rng=123)  # same init
+    opt = DistKFACOptimizer(
+        net,
+        comm,
+        lr=0.03,
+        damping=1e-1,
+        stat_decay=0.5,
+        inverse_strategy=InverseStrategy.LBP,
+        factor_fusion="threshold",
+        fusion_threshold_elements=4096,
+    )
+    loss_fn = CrossEntropyLoss()
+    losses = []
+    for x, y in batches_for_rank:
+        opt.zero_grad()
+        losses.append(loss_fn(net(x), y))
+        net.run_backward(loss_fn.backward())
+        opt.step()
+    params = np.concatenate([p.data.ravel() for p in net.parameters()])
+    return losses, params, opt.placement
+
+
+def main() -> None:
+    data = synthetic_images(512, channels=1, size=8, num_classes=4, rng=0)
+    stream = sharded_batches(data, WORLD_SIZE, BATCH_PER_RANK, rng=1)
+    rounds = [next(stream) for _ in range(ITERATIONS)]
+    per_rank_batches = [[rounds[t][r] for t in range(ITERATIONS)] for r in range(WORLD_SIZE)]
+
+    group = CollectiveGroup(WORLD_SIZE)
+    import threading
+
+    results = [None] * WORLD_SIZE
+    threads = []
+    for rank in range(WORLD_SIZE):
+        comm = group.communicator(rank)
+
+        def runner(rank=rank, comm=comm):
+            results[rank] = worker(comm, per_rank_batches[rank])
+
+        threads.append(threading.Thread(target=runner))
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    losses0, params0, placement = results[0]
+    print("rank-0 loss trajectory:", " ".join(f"{v:.3f}" for v in losses0))
+    identical = all(np.array_equal(params0, results[r][1]) for r in range(1, WORLD_SIZE))
+    print(f"models bit-identical across {WORLD_SIZE} ranks: {identical}")
+
+    print(f"\nLBP placement: {placement.num_cts()} CTs / "
+          f"{len(placement.dims) - placement.num_cts()} NCTs over {len(placement.dims)} tensors")
+    for rank in range(WORLD_SIZE):
+        owned = [i for i in placement.tensors_on(rank) if not placement.is_nct(i)]
+        print(f"  rank {rank}: owns CT tensors {owned}")
+
+    print("\ncollective traffic (elements):")
+    for op, elements in sorted(group.traffic.elements.items()):
+        print(f"  {op:10} {human_count(elements):>8}  ({group.traffic.calls[op]} calls)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Deep dive into the paper's two planners on a real model.
+
+Shows, for ResNet-50 on the paper's 64-GPU profile:
+
+1. the optimal tensor-fusion plan (Eq. 15 / MG-WFBP DP) for the A and G
+   factor passes, vs no-fusion / threshold fusion — with the predicted
+   aggregation finish time of each plan;
+2. the LBP inverse placement (Algorithm 1): which tensors are CT vs NCT,
+   and the estimated completion (Eq. 21) vs Seq-Dist / Non-Dist.
+
+Run:  python examples/planning_deep_dive.py [model]
+"""
+
+import sys
+
+from repro.core.fusion import (
+    fusion_completion_time,
+    plan_no_fusion,
+    plan_threshold_fusion,
+)
+from repro.core.pipeline import FactorCommStrategy, factor_availability, factor_comm_plans
+from repro.core.placement import non_dist_placement, seq_dist_placement
+from repro.core.schedule import build_inverse_graph, resolve_placement, run_iteration
+from repro.models import get_model_spec
+from repro.perf import paper_cluster_profile
+from repro.utils import human_count, human_time
+
+
+def main() -> None:
+    model = sys.argv[1] if len(sys.argv) > 1 else "ResNet-50"
+    spec = get_model_spec(model)
+    profile = paper_cluster_profile()
+    comm = profile.allreduce_streamed
+
+    print(f"=== Optimal tensor fusion for {spec.name} ===")
+    a_sizes = [layer.a_elements for layer in spec.layers]
+    a_avail, _ = factor_availability(spec, profile)
+    otf = factor_comm_plans(FactorCommStrategy.SP_OTF, spec, profile)
+    alternatives = {
+        "no fusion": plan_no_fusion(len(a_sizes)),
+        "threshold (64MiB)": plan_threshold_fusion(a_sizes, profile.fusion_threshold_elements),
+        "optimal (DP)": otf.a_plan,
+    }
+    for name, plan in alternatives.items():
+        finish = fusion_completion_time(plan, a_sizes, a_avail, comm)
+        print(f"  A-pass {name:18} {plan.num_buckets:3d} buckets, "
+              f"last aggregation done at {human_time(finish)}")
+    print("  optimal A buckets (layer ranges and fused elements):")
+    for bucket in otf.a_plan.buckets:
+        elements = sum(a_sizes[i] for i in bucket)
+        print(f"    layers {bucket[0]:3d}-{bucket[-1]:3d}: {human_count(elements)} elements")
+
+    print(f"\n=== LBP inverse placement for {spec.name} on 64 GPUs ===")
+    placement = resolve_placement("lbp", spec, profile, profile.num_workers)
+    dims = placement.dims
+    cts = [i for i in range(len(dims)) if not placement.is_nct(i)]
+    print(f"  {len(cts)} CTs (computed once + broadcast), "
+          f"{len(dims) - len(cts)} NCTs (recomputed on every GPU)")
+    largest = sorted(cts, key=lambda i: -dims[i])[:8]
+    for i in largest:
+        side = "A" if i % 2 == 0 else "G"
+        print(f"    CT tensor: layer {i // 2:3d} factor {side}, d={dims[i]:5d} "
+              f"-> owner rank {placement.owner(i)}")
+
+    # Simulate the isolated inverse stage for each placement (Fig. 12's
+    # comparison).  Note this accounts receive-side broadcast time, which
+    # Eq. 21's owner-only objective does not.
+    for name, alt in (
+        ("Non-Dist", non_dist_placement(dims, 64)),
+        ("Seq-Dist", seq_dist_placement(dims, 64)),
+        ("LBP", placement),
+    ):
+        result = run_iteration(build_inverse_graph(spec, profile, alt), name, spec.name)
+        print(f"  simulated inverse stage [{name:8}]: {human_time(result.iteration_time)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Quickstart: train a small classifier with K-FAC and compare to SGD.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import KFACOptimizer, make_mlp
+from repro.nn import SGD, CrossEntropyLoss
+from repro.workloads import gaussian_blobs
+
+
+def train(optimizer_name: str, iterations: int = 20) -> list:
+    """Train the same model/initialization with the named optimizer."""
+    x, y = gaussian_blobs(256, 10, 3, scale_spread=8.0, rng=0)
+    x = x / np.abs(x).max() * 3.0  # bounded but anisotropic inputs
+
+    net = make_mlp(in_features=10, hidden=24, num_classes=3, rng=1)
+    if optimizer_name == "kfac":
+        opt = KFACOptimizer(net, lr=0.3, damping=1e-2, stat_decay=0.9, kl_clip=1e-2)
+    else:
+        opt = SGD(net.parameters(), lr=1.0)
+    loss_fn = CrossEntropyLoss()
+
+    losses = []
+    for _ in range(iterations):
+        opt.zero_grad()
+        losses.append(loss_fn(net(x), y))
+        net.run_backward(loss_fn.backward())
+        opt.step()
+    return losses
+
+
+def main() -> None:
+    kfac_losses = train("kfac")
+    sgd_losses = train("sgd")
+    print(f"{'iter':>4}  {'K-FAC loss':>12}  {'SGD loss':>12}")
+    for i in range(0, len(kfac_losses), 5):
+        print(f"{i:>4}  {kfac_losses[i]:>12.5f}  {sgd_losses[i]:>12.5f}")
+    print(f"{'end':>4}  {kfac_losses[-1]:>12.5f}  {sgd_losses[-1]:>12.5f}")
+    print(
+        "\nK-FAC preconditions each layer's gradient by the inverse "
+        "Kronecker factors (Eq. 11), which whitens the ill-conditioned "
+        "inputs and converges in far fewer iterations."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""repro — reproduction of SPD-KFAC (Shi, Zhang, Li; ICDCS 2021).
+
+"Accelerating Distributed K-FAC with Smart Parallelism of Computing and
+Communication Tasks" proposes two systems optimizations for distributed
+K-FAC training: pipelining Kronecker-factor communication with
+computation under an optimal tensor-fusion plan, and load-balancing the
+matrix-inverse workloads across GPUs with a per-tensor
+compute-everywhere-vs-broadcast decision.
+
+This package provides:
+
+* the full K-FAC numerical stack on a NumPy substrate
+  (:mod:`repro.nn`, :mod:`repro.core.kfac`),
+* numerically exact distributed K-FAC variants over an in-process
+  collective runtime (:mod:`repro.comm`, :mod:`repro.core.distributed`),
+* the paper's schedulers — optimal tensor fusion, LBP placement,
+  pipelining strategies (:mod:`repro.core`),
+* a discrete-event cluster simulator calibrated with the paper's
+  published cost constants (:mod:`repro.sim`, :mod:`repro.perf`),
+* architecture specs for the four evaluated CNNs (:mod:`repro.models`),
+* and a reproduction harness for every table and figure
+  (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import KFACOptimizer, make_mlp
+    from repro.nn import CrossEntropyLoss
+
+    net = make_mlp(in_features=10, hidden=32, num_classes=3, rng=0)
+    opt = KFACOptimizer(net, lr=0.05, damping=1e-2)
+    loss_fn = CrossEntropyLoss()
+    loss = loss_fn(net(x), y)
+    net.run_backward(loss_fn.backward())
+    opt.step()
+"""
+
+from repro.core import (
+    DistKFACOptimizer,
+    InverseStrategy,
+    KFACOptimizer,
+    KFACPreconditioner,
+    lbp_placement,
+    plan_optimal_fusion,
+)
+from repro.models import (
+    densenet201_spec,
+    get_model_spec,
+    inceptionv4_spec,
+    make_mlp,
+    make_residual_mlp,
+    make_small_cnn,
+    resnet50_spec,
+    resnet152_spec,
+)
+from repro.perf import paper_cluster_profile, scaled_cluster_profile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "KFACOptimizer",
+    "KFACPreconditioner",
+    "DistKFACOptimizer",
+    "InverseStrategy",
+    "plan_optimal_fusion",
+    "lbp_placement",
+    "make_mlp",
+    "make_small_cnn",
+    "make_residual_mlp",
+    "get_model_spec",
+    "resnet50_spec",
+    "resnet152_spec",
+    "densenet201_spec",
+    "inceptionv4_spec",
+    "paper_cluster_profile",
+    "scaled_cluster_profile",
+    "__version__",
+]

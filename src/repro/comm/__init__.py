@@ -1,0 +1,35 @@
+"""In-process collective communication runtime (the Horovod stand-in).
+
+``P`` ranks run as Python threads inside one process and synchronize
+through :class:`CollectiveGroup`.  The collectives have synchronous
+(all-ranks-must-call) semantics with deterministic reduction order, so a
+distributed K-FAC step produces bit-identical results on every rank —
+which is exactly the property the paper relies on ("all GPUs should keep
+a consistent model at every iteration", Section III-B) and which our
+tests assert.
+
+Mismatched collective sequences (rank 0 calls allreduce while rank 1
+calls broadcast) are detected and raised as :class:`CollectiveMismatchError`
+on every rank instead of deadlocking.
+"""
+
+from repro.comm.group import (
+    CollectiveAbortedError,
+    CollectiveGroup,
+    CollectiveMismatchError,
+    Communicator,
+    TrafficCounter,
+    run_spmd,
+)
+from repro.comm.packing import pack_symmetric, unpack_symmetric
+
+__all__ = [
+    "CollectiveGroup",
+    "Communicator",
+    "CollectiveMismatchError",
+    "CollectiveAbortedError",
+    "TrafficCounter",
+    "run_spmd",
+    "pack_symmetric",
+    "unpack_symmetric",
+]

@@ -1,0 +1,215 @@
+"""Thread-based collective group with Horovod-like semantics."""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+class CollectiveMismatchError(RuntimeError):
+    """Ranks called different collectives (or with mismatched shapes)."""
+
+
+class CollectiveAbortedError(RuntimeError):
+    """A peer rank failed; this collective cannot complete."""
+
+
+@dataclass
+class TrafficCounter:
+    """Accumulates communicated element counts per collective type.
+
+    Element counts follow the standard accounting used by the paper's
+    models: an all-reduce or broadcast of an ``m``-element buffer counts
+    ``m`` (the models' ``m`` in Eqs. 14 and 27), regardless of internal
+    algorithm.
+    """
+
+    elements: Dict[str, int] = field(default_factory=dict)
+    calls: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, op: str, num_elements: int) -> None:
+        self.elements[op] = self.elements.get(op, 0) + int(num_elements)
+        self.calls[op] = self.calls.get(op, 0) + 1
+
+    def total_elements(self) -> int:
+        return sum(self.elements.values())
+
+
+class CollectiveGroup:
+    """Shared state for ``world_size`` communicating ranks.
+
+    Every collective performs two barrier phases: (1) all ranks deposit
+    their operation descriptor + buffer; rank 0 validates the descriptors
+    match and computes the reduction in deterministic rank order;
+    (2) all ranks read the shared result.  Deterministic order makes the
+    floating-point result identical on every rank.
+    """
+
+    def __init__(self, world_size: int):
+        if world_size < 1:
+            raise ValueError(f"world_size must be >= 1, got {world_size}")
+        self.world_size = world_size
+        self.traffic = TrafficCounter()
+        self._barrier = threading.Barrier(world_size)
+        self._lock = threading.Lock()
+        self._slots: List[Optional[np.ndarray]] = [None] * world_size
+        self._descriptors: List[Optional[tuple]] = [None] * world_size
+        self._result: Optional[np.ndarray] = None
+        self._error: Optional[Exception] = None
+
+    def communicator(self, rank: int) -> "Communicator":
+        """Handle for one rank."""
+        if not 0 <= rank < self.world_size:
+            raise ValueError(f"rank {rank} outside 0..{self.world_size - 1}")
+        return Communicator(rank, self)
+
+    def communicators(self) -> List["Communicator"]:
+        """Handles for all ranks, rank order."""
+        return [self.communicator(r) for r in range(self.world_size)]
+
+    # -- internal machinery --------------------------------------------------
+
+    def _wait(self) -> None:
+        try:
+            self._barrier.wait()
+        except threading.BrokenBarrierError:
+            raise CollectiveAbortedError(
+                "a peer rank failed during a collective"
+            ) from None
+
+    def abort(self) -> None:
+        """Break the barrier so peers do not hang after a rank failure."""
+        self._barrier.abort()
+
+    def _execute(
+        self,
+        rank: int,
+        descriptor: tuple,
+        buffer: Optional[np.ndarray],
+        reducer: Callable[[Sequence[np.ndarray]], np.ndarray],
+        traffic_elements: int,
+    ) -> np.ndarray:
+        self._slots[rank] = buffer
+        self._descriptors[rank] = descriptor
+        self._wait()
+        if rank == 0:
+            try:
+                distinct = {d for d in self._descriptors}
+                if len(distinct) != 1:
+                    raise CollectiveMismatchError(
+                        f"ranks disagree on collective: {sorted(map(str, distinct))}"
+                    )
+                self._result = reducer([s for s in self._slots])  # type: ignore[arg-type]
+                recorded = traffic_elements if traffic_elements >= 0 else self._result.size
+                self.traffic.record(descriptor[0], recorded)
+                self._error = None
+            except Exception as exc:  # propagate to every rank, not just 0
+                self._error = exc
+                self._result = None
+        self._wait()
+        error = self._error
+        result = self._result
+        self._wait()  # all ranks read before slots are reused
+        if error is not None:
+            raise error
+        assert result is not None
+        return result.copy()
+
+    def barrier_wait(self) -> None:
+        """Plain barrier exposed to ranks."""
+        self._wait()
+
+
+class Communicator:
+    """One rank's endpoint into a :class:`CollectiveGroup`."""
+
+    def __init__(self, rank: int, group: CollectiveGroup):
+        self.rank = rank
+        self.group = group
+
+    @property
+    def world_size(self) -> int:
+        return self.group.world_size
+
+    def allreduce(self, array: np.ndarray, op: str = "mean") -> np.ndarray:
+        """All-reduce ``array``; every rank receives the identical result."""
+        if op not in ("mean", "sum"):
+            raise ValueError(f"op must be 'mean' or 'sum', got {op!r}")
+        array = np.asarray(array)
+        descriptor = ("allreduce", op, array.shape, str(array.dtype))
+
+        def reducer(slots: Sequence[np.ndarray]) -> np.ndarray:
+            total = slots[0].astype(np.float64, copy=True)
+            for other in slots[1:]:
+                total += other
+            if op == "mean":
+                total /= len(slots)
+            return total
+
+        return self.group._execute(self.rank, descriptor, array, reducer, array.size)
+
+    def broadcast(self, array: Optional[np.ndarray], root: int) -> np.ndarray:
+        """Broadcast ``array`` from ``root``; non-root inputs may be None."""
+        if not 0 <= root < self.world_size:
+            raise ValueError(f"root {root} outside 0..{self.world_size - 1}")
+        buffer = np.asarray(array) if self.rank == root and array is not None else None
+        if self.rank == root and buffer is None:
+            raise ValueError("root rank must supply an array to broadcast")
+        descriptor = ("broadcast", root)
+
+        def reducer(slots: Sequence[np.ndarray]) -> np.ndarray:
+            chosen = slots[root]
+            if chosen is None:
+                raise CollectiveMismatchError(f"broadcast root {root} supplied no buffer")
+            return np.asarray(chosen)
+
+        return self.group._execute(self.rank, descriptor, buffer, reducer, -1)
+
+    def allgather(self, array: np.ndarray) -> List[np.ndarray]:
+        """Gather every rank's equally-shaped array; result indexed by rank."""
+        array = np.asarray(array)
+        descriptor = ("allgather", array.shape, str(array.dtype))
+
+        def reducer(slots: Sequence[np.ndarray]) -> np.ndarray:
+            return np.stack([np.asarray(s) for s in slots])
+
+        stacked = self.group._execute(self.rank, descriptor, array, reducer, array.size)
+        return [stacked[r] for r in range(self.world_size)]
+
+    def barrier(self) -> None:
+        """Synchronize all ranks."""
+        self.group.barrier_wait()
+
+
+def run_spmd(world_size: int, fn: Callable[[Communicator], object]) -> List[object]:
+    """Run ``fn(comm)`` on ``world_size`` ranks (threads); return results by rank.
+
+    If any rank raises, the group barrier is aborted so peers unblock, and
+    the first failure (by rank order) is re-raised in the caller.
+    """
+    group = CollectiveGroup(world_size)
+    results: List[object] = [None] * world_size
+    errors: List[Optional[Exception]] = [None] * world_size
+
+    def worker(rank: int) -> None:
+        try:
+            results[rank] = fn(group.communicator(rank))
+        except Exception as exc:  # noqa: BLE001 - re-raised in caller
+            errors[rank] = exc
+            group.abort()
+
+    threads = [threading.Thread(target=worker, args=(r,), daemon=True) for r in range(world_size)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    for err in errors:
+        if err is not None and not isinstance(err, CollectiveAbortedError):
+            raise err
+    for err in errors:
+        if err is not None:
+            raise err
+    return results

@@ -1,0 +1,37 @@
+"""Symmetric-matrix packing.
+
+Kronecker factors and their inverses are symmetric, so the paper sends
+only the upper triangle including the diagonal — ``d(d+1)/2`` elements
+instead of ``d^2`` (Section V-B).  These helpers implement that wire
+format.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_square
+
+
+def pack_symmetric(matrix: np.ndarray) -> np.ndarray:
+    """Pack a symmetric ``d x d`` matrix into its upper triangle (1-D).
+
+    Only the upper triangle is read; the caller guarantees symmetry.
+    """
+    check_square("matrix", matrix)
+    d = matrix.shape[0]
+    iu = np.triu_indices(d)
+    return np.ascontiguousarray(matrix[iu])
+
+
+def unpack_symmetric(packed: np.ndarray, d: int) -> np.ndarray:
+    """Inverse of :func:`pack_symmetric`: rebuild the full symmetric matrix."""
+    expected = d * (d + 1) // 2
+    if packed.ndim != 1 or packed.size != expected:
+        raise ValueError(f"packed size {packed.shape} != ({expected},) for d={d}")
+    out = np.zeros((d, d), dtype=packed.dtype)
+    iu = np.triu_indices(d)
+    out[iu] = packed
+    strict = np.triu_indices(d, k=1)
+    out.T[strict] = out[strict]
+    return out

@@ -1,0 +1,104 @@
+"""The paper's contribution: K-FAC preconditioning and SPD-KFAC scheduling.
+
+Numerical side (exact, runs on :mod:`repro.nn` models):
+
+* :mod:`repro.core.factors` — Kronecker factor construction (Eqs. 7-8,
+  KFC expansion for convolutions);
+* :mod:`repro.core.kfac` — single-process K-FAC preconditioner/optimizer
+  (Eq. 12);
+* :mod:`repro.core.distributed` — D-KFAC / MPD-KFAC / SPD-KFAC over the
+  :mod:`repro.comm` runtime (Eq. 13), numerically identical by design.
+
+Scheduling side (drives :mod:`repro.sim`):
+
+* :mod:`repro.core.fusion` — tensor-fusion planners incl. the optimal
+  Eq. 15 rule;
+* :mod:`repro.core.placement` — inverse placement incl. Algorithm 1 (LBP);
+* :mod:`repro.core.pipeline` — the four factor-communication pipelining
+  strategies of Fig. 10;
+* :mod:`repro.core.schedule` — per-iteration task-graph builders for
+  SGD, S-SGD, KFAC, D-KFAC, MPD-KFAC and SPD-KFAC.
+"""
+
+from repro.core.factors import (
+    conv_factor_A,
+    conv_factor_G,
+    kfac_layers,
+    layer_factor_A,
+    layer_factor_G,
+    linear_factor_A,
+    linear_factor_G,
+)
+from repro.core.kfac import (
+    KFACOptimizer,
+    KFACPreconditioner,
+    damped_inverse,
+    eig_damped_inverse,
+)
+from repro.core.fusion import (
+    FusionPlan,
+    TensorFusionController,
+    fusion_completion_time,
+    plan_bulk,
+    plan_eq15_greedy,
+    plan_no_fusion,
+    plan_optimal_fusion,
+    plan_threshold_fusion,
+)
+from repro.core.placement import (
+    Placement,
+    lbp_placement,
+    balanced_placement,
+    non_dist_placement,
+    seq_dist_placement,
+)
+from repro.core.schedule import (
+    IterationResult,
+    build_dkfac_graph,
+    build_kfac_graph,
+    build_mpd_kfac_graph,
+    build_sgd_graph,
+    build_spd_kfac_graph,
+    build_ssgd_graph,
+    run_iteration,
+)
+from repro.core.distributed import DistKFACOptimizer, InverseStrategy
+from repro.core.trainer import Trainer
+
+__all__ = [
+    "linear_factor_A",
+    "linear_factor_G",
+    "conv_factor_A",
+    "conv_factor_G",
+    "layer_factor_A",
+    "layer_factor_G",
+    "kfac_layers",
+    "KFACPreconditioner",
+    "KFACOptimizer",
+    "damped_inverse",
+    "eig_damped_inverse",
+    "FusionPlan",
+    "TensorFusionController",
+    "plan_no_fusion",
+    "plan_bulk",
+    "plan_threshold_fusion",
+    "plan_optimal_fusion",
+    "plan_eq15_greedy",
+    "fusion_completion_time",
+    "Placement",
+    "non_dist_placement",
+    "seq_dist_placement",
+    "balanced_placement",
+    "lbp_placement",
+    "build_sgd_graph",
+    "build_ssgd_graph",
+    "build_kfac_graph",
+    "build_dkfac_graph",
+    "build_mpd_kfac_graph",
+    "build_spd_kfac_graph",
+    "run_iteration",
+    "IterationResult",
+    "DistKFACOptimizer",
+    "InverseStrategy",
+    "Trainer",
+]

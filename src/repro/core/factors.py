@@ -1,0 +1,101 @@
+"""Kronecker factor construction (Eqs. 6-9 of the paper).
+
+Conventions
+-----------
+The loss is **mean-reduced** over the batch (as in
+:class:`repro.nn.CrossEntropyLoss`), so the per-sample sum-loss gradient
+is ``N`` times the backpropagated one.  With that correction:
+
+* Linear layer, input ``x`` of shape ``(N, d_in)`` (bias-augmented when
+  present) and output gradient ``g`` of shape ``(N, d_out)``::
+
+      A = x^T x / N                 (Eq. 7, batch expectation)
+      G = (N g)^T (N g) / N = N g^T g   (Eq. 8)
+
+* Conv layer (the KFC expansion of Grosse & Martens): the input expands
+  into one row per output location via im2col, giving ``Omega`` of shape
+  ``(N*S, C_in*kh*kw)`` where ``S = H_out*W_out``::
+
+      A = Omega^T Omega / (N*S)
+      G = (N/S) ghat^T ghat,   ghat of shape (N*S, C_out)
+
+With batch size 1 (and a single spatial location), ``A (x) G`` equals the
+exact empirical Fisher block — the property the unit tests assert.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+import numpy as np
+
+from repro.nn import Conv2d, Linear, Module
+from repro.nn.functional import im2col
+
+KFACLayer = Union[Linear, Conv2d]
+
+
+def kfac_layers(model: Module) -> List[KFACLayer]:
+    """All Linear/Conv2d modules of ``model`` in forward traversal order.
+
+    This is the layer list K-FAC preconditions — the paper's
+    ``l = 1..L`` (Table II "# Layers").
+    """
+    return [m for m in model.modules() if isinstance(m, (Linear, Conv2d))]
+
+
+def _augment_bias(rows: np.ndarray) -> np.ndarray:
+    ones = np.ones((rows.shape[0], 1), dtype=rows.dtype)
+    return np.concatenate([rows, ones], axis=1)
+
+
+def linear_factor_A(x: np.ndarray, has_bias: bool) -> np.ndarray:
+    """Factor ``A`` for a linear layer from its input batch ``(N, d_in)``."""
+    if x.ndim != 2:
+        raise ValueError(f"expected (N, d_in) input, got {x.shape}")
+    rows = _augment_bias(x) if has_bias else x
+    return rows.T @ rows / rows.shape[0]
+
+
+def linear_factor_G(grad_output: np.ndarray, batch_size: int) -> np.ndarray:
+    """Factor ``G`` for a linear layer from the mean-loss output gradient."""
+    if grad_output.ndim != 2:
+        raise ValueError(f"expected (N, d_out) gradient, got {grad_output.shape}")
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    return grad_output.T @ grad_output * batch_size
+
+
+def conv_factor_A(x: np.ndarray, layer: Conv2d) -> np.ndarray:
+    """Factor ``A`` for a conv layer from its input batch ``(N, C, H, W)``."""
+    cols = im2col(x, layer.kernel, layer.stride, layer.padding)
+    rows = _augment_bias(cols) if layer.bias is not None else cols
+    return rows.T @ rows / rows.shape[0]
+
+
+def conv_factor_G(grad_output: np.ndarray, batch_size: int) -> np.ndarray:
+    """Factor ``G`` for a conv layer from the mean-loss output gradient."""
+    if grad_output.ndim != 4:
+        raise ValueError(f"expected (N, C, H', W') gradient, got {grad_output.shape}")
+    n, c_out, h, w = grad_output.shape
+    spatial = h * w
+    gmat = grad_output.transpose(0, 2, 3, 1).reshape(n * spatial, c_out)
+    return gmat.T @ gmat * (batch_size / spatial)
+
+
+def layer_factor_A(layer: KFACLayer, x: np.ndarray) -> np.ndarray:
+    """Dispatch :func:`linear_factor_A` / :func:`conv_factor_A` by layer type."""
+    if isinstance(layer, Linear):
+        return linear_factor_A(x, has_bias=layer.bias is not None)
+    if isinstance(layer, Conv2d):
+        return conv_factor_A(x, layer)
+    raise TypeError(f"K-FAC does not support layer type {type(layer).__name__}")
+
+
+def layer_factor_G(layer: KFACLayer, grad_output: np.ndarray, batch_size: int) -> np.ndarray:
+    """Dispatch :func:`linear_factor_G` / :func:`conv_factor_G` by layer type."""
+    if isinstance(layer, Linear):
+        return linear_factor_G(grad_output, batch_size)
+    if isinstance(layer, Conv2d):
+        return conv_factor_G(grad_output, batch_size)
+    raise TypeError(f"K-FAC does not support layer type {type(layer).__name__}")

@@ -1,0 +1,276 @@
+"""Tensor-fusion planning for Kronecker-factor communication (Section IV-A).
+
+Small all-reduces are dominated by the startup term ``alpha_ar`` of
+Eq. 14, so consecutive factors are merged ("fused") into one buffer.  The
+paper compares four policies (Fig. 10); the planners here produce the
+bucket partitions each policy would choose:
+
+* ``plan_no_fusion``       — every factor its own all-reduce (LW w/o TF);
+* ``plan_bulk``            — one giant all-reduce (the non-pipelined
+  baselines aggregate everything at once);
+* ``plan_threshold_fusion``— Horovod's default: close a bucket once it
+  reaches a byte threshold (LW w/ TTF);
+* ``plan_optimal_fusion``  — the paper's optimal tensor fusion (SP w/
+  OTF, after MG-WFBP [23]): the contiguous partition minimizing when the
+  *last* factor finishes aggregating, found by dynamic programming over
+  the Eq. 14 cost model and the measured factor availability times
+  (Eq. 15 is the local optimality condition of this program);
+* ``plan_eq15_greedy``     — the single-pass greedy reading of Eq. 15,
+  kept for the ablation benchmarks (merge the next factor iff it arrives
+  within ``alpha_ar`` of the open bucket's start estimate).
+
+All planners preserve arrival order and produce contiguous buckets, which
+is required for overlap-friendly communication (a bucket can start as
+soon as its *last* member is ready).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.perf.models import LinearCommModel
+from repro.utils.validation import check_non_negative
+
+
+@dataclass(frozen=True)
+class FusionPlan:
+    """A partition of ``n`` ordered tensors into contiguous buckets."""
+
+    buckets: Tuple[Tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        flat = [i for bucket in self.buckets for i in bucket]
+        if flat != list(range(len(flat))):
+            raise ValueError(
+                "buckets must be contiguous, ordered, and cover 0..n-1; "
+                f"got {self.buckets}"
+            )
+        if any(len(bucket) == 0 for bucket in self.buckets):
+            raise ValueError("empty fusion bucket")
+
+    @property
+    def num_tensors(self) -> int:
+        return sum(len(bucket) for bucket in self.buckets)
+
+    @property
+    def num_buckets(self) -> int:
+        return len(self.buckets)
+
+    def bucket_of(self, index: int) -> int:
+        """Bucket id containing tensor ``index``."""
+        for b, bucket in enumerate(self.buckets):
+            if bucket[0] <= index <= bucket[-1]:
+                return b
+        raise IndexError(f"tensor index {index} not in plan of {self.num_tensors}")
+
+    def bucket_elements(self, sizes: Sequence[int]) -> List[int]:
+        """Total element count per bucket given per-tensor sizes."""
+        if len(sizes) != self.num_tensors:
+            raise ValueError(f"expected {self.num_tensors} sizes, got {len(sizes)}")
+        return [sum(sizes[i] for i in bucket) for bucket in self.buckets]
+
+
+def plan_no_fusion(num_tensors: int) -> FusionPlan:
+    """One bucket per tensor (the LW w/o TF baseline)."""
+    if num_tensors < 1:
+        raise ValueError("need at least one tensor")
+    return FusionPlan(tuple((i,) for i in range(num_tensors)))
+
+
+def plan_bulk(num_tensors: int) -> FusionPlan:
+    """A single bucket containing every tensor."""
+    if num_tensors < 1:
+        raise ValueError("need at least one tensor")
+    return FusionPlan((tuple(range(num_tensors)),))
+
+
+def plan_threshold_fusion(sizes: Sequence[int], threshold_elements: int) -> FusionPlan:
+    """Horovod-style fusion: close a bucket once it reaches the threshold.
+
+    ``threshold_elements`` is the fusion-buffer capacity in elements
+    (Horovod's default 64 MiB of fp32 = 16.7M elements; Section VI-D
+    footnote 6).
+    """
+    if not sizes:
+        raise ValueError("need at least one tensor")
+    if threshold_elements < 1:
+        raise ValueError("threshold_elements must be >= 1")
+    buckets: List[Tuple[int, ...]] = []
+    current: List[int] = []
+    filled = 0
+    for i, size in enumerate(sizes):
+        current.append(i)
+        filled += size
+        if filled >= threshold_elements:
+            buckets.append(tuple(current))
+            current, filled = [], 0
+    if current:
+        buckets.append(tuple(current))
+    return FusionPlan(tuple(buckets))
+
+
+def _validate_arrivals(sizes: Sequence[int], avail_times: Sequence[float]) -> None:
+    if not sizes:
+        raise ValueError("need at least one tensor")
+    if len(sizes) != len(avail_times):
+        raise ValueError("sizes and avail_times must have equal length")
+    for t in avail_times:
+        check_non_negative("avail_time", t)
+    if any(b > a for a, b in zip(avail_times[1:], avail_times[:-1])):
+        # Arrival order must be the communication order for contiguous
+        # fusion to be meaningful; enforce monotone non-decreasing.
+        raise ValueError("avail_times must be non-decreasing (arrival order)")
+
+
+def fusion_completion_time(
+    plan: FusionPlan,
+    sizes: Sequence[int],
+    avail_times: Sequence[float],
+    comm: LinearCommModel,
+    initial_channel_free: float = 0.0,
+) -> float:
+    """Predicted finish time of the last bucket's all-reduce.
+
+    Buckets go out on a FIFO channel (free from ``initial_channel_free``
+    on): each starts at the max of its last member's availability and the
+    previous bucket's completion.  This is the objective the optimal
+    planner minimizes, and a useful metric for comparing any two plans
+    under the same cost model.
+    """
+    _validate_arrivals(sizes, avail_times)
+    channel_free = initial_channel_free
+    for bucket in plan.buckets:
+        start = max(avail_times[bucket[-1]], channel_free)
+        channel_free = start + comm.time(sum(sizes[i] for i in bucket))
+    return channel_free
+
+
+def plan_optimal_fusion(
+    sizes: Sequence[int],
+    avail_times: Sequence[float],
+    comm: LinearCommModel,
+    initial_channel_free: float = 0.0,
+) -> FusionPlan:
+    """Optimal tensor fusion (SP w/ OTF): minimize last-aggregation finish.
+
+    Dynamic program over contiguous partitions: ``F[j]`` is the earliest
+    time at which tensors ``0..j-1`` can all be aggregated, with the last
+    bucket being ``i..j-1``::
+
+        F[j] = min over i of  max(avail[j-1], F[i]) + alpha + beta * S(i, j)
+
+    where ``S(i, j)`` sums the bucket's elements and ``F[0]`` is
+    ``initial_channel_free`` (the channel may still be draining earlier
+    traffic).  The Eq. 15 merge condition of the paper is exactly the
+    first-order optimality test of this program (splitting a bucket only
+    helps when the split-off prefix can finish before the remainder
+    becomes available plus startup).  Ties prefer fewer buckets (less
+    startup load on the channel, which also benefits anything queued
+    behind these buckets).
+    """
+    _validate_arrivals(sizes, avail_times)
+    n = len(sizes)
+    prefix = [0.0] * (n + 1)
+    for i, s in enumerate(sizes):
+        prefix[i + 1] = prefix[i] + s
+
+    best = [0.0] * (n + 1)  # F
+    best[0] = initial_channel_free
+    buckets_used = [0] * (n + 1)
+    split = [0] * (n + 1)  # argmin i for F[j]
+    for j in range(1, n + 1):
+        best_time = None
+        best_cost = None
+        for i in range(j):
+            start = max(avail_times[j - 1], best[i])
+            finish = start + comm.time(prefix[j] - prefix[i])
+            cost = (finish, buckets_used[i] + 1)
+            if best_cost is None or cost < best_cost:
+                best_cost = cost
+                best_time = finish
+                split[j] = i
+        assert best_time is not None and best_cost is not None
+        best[j] = best_time
+        buckets_used[j] = best_cost[1]
+
+    bounds: List[int] = []
+    j = n
+    while j > 0:
+        bounds.append(j)
+        j = split[j]
+    bounds.append(0)
+    bounds.reverse()
+    buckets = tuple(
+        tuple(range(lo, hi)) for lo, hi in zip(bounds, bounds[1:])
+    )
+    return FusionPlan(buckets)
+
+
+def plan_eq15_greedy(
+    sizes: Sequence[int],
+    avail_times: Sequence[float],
+    comm: LinearCommModel,
+) -> FusionPlan:
+    """Single-pass greedy reading of Eq. 15 (for the planner ablation).
+
+    Let ``tau`` be the estimated communication start of the open bucket
+    (max of its first member's availability and the channel-free time);
+    merge the next tensor iff it arrives before ``tau + alpha``.
+    Cheaper (O(n)) than the DP but can over- or under-merge; the ablation
+    bench quantifies the gap.
+    """
+    _validate_arrivals(sizes, avail_times)
+    buckets: List[Tuple[int, ...]] = []
+    channel_free = 0.0
+    i = 0
+    n = len(sizes)
+    while i < n:
+        tau = max(avail_times[i], channel_free)
+        j = i + 1
+        while j < n and avail_times[j] < tau + comm.alpha:
+            j += 1
+        buckets.append(tuple(range(i, j)))
+        start = max(tau, avail_times[j - 1])
+        channel_free = start + comm.time(prefix_sum := sum(sizes[i:j]))
+        del prefix_sum
+        i = j
+    return FusionPlan(tuple(buckets))
+
+
+class TensorFusionController:
+    """Runtime counterpart of a :class:`FusionPlan` (Fig. 6's controller).
+
+    Tensors are submitted in order as they become ready; once the last
+    member of a bucket arrives, the whole bucket is released for
+    communication.  The distributed optimizers use this to group factor
+    all-reduces into fused buffers on the real data path.
+    """
+
+    def __init__(self, plan: FusionPlan):
+        self.plan = plan
+        self._pending: Dict[int, List[Tuple[int, object]]] = {}
+        self._next_expected = 0
+
+    def submit(self, index: int, payload: object) -> Optional[List[Tuple[int, object]]]:
+        """Submit tensor ``index``; returns the completed bucket or None.
+
+        Tensors must arrive in index order (the plan's arrival order).
+        """
+        if index != self._next_expected:
+            raise ValueError(
+                f"tensors must be submitted in order; expected {self._next_expected}, got {index}"
+            )
+        self._next_expected += 1
+        bucket_id = self.plan.bucket_of(index)
+        self._pending.setdefault(bucket_id, []).append((index, payload))
+        bucket = self.plan.buckets[bucket_id]
+        if index == bucket[-1]:
+            return self._pending.pop(bucket_id)
+        return None
+
+    def reset(self) -> None:
+        """Prepare for the next pass (iteration)."""
+        if self._pending:
+            raise RuntimeError("cannot reset with incomplete buckets pending")
+        self._next_expected = 0

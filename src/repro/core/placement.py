@@ -1,0 +1,195 @@
+"""Inverse-workload placement over GPUs (Section IV-B, Algorithm 1).
+
+After factor aggregation all ranks hold identical global factors; the
+``2L`` damped inverses can be computed redundantly everywhere (no
+communication) or partitioned across ranks (each result then broadcast).
+A :class:`Placement` records, for each tensor, the set of ranks that
+compute it:
+
+* **NCT** (non-communicated tensor) — computed by *all* ranks, never
+  communicated;
+* **CT** (communicated tensor) — computed by exactly one owner rank and
+  broadcast to the rest.
+
+Four strategies are implemented, matching the paper's comparisons
+(Figs. 5 and 12):
+
+=================== =====================================================
+``non_dist``        every tensor NCT (the D-KFAC baseline)
+``seq_dist``        round-robin CT placement (MPD-KFAC [13, 20, 22])
+``balanced``        greedy longest-processing-time by d^2, all CT
+                    (Fig. 5b — balanced w/o considering communication)
+``lbp``             Algorithm 1: balanced placement + per-tensor CT/NCT
+                    decision from the calibrated cost models (Fig. 5c)
+=================== =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+# Cost models are duck-typed: ``comp`` needs ``.time(d)`` and ``comm``
+# needs ``.time_symmetric(d)`` — any of the families in
+# :mod:`repro.perf.models` qualifies, so the planner can run either with
+# the paper's standalone fits (Eq. 26/27) or with execution-calibrated
+# models.
+from repro.perf.models import CompModelLike, CommModelLike
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Assignment of ``len(dims)`` tensors to ranks.
+
+    ``assignments[i]`` is the tuple of ranks computing tensor ``i``:
+    length 1 for a CT (its owner), length ``num_ranks`` for an NCT.
+    """
+
+    num_ranks: int
+    dims: Tuple[int, ...]
+    assignments: Tuple[Tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        if self.num_ranks < 1:
+            raise ValueError("num_ranks must be >= 1")
+        if len(self.assignments) != len(self.dims):
+            raise ValueError("one assignment required per tensor")
+        for i, ranks in enumerate(self.assignments):
+            if len(ranks) not in (1, self.num_ranks):
+                raise ValueError(
+                    f"tensor {i} assigned to {len(ranks)} ranks; must be 1 (CT) "
+                    f"or {self.num_ranks} (NCT) per Eq. 17-19"
+                )
+            if sorted(set(ranks)) != sorted(ranks):
+                raise ValueError(f"duplicate ranks for tensor {i}")
+            if any(not 0 <= r < self.num_ranks for r in ranks):
+                raise ValueError(f"rank out of range for tensor {i}")
+
+    def is_nct(self, index: int) -> bool:
+        """True if tensor ``index`` is computed everywhere (never sent)."""
+        return len(self.assignments[index]) == self.num_ranks
+
+    def owner(self, index: int) -> int:
+        """Owner rank of a CT (raises for NCTs)."""
+        if self.is_nct(index):
+            raise ValueError(f"tensor {index} is an NCT; it has no single owner")
+        return self.assignments[index][0]
+
+    def tensors_on(self, rank: int) -> List[int]:
+        """Indices of tensors computed on ``rank``."""
+        return [i for i, ranks in enumerate(self.assignments) if rank in ranks]
+
+    def num_cts(self) -> int:
+        return sum(1 for i in range(len(self.dims)) if not self.is_nct(i))
+
+    def estimated_completion(
+        self, comp: CompModelLike, comm: CommModelLike
+    ) -> float:
+        """Eq. 21: max over ranks of (compute time + owned-CT broadcast time).
+
+        This is the objective LBP minimizes, evaluated with the planner's
+        own cost models.
+        """
+        totals = [0.0] * self.num_ranks
+        for i, d in enumerate(self.dims):
+            for rank in self.assignments[i]:
+                totals[rank] += comp.time(d)
+            if not self.is_nct(i):
+                totals[self.owner(i)] += comm.time_symmetric(d)
+        return max(totals)
+
+
+def _check_inputs(dims: Sequence[int], num_ranks: int) -> Tuple[int, ...]:
+    dims = tuple(int(d) for d in dims)
+    if not dims:
+        raise ValueError("need at least one tensor")
+    if any(d < 1 for d in dims):
+        raise ValueError("all dimensions must be >= 1")
+    if num_ranks < 1:
+        raise ValueError("num_ranks must be >= 1")
+    return dims
+
+
+def non_dist_placement(dims: Sequence[int], num_ranks: int) -> Placement:
+    """Every tensor computed on every rank; zero inverse communication."""
+    dims = _check_inputs(dims, num_ranks)
+    everyone = tuple(range(num_ranks))
+    return Placement(num_ranks, dims, tuple(everyone for _ in dims))
+
+
+def seq_dist_placement(dims: Sequence[int], num_ranks: int) -> Placement:
+    """Round-robin placement, all tensors CT (the MPD-KFAC baseline, Eq. 22)."""
+    dims = _check_inputs(dims, num_ranks)
+    return Placement(num_ranks, dims, tuple((i % num_ranks,) for i in range(len(dims))))
+
+
+def _greedy_least_loaded(
+    order: Sequence[int], weights: Sequence[float], num_ranks: int
+) -> List[int]:
+    """Assign items (in the given order) to the currently least-loaded rank."""
+    load = np.zeros(num_ranks)
+    owner = [0] * len(weights)
+    for i in order:
+        rank = int(np.argmin(load))
+        owner[i] = rank
+        load[rank] += weights[i]
+    return owner
+
+
+def balanced_placement(dims: Sequence[int], num_ranks: int) -> Placement:
+    """LPT balance by ``d^2`` (Eq. 25), all tensors CT — Fig. 5(b).
+
+    Balances computation but ignores broadcast cost; the ablation shows
+    why the CT/NCT decision matters.
+    """
+    dims = _check_inputs(dims, num_ranks)
+    weights = [float(d) ** 2 for d in dims]
+    order = sorted(range(len(dims)), key=lambda i: -weights[i])
+    owner = _greedy_least_loaded(order, weights, num_ranks)
+    return Placement(num_ranks, dims, tuple((owner[i],) for i in range(len(dims))))
+
+
+def lbp_placement(
+    dims: Sequence[int],
+    num_ranks: int,
+    comp: CompModelLike,
+    comm: CommModelLike,
+    weight: str = "square",
+) -> Placement:
+    """Algorithm 1: Load-Balancing Placement with dynamic CT/NCT decision.
+
+    Tensors are visited in descending dimension order.  A tensor whose
+    estimated inverse time is *smaller* than its broadcast time is made
+    NCT (cheaper for everyone to recompute than to wait for the wire);
+    otherwise it is placed on the least-loaded rank.
+
+    ``weight`` selects the load metric: ``"square"`` uses ``d^2``
+    (Eq. 25's balance target; also proportional to both cost models'
+    leading terms), ``"linear"`` uses ``d`` (the literal Line 10/13 of
+    the paper's Algorithm 1 listing).  The default follows Eq. 25.
+    """
+    dims = _check_inputs(dims, num_ranks)
+    if weight not in ("square", "linear"):
+        raise ValueError(f"weight must be 'square' or 'linear', got {weight!r}")
+
+    def load_of(d: int) -> float:
+        return float(d) ** 2 if weight == "square" else float(d)
+
+    order = sorted(range(len(dims)), key=lambda i: -dims[i])
+    load = np.zeros(num_ranks)
+    assignments: List[Tuple[int, ...]] = [()] * len(dims)
+    everyone = tuple(range(num_ranks))
+    for i in order:
+        d = dims[i]
+        t_comp = comp.time(d)
+        t_comm = comm.time_symmetric(d) if num_ranks > 1 else float("inf")
+        if t_comp < t_comm:
+            assignments[i] = everyone  # NCT: computed by all, never sent
+            load += load_of(d)
+        else:
+            rank = int(np.argmin(load))
+            assignments[i] = (rank,)
+            load[rank] += load_of(d)
+    return Placement(num_ranks, dims, tuple(assignments))

@@ -1,0 +1,60 @@
+"""Convenience training loop shared by examples and integration tests.
+
+Wraps any (model, optimizer, loss) triple behind ``fit``/``evaluate`` so
+examples don't re-implement the forward/backward/step dance, and records
+a loss history for convergence assertions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Protocol, Tuple
+
+import numpy as np
+
+from repro.nn import CrossEntropyLoss, Module
+
+
+class SteppableOptimizer(Protocol):
+    """Anything with ``zero_grad()`` and ``step()`` (SGD, KFAC, DistKFAC)."""
+
+    def zero_grad(self) -> None: ...
+
+    def step(self) -> None: ...
+
+
+@dataclass
+class Trainer:
+    """Mini training harness for classification models."""
+
+    model: Module
+    optimizer: SteppableOptimizer
+    loss_fn: CrossEntropyLoss = field(default_factory=CrossEntropyLoss)
+    history: List[float] = field(default_factory=list)
+
+    def train_step(self, x: np.ndarray, y: np.ndarray) -> float:
+        """One optimization step on a batch; returns the pre-step loss."""
+        self.optimizer.zero_grad()
+        value = self.loss_fn(self.model(x), y)
+        self.model.run_backward(self.loss_fn.backward())
+        self.optimizer.step()
+        self.history.append(value)
+        return value
+
+    def fit(self, batches: Iterable[Tuple[np.ndarray, np.ndarray]]) -> List[float]:
+        """Run one step per batch; returns the loss history of this call."""
+        start = len(self.history)
+        for x, y in batches:
+            self.train_step(x, y)
+        return self.history[start:]
+
+    def evaluate(self, x: np.ndarray, y: np.ndarray) -> Tuple[float, float]:
+        """(mean loss, accuracy) on held-out data, in eval mode."""
+        self.model.eval()
+        try:
+            logits = self.model(x)
+            loss = self.loss_fn(logits, y)
+            accuracy = float((logits.argmax(axis=1) == y).mean())
+        finally:
+            self.model.train()
+        return loss, accuracy

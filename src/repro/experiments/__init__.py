@@ -1,0 +1,26 @@
+"""Reproduction harness: one module per paper table/figure.
+
+Every module exposes ``run(profile=None) -> ExperimentResult`` returning
+the rows/series the paper reports, plus the paper's own values for
+side-by-side comparison.  ``python -m repro.experiments <id>`` prints any
+of them; ``python -m repro.experiments report`` regenerates
+EXPERIMENTS.md.
+
+==========  =================================================================
+``tab2``    Table II — model statistics
+``fig2``    Fig. 2  — iteration breakdown of the five training schemes
+``fig3``    Fig. 3  — Kronecker-factor tensor-size distribution
+``fig7``    Fig. 7  — all-reduce / broadcast communication model fits
+``fig8``    Fig. 8  — inverse computation model fit (real CPU Cholesky)
+``tab3``    Table III — wall-clock iteration time + speedups
+``fig9``    Fig. 9  — per-phase breakdowns of D/MPD/SPD-KFAC
+``fig10``   Fig. 10 — factor-communication pipelining strategies
+``fig11``   Fig. 11 — inverse-compute vs broadcast crossover
+``fig12``   Fig. 12 — inverse placement strategies
+``fig13``   Fig. 13 — ablation (+/-Pipe, +/-LBP)
+==========  =================================================================
+"""
+
+from repro.experiments.base import ExperimentResult, EXPERIMENTS, get_experiment
+
+__all__ = ["ExperimentResult", "EXPERIMENTS", "get_experiment"]

@@ -1,0 +1,44 @@
+"""CLI: ``python -m repro.experiments [ids...|all|report]``.
+
+Examples::
+
+    python -m repro.experiments tab3 fig12
+    python -m repro.experiments all
+    python -m repro.experiments report   # regenerate EXPERIMENTS.md body
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.base import EXPERIMENTS, get_experiment
+from repro.experiments.report import render_report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "ids",
+        nargs="+",
+        help=f"experiment ids ({', '.join(EXPERIMENTS)}), 'all', or 'report'",
+    )
+    args = parser.parse_args(argv)
+
+    if args.ids == ["report"]:
+        print(render_report())
+        return 0
+
+    ids = list(EXPERIMENTS) if args.ids == ["all"] else args.ids
+    for experiment_id in ids:
+        module = get_experiment(experiment_id)
+        print(module.run().to_text())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

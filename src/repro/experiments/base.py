@@ -1,0 +1,136 @@
+"""Shared experiment plumbing: result container, registry, cached runs."""
+
+from __future__ import annotations
+
+import functools
+import importlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.schedule import (
+    IterationResult,
+    build_dkfac_graph,
+    build_mpd_kfac_graph,
+    build_spd_kfac_graph,
+    run_iteration,
+)
+from repro.models import get_model_spec
+from repro.perf import ClusterPerfProfile, paper_cluster_profile
+
+#: Experiment id -> module path; order matches the paper's presentation.
+EXPERIMENTS: Dict[str, str] = {
+    "tab2": "repro.experiments.table2_models",
+    "fig2": "repro.experiments.fig02_breakdown",
+    "fig3": "repro.experiments.fig03_tensor_sizes",
+    "fig7": "repro.experiments.fig07_comm_models",
+    "fig8": "repro.experiments.fig08_inverse_model",
+    "tab3": "repro.experiments.table3_iteration",
+    "fig9": "repro.experiments.fig09_breakdowns",
+    "fig10": "repro.experiments.fig10_pipelining",
+    "fig11": "repro.experiments.fig11_crossover",
+    "fig12": "repro.experiments.fig12_placement",
+    "fig13": "repro.experiments.fig13_ablation",
+    # Extensions beyond the paper's artifacts (DESIGN.md §4 ablations):
+    "ext_scaling": "repro.experiments.ext_scaling",
+    "ext_planner": "repro.experiments.ext_planner_ablation",
+    "ext_convergence": "repro.experiments.ext_convergence",
+}
+
+PAPER_MODEL_NAMES = ("ResNet-50", "ResNet-152", "DenseNet-201", "Inception-v4")
+
+
+@dataclass
+class ExperimentResult:
+    """Rows of one reproduced table/figure plus the paper's reference data.
+
+    ``rows`` is a list of flat dicts (one per table row / bar / series
+    point).  ``notes`` records interpretation caveats that belong next to
+    the numbers (also surfaced into EXPERIMENTS.md).
+    """
+
+    experiment_id: str
+    title: str
+    columns: Sequence[str]
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def to_text(self) -> str:
+        """Render as an aligned text table (what the CLI prints)."""
+        header = [str(c) for c in self.columns]
+        body = [[_fmt(row.get(c, "")) for c in self.columns] for row in self.rows]
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [
+            f"== {self.experiment_id}: {self.title} ==",
+            "  ".join(h.ljust(w) for h, w in zip(header, widths)),
+            "  ".join("-" * w for w in widths),
+        ]
+        lines += ["  ".join(v.ljust(w) for v, w in zip(r, widths)) for r in body]
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """Render as a GitHub-flavoured markdown table (for EXPERIMENTS.md)."""
+        header = "| " + " | ".join(str(c) for c in self.columns) + " |"
+        sep = "|" + "|".join("---" for _ in self.columns) + "|"
+        body = [
+            "| " + " | ".join(_fmt(row.get(c, "")) for c in self.columns) + " |"
+            for row in self.rows
+        ]
+        out = [f"### {self.title}", "", header, sep, *body]
+        if self.notes:
+            out.append("")
+            out += [f"- {note}" for note in self.notes]
+        return "\n".join(out)
+
+    def column(self, name: str) -> List[object]:
+        """All values of one column, row order."""
+        return [row.get(name) for row in self.rows]
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def get_experiment(experiment_id: str):
+    """Import and return the experiment module for ``experiment_id``."""
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {experiment_id!r}; options: {sorted(EXPERIMENTS)}")
+    return importlib.import_module(EXPERIMENTS[experiment_id])
+
+
+def resolve_profile(profile: Optional[ClusterPerfProfile]) -> ClusterPerfProfile:
+    """Default every experiment to the paper's 64-GPU testbed profile."""
+    return profile if profile is not None else paper_cluster_profile()
+
+
+@functools.lru_cache(maxsize=None)
+def _cached_variant_results(model_name: str) -> Dict[str, IterationResult]:
+    """D/MPD/SPD iteration results on the paper profile (shared by
+    tab3, fig9 and fig13 to avoid re-simulating)."""
+    spec = get_model_spec(model_name)
+    profile = paper_cluster_profile()
+    return {
+        "D-KFAC": run_iteration(build_dkfac_graph(spec, profile), "D-KFAC", model_name),
+        "MPD-KFAC": run_iteration(build_mpd_kfac_graph(spec, profile), "MPD-KFAC", model_name),
+        "SPD-KFAC": run_iteration(build_spd_kfac_graph(spec, profile), "SPD-KFAC", model_name),
+    }
+
+
+def variant_results(
+    model_name: str, profile: Optional[ClusterPerfProfile] = None
+) -> Dict[str, IterationResult]:
+    """D/MPD/SPD results for one model (cached for the default profile)."""
+    if profile is None:
+        return _cached_variant_results(model_name)
+    spec = get_model_spec(model_name)
+    return {
+        "D-KFAC": run_iteration(build_dkfac_graph(spec, profile), "D-KFAC", model_name),
+        "MPD-KFAC": run_iteration(build_mpd_kfac_graph(spec, profile), "MPD-KFAC", model_name),
+        "SPD-KFAC": run_iteration(build_spd_kfac_graph(spec, profile), "SPD-KFAC", model_name),
+    }

@@ -1,0 +1,82 @@
+"""Extension: iterations-to-accuracy, K-FAC vs SGD (numerical, real).
+
+The paper's motivation (Section I, citing Osawa et al. [13]) is that
+second-order training reaches target accuracy in ~1/3 the iterations of
+SGD.  This experiment reproduces that *shape* at laptop scale: the same
+model and data stream trained with K-FAC and with SGD, measuring the
+iterations needed to reach a target held-out accuracy.
+
+Unlike the fig*/tab* experiments this one runs the actual numerical
+stack (repro.nn + repro.core.kfac) rather than the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core import KFACOptimizer, Trainer
+from repro.experiments.base import ExperimentResult
+from repro.models import make_mlp
+from repro.nn import SGD
+from repro.perf import ClusterPerfProfile
+from repro.workloads import gaussian_blobs, sharded_batches
+
+TARGET_ACCURACY = 0.99
+MAX_ITERATIONS = 150
+EVAL_EVERY = 2
+
+
+def _iterations_to_target(optimizer_name: str) -> dict:
+    import numpy as np
+
+    data = gaussian_blobs(512, 10, 3, scale_spread=8.0, rng=0)
+    x_all, y_all = data
+    x_all = x_all / np.abs(x_all).max() * 3.0
+    data = (x_all, y_all)
+
+    net = make_mlp(in_features=10, hidden=24, num_classes=3, rng=1)
+    if optimizer_name == "K-FAC":
+        optimizer = KFACOptimizer(
+            net, lr=0.3, damping=1e-2, stat_decay=0.9, kl_clip=1e-2
+        )
+    else:
+        optimizer = SGD(net.parameters(), lr=0.5, momentum=0.9)
+    trainer = Trainer(net, optimizer)
+    stream = sharded_batches(data, world_size=1, batch_size=64, rng=2)
+
+    reached = None
+    accuracy = 0.0
+    for iteration in range(1, MAX_ITERATIONS + 1):
+        (batch,) = next(stream)
+        trainer.train_step(*batch)
+        if iteration % EVAL_EVERY == 0:
+            _, accuracy = trainer.evaluate(x_all, y_all)
+            if accuracy >= TARGET_ACCURACY and reached is None:
+                reached = iteration
+                break
+    if reached is None:
+        _, accuracy = trainer.evaluate(x_all, y_all)
+    return {
+        "optimizer": optimizer_name,
+        "iters_to_99%": reached if reached is not None else f">{MAX_ITERATIONS}",
+        "final_accuracy": accuracy,
+    }
+
+
+def run(profile: Optional[ClusterPerfProfile] = None) -> ExperimentResult:
+    """Train with both optimizers; report iterations to target accuracy."""
+    del profile  # numerical experiment, no cluster involved
+    result = ExperimentResult(
+        experiment_id="ext_convergence",
+        title="Extension: iterations to 99% accuracy, K-FAC vs SGD",
+        columns=("optimizer", "iters_to_99%", "final_accuracy"),
+    )
+    kfac_row = _iterations_to_target("K-FAC")
+    sgd_row = _iterations_to_target("SGD")
+    result.rows.extend([kfac_row, sgd_row])
+    result.notes.append(
+        "Shape target (after [13], cited by the paper's introduction): "
+        "K-FAC reaches the target accuracy in substantially fewer "
+        "iterations than first-order SGD."
+    )
+    return result

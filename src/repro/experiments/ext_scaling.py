@@ -1,0 +1,55 @@
+"""Extension: iteration time vs cluster size (not a paper figure).
+
+The paper evaluates only its 64-GPU testbed; this sweep re-runs the three
+D-KFAC variants on ResNet-50 across cluster sizes (collective costs
+rescaled by the standard ring/tree analysis, see
+:func:`repro.perf.scaled_cluster_profile`).  Expected shape: SPD-KFAC's
+advantage grows with the cluster (more communication to hide and more
+GPUs to spread inverses over), and every variant degrades gracefully to
+single-GPU KFAC behaviour at P=1-ish scales.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.schedule import (
+    build_dkfac_graph,
+    build_mpd_kfac_graph,
+    build_spd_kfac_graph,
+    run_iteration,
+)
+from repro.experiments.base import ExperimentResult
+from repro.models import get_model_spec
+from repro.perf import ClusterPerfProfile, scaled_cluster_profile
+
+DEFAULT_CLUSTER_SIZES = (4, 8, 16, 32, 64, 128)
+
+
+def run(
+    profile: Optional[ClusterPerfProfile] = None,
+    cluster_sizes: Sequence[int] = DEFAULT_CLUSTER_SIZES,
+    model: str = "ResNet-50",
+) -> ExperimentResult:
+    """Sweep cluster sizes for one model (default ResNet-50)."""
+    del profile  # the sweep constructs its own per-P profiles
+    spec = get_model_spec(model)
+    result = ExperimentResult(
+        experiment_id="ext_scaling",
+        title=f"Extension: {model} iteration time vs cluster size",
+        columns=("GPUs", "D-KFAC", "MPD-KFAC", "SPD-KFAC", "SP1", "SP2"),
+    )
+    for num_gpus in cluster_sizes:
+        p = scaled_cluster_profile(num_gpus)
+        d = run_iteration(build_dkfac_graph(spec, p), "D-KFAC", model).iteration_time
+        m = run_iteration(build_mpd_kfac_graph(spec, p), "MPD-KFAC", model).iteration_time
+        s = run_iteration(build_spd_kfac_graph(spec, p), "SPD-KFAC", model).iteration_time
+        result.rows.append(
+            {"GPUs": num_gpus, "D-KFAC": d, "MPD-KFAC": m, "SPD-KFAC": s,
+             "SP1": d / s, "SP2": m / s}
+        )
+    result.notes.append(
+        "Expected shape: SP1 grows with cluster size (larger alpha terms "
+        "leave more communication for pipelining/LBP to remove)."
+    )
+    return result

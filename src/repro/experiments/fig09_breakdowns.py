@@ -1,0 +1,33 @@
+"""Fig. 9 — per-phase time breakdowns of D-KFAC / MPD-KFAC / SPD-KFAC."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.base import (
+    PAPER_MODEL_NAMES,
+    ExperimentResult,
+    variant_results,
+)
+from repro.perf import ClusterPerfProfile
+from repro.sim.timeline import PAPER_CATEGORIES
+
+
+def run(profile: Optional[ClusterPerfProfile] = None) -> ExperimentResult:
+    """Stacked breakdowns for the three D-KFAC variants on all four models."""
+    result = ExperimentResult(
+        experiment_id="fig9",
+        title="Fig. 9: time breakdowns of the D-KFAC variants (seconds)",
+        columns=("model", "algorithm", "total", *PAPER_CATEGORIES),
+    )
+    for name in PAPER_MODEL_NAMES:
+        for algorithm, res in variant_results(name, profile).items():
+            row = {"model": name, "algorithm": algorithm, "total": res.iteration_time}
+            row.update(res.categories())
+            result.rows.append(row)
+    result.notes.append(
+        "Shape targets: FF&BP/GradComm/FactorComp identical across variants "
+        "per model; SPD-KFAC hides most FactorComm; MPD-KFAC trades "
+        "InverseComp for a large InverseComm."
+    )
+    return result

@@ -1,0 +1,58 @@
+"""Fig. 11 — inverse-computation vs broadcast-communication crossover.
+
+Evaluates the paper's two fitted models (Eq. 26 and Eq. 27, RTX2080Ti /
+64-GPU constants) across the dimension range and locates the crossover:
+below it a tensor is cheaper to recompute everywhere (NCT), above it
+cheaper to compute once and broadcast (CT) — the decision rule of
+Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.base import ExperimentResult, resolve_profile
+from repro.perf import ClusterPerfProfile
+from repro.perf.models import CommModelLike, CompModelLike
+
+
+def find_crossover(
+    comp: CompModelLike, comm: CommModelLike, low: int = 64, high: int = 8192
+) -> Optional[int]:
+    """Smallest d in [low, high] where computing costs >= broadcasting.
+
+    Returns None when compute stays cheaper over the whole range.
+    """
+    if not 1 <= low <= high:
+        raise ValueError("need 1 <= low <= high")
+    for d in range(low, high + 1):
+        if comp.time(d) >= comm.time_symmetric(d):
+            return d
+    return None
+
+
+def run(profile: Optional[ClusterPerfProfile] = None) -> ExperimentResult:
+    """Tabulate both models over the paper's dimension grid."""
+    profile = resolve_profile(profile)
+    comp, comm = profile.inverse_estimator, profile.broadcast
+    result = ExperimentResult(
+        experiment_id="fig11",
+        title="Fig. 11: inverse-compute vs broadcast models (paper fits)",
+        columns=("d", "inverse(s)", "broadcast(s)", "cheaper"),
+    )
+    for d in (64, 256, 512, 1024, 2048, 3072, 4096, 6144, 8192):
+        t_comp, t_comm = comp.time(d), comm.time_symmetric(d)
+        result.rows.append(
+            {
+                "d": d,
+                "inverse(s)": t_comp,
+                "broadcast(s)": t_comm,
+                "cheaper": "compute (NCT)" if t_comp < t_comm else "broadcast (CT)",
+            }
+        )
+    crossover = find_crossover(comp, comm)
+    result.notes.append(
+        f"Crossover at d ~= {crossover}: tensors below it should be NCT "
+        "(Fig. 11 shows the same mid-range crossover)."
+    )
+    return result

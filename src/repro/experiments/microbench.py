@@ -1,0 +1,99 @@
+"""Synthetic measurement harness for the calibration experiments.
+
+The paper estimates its model constants from one-time benchmark sweeps on
+the 64-GPU testbed (Section VI-B).  We cannot time NCCL collectives here,
+so the *collective* sweeps are emulated: ground-truth cost model plus
+multiplicative measurement noise, which exercises the same fitting path
+the paper used and lets tests assert that the fitters recover the
+constants.  The *inverse* sweep is real: we time
+:func:`repro.core.kfac.damped_inverse` (the same Cholesky-inverse the
+optimizer runs) on this machine's CPU.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.kfac import damped_inverse
+from repro.perf.models import LinearCommModel
+from repro.utils.rng import SeedLike, new_rng
+
+
+def emulated_collective_sweep(
+    model: LinearCommModel,
+    sizes: Sequence[int],
+    noise: float = 0.03,
+    rng: SeedLike = 0,
+) -> List[float]:
+    """Emulate timing a collective at each message size.
+
+    Multiplicative log-normal-ish noise models run-to-run variance; the
+    paper averaged 100 runs per point, so a few percent is realistic.
+    """
+    if noise < 0:
+        raise ValueError("noise must be >= 0")
+    rng = new_rng(rng)
+    return [
+        model.time(m) * float(1.0 + rng.normal(0.0, noise)) for m in sizes
+    ]
+
+
+def measure_inverse_times(
+    dims: Sequence[int], repeats: int = 3, rng: SeedLike = 0
+) -> List[float]:
+    """Time real damped Cholesky inverses of random SPD matrices (CPU).
+
+    Returns the best-of-``repeats`` wall time per dimension (best-of is
+    the standard way to suppress scheduler noise in microbenchmarks).
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    rng = new_rng(rng)
+    times: List[float] = []
+    for d in dims:
+        root = rng.normal(size=(d, d))
+        spd = root @ root.T / d + np.eye(d)
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            damped_inverse(spd, damping=1e-2)
+            best = min(best, time.perf_counter() - start)
+        times.append(best)
+    return times
+
+
+def measurement_grid(
+    low: int, high: int, points: int, log_spaced: bool = True
+) -> List[int]:
+    """Sweep grid like the paper's ([1M, 512M] elements; d in [64, 8192])."""
+    if points < 2 or low < 1 or high <= low:
+        raise ValueError("need points >= 2 and 1 <= low < high")
+    if log_spaced:
+        values = np.logspace(np.log10(low), np.log10(high), points)
+    else:
+        values = np.linspace(low, high, points)
+    return sorted({int(round(v)) for v in values})
+
+
+def fit_quality(measured: Sequence[float], predicted: Sequence[float]) -> float:
+    """R^2 of predictions against measurements (1.0 = perfect)."""
+    y = np.asarray(measured, dtype=float)
+    f = np.asarray(predicted, dtype=float)
+    if y.shape != f.shape or y.size < 2:
+        raise ValueError("measured and predicted must be equal-length, size >= 2")
+    ss_res = float(((y - f) ** 2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def paper_message_grid() -> Tuple[List[int], List[int]]:
+    """The paper's sweep ranges: (collective elements, inverse dims)."""
+    return (
+        measurement_grid(1 << 20, 512 << 20, 10),
+        measurement_grid(64, 8192, 8),
+    )

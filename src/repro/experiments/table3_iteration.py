@@ -1,0 +1,58 @@
+"""Table III — average iteration wall-clock time and speedups.
+
+SP1 = D-KFAC / SPD-KFAC, SP2 = MPD-KFAC / SPD-KFAC, per the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.base import (
+    PAPER_MODEL_NAMES,
+    ExperimentResult,
+    variant_results,
+)
+from repro.perf import ClusterPerfProfile
+
+#: The paper's Table III (seconds): model -> (D-KFAC, MPD-KFAC, SPD-KFAC).
+PAPER_TABLE3 = {
+    "ResNet-50": (0.8525, 0.7635, 0.6755),
+    "ResNet-152": (1.5807, 1.3933, 1.1689),
+    "DenseNet-201": (1.4964, 1.5340, 1.3615),
+    "Inception-v4": (1.1857, 1.1473, 0.9907),
+}
+
+
+def run(profile: Optional[ClusterPerfProfile] = None) -> ExperimentResult:
+    """Simulate one iteration of each variant on each model."""
+    result = ExperimentResult(
+        experiment_id="tab3",
+        title="Table III: iteration time (s) and speedups",
+        columns=(
+            "model", "D-KFAC", "MPD-KFAC", "SPD-KFAC", "SP1", "SP2",
+            "paper_SP1", "paper_SP2",
+        ),
+    )
+    for name in PAPER_MODEL_NAMES:
+        res = variant_results(name, profile)
+        d = res["D-KFAC"].iteration_time
+        m = res["MPD-KFAC"].iteration_time
+        s = res["SPD-KFAC"].iteration_time
+        paper_d, paper_m, paper_s = PAPER_TABLE3[name]
+        result.rows.append(
+            {
+                "model": name,
+                "D-KFAC": d,
+                "MPD-KFAC": m,
+                "SPD-KFAC": s,
+                "SP1": d / s,
+                "SP2": m / s,
+                "paper_SP1": paper_d / paper_s,
+                "paper_SP2": paper_m / paper_s,
+            }
+        )
+    result.notes.append(
+        "Shape targets: SPD-KFAC fastest on every model; MPD-KFAC slower "
+        "than D-KFAC on DenseNet-201 (the paper's broadcast-overhead case)."
+    )
+    return result

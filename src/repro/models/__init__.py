@@ -1,0 +1,41 @@
+"""Model zoo: architecture specs for the paper's CNNs + small trainable nets.
+
+Every experiment in the paper depends on the per-layer *Kronecker
+dimensions* of the evaluated CNNs (factor sizes drive communication
+traffic and inverse cost) and per-layer FLOPs (compute times).  The
+:class:`~repro.models.spec.ModelSpec` tables built here encode exactly
+that, for the four models of Table II:
+
+========== ======== ========= ===========
+model      # layers batch size  source
+========== ======== ========= ===========
+ResNet-50       54        32   He et al. 2016
+ResNet-152     156         8   He et al. 2016
+DenseNet-201   201        16   Huang et al. 2017
+Inception-v4   150        16   Szegedy et al. 2017
+========== ======== ========= ===========
+
+The small nets in :mod:`repro.models.small` are real, trainable
+:class:`repro.nn.Module` networks used for the numerical K-FAC validation.
+"""
+
+from repro.models.spec import LayerSpec, ModelSpec
+from repro.models.resnet import resnet50_spec, resnet152_spec
+from repro.models.densenet import densenet201_spec
+from repro.models.inception import inceptionv4_spec
+from repro.models.small import make_mlp, make_small_cnn, make_residual_mlp
+from repro.models.catalog import PAPER_MODELS, get_model_spec
+
+__all__ = [
+    "LayerSpec",
+    "ModelSpec",
+    "resnet50_spec",
+    "resnet152_spec",
+    "densenet201_spec",
+    "inceptionv4_spec",
+    "make_mlp",
+    "make_small_cnn",
+    "make_residual_mlp",
+    "PAPER_MODELS",
+    "get_model_spec",
+]

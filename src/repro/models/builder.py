@@ -1,0 +1,115 @@
+"""Helper for constructing :class:`ModelSpec` tables layer by layer.
+
+Tracks the spatial resolution through the network so each
+:class:`LayerSpec` records its output spatial extent (needed for FLOPs
+and factor-construction costs); channel bookkeeping stays at the call
+sites where the architecture is described.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Tuple, Union
+
+from repro.models.spec import LayerSpec, ModelSpec
+
+PaddingLike = Union[str, int, Tuple[int, int]]
+
+
+def _axis_out(size: int, kernel: int, stride: int, padding: PaddingLike) -> int:
+    if padding == "same":
+        return math.ceil(size / stride)
+    if padding == "valid":
+        pad = 0
+    elif isinstance(padding, int):
+        pad = padding
+    else:
+        raise ValueError(f"unsupported padding {padding!r}")
+    out = (size + 2 * pad - kernel) // stride + 1
+    if out < 1:
+        raise ValueError(f"layer produces empty output: size={size} kernel={kernel} stride={stride}")
+    return out
+
+
+@dataclass
+class SpecBuilder:
+    """Accumulates layers while tracking the running spatial resolution."""
+
+    model_name: str
+    batch_size: int
+    input_size: int
+    layers: List[LayerSpec] = field(default_factory=list)
+    extra_params: int = 0
+
+    def __post_init__(self) -> None:
+        self._h = self.input_size
+        self._w = self.input_size
+
+    @property
+    def spatial(self) -> Tuple[int, int]:
+        """Current (H, W) resolution."""
+        return (self._h, self._w)
+
+    def conv(
+        self,
+        name: str,
+        in_ch: int,
+        out_ch: int,
+        kernel: Union[int, Tuple[int, int]],
+        stride: int = 1,
+        padding: PaddingLike = "same",
+        batch_norm: bool = True,
+        update_spatial: bool = True,
+    ) -> LayerSpec:
+        """Append a conv layer; returns its spec.
+
+        ``update_spatial=False`` records a parallel branch without
+        advancing the trunk resolution (used inside Inception cells,
+        where only the cell as a whole changes resolution).
+        """
+        kh, kw = (kernel, kernel) if isinstance(kernel, int) else kernel
+        h_out = _axis_out(self._h, kh, stride, padding)
+        w_out = _axis_out(self._w, kw, stride, padding)
+        spec = LayerSpec(
+            name=name,
+            kind="conv",
+            in_dim=in_ch,
+            out_dim=out_ch,
+            kernel=(kh, kw),
+            spatial_out=h_out * w_out,
+            has_bias=False,
+        )
+        self.layers.append(spec)
+        if batch_norm:
+            self.extra_params += 2 * out_ch
+        if update_spatial:
+            self._h, self._w = h_out, w_out
+        return spec
+
+    def pool(self, kernel: int, stride: int, padding: PaddingLike = "valid") -> None:
+        """Record a (parameter-free) pooling layer's effect on resolution."""
+        self._h = _axis_out(self._h, kernel, stride, padding)
+        self._w = _axis_out(self._w, kernel, stride, padding)
+
+    def set_spatial(self, h: int, w: int) -> None:
+        """Force the trunk resolution (after a multi-branch cell)."""
+        self._h, self._w = h, w
+
+    def linear(self, name: str, in_features: int, out_features: int, bias: bool = True) -> LayerSpec:
+        """Append a fully-connected layer."""
+        spec = LayerSpec(
+            name=name, kind="linear", in_dim=in_features, out_dim=out_features, has_bias=bias
+        )
+        self.layers.append(spec)
+        return spec
+
+    def build(self) -> ModelSpec:
+        """Finalize into an immutable :class:`ModelSpec`."""
+        return ModelSpec(
+            name=self.model_name,
+            layers=tuple(self.layers),
+            batch_size=self.batch_size,
+            input_size=self.input_size,
+            extra_params=self.extra_params,
+        )

@@ -1,0 +1,26 @@
+"""Registry of the paper's evaluated models (Table II)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.models.densenet import densenet201_spec
+from repro.models.inception import inceptionv4_spec
+from repro.models.resnet import resnet50_spec, resnet152_spec
+from repro.models.spec import ModelSpec
+
+#: Canonical name -> spec factory, in the paper's table order.
+PAPER_MODELS: Dict[str, Callable[[], ModelSpec]] = {
+    "ResNet-50": resnet50_spec,
+    "ResNet-152": resnet152_spec,
+    "DenseNet-201": densenet201_spec,
+    "Inception-v4": inceptionv4_spec,
+}
+
+
+def get_model_spec(name: str) -> ModelSpec:
+    """Build the spec for one of the paper's models by (case-insensitive) name."""
+    for key, factory in PAPER_MODELS.items():
+        if key.lower() == name.lower():
+            return factory()
+    raise KeyError(f"unknown model {name!r}; available: {sorted(PAPER_MODELS)}")

@@ -1,0 +1,37 @@
+"""DenseNet-201 layer spec (Huang et al., CVPR 2017).
+
+Growth rate k=32, bottleneck width 4k=128, block config [6, 12, 48, 32]:
+1 stem conv + 2x98 dense-layer convs + 3 transition convs + fc = 201
+K-FAC layers, matching Table II.
+"""
+
+from __future__ import annotations
+
+from repro.models.builder import SpecBuilder
+from repro.models.spec import ModelSpec
+
+GROWTH_RATE = 32
+BOTTLENECK_WIDTH = 4 * GROWTH_RATE
+BLOCK_CONFIG = (6, 12, 48, 32)
+
+
+def densenet201_spec() -> ModelSpec:
+    """DenseNet-201 with the paper's per-GPU batch size 16 (Table II)."""
+    b = SpecBuilder(model_name="DenseNet-201", batch_size=16, input_size=224)
+    b.conv("conv1", 3, 64, kernel=7, stride=2, padding=3)
+    b.pool(kernel=3, stride=2, padding=1)
+
+    channels = 64
+    for block_idx, num_layers in enumerate(BLOCK_CONFIG, start=1):
+        for layer_idx in range(num_layers):
+            prefix = f"block{block_idx}.layer{layer_idx}"
+            b.conv(f"{prefix}.conv1x1", channels, BOTTLENECK_WIDTH, kernel=1, stride=1, padding=0)
+            b.conv(f"{prefix}.conv3x3", BOTTLENECK_WIDTH, GROWTH_RATE, kernel=3, stride=1, padding=1)
+            channels += GROWTH_RATE
+        if block_idx < len(BLOCK_CONFIG):
+            channels //= 2
+            b.conv(f"transition{block_idx}", channels * 2, channels, kernel=1, stride=1, padding=0)
+            b.pool(kernel=2, stride=2)
+
+    b.linear("fc", channels, 1000, bias=True)
+    return b.build()

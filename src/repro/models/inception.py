@@ -1,0 +1,91 @@
+"""Inception-v4 layer spec (Szegedy et al., AAAI 2017).
+
+Conv counts per component: stem 11, 4x Inception-A (7 each), Reduction-A
+4, 7x Inception-B (10 each), Reduction-B 6, 3x Inception-C (10 each),
+plus the classifier: 11 + 28 + 4 + 70 + 6 + 30 + 1(fc) = 150 K-FAC
+layers, matching Table II.  The canonical input resolution is 299x299;
+Kronecker dimensions are resolution-independent, only per-layer FLOPs
+scale with it.
+"""
+
+from __future__ import annotations
+
+from repro.models.builder import SpecBuilder
+from repro.models.spec import ModelSpec
+
+
+def inceptionv4_spec() -> ModelSpec:
+    """Inception-v4 with the paper's per-GPU batch size 16 (Table II)."""
+    b = SpecBuilder(model_name="Inception-v4", batch_size=16, input_size=299)
+
+    # -- stem (11 convs) ------------------------------------------------------
+    b.conv("stem.conv1", 3, 32, kernel=3, stride=2, padding="valid")  # 149
+    b.conv("stem.conv2", 32, 32, kernel=3, padding="valid")  # 147
+    b.conv("stem.conv3", 32, 64, kernel=3, padding=1)  # 147
+    # mixed 3a: maxpool || conv stride 2 -> 73, concat 64+96=160
+    b.conv("stem.mixed3a.conv", 64, 96, kernel=3, stride=2, padding="valid")
+    # mixed 4a, two branches at 73x73, both ending 96 channels (concat 192)
+    b.conv("stem.mixed4a.b1.conv1x1", 160, 64, kernel=1, update_spatial=False)
+    b.conv("stem.mixed4a.b1.conv3x3", 64, 96, kernel=3, padding="valid", update_spatial=False)
+    b.conv("stem.mixed4a.b2.conv1x1", 160, 64, kernel=1, update_spatial=False)
+    b.conv("stem.mixed4a.b2.conv1x7", 64, 64, kernel=(1, 7), update_spatial=False)
+    b.conv("stem.mixed4a.b2.conv7x1", 64, 64, kernel=(7, 1), update_spatial=False)
+    b.conv("stem.mixed4a.b2.conv3x3", 64, 96, kernel=3, padding="valid")
+    # mixed 5a: conv stride 2 || maxpool -> 35 (at 299 input), concat 384
+    b.conv("stem.mixed5a.conv", 192, 192, kernel=3, stride=2, padding="valid")
+
+    # -- 4x Inception-A at 384 channels (7 convs each) -------------------------
+    for i in range(4):
+        p = f"inceptionA{i}"
+        b.conv(f"{p}.b1.conv1x1", 384, 96, kernel=1, update_spatial=False)
+        b.conv(f"{p}.b2.conv1x1", 384, 64, kernel=1, update_spatial=False)
+        b.conv(f"{p}.b2.conv3x3", 64, 96, kernel=3, update_spatial=False)
+        b.conv(f"{p}.b3.conv1x1", 384, 64, kernel=1, update_spatial=False)
+        b.conv(f"{p}.b3.conv3x3a", 64, 96, kernel=3, update_spatial=False)
+        b.conv(f"{p}.b3.conv3x3b", 96, 96, kernel=3, update_spatial=False)
+        b.conv(f"{p}.b4.conv1x1", 384, 96, kernel=1, update_spatial=False)
+
+    # -- Reduction-A: 384 -> 1024 (4 convs) ------------------------------------
+    b.conv("reductionA.b1.conv3x3", 384, 384, kernel=3, stride=2, padding="valid", update_spatial=False)
+    b.conv("reductionA.b2.conv1x1", 384, 192, kernel=1, update_spatial=False)
+    b.conv("reductionA.b2.conv3x3a", 192, 224, kernel=3, update_spatial=False)
+    b.conv("reductionA.b2.conv3x3b", 224, 256, kernel=3, stride=2, padding="valid")
+
+    # -- 7x Inception-B at 1024 channels (10 convs each) ------------------------
+    for i in range(7):
+        p = f"inceptionB{i}"
+        b.conv(f"{p}.b1.conv1x1", 1024, 384, kernel=1, update_spatial=False)
+        b.conv(f"{p}.b2.conv1x1", 1024, 192, kernel=1, update_spatial=False)
+        b.conv(f"{p}.b2.conv1x7", 192, 224, kernel=(1, 7), update_spatial=False)
+        b.conv(f"{p}.b2.conv7x1", 224, 256, kernel=(7, 1), update_spatial=False)
+        b.conv(f"{p}.b3.conv1x1", 1024, 192, kernel=1, update_spatial=False)
+        b.conv(f"{p}.b3.conv7x1a", 192, 192, kernel=(7, 1), update_spatial=False)
+        b.conv(f"{p}.b3.conv1x7a", 192, 224, kernel=(1, 7), update_spatial=False)
+        b.conv(f"{p}.b3.conv7x1b", 224, 224, kernel=(7, 1), update_spatial=False)
+        b.conv(f"{p}.b3.conv1x7b", 224, 256, kernel=(1, 7), update_spatial=False)
+        b.conv(f"{p}.b4.conv1x1", 1024, 128, kernel=1, update_spatial=False)
+
+    # -- Reduction-B: 1024 -> 1536 (6 convs) ------------------------------------
+    b.conv("reductionB.b1.conv1x1", 1024, 192, kernel=1, update_spatial=False)
+    b.conv("reductionB.b1.conv3x3", 192, 192, kernel=3, stride=2, padding="valid", update_spatial=False)
+    b.conv("reductionB.b2.conv1x1", 1024, 256, kernel=1, update_spatial=False)
+    b.conv("reductionB.b2.conv1x7", 256, 256, kernel=(1, 7), update_spatial=False)
+    b.conv("reductionB.b2.conv7x1", 256, 320, kernel=(7, 1), update_spatial=False)
+    b.conv("reductionB.b2.conv3x3", 320, 320, kernel=3, stride=2, padding="valid")
+
+    # -- 3x Inception-C at 1536 channels (10 convs each) -------------------------
+    for i in range(3):
+        p = f"inceptionC{i}"
+        b.conv(f"{p}.b1.conv1x1", 1536, 256, kernel=1, update_spatial=False)
+        b.conv(f"{p}.b2.conv1x1", 1536, 384, kernel=1, update_spatial=False)
+        b.conv(f"{p}.b2.conv1x3", 384, 256, kernel=(1, 3), update_spatial=False)
+        b.conv(f"{p}.b2.conv3x1", 384, 256, kernel=(3, 1), update_spatial=False)
+        b.conv(f"{p}.b3.conv1x1", 1536, 384, kernel=1, update_spatial=False)
+        b.conv(f"{p}.b3.conv1x3", 384, 448, kernel=(1, 3), update_spatial=False)
+        b.conv(f"{p}.b3.conv3x1", 448, 512, kernel=(3, 1), update_spatial=False)
+        b.conv(f"{p}.b3.conv3x1out", 512, 256, kernel=(3, 1), update_spatial=False)
+        b.conv(f"{p}.b3.conv1x3out", 512, 256, kernel=(1, 3), update_spatial=False)
+        b.conv(f"{p}.b4.conv1x1", 1536, 256, kernel=1, update_spatial=False)
+
+    b.linear("fc", 1536, 1000, bias=True)
+    return b.build()

@@ -1,0 +1,57 @@
+"""ResNet-50 / ResNet-152 layer specs (He et al., CVPR 2016).
+
+Bottleneck counts: ResNet-50 uses blocks [3, 4, 6, 3] (53 convs + fc =
+54 K-FAC layers), ResNet-152 uses [3, 8, 36, 3] (155 convs + fc = 156),
+matching Table II of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.models.builder import SpecBuilder
+from repro.models.spec import ModelSpec
+
+
+def _resnet_spec(name: str, blocks: Sequence[int], batch_size: int) -> ModelSpec:
+    b = SpecBuilder(model_name=name, batch_size=batch_size, input_size=224)
+    b.conv("conv1", 3, 64, kernel=7, stride=2, padding=3)
+    b.pool(kernel=3, stride=2, padding=1)
+
+    in_ch = 64
+    stage_mids = (64, 128, 256, 512)
+    for stage, (mid, num_blocks) in enumerate(zip(stage_mids, blocks), start=1):
+        out_ch = mid * 4
+        for block in range(num_blocks):
+            stride = 2 if (stage > 1 and block == 0) else 1
+            prefix = f"stage{stage}.block{block}"
+            b.conv(f"{prefix}.conv1", in_ch, mid, kernel=1, stride=1, padding=0)
+            b.conv(f"{prefix}.conv2", mid, mid, kernel=3, stride=stride, padding=1)
+            b.conv(f"{prefix}.conv3", mid, out_ch, kernel=1, stride=1, padding=0)
+            if block == 0:
+                # Projection shortcut runs in parallel with the main path
+                # at the *input* resolution of the block; it does not
+                # advance the trunk (already advanced by conv2's stride).
+                b.conv(
+                    f"{prefix}.downsample",
+                    in_ch,
+                    out_ch,
+                    kernel=1,
+                    stride=1,
+                    padding=0,
+                    update_spatial=False,
+                )
+            in_ch = out_ch
+
+    b.linear("fc", 2048, 1000, bias=True)
+    return b.build()
+
+
+def resnet50_spec() -> ModelSpec:
+    """ResNet-50 with the paper's per-GPU batch size 32 (Table II)."""
+    return _resnet_spec("ResNet-50", blocks=(3, 4, 6, 3), batch_size=32)
+
+
+def resnet152_spec() -> ModelSpec:
+    """ResNet-152 with the paper's per-GPU batch size 8 (Table II)."""
+    return _resnet_spec("ResNet-152", blocks=(3, 8, 36, 3), batch_size=8)

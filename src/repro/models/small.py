@@ -1,0 +1,76 @@
+"""Small trainable networks used for the numerical K-FAC validation.
+
+These are real :class:`repro.nn.Module` networks sized so that exact
+Fisher-block computations and multi-rank distributed steps run in
+milliseconds inside tests.
+"""
+
+from __future__ import annotations
+
+from repro.nn import (
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool2d,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Residual,
+    Sequential,
+    Tanh,
+)
+from repro.utils.rng import SeedLike, new_rng
+
+
+def make_mlp(
+    in_features: int = 10,
+    hidden: int = 16,
+    num_classes: int = 3,
+    depth: int = 2,
+    rng: SeedLike = None,
+) -> Sequential:
+    """Fully-connected classifier with ``depth`` hidden layers."""
+    rng = new_rng(rng)
+    layers = [Linear(in_features, hidden, rng=rng), ReLU()]
+    for _ in range(depth - 1):
+        layers += [Linear(hidden, hidden, rng=rng), ReLU()]
+    layers.append(Linear(hidden, num_classes, rng=rng))
+    return Sequential(*layers)
+
+
+def make_small_cnn(
+    in_channels: int = 1,
+    num_classes: int = 4,
+    image_size: int = 8,
+    rng: SeedLike = None,
+) -> Sequential:
+    """Tiny conv net: two conv blocks, global pooling, linear head."""
+    rng = new_rng(rng)
+    del image_size  # architecture is resolution-agnostic
+    return Sequential(
+        Conv2d(in_channels, 8, kernel_size=3, padding=1, rng=rng),
+        BatchNorm2d(8),
+        ReLU(),
+        Conv2d(8, 16, kernel_size=3, stride=2, padding=1, rng=rng),
+        ReLU(),
+        GlobalAvgPool2d(),
+        Linear(16, num_classes, rng=rng),
+    )
+
+
+def make_residual_mlp(
+    in_features: int = 10,
+    hidden: int = 16,
+    num_classes: int = 3,
+    rng: SeedLike = None,
+) -> Sequential:
+    """MLP with one residual block, exercising non-chain topologies."""
+    rng = new_rng(rng)
+    block = Sequential(Linear(hidden, hidden, rng=rng), Tanh(), Linear(hidden, hidden, rng=rng))
+    return Sequential(
+        Linear(in_features, hidden, rng=rng),
+        ReLU(),
+        Residual(block),
+        ReLU(),
+        Linear(hidden, num_classes, rng=rng),
+    )

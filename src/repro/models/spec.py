@@ -1,0 +1,170 @@
+"""Layer- and model-level dimension specs.
+
+A :class:`LayerSpec` captures everything the schedulers and cost models
+need to know about one K-FAC-preconditioned layer:
+
+* ``a_dim`` — side of the Kronecker factor ``A_{l-1}``: for a conv layer
+  this is ``C_in * kh * kw`` (the KFC patch expansion, Grosse & Martens),
+  plus one if the layer has a bias (homogeneous coordinate); for a linear
+  layer ``in_features (+1)``.
+* ``g_dim`` — side of ``G_l``: the number of output channels/features.
+* per-sample forward FLOPs and factor-construction FLOPs.
+
+The paper's Fig. 3 (tensor-size distribution), Table II (#A/#G elements)
+and all communication volumes derive from these numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.perf.models import symmetric_elements
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """Dimensions of one K-FAC layer (conv or linear).
+
+    ``spatial_out`` is the number of output spatial positions per sample
+    (``H_out * W_out``; 1 for linear layers): it scales both the conv
+    GEMM FLOPs and the number of rows entering the ``A``/``G`` factor
+    products.
+    """
+
+    name: str
+    kind: str  # "conv" | "linear"
+    in_dim: int  # C_in (conv) or in_features (linear)
+    out_dim: int  # C_out (conv) or out_features (linear)
+    kernel: Tuple[int, int] = (1, 1)
+    spatial_out: int = 1
+    has_bias: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("conv", "linear"):
+            raise ValueError(f"kind must be 'conv' or 'linear', got {self.kind!r}")
+        if min(self.in_dim, self.out_dim, self.spatial_out) < 1:
+            raise ValueError(f"invalid dimensions in layer {self.name!r}")
+        if min(self.kernel) < 1:
+            raise ValueError(f"invalid kernel in layer {self.name!r}")
+        if self.kind == "linear" and (self.kernel != (1, 1) or self.spatial_out != 1):
+            raise ValueError(f"linear layer {self.name!r} cannot have kernel/spatial extent")
+
+    # -- Kronecker dimensions ------------------------------------------------
+
+    @property
+    def a_dim(self) -> int:
+        """Side of the Kronecker factor ``A_{l-1}``."""
+        base = self.in_dim * self.kernel[0] * self.kernel[1]
+        return base + 1 if self.has_bias else base
+
+    @property
+    def g_dim(self) -> int:
+        """Side of the Kronecker factor ``G_l``."""
+        return self.out_dim
+
+    @property
+    def a_elements(self) -> int:
+        """Communicated elements of the symmetric ``A`` factor."""
+        return symmetric_elements(self.a_dim)
+
+    @property
+    def g_elements(self) -> int:
+        """Communicated elements of the symmetric ``G`` factor."""
+        return symmetric_elements(self.g_dim)
+
+    # -- parameter & FLOPs accounting -----------------------------------------
+
+    @property
+    def num_params(self) -> int:
+        """Trainable parameters (weights + bias)."""
+        weights = self.in_dim * self.out_dim * self.kernel[0] * self.kernel[1]
+        return weights + (self.out_dim if self.has_bias else 0)
+
+    @property
+    def forward_flops(self) -> float:
+        """Per-sample forward multiply-add FLOPs (2 per MAC)."""
+        macs = self.in_dim * self.kernel[0] * self.kernel[1] * self.out_dim * self.spatial_out
+        return 2.0 * macs
+
+    @property
+    def backward_flops(self) -> float:
+        """Per-sample backward FLOPs (grad-input + grad-weight GEMMs ~ 2x fwd)."""
+        return 2.0 * self.forward_flops
+
+    def factor_a_flops(self, batch_size: int) -> float:
+        """FLOPs of ``A = Omega^T Omega`` over a batch (Eq. 7 expansion)."""
+        rows = batch_size * self.spatial_out
+        return 2.0 * rows * self.a_dim**2
+
+    def factor_g_flops(self, batch_size: int) -> float:
+        """FLOPs of ``G = g^T g`` over a batch (Eq. 8 expansion)."""
+        rows = batch_size * self.spatial_out
+        return 2.0 * rows * self.g_dim**2
+
+    def precondition_flops(self) -> float:
+        """FLOPs of ``G^{-1} grad A^{-1}`` for this layer."""
+        rows, cols = self.g_dim, self.a_dim
+        return 2.0 * (rows * rows * cols + rows * cols * cols)
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Ordered K-FAC layer table for one CNN.
+
+    ``layers`` are in forward-traversal order — the order the factors
+    ``A_0 .. A_{L-1}`` become available during the forward pass; the
+    ``G_L .. G_1`` order of the backward pass is the reverse.
+    """
+
+    name: str
+    layers: Tuple[LayerSpec, ...]
+    batch_size: int
+    input_size: int = 224
+    extra_params: int = 0  # non-K-FAC parameters (BatchNorm scales/shifts)
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise ValueError("a model needs at least one layer")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+
+    @property
+    def num_layers(self) -> int:
+        """Number of K-FAC-preconditioned layers (Table II '# Layers')."""
+        return len(self.layers)
+
+    @property
+    def num_params(self) -> int:
+        """Total trainable parameters, including non-K-FAC ones."""
+        return sum(layer.num_params for layer in self.layers) + self.extra_params
+
+    @property
+    def total_a_elements(self) -> int:
+        """Table II '# As': upper-triangle elements over all ``A`` factors."""
+        return sum(layer.a_elements for layer in self.layers)
+
+    @property
+    def total_g_elements(self) -> int:
+        """Table II '# Gs': upper-triangle elements over all ``G`` factors."""
+        return sum(layer.g_elements for layer in self.layers)
+
+    def factor_dims(self) -> List[int]:
+        """All 2L Kronecker dimensions, interleaved [a_1, g_1, a_2, g_2, ...]."""
+        dims: List[int] = []
+        for layer in self.layers:
+            dims.append(layer.a_dim)
+            dims.append(layer.g_dim)
+        return dims
+
+    def tensor_size_distribution(self) -> List[int]:
+        """Communicated element count of every factor (Fig. 3 scatter data)."""
+        sizes: List[int] = []
+        for layer in self.layers:
+            sizes.append(layer.a_elements)
+            sizes.append(layer.g_elements)
+        return sizes
+
+    def forward_flops(self) -> float:
+        """Per-sample forward FLOPs over all K-FAC layers."""
+        return sum(layer.forward_flops for layer in self.layers)

@@ -1,0 +1,48 @@
+"""Minimal NumPy neural-network substrate with PyTorch-style hooks.
+
+This package replaces PyTorch for the *numerical* side of the
+reproduction.  It provides exactly what the paper's ``SPDKFACOptimizer``
+implementation needs (Section V-A):
+
+* layer modules that cache their inputs and output-gradients,
+* ``register_forward_pre_hook`` — fires before a layer's forward pass,
+  where the Kronecker factor ``A_{l-1}`` is computed,
+* ``register_backward_hook`` — fires after a layer's backward pass, where
+  ``G_l`` is computed,
+* plain-SGD parameter updates for baselines.
+
+Only small models are trained numerically (the paper-scale CNNs exist as
+dimension specs for the simulator; see DESIGN.md §2), so clarity beats
+throughput here; conv uses im2col.
+"""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.linear import Linear
+from repro.nn.conv import Conv2d
+from repro.nn.activations import ReLU, Tanh
+from repro.nn.dropout import Dropout
+from repro.nn.norm import BatchNorm2d
+from repro.nn.pooling import AvgPool2d, Flatten, GlobalAvgPool2d, MaxPool2d
+from repro.nn.container import Residual, Sequential
+from repro.nn.loss import CrossEntropyLoss, MSELoss
+from repro.nn.sgd import SGD
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "Conv2d",
+    "ReLU",
+    "Tanh",
+    "Dropout",
+    "BatchNorm2d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Flatten",
+    "Sequential",
+    "Residual",
+    "CrossEntropyLoss",
+    "MSELoss",
+    "SGD",
+]

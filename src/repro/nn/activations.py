@@ -1,0 +1,43 @@
+"""Elementwise activation layers."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return np.where(self._mask, grad_output, 0.0)
+
+
+class Tanh(Module):
+    """Hyperbolic tangent."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._out: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._out = np.tanh(x)
+        return self._out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output * (1.0 - self._out**2)

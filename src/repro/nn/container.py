@@ -1,0 +1,60 @@
+"""Composite modules: Sequential and Residual."""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+class Sequential(Module):
+    """Chain of modules applied in order; backward runs in reverse.
+
+    ``run_backward`` is used on children so their backward hooks fire —
+    this is what lets a K-FAC optimizer attached to a deep model observe
+    every layer's output gradient in backward order (last layer first),
+    matching the paper's Fig. 1(b) task order.
+    """
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self.layers: List[Module] = list(layers)
+
+    def children(self) -> Iterator[Module]:
+        return iter(self.layers)
+
+    def append(self, layer: Module) -> "Sequential":
+        self.layers.append(layer)
+        return self
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_output = layer.run_backward(grad_output)
+        return grad_output
+
+
+class Residual(Module):
+    """Residual connection ``y = x + block(x)`` (shapes must match)."""
+
+    def __init__(self, block: Module):
+        super().__init__()
+        self.block = block
+
+    def children(self) -> Iterator[Module]:
+        return iter((self.block,))
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = self.block(x)
+        if out.shape != x.shape:
+            raise ValueError(f"residual shape mismatch: {out.shape} vs {x.shape}")
+        return x + out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output + self.block.run_backward(grad_output)

@@ -1,0 +1,88 @@
+"""2-D convolution layer (im2col formulation)."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.functional import col2im, conv_output_size, im2col
+from repro.nn.module import Module, Parameter
+from repro.utils.rng import SeedLike, new_rng
+
+
+class Conv2d(Module):
+    """Convolution ``(N, C_in, H, W) -> (N, C_out, H', W')``.
+
+    For K-FAC, the layer caches its raw input (``last_input``); the KFC
+    expansion of that input into patch rows (the per-location ``a``) is
+    recomputed by :mod:`repro.core.factors` via :func:`im2col`, and the
+    gradient w.r.t. the output received in ``backward`` provides ``g``.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = False,
+        rng: SeedLike = None,
+    ):
+        super().__init__()
+        if min(in_channels, out_channels, kernel_size, stride) < 1 or padding < 0:
+            raise ValueError("invalid convolution geometry")
+        rng = new_rng(rng)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel_size * kernel_size
+        scale = np.sqrt(2.0 / fan_in)
+        self.weight = self.register_parameter(
+            "weight",
+            Parameter(rng.normal(0.0, scale, size=(out_channels, in_channels, kernel_size, kernel_size))),
+        )
+        self.bias: Optional[Parameter] = None
+        if bias:
+            self.bias = self.register_parameter("bias", Parameter(np.zeros(out_channels)))
+        self.last_input: Optional[np.ndarray] = None
+        self.last_cols: Optional[np.ndarray] = None
+        self.last_grad_output: Optional[np.ndarray] = None
+        self._out_spatial: Tuple[int, int] = (0, 0)
+
+    @property
+    def kernel(self) -> Tuple[int, int]:
+        return (self.kernel_size, self.kernel_size)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(f"expected input (N, {self.in_channels}, H, W), got {x.shape}")
+        n = x.shape[0]
+        h_out = conv_output_size(x.shape[2], self.kernel_size, self.stride, self.padding)
+        w_out = conv_output_size(x.shape[3], self.kernel_size, self.stride, self.padding)
+        self.last_input = x
+        self._out_spatial = (h_out, w_out)
+        cols = im2col(x, self.kernel, self.stride, self.padding)
+        self.last_cols = cols
+        w2d = self.weight.data.reshape(self.out_channels, -1)
+        out = cols @ w2d.T  # (N*H'*W', C_out)
+        if self.bias is not None:
+            out = out + self.bias.data
+        return out.reshape(n, h_out, w_out, self.out_channels).transpose(0, 3, 1, 2)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self.last_input is None or self.last_cols is None:
+            raise RuntimeError("backward called before forward")
+        self.last_grad_output = grad_output
+        n = grad_output.shape[0]
+        h_out, w_out = self._out_spatial
+        g2d = grad_output.transpose(0, 2, 3, 1).reshape(n * h_out * w_out, self.out_channels)
+        w2d = self.weight.data.reshape(self.out_channels, -1)
+        self.weight.add_grad((g2d.T @ self.last_cols).reshape(self.weight.data.shape))
+        if self.bias is not None:
+            self.bias.add_grad(g2d.sum(axis=0))
+        grad_cols = g2d @ w2d
+        return col2im(grad_cols, self.last_input.shape, self.kernel, self.stride, self.padding)

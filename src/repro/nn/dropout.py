@@ -1,0 +1,41 @@
+"""Dropout regularization (inverted scaling)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.utils.rng import SeedLike, new_rng
+from repro.utils.validation import check_probability
+
+
+class Dropout(Module):
+    """Inverted dropout: scales by ``1/(1-p)`` at train time, identity at
+    eval time (as Inception-v4's classifier head uses).
+
+    Takes an explicit RNG so training runs stay reproducible.
+    """
+
+    def __init__(self, p: float = 0.5, rng: SeedLike = None):
+        super().__init__()
+        check_probability("p", p)
+        if p >= 1.0:
+            raise ValueError("p must be < 1 (p=1 would zero every activation)")
+        self.p = p
+        self.rng = new_rng(rng)
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.p == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.p
+        self._mask = (self.rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_output
+        return grad_output * self._mask

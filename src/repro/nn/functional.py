@@ -1,0 +1,75 @@
+"""Low-level array operations: im2col / col2im for convolution.
+
+These are the patch-extraction primitives both ``Conv2d`` and the K-FAC
+convolution factors (Grosse & Martens' KFC expansion) are built on, so
+they live in one place and are tested once.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution along one axis."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out < 1:
+        raise ValueError(
+            f"convolution produces empty output: size={size} kernel={kernel} "
+            f"stride={stride} padding={padding}"
+        )
+    return out
+
+
+def im2col(
+    x: np.ndarray, kernel: Tuple[int, int], stride: int, padding: int
+) -> np.ndarray:
+    """Extract sliding patches from ``x`` of shape ``(N, C, H, W)``.
+
+    Returns an array of shape ``(N * H_out * W_out, C * kh * kw)`` whose
+    rows are flattened receptive fields — the expanded activations used
+    both by the convolution GEMM and by the K-FAC factor ``A``.
+    """
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    h_out = conv_output_size(h, kh, stride, padding)
+    w_out = conv_output_size(w, kw, stride, padding)
+    if padding > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    # Gather strided views: shape (N, C, kh, kw, H_out, W_out).
+    s0, s1, s2, s3 = x.strides
+    shape = (n, c, kh, kw, h_out, w_out)
+    strides = (s0, s1, s2, s3, s2 * stride, s3 * stride)
+    patches = np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
+    cols = patches.transpose(0, 4, 5, 1, 2, 3).reshape(n * h_out * w_out, c * kh * kw)
+    return np.ascontiguousarray(cols)
+
+
+def col2im(
+    cols: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    kernel: Tuple[int, int],
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Scatter-add patch gradients back to input shape (inverse of im2col)."""
+    n, c, h, w = input_shape
+    kh, kw = kernel
+    h_out = conv_output_size(h, kh, stride, padding)
+    w_out = conv_output_size(w, kw, stride, padding)
+    expected_rows = n * h_out * w_out
+    if cols.shape != (expected_rows, c * kh * kw):
+        raise ValueError(f"cols shape {cols.shape} != ({expected_rows}, {c * kh * kw})")
+    h_pad, w_pad = h + 2 * padding, w + 2 * padding
+    out = np.zeros((n, c, h_pad, w_pad), dtype=cols.dtype)
+    patches = cols.reshape(n, h_out, w_out, c, kh, kw).transpose(0, 3, 4, 5, 1, 2)
+    for i in range(kh):
+        for j in range(kw):
+            out[:, :, i : i + stride * h_out : stride, j : j + stride * w_out : stride] += patches[
+                :, :, i, j
+            ]
+    if padding > 0:
+        out = out[:, :, padding : padding + h, padding : padding + w]
+    return out

@@ -1,0 +1,60 @@
+"""Fully-connected layer."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.utils.rng import SeedLike, new_rng
+
+
+class Linear(Module):
+    """Affine layer ``y = x W^T + b`` with cached input for K-FAC.
+
+    The cached ``last_input`` (shape ``(N, in_features)``) is the ``a``
+    of Eq. (7); the gradient w.r.t. the pre-activation output received in
+    ``backward`` is the ``g`` of Eq. (8).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: SeedLike = None,
+    ):
+        super().__init__()
+        if in_features < 1 or out_features < 1:
+            raise ValueError("in_features and out_features must be >= 1")
+        rng = new_rng(rng)
+        self.in_features = in_features
+        self.out_features = out_features
+        scale = np.sqrt(2.0 / in_features)
+        self.weight = self.register_parameter(
+            "weight", Parameter(rng.normal(0.0, scale, size=(out_features, in_features)))
+        )
+        self.bias: Optional[Parameter] = None
+        if bias:
+            self.bias = self.register_parameter("bias", Parameter(np.zeros(out_features)))
+        self.last_input: Optional[np.ndarray] = None
+        self.last_grad_output: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(f"expected input (N, {self.in_features}), got {x.shape}")
+        self.last_input = x
+        out = x @ self.weight.data.T
+        if self.bias is not None:
+            out = out + self.bias.data
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self.last_input is None:
+            raise RuntimeError("backward called before forward")
+        self.last_grad_output = grad_output
+        self.weight.add_grad(grad_output.T @ self.last_input)
+        if self.bias is not None:
+            self.bias.add_grad(grad_output.sum(axis=0))
+        return grad_output @ self.weight.data

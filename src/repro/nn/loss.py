@@ -1,0 +1,67 @@
+"""Loss functions (mean-reduced over the batch)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax along the last axis."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+class CrossEntropyLoss:
+    """Softmax cross-entropy with integer targets, averaged over the batch.
+
+    ``backward()`` returns the gradient w.r.t. the logits, already scaled
+    by ``1/N`` — the same convention PyTorch's mean-reduced loss uses, and
+    the one the K-FAC ``G`` factor scaling in :mod:`repro.core.factors`
+    assumes.
+    """
+
+    def __init__(self) -> None:
+        self._probs: Optional[np.ndarray] = None
+        self._targets: Optional[np.ndarray] = None
+
+    def __call__(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        if logits.ndim != 2:
+            raise ValueError(f"expected (N, classes) logits, got {logits.shape}")
+        if targets.shape != (logits.shape[0],):
+            raise ValueError(f"targets shape {targets.shape} != ({logits.shape[0]},)")
+        probs = softmax(logits)
+        self._probs = probs
+        self._targets = targets
+        n = logits.shape[0]
+        picked = probs[np.arange(n), targets]
+        return float(-np.log(np.clip(picked, 1e-300, None)).mean())
+
+    def backward(self) -> np.ndarray:
+        """Gradient of the mean loss w.r.t. the logits."""
+        if self._probs is None or self._targets is None:
+            raise RuntimeError("backward called before loss evaluation")
+        n = self._probs.shape[0]
+        grad = self._probs.copy()
+        grad[np.arange(n), self._targets] -= 1.0
+        return grad / n
+
+
+class MSELoss:
+    """Mean squared error, averaged over batch and features."""
+
+    def __init__(self) -> None:
+        self._diff: Optional[np.ndarray] = None
+
+    def __call__(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        if predictions.shape != targets.shape:
+            raise ValueError(f"shape mismatch: {predictions.shape} vs {targets.shape}")
+        self._diff = predictions - targets
+        return float((self._diff**2).mean())
+
+    def backward(self) -> np.ndarray:
+        if self._diff is None:
+            raise RuntimeError("backward called before loss evaluation")
+        return 2.0 * self._diff / self._diff.size

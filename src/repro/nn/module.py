@@ -1,0 +1,136 @@
+"""Base classes: :class:`Parameter` and :class:`Module` with hooks."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+ForwardPreHook = Callable[["Module", np.ndarray], None]
+BackwardHook = Callable[["Module", Optional[np.ndarray], np.ndarray], None]
+
+
+class Parameter:
+    """A trainable tensor with an accumulated gradient."""
+
+    def __init__(self, data: np.ndarray):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: Optional[np.ndarray] = None
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def add_grad(self, grad: np.ndarray) -> None:
+        """Accumulate ``grad`` (summing, as autograd engines do)."""
+        if grad.shape != self.data.shape:
+            raise ValueError(f"gradient shape {grad.shape} != parameter shape {self.data.shape}")
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    def __repr__(self) -> str:
+        return f"Parameter(shape={self.data.shape})"
+
+
+class Module:
+    """Base class for all layers.
+
+    Subclasses implement ``forward(x)`` and ``backward(grad_output)``;
+    ``backward`` must return the gradient with respect to the input and
+    accumulate parameter gradients.  ``__call__`` wraps forward with the
+    pre-forward hooks, and ``run_backward`` wraps backward with the
+    backward hooks — the two attachment points K-FAC uses to harvest
+    layer inputs and output gradients.
+    """
+
+    def __init__(self) -> None:
+        self.training = True
+        self._forward_pre_hooks: List[ForwardPreHook] = []
+        self._backward_hooks: List[BackwardHook] = []
+        self._params: Dict[str, Parameter] = {}
+
+    # -- parameters --------------------------------------------------------
+
+    def register_parameter(self, name: str, param: Parameter) -> Parameter:
+        self._params[name] = param
+        return param
+
+    def parameters(self) -> Iterator[Parameter]:
+        """All trainable parameters, depth-first."""
+        yield from self._params.values()
+        for child in self.children():
+            yield from child.parameters()
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, param in self._params.items():
+            yield (f"{prefix}{name}", param)
+        for i, child in enumerate(self.children()):
+            yield from child.named_parameters(prefix=f"{prefix}{i}.")
+
+    def children(self) -> Iterator["Module"]:
+        """Direct sub-modules (overridden by containers)."""
+        return iter(())
+
+    def modules(self) -> Iterator["Module"]:
+        """This module and all descendants, depth-first pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.modules()
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    # -- train/eval mode ----------------------------------------------------
+
+    def train(self) -> "Module":
+        for m in self.modules():
+            m.training = True
+        return self
+
+    def eval(self) -> "Module":
+        for m in self.modules():
+            m.training = False
+        return self
+
+    # -- hooks ---------------------------------------------------------------
+
+    def register_forward_pre_hook(self, hook: ForwardPreHook) -> None:
+        """Call ``hook(module, input)`` right before every forward pass."""
+        self._forward_pre_hooks.append(hook)
+
+    def register_backward_hook(self, hook: BackwardHook) -> None:
+        """Call ``hook(module, grad_input, grad_output)`` after every backward."""
+        self._backward_hooks.append(hook)
+
+    # -- forward / backward --------------------------------------------------
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        for hook in self._forward_pre_hooks:
+            hook(self, x)
+        return self.forward(x)
+
+    def run_backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Run ``backward`` then fire backward hooks; returns grad input."""
+        grad_input = self.backward(grad_output)
+        for hook in self._backward_hooks:
+            hook(self, grad_input, grad_output)
+        return grad_input

@@ -1,0 +1,60 @@
+"""Batch normalization."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+
+
+class BatchNorm2d(Module):
+    """Per-channel batch normalization over ``(N, C, H, W)`` inputs.
+
+    K-FAC preconditions only Linear/Conv2d layers (as in the paper — BN
+    parameters are updated with plain SGD), so this layer does not cache
+    K-FAC statistics.
+    """
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        if num_features < 1:
+            raise ValueError("num_features must be >= 1")
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.gamma = self.register_parameter("gamma", Parameter(np.ones(num_features)))
+        self.beta = self.register_parameter("beta", Parameter(np.zeros(num_features)))
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+        self._cache: Optional[tuple] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.num_features:
+            raise ValueError(f"expected (N, {self.num_features}, H, W), got {x.shape}")
+        if self.training:
+            mean = x.mean(axis=(0, 2, 3))
+            var = x.var(axis=(0, 2, 3))
+            self.running_mean = (1 - self.momentum) * self.running_mean + self.momentum * mean
+            self.running_var = (1 - self.momentum) * self.running_var + self.momentum * var
+        else:
+            mean, var = self.running_mean, self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean[None, :, None, None]) * inv_std[None, :, None, None]
+        self._cache = (x_hat, inv_std, x.shape)
+        return self.gamma.data[None, :, None, None] * x_hat + self.beta.data[None, :, None, None]
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_hat, inv_std, shape = self._cache
+        n_eff = shape[0] * shape[2] * shape[3]
+        self.gamma.add_grad((grad_output * x_hat).sum(axis=(0, 2, 3)))
+        self.beta.add_grad(grad_output.sum(axis=(0, 2, 3)))
+        if not self.training:
+            return grad_output * (self.gamma.data * inv_std)[None, :, None, None]
+        g = grad_output * self.gamma.data[None, :, None, None]
+        sum_g = g.sum(axis=(0, 2, 3), keepdims=True)
+        sum_gx = (g * x_hat).sum(axis=(0, 2, 3), keepdims=True)
+        return inv_std[None, :, None, None] * (g - sum_g / n_eff - x_hat * sum_gx / n_eff)

@@ -1,0 +1,137 @@
+"""Pooling and reshaping layers."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.functional import conv_output_size
+from repro.nn.module import Module
+
+
+class MaxPool2d(Module):
+    """Max pooling with square window."""
+
+    def __init__(self, kernel_size: int, stride: Optional[int] = None, padding: int = 0):
+        super().__init__()
+        if kernel_size < 1 or padding < 0:
+            raise ValueError("invalid pooling geometry")
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self.padding = padding
+        self._cache: Optional[tuple] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        k, s, p = self.kernel_size, self.stride, self.padding
+        h_out = conv_output_size(h, k, s, p)
+        w_out = conv_output_size(w, k, s, p)
+        if p > 0:
+            x_pad = np.pad(x, ((0, 0), (0, 0), (p, p), (p, p)), constant_values=-np.inf)
+        else:
+            x_pad = x
+        s0, s1, s2, s3 = x_pad.strides
+        windows = np.lib.stride_tricks.as_strided(
+            x_pad,
+            shape=(n, c, h_out, w_out, k, k),
+            strides=(s0, s1, s2 * s, s3 * s, s2, s3),
+        )
+        flat = windows.reshape(n, c, h_out, w_out, k * k)
+        argmax = flat.argmax(axis=-1)
+        out = np.take_along_axis(flat, argmax[..., None], axis=-1)[..., 0]
+        self._cache = (x.shape, x_pad.shape, argmax, (h_out, w_out))
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        in_shape, pad_shape, argmax, (h_out, w_out) = self._cache
+        n, c = in_shape[:2]
+        k, s, p = self.kernel_size, self.stride, self.padding
+        grad_pad = np.zeros(pad_shape)
+        rows, cols = np.divmod(argmax, k)
+        for i in range(h_out):
+            for j in range(w_out):
+                r = i * s + rows[:, :, i, j]
+                q = j * s + cols[:, :, i, j]
+                np.add.at(
+                    grad_pad,
+                    (np.arange(n)[:, None], np.arange(c)[None, :], r, q),
+                    grad_output[:, :, i, j],
+                )
+        if p > 0:
+            return grad_pad[:, :, p:-p, p:-p]
+        return grad_pad
+
+
+class AvgPool2d(Module):
+    """Average pooling with square window (no padding)."""
+
+    def __init__(self, kernel_size: int, stride: Optional[int] = None):
+        super().__init__()
+        if kernel_size < 1:
+            raise ValueError("kernel_size must be >= 1")
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self._in_shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        k, s = self.kernel_size, self.stride
+        h_out = conv_output_size(h, k, s, 0)
+        w_out = conv_output_size(w, k, s, 0)
+        self._in_shape = x.shape
+        s0, s1, s2, s3 = x.strides
+        windows = np.lib.stride_tricks.as_strided(
+            x, shape=(n, c, h_out, w_out, k, k), strides=(s0, s1, s2 * s, s3 * s, s2, s3)
+        )
+        return windows.mean(axis=(-1, -2))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._in_shape is None:
+            raise RuntimeError("backward called before forward")
+        n, c, h, w = self._in_shape
+        k, s = self.kernel_size, self.stride
+        grad_in = np.zeros(self._in_shape)
+        h_out, w_out = grad_output.shape[2:]
+        scaled = grad_output / (k * k)
+        for i in range(h_out):
+            for j in range(w_out):
+                grad_in[:, :, i * s : i * s + k, j * s : j * s + k] += scaled[:, :, i, j, None, None]
+        return grad_in
+
+
+class GlobalAvgPool2d(Module):
+    """Average over all spatial positions: ``(N, C, H, W) -> (N, C)``."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._in_shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._in_shape = x.shape
+        return x.mean(axis=(2, 3))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._in_shape is None:
+            raise RuntimeError("backward called before forward")
+        n, c, h, w = self._in_shape
+        return np.broadcast_to(grad_output[:, :, None, None], self._in_shape) / (h * w)
+
+
+class Flatten(Module):
+    """Flatten all non-batch dimensions."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._in_shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._in_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._in_shape is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output.reshape(self._in_shape)

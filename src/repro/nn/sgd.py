@@ -1,0 +1,52 @@
+"""Plain SGD parameter update (the paper's first-order baseline)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.utils.validation import check_non_negative, check_positive
+
+
+class SGD:
+    """SGD with optional momentum and weight decay (Eq. 1).
+
+    Works on any iterable of :class:`Parameter`; gradients must already be
+    populated (by backward, and possibly preconditioned by K-FAC).
+    """
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ):
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("no parameters to optimize")
+        self.lr = check_positive("lr", lr)
+        self.momentum = check_non_negative("momentum", momentum)
+        self.weight_decay = check_non_negative("weight_decay", weight_decay)
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update; raises if any parameter has no gradient."""
+        for p in self.params:
+            if p.grad is None:
+                raise RuntimeError("parameter has no gradient; run backward first")
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            if self.momentum:
+                vel = self._velocity.get(id(p))
+                vel = grad if vel is None else self.momentum * vel + grad
+                self._velocity[id(p)] = vel
+                grad = vel
+            p.data -= self.lr * grad

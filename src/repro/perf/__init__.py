@@ -1,0 +1,52 @@
+"""Performance models for computation and communication.
+
+The paper drives both its tensor-fusion planner (Eq. 14/15) and its
+load-balancing placement (Eq. 26/27) from small analytic cost models whose
+constants are measured once per cluster:
+
+* all-reduce:  ``t(m) = alpha_ar + beta_ar * m``          (Fig. 7a)
+* broadcast:   ``t(d) = alpha_bcast + beta_bcast * d(d+1)/2``  (Fig. 7b)
+* inverse:     ``t(d) = alpha_inv * exp(beta_inv * d)``   (Fig. 8)
+
+This package implements those model families, least-squares fitters for
+them, and the calibrated constants the paper reports for its 64-GPU
+RTX2080Ti / 100Gb InfiniBand testbed, which our simulator uses so that
+reproduced results match the paper's shape.
+"""
+
+from repro.perf.models import (
+    CommModelLike,
+    CompModelLike,
+    CubicComputeModel,
+    ExpComputeModel,
+    FlopsComputeModel,
+    LinearCommModel,
+    symmetric_elements,
+)
+from repro.perf.fit import fit_exp_compute, fit_linear_comm
+from repro.perf.calibration import (
+    PAPER_ALLREDUCE_64GPU,
+    PAPER_BROADCAST_64GPU,
+    PAPER_INVERSE_RTX2080TI,
+    ClusterPerfProfile,
+    paper_cluster_profile,
+    scaled_cluster_profile,
+)
+
+__all__ = [
+    "CommModelLike",
+    "CompModelLike",
+    "LinearCommModel",
+    "ExpComputeModel",
+    "CubicComputeModel",
+    "FlopsComputeModel",
+    "symmetric_elements",
+    "fit_linear_comm",
+    "fit_exp_compute",
+    "PAPER_ALLREDUCE_64GPU",
+    "PAPER_BROADCAST_64GPU",
+    "PAPER_INVERSE_RTX2080TI",
+    "ClusterPerfProfile",
+    "paper_cluster_profile",
+    "scaled_cluster_profile",
+]

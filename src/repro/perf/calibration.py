@@ -1,0 +1,172 @@
+"""Calibrated performance constants for the paper's testbed.
+
+Section VI-B of the paper publishes the fitted constants for its 64-GPU
+cluster (16 nodes x 4 RTX2080Ti, 100Gb/s InfiniBand, NCCL-2.4.7):
+
+* all-reduce (Fig. 7a):  alpha_ar    = 1.22e-2 s, beta_ar    = 1.45e-9 s/elem
+* broadcast  (Fig. 7b):  alpha_bcast = 1.59e-2 s, beta_bcast = 7.85e-10 s/elem
+* inverse    (Fig. 8):   alpha_inv   = 3.64e-3 s, beta_inv   = 4.77e-4 1/d
+
+We adopt them verbatim, so every schedule our simulator produces is driven
+by the same cost surface the paper's own planner saw.  For the dense
+forward/backward/factor kernels (which the paper measures but does not
+model analytically) we use a FLOPs-throughput model calibrated so that the
+simulated ResNet-50 (batch 32) iteration matches the paper's Fig. 2
+breakdown: FF&BP around 0.21 s and FactorComp around 0.1 s.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+from repro.perf.models import (
+    CubicComputeModel,
+    ExpComputeModel,
+    FlopsComputeModel,
+    LinearCommModel,
+)
+from repro.utils.validation import check_positive
+
+# --- constants published in the paper (Section VI-B) -----------------------
+
+PAPER_ALLREDUCE_64GPU = LinearCommModel(alpha=1.22e-2, beta=1.45e-9)
+PAPER_BROADCAST_64GPU = LinearCommModel(alpha=1.59e-2, beta=7.85e-10)
+PAPER_INVERSE_RTX2080TI = ExpComputeModel(alpha=3.64e-3, beta=4.77e-4)
+
+# The cubic model reproduces the Fig. 8 *measurements* across the whole
+# range: it agrees with the exponential fit on d in [2048, 8192] (within a
+# few percent) while not inheriting Eq. 26's ~3.6 ms floor at tiny d, which
+# the raw measurements do not show.  coeff is pinned by t(8192) ~= 0.175 s.
+PAPER_INVERSE_ACTUAL = CubicComputeModel(overhead=7.0e-4, coeff=0.175 / 8192.0**3)
+
+# The alpha of Eqs. 14/27 is measured on *standalone* collectives (100
+# runs with barriers in between).  Collectives issued back-to-back inside
+# an iteration pipeline most of that startup (NCCL keeps the ring/tree
+# established); only a launch/coordination residue remains per op.  These
+# "streamed" variants carry the residue and the same bandwidth term; they
+# are what execution actually costs, while the planners (Eq. 15 fusion,
+# Algorithm 1 CT/NCT) keep the paper's standalone fits.  The broadcast
+# residue is calibrated against the paper's measured MPD-KFAC ResNet-50
+# InverseComm of ~134 ms for 108 back-to-back broadcasts.
+STREAMED_ALLREDUCE_ALPHA = 3.0e-3
+STREAMED_BROADCAST_ALPHA = 7.7e-4
+
+# Models the in-simulator LBP planner estimates with.  Algorithm 1 only
+# needs *relative* estimates ("according to the computation and
+# communication time estimations"); estimating with the execution
+# models keeps the planner consistent with what execution actually
+# costs in the simulator, exactly as the paper's planner was consistent
+# with its own testbed.  The standalone fits above still reproduce the
+# paper's Fig. 8 and Fig. 11.
+
+# Effective training-kernel throughput for an RTX2080Ti.  ResNet-50 at
+# batch 32 is ~8.2 GFLOPs/image forward (counting 2 FLOPs per MAC),
+# backward costs ~2x forward, so FF&BP ~= 787 GFLOPs; at 3.8 TFLOP/s
+# effective this is ~0.21 s — the FF&BP bar in Fig. 2.
+PAPER_TRAIN_THROUGHPUT = 3.8e12
+PAPER_KERNEL_OVERHEAD = 7.5e-5
+
+# Factor construction (A = a a^T / G = g g^T) runs as large batched GEMMs
+# near peak (RTX2080Ti fp32 peak is 13.4 TFLOP/s); calibrated so the
+# ResNet-50 FactorComp bar lands near the paper's ~0.1 s.
+PAPER_FACTOR_THROUGHPUT = 1.2e13
+
+# Horovod's default fusion-buffer threshold: 64 MiB of fp32 elements
+# (Section VI-D, footnote 6).
+HOROVOD_FUSION_THRESHOLD_ELEMENTS = 64 * 1024 * 1024 // 4
+
+
+@dataclass(frozen=True)
+class ClusterPerfProfile:
+    """Bundle of cost models describing one cluster configuration.
+
+    Schedule builders consume this profile to assign durations to every
+    task in an iteration.  ``inverse_estimator`` is the model LBP plans
+    with (the paper's Eq. 26 fit); ``inverse_actual`` is what execution
+    actually costs in the simulator.
+    """
+
+    num_workers: int
+    allreduce: LinearCommModel
+    broadcast: LinearCommModel
+    allreduce_streamed: LinearCommModel
+    broadcast_streamed: LinearCommModel
+    inverse_estimator: ExpComputeModel
+    inverse_actual: CubicComputeModel
+    train_compute: FlopsComputeModel = field(
+        default_factory=lambda: FlopsComputeModel(PAPER_KERNEL_OVERHEAD, PAPER_TRAIN_THROUGHPUT)
+    )
+    factor_compute: FlopsComputeModel = field(
+        default_factory=lambda: FlopsComputeModel(PAPER_KERNEL_OVERHEAD, PAPER_FACTOR_THROUGHPUT)
+    )
+    fusion_threshold_elements: int = HOROVOD_FUSION_THRESHOLD_ELEMENTS
+
+    def __post_init__(self) -> None:
+        check_positive("num_workers", self.num_workers)
+
+
+def paper_cluster_profile() -> ClusterPerfProfile:
+    """The 64-GPU testbed from the paper, with its published constants."""
+    return ClusterPerfProfile(
+        num_workers=64,
+        allreduce=PAPER_ALLREDUCE_64GPU,
+        broadcast=PAPER_BROADCAST_64GPU,
+        allreduce_streamed=LinearCommModel(
+            alpha=STREAMED_ALLREDUCE_ALPHA, beta=PAPER_ALLREDUCE_64GPU.beta
+        ),
+        broadcast_streamed=LinearCommModel(
+            alpha=STREAMED_BROADCAST_ALPHA, beta=PAPER_BROADCAST_64GPU.beta
+        ),
+        inverse_estimator=PAPER_INVERSE_RTX2080TI,
+        inverse_actual=PAPER_INVERSE_ACTUAL,
+    )
+
+
+def scaled_cluster_profile(num_workers: int) -> ClusterPerfProfile:
+    """A profile for a ``num_workers``-GPU cluster on the same fabric.
+
+    Scaling follows the standard collective cost analysis: a ring
+    all-reduce moves ``2 (P-1)/P`` bytes per element with ``2 (P-1)``
+    latency hops, and a (pipelined binomial) broadcast pays ``ceil(log2 P)``
+    latency with near-P-independent bandwidth.  We scale the paper's 64-GPU
+    constants by the corresponding ratios, so P=64 reproduces them exactly.
+    """
+    check_positive("num_workers", num_workers)
+    base = paper_cluster_profile()
+    p, p0 = num_workers, base.num_workers
+    if p == p0:
+        return base
+
+    def ring_alpha(n: int) -> float:
+        return 2.0 * (n - 1)
+
+    def ring_beta(n: int) -> float:
+        return 2.0 * (n - 1) / n
+
+    def tree_alpha(n: int) -> float:
+        return max(math.ceil(math.log2(n)), 1) if n > 1 else 1
+
+    def scale_allreduce(model: LinearCommModel) -> LinearCommModel:
+        if p == 1:
+            return LinearCommModel(0.0, 0.0)
+        return LinearCommModel(
+            alpha=model.alpha * ring_alpha(p) / ring_alpha(p0),
+            beta=model.beta * ring_beta(p) / ring_beta(p0),
+        )
+
+    def scale_broadcast(model: LinearCommModel) -> LinearCommModel:
+        if p == 1:
+            return LinearCommModel(0.0, 0.0)
+        return LinearCommModel(
+            alpha=model.alpha * tree_alpha(p) / tree_alpha(p0), beta=model.beta
+        )
+
+    return replace(
+        base,
+        num_workers=p,
+        allreduce=scale_allreduce(base.allreduce),
+        broadcast=scale_broadcast(base.broadcast),
+        allreduce_streamed=scale_allreduce(base.allreduce_streamed),
+        broadcast_streamed=scale_broadcast(base.broadcast_streamed),
+    )

@@ -1,0 +1,50 @@
+"""Least-squares fitters for the paper's performance-model families.
+
+The paper estimates each model's constants from a one-time benchmark sweep
+(Section V-B: "we only need to estimate [the constants] ... through
+one-time benchmarking").  These fitters reproduce that calibration step
+from (size, time) samples.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.perf.models import ExpComputeModel, LinearCommModel
+
+
+def _as_arrays(sizes: Sequence[float], times: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    x = np.asarray(sizes, dtype=float)
+    y = np.asarray(times, dtype=float)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError(f"sizes and times must be equal-length 1-D sequences, got {x.shape} and {y.shape}")
+    if x.size < 2:
+        raise ValueError("need at least two samples to fit a two-parameter model")
+    return x, y
+
+
+def fit_linear_comm(sizes: Sequence[float], times: Sequence[float]) -> LinearCommModel:
+    """Fit ``t = alpha + beta * m`` by ordinary least squares (Eq. 14/27).
+
+    ``sizes`` are message element counts, ``times`` measured seconds.
+    Negative intercepts (possible with noisy small-message data) are
+    clamped to zero since a collective cannot have negative startup cost.
+    """
+    x, y = _as_arrays(sizes, times)
+    beta, alpha = np.polyfit(x, y, deg=1)
+    return LinearCommModel(alpha=max(float(alpha), 0.0), beta=max(float(beta), 0.0))
+
+
+def fit_exp_compute(dims: Sequence[float], times: Sequence[float]) -> ExpComputeModel:
+    """Fit ``t = alpha * exp(beta * d)`` (Eq. 26) by log-linear least squares.
+
+    Taking logs gives ``log t = log alpha + beta * d``, linear in ``d``.
+    All times must be positive.
+    """
+    x, y = _as_arrays(dims, times)
+    if np.any(y <= 0):
+        raise ValueError("all times must be > 0 to fit an exponential model")
+    beta, log_alpha = np.polyfit(x, np.log(y), deg=1)
+    return ExpComputeModel(alpha=float(np.exp(log_alpha)), beta=max(float(beta), 0.0))

@@ -1,0 +1,144 @@
+"""Analytic cost-model families used by the paper (Eqs. 14, 26, 27).
+
+All times are seconds; message sizes are element counts (the paper's
+measurements communicate fp32, so bytes = 4 * elements); matrix sizes are
+the height/width ``d`` of a symmetric ``d x d`` factor.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.utils.validation import check_non_negative, check_positive
+
+
+@runtime_checkable
+class CompModelLike(Protocol):
+    """Anything that prices a ``d x d`` compute kernel."""
+
+    def time(self, d: float) -> float: ...
+
+
+@runtime_checkable
+class CommModelLike(Protocol):
+    """Anything that prices communicating a symmetric ``d x d`` matrix."""
+
+    def time_symmetric(self, d: int) -> float: ...
+
+
+def symmetric_elements(d: int) -> int:
+    """Number of elements communicated for a symmetric ``d x d`` matrix.
+
+    The paper sends only the upper triangle including the diagonal
+    (Section V-B), i.e. ``d (d + 1) / 2`` elements.
+    """
+    if d < 0:
+        raise ValueError(f"matrix dimension must be >= 0, got {d}")
+    return d * (d + 1) // 2
+
+
+@dataclass(frozen=True)
+class LinearCommModel:
+    """Latency/bandwidth (alpha-beta) communication model: ``t = alpha + beta * m``.
+
+    ``alpha`` is the startup time of the collective and ``beta`` the
+    per-element transfer time (Eq. 14 for all-reduce; Eq. 27 for broadcast
+    once the symmetric packing is applied by the caller).
+    """
+
+    alpha: float
+    beta: float
+
+    def __post_init__(self) -> None:
+        check_non_negative("alpha", self.alpha)
+        check_non_negative("beta", self.beta)
+
+    def time(self, num_elements: float) -> float:
+        """Predicted time to communicate ``num_elements`` elements."""
+        check_non_negative("num_elements", num_elements)
+        return self.alpha + self.beta * num_elements
+
+    def time_symmetric(self, d: int) -> float:
+        """Predicted time to communicate a packed symmetric ``d x d`` matrix."""
+        return self.time(symmetric_elements(d))
+
+    def saturating_size(self) -> float:
+        """Message size at which transfer time equals startup time.
+
+        Messages much smaller than this waste bandwidth on latency — the
+        motivation for tensor fusion (Section IV-A).
+        """
+        if self.beta == 0:
+            return math.inf
+        return self.alpha / self.beta
+
+
+@dataclass(frozen=True)
+class ExpComputeModel:
+    """Exponential compute model ``t(d) = alpha * exp(beta * d)`` (Eq. 26).
+
+    The paper fits this family to measured cuSolver Cholesky-inverse times
+    on an RTX2080Ti (Fig. 8) and uses it inside Algorithm 1 (LBP) to
+    estimate inverse costs.
+    """
+
+    alpha: float
+    beta: float
+
+    def __post_init__(self) -> None:
+        check_positive("alpha", self.alpha)
+        check_non_negative("beta", self.beta)
+
+    def time(self, d: float) -> float:
+        """Predicted compute time for a ``d x d`` input."""
+        check_non_negative("d", d)
+        return self.alpha * math.exp(self.beta * d)
+
+
+@dataclass(frozen=True)
+class CubicComputeModel:
+    """Cubic compute model ``t(d) = overhead + coeff * d**3``.
+
+    Cholesky inversion is Theta(d^3); over the paper's measured range
+    (d in [2048, 8192]) this is numerically indistinguishable from the
+    exponential fit, but unlike Eq. 26 it does not put a multi-millisecond
+    floor under tiny matrices, matching the raw measurements in Fig. 8 at
+    small ``d``.  The simulator uses this family for *actual* task
+    durations, while LBP keeps the paper's exponential *estimator* —
+    exactly the planner-vs-reality split the real system has.
+    """
+
+    overhead: float
+    coeff: float
+
+    def __post_init__(self) -> None:
+        check_non_negative("overhead", self.overhead)
+        check_non_negative("coeff", self.coeff)
+
+    def time(self, d: float) -> float:
+        """Actual compute time for a ``d x d`` input."""
+        check_non_negative("d", d)
+        return self.overhead + self.coeff * float(d) ** 3
+
+
+@dataclass(frozen=True)
+class FlopsComputeModel:
+    """Throughput model for dense kernels: ``t = overhead + flops / throughput``.
+
+    ``throughput`` is the *effective* (not peak) FLOP/s of the device for
+    training-style kernels; ``overhead`` is per-kernel launch cost.
+    """
+
+    overhead: float
+    throughput: float
+
+    def __post_init__(self) -> None:
+        check_non_negative("overhead", self.overhead)
+        check_positive("throughput", self.throughput)
+
+    def time(self, flops: float) -> float:
+        """Predicted time for a kernel performing ``flops`` flop."""
+        check_non_negative("flops", flops)
+        return self.overhead + flops / self.throughput

@@ -1,0 +1,40 @@
+"""Discrete-event simulator of a GPU cluster executing one training iteration.
+
+The simulator is the substrate replacing the paper's 64-GPU testbed.  It
+models what matters for the paper's claims:
+
+* each rank (GPU) has a **compute stream** and a **communication stream**
+  that each execute their tasks in FIFO order (mirroring CUDA streams and
+  NCCL's in-order collective queues);
+* a collective is a *gang* task that occupies the communication stream of
+  every participating rank simultaneously and starts only when all of them
+  reach it;
+* precedence constraints link tasks across streams and ranks (e.g. the
+  all-reduce of factor ``A_l`` depends on its local computation).
+
+Because streams are FIFO, the start time of every task is uniquely
+determined by a longest-path computation over the DAG formed by dependency
+edges plus per-stream serialization edges; the engine exploits this to run
+in O(V + E) and to detect scheduling deadlocks (cyclic waits caused by
+mismatched collective orders) exactly.
+"""
+
+from repro.sim.task import Phase, SimTask, TaskGraph, COMPUTE, COMM
+from repro.sim.engine import DeadlockError, simulate
+from repro.sim.timeline import Breakdown, Timeline, TimelineEntry
+from repro.sim.analysis import critical_path, critical_path_phases
+
+__all__ = [
+    "Phase",
+    "SimTask",
+    "TaskGraph",
+    "COMPUTE",
+    "COMM",
+    "simulate",
+    "DeadlockError",
+    "Timeline",
+    "TimelineEntry",
+    "Breakdown",
+    "critical_path",
+    "critical_path_phases",
+]

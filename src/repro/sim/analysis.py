@@ -1,0 +1,71 @@
+"""Post-simulation analysis: critical paths and optimization headroom.
+
+The paper's optimizations are exercises in critical-path surgery: factor
+pipelining removes FactorComm from the path, LBP removes InverseComp /
+InverseComm.  :func:`critical_path` recovers the chain of tasks that
+determines the makespan, and :func:`critical_path_phases` aggregates it
+per phase — the quickest way to see *why* an iteration takes as long as
+it does and what a further optimization could possibly win.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.sim.task import TaskGraph
+from repro.sim.timeline import Timeline, TimelineEntry
+
+_EPS = 1e-12
+
+
+def critical_path(graph: TaskGraph, timeline: Timeline) -> List[TimelineEntry]:
+    """The dependency/stream chain ending at the last-finishing task.
+
+    Walks backwards from the makespan-defining entry: at each step the
+    predecessor is a task (declared dependency or stream predecessor)
+    whose end time equals the current task's start time.  Zero-duration
+    idle gaps along the chain indicate the rank was genuinely blocked on
+    nothing — they terminate the walk (the path starts there).
+
+    Returns entries in execution order (earliest first).
+    """
+    entries = {e.task.tid: e for e in timeline.entries}
+    if not entries:
+        return []
+
+    stream_prev: Dict[int, List[int]] = {tid: [] for tid in entries}
+    for queue in graph.stream_queues().values():
+        for prev_tid, next_tid in zip(queue, queue[1:]):
+            stream_prev[next_tid].append(prev_tid)
+
+    def blocking_predecessor(entry: TimelineEntry) -> Optional[TimelineEntry]:
+        candidates = list(entry.task.deps) + stream_prev[entry.task.tid]
+        for tid in candidates:
+            pred = entries[tid]
+            if abs(pred.end - entry.start) <= _EPS:
+                return pred
+        return None
+
+    current = max(timeline.entries, key=lambda e: e.end)
+    path = [current]
+    while True:
+        pred = blocking_predecessor(current)
+        if pred is None:
+            break
+        path.append(pred)
+        current = pred
+    path.reverse()
+    return path
+
+
+def critical_path_phases(graph: TaskGraph, timeline: Timeline) -> Dict[str, float]:
+    """Total critical-path time per phase label.
+
+    The values sum to (at most) the makespan; any shortfall is idle time
+    at the very start of the path.
+    """
+    totals: Dict[str, float] = {}
+    for entry in critical_path(graph, timeline):
+        label = entry.task.phase.value
+        totals[label] = totals.get(label, 0.0) + entry.duration
+    return totals

@@ -1,0 +1,86 @@
+"""Simulation engine: schedules a :class:`TaskGraph` onto FIFO streams.
+
+With FIFO streams the schedule is fully determined: a task starts at the
+maximum of (a) the completion times of its declared dependencies and
+(b) the completion times of its predecessors on every stream it occupies.
+That is a longest-path computation over the DAG of dependency edges plus
+stream-serialization edges, solved here with Kahn's algorithm in O(V+E).
+
+If the combined graph has a cycle — e.g. two ranks enqueue the same two
+collectives in opposite orders, the classic NCCL deadlock — the engine
+raises :class:`DeadlockError` naming the tasks involved.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List
+
+from repro.sim.task import TaskGraph
+from repro.sim.timeline import Timeline, TimelineEntry
+
+
+class DeadlockError(RuntimeError):
+    """The task graph cannot be scheduled: cyclic wait between streams."""
+
+    def __init__(self, stuck_task_names: List[str]):
+        preview = ", ".join(stuck_task_names[:8])
+        if len(stuck_task_names) > 8:
+            preview += f", ... ({len(stuck_task_names)} total)"
+        super().__init__(
+            "scheduling deadlock: cyclic wait between dependency order and "
+            f"stream FIFO order involving tasks [{preview}]"
+        )
+        self.stuck_task_names = stuck_task_names
+
+
+def simulate(graph: TaskGraph) -> Timeline:
+    """Schedule ``graph`` and return its :class:`Timeline`.
+
+    Raises :class:`DeadlockError` when the dependency order conflicts with
+    some stream's FIFO order.
+    """
+    tasks = graph.tasks
+    n = len(tasks)
+    queues = graph.stream_queues()
+
+    # Predecessors of each task in the combined DAG: declared dependencies
+    # plus the previous task on every stream the task occupies.
+    predecessors: List[List[int]] = [list(t.deps) for t in tasks]
+    for queue in queues.values():
+        for prev_tid, next_tid in zip(queue, queue[1:]):
+            predecessors[next_tid].append(prev_tid)
+
+    indegree = [len(preds) for preds in predecessors]
+    successors: List[List[int]] = [[] for _ in range(n)]
+    for tid, preds in enumerate(predecessors):
+        for pred in preds:
+            successors[pred].append(tid)
+
+    start_time = [0.0] * n
+    end_time = [0.0] * n
+    ready = deque(tid for tid in range(n) if indegree[tid] == 0)
+    resolved = 0
+    while ready:
+        tid = ready.popleft()
+        start = 0.0
+        for pred in predecessors[tid]:
+            if end_time[pred] > start:
+                start = end_time[pred]
+        start_time[tid] = start
+        end_time[tid] = start + tasks[tid].duration
+        resolved += 1
+        for succ in successors[tid]:
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                ready.append(succ)
+
+    if resolved != n:
+        stuck = [t.name for t in tasks if indegree[t.tid] > 0]
+        raise DeadlockError(stuck)
+
+    entries = [
+        TimelineEntry(task=tasks[tid], start=start_time[tid], end=end_time[tid])
+        for tid in range(n)
+    ]
+    return Timeline(num_ranks=graph.num_ranks, entries=entries)

@@ -1,0 +1,146 @@
+"""Task-graph representation consumed by the simulator engine.
+
+A :class:`TaskGraph` is an append-only builder: schedule builders in
+:mod:`repro.core.schedule` create one task per kernel or collective of a
+training iteration.  Insertion order *matters* — it defines the FIFO
+order of each stream, exactly as issuing order defines CUDA stream /
+NCCL queue order on a real system.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.utils.validation import check_non_negative
+
+COMPUTE = "compute"
+COMM = "comm"
+
+
+class Phase(enum.Enum):
+    """Iteration phases used by the paper's time breakdowns (Figs. 2, 9)."""
+
+    FORWARD = "FF"
+    BACKWARD = "BP"
+    GRAD_COMM = "GradComm"
+    FACTOR_COMP = "FactorComp"
+    FACTOR_COMM = "FactorComm"
+    INVERSE_COMP = "InverseComp"
+    INVERSE_COMM = "InverseComm"
+    PRECONDITION = "Precond"
+    UPDATE = "Update"
+    OTHER = "Other"
+
+    @property
+    def is_comm(self) -> bool:
+        """Whether the phase represents communication time."""
+        return self in (Phase.GRAD_COMM, Phase.FACTOR_COMM, Phase.INVERSE_COMM)
+
+
+#: Breakdown key used by the paper for the merged forward+backward bar.
+FF_BP_KEY = "FF & BP"
+
+
+@dataclass(frozen=True)
+class SimTask:
+    """One unit of work: a kernel on one rank or a collective over many.
+
+    ``ranks`` has exactly one element for ``kind == COMPUTE``; for
+    ``kind == COMM`` it lists every participating rank (gang scheduling).
+    ``duration`` is in seconds and applies to all participants.
+    """
+
+    tid: int
+    name: str
+    phase: Phase
+    kind: str
+    ranks: Tuple[int, ...]
+    duration: float
+    deps: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.kind not in (COMPUTE, COMM):
+            raise ValueError(f"kind must be {COMPUTE!r} or {COMM!r}, got {self.kind!r}")
+        if not self.ranks:
+            raise ValueError("a task must run on at least one rank")
+        if self.kind == COMPUTE and len(self.ranks) != 1:
+            raise ValueError(f"compute task {self.name!r} must run on exactly one rank")
+        if len(set(self.ranks)) != len(self.ranks):
+            raise ValueError(f"duplicate ranks in task {self.name!r}: {self.ranks}")
+        check_non_negative("duration", self.duration)
+
+    @property
+    def streams(self) -> Tuple[Tuple[int, str], ...]:
+        """(rank, stream-kind) pairs this task occupies."""
+        return tuple((r, self.kind) for r in self.ranks)
+
+
+@dataclass
+class TaskGraph:
+    """Append-only builder of an iteration's task DAG.
+
+    ``num_ranks`` fixes the cluster size; every task must name ranks in
+    ``range(num_ranks)``.
+    """
+
+    num_ranks: int
+    tasks: List[SimTask] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.num_ranks < 1:
+            raise ValueError(f"num_ranks must be >= 1, got {self.num_ranks}")
+
+    def _add(
+        self,
+        name: str,
+        phase: Phase,
+        kind: str,
+        ranks: Sequence[int],
+        duration: float,
+        deps: Iterable[int],
+    ) -> int:
+        deps = tuple(deps)
+        tid = len(self.tasks)
+        for dep in deps:
+            if not 0 <= dep < tid:
+                raise ValueError(f"task {name!r} depends on unknown task id {dep}")
+        for rank in ranks:
+            if not 0 <= rank < self.num_ranks:
+                raise ValueError(f"task {name!r} names rank {rank} outside 0..{self.num_ranks - 1}")
+        self.tasks.append(SimTask(tid, name, phase, kind, tuple(ranks), duration, deps))
+        return tid
+
+    def add_compute(
+        self,
+        name: str,
+        phase: Phase,
+        rank: int,
+        duration: float,
+        deps: Iterable[int] = (),
+    ) -> int:
+        """Append a compute kernel on ``rank``; returns its task id."""
+        return self._add(name, phase, COMPUTE, (rank,), duration, deps)
+
+    def add_collective(
+        self,
+        name: str,
+        phase: Phase,
+        ranks: Sequence[int],
+        duration: float,
+        deps: Iterable[int] = (),
+    ) -> int:
+        """Append a gang communication task over ``ranks``; returns its id."""
+        return self._add(name, phase, COMM, ranks, duration, deps)
+
+    def stream_queues(self) -> Dict[Tuple[int, str], List[int]]:
+        """FIFO queue (task ids in insertion order) per (rank, stream)."""
+        queues: Dict[Tuple[int, str], List[int]] = {}
+        for task in self.tasks:
+            for stream in task.streams:
+                queues.setdefault(stream, []).append(task.tid)
+        return queues
+
+    def __len__(self) -> int:
+        return len(self.tasks)

@@ -1,0 +1,190 @@
+"""Timelines and per-phase breakdowns of simulated iterations.
+
+The paper reports two time views we reproduce here:
+
+* **iteration time** — the makespan of the task graph (Table III);
+* **stacked breakdowns** (Figs. 2, 9, 10, 12) — every instant of the
+  critical rank's iteration attributed to exactly one phase, where
+  communication counts only when it is *not* hidden by computation
+  ("the non-overlapped communication time is the elapsed time of
+  communication whose overlapped parts are excluded", Section VI-D).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.task import COMM, COMPUTE, FF_BP_KEY, Phase, SimTask
+
+#: Bar-stack order used across the paper's figures.
+PAPER_CATEGORIES = (
+    FF_BP_KEY,
+    Phase.GRAD_COMM.value,
+    Phase.FACTOR_COMP.value,
+    Phase.FACTOR_COMM.value,
+    Phase.INVERSE_COMP.value,
+    Phase.INVERSE_COMM.value,
+)
+
+
+@dataclass(frozen=True)
+class TimelineEntry:
+    """One scheduled task occurrence."""
+
+    task: SimTask
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class Breakdown:
+    """Stacked per-phase attribution of one rank's iteration time.
+
+    ``seconds`` maps phase labels to attributed wall time; values sum to
+    ``total`` exactly (idle gaps are charged to the phase the rank was
+    waiting on, matching how a profiler-based breakdown would bill them).
+    """
+
+    rank: int
+    total: float
+    seconds: Dict[str, float]
+
+    def paper_categories(self) -> Dict[str, float]:
+        """Collapse to the six stacked categories of Figs. 2 and 9.
+
+        Forward and backward merge into "FF & BP"; preconditioning, the
+        parameter update, and anything else fold into the nearest compute
+        category ("FF & BP") as the paper's instrumentation does.
+        """
+        out = {key: 0.0 for key in PAPER_CATEGORIES}
+        for label, value in self.seconds.items():
+            if label in out:
+                out[label] += value
+            elif label in (Phase.FORWARD.value, Phase.BACKWARD.value):
+                out[FF_BP_KEY] += value
+            else:
+                out[FF_BP_KEY] += value
+        return out
+
+    def get(self, label: str) -> float:
+        """Attributed seconds for ``label`` (0.0 when absent)."""
+        return self.seconds.get(label, 0.0)
+
+
+@dataclass
+class Timeline:
+    """The full schedule produced by :func:`repro.sim.simulate`."""
+
+    num_ranks: int
+    entries: List[TimelineEntry] = field(default_factory=list)
+
+    @property
+    def makespan(self) -> float:
+        """End-to-end iteration time (max task end over all ranks)."""
+        return max((e.end for e in self.entries), default=0.0)
+
+    def rank_entries(self, rank: int, kind: Optional[str] = None) -> List[TimelineEntry]:
+        """Entries involving ``rank``, optionally filtered by stream kind."""
+        selected = [
+            e
+            for e in self.entries
+            if rank in e.task.ranks and (kind is None or e.task.kind == kind)
+        ]
+        selected.sort(key=lambda e: (e.start, e.end))
+        return selected
+
+    def rank_end(self, rank: int) -> float:
+        """Completion time of the last task involving ``rank``."""
+        return max((e.end for e in self.entries if rank in e.task.ranks), default=0.0)
+
+    def critical_rank(self) -> int:
+        """The rank that finishes last (defines iteration time)."""
+        return max(range(self.num_ranks), key=self.rank_end)
+
+    def busy_by_phase(self, rank: int) -> Dict[str, float]:
+        """Total busy time per phase on ``rank`` (overlaps double-counted)."""
+        out: Dict[str, float] = {}
+        for entry in self.rank_entries(rank):
+            label = entry.task.phase.value
+            out[label] = out.get(label, 0.0) + entry.duration
+        return out
+
+    def breakdown(self, rank: Optional[int] = None) -> Breakdown:
+        """Stacked breakdown on ``rank`` (default: the critical rank).
+
+        Attribution rules per elementary time segment of [0, rank end]:
+
+        1. covered by a compute task  -> that task's phase;
+        2. else covered by a comm task -> that task's phase (this is the
+           *non-overlapped* communication time);
+        3. else (idle, waiting)       -> the phase of the next task to
+           start on this rank, i.e. what the rank is blocked on.
+        """
+        if rank is None:
+            rank = self.critical_rank()
+        entries = self.rank_entries(rank)
+        horizon = self.rank_end(rank)
+        seconds: Dict[str, float] = {}
+        if horizon <= 0.0:
+            return Breakdown(rank=rank, total=0.0, seconds=seconds)
+
+        boundaries = sorted({0.0, horizon}
+                            | {e.start for e in entries}
+                            | {e.end for e in entries})
+        compute = [e for e in entries if e.task.kind == COMPUTE and e.duration > 0]
+        comm = [e for e in entries if e.task.kind == COMM and e.duration > 0]
+        starts = sorted(entries, key=lambda e: e.start)
+
+        def covering(pool: List[TimelineEntry], a: float, b: float) -> Optional[TimelineEntry]:
+            for e in pool:
+                if e.start <= a and e.end >= b:
+                    return e
+            return None
+
+        def next_starting(b: float) -> Optional[TimelineEntry]:
+            for e in starts:
+                if e.start >= b:
+                    return e
+            return None
+
+        for a, b in zip(boundaries, boundaries[1:]):
+            if b > horizon:
+                break
+            segment = b - a
+            if segment <= 0:
+                continue
+            entry = covering(compute, a, b) or covering(comm, a, b)
+            if entry is None:
+                entry = next_starting(a)
+            label = entry.task.phase.value if entry is not None else Phase.OTHER.value
+            seconds[label] = seconds.get(label, 0.0) + segment
+        return Breakdown(rank=rank, total=horizon, seconds=seconds)
+
+    def to_chrome_trace(self) -> List[dict]:
+        """Chrome ``chrome://tracing`` events (one pid per rank, tid per stream)."""
+        events = []
+        for entry in self.entries:
+            for rank in entry.task.ranks:
+                events.append(
+                    {
+                        "name": entry.task.name,
+                        "cat": entry.task.phase.value,
+                        "ph": "X",
+                        "ts": entry.start * 1e6,
+                        "dur": entry.duration * 1e6,
+                        "pid": rank,
+                        "tid": 0 if entry.task.kind == COMPUTE else 1,
+                    }
+                )
+        return events
+
+    def save_chrome_trace(self, path: str) -> None:
+        """Write the Chrome trace JSON to ``path``."""
+        with open(path, "w") as f:
+            json.dump({"traceEvents": self.to_chrome_trace()}, f)

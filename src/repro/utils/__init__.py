@@ -1,0 +1,24 @@
+"""Shared utilities: validation helpers, RNG management, formatting."""
+
+from repro.utils.format import human_bytes, human_count, human_time
+from repro.utils.rng import new_rng, spawn_rngs
+from repro.utils.validation import (
+    check_positive,
+    check_non_negative,
+    check_probability,
+    check_square,
+    check_symmetric,
+)
+
+__all__ = [
+    "human_bytes",
+    "human_count",
+    "human_time",
+    "new_rng",
+    "spawn_rngs",
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_square",
+    "check_symmetric",
+]

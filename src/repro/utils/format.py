@@ -1,0 +1,33 @@
+"""Human-readable formatting for sizes, counts, and durations."""
+
+from __future__ import annotations
+
+
+def human_bytes(num_bytes: float) -> str:
+    """Format a byte count, e.g. ``human_bytes(2**21) == '2.0 MiB'``."""
+    value = float(num_bytes)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or unit == "TiB":
+            return f"{value:.1f} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def human_count(count: float) -> str:
+    """Format an element count, e.g. ``human_count(62_300_000) == '62.3M'``."""
+    value = float(count)
+    for suffix, scale in (("B", 1e9), ("M", 1e6), ("K", 1e3)):
+        if abs(value) >= scale:
+            return f"{value / scale:.1f}{suffix}"
+    return f"{value:.0f}"
+
+
+def human_time(seconds: float) -> str:
+    """Format a duration: microseconds up to minutes."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    if seconds < 120.0:
+        return f"{seconds:.3f}s"
+    return f"{seconds / 60.0:.1f}min"

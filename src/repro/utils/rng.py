@@ -1,0 +1,40 @@
+"""Seeded random number generation helpers.
+
+Every stochastic component in the library takes an explicit
+``numpy.random.Generator`` (or a seed) so that experiments are exactly
+reproducible.  These helpers centralise construction so that tests and
+examples never touch the global NumPy RNG state.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def new_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` from a seed, generator, or None.
+
+    Passing an existing generator returns it unchanged, which lets APIs
+    accept either form without double-seeding.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> List[np.random.Generator]:
+    """Derive ``count`` independent generators from one seed.
+
+    Used to give every simulated worker its own stream (mirroring how each
+    GPU samples a different mini-batch) while keeping the whole run
+    reproducible from a single seed.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    root = new_rng(seed)
+    seeds = root.integers(0, 2**63 - 1, size=count)
+    return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,0 +1,45 @@
+"""Argument validation helpers used across the library.
+
+All helpers raise ``ValueError`` with a message naming the offending
+argument, so call sites stay one-liners.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def check_positive(name: str, value: float) -> float:
+    """Require ``value`` > 0."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Require ``value`` >= 0."""
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Require ``value`` in [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_square(name: str, matrix: np.ndarray) -> np.ndarray:
+    """Require a square 2-D array."""
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"{name} must be a square matrix, got shape {matrix.shape}")
+    return matrix
+
+
+def check_symmetric(name: str, matrix: np.ndarray, atol: float = 1e-8) -> np.ndarray:
+    """Require a symmetric square 2-D array (within ``atol``)."""
+    check_square(name, matrix)
+    if not np.allclose(matrix, matrix.T, atol=atol):
+        raise ValueError(f"{name} must be symmetric (atol={atol})")
+    return matrix

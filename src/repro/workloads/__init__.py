@@ -1,0 +1,15 @@
+"""Synthetic workloads standing in for ImageNet (see DESIGN.md §2)."""
+
+from repro.workloads.synthetic import (
+    gaussian_blobs,
+    sharded_batches,
+    spiral_classification,
+    synthetic_images,
+)
+
+__all__ = [
+    "gaussian_blobs",
+    "spiral_classification",
+    "synthetic_images",
+    "sharded_batches",
+]

@@ -1,0 +1,112 @@
+"""Synthetic classification datasets for the numerical experiments.
+
+The paper's convergence properties are inherited from D-KFAC and not
+re-measured; what our numerical runs need is a learnable task where (a)
+K-FAC's curvature actually matters (anisotropic inputs) and (b) the data
+can be sharded across simulated workers like ImageNet shards across
+GPUs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, new_rng
+
+Dataset = Tuple[np.ndarray, np.ndarray]
+
+
+def gaussian_blobs(
+    num_samples: int,
+    num_features: int,
+    num_classes: int,
+    scale_spread: float = 3.0,
+    rng: SeedLike = None,
+) -> Dataset:
+    """Gaussian class clusters with anisotropic feature scales.
+
+    Feature ``k`` is scaled by ``scale_spread ** (k / num_features)``, so
+    the input covariance is badly conditioned — the regime where K-FAC's
+    preconditioning visibly out-converges SGD per iteration.
+    """
+    if min(num_samples, num_features, num_classes) < 1:
+        raise ValueError("num_samples, num_features, num_classes must be >= 1")
+    rng = new_rng(rng)
+    centers = rng.normal(0.0, 2.0, size=(num_classes, num_features))
+    labels = rng.integers(0, num_classes, size=num_samples)
+    x = centers[labels] + rng.normal(size=(num_samples, num_features))
+    scales = scale_spread ** (np.arange(num_features) / max(num_features - 1, 1))
+    return x * scales, labels
+
+
+def spiral_classification(
+    num_samples: int, num_classes: int = 3, noise: float = 0.15, rng: SeedLike = None
+) -> Dataset:
+    """Classic interleaved-spirals task (non-linear decision boundary)."""
+    if num_samples < num_classes:
+        raise ValueError("need at least one sample per class")
+    rng = new_rng(rng)
+    per_class = num_samples // num_classes
+    xs: List[np.ndarray] = []
+    ys: List[np.ndarray] = []
+    for c in range(num_classes):
+        t = np.linspace(0.1, 1.0, per_class)
+        angle = 2.0 * np.pi * (t * 1.5 + c / num_classes)
+        radius = t
+        pts = np.stack([radius * np.cos(angle), radius * np.sin(angle)], axis=1)
+        xs.append(pts + rng.normal(0.0, noise, size=pts.shape))
+        ys.append(np.full(per_class, c))
+    return np.concatenate(xs), np.concatenate(ys).astype(int)
+
+
+def synthetic_images(
+    num_samples: int,
+    channels: int = 1,
+    size: int = 8,
+    num_classes: int = 4,
+    rng: SeedLike = None,
+) -> Dataset:
+    """Tiny labeled images: class = dominant quadrant of injected signal."""
+    if size % 2 != 0:
+        raise ValueError("size must be even (quadrant construction)")
+    rng = new_rng(rng)
+    labels = rng.integers(0, num_classes, size=num_samples)
+    x = rng.normal(0.0, 1.0, size=(num_samples, channels, size, size))
+    half = size // 2
+    quadrant_slices = [
+        (slice(0, half), slice(0, half)),
+        (slice(0, half), slice(half, size)),
+        (slice(half, size), slice(0, half)),
+        (slice(half, size), slice(half, size)),
+    ]
+    for i, label in enumerate(labels):
+        rows, cols = quadrant_slices[label % 4]
+        x[i, :, rows, cols] += 2.5
+    return x, labels
+
+
+def sharded_batches(
+    data: Dataset, world_size: int, batch_size: int, rng: SeedLike = None
+) -> Iterator[List[Dataset]]:
+    """Endless stream of per-rank mini-batches (data parallelism).
+
+    Every yield is a list of ``world_size`` disjoint batches sampled
+    without replacement within the round — each rank sees different data,
+    like the per-GPU shards of Eq. 13.
+    """
+    x, y = data
+    if world_size < 1 or batch_size < 1:
+        raise ValueError("world_size and batch_size must be >= 1")
+    if len(x) < world_size * batch_size:
+        raise ValueError("dataset too small for one round of per-rank batches")
+    rng = new_rng(rng)
+    while True:
+        order = rng.permutation(len(x))
+        picked = order[: world_size * batch_size]
+        yield [
+            (x[picked[r * batch_size : (r + 1) * batch_size]],
+             y[picked[r * batch_size : (r + 1) * batch_size]])
+            for r in range(world_size)
+        ]

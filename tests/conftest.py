@@ -1,0 +1,60 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.builder import SpecBuilder
+from repro.models.spec import ModelSpec
+from repro.perf import paper_cluster_profile, scaled_cluster_profile
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def paper_profile():
+    """The paper's 64-GPU testbed profile (immutable, session-shared)."""
+    return paper_cluster_profile()
+
+
+@pytest.fixture(scope="session")
+def small_profile():
+    """A 4-worker profile for cheap distributed simulations."""
+    return scaled_cluster_profile(4)
+
+
+def build_tiny_spec(num_layers: int = 4, batch_size: int = 8) -> ModelSpec:
+    """A small synthetic CNN spec for scheduler tests."""
+    b = SpecBuilder(model_name=f"tiny-{num_layers}", batch_size=batch_size, input_size=32)
+    channels = 3
+    for i in range(num_layers - 1):
+        out = 8 * (i + 1)
+        b.conv(f"conv{i}", channels, out, kernel=3, stride=1, padding=1)
+        channels = out
+    b.linear("fc", channels, 10)
+    return b.build()
+
+
+@pytest.fixture
+def tiny_spec() -> ModelSpec:
+    return build_tiny_spec()
+
+
+def finite_difference_grad(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central finite-difference gradient of scalar ``fn`` w.r.t. ``x``."""
+    grad = np.zeros_like(x, dtype=float)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = fn()
+        flat[i] = original - eps
+        minus = fn()
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2.0 * eps)
+    return grad

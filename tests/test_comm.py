@@ -1,0 +1,162 @@
+"""Tests for the in-process collective runtime."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm import (
+    CollectiveGroup,
+    CollectiveMismatchError,
+    pack_symmetric,
+    run_spmd,
+    unpack_symmetric,
+)
+
+
+class TestPacking:
+    def test_roundtrip(self, rng):
+        root = rng.normal(size=(6, 6))
+        sym = root + root.T
+        np.testing.assert_allclose(unpack_symmetric(pack_symmetric(sym), 6), sym)
+
+    def test_packed_length(self):
+        assert pack_symmetric(np.eye(64)).size == 2080  # paper's smallest factor
+
+    def test_unpack_validates_size(self):
+        with pytest.raises(ValueError):
+            unpack_symmetric(np.zeros(5), 4)
+
+    def test_pack_requires_square(self):
+        with pytest.raises(ValueError):
+            pack_symmetric(np.zeros((2, 3)))
+
+    @settings(max_examples=30)
+    @given(st.integers(min_value=1, max_value=20))
+    def test_roundtrip_property(self, d):
+        rng = np.random.default_rng(d)
+        root = rng.normal(size=(d, d))
+        sym = (root + root.T) / 2
+        recovered = unpack_symmetric(pack_symmetric(sym), d)
+        np.testing.assert_allclose(recovered, sym)
+        assert pack_symmetric(sym).size == d * (d + 1) // 2
+
+
+class TestAllreduce:
+    @pytest.mark.parametrize("world", [1, 2, 4, 7])
+    def test_mean_matches_numpy(self, world):
+        results = run_spmd(world, lambda c: c.allreduce(np.full(4, float(c.rank))))
+        expected = np.full(4, sum(range(world)) / world)
+        for r in results:
+            np.testing.assert_allclose(r, expected)
+
+    def test_sum_op(self):
+        results = run_spmd(3, lambda c: c.allreduce(np.ones(2), op="sum"))
+        np.testing.assert_allclose(results[0], [3.0, 3.0])
+
+    def test_results_bitwise_identical_across_ranks(self):
+        def fn(c):
+            rng = np.random.default_rng(c.rank)
+            return c.allreduce(rng.normal(size=100))
+
+        results = run_spmd(4, fn)
+        for r in results[1:]:
+            np.testing.assert_array_equal(results[0], r)
+
+    def test_invalid_op(self):
+        with pytest.raises(ValueError):
+            run_spmd(2, lambda c: c.allreduce(np.ones(1), op="max"))
+
+    def test_shape_mismatch_detected(self):
+        def fn(c):
+            return c.allreduce(np.ones(c.rank + 1))
+
+        with pytest.raises(CollectiveMismatchError):
+            run_spmd(2, fn)
+
+    def test_mismatched_collectives_detected(self):
+        def fn(c):
+            if c.rank == 0:
+                return c.allreduce(np.ones(1))
+            return c.broadcast(np.ones(1), root=1)
+
+        with pytest.raises(CollectiveMismatchError):
+            run_spmd(2, fn)
+
+
+class TestBroadcast:
+    def test_root_value_distributed(self):
+        def fn(c):
+            payload = np.arange(3.0) if c.rank == 1 else None
+            return c.broadcast(payload, root=1)
+
+        for r in run_spmd(3, fn):
+            np.testing.assert_allclose(r, [0.0, 1.0, 2.0])
+
+    def test_root_without_buffer_raises(self):
+        with pytest.raises(ValueError):
+            run_spmd(2, lambda c: c.broadcast(None, root=0))
+
+    def test_invalid_root(self):
+        with pytest.raises(ValueError):
+            run_spmd(2, lambda c: c.broadcast(np.ones(1), root=5))
+
+
+class TestAllgather:
+    def test_gathers_by_rank(self):
+        results = run_spmd(3, lambda c: c.allgather(np.full(2, float(c.rank))))
+        for gathered in results:
+            assert len(gathered) == 3
+            for rank, piece in enumerate(gathered):
+                np.testing.assert_allclose(piece, np.full(2, float(rank)))
+
+
+class TestTrafficAndLifecycle:
+    def test_traffic_counter(self):
+        group = CollectiveGroup(2)
+
+        def fn(c):
+            c.allreduce(np.ones(10))
+            c.broadcast(np.ones(5) if c.rank == 0 else None, root=0)
+
+        import threading
+
+        threads = [
+            threading.Thread(target=fn, args=(group.communicator(r),)) for r in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert group.traffic.elements["allreduce"] == 10
+        assert group.traffic.elements["broadcast"] == 5
+        assert group.traffic.calls["allreduce"] == 1
+        assert group.traffic.total_elements() == 15
+
+    def test_rank_failure_propagates_not_hangs(self):
+        def fn(c):
+            if c.rank == 0:
+                raise RuntimeError("rank 0 exploded")
+            return c.allreduce(np.ones(1))
+
+        with pytest.raises(RuntimeError, match="exploded"):
+            run_spmd(2, fn)
+
+    def test_sequence_of_collectives(self):
+        def fn(c):
+            total = c.allreduce(np.ones(1), op="sum")
+            again = c.allreduce(total, op="sum")
+            return float(again[0])
+
+        assert run_spmd(4, fn) == [16.0] * 4
+
+    def test_barrier(self):
+        assert run_spmd(3, lambda c: c.barrier()) == [None] * 3
+
+    def test_invalid_world_size(self):
+        with pytest.raises(ValueError):
+            CollectiveGroup(0)
+
+    def test_invalid_rank(self):
+        with pytest.raises(ValueError):
+            CollectiveGroup(2).communicator(2)

@@ -1,0 +1,167 @@
+"""Integration tests: distributed K-FAC variants over the comm runtime.
+
+The central claim (paper Section VI): D-KFAC, MPD-KFAC and SPD-KFAC are
+*numerically identical* — the optimizations only reorganize computation
+and communication.  We assert bit-level rank consistency and cross-variant
+agreement, plus equivalence with single-process K-FAC on the union batch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm import run_spmd
+from repro.core import KFACOptimizer
+from repro.core.distributed import DistKFACOptimizer, InverseStrategy, layer_kfac_dims
+from repro.models import make_mlp, make_small_cnn
+from repro.nn import Conv2d, CrossEntropyLoss, Linear
+
+WORLD = 4
+
+
+def batch_for(seed, n=8, features=6, classes=3):
+    r = np.random.default_rng(seed)
+    return r.normal(size=(n, features)), r.integers(0, classes, n)
+
+
+def run_variant(strategy, steps=3, fusion="bulk", world=WORLD):
+    def rank_fn(comm):
+        net = make_mlp(in_features=6, hidden=10, num_classes=3, rng=42)
+        opt = DistKFACOptimizer(
+            net,
+            comm,
+            lr=0.1,
+            damping=1e-2,
+            stat_decay=0.9,
+            inverse_strategy=strategy,
+            factor_fusion=fusion,
+            fusion_threshold_elements=50,
+        )
+        loss_fn = CrossEntropyLoss()
+        for it in range(steps):
+            x, y = batch_for(1000 + world * it + comm.rank)
+            opt.zero_grad()
+            loss_fn(net(x), y)
+            net.run_backward(loss_fn.backward())
+            opt.step()
+        return np.concatenate([p.data.ravel() for p in net.parameters()])
+
+    return run_spmd(world, rank_fn)
+
+
+class TestLayerDims:
+    def test_linear_dims(self, rng):
+        assert layer_kfac_dims(Linear(10, 4, rng=rng)) == (11, 4)
+        assert layer_kfac_dims(Linear(10, 4, bias=False, rng=rng)) == (10, 4)
+
+    def test_conv_dims(self, rng):
+        assert layer_kfac_dims(Conv2d(3, 8, kernel_size=5, rng=rng)) == (75, 8)
+
+    def test_unsupported(self):
+        from repro.nn import ReLU
+
+        with pytest.raises(TypeError):
+            layer_kfac_dims(ReLU())
+
+
+class TestNumericalIdentity:
+    @pytest.mark.parametrize(
+        "strategy",
+        [
+            InverseStrategy.LOCAL,
+            InverseStrategy.SEQ_DIST,
+            InverseStrategy.BALANCED,
+            InverseStrategy.LBP,
+        ],
+    )
+    def test_ranks_stay_consistent(self, strategy):
+        params = run_variant(strategy)
+        for other in params[1:]:
+            np.testing.assert_array_equal(params[0], other)
+
+    def test_all_variants_agree(self):
+        reference = run_variant(InverseStrategy.LOCAL)[0]
+        for strategy in (InverseStrategy.SEQ_DIST, InverseStrategy.BALANCED, InverseStrategy.LBP):
+            np.testing.assert_allclose(run_variant(strategy)[0], reference, atol=1e-9)
+
+    def test_fusion_does_not_change_results(self):
+        bulk = run_variant(InverseStrategy.LBP, fusion="bulk")[0]
+        threshold = run_variant(InverseStrategy.LBP, fusion="threshold")[0]
+        np.testing.assert_allclose(bulk, threshold, atol=1e-11)
+
+    def test_matches_single_process_on_union_batch(self):
+        """P ranks with disjoint shards == one process on the concatenated
+        batch (Eq. 13 reduces to Eq. 12 with the union expectation).
+
+        Per-rank factor/grad means equal the union mean only when shards
+        have equal size (they do here).
+        """
+        steps = 2
+        dist_params = run_variant(InverseStrategy.LOCAL, steps=steps)[0]
+
+        net = make_mlp(in_features=6, hidden=10, num_classes=3, rng=42)
+        opt = KFACOptimizer(net, lr=0.1, damping=1e-2, stat_decay=0.9)
+        loss_fn = CrossEntropyLoss()
+        for it in range(steps):
+            shards = [batch_for(1000 + WORLD * it + r) for r in range(WORLD)]
+            x = np.concatenate([s[0] for s in shards])
+            y = np.concatenate([s[1] for s in shards])
+            opt.zero_grad()
+            loss_fn(net(x), y)
+            net.run_backward(loss_fn.backward())
+            opt.step()
+        single = np.concatenate([p.data.ravel() for p in net.parameters()])
+        # Conv/linear G factors aggregate means of per-shard outer products;
+        # for equal shards this equals the union-batch factor exactly.
+        np.testing.assert_allclose(dist_params, single, atol=1e-8)
+
+    def test_world_size_one_degenerates_to_local_kfac(self):
+        dist = run_variant(InverseStrategy.LBP, world=1)[0]
+        local = run_variant(InverseStrategy.LOCAL, world=1)[0]
+        np.testing.assert_allclose(dist, local, atol=1e-12)
+
+
+class TestDistributedTraining:
+    def test_loss_decreases_with_conv_model(self):
+        from repro.workloads import synthetic_images
+
+        def rank_fn(comm):
+            net = make_small_cnn(in_channels=1, num_classes=4, rng=7)
+            opt = DistKFACOptimizer(
+                net, comm, lr=0.03, damping=1e-1, stat_decay=0.5,
+                inverse_strategy=InverseStrategy.LBP,
+            )
+            loss_fn = CrossEntropyLoss()
+            losses = []
+            for it in range(6):
+                x, y = synthetic_images(8, rng=300 + 2 * it + comm.rank)
+                opt.zero_grad()
+                losses.append(loss_fn(net(x), y))
+                net.run_backward(loss_fn.backward())
+                opt.step()
+            return losses
+
+        losses_by_rank = run_spmd(2, rank_fn)
+        for losses in losses_by_rank:
+            assert losses[-1] < losses[0]
+
+    def test_placement_computed_once_and_valid(self):
+        def rank_fn(comm):
+            net = make_mlp(in_features=6, hidden=10, num_classes=3, rng=42)
+            opt = DistKFACOptimizer(
+                net, comm, lr=0.1, inverse_strategy=InverseStrategy.LBP
+            )
+            placement = opt.placement
+            assert placement.num_ranks == comm.world_size
+            assert len(placement.dims) == 2 * len(opt.preconditioner.layers)
+            return placement.num_cts()
+
+        counts = run_spmd(3, rank_fn)
+        assert len(set(counts)) == 1  # identical plan everywhere
+
+    def test_invalid_fusion_argument(self):
+        def rank_fn(comm):
+            net = make_mlp(rng=0)
+            DistKFACOptimizer(net, comm, lr=0.1, factor_fusion="bogus")
+
+        with pytest.raises(ValueError, match="factor_fusion"):
+            run_spmd(1, rank_fn)

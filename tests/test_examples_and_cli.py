@@ -1,0 +1,81 @@
+"""Smoke tests: every example script runs end-to-end; the CLI works."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES = REPO_ROOT / "examples"
+
+
+def run_script(*args, timeout=600):
+    return subprocess.run(
+        [sys.executable, *args],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = run_script(EXAMPLES / "quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "K-FAC loss" in result.stdout
+
+    def test_distributed_training(self):
+        result = run_script(EXAMPLES / "distributed_training.py")
+        assert result.returncode == 0, result.stderr
+        assert "bit-identical across 4 ranks: True" in result.stdout
+        assert "allreduce" in result.stdout
+
+    def test_cluster_simulation_small(self, tmp_path):
+        trace = tmp_path / "trace.json"
+        result = run_script(EXAMPLES / "cluster_simulation.py", "ResNet-50", "4", str(trace))
+        assert result.returncode == 0, result.stderr
+        assert "SPD-KFAC" in result.stdout
+        assert trace.exists()
+
+    def test_planning_deep_dive(self):
+        result = run_script(EXAMPLES / "planning_deep_dive.py", "ResNet-50")
+        assert result.returncode == 0, result.stderr
+        assert "Optimal tensor fusion" in result.stdout
+        assert "LBP" in result.stdout
+
+
+class TestExperimentsCli:
+    def test_single_fast_experiments(self):
+        result = run_script("-m", "repro.experiments", "tab2", "fig3", "fig11")
+        assert result.returncode == 0, result.stderr
+        for marker in ("tab2:", "fig3:", "fig11:"):
+            assert marker in result.stdout
+
+    def test_unknown_experiment_fails_cleanly(self):
+        result = run_script("-m", "repro.experiments", "fig99")
+        assert result.returncode != 0
+
+    def test_main_callable_in_process(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["tab2"]) == 0
+        captured = capsys.readouterr()
+        assert "Table II" in captured.out
+
+    def test_help(self):
+        result = run_script("-m", "repro.experiments", "--help")
+        assert result.returncode == 0
+        assert "report" in result.stdout
+
+
+@pytest.mark.parametrize("experiment_id", ["tab2", "fig3", "fig7", "fig11"])
+def test_fast_experiments_render_roundtrip(experiment_id):
+    """Fast experiments render both text and markdown without error."""
+    from repro.experiments import get_experiment
+
+    result = get_experiment(experiment_id).run()
+    assert result.rows
+    assert result.to_text()
+    assert result.to_markdown()

@@ -1,0 +1,125 @@
+"""Tests for Kronecker factor construction (Eqs. 6-9, KFC expansion)."""
+
+import numpy as np
+import pytest
+
+from repro.core.factors import (
+    conv_factor_A,
+    conv_factor_G,
+    kfac_layers,
+    layer_factor_A,
+    layer_factor_G,
+    linear_factor_A,
+    linear_factor_G,
+)
+from repro.nn import Conv2d, CrossEntropyLoss, Linear, ReLU, Sequential
+from repro.nn.functional import im2col
+
+
+class TestLinearFactors:
+    def test_factor_a_is_input_second_moment(self, rng):
+        x = rng.normal(size=(16, 5))
+        a = linear_factor_A(x, has_bias=False)
+        np.testing.assert_allclose(a, x.T @ x / 16)
+
+    def test_bias_augmentation(self, rng):
+        x = rng.normal(size=(8, 3))
+        a = linear_factor_A(x, has_bias=True)
+        assert a.shape == (4, 4)
+        assert a[3, 3] == pytest.approx(1.0)  # E[1*1]
+        np.testing.assert_allclose(a[3, :3], x.mean(axis=0))
+
+    def test_factor_g_scaling(self, rng):
+        g = rng.normal(size=(8, 4))
+        factor = linear_factor_G(g, batch_size=8)
+        np.testing.assert_allclose(factor, g.T @ g * 8)
+
+    def test_symmetric_psd(self, rng):
+        a = linear_factor_A(rng.normal(size=(32, 6)), has_bias=True)
+        np.testing.assert_allclose(a, a.T)
+        eigvals = np.linalg.eigvalsh(a)
+        assert eigvals.min() >= -1e-10
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            linear_factor_A(np.zeros((2, 3, 4)), has_bias=False)
+        with pytest.raises(ValueError):
+            linear_factor_G(np.zeros((2, 3)), batch_size=0)
+
+
+class TestConvFactors:
+    def test_factor_a_matches_explicit_patch_expansion(self, rng):
+        layer = Conv2d(2, 3, kernel_size=3, padding=1, rng=rng)
+        x = rng.normal(size=(4, 2, 5, 5))
+        a = conv_factor_A(x, layer)
+        cols = im2col(x, (3, 3), 1, 1)
+        np.testing.assert_allclose(a, cols.T @ cols / cols.shape[0])
+
+    def test_factor_g_shape_and_scaling(self, rng):
+        g = rng.normal(size=(4, 6, 3, 3))
+        factor = conv_factor_G(g, batch_size=4)
+        assert factor.shape == (6, 6)
+        gmat = g.transpose(0, 2, 3, 1).reshape(-1, 6)
+        np.testing.assert_allclose(factor, gmat.T @ gmat * (4 / 9))
+
+    def test_dims_match_spec_convention(self, rng):
+        """conv factor dims equal C_in*k*k and C_out, matching LayerSpec."""
+        layer = Conv2d(4, 7, kernel_size=3, padding=1, rng=rng)
+        x = rng.normal(size=(2, 4, 6, 6))
+        layer(x)
+        a = conv_factor_A(x, layer)
+        g = conv_factor_G(rng.normal(size=(2, 7, 6, 6)), batch_size=2)
+        assert a.shape == (36, 36)
+        assert g.shape == (7, 7)
+
+
+class TestExactFisherProperty:
+    def test_batch_one_kron_product_equals_fisher_block(self, rng):
+        """With N=1, A (x) G equals the exact empirical Fisher block
+        vec(gbar xbar^T) vec(gbar xbar^T)^T of a linear layer."""
+        x = rng.normal(size=(1, 4))
+        gbar = rng.normal(size=(1, 3))  # per-sample sum-loss gradient
+        g_mean = gbar / 1  # mean-loss convention with N=1
+        a = linear_factor_A(x, has_bias=False)
+        g = linear_factor_G(g_mean, batch_size=1)
+        kron = np.kron(a, g)
+        grad_matrix = gbar.T @ x  # dL/dW (out, in)
+        flat = grad_matrix.reshape(-1, order="F")  # vec over (in-major)
+        exact = np.outer(flat, flat)
+        # kron(a, g)[in-major vec] corresponds to A (x) G ordering.
+        np.testing.assert_allclose(kron, exact, atol=1e-12)
+
+
+class TestDispatch:
+    def test_kfac_layers_finds_all_in_order(self, rng):
+        net = Sequential(
+            Conv2d(1, 2, 3, rng=rng), ReLU(), Linear(4, 3, rng=rng), Linear(3, 2, rng=rng)
+        )
+        layers = kfac_layers(net)
+        assert [type(m).__name__ for m in layers] == ["Conv2d", "Linear", "Linear"]
+
+    def test_layer_factor_dispatch(self, rng):
+        lin = Linear(4, 2, rng=rng)
+        assert layer_factor_A(lin, rng.normal(size=(3, 4))).shape == (5, 5)
+        assert layer_factor_G(lin, rng.normal(size=(3, 2)), 3).shape == (2, 2)
+        conv = Conv2d(2, 3, kernel_size=2, rng=rng)
+        assert layer_factor_A(conv, rng.normal(size=(2, 2, 4, 4))).shape == (8, 8)
+
+    def test_unsupported_layer_type(self):
+        with pytest.raises(TypeError):
+            layer_factor_A(ReLU(), np.zeros((1, 1)))
+
+    def test_loss_grad_convention_consistency(self, rng):
+        """End-to-end: factors built from the hooks' tensors with the
+        mean-reduced CrossEntropyLoss have the advertised scaling."""
+        net = Sequential(Linear(5, 4, rng=rng))
+        loss = CrossEntropyLoss()
+        x = rng.normal(size=(8, 5))
+        y = rng.integers(0, 4, 8)
+        loss(net(x), y)
+        net.run_backward(loss.backward())
+        layer = net.layers[0]
+        g = linear_factor_G(layer.last_grad_output, batch_size=8)
+        # G = N * g^T g where g carries a 1/N factor -> magnitude ~ E[ghat ghat^T]/N... (finite)
+        assert np.isfinite(g).all()
+        assert np.linalg.eigvalsh(g).min() >= -1e-12

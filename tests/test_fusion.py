@@ -1,0 +1,202 @@
+"""Tests for tensor-fusion planning (Section IV-A, Eq. 15 / MG-WFBP)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fusion import (
+    FusionPlan,
+    TensorFusionController,
+    fusion_completion_time,
+    plan_bulk,
+    plan_eq15_greedy,
+    plan_no_fusion,
+    plan_optimal_fusion,
+    plan_threshold_fusion,
+)
+from repro.perf import LinearCommModel
+
+COMM = LinearCommModel(alpha=1.0, beta=0.01)
+
+
+class TestFusionPlan:
+    def test_validates_contiguity(self):
+        with pytest.raises(ValueError):
+            FusionPlan(((0, 2), (1,)))
+
+    def test_validates_coverage(self):
+        with pytest.raises(ValueError):
+            FusionPlan(((0,), (2,)))
+
+    def test_rejects_empty_bucket(self):
+        with pytest.raises(ValueError):
+            FusionPlan(((0,), ()))
+
+    def test_bucket_of(self):
+        plan = FusionPlan(((0, 1), (2,)))
+        assert plan.bucket_of(0) == 0
+        assert plan.bucket_of(2) == 1
+        with pytest.raises(IndexError):
+            plan.bucket_of(3)
+
+    def test_bucket_elements(self):
+        plan = FusionPlan(((0, 1), (2,)))
+        assert plan.bucket_elements([10, 20, 5]) == [30, 5]
+        with pytest.raises(ValueError):
+            plan.bucket_elements([1, 2])
+
+
+class TestSimplePlanners:
+    def test_no_fusion(self):
+        plan = plan_no_fusion(4)
+        assert plan.num_buckets == 4
+        assert plan.buckets == ((0,), (1,), (2,), (3,))
+
+    def test_bulk(self):
+        assert plan_bulk(3).buckets == ((0, 1, 2),)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            plan_no_fusion(0)
+        with pytest.raises(ValueError):
+            plan_bulk(0)
+
+    def test_threshold_closes_at_capacity(self):
+        plan = plan_threshold_fusion([5, 5, 5, 5], threshold_elements=10)
+        assert plan.buckets == ((0, 1), (2, 3))
+
+    def test_threshold_trailing_bucket(self):
+        plan = plan_threshold_fusion([10, 3], threshold_elements=10)
+        assert plan.buckets == ((0,), (1,))
+
+    def test_threshold_one_giant_tensor(self):
+        plan = plan_threshold_fusion([100], threshold_elements=10)
+        assert plan.buckets == ((0,),)
+
+    def test_threshold_never_reached(self):
+        plan = plan_threshold_fusion([1, 1, 1], threshold_elements=1000)
+        assert plan.buckets == ((0, 1, 2),)
+
+
+class TestOptimalFusion:
+    def test_dense_arrivals_fuse(self):
+        """Tensors arriving much faster than alpha should merge heavily."""
+        avail = [0.0, 0.01, 0.02, 0.03]
+        plan = plan_optimal_fusion([1, 1, 1, 1], avail, COMM)
+        assert plan.num_buckets <= 2
+
+    def test_sparse_arrivals_stay_separate(self):
+        """Arrivals spaced far beyond the bucket comm time do not merge —
+        each all-reduce completes before the next tensor exists."""
+        avail = [0.0, 100.0, 200.0]
+        plan = plan_optimal_fusion([1, 1, 1], avail, COMM)
+        assert plan.num_buckets == 3
+
+    def test_beats_or_ties_every_contiguous_alternative(self):
+        """DP optimality: no other contiguous partition finishes earlier."""
+        sizes = [50, 10, 200, 5, 5, 80]
+        avail = [0.0, 0.5, 2.0, 2.1, 2.2, 6.0]
+        best = plan_optimal_fusion(sizes, avail, COMM)
+        best_finish = fusion_completion_time(best, sizes, avail, COMM)
+
+        def partitions(n):
+            if n == 0:
+                yield []
+                return
+            for head in range(1, n + 1):
+                for rest in partitions(n - head):
+                    yield [head] + rest
+
+        for shape in partitions(len(sizes)):
+            start = 0
+            buckets = []
+            for width in shape:
+                buckets.append(tuple(range(start, start + width)))
+                start += width
+            alt = FusionPlan(tuple(buckets))
+            assert best_finish <= fusion_completion_time(alt, sizes, avail, COMM) + 1e-12
+
+    def test_initial_channel_free_delays_everything(self):
+        sizes, avail = [10, 10], [0.0, 0.1]
+        free = fusion_completion_time(
+            plan_optimal_fusion(sizes, avail, COMM), sizes, avail, COMM
+        )
+        busy = fusion_completion_time(
+            plan_optimal_fusion(sizes, avail, COMM, initial_channel_free=50.0),
+            sizes,
+            avail,
+            COMM,
+            initial_channel_free=50.0,
+        )
+        assert busy >= 50.0 + 1.0
+        assert busy > free
+
+    def test_decreasing_avail_rejected(self):
+        with pytest.raises(ValueError):
+            plan_optimal_fusion([1, 1], [1.0, 0.5], COMM)
+
+    def test_negative_avail_rejected(self):
+        with pytest.raises(ValueError):
+            plan_optimal_fusion([1], [-0.1], COMM)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            plan_optimal_fusion([1, 2], [0.0], COMM)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=1, max_value=500), min_size=1, max_size=12),
+        st.lists(st.floats(min_value=0, max_value=10, allow_nan=False), min_size=1, max_size=12),
+    )
+    def test_optimal_never_worse_than_bulk_or_none(self, sizes, gaps):
+        n = min(len(sizes), len(gaps))
+        sizes = sizes[:n]
+        avail = []
+        clock = 0.0
+        for gap in gaps[:n]:
+            clock += gap
+            avail.append(clock)
+        best = plan_optimal_fusion(sizes, avail, COMM)
+        t_best = fusion_completion_time(best, sizes, avail, COMM)
+        for reference in (plan_bulk(n), plan_no_fusion(n)):
+            assert t_best <= fusion_completion_time(reference, sizes, avail, COMM) + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=100), min_size=1, max_size=15))
+    def test_greedy_valid_and_never_better_than_dp(self, sizes):
+        avail = [0.2 * i for i in range(len(sizes))]
+        greedy = plan_eq15_greedy(sizes, avail, COMM)
+        dp = plan_optimal_fusion(sizes, avail, COMM)
+        assert greedy.num_tensors == len(sizes)
+        t_greedy = fusion_completion_time(greedy, sizes, avail, COMM)
+        t_dp = fusion_completion_time(dp, sizes, avail, COMM)
+        assert t_dp <= t_greedy + 1e-9
+
+
+class TestController:
+    def test_releases_buckets_in_order(self):
+        plan = FusionPlan(((0, 1), (2,)))
+        ctrl = TensorFusionController(plan)
+        assert ctrl.submit(0, "a") is None
+        released = ctrl.submit(1, "b")
+        assert released == [(0, "a"), (1, "b")]
+        assert ctrl.submit(2, "c") == [(2, "c")]
+
+    def test_out_of_order_submission_rejected(self):
+        ctrl = TensorFusionController(plan_no_fusion(3))
+        ctrl.submit(0, None)
+        with pytest.raises(ValueError):
+            ctrl.submit(2, None)
+
+    def test_reset_between_iterations(self):
+        ctrl = TensorFusionController(plan_bulk(2))
+        ctrl.submit(0, "x")
+        ctrl.submit(1, "y")
+        ctrl.reset()
+        assert ctrl.submit(0, "x2") is None
+
+    def test_reset_with_pending_raises(self):
+        ctrl = TensorFusionController(plan_bulk(2))
+        ctrl.submit(0, "x")
+        with pytest.raises(RuntimeError):
+            ctrl.reset()

@@ -1,0 +1,163 @@
+"""Tests for the K-FAC extension features: eig inverses, update
+frequencies, parameter broadcast."""
+
+import numpy as np
+import pytest
+
+from repro.comm import run_spmd
+from repro.core import KFACOptimizer, KFACPreconditioner, damped_inverse, eig_damped_inverse
+from repro.core.distributed import DistKFACOptimizer, InverseStrategy
+from repro.models import make_mlp
+from repro.nn import CrossEntropyLoss, Linear, Sequential
+
+
+class TestEigInverse:
+    def test_matches_cholesky_on_spd(self, rng):
+        root = rng.normal(size=(12, 12))
+        factor = root @ root.T
+        np.testing.assert_allclose(
+            eig_damped_inverse(factor, 0.1), damped_inverse(factor, 0.1), rtol=1e-8
+        )
+
+    def test_handles_psd_rank_deficient(self, rng):
+        v = rng.normal(size=(5, 2))
+        factor = v @ v.T  # rank 2, Cholesky of undamped would fail
+        inv = eig_damped_inverse(factor, 1e-3)
+        np.testing.assert_allclose(
+            inv @ (factor + 1e-3 * np.eye(5)), np.eye(5), atol=1e-6
+        )
+
+    def test_clamps_small_negative_eigenvalues(self):
+        # Nearly-PSD factor with a tiny negative eigenvalue from rounding.
+        factor = np.diag([1.0, 1e-14]) - np.full((2, 2), 2e-14)
+        inv = eig_damped_inverse(factor, 0.5)
+        assert np.isfinite(inv).all()
+
+    def test_result_symmetric(self, rng):
+        root = rng.normal(size=(7, 7))
+        inv = eig_damped_inverse(root @ root.T, 1e-2)
+        np.testing.assert_array_equal(inv, inv.T)
+
+
+class TestInverseMethodOption:
+    def _one_step(self, method, rng_seed=3):
+        net = Sequential(Linear(5, 4, rng=rng_seed), Linear(4, 3, rng=rng_seed + 1))
+        prec = KFACPreconditioner(net, damping=1e-2, stat_decay=0.0, inverse_method=method)
+        loss = CrossEntropyLoss()
+        r = np.random.default_rng(0)
+        x, y = r.normal(size=(16, 5)), r.integers(0, 3, 16)
+        loss(net(x), y)
+        net.run_backward(loss.backward())
+        prec.step()
+        return np.concatenate([p.grad.ravel() for p in net.parameters()])
+
+    def test_methods_agree(self):
+        np.testing.assert_allclose(
+            self._one_step("cholesky"), self._one_step("eig"), rtol=1e-7
+        )
+
+    def test_invalid_method_rejected(self, rng):
+        with pytest.raises(ValueError, match="inverse_method"):
+            KFACPreconditioner(make_mlp(rng=0), inverse_method="qr")
+
+
+class TestUpdateFrequencies:
+    def _trainable(self, factor_update_freq):
+        net = Sequential(Linear(4, 3, rng=5))
+        prec = KFACPreconditioner(
+            net, damping=1e-2, stat_decay=0.5, factor_update_freq=factor_update_freq
+        )
+        loss = CrossEntropyLoss()
+        r = np.random.default_rng(1)
+        return net, prec, loss, r
+
+    def test_factor_freq_skips_refreshes(self):
+        net, prec, loss, r = self._trainable(factor_update_freq=2)
+        snapshots = []
+        for _ in range(4):
+            net.zero_grad()
+            loss(net(r.normal(size=(8, 4))), r.integers(0, 3, 8))
+            net.run_backward(loss.backward())
+            prec.step()
+            snapshots.append(prec.ordered_states()[0].factor_a.copy())
+        # Steps 0 and 1 share factors (refresh at 0 only), as do 2 and 3.
+        np.testing.assert_array_equal(snapshots[0], snapshots[1])
+        np.testing.assert_array_equal(snapshots[2], snapshots[3])
+        assert not np.array_equal(snapshots[1], snapshots[2])
+
+    def test_invalid_freq(self):
+        with pytest.raises(ValueError):
+            KFACPreconditioner(make_mlp(rng=0), factor_update_freq=0)
+        with pytest.raises(ValueError):
+            KFACOptimizer(make_mlp(rng=0), lr=0.1, inverse_update_freq=0)
+
+
+class TestDistributedExtensions:
+    def test_broadcast_parameters_syncs_ranks(self):
+        def rank_fn(comm):
+            net = make_mlp(in_features=4, hidden=6, num_classes=2, rng=comm.rank)
+            opt = DistKFACOptimizer(net, comm, lr=0.1)
+            opt.broadcast_parameters(root=0)
+            return np.concatenate([p.data.ravel() for p in net.parameters()])
+
+        params = run_spmd(3, rank_fn)
+        for other in params[1:]:
+            np.testing.assert_array_equal(params[0], other)
+
+    def test_eig_method_numerically_identical_across_ranks(self):
+        def rank_fn(comm):
+            net = make_mlp(in_features=4, hidden=6, num_classes=2, rng=9)
+            opt = DistKFACOptimizer(
+                net, comm, lr=0.1, inverse_strategy=InverseStrategy.LBP,
+                inverse_method="eig",
+            )
+            loss = CrossEntropyLoss()
+            r = np.random.default_rng(50 + comm.rank)
+            for _ in range(2):
+                x, y = r.normal(size=(6, 4)), r.integers(0, 2, 6)
+                opt.zero_grad()
+                loss(net(x), y)
+                net.run_backward(loss.backward())
+                opt.step()
+            return np.concatenate([p.data.ravel() for p in net.parameters()])
+
+        params = run_spmd(3, rank_fn)
+        for other in params[1:]:
+            np.testing.assert_array_equal(params[0], other)
+
+    def test_factor_update_freq_distributed_consistency(self):
+        """Skipped factor refreshes must not desynchronize ranks."""
+
+        def rank_fn(comm):
+            net = make_mlp(in_features=4, hidden=6, num_classes=2, rng=9)
+            opt = DistKFACOptimizer(net, comm, lr=0.1, factor_update_freq=2)
+            loss = CrossEntropyLoss()
+            r = np.random.default_rng(70 + comm.rank)
+            for _ in range(4):
+                x, y = r.normal(size=(6, 4)), r.integers(0, 2, 6)
+                opt.zero_grad()
+                loss(net(x), y)
+                net.run_backward(loss.backward())
+                opt.step()
+            return np.concatenate([p.data.ravel() for p in net.parameters()])
+
+        params = run_spmd(2, rank_fn)
+        np.testing.assert_array_equal(params[0], params[1])
+
+
+class TestExtensionExperiments:
+    def test_scaling_experiment_shape(self):
+        from repro.experiments.ext_scaling import run
+
+        result = run(cluster_sizes=(4, 16, 64))
+        assert [row["GPUs"] for row in result.rows] == [4, 16, 64]
+        for row in result.rows:
+            assert row["SPD-KFAC"] <= row["D-KFAC"] + 1e-9
+        assert result.rows[-1]["SP1"] > result.rows[0]["SP1"]
+
+    def test_planner_ablation_shape(self):
+        from repro.experiments.ext_planner_ablation import run
+
+        result = run()
+        for row in result.rows:
+            assert row["A-pass DP(s)"] <= row["A-pass greedy(s)"] + 1e-9

@@ -1,0 +1,165 @@
+"""Tests for the model zoo: Table II statistics and spec invariants."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.models import (
+    PAPER_MODELS,
+    LayerSpec,
+    get_model_spec,
+    make_mlp,
+    make_residual_mlp,
+    make_small_cnn,
+)
+from repro.models.builder import SpecBuilder
+
+
+class TestLayerSpec:
+    def test_conv_kfac_dims(self):
+        layer = LayerSpec("c", "conv", in_dim=512, out_dim=512, kernel=(3, 3), spatial_out=49)
+        assert layer.a_dim == 4608
+        assert layer.g_dim == 512
+        assert layer.a_elements == 10_619_136  # the paper's largest factor
+
+    def test_bias_adds_homogeneous_coordinate(self):
+        layer = LayerSpec("fc", "linear", in_dim=2048, out_dim=1000, has_bias=True)
+        assert layer.a_dim == 2049
+        assert layer.num_params == 2048 * 1000 + 1000
+
+    def test_flops_counting(self):
+        layer = LayerSpec("c", "conv", in_dim=4, out_dim=8, kernel=(3, 3), spatial_out=16)
+        assert layer.forward_flops == 2 * 4 * 9 * 8 * 16
+        assert layer.backward_flops == 2 * layer.forward_flops
+        assert layer.factor_a_flops(2) == 2 * 2 * 16 * 36**2
+
+    def test_linear_cannot_have_kernel(self):
+        with pytest.raises(ValueError):
+            LayerSpec("bad", "linear", in_dim=4, out_dim=4, kernel=(3, 3))
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            LayerSpec("bad", "pool", in_dim=4, out_dim=4)
+
+
+TABLE2 = {
+    # name: (params M, layers, batch, As M, Gs M)
+    "ResNet-50": (25.6, 54, 32, 62.3, 14.6),
+    "ResNet-152": (60.2, 156, 8, 162.0, 32.9),
+    "DenseNet-201": (20.0, 201, 16, 131.0, 1.8),  # paper prints 18.0; see tab2 note
+    "Inception-v4": (42.7, 150, 16, 116.4, 4.7),
+}
+
+
+class TestPaperModels:
+    @pytest.mark.parametrize("name", list(PAPER_MODELS))
+    def test_table2_layer_counts_exact(self, name):
+        assert get_model_spec(name).num_layers == TABLE2[name][1]
+
+    @pytest.mark.parametrize("name", list(PAPER_MODELS))
+    def test_table2_batch_sizes(self, name):
+        assert get_model_spec(name).batch_size == TABLE2[name][2]
+
+    @pytest.mark.parametrize("name", list(PAPER_MODELS))
+    def test_table2_params_within_2pct(self, name):
+        spec = get_model_spec(name)
+        assert spec.num_params / 1e6 == pytest.approx(TABLE2[name][0], rel=0.02)
+
+    @pytest.mark.parametrize("name", list(PAPER_MODELS))
+    def test_table2_factor_elements_within_2pct(self, name):
+        spec = get_model_spec(name)
+        assert spec.total_a_elements / 1e6 == pytest.approx(TABLE2[name][3], rel=0.02)
+        assert spec.total_g_elements / 1e6 == pytest.approx(TABLE2[name][4], rel=0.02)
+
+    def test_resnet50_extreme_factor_sizes(self):
+        """Fig. 3's quoted ResNet-50 extremes must match exactly."""
+        sizes = get_model_spec("ResNet-50").tensor_size_distribution()
+        assert min(sizes) == 2080
+        assert max(sizes) == 10_619_136
+
+    def test_factor_dims_interleaving(self):
+        spec = get_model_spec("ResNet-50")
+        dims = spec.factor_dims()
+        assert len(dims) == 2 * spec.num_layers
+        assert dims[0] == spec.layers[0].a_dim
+        assert dims[1] == spec.layers[0].g_dim
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            get_model_spec("VGG-16")
+
+    def test_case_insensitive_lookup(self):
+        assert get_model_spec("resnet-50").name == "ResNet-50"
+
+    def test_resnet50_forward_flops_in_published_range(self):
+        """~4.1 GMACs/image => ~8.2 GFLOPs at 2 FLOPs per MAC."""
+        spec = get_model_spec("ResNet-50")
+        assert spec.forward_flops() / 1e9 == pytest.approx(8.2, rel=0.05)
+
+
+class TestSpecBuilder:
+    def test_spatial_tracking(self):
+        b = SpecBuilder(model_name="t", batch_size=1, input_size=224)
+        b.conv("c1", 3, 64, kernel=7, stride=2, padding=3)
+        assert b.spatial == (112, 112)
+        b.pool(kernel=3, stride=2, padding=1)
+        assert b.spatial == (56, 56)
+
+    def test_valid_padding(self):
+        b = SpecBuilder(model_name="t", batch_size=1, input_size=10)
+        b.conv("c", 3, 4, kernel=3, padding="valid")
+        assert b.spatial == (8, 8)
+
+    def test_same_padding_with_stride(self):
+        b = SpecBuilder(model_name="t", batch_size=1, input_size=11)
+        b.conv("c", 3, 4, kernel=3, stride=2, padding="same")
+        assert b.spatial == (6, 6)
+
+    def test_branch_does_not_advance_trunk(self):
+        b = SpecBuilder(model_name="t", batch_size=1, input_size=16)
+        b.conv("branch", 3, 4, kernel=3, stride=2, padding="valid", update_spatial=False)
+        assert b.spatial == (16, 16)
+
+    def test_batch_norm_params_accumulate(self):
+        b = SpecBuilder(model_name="t", batch_size=1, input_size=8)
+        b.conv("c", 3, 10, kernel=3)
+        assert b.extra_params == 20
+
+    def test_empty_model_rejected(self):
+        b = SpecBuilder(model_name="t", batch_size=1, input_size=8)
+        with pytest.raises(ValueError):
+            b.build()
+
+    @given(st.integers(min_value=1, max_value=64), st.integers(min_value=1, max_value=7))
+    def test_conv_spatial_never_negative(self, size, kernel):
+        b = SpecBuilder(model_name="t", batch_size=1, input_size=size)
+        if kernel > size:
+            with pytest.raises(ValueError):
+                b.conv("c", 1, 1, kernel=kernel, padding="valid")
+        else:
+            b.conv("c", 1, 1, kernel=kernel, padding="valid")
+            assert min(b.spatial) >= 1
+
+
+class TestSmallNets:
+    def test_mlp_shapes(self, rng):
+        net = make_mlp(in_features=7, hidden=5, num_classes=3, depth=3, rng=0)
+        out = net(rng.normal(size=(4, 7)))
+        assert out.shape == (4, 3)
+
+    def test_small_cnn_shapes(self, rng):
+        net = make_small_cnn(in_channels=2, num_classes=5, rng=0)
+        out = net(rng.normal(size=(3, 2, 8, 8)))
+        assert out.shape == (3, 5)
+
+    def test_residual_mlp_shapes(self, rng):
+        net = make_residual_mlp(in_features=6, hidden=8, num_classes=2, rng=0)
+        assert net(rng.normal(size=(2, 6))).shape == (2, 2)
+
+    def test_same_seed_same_weights(self):
+        a, b = make_mlp(rng=9), make_mlp(rng=9)
+        import numpy as np
+
+        for (n1, p1), (n2, p2) in zip(a.named_parameters(), b.named_parameters()):
+            assert n1 == n2
+            np.testing.assert_array_equal(p1.data, p2.data)

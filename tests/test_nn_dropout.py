@@ -1,0 +1,59 @@
+"""Tests for Dropout."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, Sequential
+from repro.nn.dropout import Dropout
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self, rng):
+        layer = Dropout(0.5, rng=0)
+        layer.eval()
+        x = rng.normal(size=(4, 8))
+        np.testing.assert_array_equal(layer(x), x)
+        np.testing.assert_array_equal(layer.backward(x), x)
+
+    def test_train_mode_zeroes_and_rescales(self):
+        layer = Dropout(0.5, rng=0)
+        x = np.ones((200, 50))
+        out = layer(x)
+        kept = out != 0.0
+        assert 0.3 < kept.mean() < 0.7  # ~half kept
+        np.testing.assert_allclose(out[kept], 2.0)  # inverted scaling
+
+    def test_expectation_preserved(self):
+        layer = Dropout(0.3, rng=1)
+        x = np.ones((400, 100))
+        assert layer(x).mean() == pytest.approx(1.0, rel=0.05)
+
+    def test_backward_uses_same_mask(self, rng):
+        layer = Dropout(0.5, rng=2)
+        x = rng.normal(size=(8, 8))
+        out = layer(x)
+        grad = layer.backward(np.ones_like(out))
+        np.testing.assert_array_equal(grad == 0.0, out == 0.0)
+
+    def test_p_zero_is_identity_in_train(self, rng):
+        layer = Dropout(0.0, rng=0)
+        x = rng.normal(size=(3, 3))
+        np.testing.assert_array_equal(layer(x), x)
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)
+
+    def test_reproducible_with_seed(self, rng):
+        x = rng.normal(size=(5, 5))
+        out1 = Dropout(0.5, rng=7)(x)
+        out2 = Dropout(0.5, rng=7)(x)
+        np.testing.assert_array_equal(out1, out2)
+
+    def test_inside_sequential_backward(self, rng):
+        net = Sequential(Linear(4, 4, rng=0), Dropout(0.5, rng=1), Linear(4, 2, rng=2))
+        out = net(rng.normal(size=(3, 4)))
+        grad_in = net.run_backward(np.ones_like(out))
+        assert grad_in.shape == (3, 4)

@@ -1,0 +1,139 @@
+"""Gradient checks: every layer's backward vs central finite differences."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool2d,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Residual,
+    Sequential,
+    Tanh,
+)
+from tests.conftest import finite_difference_grad
+
+
+def check_input_grad(module, x, rtol=1e-5, atol=1e-7):
+    """Backward's grad-input must match finite differences of sum(output)."""
+    out = module(x)
+    grad_in = module.run_backward(np.ones_like(out))
+
+    def scalar():
+        return float(module(x).sum())
+
+    numeric = finite_difference_grad(scalar, x)
+    np.testing.assert_allclose(grad_in, numeric, rtol=rtol, atol=atol)
+
+
+def check_param_grads(module, x, rtol=1e-5, atol=1e-7):
+    """Parameter gradients must match finite differences."""
+    module.zero_grad()
+    out = module(x)
+    module.run_backward(np.ones_like(out))
+    analytic = {name: p.grad.copy() for name, p in module.named_parameters()}
+    for name, p in module.named_parameters():
+
+        def scalar():
+            return float(module(x).sum())
+
+        numeric = finite_difference_grad(scalar, p.data)
+        np.testing.assert_allclose(analytic[name], numeric, rtol=rtol, atol=atol)
+
+
+class TestLinear:
+    def test_input_grad(self, rng):
+        check_input_grad(Linear(5, 4, rng=rng), rng.normal(size=(3, 5)))
+
+    def test_param_grads(self, rng):
+        check_param_grads(Linear(4, 3, rng=rng), rng.normal(size=(2, 4)))
+
+    def test_no_bias(self, rng):
+        layer = Linear(4, 3, bias=False, rng=rng)
+        assert layer.bias is None
+        check_param_grads(layer, rng.normal(size=(2, 4)))
+
+
+class TestConv2d:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1), (2, 0)])
+    def test_input_grad(self, rng, stride, padding):
+        layer = Conv2d(2, 3, kernel_size=3, stride=stride, padding=padding, rng=rng)
+        check_input_grad(layer, rng.normal(size=(2, 2, 6, 6)))
+
+    def test_param_grads(self, rng):
+        layer = Conv2d(2, 2, kernel_size=3, padding=1, bias=True, rng=rng)
+        check_param_grads(layer, rng.normal(size=(2, 2, 4, 4)))
+
+    def test_1x1_conv(self, rng):
+        layer = Conv2d(3, 5, kernel_size=1, rng=rng)
+        check_input_grad(layer, rng.normal(size=(2, 3, 4, 4)))
+
+
+class TestActivations:
+    def test_relu_grad(self, rng):
+        x = rng.normal(size=(4, 6)) + 0.05  # keep away from the kink
+        check_input_grad(ReLU(), x)
+
+    def test_tanh_grad(self, rng):
+        check_input_grad(Tanh(), rng.normal(size=(4, 6)), rtol=1e-4)
+
+
+class TestBatchNorm:
+    def test_train_mode_grads(self, rng):
+        layer = BatchNorm2d(3)
+        check_input_grad(layer, rng.normal(size=(4, 3, 3, 3)), rtol=1e-4, atol=1e-6)
+
+    def test_param_grads(self, rng):
+        layer = BatchNorm2d(2)
+        x = rng.normal(size=(3, 2, 2, 2))
+        layer.zero_grad()
+        out = layer(x)
+        layer.run_backward(np.ones_like(out))
+        # beta's gradient of sum(out) is the count of positions per channel.
+        np.testing.assert_allclose(layer.beta.grad, np.full(2, 3 * 2 * 2), rtol=1e-9)
+
+    def test_eval_mode_uses_running_stats(self, rng):
+        layer = BatchNorm2d(2)
+        x = rng.normal(size=(4, 2, 3, 3))
+        layer(x)  # populate running stats
+        layer.eval()
+        check_input_grad(layer, rng.normal(size=(2, 2, 3, 3)), rtol=1e-4)
+
+
+class TestPooling:
+    def test_maxpool_grad(self, rng):
+        # Distinct values avoid argmax ties that break finite differences.
+        x = rng.permutation(np.arange(2 * 2 * 4 * 4).astype(float)).reshape(2, 2, 4, 4)
+        check_input_grad(MaxPool2d(2), x)
+
+    def test_maxpool_with_stride_padding(self, rng):
+        x = rng.permutation(np.arange(1 * 1 * 5 * 5).astype(float)).reshape(1, 1, 5, 5)
+        check_input_grad(MaxPool2d(3, stride=2, padding=1), x)
+
+    def test_avgpool_grad(self, rng):
+        check_input_grad(AvgPool2d(2), rng.normal(size=(2, 3, 4, 4)))
+
+    def test_global_avgpool_grad(self, rng):
+        check_input_grad(GlobalAvgPool2d(), rng.normal(size=(2, 3, 4, 4)))
+
+    def test_flatten_grad(self, rng):
+        check_input_grad(Flatten(), rng.normal(size=(2, 3, 2, 2)))
+
+
+class TestComposites:
+    def test_sequential_grad(self, rng):
+        net = Sequential(Linear(5, 8, rng=rng), Tanh(), Linear(8, 3, rng=rng))
+        check_input_grad(net, rng.normal(size=(3, 5)), rtol=1e-4)
+
+    def test_residual_grad(self, rng):
+        block = Sequential(Linear(6, 6, rng=rng), Tanh())
+        check_input_grad(Residual(block), rng.normal(size=(2, 6)), rtol=1e-4)
+
+    def test_residual_shape_mismatch_raises(self, rng):
+        with pytest.raises(ValueError, match="residual"):
+            Residual(Linear(4, 5, rng=rng))(rng.normal(size=(2, 4)))

@@ -1,0 +1,213 @@
+"""Behavioural tests for the NN substrate (shapes, hooks, losses, SGD)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BatchNorm2d,
+    Conv2d,
+    CrossEntropyLoss,
+    Linear,
+    MSELoss,
+    Parameter,
+    ReLU,
+    SGD,
+    Sequential,
+)
+from repro.nn.functional import col2im, conv_output_size, im2col
+from repro.nn.loss import softmax
+
+
+class TestParameter:
+    def test_grad_accumulates(self):
+        p = Parameter(np.zeros((2, 2)))
+        p.add_grad(np.ones((2, 2)))
+        p.add_grad(np.ones((2, 2)))
+        np.testing.assert_allclose(p.grad, 2 * np.ones((2, 2)))
+
+    def test_shape_mismatch(self):
+        p = Parameter(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            p.add_grad(np.ones(3))
+
+    def test_zero_grad(self):
+        p = Parameter(np.zeros(2))
+        p.add_grad(np.ones(2))
+        p.zero_grad()
+        assert p.grad is None
+
+
+class TestModuleTree:
+    def test_parameters_traversal(self, rng):
+        net = Sequential(Linear(3, 4, rng=rng), ReLU(), Linear(4, 2, rng=rng))
+        names = [n for n, _ in net.named_parameters()]
+        assert names == ["0.weight", "0.bias", "2.weight", "2.bias"]
+        assert net.num_parameters() == 3 * 4 + 4 + 4 * 2 + 2
+
+    def test_train_eval_propagates(self, rng):
+        net = Sequential(Conv2d(1, 2, 3, rng=rng), BatchNorm2d(2))
+        net.eval()
+        assert all(not m.training for m in net.modules())
+        net.train()
+        assert all(m.training for m in net.modules())
+
+    def test_forward_pre_hook_sees_input(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        seen = []
+        layer.register_forward_pre_hook(lambda mod, x: seen.append(x.copy()))
+        x = rng.normal(size=(4, 3))
+        layer(x)
+        assert len(seen) == 1
+        np.testing.assert_array_equal(seen[0], x)
+
+    def test_backward_hook_sees_grad_output(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        seen = []
+        layer.register_backward_hook(lambda mod, gi, go: seen.append(go.copy()))
+        layer(rng.normal(size=(4, 3)))
+        grad = rng.normal(size=(4, 2))
+        layer.run_backward(grad)
+        np.testing.assert_array_equal(seen[0], grad)
+
+    def test_hooks_fire_through_sequential(self, rng):
+        net = Sequential(Linear(3, 3, rng=rng), ReLU(), Linear(3, 2, rng=rng))
+        order = []
+        net.layers[0].register_forward_pre_hook(lambda m, x: order.append("pre0"))
+        net.layers[2].register_forward_pre_hook(lambda m, x: order.append("pre2"))
+        net.layers[0].register_backward_hook(lambda m, gi, go: order.append("bwd0"))
+        net.layers[2].register_backward_hook(lambda m, gi, go: order.append("bwd2"))
+        out = net(rng.normal(size=(2, 3)))
+        net.run_backward(np.ones_like(out))
+        # Forward hooks fire first-to-last; backward hooks last-to-first —
+        # exactly the A-pass / G-pass orders of Fig. 1(b).
+        assert order == ["pre0", "pre2", "bwd2", "bwd0"]
+
+    def test_backward_before_forward_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            Linear(2, 2, rng=rng).backward(np.ones((1, 2)))
+
+
+class TestIm2Col:
+    def test_output_size(self):
+        assert conv_output_size(8, 3, 1, 1) == 8
+        assert conv_output_size(8, 3, 2, 1) == 4
+        with pytest.raises(ValueError):
+            conv_output_size(2, 5, 1, 0)
+
+    def test_im2col_shape_and_values(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        cols = im2col(x, (2, 2), stride=2, padding=0)
+        assert cols.shape == (4, 4)
+        np.testing.assert_array_equal(cols[0], [0, 1, 4, 5])
+        np.testing.assert_array_equal(cols[3], [10, 11, 14, 15])
+
+    def test_col2im_adjoint_of_im2col(self, rng):
+        """<im2col(x), y> == <x, col2im(y)> — adjointness is exactly what
+        conv backward relies on."""
+        x = rng.normal(size=(2, 3, 5, 5))
+        cols = im2col(x, (3, 3), stride=1, padding=1)
+        y = rng.normal(size=cols.shape)
+        lhs = float((cols * y).sum())
+        rhs = float((x * col2im(y, x.shape, (3, 3), 1, 1)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    def test_conv_equals_direct_computation(self, rng):
+        """im2col conv matches a naive nested-loop convolution."""
+        layer = Conv2d(2, 3, kernel_size=3, stride=1, padding=1, rng=rng)
+        x = rng.normal(size=(1, 2, 4, 4))
+        out = layer(x)
+        xp = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        naive = np.zeros_like(out)
+        for co in range(3):
+            for i in range(4):
+                for j in range(4):
+                    patch = xp[0, :, i : i + 3, j : j + 3]
+                    naive[0, co, i, j] = (patch * layer.weight.data[co]).sum()
+        np.testing.assert_allclose(out, naive, rtol=1e-10)
+
+
+class TestLosses:
+    def test_softmax_rows_sum_to_one(self, rng):
+        probs = softmax(rng.normal(size=(5, 7)) * 10)
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(5), rtol=1e-12)
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        loss = CrossEntropyLoss()
+        assert loss(logits, np.array([0, 1])) == pytest.approx(0.0, abs=1e-10)
+
+    def test_cross_entropy_gradient_matches_fd(self, rng):
+        logits = rng.normal(size=(4, 3))
+        targets = rng.integers(0, 3, 4)
+        loss = CrossEntropyLoss()
+        loss(logits, targets)
+        grad = loss.backward()
+        eps = 1e-6
+        for i in range(4):
+            for j in range(3):
+                bumped = logits.copy()
+                bumped[i, j] += eps
+                plus = CrossEntropyLoss()(bumped, targets)
+                bumped[i, j] -= 2 * eps
+                minus = CrossEntropyLoss()(bumped, targets)
+                assert grad[i, j] == pytest.approx((plus - minus) / (2 * eps), abs=1e-5)
+
+    def test_cross_entropy_input_validation(self):
+        loss = CrossEntropyLoss()
+        with pytest.raises(ValueError):
+            loss(np.zeros((2, 3, 4)), np.zeros(2, dtype=int))
+        with pytest.raises(ValueError):
+            loss(np.zeros((2, 3)), np.zeros(3, dtype=int))
+
+    def test_mse(self, rng):
+        loss = MSELoss()
+        a, b = rng.normal(size=(3, 2)), rng.normal(size=(3, 2))
+        assert loss(a, b) == pytest.approx(float(((a - b) ** 2).mean()))
+        np.testing.assert_allclose(loss.backward(), 2 * (a - b) / a.size)
+
+    def test_backward_before_forward(self):
+        with pytest.raises(RuntimeError):
+            CrossEntropyLoss().backward()
+
+
+class TestSGD:
+    def test_plain_step(self, rng):
+        p = Parameter(np.ones(3))
+        p.add_grad(np.full(3, 2.0))
+        SGD([p], lr=0.5).step()
+        np.testing.assert_allclose(p.data, np.ones(3) - 1.0)
+
+    def test_momentum_accumulates(self):
+        p = Parameter(np.zeros(1))
+        opt = SGD([p], lr=1.0, momentum=0.9)
+        for _ in range(2):
+            p.grad = np.ones(1)
+            opt.step()
+        # First step: -1; second: velocity = 0.9 + 1 = 1.9 -> total -2.9.
+        np.testing.assert_allclose(p.data, [-2.9])
+
+    def test_weight_decay(self):
+        p = Parameter(np.full(1, 10.0))
+        p.add_grad(np.zeros(1))
+        SGD([p], lr=0.1, weight_decay=0.5).step()
+        np.testing.assert_allclose(p.data, [10.0 - 0.1 * 5.0])
+
+    def test_missing_grad_raises(self):
+        p = Parameter(np.zeros(1))
+        opt = SGD([p], lr=0.1)
+        with pytest.raises(RuntimeError):
+            opt.step()
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_sgd_descends_on_quadratic(self, rng):
+        """SGD on f(w) = ||w||^2/2 converges toward zero."""
+        p = Parameter(rng.normal(size=5))
+        opt = SGD([p], lr=0.2)
+        for _ in range(50):
+            p.zero_grad()
+            p.add_grad(p.data.copy())
+            opt.step()
+        assert np.linalg.norm(p.data) < 1e-4

@@ -1,0 +1,89 @@
+"""Tests for the calibrated cluster profiles."""
+
+import pytest
+
+from repro.perf import (
+    PAPER_ALLREDUCE_64GPU,
+    PAPER_BROADCAST_64GPU,
+    PAPER_INVERSE_RTX2080TI,
+    paper_cluster_profile,
+    scaled_cluster_profile,
+)
+
+
+class TestPaperProfile:
+    def test_published_constants(self):
+        """The profile must carry the paper's Section VI-B constants verbatim."""
+        p = paper_cluster_profile()
+        assert p.num_workers == 64
+        assert p.allreduce.alpha == pytest.approx(1.22e-2)
+        assert p.allreduce.beta == pytest.approx(1.45e-9)
+        assert p.broadcast.alpha == pytest.approx(1.59e-2)
+        assert p.broadcast.beta == pytest.approx(7.85e-10)
+        assert p.inverse_estimator.alpha == pytest.approx(3.64e-3)
+        assert p.inverse_estimator.beta == pytest.approx(4.77e-4)
+
+    def test_resnet50_gradient_allreduce_matches_fig2(self):
+        """25.6M gradients all-reduce ~= 49 ms — the Fig. 2 GradComm bar."""
+        p = paper_cluster_profile()
+        assert p.allreduce.time(25.6e6) == pytest.approx(0.049, rel=0.05)
+
+    def test_streamed_models_keep_bandwidth(self):
+        p = paper_cluster_profile()
+        assert p.allreduce_streamed.beta == p.allreduce.beta
+        assert p.broadcast_streamed.beta == p.broadcast.beta
+        assert p.allreduce_streamed.alpha < p.allreduce.alpha
+        assert p.broadcast_streamed.alpha < p.broadcast.alpha
+
+    def test_mpd_inverse_comm_calibration(self):
+        """108 back-to-back ResNet-50 inverse broadcasts must land near the
+        paper's measured ~134 ms (Section III / Fig. 2)."""
+        from repro.models import resnet50_spec
+
+        p = paper_cluster_profile()
+        spec = resnet50_spec()
+        total = sum(
+            p.broadcast_streamed.time_symmetric(d) for d in spec.factor_dims()
+        )
+        assert total == pytest.approx(0.134, rel=0.25)
+
+    def test_ff_bp_calibration(self):
+        """ResNet-50 batch-32 FF&BP lands near the paper's ~0.21 s."""
+        from repro.models import resnet50_spec
+
+        p = paper_cluster_profile()
+        spec = resnet50_spec()
+        flops = 3.0 * spec.forward_flops() * spec.batch_size
+        t = flops / p.train_compute.throughput + 2 * len(spec.layers) * p.train_compute.overhead
+        assert t == pytest.approx(0.21, rel=0.15)
+
+
+class TestScaledProfile:
+    def test_p64_is_identity(self):
+        base = paper_cluster_profile()
+        scaled = scaled_cluster_profile(64)
+        assert scaled.allreduce == base.allreduce
+        assert scaled.broadcast == base.broadcast
+
+    def test_single_worker_has_free_comm(self):
+        p1 = scaled_cluster_profile(1)
+        assert p1.allreduce.time(10**9) == 0.0
+        assert p1.broadcast.time(10**9) == 0.0
+
+    def test_alpha_grows_with_workers(self):
+        small, big = scaled_cluster_profile(8), scaled_cluster_profile(128)
+        assert small.allreduce.alpha < big.allreduce.alpha
+        assert small.broadcast.alpha < big.broadcast.alpha
+
+    def test_ring_beta_saturates(self):
+        """Ring all-reduce beta approaches 2/bandwidth as P grows."""
+        betas = [scaled_cluster_profile(p).allreduce.beta for p in (4, 16, 64, 256)]
+        assert all(b1 <= b2 * 1.001 for b1, b2 in zip(betas, betas[1:]))
+        assert betas[-1] / betas[0] < 1.5
+
+    def test_compute_models_unchanged(self):
+        assert scaled_cluster_profile(8).inverse_actual == paper_cluster_profile().inverse_actual
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            scaled_cluster_profile(0)

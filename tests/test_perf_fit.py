@@ -1,0 +1,73 @@
+"""Tests for the model fitters (the paper's one-time calibration step)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perf import ExpComputeModel, LinearCommModel, fit_exp_compute, fit_linear_comm
+
+
+class TestFitLinearComm:
+    def test_recovers_exact_constants(self):
+        truth = LinearCommModel(alpha=1.22e-2, beta=1.45e-9)
+        sizes = np.logspace(6, 9, 12)
+        times = [truth.time(m) for m in sizes]
+        fitted = fit_linear_comm(sizes, times)
+        assert fitted.alpha == pytest.approx(truth.alpha, rel=1e-6)
+        assert fitted.beta == pytest.approx(truth.beta, rel=1e-6)
+
+    def test_robust_to_noise(self):
+        truth = LinearCommModel(alpha=1.59e-2, beta=7.85e-10)
+        rng = np.random.default_rng(0)
+        sizes = np.logspace(6, 9, 40)
+        times = [truth.time(m) * (1 + rng.normal(0, 0.02)) for m in sizes]
+        fitted = fit_linear_comm(sizes, times)
+        assert fitted.beta == pytest.approx(truth.beta, rel=0.1)
+
+    def test_clamps_negative_intercept(self):
+        fitted = fit_linear_comm([1.0, 2.0, 3.0], [0.0, 1.0, 2.0])
+        assert fitted.alpha >= 0.0
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            fit_linear_comm([1.0], [1.0])
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            fit_linear_comm([1.0, 2.0], [1.0])
+
+    @settings(max_examples=25)
+    @given(
+        st.floats(min_value=1e-4, max_value=1.0),
+        st.floats(min_value=1e-12, max_value=1e-6),
+    )
+    def test_roundtrip_property(self, alpha, beta):
+        truth = LinearCommModel(alpha=alpha, beta=beta)
+        sizes = np.linspace(1e3, 1e9, 10)
+        fitted = fit_linear_comm(sizes, [truth.time(m) for m in sizes])
+        assert fitted.time(5e8) == pytest.approx(truth.time(5e8), rel=1e-3)
+
+
+class TestFitExpCompute:
+    def test_recovers_paper_constants(self):
+        truth = ExpComputeModel(alpha=3.64e-3, beta=4.77e-4)
+        dims = np.linspace(64, 8192, 20)
+        fitted = fit_exp_compute(dims, [truth.time(d) for d in dims])
+        assert fitted.alpha == pytest.approx(truth.alpha, rel=1e-6)
+        assert fitted.beta == pytest.approx(truth.beta, rel=1e-6)
+
+    def test_rejects_nonpositive_times(self):
+        with pytest.raises(ValueError):
+            fit_exp_compute([1.0, 2.0], [1.0, 0.0])
+
+    @settings(max_examples=25)
+    @given(
+        st.floats(min_value=1e-5, max_value=1e-2),
+        st.floats(min_value=1e-5, max_value=1e-3),
+    )
+    def test_roundtrip_property(self, alpha, beta):
+        truth = ExpComputeModel(alpha=alpha, beta=beta)
+        dims = np.linspace(64, 4096, 12)
+        fitted = fit_exp_compute(dims, [truth.time(d) for d in dims])
+        assert fitted.time(2048) == pytest.approx(truth.time(2048), rel=1e-3)

@@ -1,0 +1,104 @@
+"""Tests for factor-communication pipelining strategies and planning."""
+
+import pytest
+
+from repro.core.fusion import fusion_completion_time
+from repro.core.pipeline import (
+    FactorCommStrategy,
+    backward_step_end_times,
+    factor_availability,
+    factor_comm_plans,
+    gradient_fusion_plan,
+    layer_compute_times,
+)
+from repro.models import get_model_spec
+from tests.conftest import build_tiny_spec
+
+
+class TestLayerTimes:
+    def test_times_positive_and_per_layer(self, tiny_spec, paper_profile):
+        t_fwd, t_bwd, t_fa, t_fg = layer_compute_times(tiny_spec, paper_profile)
+        assert len(t_fwd) == len(tiny_spec.layers)
+        assert all(t > 0 for t in t_fwd + t_bwd + t_fa + t_fg)
+
+    def test_backward_costs_twice_forward_flops(self, tiny_spec, paper_profile):
+        t_fwd, t_bwd, _, _ = layer_compute_times(tiny_spec, paper_profile)
+        overhead = paper_profile.train_compute.overhead
+        for fwd, bwd in zip(t_fwd, t_bwd):
+            assert (bwd - overhead) == pytest.approx(2 * (fwd - overhead), rel=1e-9)
+
+
+class TestAvailability:
+    def test_a_availability_monotone(self, tiny_spec, paper_profile):
+        a_avail, g_avail = factor_availability(tiny_spec, paper_profile)
+        assert a_avail == sorted(a_avail)
+        assert g_avail == sorted(g_avail)
+        assert len(a_avail) == len(g_avail) == len(tiny_spec.layers)
+
+    def test_g_pass_follows_forward_pass(self, tiny_spec, paper_profile):
+        a_avail, g_avail = factor_availability(tiny_spec, paper_profile)
+        assert g_avail[0] > a_avail[-1]
+
+    def test_first_a_excludes_forward_compute(self, tiny_spec, paper_profile):
+        """A_0 is computed in the pre-forward hook of layer 0."""
+        a_avail, _ = factor_availability(tiny_spec, paper_profile)
+        _, _, t_fa, _ = layer_compute_times(tiny_spec, paper_profile)
+        assert a_avail[0] == pytest.approx(t_fa[0])
+
+    def test_backward_step_ends_interleave_g_avail(self, tiny_spec, paper_profile):
+        b_ends = backward_step_end_times(tiny_spec, paper_profile)
+        _, g_avail = factor_availability(tiny_spec, paper_profile)
+        _, _, _, t_fg = layer_compute_times(tiny_spec, paper_profile)
+        reversed_fg = list(reversed(t_fg))
+        for b_end, g_at, fg in zip(b_ends, g_avail, reversed_fg):
+            assert g_at == pytest.approx(b_end + fg)
+
+
+class TestStrategyPlans:
+    @pytest.mark.parametrize("strategy", list(FactorCommStrategy))
+    def test_plans_cover_all_layers(self, tiny_spec, paper_profile, strategy):
+        plan = factor_comm_plans(strategy, tiny_spec, paper_profile)
+        assert plan.a_plan.num_tensors == len(tiny_spec.layers)
+        assert plan.g_plan.num_tensors == len(tiny_spec.layers)
+
+    def test_bulk_combines_passes(self, tiny_spec, paper_profile):
+        plan = factor_comm_plans(FactorCommStrategy.BULK, tiny_spec, paper_profile)
+        assert plan.combine_passes and plan.launch_after_pass
+        assert plan.a_plan.num_buckets == 1
+
+    def test_naive_two_bulk_ops(self, tiny_spec, paper_profile):
+        plan = factor_comm_plans(FactorCommStrategy.NAIVE, tiny_spec, paper_profile)
+        assert not plan.combine_passes and plan.launch_after_pass
+
+    def test_lw_no_tf_one_bucket_per_factor(self, tiny_spec, paper_profile):
+        plan = factor_comm_plans(FactorCommStrategy.LW_NO_TF, tiny_spec, paper_profile)
+        assert plan.a_plan.num_buckets == len(tiny_spec.layers)
+
+    def test_ttf_respects_threshold(self, paper_profile):
+        spec = get_model_spec("ResNet-50")
+        plan = factor_comm_plans(FactorCommStrategy.LW_TTF, spec, paper_profile)
+        sizes = [layer.a_elements for layer in spec.layers]
+        threshold = paper_profile.fusion_threshold_elements
+        for bucket in plan.a_plan.buckets[:-1]:
+            assert sum(sizes[i] for i in bucket) >= threshold
+
+    def test_otf_predicted_finish_beats_ttf_a_pass(self, paper_profile):
+        """On the A pass (exclusive channel) the DP plan must finish no
+        later than threshold fusion under the planning model."""
+        for name in ("ResNet-50", "ResNet-152", "DenseNet-201"):
+            spec = get_model_spec(name)
+            a_avail, _ = factor_availability(spec, paper_profile)
+            a_sizes = [layer.a_elements for layer in spec.layers]
+            otf = factor_comm_plans(FactorCommStrategy.SP_OTF, spec, paper_profile)
+            ttf = factor_comm_plans(FactorCommStrategy.LW_TTF, spec, paper_profile)
+            comm = paper_profile.allreduce_streamed
+            t_otf = fusion_completion_time(otf.a_plan, a_sizes, a_avail, comm)
+            t_ttf = fusion_completion_time(ttf.a_plan, a_sizes, a_avail, comm)
+            assert t_otf <= t_ttf + 1e-9
+
+    def test_gradient_plan_backward_order(self, paper_profile):
+        spec = get_model_spec("ResNet-50")
+        plan = gradient_fusion_plan(spec, paper_profile)
+        assert plan.num_tensors == len(spec.layers)
+        # ResNet-50's 25.6M params at 16.7M threshold -> exactly 2 buckets.
+        assert plan.num_buckets == 2

@@ -1,0 +1,164 @@
+"""Tests for inverse placement strategies (Section IV-B, Algorithm 1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.placement import (
+    Placement,
+    balanced_placement,
+    lbp_placement,
+    non_dist_placement,
+    seq_dist_placement,
+)
+from repro.perf import CubicComputeModel, ExpComputeModel, LinearCommModel
+
+COMP = ExpComputeModel(alpha=3.64e-3, beta=4.77e-4)
+COMM = LinearCommModel(alpha=1.59e-2, beta=7.85e-10)
+
+
+class TestPlacementValidation:
+    def test_assignment_count_must_match(self):
+        with pytest.raises(ValueError):
+            Placement(2, (4, 5), ((0,),))
+
+    def test_partial_replication_rejected(self):
+        """Eq. 17-19: a tensor is on one rank or on all ranks, not some."""
+        with pytest.raises(ValueError):
+            Placement(3, (4,), ((0, 1),))
+
+    def test_rank_out_of_range(self):
+        with pytest.raises(ValueError):
+            Placement(2, (4,), ((5,),))
+
+    def test_owner_of_nct_raises(self):
+        placement = non_dist_placement([4, 5], 3)
+        with pytest.raises(ValueError):
+            placement.owner(0)
+
+
+class TestBaselines:
+    def test_non_dist_all_nct(self):
+        placement = non_dist_placement([10, 20, 30], 4)
+        assert all(placement.is_nct(i) for i in range(3))
+        assert placement.num_cts() == 0
+        assert placement.tensors_on(2) == [0, 1, 2]
+
+    def test_seq_dist_round_robin(self):
+        placement = seq_dist_placement([1, 2, 3, 4, 5], 2)
+        assert [placement.owner(i) for i in range(5)] == [0, 1, 0, 1, 0]
+        assert placement.num_cts() == 5
+
+    def test_seq_dist_idle_ranks_when_fewer_tensors(self):
+        """2L < P leaves GPUs idle — the paper's Eq. 22 observation."""
+        placement = seq_dist_placement([8, 8], 4)
+        assert placement.tensors_on(2) == []
+        assert placement.tensors_on(3) == []
+
+    def test_balanced_spreads_by_d_squared(self):
+        # One huge tensor + many small: huge goes alone to one rank.
+        placement = balanced_placement([100, 1, 1, 1, 1, 1], 2)
+        heavy_rank = placement.owner(0)
+        light = [placement.owner(i) for i in range(1, 6)]
+        assert all(r != heavy_rank for r in light)
+
+
+class TestLBP:
+    def test_small_tensors_become_nct(self):
+        """Below the Fig. 11 crossover (~3700 with the paper fits) LBP
+        must choose NCT."""
+        placement = lbp_placement([64, 512, 1024], 4, COMP, COMM)
+        assert all(placement.is_nct(i) for i in range(3))
+
+    def test_large_tensors_become_ct(self):
+        placement = lbp_placement([8192, 6000, 64], 4, COMP, COMM)
+        assert not placement.is_nct(0)
+        assert not placement.is_nct(1)
+        assert placement.is_nct(2)
+
+    def test_ct_load_balancing(self):
+        """Equal-size CTs land on distinct least-loaded ranks."""
+        placement = lbp_placement([8192, 8192, 8192, 8192], 4, COMP, COMM)
+        owners = {placement.owner(i) for i in range(4)}
+        assert len(owners) == 4
+
+    def test_single_rank_everything_local(self):
+        placement = lbp_placement([8192, 64], 1, COMP, COMM)
+        assert placement.num_cts() == 0
+
+    def test_weight_variants(self):
+        square = lbp_placement([8192, 8192, 64], 2, COMP, COMM, weight="square")
+        linear = lbp_placement([8192, 8192, 64], 2, COMP, COMM, weight="linear")
+        assert square.num_cts() == linear.num_cts() == 2
+        with pytest.raises(ValueError):
+            lbp_placement([64], 2, COMP, COMM, weight="cubic")
+
+    def test_estimated_completion_lbp_beats_non_dist(self):
+        """Eq. 21 objective: LBP's estimate beats Non-Dist on a mixed
+        workload (it only differs by distributing the CT-worthy tensors).
+
+        Note Eq. 21 bills a broadcast only to its *owner* rank, so under
+        that objective all-CT Seq-Dist can look spuriously cheap; the
+        receive-side serialization that makes LBP beat Seq-Dist in
+        practice is asserted at the simulator level (Fig. 12 tests in
+        test_experiments.py).
+        """
+        comp = CubicComputeModel(overhead=7e-4, coeff=0.175 / 8192**3)
+        comm = LinearCommModel(alpha=7.7e-4, beta=7.85e-10)
+        dims = [4608] * 3 + [2304] * 6 + [1024] * 10 + [256] * 40 + [64] * 40
+        lbp = lbp_placement(dims, 8, comp, comm)
+        non = non_dist_placement(dims, 8)
+        assert lbp.estimated_completion(comp, comm) <= non.estimated_completion(comp, comm)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            lbp_placement([], 2, COMP, COMM)
+        with pytest.raises(ValueError):
+            lbp_placement([0], 2, COMP, COMM)
+        with pytest.raises(ValueError):
+            lbp_placement([4], 0, COMP, COMM)
+
+    def test_works_with_execution_models(self):
+        """Duck-typed models: the simulator's cubic/streamed pair."""
+        cubic = CubicComputeModel(overhead=7e-4, coeff=0.175 / 8192**3)
+        streamed = LinearCommModel(alpha=7.7e-4, beta=7.85e-10)
+        placement = lbp_placement([2048, 512, 64], 4, cubic, streamed)
+        assert placement.num_cts() >= 1  # 2048 is CT under execution models
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.lists(st.integers(min_value=1, max_value=8192), min_size=1, max_size=40),
+    st.integers(min_value=1, max_value=8),
+)
+def test_lbp_partition_validity_property(dims, num_ranks):
+    """Every tensor placed (Eq. 16); CT/NCT exclusivity (Eq. 17-19);
+    the CT/NCT rule followed exactly."""
+    placement = lbp_placement(dims, num_ranks, COMP, COMM)
+    assert len(placement.assignments) == len(dims)
+    for i, d in enumerate(dims):
+        ranks = placement.assignments[i]
+        assert len(ranks) in (1, num_ranks)
+        if num_ranks > 1:
+            should_be_nct = COMP.time(d) < COMM.time_symmetric(d)
+            assert placement.is_nct(i) == should_be_nct
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.integers(min_value=3800, max_value=8192), min_size=4, max_size=24),
+    st.integers(min_value=2, max_value=6),
+)
+def test_lbp_balance_bound_property(dims, num_ranks):
+    """For all-CT workloads, greedy LPT's max d^2-load is within the
+    classic (4/3 + small) factor of the mean load for these sizes; we
+    assert the weaker but sufficient 2x bound."""
+    placement = lbp_placement(dims, num_ranks, COMP, COMM)
+    if placement.num_cts() != len(dims):
+        return  # mixed workloads have no such bound
+    loads = [0.0] * num_ranks
+    for i, d in enumerate(dims):
+        loads[placement.owner(i)] += float(d) ** 2
+    mean = sum(loads) / num_ranks
+    biggest_item = max(float(d) ** 2 for d in dims)
+    assert max(loads) <= max(2.0 * mean, biggest_item) + 1e-6

@@ -1,0 +1,180 @@
+"""Tests for the per-algorithm task-graph builders (Fig. 1 schedules)."""
+
+import pytest
+
+from repro.core.pipeline import FactorCommStrategy
+from repro.core.schedule import (
+    build_dkfac_graph,
+    build_factor_pipeline_graph,
+    build_inverse_graph,
+    build_kfac_graph,
+    build_mpd_kfac_graph,
+    build_sgd_graph,
+    build_spd_kfac_graph,
+    build_ssgd_graph,
+    interleaved_factor_dims,
+    resolve_placement,
+    run_iteration,
+)
+from repro.perf import scaled_cluster_profile
+from repro.sim import COMM, Phase, simulate
+from tests.conftest import build_tiny_spec
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return build_tiny_spec(num_layers=5)
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return scaled_cluster_profile(4)
+
+
+def phases_in(graph):
+    return {t.phase for t in graph.tasks}
+
+
+class TestGraphShapes:
+    def test_sgd_single_rank_no_comm(self, spec, profile):
+        g = build_sgd_graph(spec, profile)
+        assert g.num_ranks == 1
+        assert all(t.kind != COMM for t in g.tasks)
+        assert phases_in(g) == {Phase.FORWARD, Phase.BACKWARD, Phase.UPDATE}
+
+    def test_ssgd_has_grad_comm_only(self, spec, profile):
+        g = build_ssgd_graph(spec, profile)
+        assert g.num_ranks == 4
+        assert Phase.GRAD_COMM in phases_in(g)
+        assert Phase.FACTOR_COMM not in phases_in(g)
+
+    def test_kfac_single_gpu_all_phases_no_comm(self, spec, profile):
+        g = build_kfac_graph(spec, profile)
+        assert g.num_ranks == 1
+        assert Phase.INVERSE_COMP in phases_in(g)
+        assert all(t.kind != COMM for t in g.tasks)
+        # Every factor inverted exactly once on the single rank.
+        inv_tasks = [t for t in g.tasks if t.phase == Phase.INVERSE_COMP]
+        assert len(inv_tasks) == 2 * len(spec.layers)
+
+    def test_dkfac_inverts_everything_on_every_rank(self, spec, profile):
+        g = build_dkfac_graph(spec, profile)
+        inv_tasks = [t for t in g.tasks if t.phase == Phase.INVERSE_COMP]
+        assert len(inv_tasks) == 2 * len(spec.layers) * 4
+        assert not [t for t in g.tasks if t.phase == Phase.INVERSE_COMM]
+
+    def test_mpd_broadcasts_every_tensor(self, spec, profile):
+        g = build_mpd_kfac_graph(spec, profile)
+        bcasts = [t for t in g.tasks if t.phase == Phase.INVERSE_COMM]
+        assert len(bcasts) == 2 * len(spec.layers)
+        inv_tasks = [t for t in g.tasks if t.phase == Phase.INVERSE_COMP]
+        assert len(inv_tasks) == 2 * len(spec.layers)  # each inverted once
+
+    def test_spd_graph_runs_and_beats_dkfac(self, spec, profile):
+        d = run_iteration(build_dkfac_graph(spec, profile), "d", spec.name)
+        s = run_iteration(build_spd_kfac_graph(spec, profile), "s", spec.name)
+        assert s.iteration_time <= d.iteration_time + 1e-9
+
+    def test_ablation_switches_change_graph(self, spec, profile):
+        full = build_spd_kfac_graph(spec, profile, pipelining=True, lbp=True)
+        no_pipe = build_spd_kfac_graph(spec, profile, pipelining=False, lbp=True)
+        factor_comms = lambda g: [t for t in g.tasks if t.phase == Phase.FACTOR_COMM]
+        assert len(factor_comms(no_pipe)) == 1  # bulk
+        assert len(factor_comms(full)) >= 2
+
+    def test_factor_pipeline_graph_has_no_inverse_stage(self, spec, profile):
+        g = build_factor_pipeline_graph(spec, profile, FactorCommStrategy.SP_OTF)
+        assert Phase.INVERSE_COMP not in phases_in(g)
+        assert Phase.PRECONDITION not in phases_in(g)
+
+    def test_every_graph_simulates_without_deadlock(self, spec, profile):
+        builders = [
+            build_sgd_graph,
+            build_ssgd_graph,
+            build_kfac_graph,
+            build_dkfac_graph,
+            build_mpd_kfac_graph,
+            build_spd_kfac_graph,
+        ]
+        for builder in builders:
+            timeline = simulate(builder(spec, profile))
+            assert timeline.makespan > 0
+
+
+class TestScheduleSemantics:
+    def test_update_follows_own_ranks_preconditioning(self, spec, profile):
+        """Each rank's update starts only after that rank's last
+        precondition kernel (ranks may finish at different times under
+        asymmetric inverse placement)."""
+        tl = simulate(build_spd_kfac_graph(spec, profile))
+        for rank in range(profile.num_workers):
+            update_start = min(
+                e.start
+                for e in tl.entries
+                if e.task.phase == Phase.UPDATE and rank in e.task.ranks
+            )
+            precond_end = max(
+                e.end
+                for e in tl.entries
+                if e.task.phase == Phase.PRECONDITION and rank in e.task.ranks
+            )
+            assert update_start >= precond_end - 1e-12
+
+    def test_backward_starts_after_forward_ends(self, spec, profile):
+        tl = simulate(build_dkfac_graph(spec, profile))
+        fwd_end = max(e.end for e in tl.entries if e.task.phase == Phase.FORWARD)
+        bwd_start = min(e.start for e in tl.entries if e.task.phase == Phase.BACKWARD)
+        assert bwd_start >= fwd_end - 1e-12
+
+    def test_inverse_waits_for_factor_aggregation(self, spec, profile):
+        tl = simulate(build_dkfac_graph(spec, profile))
+        factor_comm_end = max(e.end for e in tl.entries if e.task.phase == Phase.FACTOR_COMM)
+        inverse_start = min(e.start for e in tl.entries if e.task.phase == Phase.INVERSE_COMP)
+        assert inverse_start >= factor_comm_end - 1e-12
+
+    def test_pipelined_factor_comm_overlaps_compute(self, spec, profile):
+        """SPD-KFAC's A-factor all-reduces start before the forward pass
+        finishes — the paper's pipelining claim."""
+        tl = simulate(build_spd_kfac_graph(spec, profile))
+        fwd_end = max(e.end for e in tl.entries if e.task.phase == Phase.FORWARD)
+        first_factor_comm = min(
+            e.start for e in tl.entries if e.task.phase == Phase.FACTOR_COMM
+        )
+        assert first_factor_comm < fwd_end
+
+    def test_bulk_factor_comm_does_not_overlap_forward(self, spec, profile):
+        tl = simulate(build_dkfac_graph(spec, profile))
+        bwd_end = max(e.end for e in tl.entries if e.task.phase == Phase.BACKWARD)
+        comm_start = min(e.start for e in tl.entries if e.task.phase == Phase.FACTOR_COMM)
+        assert comm_start >= bwd_end - 1e-12
+
+    def test_ranks_symmetric_in_dkfac(self, spec, profile):
+        tl = simulate(build_dkfac_graph(spec, profile))
+        ends = [tl.rank_end(r) for r in range(profile.num_workers)]
+        assert max(ends) - min(ends) < 1e-9
+
+
+class TestInverseGraph:
+    def test_non_dist_graph(self, spec, profile):
+        placement = resolve_placement("non_dist", spec, profile, 4)
+        g = build_inverse_graph(spec, profile, placement)
+        assert all(t.kind != COMM for t in g.tasks)
+        assert len(g.tasks) == 2 * len(spec.layers) * 4
+
+    def test_ct_broadcast_dep_on_owner_inverse(self, spec, profile):
+        placement = resolve_placement("seq_dist", spec, profile, 4)
+        g = build_inverse_graph(spec, profile, placement)
+        bcasts = [t for t in g.tasks if t.phase == Phase.INVERSE_COMM]
+        assert len(bcasts) == 2 * len(spec.layers)
+        for b in bcasts:
+            (dep,) = b.deps
+            assert g.tasks[dep].phase == Phase.INVERSE_COMP
+
+    def test_placement_name_errors(self, spec, profile):
+        with pytest.raises(ValueError, match="unknown placement"):
+            resolve_placement("magic", spec, profile, 4)
+
+    def test_interleaved_dims_order(self, spec):
+        dims = interleaved_factor_dims(spec)
+        assert dims[0] == spec.layers[0].a_dim
+        assert dims[-1] == spec.layers[-1].g_dim

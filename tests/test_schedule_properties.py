@@ -1,0 +1,94 @@
+"""Property-based tests over randomly generated model specs.
+
+The paper's headline inequality — SPD-KFAC never slower than D-KFAC or
+MPD-KFAC under the same cost models — should hold for *any* layer-size
+profile, not just the four evaluated CNNs.  Hypothesis generates random
+architectures and cluster sizes and checks the invariants end-to-end
+(plan -> task graph -> simulate).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.schedule import (
+    build_dkfac_graph,
+    build_kfac_graph,
+    build_mpd_kfac_graph,
+    build_spd_kfac_graph,
+    run_iteration,
+)
+from repro.models.builder import SpecBuilder
+from repro.models.spec import ModelSpec
+from repro.perf import scaled_cluster_profile
+from repro.sim import Phase, simulate
+
+
+@st.composite
+def random_specs(draw) -> ModelSpec:
+    num_layers = draw(st.integers(min_value=2, max_value=10))
+    batch = draw(st.integers(min_value=1, max_value=16))
+    builder = SpecBuilder(model_name="random", batch_size=batch, input_size=32)
+    channels = draw(st.integers(min_value=1, max_value=8))
+    for i in range(num_layers - 1):
+        out = draw(st.integers(min_value=1, max_value=64))
+        kernel = draw(st.sampled_from([1, 3]))
+        builder.conv(f"conv{i}", channels, out, kernel=kernel, stride=1, padding="same")
+        channels = out
+    builder.linear("fc", channels, draw(st.integers(min_value=2, max_value=100)))
+    return builder.build()
+
+
+@settings(max_examples=25, deadline=None)
+@given(random_specs(), st.integers(min_value=2, max_value=8))
+def test_spd_never_slower_than_dkfac(spec, num_workers):
+    """SPD-KFAC vs D-KFAC: pipelining can only remove exposed factor
+    communication, and LBP's per-tensor CT/NCT rule only promotes a
+    tensor off the everyone-computes baseline when that is estimated
+    cheaper — so SPD-KFAC should never lose to D-KFAC (small slack for
+    FIFO scheduling artifacts).
+
+    No such guarantee exists against MPD-KFAC: on tiny toy models,
+    broadcasting every inverse is near-free and round-robin placement can
+    beat LBP's tensor-local greedy (the mirror image of the paper's
+    DenseNet-201 case), so that comparison is only asserted for the real
+    CNNs in test_experiments.py.
+    """
+    profile = scaled_cluster_profile(num_workers)
+    d = run_iteration(build_dkfac_graph(spec, profile), "d", spec.name).iteration_time
+    spd = run_iteration(build_spd_kfac_graph(spec, profile), "s", spec.name).iteration_time
+    assert spd <= d * 1.02
+
+
+@settings(max_examples=25, deadline=None)
+@given(random_specs())
+def test_single_gpu_kfac_is_sum_of_parts(spec):
+    """With one GPU there is no overlap: the KFAC makespan equals the sum
+    of all task durations (single FIFO compute stream)."""
+    profile = scaled_cluster_profile(1)
+    graph = build_kfac_graph(spec, profile)
+    timeline = simulate(graph)
+    total = sum(t.duration for t in graph.tasks)
+    assert timeline.makespan == pytest.approx(total, rel=1e-12)
+
+
+@settings(max_examples=20, deadline=None)
+@given(random_specs(), st.integers(min_value=2, max_value=6))
+def test_breakdown_categories_nonnegative_and_complete(spec, num_workers):
+    profile = scaled_cluster_profile(num_workers)
+    result = run_iteration(build_spd_kfac_graph(spec, profile), "s", spec.name)
+    cats = result.categories()
+    assert all(v >= 0 for v in cats.values())
+    assert sum(cats.values()) == pytest.approx(result.iteration_time, rel=1e-6)
+
+
+@settings(max_examples=20, deadline=None)
+@given(random_specs(), st.integers(min_value=2, max_value=6))
+def test_dkfac_has_no_inverse_comm(spec, num_workers):
+    profile = scaled_cluster_profile(num_workers)
+    graph = build_dkfac_graph(spec, profile)
+    assert not [t for t in graph.tasks if t.phase == Phase.INVERSE_COMM]
+
+

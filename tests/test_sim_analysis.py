@@ -1,0 +1,81 @@
+"""Tests for critical-path analysis."""
+
+import pytest
+
+from repro.core.schedule import build_dkfac_graph, build_spd_kfac_graph
+from repro.perf import scaled_cluster_profile
+from repro.sim import Phase, TaskGraph, critical_path, critical_path_phases, simulate
+from tests.conftest import build_tiny_spec
+
+
+class TestCriticalPathBasics:
+    def test_chain_is_fully_critical(self):
+        g = TaskGraph(1)
+        g.add_compute("a", Phase.FORWARD, 0, 1.0)
+        g.add_compute("b", Phase.FORWARD, 0, 2.0)
+        g.add_compute("c", Phase.BACKWARD, 0, 3.0)
+        tl = simulate(g)
+        path = critical_path(g, tl)
+        assert [e.task.name for e in path] == ["a", "b", "c"]
+
+    def test_hidden_comm_not_on_path(self):
+        g = TaskGraph(1)
+        b1 = g.add_compute("B1", Phase.BACKWARD, 0, 1.0)
+        g.add_collective("C1", Phase.GRAD_COMM, [0], 0.5, deps=[b1])
+        g.add_compute("B2", Phase.BACKWARD, 0, 2.0)
+        tl = simulate(g)
+        names = [e.task.name for e in critical_path(g, tl)]
+        assert names == ["B1", "B2"]
+
+    def test_exposed_comm_on_path(self):
+        g = TaskGraph(1)
+        b1 = g.add_compute("B1", Phase.BACKWARD, 0, 1.0)
+        c1 = g.add_collective("C1", Phase.GRAD_COMM, [0], 5.0, deps=[b1])
+        g.add_compute("U", Phase.UPDATE, 0, 0.5, deps=[c1])
+        tl = simulate(g)
+        names = [e.task.name for e in critical_path(g, tl)]
+        assert names == ["B1", "C1", "U"]
+
+    def test_straggler_rank_defines_path(self):
+        g = TaskGraph(2)
+        g.add_compute("fast", Phase.FORWARD, 0, 1.0)
+        slow = g.add_compute("slow", Phase.FORWARD, 1, 4.0)
+        g.add_collective("ar", Phase.GRAD_COMM, [0, 1], 1.0, deps=[0, slow])
+        tl = simulate(g)
+        names = [e.task.name for e in critical_path(g, tl)]
+        assert names == ["slow", "ar"]
+
+    def test_empty_graph(self):
+        g = TaskGraph(1)
+        assert critical_path(g, simulate(g)) == []
+
+    def test_path_durations_sum_to_makespan_when_gapless(self):
+        g = TaskGraph(1)
+        g.add_compute("a", Phase.FORWARD, 0, 1.5)
+        g.add_compute("b", Phase.BACKWARD, 0, 2.5)
+        tl = simulate(g)
+        phases = critical_path_phases(g, tl)
+        assert sum(phases.values()) == pytest.approx(tl.makespan)
+
+
+class TestCriticalPathOnSchedules:
+    def test_spd_kfac_path_has_less_factor_comm_than_dkfac(self):
+        """The paper's pipelining claim, restated as critical-path surgery:
+        SPD-KFAC's critical path carries less FactorComm than D-KFAC's."""
+        spec = build_tiny_spec(num_layers=6)
+        profile = scaled_cluster_profile(4)
+        d_graph = build_dkfac_graph(spec, profile)
+        s_graph = build_spd_kfac_graph(spec, profile)
+        d_phases = critical_path_phases(d_graph, simulate(d_graph))
+        s_phases = critical_path_phases(s_graph, simulate(s_graph))
+        assert s_phases.get(Phase.FACTOR_COMM.value, 0.0) <= d_phases.get(
+            Phase.FACTOR_COMM.value, 0.0
+        )
+
+    def test_path_time_bounded_by_makespan(self):
+        spec = build_tiny_spec(num_layers=5)
+        profile = scaled_cluster_profile(4)
+        graph = build_spd_kfac_graph(spec, profile)
+        tl = simulate(graph)
+        phases = critical_path_phases(graph, tl)
+        assert sum(phases.values()) <= tl.makespan + 1e-9

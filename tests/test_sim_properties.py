@@ -1,0 +1,110 @@
+"""Property-based tests of the simulator's scheduling invariants.
+
+Random task graphs (acyclic by construction, since deps may only point
+backwards) must always schedule such that:
+
+* every task starts at or after each of its dependencies' ends;
+* tasks sharing a stream never overlap and respect FIFO order;
+* gang (collective) tasks occupy all participants simultaneously;
+* the makespan is the max task end.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import COMM, COMPUTE, Phase, TaskGraph, simulate
+
+
+@st.composite
+def random_task_graphs(draw) -> TaskGraph:
+    num_ranks = draw(st.integers(min_value=1, max_value=4))
+    num_tasks = draw(st.integers(min_value=1, max_value=30))
+    graph = TaskGraph(num_ranks)
+    for tid in range(num_tasks):
+        duration = draw(st.floats(min_value=0.0, max_value=5.0, allow_nan=False))
+        num_deps = draw(st.integers(min_value=0, max_value=min(3, tid)))
+        deps = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=tid - 1),
+                min_size=num_deps,
+                max_size=num_deps,
+                unique=True,
+            )
+        ) if tid > 0 else []
+        if draw(st.booleans()):
+            rank = draw(st.integers(min_value=0, max_value=num_ranks - 1))
+            graph.add_compute(f"t{tid}", Phase.FORWARD, rank, duration, deps=deps)
+        else:
+            count = draw(st.integers(min_value=1, max_value=num_ranks))
+            ranks = draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=num_ranks - 1),
+                    min_size=count,
+                    max_size=count,
+                    unique=True,
+                )
+            )
+            graph.add_collective(f"t{tid}", Phase.GRAD_COMM, ranks, duration, deps=deps)
+    return graph
+
+
+@settings(max_examples=150, deadline=None)
+@given(random_task_graphs())
+def test_schedule_invariants(graph: TaskGraph):
+    timeline = simulate(graph)
+    entries = {e.task.tid: e for e in timeline.entries}
+
+    # 1. Precedence: dependencies complete before dependents start.
+    for entry in timeline.entries:
+        for dep in entry.task.deps:
+            assert entries[dep].end <= entry.start + 1e-12
+
+    # 2. Stream exclusivity + FIFO.
+    for stream, queue in graph.stream_queues().items():
+        del stream
+        for prev_tid, next_tid in zip(queue, queue[1:]):
+            assert entries[prev_tid].end <= entries[next_tid].start + 1e-12
+
+    # 3. Durations respected (up to fp rounding of start + duration).
+    for entry in timeline.entries:
+        assert entry.end - entry.start == pytest.approx(entry.task.duration, abs=1e-9)
+
+    # 4. Makespan is the max end.
+    if timeline.entries:
+        assert timeline.makespan == max(e.end for e in timeline.entries)
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_task_graphs())
+def test_breakdown_covers_critical_rank(graph: TaskGraph):
+    """Stacked breakdown sums exactly to the critical rank's horizon."""
+    timeline = simulate(graph)
+    breakdown = timeline.breakdown()
+    assert sum(breakdown.seconds.values()) <= breakdown.total + 1e-9
+    assert abs(sum(breakdown.seconds.values()) - breakdown.total) < 1e-6
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_task_graphs(), st.floats(min_value=0.1, max_value=10.0))
+def test_duration_scaling_scales_makespan(graph: TaskGraph, factor: float):
+    """Scaling every duration by c scales the whole schedule by c
+    (the engine is a pure longest-path computation)."""
+    base = simulate(graph)
+    scaled_graph = TaskGraph(graph.num_ranks)
+    for task in graph.tasks:
+        if task.kind == COMPUTE:
+            scaled_graph.add_compute(
+                task.name, task.phase, task.ranks[0], task.duration * factor, deps=task.deps
+            )
+        else:
+            assert task.kind == COMM
+            scaled_graph.add_collective(
+                task.name, task.phase, list(task.ranks), task.duration * factor, deps=task.deps
+            )
+    scaled = simulate(scaled_graph)
+    assert scaled.makespan * 1.0 == base.makespan * factor or abs(
+        scaled.makespan - base.makespan * factor
+    ) < 1e-9 * max(1.0, base.makespan)

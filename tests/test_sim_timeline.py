@@ -1,0 +1,107 @@
+"""Tests for timelines, breakdowns and trace export."""
+
+import json
+
+import pytest
+
+from repro.sim import Phase, TaskGraph, simulate
+from repro.sim.task import FF_BP_KEY
+from repro.sim.timeline import PAPER_CATEGORIES
+
+
+def build_wfbp_like_graph():
+    """1 rank: B(1s) -> comm(2s) overlapping B2(0.5s), then idle wait."""
+    g = TaskGraph(1)
+    b1 = g.add_compute("B1", Phase.BACKWARD, 0, 1.0)
+    g.add_collective("C1", Phase.GRAD_COMM, [0], 2.0, deps=[b1])
+    g.add_compute("B2", Phase.BACKWARD, 0, 0.5)
+    return g
+
+
+class TestBreakdown:
+    def test_total_equals_makespan_on_critical_rank(self):
+        tl = simulate(build_wfbp_like_graph())
+        bd = tl.breakdown()
+        assert bd.total == pytest.approx(tl.makespan)
+        assert sum(bd.seconds.values()) == pytest.approx(tl.makespan)
+
+    def test_non_overlapped_comm_accounting(self):
+        """2s of comm, 0.5s hidden behind B2 => 1.5s exposed GradComm."""
+        tl = simulate(build_wfbp_like_graph())
+        bd = tl.breakdown()
+        assert bd.get(Phase.BACKWARD.value) == pytest.approx(1.5)
+        assert bd.get(Phase.GRAD_COMM.value) == pytest.approx(1.5)
+
+    def test_fully_hidden_comm_contributes_zero(self):
+        g = TaskGraph(1)
+        b = g.add_compute("B", Phase.BACKWARD, 0, 1.0)
+        g.add_collective("C", Phase.GRAD_COMM, [0], 0.5, deps=[b])
+        g.add_compute("B2", Phase.BACKWARD, 0, 1.0)
+        bd = simulate(g).breakdown()
+        assert bd.get(Phase.GRAD_COMM.value) == 0.0
+
+    def test_idle_gap_attributed_to_blocking_task(self):
+        """Rank 0 waits for rank 1's slow compute before a collective; the
+        wait is billed to the collective's phase."""
+        g = TaskGraph(2)
+        a0 = g.add_compute("a0", Phase.FORWARD, 0, 1.0)
+        a1 = g.add_compute("a1", Phase.FORWARD, 1, 4.0)
+        g.add_collective("ar", Phase.FACTOR_COMM, [0, 1], 1.0, deps=[a0, a1])
+        bd = simulate(g).breakdown(rank=0)
+        assert bd.get(Phase.FACTOR_COMM.value) == pytest.approx(4.0)
+        assert bd.get(Phase.FORWARD.value) == pytest.approx(1.0)
+
+    def test_paper_categories_merge_ff_bp(self):
+        g = TaskGraph(1)
+        g.add_compute("F", Phase.FORWARD, 0, 1.0)
+        g.add_compute("B", Phase.BACKWARD, 0, 2.0)
+        g.add_compute("P", Phase.PRECONDITION, 0, 0.5)
+        cats = simulate(g).breakdown().paper_categories()
+        assert set(cats) == set(PAPER_CATEGORIES)
+        assert cats[FF_BP_KEY] == pytest.approx(3.5)  # precond folds in
+
+    def test_critical_rank_selection(self):
+        g = TaskGraph(2)
+        g.add_compute("fast", Phase.FORWARD, 0, 1.0)
+        g.add_compute("slow", Phase.FORWARD, 1, 5.0)
+        tl = simulate(g)
+        assert tl.critical_rank() == 1
+        assert tl.breakdown().rank == 1
+
+    def test_breakdown_empty_rank(self):
+        g = TaskGraph(2)
+        g.add_compute("only0", Phase.FORWARD, 0, 1.0)
+        bd = simulate(g).breakdown(rank=1)
+        assert bd.total == 0.0
+        assert bd.seconds == {}
+
+
+class TestTimelineQueries:
+    def test_rank_entries_filter(self):
+        g = TaskGraph(2)
+        g.add_compute("c0", Phase.FORWARD, 0, 1.0)
+        g.add_collective("ar", Phase.GRAD_COMM, [0, 1], 1.0)
+        tl = simulate(g)
+        assert len(tl.rank_entries(0)) == 2
+        assert len(tl.rank_entries(1)) == 1
+        assert len(tl.rank_entries(0, kind="comm")) == 1
+
+    def test_busy_by_phase_double_counts_overlap(self):
+        tl = simulate(build_wfbp_like_graph())
+        busy = tl.busy_by_phase(0)
+        assert busy[Phase.GRAD_COMM.value] == pytest.approx(2.0)
+        assert busy[Phase.BACKWARD.value] == pytest.approx(1.5)
+
+
+class TestChromeTrace:
+    def test_trace_roundtrips_as_json(self, tmp_path):
+        tl = simulate(build_wfbp_like_graph())
+        path = tmp_path / "trace.json"
+        tl.save_chrome_trace(str(path))
+        data = json.loads(path.read_text())
+        events = data["traceEvents"]
+        assert len(events) == 3
+        assert {e["ph"] for e in events} == {"X"}
+        comm = next(e for e in events if e["name"] == "C1")
+        assert comm["tid"] == 1  # comm stream
+        assert comm["dur"] == pytest.approx(2e6)

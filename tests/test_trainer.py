@@ -1,0 +1,54 @@
+"""Tests for the Trainer convenience harness."""
+
+from repro.core import KFACOptimizer, Trainer
+from repro.models import make_mlp
+from repro.nn import SGD
+from repro.workloads import gaussian_blobs, sharded_batches
+
+
+class TestTrainer:
+    def test_fit_records_history(self):
+        x, y = gaussian_blobs(64, 6, 3, rng=0)
+        net = make_mlp(in_features=6, hidden=8, num_classes=3, rng=1)
+        trainer = Trainer(net, SGD(net.parameters(), lr=0.1))
+        losses = trainer.fit([(x, y)] * 5)
+        assert len(losses) == 5
+        assert trainer.history == losses
+        assert losses[-1] < losses[0]
+
+    def test_fit_appends_across_calls(self):
+        x, y = gaussian_blobs(32, 4, 2, rng=0)
+        net = make_mlp(in_features=4, hidden=6, num_classes=2, rng=1)
+        trainer = Trainer(net, SGD(net.parameters(), lr=0.1))
+        trainer.fit([(x, y)] * 2)
+        second = trainer.fit([(x, y)] * 3)
+        assert len(trainer.history) == 5
+        assert trainer.history[2:] == second
+
+    def test_evaluate_restores_train_mode(self):
+        x, y = gaussian_blobs(64, 6, 3, rng=0)
+        net = make_mlp(in_features=6, hidden=8, num_classes=3, rng=1)
+        trainer = Trainer(net, SGD(net.parameters(), lr=0.1))
+        loss, accuracy = trainer.evaluate(x, y)
+        assert 0.0 <= accuracy <= 1.0
+        assert loss > 0.0
+        assert all(m.training for m in net.modules())
+
+    def test_kfac_trainer_reaches_high_accuracy(self):
+        data = gaussian_blobs(256, 8, 3, rng=2)
+        x, y = data
+        net = make_mlp(in_features=8, hidden=16, num_classes=3, rng=3)
+        opt = KFACOptimizer(net, lr=0.1, damping=1e-2, stat_decay=0.5, kl_clip=1e-2)
+        trainer = Trainer(net, opt)
+        stream = sharded_batches(data, world_size=1, batch_size=64, rng=4)
+        batches = [next(stream)[0] for _ in range(30)]
+        trainer.fit(batches)
+        _, accuracy = trainer.evaluate(x, y)
+        assert accuracy > 0.9
+
+    def test_works_with_generator_input(self):
+        x, y = gaussian_blobs(32, 4, 2, rng=0)
+        net = make_mlp(in_features=4, hidden=6, num_classes=2, rng=1)
+        trainer = Trainer(net, SGD(net.parameters(), lr=0.1))
+        losses = trainer.fit((x, y) for _ in range(3))
+        assert len(losses) == 3

@@ -1,0 +1,102 @@
+"""Tests for repro.utils: formatting, RNG management, validation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils import (
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_square,
+    check_symmetric,
+    human_bytes,
+    human_count,
+    human_time,
+    new_rng,
+    spawn_rngs,
+)
+
+
+class TestFormat:
+    def test_human_bytes_units(self):
+        assert human_bytes(512) == "512.0 B"
+        assert human_bytes(2048) == "2.0 KiB"
+        assert human_bytes(2**21) == "2.0 MiB"
+        assert human_bytes(2**31) == "2.0 GiB"
+        assert human_bytes(2**41) == "2.0 TiB"
+
+    def test_human_bytes_huge_stays_tib(self):
+        assert human_bytes(2**51).endswith("TiB")
+
+    def test_human_count(self):
+        assert human_count(950) == "950"
+        assert human_count(62_300_000) == "62.3M"
+        assert human_count(1_500) == "1.5K"
+        assert human_count(2_000_000_000) == "2.0B"
+
+    def test_human_time_ranges(self):
+        assert human_time(5e-7).endswith("us")
+        assert human_time(5e-3).endswith("ms")
+        assert human_time(1.5).endswith("s")
+        assert human_time(300).endswith("min")
+
+    @given(st.floats(min_value=0, max_value=1e15, allow_nan=False))
+    def test_human_count_never_raises(self, value):
+        assert isinstance(human_count(value), str)
+
+
+class TestRng:
+    def test_new_rng_from_seed_is_deterministic(self):
+        assert new_rng(7).integers(0, 100) == new_rng(7).integers(0, 100)
+
+    def test_new_rng_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert new_rng(gen) is gen
+
+    def test_spawn_rngs_independent_streams(self):
+        a, b = spawn_rngs(0, 2)
+        assert a.integers(0, 2**31) != b.integers(0, 2**31)
+
+    def test_spawn_rngs_reproducible(self):
+        first = [g.integers(0, 1000) for g in spawn_rngs(5, 3)]
+        second = [g.integers(0, 1000) for g in spawn_rngs(5, 3)]
+        assert first == second
+
+    def test_spawn_rngs_count_zero(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_spawn_rngs_negative_count(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+
+class TestValidation:
+    def test_check_positive(self):
+        assert check_positive("x", 1.5) == 1.5
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", 0)
+
+    def test_check_non_negative(self):
+        assert check_non_negative("x", 0.0) == 0.0
+        with pytest.raises(ValueError):
+            check_non_negative("x", -1e-9)
+
+    def test_check_probability(self):
+        assert check_probability("p", 0.5) == 0.5
+        for bad in (-0.1, 1.1):
+            with pytest.raises(ValueError):
+                check_probability("p", bad)
+
+    def test_check_square(self):
+        check_square("m", np.eye(3))
+        with pytest.raises(ValueError):
+            check_square("m", np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            check_square("m", np.zeros(4))
+
+    def test_check_symmetric(self):
+        check_symmetric("m", np.eye(2))
+        with pytest.raises(ValueError):
+            check_symmetric("m", np.array([[0.0, 1.0], [0.0, 0.0]]))

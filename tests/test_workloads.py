@@ -1,0 +1,96 @@
+"""Tests for the synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    gaussian_blobs,
+    sharded_batches,
+    spiral_classification,
+    synthetic_images,
+)
+
+
+class TestGaussianBlobs:
+    def test_shapes_and_labels(self):
+        x, y = gaussian_blobs(100, 8, 4, rng=0)
+        assert x.shape == (100, 8)
+        assert y.shape == (100,)
+        assert set(np.unique(y)) <= set(range(4))
+
+    def test_anisotropy(self):
+        x, _ = gaussian_blobs(2000, 10, 3, scale_spread=5.0, rng=0)
+        stds = x.std(axis=0)
+        assert stds[-1] / stds[0] > 2.0
+
+    def test_reproducible(self):
+        x1, y1 = gaussian_blobs(50, 4, 2, rng=3)
+        x2, y2 = gaussian_blobs(50, 4, 2, rng=3)
+        np.testing.assert_array_equal(x1, x2)
+        np.testing.assert_array_equal(y1, y2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gaussian_blobs(0, 4, 2)
+
+
+class TestSpiral:
+    def test_balanced_classes(self):
+        x, y = spiral_classification(90, num_classes=3, rng=0)
+        assert x.shape == (90, 2)
+        counts = np.bincount(y)
+        assert all(c == 30 for c in counts)
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            spiral_classification(2, num_classes=3)
+
+
+class TestSyntheticImages:
+    def test_shapes(self):
+        x, y = synthetic_images(20, channels=2, size=8, num_classes=4, rng=0)
+        assert x.shape == (20, 2, 8, 8)
+        assert y.shape == (20,)
+
+    def test_signal_in_labeled_quadrant(self):
+        x, y = synthetic_images(40, channels=1, size=8, num_classes=4, rng=1)
+        for i in range(40):
+            half = 4
+            quads = [
+                x[i, 0, :half, :half].mean(),
+                x[i, 0, :half, half:].mean(),
+                x[i, 0, half:, :half].mean(),
+                x[i, 0, half:, half:].mean(),
+            ]
+            assert int(np.argmax(quads)) == y[i] % 4
+
+    def test_odd_size_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_images(4, size=7)
+
+
+class TestShardedBatches:
+    def test_disjoint_shards_per_round(self):
+        data = gaussian_blobs(64, 4, 2, rng=0)
+        stream = sharded_batches(data, world_size=4, batch_size=8, rng=0)
+        shards = next(stream)
+        assert len(shards) == 4
+        seen = set()
+        for xs, ys in shards:
+            assert xs.shape == (8, 4)
+            assert ys.shape == (8,)
+            rows = {tuple(row) for row in xs}
+            assert not (rows & seen)
+            seen |= rows
+
+    def test_dataset_too_small(self):
+        data = gaussian_blobs(8, 4, 2, rng=0)
+        with pytest.raises(ValueError):
+            next(sharded_batches(data, world_size=4, batch_size=8))
+
+    def test_stream_is_endless_and_reshuffles(self):
+        data = gaussian_blobs(32, 4, 2, rng=0)
+        stream = sharded_batches(data, world_size=2, batch_size=4, rng=1)
+        first = next(stream)[0][0]
+        second = next(stream)[0][0]
+        assert not np.array_equal(first, second)
