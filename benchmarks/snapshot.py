@@ -1,0 +1,141 @@
+#!/usr/bin/env python
+"""Benchmark-snapshot harness: run ``bench_kernels.py``, record, compare.
+
+Runs the kernel micro-benchmark suite under pytest-benchmark, distills
+each benchmark's median time into the stable snapshot schema of
+:mod:`repro.perf.regression`, writes it to ``BENCH_kernels.json`` at the
+repository root, and — when a previous snapshot exists — prints a
+per-benchmark before/after table so speedups and regressions are visible
+PR-over-PR.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python benchmarks/snapshot.py
+    PYTHONPATH=src python benchmarks/snapshot.py --output BENCH_kernels.json
+    PYTHONPATH=src python benchmarks/snapshot.py --check   # exit 1 on regression
+
+See ``benchmarks/README.md`` for the full workflow.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from typing import Dict
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.perf.regression import (  # noqa: E402  (path bootstrap above)
+    BenchmarkResult,
+    compare_snapshots,
+    format_comparison,
+    has_regressions,
+    load_snapshot,
+    make_snapshot,
+    save_snapshot,
+)
+
+DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_kernels.json")
+SUITE = os.path.join(REPO_ROOT, "benchmarks", "bench_kernels.py")
+
+
+def run_suite() -> Dict[str, BenchmarkResult]:
+    """Run bench_kernels.py under pytest-benchmark; return per-test medians."""
+    with tempfile.TemporaryDirectory() as tmp:
+        report = os.path.join(tmp, "benchmark.json")
+        env = dict(os.environ)
+        src = os.path.join(REPO_ROOT, "src")
+        env["PYTHONPATH"] = src + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "pytest",
+                SUITE,
+                "--benchmark-only",
+                f"--benchmark-json={report}",
+                "-q",
+            ],
+            cwd=REPO_ROOT,
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stdout)
+            sys.stderr.write(proc.stderr)
+            raise SystemExit(f"bench_kernels.py run failed with exit code {proc.returncode}")
+        with open(report) as f:
+            payload = json.load(f)
+    results: Dict[str, BenchmarkResult] = {}
+    for bench in payload["benchmarks"]:
+        name = bench["name"]
+        stats = bench["stats"]
+        results[name] = BenchmarkResult(
+            name=name, seconds=float(stats["median"]), rounds=int(stats["rounds"])
+        )
+    if not results:
+        raise SystemExit("bench_kernels.py produced no benchmark records")
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        default=DEFAULT_OUTPUT,
+        help=f"snapshot path to write and compare against (default: {DEFAULT_OUTPUT})",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit with status 1 if any benchmark regressed beyond the noise threshold",
+    )
+    parser.add_argument(
+        "--no-write",
+        action="store_true",
+        help="only compare against the existing snapshot; do not overwrite it",
+    )
+    args = parser.parse_args(argv)
+
+    previous = None
+    if os.path.exists(args.output):
+        previous = load_snapshot(args.output)
+
+    results = run_suite()
+    snapshot = make_snapshot(results, suite="bench_kernels")
+
+    if previous is not None:
+        rows = compare_snapshots(previous, snapshot)
+        print(f"comparison against previous snapshot {args.output}:")
+        print(format_comparison(rows))
+    else:
+        rows = []
+        print(f"no previous snapshot at {args.output}; recording baseline")
+        for name in sorted(results):
+            print(f"  {name}: {results[name].seconds:.6f} s")
+
+    regressed = args.check and has_regressions(rows)
+    if not args.no_write:
+        if regressed:
+            # Keep the reference intact so a re-run still sees the regression.
+            print(f"regression detected; leaving {args.output} unchanged")
+        else:
+            save_snapshot(args.output, snapshot)
+            print(f"wrote {args.output}")
+
+    if regressed:
+        print("benchmark regressions detected", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

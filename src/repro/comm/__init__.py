@@ -21,7 +21,7 @@ from repro.comm.group import (
     TrafficCounter,
     run_spmd,
 )
-from repro.comm.packing import pack_symmetric, unpack_symmetric
+from repro.comm.packing import pack_symmetric, packed_size, unpack_symmetric
 
 __all__ = [
     "CollectiveGroup",
@@ -31,5 +31,6 @@ __all__ = [
     "TrafficCounter",
     "run_spmd",
     "pack_symmetric",
+    "packed_size",
     "unpack_symmetric",
 ]

@@ -4,34 +4,76 @@ Kronecker factors and their inverses are symmetric, so the paper sends
 only the upper triangle including the diagonal — ``d(d+1)/2`` elements
 instead of ``d^2`` (Section V-B).  These helpers implement that wire
 format.
+
+The index patterns are pure functions of the matrix side ``d`` and a
+training run packs the same handful of dimensions thousands of times, so
+the flattened upper/lower-triangle indices are cached per dimension
+(read-only, shared).  ``pack_symmetric`` also accepts a preallocated
+``out`` slice so fused communication buffers can be filled in place
+without intermediate copies.
 """
 
 from __future__ import annotations
+
+from functools import lru_cache
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.utils.validation import check_square
 
 
-def pack_symmetric(matrix: np.ndarray) -> np.ndarray:
+def packed_size(d: int) -> int:
+    """Elements of the packed upper triangle of a ``d x d`` matrix."""
+    if d < 0:
+        raise ValueError(f"matrix dimension must be >= 0, got {d}")
+    return d * (d + 1) // 2
+
+
+@lru_cache(maxsize=512)
+def _triu_flat_indices(d: int) -> Tuple[np.ndarray, np.ndarray]:
+    """(upper, lower) flat index vectors of the triangle, cached per ``d``.
+
+    ``upper[k]`` is the row-major position of the k-th packed element;
+    ``lower[k]`` is the position of its transpose mirror.  Arrays are
+    marked read-only because they are shared across all callers.
+    """
+    rows, cols = np.triu_indices(d)
+    upper = rows * d + cols
+    lower = cols * d + rows
+    upper.setflags(write=False)
+    lower.setflags(write=False)
+    return upper, lower
+
+
+def pack_symmetric(matrix: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
     """Pack a symmetric ``d x d`` matrix into its upper triangle (1-D).
 
     Only the upper triangle is read; the caller guarantees symmetry.
+    When ``out`` is given (a 1-D array of ``packed_size(d)`` elements,
+    e.g. a slice of a fused communication buffer) the triangle is written
+    there and ``out`` is returned.
     """
     check_square("matrix", matrix)
     d = matrix.shape[0]
-    iu = np.triu_indices(d)
-    return np.ascontiguousarray(matrix[iu])
+    upper, _ = _triu_flat_indices(d)
+    flat = np.ascontiguousarray(matrix).reshape(-1)
+    if out is None:
+        return flat[upper]
+    if out.ndim != 1 or out.size != upper.size:
+        raise ValueError(f"out has shape {out.shape}; expected ({upper.size},) for d={d}")
+    np.take(flat, upper, out=out)
+    return out
 
 
 def unpack_symmetric(packed: np.ndarray, d: int) -> np.ndarray:
     """Inverse of :func:`pack_symmetric`: rebuild the full symmetric matrix."""
-    expected = d * (d + 1) // 2
+    expected = packed_size(d)
     if packed.ndim != 1 or packed.size != expected:
         raise ValueError(f"packed size {packed.shape} != ({expected},) for d={d}")
-    out = np.zeros((d, d), dtype=packed.dtype)
-    iu = np.triu_indices(d)
-    out[iu] = packed
-    strict = np.triu_indices(d, k=1)
-    out.T[strict] = out[strict]
+    upper, lower = _triu_flat_indices(d)
+    out = np.empty((d, d), dtype=packed.dtype)
+    flat = out.reshape(-1)
+    flat[lower] = packed  # mirror first so the diagonal is written last ...
+    flat[upper] = packed  # ... by the authoritative upper triangle
     return out

@@ -32,8 +32,11 @@ from repro.core.factors import (
 from repro.core.kfac import (
     KFACOptimizer,
     KFACPreconditioner,
+    batched_inverse_groups,
     damped_inverse,
+    damped_inverse_batched,
     eig_damped_inverse,
+    eig_damped_inverse_batched,
 )
 from repro.core.fusion import (
     FusionPlan,
@@ -75,8 +78,11 @@ __all__ = [
     "kfac_layers",
     "KFACPreconditioner",
     "KFACOptimizer",
+    "batched_inverse_groups",
     "damped_inverse",
+    "damped_inverse_batched",
     "eig_damped_inverse",
+    "eig_damped_inverse_batched",
     "FusionPlan",
     "TensorFusionController",
     "plan_no_fusion",

@@ -26,10 +26,15 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.comm import Communicator, pack_symmetric, unpack_symmetric
+from repro.comm import Communicator, pack_symmetric, packed_size, unpack_symmetric
 from repro.core.factors import KFACLayer
 from repro.core.fusion import FusionPlan, TensorFusionController, plan_bulk, plan_threshold_fusion
-from repro.core.kfac import KFACPreconditioner, damped_inverse, eig_damped_inverse
+from repro.core.kfac import (
+    KFACPreconditioner,
+    batched_inverse_groups,
+    eig_inverse_from_decomposition,
+    refresh_eig_caches,
+)
 from repro.core.placement import (
     Placement,
     balanced_placement,
@@ -169,21 +174,31 @@ class DistKFACOptimizer:
         ``states`` are the layer states in *communication order* (forward
         order for A, backward order for G); ``attr`` is ``"factor_a"`` or
         ``"factor_g"``; ``dims`` are the matching matrix sides.
+
+        Each completed bucket is packed member-by-member straight into one
+        preallocated fused buffer (no per-member triangle arrays, no
+        ``concatenate``), mirroring how Horovod's fusion buffer works.
         """
         controller = TensorFusionController(plan)
+        sizes = [packed_size(d) for d in dims]
         for idx, state in enumerate(states):
-            packed = pack_symmetric(getattr(state, attr))
-            bucket = controller.submit(idx, (state, packed))
+            bucket = controller.submit(idx, state)
             if bucket is None:
                 continue
-            buffer = np.concatenate([payload for _, (__, payload) in bucket])
+            buffer = np.empty(sum(sizes[member_idx] for member_idx, _ in bucket))
+            offset = 0
+            for member_idx, member_state in bucket:
+                size = sizes[member_idx]
+                pack_symmetric(
+                    getattr(member_state, attr), out=buffer[offset : offset + size]
+                )
+                offset += size
             reduced = self.comm.allreduce(buffer, op="mean")
             offset = 0
-            for member_idx, (member_state, payload) in bucket:
-                size = payload.size
-                d = dims[member_idx]
-                setattr(
-                    member_state, attr, unpack_symmetric(reduced[offset : offset + size], d)
+            for member_idx, member_state in bucket:
+                size = sizes[member_idx]
+                member_state.set_factor(
+                    attr, unpack_symmetric(reduced[offset : offset + size], dims[member_idx])
                 )
                 offset += size
 
@@ -206,25 +221,42 @@ class DistKFACOptimizer:
             offset += p.size
 
     def _distributed_inverses(self) -> None:
-        """Compute/broadcast inverses according to the placement."""
+        """Compute/broadcast inverses according to the placement.
+
+        This rank's assigned tensors are inverted first, grouped by
+        dimension into batched LAPACK calls (same-size factors abound in
+        ResNet/DenseNet); the CT broadcasts then run in the usual
+        deterministic descending-dimension order, so every variant still
+        produces bit-identical results on every rank.
+        """
         states = self.preconditioner.ordered_states()
         damping = self.preconditioner.damping
+        method = self.preconditioner.inverse_method
         rank = self.comm.rank
         dims = self._dims
         order = sorted(range(len(dims)), key=lambda i: -dims[i])
+        mine = [i for i in order if rank in self.placement.assignments[i]]
+
+        def factor_attr(i: int) -> str:
+            return "factor_a" if i % 2 == 0 else "factor_g"
+
+        local: Dict[int, np.ndarray] = {}
+        if mine and method == "eig":
+            # Batch-decompose only tensors whose cached eigendecomposition
+            # is stale, then re-damp everything from the caches.
+            refresh_eig_caches([(states[i // 2], factor_attr(i)) for i in mine])
+            for i in mine:
+                local[i] = eig_inverse_from_decomposition(
+                    *states[i // 2].eig_decomposition(factor_attr(i)), damping
+                )
+        elif mine:
+            factors = [getattr(states[i // 2], factor_attr(i)) for i in mine]
+            local = dict(zip(mine, batched_inverse_groups(factors, damping, method)))
+
         for i in order:
             state = states[i // 2]
-            attr_factor = "factor_a" if i % 2 == 0 else "factor_g"
             attr_inv = "inv_a" if i % 2 == 0 else "inv_g"
-            mine = rank in self.placement.assignments[i]
-            inverse: Optional[np.ndarray] = None
-            if mine:
-                invert = (
-                    eig_damped_inverse
-                    if self.preconditioner.inverse_method == "eig"
-                    else damped_inverse
-                )
-                inverse = invert(getattr(state, attr_factor), damping)
+            inverse: Optional[np.ndarray] = local.get(i)
             if self.comm.world_size > 1 and not self.placement.is_nct(i):
                 root = self.placement.owner(i)
                 packed = pack_symmetric(inverse) if rank == root else None

@@ -35,7 +35,12 @@ from repro.utils.validation import check_non_negative
 
 @dataclass(frozen=True)
 class FusionPlan:
-    """A partition of ``n`` ordered tensors into contiguous buckets."""
+    """A partition of ``n`` ordered tensors into contiguous buckets.
+
+    A tensor-index -> bucket-id lookup table is precomputed at
+    construction so :meth:`bucket_of` is O(1); the schedule builders call
+    it once per (layer, rank) pair on ~25k-task graphs.
+    """
 
     buckets: Tuple[Tuple[int, ...], ...]
 
@@ -48,6 +53,8 @@ class FusionPlan:
             )
         if any(len(bucket) == 0 for bucket in self.buckets):
             raise ValueError("empty fusion bucket")
+        lookup = tuple(b for b, bucket in enumerate(self.buckets) for _ in bucket)
+        object.__setattr__(self, "_bucket_lookup", lookup)
 
     @property
     def num_tensors(self) -> int:
@@ -59,16 +66,25 @@ class FusionPlan:
 
     def bucket_of(self, index: int) -> int:
         """Bucket id containing tensor ``index``."""
-        for b, bucket in enumerate(self.buckets):
-            if bucket[0] <= index <= bucket[-1]:
-                return b
-        raise IndexError(f"tensor index {index} not in plan of {self.num_tensors}")
+        lookup: Tuple[int, ...] = self._bucket_lookup  # type: ignore[attr-defined]
+        if not 0 <= index < len(lookup):
+            raise IndexError(f"tensor index {index} not in plan of {self.num_tensors}")
+        return lookup[index]
 
     def bucket_elements(self, sizes: Sequence[int]) -> List[int]:
         """Total element count per bucket given per-tensor sizes."""
         if len(sizes) != self.num_tensors:
             raise ValueError(f"expected {self.num_tensors} sizes, got {len(sizes)}")
-        return [sum(sizes[i] for i in bucket) for bucket in self.buckets]
+        prefix = _prefix_sums(sizes)
+        return [prefix[bucket[-1] + 1] - prefix[bucket[0]] for bucket in self.buckets]
+
+
+def _prefix_sums(sizes: Sequence[int]) -> List[int]:
+    """``prefix[j] = sizes[0] + ... + sizes[j-1]`` with ``prefix[0] = 0``."""
+    prefix = [0] * (len(sizes) + 1)
+    for i, s in enumerate(sizes):
+        prefix[i + 1] = prefix[i] + s
+    return prefix
 
 
 def plan_no_fusion(num_tensors: int) -> FusionPlan:
@@ -139,10 +155,11 @@ def fusion_completion_time(
     under the same cost model.
     """
     _validate_arrivals(sizes, avail_times)
+    prefix = _prefix_sums(sizes)
     channel_free = initial_channel_free
     for bucket in plan.buckets:
         start = max(avail_times[bucket[-1]], channel_free)
-        channel_free = start + comm.time(sum(sizes[i] for i in bucket))
+        channel_free = start + comm.time(prefix[bucket[-1] + 1] - prefix[bucket[0]])
     return channel_free
 
 
@@ -171,9 +188,7 @@ def plan_optimal_fusion(
     """
     _validate_arrivals(sizes, avail_times)
     n = len(sizes)
-    prefix = [0.0] * (n + 1)
-    for i, s in enumerate(sizes):
-        prefix[i + 1] = prefix[i] + s
+    prefix = _prefix_sums(sizes)
 
     best = [0.0] * (n + 1)  # F
     best[0] = initial_channel_free
@@ -221,6 +236,7 @@ def plan_eq15_greedy(
     bench quantifies the gap.
     """
     _validate_arrivals(sizes, avail_times)
+    prefix = _prefix_sums(sizes)
     buckets: List[Tuple[int, ...]] = []
     channel_free = 0.0
     i = 0
@@ -232,8 +248,7 @@ def plan_eq15_greedy(
             j += 1
         buckets.append(tuple(range(i, j)))
         start = max(tau, avail_times[j - 1])
-        channel_free = start + comm.time(prefix_sum := sum(sizes[i:j]))
-        del prefix_sum
+        channel_free = start + comm.time(prefix[j] - prefix[i])
         i = j
     return FusionPlan(tuple(buckets))
 

@@ -15,8 +15,9 @@ update loop with momentum and weight decay.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 import scipy.linalg
@@ -26,6 +27,14 @@ from repro.nn import Conv2d, Linear, Module, SGD
 from repro.utils.validation import check_non_negative, check_positive, check_probability
 
 
+@lru_cache(maxsize=128)
+def _identity(d: int) -> np.ndarray:
+    """Shared read-only ``d x d`` identity (one per dimension, ever)."""
+    eye = np.eye(d)
+    eye.setflags(write=False)
+    return eye
+
+
 def eig_damped_inverse(factor: np.ndarray, damping: float) -> np.ndarray:
     """Damped inverse via symmetric eigendecomposition.
 
@@ -33,15 +42,37 @@ def eig_damped_inverse(factor: np.ndarray, damping: float) -> np.ndarray:
     This is the scheme of KAISA / Pauloski et al. [22]: the
     eigendecomposition is computed once per factor refresh and the
     damping applied to the eigenvalues, which lets implementations reuse
-    the decomposition across damping schedules.  Slightly more expensive
-    than Cholesky but tolerant of factors that are only positive
-    *semi*-definite (eigenvalues clamped at zero before damping).
+    the decomposition across damping schedules (see
+    :meth:`LayerKFACState.eig_decomposition` for the cache).  Slightly
+    more expensive than Cholesky but tolerant of factors that are only
+    positive *semi*-definite (eigenvalues clamped at zero before damping).
     """
     check_non_negative("damping", damping)
     eigvals, eigvecs = np.linalg.eigh(factor)
+    return eig_inverse_from_decomposition(eigvals, eigvecs, damping)
+
+
+def eig_inverse_from_decomposition(
+    eigvals: np.ndarray, eigvecs: np.ndarray, damping: float
+) -> np.ndarray:
+    """Re-damp a cached eigendecomposition into an inverse (cheap part)."""
     eigvals = np.clip(eigvals, 0.0, None)
     inverse = (eigvecs / (eigvals + damping)) @ eigvecs.T
     return (inverse + inverse.T) / 2.0
+
+
+def eig_damped_inverse_batched(factors: np.ndarray, damping: float) -> np.ndarray:
+    """Vectorized :func:`eig_damped_inverse` over a ``(k, d, d)`` stack.
+
+    One batched ``eigh`` call replaces ``k`` Python-level round trips;
+    LAPACK still decomposes each matrix independently, so entry ``j``
+    matches ``eig_damped_inverse(factors[j], damping)`` to rounding.
+    """
+    check_non_negative("damping", damping)
+    eigvals, eigvecs = np.linalg.eigh(factors)
+    eigvals = np.clip(eigvals, 0.0, None)
+    inverse = (eigvecs / (eigvals + damping)[:, None, :]) @ eigvecs.transpose(0, 2, 1)
+    return (inverse + inverse.transpose(0, 2, 1)) / 2.0
 
 
 def damped_inverse(factor: np.ndarray, damping: float) -> np.ndarray:
@@ -54,22 +85,100 @@ def damped_inverse(factor: np.ndarray, damping: float) -> np.ndarray:
     """
     check_non_negative("damping", damping)
     d = factor.shape[0]
-    damped = factor + damping * np.eye(d)
+    damped = factor.copy()
+    damped.flat[:: d + 1] += damping  # in place: no eye() temporaries
     try:
         cho = scipy.linalg.cho_factor(damped, lower=True, check_finite=False)
     except scipy.linalg.LinAlgError as exc:
         raise np.linalg.LinAlgError(
             f"damped factor (d={d}, damping={damping}) is not positive definite: {exc}"
         ) from exc
-    inverse = scipy.linalg.cho_solve(cho, np.eye(d), check_finite=False)
+    inverse = scipy.linalg.cho_solve(cho, _identity(d), check_finite=False)
     # Cho-solve output is symmetric up to rounding; symmetrize so packed
     # upper-triangle communication is lossless.
     return (inverse + inverse.T) / 2.0
 
 
+def damped_inverse_batched(factors: np.ndarray, damping: float) -> np.ndarray:
+    """:func:`damped_inverse` over a ``(k, d, d)`` stack of same-size factors.
+
+    ResNet/DenseNet layers share factor dimensions, so grouping the 2L
+    inverses by ``d`` turns L-ish Python-level solver calls into a few
+    batched LAPACK sweeps (the batching insight KAISA exploits on GPUs).
+    Raises ``numpy.linalg.LinAlgError`` when any damped factor is not
+    positive definite, like the scalar path.
+    """
+    check_non_negative("damping", damping)
+    if factors.ndim != 3 or factors.shape[1] != factors.shape[2]:
+        raise ValueError(f"expected a (k, d, d) stack, got shape {factors.shape}")
+    d = factors.shape[1]
+    damped = np.ascontiguousarray(factors, dtype=np.float64).copy()
+    damped.reshape(len(damped), -1)[:, :: d + 1] += damping  # in-place Tikhonov
+    chol = np.linalg.cholesky(damped)  # LinAlgError if not PD, as scalar path
+    # (L L^T)^{-1} = L^{-T} L^{-1}; the triangular inverses are batched.
+    chol_inv = np.linalg.inv(chol)
+    inverse = chol_inv.transpose(0, 2, 1) @ chol_inv
+    return (inverse + inverse.transpose(0, 2, 1)) / 2.0
+
+
+def refresh_eig_caches(jobs: Sequence[Tuple["LayerKFACState", str]]) -> None:
+    """Batch-decompose every stale factor in ``jobs`` and cache the results.
+
+    ``jobs`` are (state, factor attribute) pairs; entries whose cached
+    eigendecomposition still matches the factor version are skipped, the
+    rest are grouped by dimension and sent through one batched ``eigh``
+    per group.  Shared by the single-process preconditioner refresh and
+    the distributed per-rank inverse stage.
+    """
+    groups: Dict[int, List[Tuple["LayerKFACState", str]]] = {}
+    for state, attr in jobs:
+        if state.has_fresh_eig(attr):
+            continue
+        groups.setdefault(getattr(state, attr).shape[0], []).append((state, attr))
+    for members in groups.values():
+        stacked = np.stack([getattr(state, attr) for state, attr in members])
+        eigvals, eigvecs = np.linalg.eigh(stacked)
+        for j, (state, attr) in enumerate(members):
+            state.cache_eig_decomposition(attr, eigvals[j], eigvecs[j])
+
+
+def batched_inverse_groups(
+    factors: Sequence[np.ndarray], damping: float, method: str = "cholesky"
+) -> List[np.ndarray]:
+    """Invert a heterogeneous list of symmetric factors, batched by size.
+
+    Factors are grouped by dimension, each group inverted with one
+    batched call, and the results returned in input order.  This is the
+    shared engine behind the single-process preconditioner refresh and
+    the distributed per-rank inverse stage.
+    """
+    if method == "cholesky":
+        invert = damped_inverse_batched
+    elif method == "eig":
+        invert = eig_damped_inverse_batched
+    else:
+        raise ValueError(f"method must be 'cholesky' or 'eig', got {method!r}")
+    groups: Dict[int, List[int]] = {}
+    for idx, factor in enumerate(factors):
+        groups.setdefault(factor.shape[0], []).append(idx)
+    out: List[Optional[np.ndarray]] = [None] * len(factors)
+    for members in groups.values():
+        stacked = np.stack([factors[idx] for idx in members])
+        inverses = invert(stacked, damping)
+        for j, idx in enumerate(members):
+            out[idx] = inverses[j]
+    return out  # type: ignore[return-value]
+
+
 @dataclass
 class LayerKFACState:
-    """Running factors and inverses for one layer."""
+    """Running factors and inverses for one layer.
+
+    ``factor_version`` counts factor rewrites (running-average folds and
+    all-reduce replacements); the per-factor eigendecomposition cache is
+    keyed on it so the ``"eig"`` method can re-damp a stale-damping
+    inverse without re-decomposing an unchanged factor.
+    """
 
     layer: KFACLayer
     factor_a: Optional[np.ndarray] = None
@@ -78,6 +187,21 @@ class LayerKFACState:
     inv_g: Optional[np.ndarray] = None
     batch_a: Optional[np.ndarray] = None
     batch_g: Optional[np.ndarray] = None
+    factor_version: int = 0
+    _eig_cache: Dict[str, Tuple[int, np.ndarray, np.ndarray]] = field(
+        default_factory=dict, repr=False
+    )
+
+    def __setattr__(self, name: str, value: object) -> None:
+        # Any rewrite of a factor — running-average fold, all-reduce
+        # replacement, or a caller assigning the attribute directly —
+        # must invalidate cached decompositions of it; hooking assignment
+        # keeps that invariant in the state object instead of in caller
+        # discipline.  (The __dict__ guard skips dataclass __init__, which
+        # assigns fields before factor_version exists.)
+        super().__setattr__(name, value)
+        if name in ("factor_a", "factor_g") and "factor_version" in self.__dict__:
+            super().__setattr__("factor_version", self.factor_version + 1)
 
     def update_running(self, decay: float) -> None:
         """Fold the latest per-batch factors into the running averages."""
@@ -90,22 +214,60 @@ class LayerKFACState:
             self.factor_a = decay * self.factor_a + (1.0 - decay) * self.batch_a
             self.factor_g = decay * self.factor_g + (1.0 - decay) * self.batch_g
 
+    def set_factor(self, attr: str, value: np.ndarray) -> None:
+        """Replace ``factor_a``/``factor_g`` (e.g. with an all-reduced global
+        factor); cached decompositions of it are invalidated by the
+        assignment hook."""
+        setattr(self, attr, value)
+
+    def eig_decomposition(self, attr: str) -> Tuple[np.ndarray, np.ndarray]:
+        """(eigvals, eigvecs) of the current ``attr`` factor, cached per
+        :attr:`factor_version` — the decomposition reuse promised by
+        :func:`eig_damped_inverse`'s damping-schedule note."""
+        factor = getattr(self, attr)
+        if factor is None:
+            raise RuntimeError("factors not yet initialized")
+        cached = self._eig_cache.get(attr)
+        if cached is not None and cached[0] == self.factor_version:
+            return cached[1], cached[2]
+        eigvals, eigvecs = np.linalg.eigh(factor)
+        self._eig_cache[attr] = (self.factor_version, eigvals, eigvecs)
+        return eigvals, eigvecs
+
+    def cache_eig_decomposition(
+        self, attr: str, eigvals: np.ndarray, eigvecs: np.ndarray
+    ) -> None:
+        """Store an externally (batch-)computed decomposition of ``attr``."""
+        self._eig_cache[attr] = (self.factor_version, eigvals, eigvecs)
+
+    def has_fresh_eig(self, attr: str) -> bool:
+        """Whether a decomposition of the *current* ``attr`` factor is cached."""
+        cached = self._eig_cache.get(attr)
+        return cached is not None and cached[0] == self.factor_version
+
     def compute_inverses(self, damping: float, method: str = "cholesky") -> None:
         """Invert the damped running factors (the paper's I tasks).
 
         ``method``: ``"cholesky"`` (the paper's cuSolver path) or
-        ``"eig"`` (the KAISA-style eigendecomposition, [22]).
+        ``"eig"`` (the KAISA-style eigendecomposition, [22]).  The eig
+        path reuses the cached decomposition when the factor is
+        unchanged, so a damping-schedule change re-damps eigenvalues
+        instead of re-running ``eigh``.
         """
         if self.factor_a is None or self.factor_g is None:
             raise RuntimeError("factors not yet initialized")
         if method == "cholesky":
-            invert = damped_inverse
+            self.inv_a = damped_inverse(self.factor_a, damping)
+            self.inv_g = damped_inverse(self.factor_g, damping)
         elif method == "eig":
-            invert = eig_damped_inverse
+            self.inv_a = eig_inverse_from_decomposition(
+                *self.eig_decomposition("factor_a"), damping
+            )
+            self.inv_g = eig_inverse_from_decomposition(
+                *self.eig_decomposition("factor_g"), damping
+            )
         else:
             raise ValueError(f"method must be 'cholesky' or 'eig', got {method!r}")
-        self.inv_a = invert(self.factor_a, damping)
-        self.inv_g = invert(self.factor_g, damping)
 
     def grad_matrix(self) -> np.ndarray:
         """Layer gradient as a 2-D matrix ``(g_dim, a_dim)``, bias appended."""
@@ -236,13 +398,41 @@ class KFACPreconditioner:
     def should_update_factors(self) -> bool:
         return self.steps % self.factor_update_freq == 0
 
+    def refresh_inverses(self) -> None:
+        """Recompute every layer's damped inverses, batched by dimension.
+
+        The 2L factors are grouped by matrix side and each group inverted
+        with one batched LAPACK call (ResNet/DenseNet blocks share
+        dimensions, so the groups are large).  With ``inverse_method ==
+        "eig"``, factors whose cached eigendecomposition is still fresh
+        are merely re-damped; only stale ones enter the batched ``eigh``.
+        """
+        states = self.ordered_states()
+        jobs: List[Tuple[LayerKFACState, str, str]] = []
+        for state in states:
+            if state.factor_a is None or state.factor_g is None:
+                raise RuntimeError("factors not yet initialized")
+            jobs.append((state, "factor_a", "inv_a"))
+            jobs.append((state, "factor_g", "inv_g"))
+        if self.inverse_method == "eig":
+            refresh_eig_caches([(state, attr) for state, attr, _ in jobs])
+            for state, attr, inv_attr in jobs:
+                inverse = eig_inverse_from_decomposition(
+                    *state.eig_decomposition(attr), self.damping
+                )
+                setattr(state, inv_attr, inverse)
+        else:
+            factors = [getattr(state, attr) for state, attr, _ in jobs]
+            inverses = batched_inverse_groups(factors, self.damping, self.inverse_method)
+            for (state, _, inv_attr), inverse in zip(jobs, inverses):
+                setattr(state, inv_attr, inverse)
+
     def step(self) -> None:
         """Update factors, (maybe) refresh inverses, precondition gradients."""
         if self.should_update_factors():
             self.update_factors()
         if self.should_update_inverses():
-            for state in self.ordered_states():
-                state.compute_inverses(self.damping, method=self.inverse_method)
+            self.refresh_inverses()
         for state in self.ordered_states():
             state.precondition()
         self.steps += 1

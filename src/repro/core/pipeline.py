@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import List, Sequence, Tuple
 
 from repro.core.fusion import (
@@ -74,21 +75,41 @@ class FactorCommPlan:
     combine_passes: bool
 
 
-def layer_compute_times(
-    spec: ModelSpec, profile: ClusterPerfProfile
-) -> Tuple[List[float], List[float], List[float], List[float]]:
-    """Per-layer (t_fwd, t_bwd, t_factor_A, t_factor_G) from the cost models."""
+@lru_cache(maxsize=256)
+def _layer_compute_times_cached(
+    spec: ModelSpec, train_compute: object, factor_compute: object
+) -> Tuple[Tuple[float, ...], Tuple[float, ...], Tuple[float, ...], Tuple[float, ...]]:
     bs = spec.batch_size
-    t_fwd = [profile.train_compute.time(layer.forward_flops * bs) for layer in spec.layers]
-    t_bwd = [profile.train_compute.time(layer.backward_flops * bs) for layer in spec.layers]
-    t_fa = [profile.factor_compute.time(layer.factor_a_flops(bs)) for layer in spec.layers]
-    t_fg = [profile.factor_compute.time(layer.factor_g_flops(bs)) for layer in spec.layers]
+    t_fwd = tuple(train_compute.time(layer.forward_flops * bs) for layer in spec.layers)
+    t_bwd = tuple(train_compute.time(layer.backward_flops * bs) for layer in spec.layers)
+    t_fa = tuple(factor_compute.time(layer.factor_a_flops(bs)) for layer in spec.layers)
+    t_fg = tuple(factor_compute.time(layer.factor_g_flops(bs)) for layer in spec.layers)
     return t_fwd, t_bwd, t_fa, t_fg
 
 
+def layer_compute_times(
+    spec: ModelSpec, profile: ClusterPerfProfile
+) -> Tuple[Tuple[float, ...], Tuple[float, ...], Tuple[float, ...], Tuple[float, ...]]:
+    """Per-layer (t_fwd, t_bwd, t_factor_A, t_factor_G) from the cost models.
+
+    Memoized on (spec, compute models) rather than the whole profile:
+    :func:`repro.perf.scaled_cluster_profile` varies only the *collective*
+    models across world sizes, so a (model, world-size) sweep reuses one
+    computation per model instead of recomputing every cell.
+    """
+    return _layer_compute_times_cached(spec, profile.train_compute, profile.factor_compute)
+
+
+@lru_cache(maxsize=256)
+def precondition_times(spec: ModelSpec, factor_compute: object) -> Tuple[float, ...]:
+    """Per-layer preconditioning (Eq. 11 GEMM pair) durations, memoized."""
+    return tuple(factor_compute.time(layer.precondition_flops()) for layer in spec.layers)
+
+
+@lru_cache(maxsize=256)
 def factor_availability(
     spec: ModelSpec, profile: ClusterPerfProfile
-) -> Tuple[List[float], List[float]]:
+) -> Tuple[Tuple[float, ...], Tuple[float, ...]]:
     """Analytic availability times of each ``A_l`` (forward order) and each
     ``G_l`` (backward order), assuming communication never stalls compute.
 
@@ -109,12 +130,13 @@ def factor_availability(
         clock += t_bwd[l]
         clock += t_fg[l]  # G_l computed in the backward hook of layer l
         g_avail.append(clock)
-    return a_avail, g_avail
+    return tuple(a_avail), tuple(g_avail)
 
 
+@lru_cache(maxsize=256)
 def backward_step_end_times(
     spec: ModelSpec, profile: ClusterPerfProfile
-) -> List[float]:
+) -> Tuple[float, ...]:
     """Completion time of each backward step's B kernel (backward order)."""
     t_fwd, t_bwd, t_fa, t_fg = layer_compute_times(spec, profile)
     clock = sum(t_fa) + sum(t_fwd)
@@ -123,13 +145,23 @@ def backward_step_end_times(
         clock += t_bwd[l]
         ends.append(clock)
         clock += t_fg[l]
-    return ends
+    return tuple(ends)
+
+
+@lru_cache(maxsize=256)
+def _gradient_fusion_plan_cached(spec: ModelSpec, threshold_elements: int) -> FusionPlan:
+    sizes = [layer.num_params for layer in reversed(spec.layers)]
+    return plan_threshold_fusion(sizes, threshold_elements)
 
 
 def gradient_fusion_plan(spec: ModelSpec, profile: ClusterPerfProfile) -> FusionPlan:
-    """WFBP gradient buckets: threshold fusion over backward-order params."""
-    sizes = [layer.num_params for layer in reversed(spec.layers)]
-    return plan_threshold_fusion(sizes, profile.fusion_threshold_elements)
+    """WFBP gradient buckets: threshold fusion over backward-order params.
+
+    Memoized on (spec, threshold) — the buckets are independent of the
+    cluster's collective constants, so every world size of a sweep shares
+    one plan per model.
+    """
+    return _gradient_fusion_plan_cached(spec, profile.fusion_threshold_elements)
 
 
 def _plan_g_pass_around_gradients(
@@ -195,12 +227,18 @@ def _plan_g_pass_around_gradients(
     return FusionPlan(tuple(buckets))
 
 
+@lru_cache(maxsize=256)
 def factor_comm_plans(
     strategy: FactorCommStrategy,
     spec: ModelSpec,
     profile: ClusterPerfProfile,
 ) -> FactorCommPlan:
-    """Build the fusion plans a strategy would use for ``spec``."""
+    """Build the fusion plans a strategy would use for ``spec``.
+
+    Memoized: figure sweeps build the same (strategy, model, profile)
+    plan for every sweep point, and the OTF dynamic program is the
+    costliest part of graph construction.
+    """
     a_sizes = [layer.a_elements for layer in spec.layers]
     g_sizes = [layer.g_elements for layer in reversed(spec.layers)]
     num_layers = len(spec.layers)

@@ -21,6 +21,7 @@ stream in a single global order, as NCCL requires.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.fusion import FusionPlan
@@ -30,6 +31,7 @@ from repro.core.pipeline import (
     factor_comm_plans,
     gradient_fusion_plan,
     layer_compute_times,
+    precondition_times,
 )
 from repro.core.placement import (
     Placement,
@@ -84,11 +86,16 @@ def interleaved_factor_dims(spec: ModelSpec) -> List[int]:
     return spec.factor_dims()
 
 
+@lru_cache(maxsize=256)
 def resolve_placement(
     name: str, spec: ModelSpec, profile: ClusterPerfProfile, num_ranks: int
 ) -> Placement:
-    """Instantiate one of the paper's placement strategies for ``spec``."""
-    dims = interleaved_factor_dims(spec)
+    """Instantiate one of the paper's placement strategies for ``spec``.
+
+    Memoized — :class:`Placement` is immutable and sweeps re-request the
+    same (strategy, model, profile, world-size) placement per cell.
+    """
+    dims = tuple(interleaved_factor_dims(spec))
     if name == "non_dist":
         return non_dist_placement(dims, num_ranks)
     if name == "seq_dist":
@@ -125,9 +132,7 @@ def _build_graph(
     graph = TaskGraph(num_ranks)
 
     t_fwd, t_bwd, t_fa, t_fg = layer_compute_times(spec, profile)
-    t_precond = [
-        profile.factor_compute.time(layer.precondition_flops()) for layer in layers
-    ]
+    t_precond = precondition_times(spec, profile.factor_compute)
 
     fplan: Optional[FactorCommPlan] = None
     if kfac and distributed:
@@ -144,12 +149,14 @@ def _build_graph(
     a_sizes = [layer.a_elements for layer in layers]
 
     for l in range(num_layers):
-        for r in all_ranks:
-            if kfac:
-                fa_tasks[l].append(
-                    graph.add_compute(f"A{l}", Phase.FACTOR_COMP, r, t_fa[l])
-                )
-            fwd_tasks[l].append(graph.add_compute(f"F{l}", Phase.FORWARD, r, t_fwd[l]))
+        # One kernel per rank, appended as a batch; each rank's compute
+        # stream still sees A_l before F_l, so the FIFO order (and hence
+        # the schedule) is identical to per-rank interleaved appends.
+        if kfac:
+            fa_tasks[l] = graph.add_compute_batch(
+                f"A{l}", Phase.FACTOR_COMP, all_ranks, t_fa[l]
+            )
+        fwd_tasks[l] = graph.add_compute_batch(f"F{l}", Phase.FORWARD, all_ranks, t_fwd[l])
         if fplan is not None and not fplan.launch_after_pass:
             bucket_id = fplan.a_plan.bucket_of(l)
             if fplan.a_plan.buckets[bucket_id][-1] == l:
@@ -184,15 +191,14 @@ def _build_graph(
 
     for j in range(num_layers):  # j-th layer of the backward pass
         l = num_layers - 1 - j
-        for r in all_ranks:
-            deps = [fwd_tasks[num_layers - 1][r]] if j == 0 else []
-            bwd_tasks[l].append(
-                graph.add_compute(f"B{l}", Phase.BACKWARD, r, t_bwd[l], deps=deps)
+        bwd_deps = [[fwd_tasks[num_layers - 1][r]] for r in all_ranks] if j == 0 else None
+        bwd_tasks[l] = graph.add_compute_batch(
+            f"B{l}", Phase.BACKWARD, all_ranks, t_bwd[l], deps_per_rank=bwd_deps
+        )
+        if kfac:
+            fg_tasks[l] = graph.add_compute_batch(
+                f"G{l}", Phase.FACTOR_COMP, all_ranks, t_fg[l]
             )
-            if kfac:
-                fg_tasks[l].append(
-                    graph.add_compute(f"G{l}", Phase.FACTOR_COMP, r, t_fg[l])
-                )
         if grad_plan is not None:
             bucket_id = grad_plan.bucket_of(j)
             if grad_plan.buckets[bucket_id][-1] == j:
@@ -271,15 +277,20 @@ def _build_graph(
         order = sorted(range(len(dims)), key=lambda i: -dims[i])
         for i in order:
             ready = factor_ready_global(i)
-            for r in placement.assignments[i]:
-                deps = [ready] if ready is not None else [factor_ready_local(i, r)]
-                inv_task[(i, r)] = graph.add_compute(
-                    f"I{i}",
-                    Phase.INVERSE_COMP,
-                    r,
-                    profile.inverse_actual.time(dims[i]),
-                    deps=deps,
-                )
+            assigned = placement.assignments[i]
+            if ready is not None:
+                deps_per_rank: Optional[List[List[int]]] = [[ready]] * len(assigned)
+            else:
+                deps_per_rank = [[factor_ready_local(i, r)] for r in assigned]
+            tids = graph.add_compute_batch(
+                f"I{i}",
+                Phase.INVERSE_COMP,
+                assigned,
+                profile.inverse_actual.time(dims[i]),
+                deps_per_rank=deps_per_rank,
+            )
+            for r, tid in zip(assigned, tids):
+                inv_task[(i, r)] = tid
             if distributed and not placement.is_nct(i):
                 root = placement.owner(i)
                 bcast_task[i] = graph.add_collective(
@@ -296,6 +307,7 @@ def _build_graph(
             return bcast_task[tensor_index]
 
         for l in range(num_layers):
+            precond_deps: List[List[int]] = []
             for r in all_ranks:
                 deps = [inverse_available(2 * l, r), inverse_available(2 * l + 1, r)]
                 if grad_plan is not None:
@@ -303,17 +315,24 @@ def _build_graph(
                     deps.append(grad_bucket_task[grad_plan.bucket_of(backward_pos)])
                 else:
                     deps.append(bwd_tasks[l][r])
-                graph.add_compute(f"P{l}", Phase.PRECONDITION, r, t_precond[l], deps=deps)
+                precond_deps.append(deps)
+            graph.add_compute_batch(
+                f"P{l}", Phase.PRECONDITION, all_ranks, t_precond[l],
+                deps_per_rank=precond_deps,
+            )
 
     update_time = profile.train_compute.time(2.0 * spec.num_params)
-    for r in all_ranks:
-        deps: List[int] = []
-        if not kfac or not include_solve:
-            if grad_plan is not None:
-                deps = list(grad_bucket_task.values())
-            else:
-                deps = [bwd_tasks[0][r]]
-        graph.add_compute("U", Phase.UPDATE, r, update_time, deps=deps)
+    if not kfac or not include_solve:
+        if grad_plan is not None:
+            shared = list(grad_bucket_task.values())
+            update_deps: Optional[List[List[int]]] = [shared] * num_ranks
+        else:
+            update_deps = [[bwd_tasks[0][r]] for r in all_ranks]
+    else:
+        update_deps = None
+    graph.add_compute_batch(
+        "U", Phase.UPDATE, all_ranks, update_time, deps_per_rank=update_deps
+    )
 
     return graph
 
@@ -425,10 +444,12 @@ def build_inverse_graph(
     inv_task: Dict[Tuple[int, int], int] = {}
     order = sorted(range(len(dims)), key=lambda i: -dims[i])
     for i in order:
-        for r in placement.assignments[i]:
-            inv_task[(i, r)] = graph.add_compute(
-                f"I{i}", Phase.INVERSE_COMP, r, profile.inverse_actual.time(dims[i])
-            )
+        assigned = placement.assignments[i]
+        tids = graph.add_compute_batch(
+            f"I{i}", Phase.INVERSE_COMP, assigned, profile.inverse_actual.time(dims[i])
+        )
+        for r, tid in zip(assigned, tids):
+            inv_task[(i, r)] = tid
         if num_ranks > 1 and not placement.is_nct(i):
             graph.add_collective(
                 f"CI{i}",

@@ -24,6 +24,17 @@ from repro.perf.models import (
     symmetric_elements,
 )
 from repro.perf.fit import fit_exp_compute, fit_linear_comm
+from repro.perf.regression import (
+    BenchmarkResult,
+    Comparison,
+    compare_snapshots,
+    format_comparison,
+    has_regressions,
+    load_snapshot,
+    make_snapshot,
+    save_snapshot,
+    time_callable,
+)
 from repro.perf.calibration import (
     PAPER_ALLREDUCE_64GPU,
     PAPER_BROADCAST_64GPU,
@@ -43,6 +54,15 @@ __all__ = [
     "symmetric_elements",
     "fit_linear_comm",
     "fit_exp_compute",
+    "BenchmarkResult",
+    "Comparison",
+    "compare_snapshots",
+    "format_comparison",
+    "has_regressions",
+    "load_snapshot",
+    "make_snapshot",
+    "save_snapshot",
+    "time_callable",
     "PAPER_ALLREDUCE_64GPU",
     "PAPER_BROADCAST_64GPU",
     "PAPER_INVERSE_RTX2080TI",

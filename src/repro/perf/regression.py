@@ -1,0 +1,195 @@
+"""Benchmark snapshots and PR-over-PR regression comparison.
+
+The paper's contribution is wall-clock; so is this reproduction's own
+quality bar.  A *snapshot* is a small JSON document mapping benchmark
+names to their measured seconds (the median over rounds, the statistic
+least disturbed by scheduler noise).  ``benchmarks/snapshot.py`` produces
+one from the ``bench_kernels.py`` suite and this module diffs it against
+the previously committed snapshot, so every PR sees exactly which hot
+paths it sped up or regressed.
+
+The schema is deliberately tiny and stable::
+
+    {
+      "schema": 1,
+      "suite": "bench_kernels",
+      "benchmarks": {"<name>": {"seconds": 1.23e-3, "rounds": 5}, ...}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional
+
+SCHEMA_VERSION = 1
+
+#: Relative change below which a difference is reported as noise.
+DEFAULT_NOISE_THRESHOLD = 0.05
+
+
+@dataclass(frozen=True)
+class BenchmarkResult:
+    """One benchmark's measurement: median seconds over ``rounds`` runs."""
+
+    name: str
+    seconds: float
+    rounds: int
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise ValueError(f"benchmark {self.name!r} has negative time {self.seconds}")
+        if self.rounds < 1:
+            raise ValueError(f"benchmark {self.name!r} needs at least one round")
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Before/after verdict for one benchmark name."""
+
+    name: str
+    before: Optional[float]  # None: benchmark is new
+    after: Optional[float]  # None: benchmark was removed
+    status: str  # "faster" | "slower" | "same" | "new" | "removed"
+
+    @property
+    def speedup(self) -> Optional[float]:
+        """``before / after`` (>1 means faster now); None when undefined."""
+        if self.before is None or self.after is None or self.after == 0.0:
+            return None
+        return self.before / self.after
+
+
+def time_callable(fn: Callable[[], object], rounds: int = 5, warmup: int = 1) -> BenchmarkResult:
+    """Median wall time of ``fn()`` over ``rounds`` timed runs."""
+    if rounds < 1:
+        raise ValueError("rounds must be >= 1")
+    for _ in range(warmup):
+        fn()
+    times: List[float] = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    times.sort()
+    mid = len(times) // 2
+    median = times[mid] if len(times) % 2 else 0.5 * (times[mid - 1] + times[mid])
+    return BenchmarkResult(name=getattr(fn, "__name__", "<callable>"), seconds=median, rounds=rounds)
+
+
+def make_snapshot(
+    results: Mapping[str, BenchmarkResult], suite: str = "bench_kernels"
+) -> Dict[str, object]:
+    """Assemble the snapshot document from named results."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "suite": suite,
+        "benchmarks": {
+            name: {"seconds": result.seconds, "rounds": result.rounds}
+            for name, result in sorted(results.items())
+        },
+    }
+
+
+def save_snapshot(path: str, snapshot: Mapping[str, object]) -> None:
+    """Write a snapshot document as stable, diff-friendly JSON."""
+    with open(path, "w") as f:
+        json.dump(snapshot, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+def load_snapshot(path: str) -> Dict[str, object]:
+    """Load and validate a snapshot document."""
+    with open(path) as f:
+        snapshot = json.load(f)
+    if not isinstance(snapshot, dict) or not isinstance(snapshot.get("benchmarks"), dict):
+        raise ValueError(f"{path} is not a benchmark snapshot")
+    if snapshot.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path} has snapshot schema {snapshot.get('schema')!r}; expected {SCHEMA_VERSION}"
+        )
+    return snapshot
+
+
+def snapshot_seconds(snapshot: Mapping[str, object]) -> Dict[str, float]:
+    """Flatten a snapshot to ``{benchmark name: seconds}``."""
+    benchmarks = snapshot.get("benchmarks", {})
+    assert isinstance(benchmarks, dict)
+    return {name: float(entry["seconds"]) for name, entry in benchmarks.items()}
+
+
+def compare_snapshots(
+    before: Mapping[str, object],
+    after: Mapping[str, object],
+    noise_threshold: float = DEFAULT_NOISE_THRESHOLD,
+) -> List[Comparison]:
+    """Per-benchmark comparison of two snapshot documents.
+
+    ``noise_threshold`` is the relative change below which a benchmark is
+    labelled ``"same"``; differences beyond it become ``"faster"`` /
+    ``"slower"``.  Benchmarks present on only one side are labelled
+    ``"new"`` / ``"removed"`` instead of being silently dropped.
+    """
+    if noise_threshold < 0:
+        raise ValueError("noise_threshold must be >= 0")
+    old = snapshot_seconds(before)
+    new = snapshot_seconds(after)
+    rows: List[Comparison] = []
+    for name in sorted(set(old) | set(new)):
+        b, a = old.get(name), new.get(name)
+        if b is None:
+            status = "new"
+        elif a is None:
+            status = "removed"
+        elif b == 0.0 and a == 0.0:
+            status = "same"
+        elif a <= b / (1.0 + noise_threshold):
+            status = "faster"
+        elif a >= b * (1.0 + noise_threshold):
+            status = "slower"
+        else:
+            status = "same"
+        rows.append(Comparison(name=name, before=b, after=a, status=status))
+    return rows
+
+
+def _fmt_seconds(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "-"
+    if seconds >= 1.0:
+        return f"{seconds:.3f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.3f} ms"
+    return f"{seconds * 1e6:.1f} us"
+
+
+def format_comparison(rows: List[Comparison]) -> str:
+    """Human-readable before/after table (one line per benchmark)."""
+    if not rows:
+        return "no benchmarks to compare"
+    name_width = max(len(row.name) for row in rows)
+    lines = [
+        f"{'benchmark':<{name_width}}  {'before':>12}  {'after':>12}  {'speedup':>8}  status",
+        "-" * (name_width + 48),
+    ]
+    for row in rows:
+        speedup = f"{row.speedup:.2f}x" if row.speedup is not None else "-"
+        lines.append(
+            f"{row.name:<{name_width}}  {_fmt_seconds(row.before):>12}  "
+            f"{_fmt_seconds(row.after):>12}  {speedup:>8}  {row.status}"
+        )
+    regressions = sum(1 for row in rows if row.status == "slower")
+    improvements = sum(1 for row in rows if row.status == "faster")
+    lines.append(
+        f"{improvements} faster, {regressions} slower, "
+        f"{sum(1 for r in rows if r.status == 'same')} unchanged, "
+        f"{sum(1 for r in rows if r.status in ('new', 'removed'))} added/removed"
+    )
+    return "\n".join(lines)
+
+
+def has_regressions(rows: List[Comparison]) -> bool:
+    """True when any benchmark got slower beyond the noise threshold."""
+    return any(row.status == "slower" for row in rows)

@@ -19,18 +19,20 @@ in O(V + E) and to detect scheduling deadlocks (cyclic waits caused by
 mismatched collective orders) exactly.
 """
 
-from repro.sim.task import Phase, SimTask, TaskGraph, COMPUTE, COMM
-from repro.sim.engine import DeadlockError, simulate
+from repro.sim.task import GraphColumns, Phase, SimTask, TaskGraph, COMPUTE, COMM
+from repro.sim.engine import DeadlockError, simulate, simulate_many
 from repro.sim.timeline import Breakdown, Timeline, TimelineEntry
 from repro.sim.analysis import critical_path, critical_path_phases
 
 __all__ = [
+    "GraphColumns",
     "Phase",
     "SimTask",
     "TaskGraph",
     "COMPUTE",
     "COMM",
     "simulate",
+    "simulate_many",
     "DeadlockError",
     "Timeline",
     "TimelineEntry",

@@ -4,7 +4,11 @@ With FIFO streams the schedule is fully determined: a task starts at the
 maximum of (a) the completion times of its declared dependencies and
 (b) the completion times of its predecessors on every stream it occupies.
 That is a longest-path computation over the DAG of dependency edges plus
-stream-serialization edges, solved here with Kahn's algorithm in O(V+E).
+stream-serialization edges, solved here with a *level-synchronous* Kahn's
+algorithm in O(V+E): tasks are resolved in waves of simultaneously-ready
+nodes, and each wave's start times, end times and indegree updates are
+single vectorized numpy operations over the graph's flat CSR arrays —
+no per-task Python objects are touched on this path.
 
 If the combined graph has a cycle — e.g. two ranks enqueue the same two
 collectives in opposite orders, the classic NCCL deadlock — the engine
@@ -13,11 +17,12 @@ raises :class:`DeadlockError` naming the tasks involved.
 
 from __future__ import annotations
 
-from collections import deque
-from typing import List
+from typing import Iterable, List, Tuple
+
+import numpy as np
 
 from repro.sim.task import TaskGraph
-from repro.sim.timeline import Timeline, TimelineEntry
+from repro.sim.timeline import Timeline
 
 
 class DeadlockError(RuntimeError):
@@ -34,53 +39,111 @@ class DeadlockError(RuntimeError):
         self.stuck_task_names = stuck_task_names
 
 
+def _ragged_take(
+    indptr: np.ndarray, flat: np.ndarray, rows: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Concatenated CSR entries of ``rows`` plus the per-row counts."""
+    starts = indptr[rows]
+    counts = indptr[rows + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=flat.dtype), counts
+    offsets = np.cumsum(counts) - counts
+    gather = np.repeat(starts - offsets, counts) + np.arange(total, dtype=np.int64)
+    return flat[gather], counts
+
+
+def _combined_edges(graph: TaskGraph) -> Tuple[np.ndarray, np.ndarray]:
+    """(pred, succ) arrays of the combined DAG: declared dependencies plus
+    the stream-FIFO edge from each task to its successor on every stream
+    it occupies."""
+    cols = graph.columns()
+    n = cols.n
+    # Dependency edges: succ repeated per dependency count.
+    dep_counts = cols.deps_indptr[1:] - cols.deps_indptr[:-1]
+    dep_succ = np.repeat(np.arange(n, dtype=np.int64), dep_counts)
+    dep_pred = cols.deps_flat
+    # Stream edges: each (task, rank) occurrence lands on stream
+    # 2 * rank + is_comm; occurrences are generated in tid order, so a
+    # stable sort by stream id yields each stream's FIFO queue, and
+    # consecutive occurrences on the same stream form the edges.
+    occ_counts = cols.ranks_indptr[1:] - cols.ranks_indptr[:-1]
+    occ_task = np.repeat(np.arange(n, dtype=np.int64), occ_counts)
+    occ_stream = 2 * cols.ranks_flat + np.repeat(cols.is_comm, occ_counts)
+    order = np.argsort(occ_stream, kind="stable")
+    sorted_stream = occ_stream[order]
+    sorted_task = occ_task[order]
+    same = sorted_stream[1:] == sorted_stream[:-1]
+    stream_pred = sorted_task[:-1][same]
+    stream_succ = sorted_task[1:][same]
+    pred = np.concatenate([dep_pred, stream_pred])
+    succ = np.concatenate([dep_succ, stream_succ])
+    return pred, succ
+
+
+def _csr_from_edges(
+    keys: np.ndarray, values: np.ndarray, n: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Group ``values`` by ``keys`` into a CSR (indptr, flat) pair."""
+    order = np.argsort(keys, kind="stable")
+    counts = np.bincount(keys, minlength=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr, values[order]
+
+
 def simulate(graph: TaskGraph) -> Timeline:
     """Schedule ``graph`` and return its :class:`Timeline`.
 
     Raises :class:`DeadlockError` when the dependency order conflicts with
     some stream's FIFO order.
     """
-    tasks = graph.tasks
-    n = len(tasks)
-    queues = graph.stream_queues()
+    cols = graph.columns()
+    n = cols.n
+    if n == 0:
+        return Timeline.from_schedule(graph, np.empty(0), np.empty(0))
 
-    # Predecessors of each task in the combined DAG: declared dependencies
-    # plus the previous task on every stream the task occupies.
-    predecessors: List[List[int]] = [list(t.deps) for t in tasks]
-    for queue in queues.values():
-        for prev_tid, next_tid in zip(queue, queue[1:]):
-            predecessors[next_tid].append(prev_tid)
+    pred, succ = _combined_edges(graph)
+    pred_indptr, pred_flat = _csr_from_edges(succ, pred, n)  # preds grouped by task
+    succ_indptr, succ_flat = _csr_from_edges(pred, succ, n)  # succs grouped by task
+    indegree = pred_indptr[1:] - pred_indptr[:-1]  # fresh array, mutated below
 
-    indegree = [len(preds) for preds in predecessors]
-    successors: List[List[int]] = [[] for _ in range(n)]
-    for tid, preds in enumerate(predecessors):
-        for pred in preds:
-            successors[pred].append(tid)
-
-    start_time = [0.0] * n
-    end_time = [0.0] * n
-    ready = deque(tid for tid in range(n) if indegree[tid] == 0)
+    durations = cols.durations
+    start = np.zeros(n)
+    end = np.zeros(n)
     resolved = 0
-    while ready:
-        tid = ready.popleft()
-        start = 0.0
-        for pred in predecessors[tid]:
-            if end_time[pred] > start:
-                start = end_time[pred]
-        start_time[tid] = start
-        end_time[tid] = start + tasks[tid].duration
-        resolved += 1
-        for succ in successors[tid]:
-            indegree[succ] -= 1
-            if indegree[succ] == 0:
-                ready.append(succ)
+    frontier = np.flatnonzero(indegree == 0)
+    while frontier.size:
+        resolved += frontier.size
+        preds, counts = _ragged_take(pred_indptr, pred_flat, frontier)
+        if preds.size:
+            has = counts > 0
+            seg_offsets = (np.cumsum(counts) - counts)[has]
+            start[frontier[has]] = np.maximum.reduceat(end[preds], seg_offsets)
+        end[frontier] = start[frontier] + durations[frontier]
+        succs, _ = _ragged_take(succ_indptr, succ_flat, frontier)
+        if succs.size == 0:
+            break
+        np.subtract.at(indegree, succs, 1)
+        candidates = np.unique(succs)
+        frontier = candidates[indegree[candidates] == 0]
 
     if resolved != n:
-        stuck = [t.name for t in tasks if indegree[t.tid] > 0]
+        stuck = [graph.task_name(int(tid)) for tid in np.flatnonzero(indegree > 0)]
         raise DeadlockError(stuck)
 
-    entries = [
-        TimelineEntry(task=tasks[tid], start=start_time[tid], end=end_time[tid])
-        for tid in range(n)
-    ]
-    return Timeline(num_ranks=graph.num_ranks, entries=entries)
+    return Timeline.from_schedule(graph, start, end)
+
+
+def simulate_many(graphs: Iterable[TaskGraph]) -> List[Timeline]:
+    """Schedule a batch of graphs and return one :class:`Timeline` each.
+
+    Sweep drivers (Fig. 9/13, the scaling extension) simulate hundreds of
+    independent iteration graphs; this is the batch entry point so they
+    make one call per sweep instead of one per cell.  Scheduling is
+    embarrassingly parallel across graphs — each is a single vectorized
+    :func:`simulate` pass — so the batch API is a thin loop today, but it
+    gives callers one place that a future parallel backend can accelerate
+    without touching call sites.
+    """
+    return [simulate(graph) for graph in graphs]

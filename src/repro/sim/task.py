@@ -5,13 +5,23 @@ A :class:`TaskGraph` is an append-only builder: schedule builders in
 training iteration.  Insertion order *matters* — it defines the FIFO
 order of each stream, exactly as issuing order defines CUDA stream /
 NCCL queue order on a real system.
+
+Storage is *columnar*: the graph keeps flat per-field lists (names,
+durations, CSR-style dependency and rank arrays) instead of one Python
+object per task, so the engine can lift the whole graph into numpy
+without touching 25k ``SimTask`` instances.  The classic object view is
+still available through :attr:`TaskGraph.tasks`, which materializes
+``SimTask`` objects lazily (tests and analysis code use it; the hot
+build/simulate path never does).
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.utils.validation import check_non_negative
 
@@ -77,7 +87,22 @@ class SimTask:
         return tuple((r, self.kind) for r in self.ranks)
 
 
-@dataclass
+class GraphColumns(NamedTuple):
+    """Flat numpy view of a :class:`TaskGraph` (the engine's input).
+
+    ``deps``/``ranks`` are CSR ragged arrays: task ``t``'s entries live at
+    ``flat[indptr[t]:indptr[t + 1]]``.
+    """
+
+    n: int
+    durations: np.ndarray  # float64 (n,)
+    is_comm: np.ndarray  # bool (n,)
+    deps_indptr: np.ndarray  # int64 (n + 1,)
+    deps_flat: np.ndarray  # int64
+    ranks_indptr: np.ndarray  # int64 (n + 1,)
+    ranks_flat: np.ndarray  # int64
+
+
 class TaskGraph:
     """Append-only builder of an iteration's task DAG.
 
@@ -85,12 +110,98 @@ class TaskGraph:
     ``range(num_ranks)``.
     """
 
-    num_ranks: int
-    tasks: List[SimTask] = field(default_factory=list)
+    def __init__(self, num_ranks: int, tasks: Optional[List[SimTask]] = None):
+        if num_ranks < 1:
+            raise ValueError(f"num_ranks must be >= 1, got {num_ranks}")
+        self.num_ranks = num_ranks
+        self._n = 0
+        self._names: List[str] = []
+        self._phases: List[Phase] = []
+        self._is_comm: List[bool] = []
+        self._durations: List[float] = []
+        self._deps_flat: List[int] = []
+        self._deps_indptr: List[int] = [0]
+        self._ranks_flat: List[int] = []
+        self._ranks_indptr: List[int] = [0]
+        self._tasks_cache: Optional[List[SimTask]] = None
+        self._columns_cache: Optional[GraphColumns] = None
+        if tasks:
+            self._tasks_cache = list(tasks)
+            self._absorb_external_tasks()
 
-    def __post_init__(self) -> None:
-        if self.num_ranks < 1:
-            raise ValueError(f"num_ranks must be >= 1, got {self.num_ranks}")
+    # -- object view (lazy) ---------------------------------------------------
+
+    @property
+    def tasks(self) -> List[SimTask]:
+        """Tasks as :class:`SimTask` objects, materialized on first access.
+
+        The same list object is returned on every access, so callers may
+        append pre-built ``SimTask`` instances directly (the engine picks
+        them up); :meth:`_absorb_external_tasks` folds such appends back
+        into the columnar store.
+        """
+        if self._tasks_cache is None:
+            self._tasks_cache = [self._make_task(tid) for tid in range(self._n)]
+        return self._tasks_cache
+
+    def _make_task(self, tid: int) -> SimTask:
+        d0, d1 = self._deps_indptr[tid], self._deps_indptr[tid + 1]
+        r0, r1 = self._ranks_indptr[tid], self._ranks_indptr[tid + 1]
+        return SimTask(
+            tid,
+            self._names[tid],
+            self._phases[tid],
+            COMM if self._is_comm[tid] else COMPUTE,
+            tuple(self._ranks_flat[r0:r1]),
+            self._durations[tid],
+            tuple(self._deps_flat[d0:d1]),
+        )
+
+    def _absorb_external_tasks(self) -> None:
+        """Fold ``SimTask`` objects appended directly to :attr:`tasks` into
+        the columnar store (they were validated by ``SimTask.__post_init__``;
+        dependency ids are taken as-is, which lets tests express the cyclic
+        graphs the deadlock detector exists for)."""
+        cache = self._tasks_cache
+        if cache is None or len(cache) == self._n:
+            return
+        for task in cache[self._n :]:
+            self._names.append(task.name)
+            self._phases.append(task.phase)
+            self._is_comm.append(task.kind == COMM)
+            self._durations.append(task.duration)
+            self._deps_flat.extend(task.deps)
+            self._deps_indptr.append(len(self._deps_flat))
+            self._ranks_flat.extend(task.ranks)
+            self._ranks_indptr.append(len(self._ranks_flat))
+        self._n = len(cache)
+        self._columns_cache = None
+
+    # -- columnar appends -----------------------------------------------------
+
+    def _append_row(
+        self,
+        name: str,
+        phase: Phase,
+        is_comm: bool,
+        ranks: Sequence[int],
+        duration: float,
+        deps: Tuple[int, ...],
+    ) -> int:
+        tid = self._n
+        self._names.append(name)
+        self._phases.append(phase)
+        self._is_comm.append(is_comm)
+        self._durations.append(duration)
+        self._deps_flat.extend(deps)
+        self._deps_indptr.append(len(self._deps_flat))
+        self._ranks_flat.extend(ranks)
+        self._ranks_indptr.append(len(self._ranks_flat))
+        self._n = tid + 1
+        if self._tasks_cache is not None:
+            self._tasks_cache.append(self._make_task(tid))
+        self._columns_cache = None
+        return tid
 
     def _add(
         self,
@@ -101,16 +212,21 @@ class TaskGraph:
         duration: float,
         deps: Iterable[int],
     ) -> int:
+        self._absorb_external_tasks()
         deps = tuple(deps)
-        tid = len(self.tasks)
+        tid = self._n
         for dep in deps:
             if not 0 <= dep < tid:
                 raise ValueError(f"task {name!r} depends on unknown task id {dep}")
         for rank in ranks:
             if not 0 <= rank < self.num_ranks:
                 raise ValueError(f"task {name!r} names rank {rank} outside 0..{self.num_ranks - 1}")
-        self.tasks.append(SimTask(tid, name, phase, kind, tuple(ranks), duration, deps))
-        return tid
+        if not ranks:
+            raise ValueError("a task must run on at least one rank")
+        if len(set(ranks)) != len(ranks):
+            raise ValueError(f"duplicate ranks in task {name!r}: {tuple(ranks)}")
+        check_non_negative("duration", duration)
+        return self._append_row(name, phase, kind == COMM, ranks, duration, deps)
 
     def add_compute(
         self,
@@ -132,15 +248,102 @@ class TaskGraph:
         deps: Iterable[int] = (),
     ) -> int:
         """Append a gang communication task over ``ranks``; returns its id."""
-        return self._add(name, phase, COMM, ranks, duration, deps)
+        return self._add(name, phase, COMM, tuple(ranks), duration, deps)
+
+    def add_compute_batch(
+        self,
+        name: str,
+        phase: Phase,
+        ranks: Sequence[int],
+        duration: float,
+        deps_per_rank: Optional[Sequence[Sequence[int]]] = None,
+    ) -> List[int]:
+        """Append one compute kernel per rank in ``ranks`` (shared name,
+        phase and duration — the builders' "same kernel on every GPU"
+        pattern); returns the task ids in ``ranks`` order.
+
+        ``deps_per_rank[k]`` gives the dependencies of the task on
+        ``ranks[k]``; ``None`` means no dependencies anywhere.  Validation
+        is hoisted out of the per-rank loop, which matters on ~25k-task
+        graphs.
+        """
+        self._absorb_external_tasks()
+        check_non_negative("duration", duration)
+        if deps_per_rank is not None and len(deps_per_rank) != len(ranks):
+            raise ValueError(
+                f"deps_per_rank has {len(deps_per_rank)} entries for {len(ranks)} ranks"
+            )
+        first_tid = self._n
+        for rank in ranks:
+            if not 0 <= rank < self.num_ranks:
+                raise ValueError(
+                    f"task {name!r} names rank {rank} outside 0..{self.num_ranks - 1}"
+                )
+        if deps_per_rank is not None:
+            for deps in deps_per_rank:
+                for dep in deps:
+                    if not 0 <= dep < first_tid:
+                        raise ValueError(f"task {name!r} depends on unknown task id {dep}")
+        count = len(ranks)
+        if count == 0:
+            return []
+        # Bulk-extend every column (one kernel per rank shares name, phase
+        # and duration); per-task Python overhead is what the 25k-task
+        # builders spend most of their time on otherwise.
+        self._names.extend([name] * count)
+        self._phases.extend([phase] * count)
+        self._is_comm.extend([False] * count)
+        self._durations.extend([duration] * count)
+        deps_flat, deps_indptr = self._deps_flat, self._deps_indptr
+        if deps_per_rank is None:
+            deps_indptr.extend([len(deps_flat)] * count)
+        else:
+            for deps in deps_per_rank:
+                deps_flat.extend(deps)
+                deps_indptr.append(len(deps_flat))
+        self._ranks_flat.extend(ranks)
+        base = self._ranks_indptr[-1]
+        self._ranks_indptr.extend(range(base + 1, base + count + 1))
+        tids = list(range(first_tid, first_tid + count))
+        self._n = first_tid + count
+        self._columns_cache = None
+        if self._tasks_cache is not None:
+            self._tasks_cache.extend(self._make_task(tid) for tid in tids)
+        return tids
+
+    # -- views ----------------------------------------------------------------
+
+    def columns(self) -> GraphColumns:
+        """The graph as flat numpy arrays (cached until the next append)."""
+        self._absorb_external_tasks()
+        if self._columns_cache is None:
+            self._columns_cache = GraphColumns(
+                n=self._n,
+                durations=np.asarray(self._durations, dtype=np.float64),
+                is_comm=np.asarray(self._is_comm, dtype=bool),
+                deps_indptr=np.asarray(self._deps_indptr, dtype=np.int64),
+                deps_flat=np.asarray(self._deps_flat, dtype=np.int64),
+                ranks_indptr=np.asarray(self._ranks_indptr, dtype=np.int64),
+                ranks_flat=np.asarray(self._ranks_flat, dtype=np.int64),
+            )
+        return self._columns_cache
+
+    def task_name(self, tid: int) -> str:
+        """Name of task ``tid`` without materializing objects."""
+        self._absorb_external_tasks()
+        return self._names[tid]
 
     def stream_queues(self) -> Dict[Tuple[int, str], List[int]]:
         """FIFO queue (task ids in insertion order) per (rank, stream)."""
+        self._absorb_external_tasks()
         queues: Dict[Tuple[int, str], List[int]] = {}
-        for task in self.tasks:
-            for stream in task.streams:
-                queues.setdefault(stream, []).append(task.tid)
+        indptr, flat = self._ranks_indptr, self._ranks_flat
+        for tid in range(self._n):
+            kind = COMM if self._is_comm[tid] else COMPUTE
+            for rank in flat[indptr[tid] : indptr[tid + 1]]:
+                queues.setdefault((rank, kind), []).append(tid)
         return queues
 
     def __len__(self) -> int:
-        return len(self.tasks)
+        self._absorb_external_tasks()
+        return self._n

@@ -13,10 +13,15 @@ The paper reports two time views we reproduce here:
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+import numpy as np
 
 from repro.sim.task import COMM, COMPUTE, FF_BP_KEY, Phase, SimTask
+
+if TYPE_CHECKING:
+    from repro.sim.task import TaskGraph
 
 #: Bar-stack order used across the paper's figures.
 PAPER_CATEGORIES = (
@@ -77,16 +82,54 @@ class Breakdown:
         return self.seconds.get(label, 0.0)
 
 
-@dataclass
 class Timeline:
-    """The full schedule produced by :func:`repro.sim.simulate`."""
+    """The full schedule produced by :func:`repro.sim.simulate`.
 
-    num_ranks: int
-    entries: List[TimelineEntry] = field(default_factory=list)
+    Internally the schedule is just two float64 vectors (start/end per
+    task) beside the source graph's columnar arrays; the object view
+    (:attr:`entries`) is materialized lazily on first access, so summary
+    queries like :attr:`makespan` on a 25k-task schedule never build 25k
+    :class:`TimelineEntry` instances.
+    """
+
+    def __init__(self, num_ranks: int, entries: Optional[Sequence[TimelineEntry]] = None):
+        self.num_ranks = num_ranks
+        self._entries: Optional[List[TimelineEntry]] = list(entries) if entries is not None else []
+        self._graph: Optional["TaskGraph"] = None
+        self._start: Optional[np.ndarray] = None
+        self._end: Optional[np.ndarray] = None
+
+    @classmethod
+    def from_schedule(
+        cls, graph: "TaskGraph", start: np.ndarray, end: np.ndarray
+    ) -> "Timeline":
+        """Wrap the engine's start/end vectors without materializing entries."""
+        timeline = cls(graph.num_ranks)
+        timeline._entries = None
+        timeline._graph = graph
+        timeline._start = start
+        timeline._end = end
+        return timeline
+
+    @property
+    def entries(self) -> List[TimelineEntry]:
+        """All scheduled tasks as :class:`TimelineEntry` objects (lazy)."""
+        if self._entries is None:
+            assert self._graph is not None and self._start is not None and self._end is not None
+            tasks = self._graph.tasks
+            # Size by the schedule vectors, not the live graph: tasks
+            # appended after simulate() have no start/end here.
+            self._entries = [
+                TimelineEntry(task=tasks[tid], start=float(self._start[tid]), end=float(self._end[tid]))
+                for tid in range(self._end.size)
+            ]
+        return self._entries
 
     @property
     def makespan(self) -> float:
         """End-to-end iteration time (max task end over all ranks)."""
+        if self._entries is None and self._end is not None:
+            return float(self._end.max()) if self._end.size else 0.0
         return max((e.end for e in self.entries), default=0.0)
 
     def rank_entries(self, rank: int, kind: Optional[str] = None) -> List[TimelineEntry]:

@@ -1,0 +1,100 @@
+"""Property tests: cached symmetric packing is bit-identical to the
+uncached reference.
+
+``pack_symmetric``/``unpack_symmetric`` memoize their triangle index
+patterns per dimension; nothing about the wire format may change.  The
+reference implementations below rebuild the indices from scratch on
+every call (the seed's behaviour) and every comparison is exact
+(``assert_array_equal``), across dtypes and dimensions, including the
+preallocated-buffer packing path used by the fused all-reduce.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm import pack_symmetric, packed_size, unpack_symmetric
+
+DTYPES = (np.float64, np.float32, np.int64, np.int32)
+
+
+def reference_pack(matrix: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(matrix[np.triu_indices(matrix.shape[0])])
+
+
+def reference_unpack(packed: np.ndarray, d: int) -> np.ndarray:
+    out = np.zeros((d, d), dtype=packed.dtype)
+    iu = np.triu_indices(d)
+    out[iu] = packed
+    strict = np.triu_indices(d, k=1)
+    out.T[strict] = out[strict]
+    return out
+
+
+def symmetric_matrix(d: int, dtype, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    if np.issubdtype(dtype, np.integer):
+        root = rng.integers(-50, 50, size=(d, d))
+        return (root + root.T).astype(dtype)
+    root = rng.normal(size=(d, d))
+    return ((root + root.T) / 2).astype(dtype)
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    d=st.integers(min_value=1, max_value=40),
+    dtype_index=st.integers(min_value=0, max_value=len(DTYPES) - 1),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_roundtrip_bit_identical_with_uncached_path(d, dtype_index, seed):
+    dtype = DTYPES[dtype_index]
+    sym = symmetric_matrix(d, dtype, seed)
+
+    packed = pack_symmetric(sym)
+    ref_packed = reference_pack(sym)
+    np.testing.assert_array_equal(packed, ref_packed)
+    assert packed.dtype == ref_packed.dtype
+    assert packed.size == packed_size(d) == d * (d + 1) // 2
+
+    unpacked = unpack_symmetric(packed, d)
+    np.testing.assert_array_equal(unpacked, reference_unpack(ref_packed, d))
+    np.testing.assert_array_equal(unpacked, sym)
+    assert unpacked.dtype == sym.dtype
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    d=st.integers(min_value=1, max_value=24),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_pack_into_preallocated_buffer_matches(d, seed):
+    """The fused-buffer path (pack into an ``out`` slice) is bit-identical
+    to allocating packing, and writes nothing outside its slice."""
+    sym = symmetric_matrix(d, np.float64, seed)
+    size = packed_size(d)
+    buffer = np.full(size + 6, np.pi)
+    view = buffer[3 : 3 + size]
+    returned = pack_symmetric(sym, out=view)
+    assert returned is view
+    np.testing.assert_array_equal(view, reference_pack(sym))
+    np.testing.assert_array_equal(buffer[:3], np.full(3, np.pi))
+    np.testing.assert_array_equal(buffer[3 + size :], np.full(3, np.pi))
+    np.testing.assert_array_equal(unpack_symmetric(view.copy(), d), sym)
+
+
+def test_pack_out_size_validated():
+    with pytest.raises(ValueError, match="out"):
+        pack_symmetric(np.eye(4), out=np.empty(3))
+
+
+def test_non_contiguous_input_packs_identically():
+    sym = symmetric_matrix(6, np.float64, seed=99)
+    for noncontig in (np.asfortranarray(sym), sym[::1].T):
+        np.testing.assert_array_equal(pack_symmetric(noncontig), reference_pack(noncontig))
+        out = np.empty(packed_size(6))
+        np.testing.assert_array_equal(
+            pack_symmetric(noncontig, out=out), reference_pack(noncontig)
+        )

@@ -1,0 +1,87 @@
+"""Tests for the benchmark snapshot / regression-comparison utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf.regression import (
+    BenchmarkResult,
+    compare_snapshots,
+    format_comparison,
+    has_regressions,
+    load_snapshot,
+    make_snapshot,
+    save_snapshot,
+    time_callable,
+)
+
+
+def snapshot_of(**seconds):
+    return make_snapshot(
+        {name: BenchmarkResult(name=name, seconds=s, rounds=3) for name, s in seconds.items()}
+    )
+
+
+class TestSnapshotRoundtrip:
+    def test_save_load(self, tmp_path):
+        path = str(tmp_path / "BENCH_kernels.json")
+        snapshot = snapshot_of(sim=0.04, inverse=0.003)
+        save_snapshot(path, snapshot)
+        loaded = load_snapshot(path)
+        assert loaded["schema"] == 1
+        assert loaded["benchmarks"]["sim"]["seconds"] == pytest.approx(0.04)
+        assert loaded["benchmarks"]["inverse"]["rounds"] == 3
+
+    def test_load_rejects_non_snapshot(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError, match="not a benchmark snapshot"):
+            load_snapshot(str(path))
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text('{"schema": 99, "benchmarks": {}}')
+        with pytest.raises(ValueError, match="schema"):
+            load_snapshot(str(path))
+
+
+class TestComparison:
+    def test_statuses(self):
+        before = snapshot_of(a=1.0, b=1.0, c=1.0, gone=1.0)
+        after = snapshot_of(a=0.5, b=2.0, c=1.01, fresh=1.0)
+        rows = {row.name: row for row in compare_snapshots(before, after)}
+        assert rows["a"].status == "faster"
+        assert rows["a"].speedup == pytest.approx(2.0)
+        assert rows["b"].status == "slower"
+        assert rows["c"].status == "same"  # within 5% noise
+        assert rows["gone"].status == "removed"
+        assert rows["fresh"].status == "new"
+
+    def test_has_regressions(self):
+        before, after = snapshot_of(a=1.0), snapshot_of(a=1.5)
+        assert has_regressions(compare_snapshots(before, after))
+        assert not has_regressions(compare_snapshots(before, before))
+
+    def test_format_lists_every_benchmark(self):
+        before = snapshot_of(alpha=1.0, beta=2e-3)
+        after = snapshot_of(alpha=0.25, beta=2e-3)
+        text = format_comparison(compare_snapshots(before, after))
+        assert "alpha" in text and "beta" in text
+        assert "4.00x" in text
+        assert "1 faster, 0 slower" in text
+
+    def test_empty_comparison(self):
+        assert "no benchmarks" in format_comparison([])
+
+
+class TestTimeCallable:
+    def test_counts_and_median(self):
+        calls = []
+        result = time_callable(lambda: calls.append(1), rounds=5, warmup=2)
+        assert len(calls) == 7  # warmup + timed
+        assert result.rounds == 5
+        assert result.seconds >= 0.0
+
+    def test_rejects_zero_rounds(self):
+        with pytest.raises(ValueError):
+            time_callable(lambda: None, rounds=0)

@@ -31,8 +31,8 @@ class TestLayerTimes:
 class TestAvailability:
     def test_a_availability_monotone(self, tiny_spec, paper_profile):
         a_avail, g_avail = factor_availability(tiny_spec, paper_profile)
-        assert a_avail == sorted(a_avail)
-        assert g_avail == sorted(g_avail)
+        assert list(a_avail) == sorted(a_avail)
+        assert list(g_avail) == sorted(g_avail)
         assert len(a_avail) == len(g_avail) == len(tiny_spec.layers)
 
     def test_g_pass_follows_forward_pass(self, tiny_spec, paper_profile):

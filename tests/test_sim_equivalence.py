@@ -1,0 +1,213 @@
+"""Equivalence tests: vectorized engine vs. a reference implementation.
+
+The array-based engine in :mod:`repro.sim.engine` must schedule exactly
+like the straightforward per-task Kahn's algorithm it replaced — same
+start/end time for every task on arbitrary DAGs, and the same
+:class:`DeadlockError` (with the same stuck-task set) on cyclic graphs.
+The reference below *is* that original implementation, kept here as the
+executable specification.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Tuple
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import COMM, COMPUTE, DeadlockError, Phase, SimTask, TaskGraph, simulate, simulate_many
+
+
+def reference_schedule(graph: TaskGraph) -> Tuple[List[float], List[float]]:
+    """The seed's pure-Python O(V+E) scheduler: (start, end) per task.
+
+    Raises :class:`DeadlockError` on cyclic combined graphs, listing the
+    unresolvable tasks in task-id order, exactly like the engine.
+    """
+    tasks = graph.tasks
+    n = len(tasks)
+    predecessors: List[List[int]] = [list(t.deps) for t in tasks]
+    for queue in graph.stream_queues().values():
+        for prev_tid, next_tid in zip(queue, queue[1:]):
+            predecessors[next_tid].append(prev_tid)
+    indegree = [len(preds) for preds in predecessors]
+    successors: List[List[int]] = [[] for _ in range(n)]
+    for tid, preds in enumerate(predecessors):
+        for pred in preds:
+            successors[pred].append(tid)
+    start = [0.0] * n
+    end = [0.0] * n
+    ready = deque(tid for tid in range(n) if indegree[tid] == 0)
+    resolved = 0
+    while ready:
+        tid = ready.popleft()
+        start[tid] = max((end[p] for p in predecessors[tid]), default=0.0)
+        end[tid] = start[tid] + tasks[tid].duration
+        resolved += 1
+        for succ in successors[tid]:
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                ready.append(succ)
+    if resolved != n:
+        raise DeadlockError([t.name for t in tasks if indegree[t.tid] > 0])
+    return start, end
+
+
+@st.composite
+def random_task_graphs(draw) -> TaskGraph:
+    num_ranks = draw(st.integers(min_value=1, max_value=4))
+    num_tasks = draw(st.integers(min_value=0, max_value=40))
+    graph = TaskGraph(num_ranks)
+    for tid in range(num_tasks):
+        duration = draw(st.floats(min_value=0.0, max_value=5.0, allow_nan=False))
+        deps = (
+            draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=tid - 1),
+                    max_size=min(3, tid),
+                    unique=True,
+                )
+            )
+            if tid > 0
+            else []
+        )
+        if draw(st.booleans()):
+            rank = draw(st.integers(min_value=0, max_value=num_ranks - 1))
+            graph.add_compute(f"t{tid}", Phase.FORWARD, rank, duration, deps=deps)
+        else:
+            ranks = draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=num_ranks - 1),
+                    min_size=1,
+                    max_size=num_ranks,
+                    unique=True,
+                )
+            )
+            graph.add_collective(f"t{tid}", Phase.GRAD_COMM, ranks, duration, deps=deps)
+    return graph
+
+
+def assert_matches_reference(graph: TaskGraph) -> None:
+    ref_start, ref_end = reference_schedule(graph)
+    timeline = simulate(graph)
+    entries = timeline.entries
+    assert len(entries) == len(ref_start)
+    for tid, entry in enumerate(entries):
+        assert entry.task.tid == tid
+        assert entry.start == pytest.approx(ref_start[tid], abs=1e-12)
+        assert entry.end == pytest.approx(ref_end[tid], abs=1e-12)
+    assert timeline.makespan == pytest.approx(max(ref_end, default=0.0), abs=1e-12)
+
+
+class TestRandomizedEquivalence:
+    @settings(max_examples=200, deadline=None)
+    @given(random_task_graphs())
+    def test_engine_matches_reference_on_random_dags(self, graph):
+        assert_matches_reference(graph)
+
+    def test_builder_graphs_match_reference(self, small_profile):
+        from repro.core.schedule import (
+            build_dkfac_graph,
+            build_mpd_kfac_graph,
+            build_spd_kfac_graph,
+            build_ssgd_graph,
+        )
+        from tests.conftest import build_tiny_spec
+
+        spec = build_tiny_spec(num_layers=5)
+        for builder in (
+            build_ssgd_graph,
+            build_dkfac_graph,
+            build_mpd_kfac_graph,
+            build_spd_kfac_graph,
+        ):
+            assert_matches_reference(builder(spec, small_profile))
+
+    def test_empty_graph(self):
+        assert simulate(TaskGraph(2)).makespan == 0.0
+
+    def test_timeline_unaffected_by_later_graph_appends(self):
+        """A Timeline snapshot covers the graph as simulated; tasks added
+        to the graph afterwards don't leak into (or crash) its entries."""
+        g = TaskGraph(1)
+        g.add_compute("a", Phase.FORWARD, 0, 1.0)
+        tl = simulate(g)
+        g.add_compute("late", Phase.FORWARD, 0, 5.0)
+        assert len(tl.entries) == 1
+        assert tl.entries[0].task.name == "a"
+        assert tl.makespan == pytest.approx(1.0)
+
+    def test_externally_appended_tasks_are_scheduled(self):
+        """SimTask objects appended straight to ``graph.tasks`` (the escape
+        hatch tests use to build cyclic graphs) enter the schedule."""
+        g = TaskGraph(1)
+        a = g.add_compute("a", Phase.FORWARD, 0, 1.0)
+        g.tasks.append(SimTask(1, "b", Phase.FORWARD, COMPUTE, (0,), 2.0, deps=(a,)))
+        g.tasks.append(SimTask(2, "c", Phase.GRAD_COMM, COMM, (0,), 1.0, deps=(1,)))
+        assert_matches_reference(g)
+        assert simulate(g).makespan == pytest.approx(4.0)
+
+
+class TestDeadlockEquivalence:
+    def _cyclic_graph(self) -> TaskGraph:
+        """Two collectives enqueued in opposite FIFO orders across ranks
+        (the classic NCCL deadlock), via direct task construction."""
+        g = TaskGraph(2)
+        g.tasks.append(SimTask(0, "ar0", Phase.GRAD_COMM, COMM, (0,), 1.0, deps=(1,)))
+        g.tasks.append(SimTask(1, "ar1", Phase.GRAD_COMM, COMM, (0,), 1.0, deps=()))
+        return g
+
+    def test_engine_and_reference_raise_identically(self):
+        g = self._cyclic_graph()
+        with pytest.raises(DeadlockError) as ref_err:
+            reference_schedule(self._cyclic_graph())
+        with pytest.raises(DeadlockError) as eng_err:
+            simulate(g)
+        assert eng_err.value.stuck_task_names == ref_err.value.stuck_task_names
+
+    def test_partial_cycle_reports_only_stuck_tasks(self):
+        g = TaskGraph(1)
+        g.add_compute("ok", Phase.FORWARD, 0, 1.0)
+        g.tasks.append(SimTask(1, "x", Phase.FORWARD, COMPUTE, (0,), 1.0, deps=(2,)))
+        g.tasks.append(SimTask(2, "y", Phase.FORWARD, COMPUTE, (0,), 1.0, deps=()))
+        with pytest.raises(DeadlockError) as err:
+            simulate(g)
+        assert err.value.stuck_task_names == ["x", "y"]
+
+    @settings(max_examples=50, deadline=None)
+    @given(random_task_graphs())
+    def test_random_graphs_with_injected_cycle(self, graph):
+        """Appending a forward-pointing dependency after random prefix
+        construction deadlocks both engines on the same task set."""
+        n = len(graph)
+        tid = n
+        graph.tasks.append(
+            SimTask(tid, "cyc_a", Phase.FORWARD, COMPUTE, (0,), 1.0, deps=(tid + 1,))
+        )
+        graph.tasks.append(
+            SimTask(tid + 1, "cyc_b", Phase.FORWARD, COMPUTE, (0,), 1.0, deps=())
+        )
+        with pytest.raises(DeadlockError) as ref_err:
+            reference_schedule(graph)
+        with pytest.raises(DeadlockError) as eng_err:
+            simulate(graph)
+        assert eng_err.value.stuck_task_names == ref_err.value.stuck_task_names
+        assert "cyc_a" in eng_err.value.stuck_task_names
+
+
+class TestSimulateMany:
+    def test_matches_individual_simulate(self, small_profile):
+        from repro.core.schedule import build_dkfac_graph, build_spd_kfac_graph
+        from tests.conftest import build_tiny_spec
+
+        spec = build_tiny_spec(num_layers=4)
+        graphs = [build_dkfac_graph(spec, small_profile), build_spd_kfac_graph(spec, small_profile)]
+        batched = simulate_many(graphs)
+        assert len(batched) == 2
+        for graph, timeline in zip(graphs, batched):
+            assert timeline.makespan == pytest.approx(simulate(graph).makespan)
+
+    def test_empty_batch(self):
+        assert simulate_many([]) == []
