@@ -3,7 +3,8 @@
 Unlike the ``bench_fig*`` reproduction harnesses these use pytest-benchmark
 conventionally (many rounds) to track the performance of the pieces a
 user actually runs: factor construction, damped inversion, the fusion
-planner DP, LBP, and the simulator engine itself.
+planner DP, LBP, topology-derived cost-model evaluation, and the
+simulator engine itself.
 """
 
 import numpy as np
@@ -16,8 +17,9 @@ from repro.core.placement import lbp_placement
 from repro.core.schedule import build_spd_kfac_graph
 from repro.models import get_model_spec, resnet50_spec
 from repro.nn import Conv2d
-from repro.perf import paper_cluster_profile
+from repro.perf import paper_cluster_profile, topology_profile
 from repro.sim import simulate
+from repro.topo import multi_rack
 
 
 @pytest.fixture(scope="module")
@@ -58,6 +60,24 @@ def test_lbp_planner_densenet201(benchmark, profile):
     benchmark(
         lbp_placement, dims, 64, profile.inverse_actual, profile.broadcast_streamed
     )
+
+
+def test_topology_hierarchical_allreduce_fig11_grid(benchmark):
+    """Derive a multi-rack hierarchical profile and price the fig11 grid.
+
+    This is the per-cell hot path of the ``ext_topology`` sweep: build
+    the topology, derive the collective cost models, and evaluate the
+    hierarchical all-reduce across the paper's factor-dimension grid.
+    """
+    dims = (64, 256, 512, 1024, 2048, 3072, 4096, 6144, 8192)
+
+    def run():
+        topo = multi_rack(4, 4, 4, intra="nvlink", inter="ib", spine="ethernet")
+        p = topology_profile(topo, "hierarchical")
+        return sum(p.allreduce.time_symmetric(d) for d in dims)
+
+    total = benchmark(run)
+    assert total > 0
 
 
 def test_simulator_spd_kfac_resnet50_64gpu(benchmark, profile):

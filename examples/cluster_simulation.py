@@ -2,8 +2,11 @@
 
 Rebuilds the paper's Fig. 9-style comparison for any of the four CNNs and
 any cluster size, using the discrete-event simulator calibrated with the
-paper's measured cost constants.  Optionally dumps a Chrome trace
-(chrome://tracing or https://ui.perfetto.dev) of the SPD-KFAC schedule.
+paper's measured cost constants, then re-prices the same iteration on two
+*modeled* topologies (flat fabric vs hierarchical NVLink+IB cluster, via
+``repro.topo`` and ``repro.perf.topology_profile``) to show what cluster
+shape is worth.  Optionally dumps a Chrome trace (chrome://tracing or
+https://ui.perfetto.dev) of the SPD-KFAC schedule.
 
 Run:  python examples/cluster_simulation.py [model] [num_gpus] [trace.json]
 e.g.  python examples/cluster_simulation.py ResNet-50 64 spd_trace.json
@@ -21,8 +24,9 @@ from repro.core.schedule import (
     run_iteration,
 )
 from repro.models import get_model_spec
-from repro.perf import scaled_cluster_profile
+from repro.perf import scaled_cluster_profile, topology_profile
 from repro.sim.timeline import PAPER_CATEGORIES
+from repro.topo import flat, multi_node
 
 ALGORITHMS = (
     ("SGD (1 GPU)", build_sgd_graph),
@@ -58,9 +62,43 @@ def main() -> None:
         if builder is build_spd_kfac_graph:
             spd_result = result
 
+    compare_topologies(spec, num_gpus)
+
     if trace_path and spd_result is not None:
         spd_result.timeline.save_chrome_trace(trace_path)
         print(f"\nSPD-KFAC Chrome trace written to {trace_path}")
+
+
+def hierarchical_topology(num_gpus):
+    """An NVLink-islands-behind-IB cluster holding ``num_gpus`` GPUs."""
+    for gpus_per_node in (8, 4, 2):
+        if num_gpus % gpus_per_node == 0 and num_gpus // gpus_per_node > 1:
+            return multi_node(
+                num_gpus // gpus_per_node, gpus_per_node, intra="nvlink", inter="ib"
+            )
+    return flat(num_gpus)
+
+
+def compare_topologies(spec, num_gpus):
+    """Price the same SPD-KFAC iteration on two cluster topologies."""
+    flat_topo = flat(num_gpus)
+    hier_topo = hierarchical_topology(num_gpus)
+    if hier_topo.num_nodes <= 1:
+        print(f"\n({num_gpus} GPUs do not split into multi-GPU nodes; "
+              "skipping the topology comparison)")
+        return
+    print("\nTopology comparison (SPD-KFAC, topology-derived cost models):")
+    times = []
+    for topo, algorithm in ((flat_topo, "ring"), (hier_topo, "hierarchical")):
+        profile = topology_profile(topo, algorithm)
+        result = run_iteration(build_spd_kfac_graph(spec, profile), "SPD-KFAC", spec.name)
+        times.append(result.iteration_time)
+        print(f"  {topo.describe():60}  {algorithm:13} iter = {result.iteration_time:.4f} s")
+    flat_t, hier_t = times
+    print(
+        f"  predicted iteration-time delta: {flat_t - hier_t:+.4f} s "
+        f"({flat_t / hier_t:.2f}x) for the hierarchical cluster"
+    )
 
 
 if __name__ == "__main__":

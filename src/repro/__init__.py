@@ -17,6 +17,10 @@ This package provides:
   pipelining strategies (:mod:`repro.core`),
 * a discrete-event cluster simulator calibrated with the paper's
   published cost constants (:mod:`repro.sim`, :mod:`repro.perf`),
+* topology-aware cluster modeling — hierarchical cluster graphs and
+  collective-algorithm cost models (ring / tree / hierarchical) that
+  turn any modeled cluster into a drop-in cost profile
+  (:mod:`repro.topo`, :func:`repro.perf.topology_profile`),
 * architecture specs for the four evaluated CNNs (:mod:`repro.models`),
 * and a reproduction harness for every table and figure
   (:mod:`repro.experiments`).
@@ -52,7 +56,7 @@ from repro.models import (
     resnet50_spec,
     resnet152_spec,
 )
-from repro.perf import paper_cluster_profile, scaled_cluster_profile
+from repro.perf import paper_cluster_profile, scaled_cluster_profile, topology_profile
 
 __version__ = "1.0.0"
 
@@ -73,5 +77,6 @@ __all__ = [
     "inceptionv4_spec",
     "paper_cluster_profile",
     "scaled_cluster_profile",
+    "topology_profile",
     "__version__",
 ]

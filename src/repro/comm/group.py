@@ -8,6 +8,8 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.perf.models import WIRE_ELEMENT_BYTES
+
 
 class CollectiveMismatchError(RuntimeError):
     """Ranks called different collectives (or with mismatched shapes)."""
@@ -19,23 +21,32 @@ class CollectiveAbortedError(RuntimeError):
 
 @dataclass
 class TrafficCounter:
-    """Accumulates communicated element counts per collective type.
+    """Accumulates communicated element and byte counts per collective type.
 
     Element counts follow the standard accounting used by the paper's
     models: an all-reduce or broadcast of an ``m``-element buffer counts
     ``m`` (the models' ``m`` in Eqs. 14 and 27), regardless of internal
-    algorithm.
+    algorithm.  Byte counts are dtype-aware (an fp64 all-reduce weighs
+    twice an fp32 one of the same shape); when a caller does not supply
+    them they default to the paper's fp32 wire format (4 bytes/element).
     """
 
     elements: Dict[str, int] = field(default_factory=dict)
+    bytes: Dict[str, int] = field(default_factory=dict)
     calls: Dict[str, int] = field(default_factory=dict)
 
-    def record(self, op: str, num_elements: int) -> None:
+    def record(self, op: str, num_elements: int, num_bytes: Optional[int] = None) -> None:
+        if num_bytes is None:
+            num_bytes = WIRE_ELEMENT_BYTES * int(num_elements)
         self.elements[op] = self.elements.get(op, 0) + int(num_elements)
+        self.bytes[op] = self.bytes.get(op, 0) + int(num_bytes)
         self.calls[op] = self.calls.get(op, 0) + 1
 
     def total_elements(self) -> int:
         return sum(self.elements.values())
+
+    def total_bytes(self) -> int:
+        return sum(self.bytes.values())
 
 
 class CollectiveGroup:
@@ -91,6 +102,7 @@ class CollectiveGroup:
         buffer: Optional[np.ndarray],
         reducer: Callable[[Sequence[np.ndarray]], np.ndarray],
         traffic_elements: int,
+        traffic_bytes: int = -1,
     ) -> np.ndarray:
         self._slots[rank] = buffer
         self._descriptors[rank] = descriptor
@@ -104,7 +116,8 @@ class CollectiveGroup:
                     )
                 self._result = reducer([s for s in self._slots])  # type: ignore[arg-type]
                 recorded = traffic_elements if traffic_elements >= 0 else self._result.size
-                self.traffic.record(descriptor[0], recorded)
+                recorded_bytes = traffic_bytes if traffic_bytes >= 0 else self._result.nbytes
+                self.traffic.record(descriptor[0], recorded, recorded_bytes)
                 self._error = None
             except Exception as exc:  # propagate to every rank, not just 0
                 self._error = exc
@@ -149,7 +162,9 @@ class Communicator:
                 total /= len(slots)
             return total
 
-        return self.group._execute(self.rank, descriptor, array, reducer, array.size)
+        return self.group._execute(
+            self.rank, descriptor, array, reducer, array.size, array.nbytes
+        )
 
     def broadcast(self, array: Optional[np.ndarray], root: int) -> np.ndarray:
         """Broadcast ``array`` from ``root``; non-root inputs may be None."""
@@ -176,7 +191,9 @@ class Communicator:
         def reducer(slots: Sequence[np.ndarray]) -> np.ndarray:
             return np.stack([np.asarray(s) for s in slots])
 
-        stacked = self.group._execute(self.rank, descriptor, array, reducer, array.size)
+        stacked = self.group._execute(
+            self.rank, descriptor, array, reducer, array.size, array.nbytes
+        )
         return [stacked[r] for r in range(self.world_size)]
 
     def barrier(self) -> None:

@@ -34,6 +34,8 @@ EXPERIMENTS: Dict[str, str] = {
     "ext_scaling": "repro.experiments.ext_scaling",
     "ext_planner": "repro.experiments.ext_planner_ablation",
     "ext_convergence": "repro.experiments.ext_convergence",
+    "ext_topology": "repro.experiments.ext_topology",
+    "ext_topo_crossover": "repro.experiments.ext_topo_crossover",
 }
 
 PAPER_MODEL_NAMES = ("ResNet-50", "ResNet-152", "DenseNet-201", "Inception-v4")

@@ -1,0 +1,106 @@
+"""Extension: collective-algorithm crossover table (Fig. 11 style).
+
+Fig. 11 tabulates two cost models against each other (inverse vs
+broadcast) and locates the size where the cheaper one flips; this
+extension does the same for *collective algorithms*: flat ring vs double
+binary tree vs hierarchical all-reduce, priced on a topology by
+:mod:`repro.topo.collectives` with the paper-calibrated launch
+overheads.  Expected shape: the tree wins below a topology-dependent
+message size (fewer latency hops), the ring wins on large flat-fabric
+messages (best bus bandwidth), and on a multi-rack fabric the
+hierarchical algorithm dominates everything bandwidth-bound.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from repro.experiments.base import ExperimentResult
+from repro.perf import ClusterPerfProfile, LAUNCH_CONSTANTS
+from repro.topo import ClusterTopology, allreduce_model, flat, multi_rack
+
+#: Message sizes in elements, spanning tiny control tensors to the
+#: largest fused gradient buffers (cf. Fig. 7's 1M-512M sweep).
+DEFAULT_MESSAGE_GRID = (1 << 10, 1 << 14, 1 << 18, 1 << 22, 1 << 26, 1 << 29)
+
+
+def find_algorithm_crossover(
+    topology: ClusterTopology,
+    first: str = "tree",
+    second: str = "ring",
+    low: int = 1,
+    high: int = 1 << 29,
+    launch: Optional[float] = None,
+) -> Optional[int]:
+    """Smallest message size in [low, high] where ``second`` beats ``first``.
+
+    Both models are affine in the message size, so the cost difference is
+    solved in closed form; either argument order works.  Returns None
+    when ``first`` stays cheaper across the whole range.
+    """
+    if not 1 <= low <= high:
+        raise ValueError("need 1 <= low <= high")
+    launch = LAUNCH_CONSTANTS["allreduce"] if launch is None else launch
+    a = allreduce_model(topology, first, launch)
+    b = allreduce_model(topology, second, launch)
+    # second beats first where (b.alpha - a.alpha) + (b.beta - a.beta) m <= 0.
+    d_alpha, d_beta = b.alpha - a.alpha, b.beta - a.beta
+    if d_alpha + d_beta * low <= 0:
+        return low
+    if d_beta >= 0:  # difference never decreases: first stays cheaper
+        return None
+    crossover = math.ceil(-d_alpha / d_beta)
+    return crossover if crossover <= high else None
+
+
+def default_topologies() -> Sequence[ClusterTopology]:
+    return (
+        flat(64, name="flat-64 (paper fabric)"),
+        multi_rack(4, 4, 4, intra="nvlink", inter="ib", spine="ethernet",
+                   name="4 racks x 4 x 4 / eth spine"),
+    )
+
+
+def run(
+    profile: Optional[ClusterPerfProfile] = None,
+    topologies: Optional[Sequence[ClusterTopology]] = None,
+    message_grid: Sequence[int] = DEFAULT_MESSAGE_GRID,
+) -> ExperimentResult:
+    """Tabulate the three all-reduce algorithms over the message grid."""
+    del profile  # costs come from the topologies themselves
+    topologies = tuple(topologies) if topologies is not None else tuple(default_topologies())
+    launch = LAUNCH_CONSTANTS["allreduce"]
+    result = ExperimentResult(
+        experiment_id="ext_topo_crossover",
+        title="Extension: all-reduce algorithm crossover by topology (Fig. 11 style)",
+        columns=("topology", "m(elem)", "ring(s)", "tree(s)", "hierarchical(s)", "cheapest"),
+    )
+    for topo in topologies:
+        models = {
+            name: allreduce_model(topo, name, launch)
+            for name in ("ring", "tree", "hierarchical")
+        }
+        for m in message_grid:
+            t = {name: model.time(m) for name, model in models.items()}
+            result.rows.append(
+                {
+                    "topology": topo.name,
+                    "m(elem)": m,
+                    "ring(s)": t["ring"],
+                    "tree(s)": t["tree"],
+                    "hierarchical(s)": t["hierarchical"],
+                    "cheapest": min(t, key=t.get),
+                }
+            )
+        crossover = find_algorithm_crossover(topo, "tree", "ring")
+        if crossover is None:
+            result.notes.append(f"{topo.name}: the tree stays cheaper than the ring everywhere.")
+        elif crossover == 1:
+            result.notes.append(f"{topo.name}: the ring is cheaper than the tree everywhere.")
+        else:
+            result.notes.append(
+                f"{topo.name}: tree-to-ring crossover at m ~= {crossover} elements "
+                "(latency-bound below, bandwidth-bound above)."
+            )
+    return result

@@ -1,0 +1,86 @@
+"""Extension: cluster-shape x collective-algorithm sweep (not a paper figure).
+
+The paper evaluates one flat 64-GPU InfiniBand fabric; this sweep prices
+whole SPD-KFAC (and D-KFAC) iterations on *modeled* clusters instead —
+NVLink vs PCIe nodes, single-rack vs multi-rack fabrics — under each
+collective algorithm (flat ring, double binary tree, hierarchical), via
+:func:`repro.perf.topology_profile`.  Expected shape: on any topology
+with a slow outer level (ethernet spine, PCIe hosts behind a fast
+switch), the hierarchical algorithms beat the flat ring, because they
+shrink the message that crosses the slow link by the product of the
+inner fan-outs; on the flat testbed the ring stays optimal.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.core.schedule import build_dkfac_graph, build_spd_kfac_graph, run_iteration
+from repro.experiments.base import ExperimentResult
+from repro.models import get_model_spec
+from repro.perf import ClusterPerfProfile, topology_profile
+from repro.topo import ClusterTopology, flat, heterogeneous, multi_node, multi_rack
+
+ALGORITHM_NAMES = ("ring", "tree", "hierarchical")
+
+
+def default_scenarios() -> Tuple[ClusterTopology, ...]:
+    """The swept cluster shapes (all 64 GPUs, so only topology varies)."""
+    return (
+        flat(64, name="flat-64 (paper fabric)"),
+        multi_node(8, 8, intra="nvlink", inter="ib", name="8 nodes x 8 nvlink / ib"),
+        multi_node(16, 4, intra="pcie", inter="ethernet", name="16 nodes x 4 pcie / eth"),
+        multi_rack(4, 4, 4, intra="nvlink", inter="ib", spine="ethernet",
+                   name="4 racks x 4 x 4 / eth spine"),
+        heterogeneous(((7, 8, "nvlink"), (1, 8, "pcie")), inter="ib",
+                      name="7 nvlink + 1 pcie node"),
+    )
+
+
+def run(
+    profile: Optional[ClusterPerfProfile] = None,
+    scenarios: Optional[Sequence[ClusterTopology]] = None,
+    model: str = "ResNet-50",
+) -> ExperimentResult:
+    """Sweep topologies x algorithms; simulate D-KFAC and SPD-KFAC on each."""
+    del profile  # each cell derives its own profile from the topology
+    spec = get_model_spec(model)
+    scenarios = tuple(scenarios) if scenarios is not None else default_scenarios()
+    result = ExperimentResult(
+        experiment_id="ext_topology",
+        title=f"Extension: {model} iteration time by cluster topology x collective algorithm",
+        columns=("topology", "GPUs", "algorithm", "ar_beta(ns/elem)", "D-KFAC(s)", "SPD-KFAC(s)"),
+    )
+    times = {}
+    for topo in scenarios:
+        for algorithm in ALGORITHM_NAMES:
+            p = topology_profile(topo, algorithm)
+            d = run_iteration(build_dkfac_graph(spec, p), "D-KFAC", model).iteration_time
+            s = run_iteration(build_spd_kfac_graph(spec, p), "SPD-KFAC", model).iteration_time
+            times[(topo.name, algorithm)] = s
+            result.rows.append(
+                {
+                    "topology": topo.name,
+                    "GPUs": topo.world_size,
+                    "algorithm": algorithm,
+                    "ar_beta(ns/elem)": p.allreduce.beta * 1e9,
+                    "D-KFAC(s)": d,
+                    "SPD-KFAC(s)": s,
+                }
+            )
+    multirack = [t for t in scenarios if t.num_racks > 1]
+    for topo in multirack:
+        ring_t = times[(topo.name, "ring")]
+        hier_t = times[(topo.name, "hierarchical")]
+        inner_fanout = topo.world_size // topo.num_racks
+        result.notes.append(
+            f"{topo.name}: hierarchical all-reduce runs SPD-KFAC "
+            f"{ring_t / hier_t:.2f}x faster than the flat ring "
+            f"({hier_t:.4f}s vs {ring_t:.4f}s) — the spine only ever "
+            f"carries 1/{inner_fanout}th of each tensor."
+        )
+    result.notes.append(
+        "All scenarios hold 64 GPUs so differences are purely topological; "
+        "compute models stay the paper's RTX2080Ti calibration."
+    )
+    return result

@@ -12,6 +12,11 @@ This package implements those model families, least-squares fitters for
 them, and the calibrated constants the paper reports for its 64-GPU
 RTX2080Ti / 100Gb InfiniBand testbed, which our simulator uses so that
 reproduced results match the paper's shape.
+
+Beyond the paper's single testbed, :func:`topology_profile` derives a
+full :class:`ClusterPerfProfile` from a modeled cluster topology and a
+collective-algorithm choice (see :mod:`repro.topo`), calibrated so the
+flat 64-GPU ring reproduces the published constants.
 """
 
 from repro.perf.models import (
@@ -43,6 +48,13 @@ from repro.perf.calibration import (
     paper_cluster_profile,
     scaled_cluster_profile,
 )
+from repro.perf.topology import (
+    LAUNCH_CONSTANTS,
+    paper_flat_topology,
+    select_algorithms,
+    topology_models,
+    topology_profile,
+)
 
 __all__ = [
     "CommModelLike",
@@ -69,4 +81,9 @@ __all__ = [
     "ClusterPerfProfile",
     "paper_cluster_profile",
     "scaled_cluster_profile",
+    "LAUNCH_CONSTANTS",
+    "paper_flat_topology",
+    "select_algorithms",
+    "topology_models",
+    "topology_profile",
 ]

@@ -13,6 +13,9 @@ from typing import Protocol, runtime_checkable
 
 from repro.utils.validation import check_non_negative, check_positive
 
+#: The paper's wire format: every collective communicates fp32.
+WIRE_ELEMENT_BYTES = 4
+
 
 @runtime_checkable
 class CompModelLike(Protocol):

@@ -1,0 +1,180 @@
+"""Bridge from :mod:`repro.topo` topologies to :class:`ClusterPerfProfile`.
+
+The rest of the stack — schedule builders, fusion planner, LBP, the
+simulator, every experiment — consumes a :class:`ClusterPerfProfile` of
+plain alpha-beta models.  :func:`topology_profile` manufactures such a
+profile from a :class:`~repro.topo.ClusterTopology` and a collective
+algorithm choice, so any cluster shape becomes a drop-in replacement for
+the paper's calibrated testbed::
+
+    from repro.topo import multi_rack
+    from repro.perf import topology_profile
+
+    profile = topology_profile(multi_rack(4, 4, 4), algorithm="hierarchical")
+    graph = build_spd_kfac_graph(resnet50_spec(), profile)
+
+Calibration
+-----------
+The paper's measured alphas (Eqs. 14/27) are dominated by software
+startup (kernel launches, rendezvous), not wire latency.  We therefore
+split every collective's alpha into ``launch + topology hops`` and fit
+the launch constants once, against the paper's published 64-GPU
+constants on the fitted flat topology (:func:`repro.topo.flat` with the
+``PAPER_IB`` link): a flat 64-GPU *ring* all-reduce then reproduces
+Eq. 14 exactly, and the broadcast variants land within a few percent of
+Eq. 27 over the Fig. 7 message-size range (asserted by
+``tests/test_perf_topology.py``).  The same split is applied to the
+streamed (back-to-back) alphas used for in-iteration collectives.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.perf.calibration import (
+    HOROVOD_FUSION_THRESHOLD_ELEMENTS,
+    PAPER_ALLREDUCE_64GPU,
+    PAPER_BROADCAST_64GPU,
+    PAPER_FACTOR_THROUGHPUT,
+    PAPER_INVERSE_ACTUAL,
+    PAPER_INVERSE_RTX2080TI,
+    PAPER_KERNEL_OVERHEAD,
+    PAPER_TRAIN_THROUGHPUT,
+    STREAMED_ALLREDUCE_ALPHA,
+    STREAMED_BROADCAST_ALPHA,
+    ClusterPerfProfile,
+)
+from repro.perf.models import (
+    CubicComputeModel,
+    ExpComputeModel,
+    FlopsComputeModel,
+)
+from repro.topo.collectives import (
+    ALGORITHMS,
+    CollectiveCostModel,
+    allreduce_model,
+    broadcast_model,
+)
+from repro.topo.graph import ClusterTopology, flat
+
+def paper_flat_topology() -> ClusterTopology:
+    """The paper's testbed as a topology: 64 GPUs equidistant on the
+    fitted ``PAPER_IB`` fabric, whose ring all-reduce matches Eq. 14."""
+    return flat(64)
+
+
+def _calibrate_launch() -> Dict[str, float]:
+    """Launch constants fitted so flat(64) reproduces the paper's alphas.
+
+    ``allreduce`` is fitted through the ring model (NCCL ran rings on the
+    paper's testbed) and ``broadcast`` through the tree model (binomial
+    broadcast); the streamed variants reuse the same hop structure with
+    the residual alphas of back-to-back collectives.
+    """
+    reference = paper_flat_topology()
+    # launch=0 models: alpha is pure topology hops.
+    ring_hops = allreduce_model(reference, "ring").alpha
+    tree_hops = broadcast_model(reference, "tree").alpha
+    return {
+        "allreduce": max(PAPER_ALLREDUCE_64GPU.alpha - ring_hops, 0.0),
+        "broadcast": max(PAPER_BROADCAST_64GPU.alpha - tree_hops, 0.0),
+        "allreduce_streamed": max(STREAMED_ALLREDUCE_ALPHA - ring_hops, 0.0),
+        "broadcast_streamed": max(STREAMED_BROADCAST_ALPHA - tree_hops, 0.0),
+    }
+
+
+LAUNCH_CONSTANTS: Dict[str, float] = _calibrate_launch()
+
+#: Representative message sizes used by ``algorithm="auto"`` to pick the
+#: cheapest algorithm: a fusion-buffer-sized all-reduce and a mid-range
+#: symmetric factor broadcast.
+AUTO_ALLREDUCE_ELEMENTS = HOROVOD_FUSION_THRESHOLD_ELEMENTS
+AUTO_BROADCAST_DIM = 2048
+
+
+def select_algorithms(topology: ClusterTopology) -> Tuple[str, str]:
+    """Cheapest (all-reduce, broadcast) algorithm names for ``topology``.
+
+    Evaluated at the representative sizes above with the calibrated
+    streamed launches (the in-iteration regime planners care about).
+    """
+    best_ar = min(
+        ALGORITHMS,
+        key=lambda name: allreduce_model(
+            topology, name, launch=LAUNCH_CONSTANTS["allreduce_streamed"]
+        ).time(AUTO_ALLREDUCE_ELEMENTS),
+    )
+    best_bc = min(
+        ALGORITHMS,
+        key=lambda name: broadcast_model(
+            topology, name, launch=LAUNCH_CONSTANTS["broadcast_streamed"]
+        ).time_symmetric(AUTO_BROADCAST_DIM),
+    )
+    return best_ar, best_bc
+
+
+def topology_models(
+    topology: ClusterTopology, algorithm: str = "auto"
+) -> Dict[str, CollectiveCostModel]:
+    """The four calibrated cost models for ``topology`` under ``algorithm``.
+
+    Keys mirror the :class:`ClusterPerfProfile` fields: ``allreduce``,
+    ``broadcast``, ``allreduce_streamed``, ``broadcast_streamed``.
+    """
+    if algorithm == "auto":
+        ar_name, bc_name = select_algorithms(topology)
+    else:
+        if algorithm not in ALGORITHMS:
+            raise KeyError(
+                f"unknown algorithm {algorithm!r}; options: {sorted(ALGORITHMS)} or 'auto'"
+            )
+        ar_name = bc_name = algorithm
+    return {
+        "allreduce": allreduce_model(topology, ar_name, LAUNCH_CONSTANTS["allreduce"]),
+        "broadcast": broadcast_model(topology, bc_name, LAUNCH_CONSTANTS["broadcast"]),
+        "allreduce_streamed": allreduce_model(
+            topology, ar_name, LAUNCH_CONSTANTS["allreduce_streamed"]
+        ),
+        "broadcast_streamed": broadcast_model(
+            topology, bc_name, LAUNCH_CONSTANTS["broadcast_streamed"]
+        ),
+    }
+
+
+def topology_profile(
+    topology: ClusterTopology,
+    algorithm: str = "auto",
+    world_size: Optional[int] = None,
+) -> ClusterPerfProfile:
+    """Package ``topology`` + ``algorithm`` as a :class:`ClusterPerfProfile`.
+
+    ``algorithm`` is ``"ring"``, ``"tree"``, ``"hierarchical"``, or
+    ``"auto"`` (pick the cheapest per collective).  ``world_size``, when
+    given, must equal ``topology.world_size`` — it exists so call sites
+    that already carry a world size fail loudly on mismatch instead of
+    silently simulating a different cluster.
+
+    Compute models are the paper's RTX2080Ti calibrations rescaled by the
+    slowest node's ``compute_scale`` (synchronous training paces on it).
+    """
+    if world_size is not None and world_size != topology.world_size:
+        raise ValueError(
+            f"world_size {world_size} does not match topology "
+            f"{topology.name!r} with {topology.world_size} GPUs"
+        )
+    models = topology_models(topology, algorithm)
+    scale = topology.compute_scale()
+    inv = PAPER_INVERSE_ACTUAL
+    return ClusterPerfProfile(
+        num_workers=topology.world_size,
+        allreduce=models["allreduce"].as_linear(),
+        broadcast=models["broadcast"].as_linear(),
+        allreduce_streamed=models["allreduce_streamed"].as_linear(),
+        broadcast_streamed=models["broadcast_streamed"].as_linear(),
+        inverse_estimator=ExpComputeModel(
+            alpha=PAPER_INVERSE_RTX2080TI.alpha / scale, beta=PAPER_INVERSE_RTX2080TI.beta
+        ),
+        inverse_actual=CubicComputeModel(overhead=inv.overhead / scale, coeff=inv.coeff / scale),
+        train_compute=FlopsComputeModel(PAPER_KERNEL_OVERHEAD, PAPER_TRAIN_THROUGHPUT * scale),
+        factor_compute=FlopsComputeModel(PAPER_KERNEL_OVERHEAD, PAPER_FACTOR_THROUGHPUT * scale),
+    )

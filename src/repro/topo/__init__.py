@@ -1,0 +1,85 @@
+"""Topology-aware cluster modeling.
+
+The paper prices every collective with one flat alpha-beta fit from one
+64-GPU InfiniBand testbed; this package replaces that single cost
+surface with a *model of the cluster itself*:
+
+* :mod:`repro.topo.graph` — a hierarchical topology graph
+  (:class:`Link`, :class:`NodeSpec`, :class:`Switch`,
+  :class:`ClusterTopology`) with builders for the common shapes
+  (:func:`flat`, :func:`multi_node`, :func:`multi_rack`,
+  :func:`heterogeneous`) and link presets (NVLink, PCIe, 100G IB,
+  ethernet, plus ``PAPER_IB`` fitted to the paper's constants).
+* :mod:`repro.topo.collectives` — per-algorithm collective cost models
+  (ring / double binary tree / hierarchical, all-reduce and broadcast)
+  that derive the paper's ``alpha``/``beta`` from link latencies and
+  bandwidths and satisfy :class:`repro.perf.models.CommModelLike`.
+
+The bridge back into the planner/simulator stack is
+:func:`repro.perf.topology_profile`, which packages these models as a
+standard :class:`repro.perf.ClusterPerfProfile`.
+"""
+
+from repro.topo.graph import (
+    DEFAULT_ELEMENT_BYTES,
+    ETHERNET_10G,
+    ETHERNET_25G,
+    IB_100G,
+    LINK_PRESETS,
+    NVLINK,
+    PAPER_IB,
+    PCIE3,
+    ClusterTopology,
+    Link,
+    NodeSpec,
+    Switch,
+    flat,
+    heterogeneous,
+    multi_node,
+    multi_rack,
+    resolve_link,
+)
+from repro.topo.collectives import (
+    ALGORITHMS,
+    TREE_BANDWIDTH_EFFICIENCY,
+    CollectiveCostModel,
+    HierarchicalAllReduce,
+    HierarchicalBroadcast,
+    RingAllReduce,
+    RingBroadcast,
+    TreeAllReduce,
+    TreeBroadcast,
+    allreduce_model,
+    broadcast_model,
+)
+
+__all__ = [
+    "Link",
+    "NodeSpec",
+    "Switch",
+    "ClusterTopology",
+    "flat",
+    "multi_node",
+    "multi_rack",
+    "heterogeneous",
+    "resolve_link",
+    "LINK_PRESETS",
+    "DEFAULT_ELEMENT_BYTES",
+    "PAPER_IB",
+    "NVLINK",
+    "PCIE3",
+    "IB_100G",
+    "ETHERNET_25G",
+    "ETHERNET_10G",
+    "CollectiveCostModel",
+    "RingAllReduce",
+    "TreeAllReduce",
+    "HierarchicalAllReduce",
+    "RingBroadcast",
+    "TreeBroadcast",
+    "HierarchicalBroadcast",
+    "ALGORITHMS",
+    "TREE_BANDWIDTH_EFFICIENCY",
+    "allreduce_model",
+    "broadcast_model",
+]

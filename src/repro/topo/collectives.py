@@ -1,0 +1,248 @@
+"""Collective-algorithm cost models over a :class:`ClusterTopology`.
+
+Each model prices one collective algorithm on one topology as an affine
+function of the message size, ``t(m) = alpha + beta * m`` — the same
+family as the paper's Eq. 14/27 fits — but with ``alpha`` and ``beta``
+*derived* from the topology's link latencies and bandwidths instead of
+measured on a testbed:
+
+* :class:`RingAllReduce` — the flat ring (what NCCL runs when it ignores
+  the hierarchy): ``2 (P-1)`` pipeline hops, each element moves
+  ``2 (P-1)/P`` times over the *bottleneck* link.
+* :class:`TreeAllReduce` — double-binary-tree reduce+broadcast:
+  logarithmic latency, but a bandwidth term discounted by
+  :data:`TREE_BANDWIDTH_EFFICIENCY` (trees keep interior links busier
+  than a ring does).
+* :class:`HierarchicalAllReduce` — reduce-scatter inside each level,
+  ring across the next, all-gather back down.  Level ``i`` only moves
+  ``1 / prod(inner group sizes)`` of the message across its (slower)
+  link — the reason hierarchical wins on multi-rack fabrics.
+* :class:`RingBroadcast` / :class:`TreeBroadcast` /
+  :class:`HierarchicalBroadcast` — the matching one-to-all variants.
+
+All models satisfy the :class:`repro.perf.models.CommModelLike` protocol
+(``time_symmetric``) plus the richer :class:`LinearCommModel` surface
+(``time``, ``alpha``, ``beta``, ``saturating_size``), so planners,
+schedule builders, and the simulator consume them unchanged;
+``as_linear()`` converts to a plain (hashable, comparable)
+:class:`LinearCommModel` for embedding in a
+:class:`repro.perf.ClusterPerfProfile`.
+
+``launch`` is the topology-independent software startup of one
+collective (kernel launches, rendezvous); the paper's measured alphas
+are dominated by it.  :mod:`repro.perf.topology` calibrates the launch
+constants so the flat 64-GPU topology reproduces the paper's fits.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Tuple, Type
+
+from repro.perf.models import LinearCommModel, symmetric_elements
+from repro.topo.graph import (
+    DEFAULT_ELEMENT_BYTES,
+    ClusterTopology,
+    Link,
+    log2_ceil,
+)
+from repro.utils.validation import check_non_negative
+
+#: Fraction of ring bus bandwidth a double binary tree sustains at large
+#: message sizes (NCCL's trees trade bandwidth for latency).
+TREE_BANDWIDTH_EFFICIENCY = 0.7
+
+
+@dataclass(frozen=True)
+class CollectiveCostModel:
+    """Base: affine cost derived from a topology; subclasses fill alpha/beta."""
+
+    topology: ClusterTopology
+    launch: float = 0.0
+    element_bytes: int = DEFAULT_ELEMENT_BYTES
+    #: Derived coefficients, computed once in __post_init__.
+    alpha: float = field(init=False, default=0.0)
+    beta: float = field(init=False, default=0.0)
+
+    def __post_init__(self) -> None:
+        check_non_negative("launch", self.launch)
+        if self.element_bytes < 1:
+            raise ValueError(f"element_bytes must be >= 1, got {self.element_bytes}")
+        if self.topology.world_size == 1:
+            # Nothing to communicate with: collectives are free, matching
+            # scaled_cluster_profile(1).
+            return
+        hop_alpha, beta = self._derive()
+        object.__setattr__(self, "alpha", self.launch + hop_alpha)
+        object.__setattr__(self, "beta", beta)
+
+    def _derive(self) -> Tuple[float, float]:
+        """Return (latency seconds, per-element seconds) for this algorithm."""
+        raise NotImplementedError
+
+    # -- LinearCommModel-compatible surface ---------------------------------
+
+    def time(self, num_elements: float) -> float:
+        """Predicted time to run this collective on ``num_elements`` elements."""
+        check_non_negative("num_elements", num_elements)
+        return self.alpha + self.beta * num_elements
+
+    def time_symmetric(self, d: int) -> float:
+        """Predicted time for a packed symmetric ``d x d`` matrix (CommModelLike)."""
+        return self.time(symmetric_elements(d))
+
+    def saturating_size(self) -> float:
+        """Message size where transfer time equals startup time."""
+        if self.beta == 0:
+            return math.inf
+        return self.alpha / self.beta
+
+    def as_linear(self) -> LinearCommModel:
+        """Collapse to the paper's plain alpha-beta model (hashable)."""
+        return LinearCommModel(alpha=self.alpha, beta=self.beta)
+
+    # -- shared helpers -----------------------------------------------------
+
+    def _per_element(self, link: Link) -> float:
+        return link.element_time(self.element_bytes)
+
+
+# --- all-reduce ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RingAllReduce(CollectiveCostModel):
+    """Flat ring over all P GPUs: reduce-scatter + all-gather.
+
+    ``2 (P-1)`` latency hops; every element crosses the bottleneck link
+    ``2 (P-1)/P`` times.  Topology-oblivious: a multi-rack ring pays the
+    spine's bandwidth for the *whole* message.
+    """
+
+    def _derive(self) -> Tuple[float, float]:
+        p = self.topology.world_size
+        if p == 1:
+            return 0.0, 0.0
+        link = self.topology.bottleneck_link()
+        hops = 2.0 * (p - 1)
+        return hops * link.latency, 2.0 * (p - 1) / p * self._per_element(link)
+
+
+@dataclass(frozen=True)
+class TreeAllReduce(CollectiveCostModel):
+    """Double binary tree: reduce up one tree, broadcast down its mirror.
+
+    ``2 ceil(log2 P)`` latency hops — far fewer than the ring for small
+    messages — but each element moves twice over interior links that a
+    tree keeps only ~:data:`TREE_BANDWIDTH_EFFICIENCY` as busy as a ring.
+    """
+
+    def _derive(self) -> Tuple[float, float]:
+        p = self.topology.world_size
+        if p == 1:
+            return 0.0, 0.0
+        link = self.topology.bottleneck_link()
+        hops = 2.0 * log2_ceil(p)
+        beta = 2.0 * self._per_element(link) / TREE_BANDWIDTH_EFFICIENCY
+        return hops * link.latency, beta
+
+
+@dataclass(frozen=True)
+class HierarchicalAllReduce(CollectiveCostModel):
+    """Reduce-scatter within each level, ring at the top, all-gather down.
+
+    Equivalent to running a ring all-reduce *per level* on that level's
+    share of the message: level ``i`` with group size ``g`` pays
+    ``2 (g-1)`` hops and moves ``2 (g-1)/g * m / prod(inner sizes)``
+    elements over its own link.  Slow outer links (IB, spine ethernet)
+    therefore see the message shrunk by the product of the inner fan-outs
+    — the hierarchy dividend.  With uneven groups the hop count follows
+    the largest group but the surviving share follows the *smallest*
+    (its members carry the biggest leftover chunk upward), both pessimal.
+    """
+
+    def _derive(self) -> Tuple[float, float]:
+        alpha, beta = 0.0, 0.0
+        share = 1.0
+        levels = self.topology.levels()
+        divisors = self.topology.level_share_divisors()
+        for (group_size, link), divisor in zip(levels, divisors):
+            if group_size == 1:
+                continue
+            alpha += 2.0 * (group_size - 1) * link.latency
+            beta += 2.0 * (group_size - 1) / group_size * self._per_element(link) * share
+            share /= divisor
+        return alpha, beta
+
+
+# --- broadcast -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RingBroadcast(CollectiveCostModel):
+    """Pipelined ring broadcast: ``P-1`` store-and-forward hops, chunked."""
+
+    def _derive(self) -> Tuple[float, float]:
+        p = self.topology.world_size
+        if p == 1:
+            return 0.0, 0.0
+        link = self.topology.bottleneck_link()
+        return (p - 1) * link.latency, self._per_element(link)
+
+
+@dataclass(frozen=True)
+class TreeBroadcast(CollectiveCostModel):
+    """Pipelined binomial-tree broadcast: ``ceil(log2 P)`` stages."""
+
+    def _derive(self) -> Tuple[float, float]:
+        p = self.topology.world_size
+        if p == 1:
+            return 0.0, 0.0
+        link = self.topology.bottleneck_link()
+        return log2_ceil(p) * link.latency, self._per_element(link)
+
+
+@dataclass(frozen=True)
+class HierarchicalBroadcast(CollectiveCostModel):
+    """Tree to the level leaders, then broadcast within each level.
+
+    Chunk pipelining overlaps the levels, so the bandwidth term is the
+    *slowest* level's (max), while every level contributes its
+    logarithmic latency.
+    """
+
+    def _derive(self) -> Tuple[float, float]:
+        alpha, beta = 0.0, 0.0
+        for group_size, link in self.topology.levels():
+            if group_size == 1:
+                continue
+            alpha += log2_ceil(group_size) * link.latency
+            beta = max(beta, self._per_element(link))
+        return alpha, beta
+
+
+#: algorithm name -> (all-reduce model, broadcast model)
+ALGORITHMS: Dict[str, Tuple[Type[CollectiveCostModel], Type[CollectiveCostModel]]] = {
+    "ring": (RingAllReduce, RingBroadcast),
+    "tree": (TreeAllReduce, TreeBroadcast),
+    "hierarchical": (HierarchicalAllReduce, HierarchicalBroadcast),
+}
+
+
+def allreduce_model(
+    topology: ClusterTopology, algorithm: str, launch: float = 0.0, element_bytes: int = DEFAULT_ELEMENT_BYTES
+) -> CollectiveCostModel:
+    """Instantiate the named all-reduce algorithm on ``topology``."""
+    if algorithm not in ALGORITHMS:
+        raise KeyError(f"unknown algorithm {algorithm!r}; options: {sorted(ALGORITHMS)}")
+    return ALGORITHMS[algorithm][0](topology, launch=launch, element_bytes=element_bytes)
+
+
+def broadcast_model(
+    topology: ClusterTopology, algorithm: str, launch: float = 0.0, element_bytes: int = DEFAULT_ELEMENT_BYTES
+) -> CollectiveCostModel:
+    """Instantiate the named broadcast algorithm on ``topology``."""
+    if algorithm not in ALGORITHMS:
+        raise KeyError(f"unknown algorithm {algorithm!r}; options: {sorted(ALGORITHMS)}")
+    return ALGORITHMS[algorithm][1](topology, launch=launch, element_bytes=element_bytes)

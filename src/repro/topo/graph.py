@@ -1,0 +1,373 @@
+"""Hierarchical cluster-topology graph.
+
+The paper calibrates one flat alpha-beta cost surface to one 64-GPU
+InfiniBand testbed; this module describes *clusters* instead, so the
+same planners and simulator can be pointed at hardware we do not have.
+A :class:`ClusterTopology` is a three-level tree:
+
+    spine link  --  rack switches  --  nodes  --  GPUs
+
+Every edge is a :class:`Link` (latency in seconds per hop, bandwidth in
+bytes per second).  GPUs inside a node talk over the node's intra link
+(NVLink, PCIe); nodes inside a rack talk through the rack's
+:class:`Switch`; racks talk over the spine link.  Nodes may be
+heterogeneous — a single PCIe node in an NVLink cluster drags every
+synchronous collective down to its speed, which is exactly the effect
+the bottleneck accessors below expose to the cost models in
+:mod:`repro.topo.collectives`.
+
+All classes are frozen (hashable), so topology-derived profiles flow
+through the memoized planner caches in :mod:`repro.core.schedule`
+unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.perf.models import WIRE_ELEMENT_BYTES
+from repro.utils.validation import check_positive
+
+#: Default wire dtype of every collective, the paper's fp32 format
+#: (shared with the runtime's TrafficCounter byte accounting).
+DEFAULT_ELEMENT_BYTES = WIRE_ELEMENT_BYTES
+
+
+@dataclass(frozen=True)
+class Link:
+    """One interconnect edge: per-hop latency (s) and bandwidth (bytes/s)."""
+
+    name: str
+    latency: float
+    bandwidth: float
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise ValueError(f"link {self.name!r} has negative latency {self.latency}")
+        check_positive(f"bandwidth of link {self.name!r}", self.bandwidth)
+
+    def element_time(self, element_bytes: int = DEFAULT_ELEMENT_BYTES) -> float:
+        """Seconds to move one element across this link."""
+        return element_bytes / self.bandwidth
+
+
+# --- link presets ----------------------------------------------------------
+#
+# Effective (not peak) figures for common fabrics.  ``PAPER_IB`` is special:
+# its bandwidth is *fitted* so that a flat 64-GPU ring all-reduce over it
+# reproduces the paper's published beta_ar = 1.45e-9 s/element exactly
+# (2 * 63/64 * 4 bytes / beta_ar ~= 5.43 GB/s of effective per-ring
+# bandwidth — the four GPUs of each testbed node share one 100Gb/s NIC).
+
+PAPER_IB = Link("paper-ib", latency=5.0e-6, bandwidth=2.0 * (63.0 / 64.0) * 4.0 / 1.45e-9)
+NVLINK = Link("nvlink", latency=1.0e-6, bandwidth=130.0e9)
+PCIE3 = Link("pcie3", latency=3.0e-6, bandwidth=12.0e9)
+IB_100G = Link("ib-100g", latency=2.0e-6, bandwidth=10.0e9)
+ETHERNET_25G = Link("eth-25g", latency=15.0e-6, bandwidth=2.8e9)
+ETHERNET_10G = Link("eth-10g", latency=25.0e-6, bandwidth=1.1e9)
+
+LINK_PRESETS: Dict[str, Link] = {
+    "paper_ib": PAPER_IB,
+    "nvlink": NVLINK,
+    "pcie": PCIE3,
+    "ib": IB_100G,
+    "ethernet": ETHERNET_25G,
+    "ethernet_10g": ETHERNET_10G,
+}
+
+
+def resolve_link(link: "Link | str") -> Link:
+    """Accept a :class:`Link` or a preset name from :data:`LINK_PRESETS`."""
+    if isinstance(link, Link):
+        return link
+    if link in LINK_PRESETS:
+        return LINK_PRESETS[link]
+    raise KeyError(f"unknown link preset {link!r}; options: {sorted(LINK_PRESETS)}")
+
+
+def composite_link(name: str, links: Sequence[Link]) -> Link:
+    """The pessimal composite of ``links``: slowest bandwidth, worst latency.
+
+    Synchronous phases spanning several links finish with the slowest
+    one.  A homogeneous set keeps its real link (name included).
+    """
+    if not links:
+        raise ValueError("need at least one link")
+    if len(set(links)) == 1:
+        return links[0]
+    return Link(
+        name=name,
+        latency=max(link.latency for link in links),
+        bandwidth=min(link.bandwidth for link in links),
+    )
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One machine: ``gpus`` devices joined by ``intra_link``.
+
+    ``compute_scale`` rescales the per-GPU compute throughput relative to
+    the paper's RTX2080Ti (2.0 ~= a GPU twice as fast); synchronous
+    training runs at the pace of the slowest node, which
+    :meth:`ClusterTopology.compute_scale` reflects.
+    """
+
+    name: str
+    gpus: int
+    intra_link: Link
+    compute_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive(f"gpus of node {self.name!r}", self.gpus)
+        check_positive(f"compute_scale of node {self.name!r}", self.compute_scale)
+
+
+@dataclass(frozen=True)
+class Switch:
+    """One rack: a top-of-rack switch whose ``link`` joins its ``nodes``."""
+
+    name: str
+    link: Link
+    nodes: Tuple[NodeSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ValueError(f"switch {self.name!r} has no nodes")
+
+    @property
+    def gpus(self) -> int:
+        return sum(node.gpus for node in self.nodes)
+
+
+@dataclass(frozen=True)
+class ClusterTopology:
+    """A cluster as a tree of racks -> nodes -> GPUs.
+
+    ``spine`` is the rack-to-rack link; it is required exactly when the
+    cluster has more than one rack.
+    """
+
+    name: str
+    switches: Tuple[Switch, ...]
+    spine: Optional[Link] = None
+
+    def __post_init__(self) -> None:
+        if not self.switches:
+            raise ValueError(f"topology {self.name!r} has no racks")
+        if len(self.switches) > 1 and self.spine is None:
+            raise ValueError(
+                f"topology {self.name!r} has {len(self.switches)} racks but no spine link"
+            )
+
+    # -- structure ----------------------------------------------------------
+
+    @property
+    def world_size(self) -> int:
+        return sum(switch.gpus for switch in self.switches)
+
+    @property
+    def num_racks(self) -> int:
+        return len(self.switches)
+
+    @property
+    def num_nodes(self) -> int:
+        return sum(len(switch.nodes) for switch in self.switches)
+
+    def all_nodes(self) -> Tuple[NodeSpec, ...]:
+        return tuple(node for switch in self.switches for node in switch.nodes)
+
+    def compute_scale(self) -> float:
+        """Throughput scale of the *slowest* node (gates synchronous steps)."""
+        return min(node.compute_scale for node in self.all_nodes())
+
+    # -- link accessors for the cost models ---------------------------------
+
+    def active_links(self) -> Tuple[Link, ...]:
+        """Every link a world-spanning collective must traverse."""
+        links = [node.intra_link for node in self.all_nodes() if node.gpus > 1]
+        for switch in self.switches:
+            # A rack's ToR uplink is traversed whenever traffic crosses
+            # node boundaries inside it *or* leaves it for another rack.
+            if len(switch.nodes) > 1 or self.num_racks > 1:
+                links.append(switch.link)
+        if self.num_racks > 1:
+            assert self.spine is not None
+            links.append(self.spine)
+        if not links:  # single-GPU "cluster": communication is intra-device
+            links = [self.all_nodes()[0].intra_link]
+        return tuple(links)
+
+    def bottleneck_link(self) -> Link:
+        """The pessimal composite link: slowest bandwidth, worst latency.
+
+        Flat (topology-oblivious) algorithms pipeline every hop, so their
+        throughput is set by the slowest traversed link and each pipeline
+        stage waits for the laziest hop.
+        """
+        return composite_link(f"{self.name}-bottleneck", self.active_links())
+
+    def levels(self) -> Tuple[Tuple[int, Link], ...]:
+        """The hierarchy as ``(group_size, link)`` pairs, innermost first.
+
+        Level 0 groups GPUs within a node, level 1 nodes within a rack,
+        level 2 racks across the spine.  Levels of size 1 vanish (there
+        is nothing to communicate across them); with heterogeneous nodes
+        a level takes its bottleneck (max size, min bandwidth, max
+        latency), since synchronous phases finish with their slowest
+        group.  A single-GPU world degenerates to one trivial level.
+        """
+        out = []
+        nodes = self.all_nodes()
+        if any(node.gpus > 1 for node in nodes):
+            busy = [node for node in nodes if node.gpus > 1]
+            out.append(
+                (
+                    max(node.gpus for node in busy),
+                    composite_link("level-intra", [node.intra_link for node in busy]),
+                )
+            )
+        if any(len(switch.nodes) > 1 for switch in self.switches):
+            busy_switches = [s for s in self.switches if len(s.nodes) > 1]
+            out.append(
+                (
+                    max(len(s.nodes) for s in busy_switches),
+                    composite_link("level-rack", [s.link for s in busy_switches]),
+                )
+            )
+        if self.num_racks > 1:
+            assert self.spine is not None
+            # The cross-rack ring exits every rack through its ToR uplink,
+            # so the spine level is bottlenecked by the slowest of those too.
+            out.append(
+                (
+                    self.num_racks,
+                    composite_link(
+                        "level-spine", [self.spine] + [s.link for s in self.switches]
+                    ),
+                )
+            )
+        if not out:
+            out.append((1, nodes[0].intra_link))
+        return tuple(out)
+
+    def level_share_divisors(self) -> Tuple[int, ...]:
+        """Pessimal message-share divisors, aligned with :meth:`levels`.
+
+        After a level's reduce-scatter, the chunk a participant carries
+        into the next level is its *own* group's ``1/size`` share — so
+        with uneven groups the slowest (largest) remaining chunk comes
+        from the *smallest* group.  Each entry is therefore the minimum
+        group size at that level over **all** participants (a 1-GPU node
+        carries the whole message up, divisor 1), where :meth:`levels`
+        reports the maximum (worst hop count).  Homogeneous levels give
+        identical values.
+        """
+        nodes = self.all_nodes()
+        out = []
+        if any(node.gpus > 1 for node in nodes):
+            out.append(min(node.gpus for node in nodes))
+        if any(len(switch.nodes) > 1 for switch in self.switches):
+            out.append(min(len(switch.nodes) for switch in self.switches))
+        if self.num_racks > 1:
+            out.append(self.num_racks)
+        if not out:
+            out.append(1)
+        return tuple(out)
+
+    def describe(self) -> str:
+        """One-line human summary (used by experiments and examples)."""
+        parts = [f"{self.name}: {self.world_size} GPUs"]
+        parts.append(f"{self.num_racks} rack(s), {self.num_nodes} node(s)")
+        links = ", ".join(sorted({link.name for link in self.active_links()}))
+        parts.append(f"links [{links}]")
+        return " | ".join(parts)
+
+
+# --- builders --------------------------------------------------------------
+
+
+def flat(world_size: int, link: "Link | str" = PAPER_IB, name: Optional[str] = None) -> ClusterTopology:
+    """All GPUs equidistant on one fabric — the paper's testbed abstraction."""
+    check_positive("world_size", world_size)
+    fabric = resolve_link(link)
+    label = name or f"flat{world_size}-{fabric.name}"
+    node = NodeSpec(name="n0", gpus=world_size, intra_link=fabric)
+    return ClusterTopology(name=label, switches=(Switch("s0", fabric, (node,)),))
+
+
+def multi_node(
+    num_nodes: int,
+    gpus_per_node: int,
+    intra: "Link | str" = "nvlink",
+    inter: "Link | str" = "ib",
+    name: Optional[str] = None,
+    compute_scale: float = 1.0,
+) -> ClusterTopology:
+    """One rack of ``num_nodes`` identical nodes (e.g. ``nvlink`` + ``ib``)."""
+    check_positive("num_nodes", num_nodes)
+    check_positive("gpus_per_node", gpus_per_node)
+    intra_link, inter_link = resolve_link(intra), resolve_link(inter)
+    label = name or f"{num_nodes}x{gpus_per_node}-{intra_link.name}-{inter_link.name}"
+    nodes = tuple(
+        NodeSpec(f"n{i}", gpus_per_node, intra_link, compute_scale) for i in range(num_nodes)
+    )
+    return ClusterTopology(name=label, switches=(Switch("s0", inter_link, nodes),))
+
+
+def multi_rack(
+    num_racks: int,
+    nodes_per_rack: int,
+    gpus_per_node: int,
+    intra: "Link | str" = "nvlink",
+    inter: "Link | str" = "ib",
+    spine: "Link | str" = "ethernet",
+    name: Optional[str] = None,
+) -> ClusterTopology:
+    """``num_racks`` identical racks joined by a (typically slower) spine."""
+    check_positive("num_racks", num_racks)
+    check_positive("nodes_per_rack", nodes_per_rack)
+    check_positive("gpus_per_node", gpus_per_node)
+    intra_link, inter_link = resolve_link(intra), resolve_link(inter)
+    spine_link = resolve_link(spine) if num_racks > 1 else None
+    label = name or (
+        f"{num_racks}x{nodes_per_rack}x{gpus_per_node}-"
+        f"{intra_link.name}-{inter_link.name}" + (f"-{spine_link.name}" if spine_link else "")
+    )
+    switches = tuple(
+        Switch(
+            f"s{r}",
+            inter_link,
+            tuple(
+                NodeSpec(f"r{r}n{i}", gpus_per_node, intra_link) for i in range(nodes_per_rack)
+            ),
+        )
+        for r in range(num_racks)
+    )
+    return ClusterTopology(name=label, switches=switches, spine=spine_link)
+
+
+def heterogeneous(
+    node_groups: Sequence[Tuple[int, int, "Link | str"]],
+    inter: "Link | str" = "ib",
+    name: str = "heterogeneous",
+) -> ClusterTopology:
+    """One rack mixing node kinds: ``[(count, gpus_per_node, intra_link), ...]``."""
+    if not node_groups:
+        raise ValueError("need at least one node group")
+    nodes = []
+    for g, (count, gpus, intra) in enumerate(node_groups):
+        check_positive("count", count)
+        check_positive("gpus_per_node", gpus)
+        intra_link = resolve_link(intra)
+        nodes.extend(
+            NodeSpec(f"g{g}n{i}", gpus, intra_link) for i in range(count)
+        )
+    return ClusterTopology(name=name, switches=(Switch("s0", resolve_link(inter), tuple(nodes)),))
+
+
+def log2_ceil(n: int) -> int:
+    """``ceil(log2 n)`` with the convention that one participant needs 0 steps."""
+    check_positive("n", n)
+    return max(int(math.ceil(math.log2(n))), 0)

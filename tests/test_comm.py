@@ -1,11 +1,14 @@
 """Tests for the in-process collective runtime."""
 
+import threading
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.comm import (
+    CollectiveAbortedError,
     CollectiveGroup,
     CollectiveMismatchError,
     pack_symmetric,
@@ -119,8 +122,6 @@ class TestTrafficAndLifecycle:
             c.allreduce(np.ones(10))
             c.broadcast(np.ones(5) if c.rank == 0 else None, root=0)
 
-        import threading
-
         threads = [
             threading.Thread(target=fn, args=(group.communicator(r),)) for r in range(2)
         ]
@@ -132,6 +133,43 @@ class TestTrafficAndLifecycle:
         assert group.traffic.elements["broadcast"] == 5
         assert group.traffic.calls["allreduce"] == 1
         assert group.traffic.total_elements() == 15
+        # Byte accounting is dtype-aware: both buffers above are fp64.
+        assert group.traffic.bytes["allreduce"] == 80
+        assert group.traffic.bytes["broadcast"] == 40
+        assert group.traffic.total_bytes() == 120
+
+    def test_traffic_bytes_follow_wire_dtype(self):
+        group = CollectiveGroup(2)
+
+        def fn(c):
+            c.allreduce(np.ones(6, dtype=np.float32))
+            c.allgather(np.ones(3, dtype=np.float16))
+            c.broadcast(
+                np.ones(4, dtype=np.int64) if c.rank == 1 else None, root=1
+            )
+
+        threads = [
+            threading.Thread(target=fn, args=(group.communicator(r),)) for r in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert group.traffic.bytes["allreduce"] == 6 * 4
+        assert group.traffic.bytes["allgather"] == 3 * 2
+        assert group.traffic.bytes["broadcast"] == 4 * 8
+        assert group.traffic.total_elements() == 13
+        assert group.traffic.total_bytes() == 24 + 6 + 32
+
+    def test_record_defaults_to_fp32_bytes(self):
+        from repro.comm import TrafficCounter
+
+        counter = TrafficCounter()
+        counter.record("allreduce", 100)
+        assert counter.bytes["allreduce"] == 400
+        counter.record("allreduce", 10, num_bytes=80)
+        assert counter.bytes["allreduce"] == 480
+        assert counter.total_bytes() == 480
 
     def test_rank_failure_propagates_not_hangs(self):
         def fn(c):
@@ -160,3 +198,103 @@ class TestTrafficAndLifecycle:
     def test_invalid_rank(self):
         with pytest.raises(ValueError):
             CollectiveGroup(2).communicator(2)
+
+
+class TestFailurePaths:
+    """Mismatch detection and abort propagation across threaded ranks."""
+
+    def run_per_rank(self, world, fn):
+        """Like run_spmd but returning each rank's raised exception (or
+        result) instead of collapsing to the first failure."""
+        group = CollectiveGroup(world)
+        outcomes = [None] * world
+
+        def worker(rank):
+            try:
+                outcomes[rank] = ("ok", fn(group.communicator(rank)))
+            except Exception as exc:  # noqa: BLE001 - inspected by the test
+                outcomes[rank] = ("err", exc)
+                # Mismatches already surface on every rank via the shared
+                # error slot; aborting again would race peers still
+                # draining the final barrier.
+                if not isinstance(exc, (CollectiveMismatchError, CollectiveAbortedError)):
+                    group.abort()
+
+        threads = [threading.Thread(target=worker, args=(r,)) for r in range(world)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        return outcomes
+
+    def test_mismatched_shapes_raise_on_every_rank(self):
+        outcomes = self.run_per_rank(3, lambda c: c.allreduce(np.ones(c.rank + 1)))
+        for kind, value in outcomes:
+            assert kind == "err"
+            assert isinstance(value, CollectiveMismatchError)
+
+    def test_mismatched_ops_raise_on_every_rank(self):
+        def fn(c):
+            if c.rank == 0:
+                return c.allreduce(np.ones(2), op="sum")
+            return c.allreduce(np.ones(2), op="mean")
+
+        outcomes = self.run_per_rank(2, fn)
+        for kind, value in outcomes:
+            assert kind == "err"
+            assert isinstance(value, CollectiveMismatchError)
+
+    def test_mismatched_dtypes_detected(self):
+        def fn(c):
+            dtype = np.float32 if c.rank == 0 else np.float64
+            return c.allreduce(np.ones(2, dtype=dtype))
+
+        with pytest.raises(CollectiveMismatchError):
+            run_spmd(2, fn)
+
+    def test_rank_failure_surfaces_aborted_error_on_peers(self):
+        """A crashing rank must break the barrier; its peers observe
+        CollectiveAbortedError rather than hanging forever."""
+
+        def fn(c):
+            if c.rank == 0:
+                raise RuntimeError("rank 0 exploded")
+            return c.allreduce(np.ones(4))
+
+        outcomes = self.run_per_rank(3, fn)
+        kinds = {rank: value for rank, (kind, value) in enumerate(outcomes)}
+        assert isinstance(kinds[0], RuntimeError)
+        for rank in (1, 2):
+            assert isinstance(kinds[rank], CollectiveAbortedError)
+
+    def test_run_spmd_prefers_root_cause_over_abort(self):
+        """run_spmd re-raises the original failure, not the secondary
+        CollectiveAbortedError the surviving ranks saw."""
+
+        def fn(c):
+            if c.rank == 1:
+                raise ValueError("root cause")
+            return c.broadcast(np.ones(2) if c.rank == 0 else None, root=0)
+
+        with pytest.raises(ValueError, match="root cause"):
+            run_spmd(3, fn)
+
+    def test_external_abort_propagates_aborted_error(self):
+        """When every rank fails with the abort itself (no root cause),
+        run_spmd raises CollectiveAbortedError."""
+
+        def fn(c):
+            if c.rank == 0:
+                c.group.abort()
+            return c.allreduce(np.ones(1))
+
+        with pytest.raises(CollectiveAbortedError):
+            run_spmd(2, fn)
+
+    def test_group_usable_error_surface_is_consistent(self):
+        """After a mismatch, a *fresh* group still works (state is not
+        poisoned across groups)."""
+        with pytest.raises(CollectiveMismatchError):
+            run_spmd(2, lambda c: c.allreduce(np.ones(c.rank + 1)))
+        results = run_spmd(2, lambda c: c.allreduce(np.ones(2), op="sum"))
+        np.testing.assert_allclose(results[0], [2.0, 2.0])

@@ -37,6 +37,9 @@ class TestExamples:
         result = run_script(EXAMPLES / "cluster_simulation.py", "ResNet-50", "4", str(trace))
         assert result.returncode == 0, result.stderr
         assert "SPD-KFAC" in result.stdout
+        assert "Topology comparison" in result.stdout
+        assert "hierarchical" in result.stdout
+        assert "predicted iteration-time delta" in result.stdout
         assert trace.exists()
 
     def test_planning_deep_dive(self):

@@ -41,7 +41,10 @@ class TestRegistry:
             "fig9", "fig10", "fig11", "fig12", "fig13",
         }
         assert paper_ids <= set(EXPERIMENTS)
-        assert set(EXPERIMENTS) - paper_ids == {"ext_scaling", "ext_planner", "ext_convergence"}
+        assert set(EXPERIMENTS) - paper_ids == {
+            "ext_scaling", "ext_planner", "ext_convergence",
+            "ext_topology", "ext_topo_crossover",
+        }
 
     def test_unknown_id(self):
         with pytest.raises(KeyError):
@@ -255,3 +258,60 @@ class TestFig13:
         tab3 = {r["model"]: r for r in results["tab3"].rows}
         for row in results["fig13"].rows:
             assert row["-Pipe-LBP"] == pytest.approx(tab3[row["model"]]["MPD-KFAC"], rel=1e-9)
+
+
+class TestExtTopology:
+    def test_full_grid_present(self, results):
+        rows = results["ext_topology"].rows
+        topologies = {r["topology"] for r in rows}
+        algorithms = {r["algorithm"] for r in rows}
+        assert len(topologies) >= 4
+        assert algorithms == {"ring", "tree", "hierarchical"}
+        assert len(rows) == len(topologies) * len(algorithms)
+
+    def test_hierarchical_beats_ring_on_multi_rack(self, results):
+        """The acceptance scenario: hierarchical all-reduce must beat the
+        flat ring on at least one multi-rack cluster, for both variants."""
+        rows = rows_by(results["ext_topology"], topology="4 racks x 4 x 4 / eth spine")
+        by_alg = {r["algorithm"]: r for r in rows}
+        assert by_alg["hierarchical"]["SPD-KFAC(s)"] < by_alg["ring"]["SPD-KFAC(s)"]
+        assert by_alg["hierarchical"]["D-KFAC(s)"] < by_alg["ring"]["D-KFAC(s)"]
+
+    def test_algorithms_tie_on_flat_ring_equivalence(self, results):
+        """On the flat paper fabric, hierarchical degenerates to the ring."""
+        rows = rows_by(results["ext_topology"], topology="flat-64 (paper fabric)")
+        by_alg = {r["algorithm"]: r for r in rows}
+        assert by_alg["hierarchical"]["SPD-KFAC(s)"] == pytest.approx(
+            by_alg["ring"]["SPD-KFAC(s)"], rel=1e-9
+        )
+
+    def test_all_iteration_times_positive(self, results):
+        for row in results["ext_topology"].rows:
+            assert row["SPD-KFAC(s)"] > 0
+            assert row["D-KFAC(s)"] >= row["SPD-KFAC(s)"] * 0.8
+
+
+class TestExtTopoCrossover:
+    def test_tree_wins_small_ring_wins_large_on_flat(self, results):
+        rows = rows_by(results["ext_topo_crossover"], topology="flat-64 (paper fabric)")
+        by_size = {r["m(elem)"]: r for r in rows}
+        assert by_size[min(by_size)]["cheapest"] == "tree"
+        assert by_size[max(by_size)]["cheapest"] == "ring"
+
+    def test_hierarchical_dominates_multi_rack(self, results):
+        rows = rows_by(results["ext_topo_crossover"], topology="4 racks x 4 x 4 / eth spine")
+        for row in rows:
+            assert row["cheapest"] == "hierarchical"
+
+    def test_costs_monotone_in_message_size(self, results):
+        for topology in {r["topology"] for r in results["ext_topo_crossover"].rows}:
+            rows = sorted(
+                rows_by(results["ext_topo_crossover"], topology=topology),
+                key=lambda r: r["m(elem)"],
+            )
+            for col in ("ring(s)", "tree(s)", "hierarchical(s)"):
+                values = [r[col] for r in rows]
+                assert values == sorted(values)
+
+    def test_crossover_notes_present(self, results):
+        assert len(results["ext_topo_crossover"].notes) >= 2

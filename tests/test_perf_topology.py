@@ -1,0 +1,142 @@
+"""Tests for the topology -> ClusterPerfProfile bridge and its calibration.
+
+The load-bearing acceptance check lives here: a flat homogeneous 64-GPU
+ring topology must reproduce the paper's calibrated all-reduce and
+broadcast times within 10% across the Fig. 7 message-size range.
+"""
+
+import pytest
+
+from repro.perf import (
+    LAUNCH_CONSTANTS,
+    ClusterPerfProfile,
+    paper_cluster_profile,
+    paper_flat_topology,
+    select_algorithms,
+    topology_models,
+    topology_profile,
+)
+from repro.perf.calibration import PAPER_ALLREDUCE_64GPU, PAPER_BROADCAST_64GPU
+from repro.perf.models import symmetric_elements
+from repro.topo import flat, heterogeneous, multi_node, multi_rack
+
+#: The Fig. 7 sweep: 1M .. 512M elements.
+FIG7_SIZES = tuple(1 << s for s in range(20, 30))
+
+
+class TestPaperCalibration:
+    def test_flat64_ring_allreduce_matches_paper_within_10pct(self):
+        models = topology_models(paper_flat_topology(), "ring")
+        for m in FIG7_SIZES:
+            assert models["allreduce"].time(m) == pytest.approx(
+                PAPER_ALLREDUCE_64GPU.time(m), rel=0.10
+            )
+
+    def test_flat64_ring_broadcast_matches_paper_within_10pct(self):
+        models = topology_models(paper_flat_topology(), "ring")
+        for m in FIG7_SIZES:
+            assert models["broadcast"].time(m) == pytest.approx(
+                PAPER_BROADCAST_64GPU.time(m), rel=0.10
+            )
+        # And over the paper's factor dimensions (symmetric payloads):
+        for d in (256, 1024, 2048, 4096, 8192):
+            assert models["broadcast"].time_symmetric(d) == pytest.approx(
+                PAPER_BROADCAST_64GPU.time_symmetric(d), rel=0.10
+            )
+
+    def test_flat64_ring_allreduce_constants_exact(self):
+        """The launch split is exact for the fitted algorithm: alpha and
+        beta of the flat-64 ring equal the paper's Eq. 14 constants."""
+        models = topology_models(paper_flat_topology(), "ring")
+        assert models["allreduce"].alpha == pytest.approx(PAPER_ALLREDUCE_64GPU.alpha)
+        assert models["allreduce"].beta == pytest.approx(PAPER_ALLREDUCE_64GPU.beta)
+
+    def test_streamed_variants_carry_streamed_launch(self):
+        base = paper_cluster_profile()
+        models = topology_models(paper_flat_topology(), "ring")
+        assert models["allreduce_streamed"].alpha == pytest.approx(
+            base.allreduce_streamed.alpha
+        )
+        assert models["allreduce_streamed"].beta == pytest.approx(
+            base.allreduce_streamed.beta
+        )
+
+    def test_launch_constants_positive(self):
+        for name, value in LAUNCH_CONSTANTS.items():
+            assert value > 0, name
+
+
+class TestTopologyProfile:
+    def test_returns_standard_profile(self):
+        profile = topology_profile(multi_node(8, 8))
+        assert isinstance(profile, ClusterPerfProfile)
+        assert profile.num_workers == 64
+        # Frozen + hashable so the schedule builders' lru caches accept it.
+        assert hash(profile) == hash(topology_profile(multi_node(8, 8)))
+
+    def test_world_size_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            topology_profile(flat(8), world_size=64)
+        assert topology_profile(flat(8), world_size=8).num_workers == 8
+
+    def test_unknown_algorithm_raises(self):
+        with pytest.raises(KeyError):
+            topology_profile(flat(8), algorithm="carrier-pigeon")
+
+    def test_auto_prefers_ring_on_flat_fabric(self):
+        ar, _ = select_algorithms(paper_flat_topology())
+        assert ar == "ring"
+
+    def test_auto_prefers_hierarchical_on_multi_rack(self):
+        ar, bc = select_algorithms(multi_rack(4, 4, 4, spine="ethernet"))
+        assert ar == "hierarchical"
+        assert bc == "hierarchical"
+
+    def test_hierarchical_profile_beats_ring_profile_on_multi_rack(self):
+        topo = multi_rack(4, 4, 4, spine="ethernet")
+        ring = topology_profile(topo, "ring")
+        hier = topology_profile(topo, "hierarchical")
+        m = 16 << 20
+        assert hier.allreduce.time(m) < ring.allreduce.time(m)
+        d = 4096
+        assert hier.broadcast.time_symmetric(d) <= ring.broadcast.time_symmetric(d)
+
+    def test_compute_scale_rescales_compute_models(self):
+        from repro.topo import ClusterTopology, IB_100G, NVLINK, NodeSpec, Switch
+
+        nodes = tuple(NodeSpec(f"n{i}", 8, NVLINK, compute_scale=0.5) for i in range(4))
+        slow = ClusterTopology("half-speed", (Switch("s0", IB_100G, nodes),))
+        base = topology_profile(multi_node(4, 8))
+        halved = topology_profile(slow)
+        assert halved.train_compute.throughput == pytest.approx(
+            base.train_compute.throughput / 2
+        )
+        assert halved.inverse_actual.time(4096) == pytest.approx(
+            base.inverse_actual.time(4096) * 2
+        )
+        assert halved.inverse_estimator.time(4096) == pytest.approx(
+            base.inverse_estimator.time(4096) * 2
+        )
+
+    def test_single_gpu_topology_has_free_comm(self):
+        profile = topology_profile(flat(1))
+        assert profile.allreduce.time(10**9) == 0.0
+        assert profile.broadcast.time_symmetric(8192) == 0.0
+
+    def test_profile_drives_schedule_builders(self):
+        """End-to-end: a topology profile drops into the simulator stack."""
+        from repro.core.schedule import build_spd_kfac_graph, run_iteration
+        from repro.models import get_model_spec
+
+        spec = get_model_spec("ResNet-50")
+        profile = topology_profile(multi_node(2, 2), "hierarchical")
+        result = run_iteration(build_spd_kfac_graph(spec, profile), "SPD-KFAC", spec.name)
+        assert result.iteration_time > 0
+
+    def test_symmetric_elements_consistency(self):
+        """time_symmetric of the bridge models equals time over packed size."""
+        models = topology_models(multi_node(4, 4), "hierarchical")
+        d = 1000
+        assert models["broadcast"].time_symmetric(d) == pytest.approx(
+            models["broadcast"].time(symmetric_elements(d))
+        )

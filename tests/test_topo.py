@@ -1,0 +1,204 @@
+"""Tests for the topology graph and collective-algorithm cost models."""
+
+import pytest
+
+from repro.perf.models import CommModelLike, LinearCommModel
+from repro.topo import (
+    ETHERNET_25G,
+    IB_100G,
+    NVLINK,
+    PAPER_IB,
+    PCIE3,
+    ClusterTopology,
+    HierarchicalAllReduce,
+    HierarchicalBroadcast,
+    Link,
+    NodeSpec,
+    RingAllReduce,
+    RingBroadcast,
+    Switch,
+    TreeAllReduce,
+    TreeBroadcast,
+    allreduce_model,
+    broadcast_model,
+    flat,
+    heterogeneous,
+    multi_node,
+    multi_rack,
+    resolve_link,
+)
+
+
+class TestGraph:
+    def test_flat_structure(self):
+        topo = flat(64)
+        assert topo.world_size == 64
+        assert topo.num_racks == 1
+        assert topo.num_nodes == 1
+        assert topo.levels() == ((64, PAPER_IB),)
+
+    def test_multi_node_structure(self):
+        topo = multi_node(8, 4, intra="nvlink", inter="ib")
+        assert topo.world_size == 32
+        assert topo.num_nodes == 8
+        (g0, l0), (g1, l1) = topo.levels()
+        assert (g0, g1) == (4, 8)
+        assert l0.bandwidth == NVLINK.bandwidth
+        assert l1 == IB_100G
+
+    def test_multi_rack_structure(self):
+        topo = multi_rack(4, 4, 4)
+        assert topo.world_size == 64
+        assert topo.num_racks == 4
+        sizes = [g for g, _ in topo.levels()]
+        assert sizes == [4, 4, 4]
+
+    def test_multi_rack_requires_spine(self):
+        nodes = (NodeSpec("n", 2, NVLINK),)
+        switches = (Switch("s0", IB_100G, nodes), Switch("s1", IB_100G, nodes))
+        with pytest.raises(ValueError):
+            ClusterTopology("broken", switches)
+
+    def test_bottleneck_is_slowest_active_link(self):
+        topo = multi_rack(2, 2, 2, intra="nvlink", inter="ib", spine="ethernet")
+        bottleneck = topo.bottleneck_link()
+        assert bottleneck.bandwidth == ETHERNET_25G.bandwidth
+        assert bottleneck.latency == ETHERNET_25G.latency
+
+    def test_single_node_racks_still_traverse_tor_uplink(self):
+        """Cross-rack traffic exits through the ToR uplink even when each
+        rack holds one node — the uplink must bottleneck both the flat
+        composite and the spine level."""
+        topo = multi_rack(2, 1, 8, intra="nvlink", inter="ethernet", spine="ib")
+        assert topo.bottleneck_link().bandwidth == ETHERNET_25G.bandwidth
+        spine_level = topo.levels()[-1]
+        assert spine_level[0] == 2
+        assert spine_level[1].bandwidth == ETHERNET_25G.bandwidth
+
+    def test_heterogeneous_level_uses_slowest_node(self):
+        topo = heterogeneous(((3, 8, "nvlink"), (1, 8, "pcie")))
+        (g0, l0), _ = topo.levels()
+        assert g0 == 8
+        assert l0.bandwidth == PCIE3.bandwidth
+
+    def test_single_gpu_nodes_do_not_create_an_intra_level(self):
+        topo = multi_node(8, 1, inter="ib")
+        assert topo.levels() == ((8, IB_100G),)
+
+    def test_link_preset_resolution(self):
+        assert resolve_link("nvlink") is NVLINK
+        assert resolve_link(PAPER_IB) is PAPER_IB
+        with pytest.raises(KeyError):
+            resolve_link("carrier-pigeon")
+
+    def test_link_validation(self):
+        with pytest.raises(ValueError):
+            Link("bad", latency=-1.0, bandwidth=1e9)
+        with pytest.raises(ValueError):
+            Link("bad", latency=1e-6, bandwidth=0.0)
+
+    def test_compute_scale_gated_by_slowest_node(self):
+        fast = NodeSpec("fast", 4, NVLINK, compute_scale=2.0)
+        slow = NodeSpec("slow", 4, NVLINK, compute_scale=0.5)
+        topo = ClusterTopology("mixed", (Switch("s0", IB_100G, (fast, slow)),))
+        assert topo.compute_scale() == 0.5
+
+    def test_describe_mentions_links(self):
+        text = multi_node(4, 4).describe()
+        assert "16 GPUs" in text
+        assert "nvlink" in text
+
+
+class TestCostModels:
+    def test_models_satisfy_comm_protocol(self):
+        topo = flat(8)
+        for model in (
+            RingAllReduce(topo),
+            TreeAllReduce(topo),
+            HierarchicalAllReduce(topo),
+            RingBroadcast(topo),
+            TreeBroadcast(topo),
+            HierarchicalBroadcast(topo),
+        ):
+            assert isinstance(model, CommModelLike)
+            assert model.time(0) == pytest.approx(model.alpha)
+            assert model.time_symmetric(64) >= model.alpha
+            assert model.as_linear() == LinearCommModel(model.alpha, model.beta)
+
+    def test_ring_matches_textbook_coefficients(self):
+        link = Link("l", latency=1e-6, bandwidth=1e10)
+        topo = flat(16, link)
+        ring = RingAllReduce(topo)
+        assert ring.alpha == pytest.approx(2 * 15 * 1e-6)
+        assert ring.beta == pytest.approx(2 * 15 / 16 * 4 / 1e10)
+
+    def test_tree_has_log_latency(self):
+        topo = flat(64)
+        assert TreeAllReduce(topo).alpha == pytest.approx(2 * 6 * PAPER_IB.latency)
+        assert TreeBroadcast(topo).alpha == pytest.approx(6 * PAPER_IB.latency)
+
+    def test_hierarchical_equals_ring_on_flat(self):
+        topo = flat(32)
+        ring, hier = RingAllReduce(topo), HierarchicalAllReduce(topo)
+        assert hier.alpha == pytest.approx(ring.alpha)
+        assert hier.beta == pytest.approx(ring.beta)
+
+    def test_hierarchical_beats_ring_on_hierarchical_fabric(self):
+        topo = multi_node(8, 8, intra="nvlink", inter="ib")
+        ring, hier = RingAllReduce(topo), HierarchicalAllReduce(topo)
+        assert hier.beta < ring.beta / 3
+        # At a fused-buffer message the full collective is cheaper too.
+        assert hier.time(16 << 20) < ring.time(16 << 20)
+
+    def test_hierarchical_shrinks_spine_traffic(self):
+        """The spine bandwidth term must be divided by the inner fan-out."""
+        topo = multi_rack(4, 4, 4, intra="nvlink", inter="ib", spine="ethernet")
+        hier = HierarchicalAllReduce(topo)
+        spine_full = 2 * 3 / 4 * 4 / ETHERNET_25G.bandwidth
+        assert hier.beta < spine_full / 4  # way below an unshrunk spine ring term
+
+    def test_uneven_node_sizes_use_pessimal_share(self):
+        """Small nodes carry big leftover chunks into the inter-node
+        phase; the share divisor must follow the smallest group."""
+        uneven = heterogeneous(((1, 8, "nvlink"), (8, 2, "pcie")), inter="ethernet")
+        assert uneven.level_share_divisors() == (2, 9)
+        even = heterogeneous(((8, 8, "pcie"),), inter="ethernet")
+        assert even.level_share_divisors() == (8, 8)
+        # The inter-node beta term divides by 2 (not 8): a 2-GPU node's
+        # ranks enter the ethernet ring carrying m/2.
+        hier = HierarchicalAllReduce(uneven)
+        inter_term = 2 * (9 - 1) / 9 * (4 / ETHERNET_25G.bandwidth) / 2
+        assert hier.beta > inter_term
+
+    def test_single_gpu_is_free(self):
+        topo = flat(1)
+        for factory in (RingAllReduce, TreeAllReduce, HierarchicalAllReduce,
+                        RingBroadcast, TreeBroadcast, HierarchicalBroadcast):
+            model = factory(topo, launch=1.0)
+            assert model.time(1 << 20) == 0.0
+
+    def test_launch_adds_to_alpha_only(self):
+        topo = flat(8)
+        base, launched = RingAllReduce(topo), RingAllReduce(topo, launch=1e-3)
+        assert launched.alpha == pytest.approx(base.alpha + 1e-3)
+        assert launched.beta == base.beta
+
+    def test_element_bytes_scales_beta(self):
+        topo = flat(8)
+        fp32, fp16 = RingAllReduce(topo), RingAllReduce(topo, element_bytes=2)
+        assert fp16.beta == pytest.approx(fp32.beta / 2)
+        assert fp16.alpha == fp32.alpha
+
+    def test_factory_functions(self):
+        topo = flat(4)
+        assert isinstance(allreduce_model(topo, "tree"), TreeAllReduce)
+        assert isinstance(broadcast_model(topo, "hierarchical"), HierarchicalBroadcast)
+        with pytest.raises(KeyError):
+            allreduce_model(topo, "carrier-pigeon")
+
+    def test_models_are_hashable_and_frozen(self):
+        topo = flat(4)
+        model = RingAllReduce(topo)
+        assert hash(model) == hash(RingAllReduce(topo))
+        with pytest.raises(AttributeError):
+            model.alpha = 0.0
