@@ -14,10 +14,10 @@ from repro.core.factors import conv_factor_A, linear_factor_A
 from repro.core.fusion import plan_optimal_fusion
 from repro.core.kfac import damped_inverse
 from repro.core.placement import lbp_placement
-from repro.core.schedule import build_spd_kfac_graph
 from repro.models import get_model_spec, resnet50_spec
 from repro.nn import Conv2d
 from repro.perf import paper_cluster_profile, topology_profile
+from repro.plan import Session, build_strategy_graph, clear_caches
 from repro.sim import simulate
 from repro.topo import multi_rack
 
@@ -85,7 +85,28 @@ def test_simulator_spd_kfac_resnet50_64gpu(benchmark, profile):
     spec = resnet50_spec()
 
     def run():
-        return simulate(build_spd_kfac_graph(spec, profile)).makespan
+        return simulate(build_strategy_graph(spec, profile, "SPD-KFAC")).makespan
 
     makespan = benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=0)
     assert makespan > 0
+
+
+def test_session_plan_cache(benchmark, profile):
+    """Cached SPD-KFAC/ResNet-50/64-GPU plan lookup via the Session cache.
+
+    The cold plan (resolve fusion + placement, build ~25k tasks,
+    simulate) is paid once in setup and printed for reference; the
+    benchmarked path is what every sweep cell after the first pays.
+    """
+    import time
+
+    clear_caches()
+    session = Session(resnet50_spec(), profile)
+    t0 = time.perf_counter()
+    cold_plan = session.plan("SPD-KFAC")
+    cold_seconds = time.perf_counter() - t0
+    print(f"\ncold plan: {cold_seconds * 1e3:.1f} ms", end=" ")
+
+    cached_plan = benchmark(session.plan, "SPD-KFAC")
+    assert cached_plan is cold_plan
+    assert cold_seconds > 0

@@ -14,27 +14,18 @@ e.g.  python examples/cluster_simulation.py ResNet-50 64 spd_trace.json
 
 import sys
 
-from repro.core.schedule import (
-    build_dkfac_graph,
-    build_mpd_kfac_graph,
-    build_sgd_graph,
-    build_spd_kfac_graph,
-    build_ssgd_graph,
-    build_kfac_graph,
-    run_iteration,
-)
 from repro.models import get_model_spec
-from repro.perf import scaled_cluster_profile, topology_profile
+from repro.plan import Session, strategy_registry
 from repro.sim.timeline import PAPER_CATEGORIES
 from repro.topo import flat, multi_node
 
-ALGORITHMS = (
-    ("SGD (1 GPU)", build_sgd_graph),
-    ("S-SGD", build_ssgd_graph),
-    ("KFAC (1 GPU)", build_kfac_graph),
-    ("D-KFAC", build_dkfac_graph),
-    ("MPD-KFAC", build_mpd_kfac_graph),
-    ("SPD-KFAC", build_spd_kfac_graph),
+SCHEMES = (
+    ("SGD (1 GPU)", "SGD"),
+    ("S-SGD", "S-SGD"),
+    ("KFAC (1 GPU)", "KFAC"),
+    ("D-KFAC", "D-KFAC"),
+    ("MPD-KFAC", "MPD-KFAC"),
+    ("SPD-KFAC", "SPD-KFAC"),
 )
 
 
@@ -44,7 +35,7 @@ def main() -> None:
     trace_path = sys.argv[3] if len(sys.argv) > 3 else None
 
     spec = get_model_spec(model)
-    profile = scaled_cluster_profile(num_gpus)
+    session = Session(spec, num_gpus)
     print(f"{spec.name}, batch {spec.batch_size}/GPU, {num_gpus} GPUs "
           f"(cost models calibrated to the paper's testbed)\n")
 
@@ -52,14 +43,14 @@ def main() -> None:
     print(header)
     print("-" * len(header))
     spd_result = None
-    for name, builder in ALGORITHMS:
-        result = run_iteration(builder(spec, profile), name, spec.name)
+    for label, strategy in SCHEMES:
+        result = session.simulate(strategy)
         cats = result.categories()
-        row = f"{name:14} {result.iteration_time:>8.4f} " + " ".join(
+        row = f"{label:14} {result.iteration_time:>8.4f} " + " ".join(
             f"{cats[c]:>11.4f}" for c in PAPER_CATEGORIES
         )
         print(row)
-        if builder is build_spd_kfac_graph:
+        if strategy == "SPD-KFAC":
             spd_result = result
 
     compare_topologies(spec, num_gpus)
@@ -90,8 +81,10 @@ def compare_topologies(spec, num_gpus):
     print("\nTopology comparison (SPD-KFAC, topology-derived cost models):")
     times = []
     for topo, algorithm in ((flat_topo, "ring"), (hier_topo, "hierarchical")):
-        profile = topology_profile(topo, algorithm)
-        result = run_iteration(build_spd_kfac_graph(spec, profile), "SPD-KFAC", spec.name)
+        session = Session(spec, topo)
+        result = session.simulate(
+            strategy_registry["SPD-KFAC"].but(collective=algorithm)
+        )
         times.append(result.iteration_time)
         print(f"  {topo.describe():60}  {algorithm:13} iter = {result.iteration_time:.4f} s")
     flat_t, hier_t = times

@@ -31,6 +31,19 @@ def train(optimizer_name: str, iterations: int = 20) -> list:
     return losses
 
 
+def plan_at_scale() -> None:
+    """The three-line Session flow: plan a scheme on a modeled cluster."""
+    from repro import Session
+
+    session = Session("ResNet-50", 64)
+    plan = session.plan("SPD-KFAC")
+    print(
+        f"\nAt cluster scale, SPD-KFAC on ResNet-50 x 64 GPUs is planned to "
+        f"take {session.simulate(plan).iteration_time:.4f} s/iteration "
+        f"({dict(plan.task_counts)['tasks']} simulated tasks)."
+    )
+
+
 def main() -> None:
     kfac_losses = train("kfac")
     sgd_losses = train("sgd")
@@ -43,6 +56,7 @@ def main() -> None:
         "Kronecker factors (Eq. 11), which whitens the ill-conditioned "
         "inputs and converges in far fewer iterations."
     )
+    plan_at_scale()
 
 
 if __name__ == "__main__":

@@ -22,10 +22,32 @@ This package provides:
   turn any modeled cluster into a drop-in cost profile
   (:mod:`repro.topo`, :func:`repro.perf.topology_profile`),
 * architecture specs for the four evaluated CNNs (:mod:`repro.models`),
+* the composable Strategy / Plan / Session planning API — declarative
+  :class:`TrainingStrategy` values (with the paper's schemes as named
+  presets in :data:`strategy_registry`), serializable :class:`Plan`
+  artifacts, and the :class:`Session` facade with a shared plan cache
+  (:mod:`repro.plan`),
 * and a reproduction harness for every table and figure
   (:mod:`repro.experiments`).
 
-Quickstart::
+Quickstart — plan and simulate a training scheme in three lines::
+
+    from repro import Session
+
+    session = Session("ResNet-50", 64)          # model x cluster
+    plan = session.plan("SPD-KFAC")             # or any TrainingStrategy
+    print(session.simulate(plan).iteration_time)
+
+Strategies compose axis-by-axis, including combinations the paper never
+ran::
+
+    from repro import strategy_registry
+
+    eager_tree = strategy_registry["SPD-KFAC"].but(
+        factor_pipelining=False, collective="tree"
+    )
+
+And the numeric K-FAC stack trains real (NumPy) models::
 
     from repro import KFACOptimizer, make_mlp
     from repro.nn import CrossEntropyLoss
@@ -46,6 +68,14 @@ from repro.core import (
     lbp_placement,
     plan_optimal_fusion,
 )
+from repro.plan import (
+    Plan,
+    Session,
+    StrategyRegistry,
+    TrainingStrategy,
+    strategy_registry,
+)
+from repro.utils.deprecation import ReproDeprecationWarning
 from repro.models import (
     densenet201_spec,
     get_model_spec,
@@ -61,6 +91,12 @@ from repro.perf import paper_cluster_profile, scaled_cluster_profile, topology_p
 __version__ = "1.0.0"
 
 __all__ = [
+    "TrainingStrategy",
+    "StrategyRegistry",
+    "strategy_registry",
+    "Plan",
+    "Session",
+    "ReproDeprecationWarning",
     "KFACOptimizer",
     "KFACPreconditioner",
     "DistKFACOptimizer",

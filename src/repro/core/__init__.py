@@ -16,8 +16,10 @@ Scheduling side (drives :mod:`repro.sim`):
 * :mod:`repro.core.placement` — inverse placement incl. Algorithm 1 (LBP);
 * :mod:`repro.core.pipeline` — the four factor-communication pipelining
   strategies of Fig. 10;
-* :mod:`repro.core.schedule` — per-iteration task-graph builders for
-  SGD, S-SGD, KFAC, D-KFAC, MPD-KFAC and SPD-KFAC.
+* :mod:`repro.core.schedule` — the per-iteration task-graph core
+  (:func:`~repro.core.schedule.build_graph_from_parts`), driven by
+  declarative :mod:`repro.plan` strategies; the historical
+  ``build_*_graph`` entry points survive as deprecation shims.
 """
 
 from repro.core.factors import (
@@ -58,6 +60,7 @@ from repro.core.placement import (
 from repro.core.schedule import (
     IterationResult,
     build_dkfac_graph,
+    build_graph_from_parts,
     build_kfac_graph,
     build_mpd_kfac_graph,
     build_sgd_graph,
@@ -96,6 +99,7 @@ __all__ = [
     "seq_dist_placement",
     "balanced_placement",
     "lbp_placement",
+    "build_graph_from_parts",
     "build_sgd_graph",
     "build_ssgd_graph",
     "build_kfac_graph",

@@ -30,7 +30,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.fusion import (
     FusionPlan,
@@ -171,18 +171,21 @@ def _plan_g_pass_around_gradients(
     profile: ClusterPerfProfile,
     comm: LinearCommModel,
     channel_free: float,
+    grad_plan: Optional[FusionPlan] = None,
 ) -> FusionPlan:
     """Optimal G-pass fusion sharing the channel with WFBP grad buckets.
 
-    The gradient buckets are fixed (Horovod's threshold plan) and are
-    enqueued *before* the G factor of the same backward step, so the
-    channel alternates: ... [G run] [grad bucket] [G run] ...  Each G run
-    between consecutive grad buckets is partitioned by the optimal DP with
-    the running channel-free time; each grad bucket then advances the
-    channel state.  G buckets never span a grad-bucket boundary — a mild
-    restriction that keeps the FIFO order analyzable.
+    The gradient buckets are fixed (Horovod's threshold plan, unless an
+    explicit ``grad_plan`` is given) and are enqueued *before* the G
+    factor of the same backward step, so the channel alternates:
+    ... [G run] [grad bucket] [G run] ...  Each G run between consecutive
+    grad buckets is partitioned by the optimal DP with the running
+    channel-free time; each grad bucket then advances the channel state.
+    G buckets never span a grad-bucket boundary — a mild restriction that
+    keeps the FIFO order analyzable.
     """
-    grad_plan = gradient_fusion_plan(spec, profile)
+    if grad_plan is None:
+        grad_plan = gradient_fusion_plan(spec, profile)
     grad_sizes = [layer.num_params for layer in reversed(spec.layers)]
     b_ends = backward_step_end_times(spec, profile)
     num_layers = len(g_sizes)
@@ -282,3 +285,97 @@ def factor_comm_plans(
             strategy, a_plan, g_plan, launch_after_pass=False, combine_passes=False
         )
     raise ValueError(f"unknown strategy {strategy!r}")
+
+
+# ---------------------------------------------------------------------------
+# axis-based plans (the Strategy API's factor-communication surface)
+# ---------------------------------------------------------------------------
+
+#: Bucket-partition policies a :class:`TrainingStrategy` can name.
+FACTOR_FUSION_POLICIES = ("bulk", "none", "threshold", "optimal")
+
+#: (fusion, pipelined, combine_passes) combinations that coincide with one
+#: of the paper's five named strategies; these delegate to
+#: :func:`factor_comm_plans` so they share its cache and produce plans
+#: identical to the historical builders.
+_CANONICAL_AXES = {
+    ("bulk", False, True): FactorCommStrategy.BULK,
+    ("bulk", False, False): FactorCommStrategy.NAIVE,
+    ("none", True, False): FactorCommStrategy.LW_NO_TF,
+    ("threshold", True, False): FactorCommStrategy.LW_TTF,
+    ("optimal", True, False): FactorCommStrategy.SP_OTF,
+}
+
+#: Nearest named strategy per fusion policy, recorded on custom plans so
+#: traces stay labelled even for combinations the paper never ran.
+_REPRESENTATIVE = {
+    "bulk": FactorCommStrategy.NAIVE,
+    "none": FactorCommStrategy.LW_NO_TF,
+    "threshold": FactorCommStrategy.LW_TTF,
+    "optimal": FactorCommStrategy.SP_OTF,
+}
+
+
+@lru_cache(maxsize=256)
+def factor_comm_plan_for(
+    spec: ModelSpec,
+    profile: ClusterPerfProfile,
+    fusion: str = "optimal",
+    pipelined: bool = True,
+    combine_passes: bool = False,
+    grad_plan: Optional[FusionPlan] = None,
+) -> FactorCommPlan:
+    """Factor-communication plan for an arbitrary (fusion, launch) choice.
+
+    ``fusion`` picks the bucket partition (one of
+    :data:`FACTOR_FUSION_POLICIES`); ``pipelined`` launches each bucket
+    the moment its last factor is computed instead of after the whole
+    pass; ``combine_passes`` merges both passes into one all-reduce
+    (D-KFAC's bulk mode, only valid for non-pipelined bulk fusion).
+    ``grad_plan`` overrides the WFBP gradient buckets the optimal G-pass
+    planner shares the channel with (``None`` = the profile's threshold
+    plan).  The five combinations the paper names resolve to the exact
+    plans of :func:`factor_comm_plans`; everything else — e.g. the
+    optimal Eq. 15 partition launched eagerly after each pass — is new
+    surface the old per-algorithm builders could not express.
+    """
+    if fusion not in FACTOR_FUSION_POLICIES:
+        raise ValueError(
+            f"unknown factor fusion {fusion!r}; options: {FACTOR_FUSION_POLICIES}"
+        )
+    if combine_passes and (fusion != "bulk" or pipelined):
+        raise ValueError(
+            "combine_passes merges both passes into one post-backward "
+            "all-reduce; it requires fusion='bulk' and pipelined=False"
+        )
+    canonical = _CANONICAL_AXES.get((fusion, pipelined, combine_passes))
+    if canonical is not None and (grad_plan is None or fusion != "optimal"):
+        return factor_comm_plans(canonical, spec, profile)
+
+    a_sizes = [layer.a_elements for layer in spec.layers]
+    g_sizes = [layer.g_elements for layer in reversed(spec.layers)]
+    num_layers = len(spec.layers)
+    if fusion == "bulk":
+        a_plan, g_plan = plan_bulk(num_layers), plan_bulk(num_layers)
+    elif fusion == "none":
+        a_plan, g_plan = plan_no_fusion(num_layers), plan_no_fusion(num_layers)
+    elif fusion == "threshold":
+        threshold = profile.fusion_threshold_elements
+        a_plan = plan_threshold_fusion(a_sizes, threshold)
+        g_plan = plan_threshold_fusion(g_sizes, threshold)
+    else:  # optimal — the Eq. 15 partition, whatever the launch mode
+        a_avail, g_avail = factor_availability(spec, profile)
+        comm = profile.allreduce_streamed
+        a_plan = plan_optimal_fusion(a_sizes, a_avail, comm)
+        a_finish = fusion_completion_time(a_plan, a_sizes, a_avail, comm)
+        g_plan = _plan_g_pass_around_gradients(
+            g_sizes, g_avail, spec, profile, comm,
+            channel_free=a_finish, grad_plan=grad_plan,
+        )
+    return FactorCommPlan(
+        _REPRESENTATIVE[fusion],
+        a_plan,
+        g_plan,
+        launch_after_pass=not pipelined,
+        combine_passes=combine_passes,
+    )

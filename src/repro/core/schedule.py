@@ -1,6 +1,12 @@
-"""Task-graph builders for one training iteration of every algorithm.
+"""The task-graph builder for one training iteration.
 
-These encode Fig. 1 of the paper as executable schedules:
+:func:`build_graph_from_parts` turns a *resolved* set of planning
+artifacts — a factor-communication plan, a gradient fusion plan, an
+inverse placement — into the executable schedule of Fig. 1.  The
+artifacts themselves are resolved from a declarative
+:class:`repro.plan.TrainingStrategy` by :mod:`repro.plan` (the Strategy /
+Plan / Session API); the historical per-algorithm ``build_*_graph``
+entry points remain as thin deprecation shims:
 
 * **SGD / KFAC** — single-GPU baselines (no communication);
 * **S-SGD** — WFBP gradient aggregation with threshold tensor fusion;
@@ -22,7 +28,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.fusion import FusionPlan
 from repro.core.pipeline import (
@@ -33,6 +39,7 @@ from repro.core.pipeline import (
     layer_compute_times,
     precondition_times,
 )
+from repro.utils.deprecation import warn_deprecated
 from repro.core.placement import (
     Placement,
     balanced_placement,
@@ -115,16 +122,28 @@ def resolve_placement(
 # ---------------------------------------------------------------------------
 
 
-def _build_graph(
+def build_graph_from_parts(
     spec: ModelSpec,
     profile: ClusterPerfProfile,
     *,
     num_ranks: int,
     kfac: bool,
-    factor_strategy: Optional[FactorCommStrategy],
-    placement_name: Optional[str],
+    fplan: Optional[FactorCommPlan],
+    grad_plan: Optional[FusionPlan],
+    placement: Optional[Placement],
     include_solve: bool = True,
 ) -> TaskGraph:
+    """Assemble one iteration's task graph from resolved planning parts.
+
+    This is the single execution-model core every algorithm flows
+    through: ``fplan`` schedules factor aggregation (``None`` for
+    first-order or single-rank runs), ``grad_plan`` buckets the WFBP
+    gradient all-reduces (``None`` disables gradient reduction), and
+    ``placement`` assigns the ``2L`` inverse workloads (``None`` with
+    ``include_solve=False`` isolates the factor pipeline, as in
+    Fig. 10).  :mod:`repro.plan` resolves these parts from a declarative
+    :class:`~repro.plan.TrainingStrategy`.
+    """
     layers = spec.layers
     num_layers = len(layers)
     distributed = num_ranks > 1
@@ -134,13 +153,8 @@ def _build_graph(
     t_fwd, t_bwd, t_fa, t_fg = layer_compute_times(spec, profile)
     t_precond = precondition_times(spec, profile.factor_compute)
 
-    fplan: Optional[FactorCommPlan] = None
-    if kfac and distributed:
-        if factor_strategy is None:
-            raise ValueError("distributed K-FAC requires a factor communication strategy")
-        fplan = factor_comm_plans(factor_strategy, spec, profile)
-
-    grad_plan = gradient_fusion_plan(spec, profile) if distributed else None
+    if kfac and distributed and fplan is None:
+        raise ValueError("distributed K-FAC requires a factor communication strategy")
 
     # ---- forward pass -------------------------------------------------------
     fa_tasks: List[List[int]] = [[] for _ in range(num_layers)]
@@ -170,16 +184,19 @@ def _build_graph(
                 )
 
     if fplan is not None and fplan.launch_after_pass and not fplan.combine_passes:
-        # NAIVE: all A factors in one all-reduce, launched once the forward
-        # pass has produced the last A (overlaps with backward compute).
-        elements = sum(a_sizes)
-        a_bucket_task[0] = graph.add_collective(
-            "CA[all]",
-            Phase.FACTOR_COMM,
-            all_ranks,
-            profile.allreduce_streamed.time(elements),
-            deps=fa_tasks[num_layers - 1],
-        )
+        # Post-pass launch: every A bucket ships once the forward pass has
+        # produced the last A (overlapping backward compute).  NAIVE's
+        # bulk plan is the single-bucket case.
+        single = fplan.a_plan.num_buckets == 1
+        for bucket_id, bucket in enumerate(fplan.a_plan.buckets):
+            elements = sum(a_sizes[i] for i in bucket)
+            a_bucket_task[bucket_id] = graph.add_collective(
+                "CA[all]" if single else f"CA[{bucket_id}]",
+                Phase.FACTOR_COMM,
+                all_ranks,
+                profile.allreduce_streamed.time(elements),
+                deps=fa_tasks[num_layers - 1],
+            )
 
     # ---- backward pass ------------------------------------------------------
     bwd_tasks: List[List[int]] = [[] for _ in range(num_layers)]
@@ -236,13 +253,16 @@ def _build_graph(
             a_bucket_task[0] = task
             g_bucket_task[0] = task
         else:
-            g_bucket_task[0] = graph.add_collective(
-                "CG_fac[all]",
-                Phase.FACTOR_COMM,
-                all_ranks,
-                profile.allreduce_streamed.time(sum(g_sizes_backward)),
-                deps=fg_tasks[0],
-            )
+            single = fplan.g_plan.num_buckets == 1
+            for bucket_id, bucket in enumerate(fplan.g_plan.buckets):
+                elements = sum(g_sizes_backward[i] for i in bucket)
+                g_bucket_task[bucket_id] = graph.add_collective(
+                    "CG_fac[all]" if single else f"CG_fac[{bucket_id}]",
+                    Phase.FACTOR_COMM,
+                    all_ranks,
+                    profile.allreduce_streamed.time(elements),
+                    deps=fg_tasks[0],
+                )
 
     # ---- factor readiness lookup ---------------------------------------------
     def factor_ready_global(tensor_index: int) -> Optional[int]:
@@ -251,10 +271,8 @@ def _build_graph(
         is_a = tensor_index % 2 == 0
         if fplan is None:
             return None  # single rank: use per-rank compute deps instead
-        if fplan.combine_passes or (fplan.launch_after_pass and is_a):
+        if fplan.combine_passes:
             return a_bucket_task[0]
-        if fplan.launch_after_pass and not is_a:
-            return g_bucket_task[0]
         if is_a:
             return a_bucket_task[fplan.a_plan.bucket_of(layer)]
         backward_pos = num_layers - 1 - layer
@@ -268,9 +286,8 @@ def _build_graph(
 
     # ---- inverses, broadcasts, preconditioning, update ------------------------
     if kfac and include_solve:
-        if placement_name is None:
+        if placement is None:
             raise ValueError("K-FAC schedules need an inverse placement strategy")
-        placement = resolve_placement(placement_name, spec, profile, num_ranks)
         dims = placement.dims
         inv_task: Dict[Tuple[int, int], int] = {}  # (tensor, rank) -> task
         bcast_task: Dict[int, int] = {}
@@ -337,20 +354,61 @@ def _build_graph(
     return graph
 
 
+def _build_graph(
+    spec: ModelSpec,
+    profile: ClusterPerfProfile,
+    *,
+    num_ranks: int,
+    kfac: bool,
+    factor_strategy: Optional[FactorCommStrategy],
+    placement_name: Optional[str],
+    include_solve: bool = True,
+) -> TaskGraph:
+    """Resolve the historical per-algorithm axes into parts and build.
+
+    Kept as the single delegation target of the deprecated
+    ``build_*_graph`` shims; new code should go through
+    :mod:`repro.plan`, which resolves richer strategies onto
+    :func:`build_graph_from_parts` directly.
+    """
+    distributed = num_ranks > 1
+    fplan: Optional[FactorCommPlan] = None
+    if kfac and distributed:
+        if factor_strategy is None:
+            raise ValueError("distributed K-FAC requires a factor communication strategy")
+        fplan = factor_comm_plans(factor_strategy, spec, profile)
+    grad_plan = gradient_fusion_plan(spec, profile) if distributed else None
+    placement: Optional[Placement] = None
+    if kfac and include_solve and placement_name is not None:
+        placement = resolve_placement(placement_name, spec, profile, num_ranks)
+    return build_graph_from_parts(
+        spec,
+        profile,
+        num_ranks=num_ranks,
+        kfac=kfac,
+        fplan=fplan,
+        grad_plan=grad_plan,
+        placement=placement,
+        include_solve=include_solve,
+    )
+
+
 # ---------------------------------------------------------------------------
-# public builders (one per algorithm)
+# deprecated builders (one per algorithm) — use repro.plan instead
 # ---------------------------------------------------------------------------
 
 
 def build_sgd_graph(spec: ModelSpec, profile: ClusterPerfProfile) -> TaskGraph:
-    """Single-GPU first-order SGD (Fig. 2's SGD bar)."""
+    """Deprecated. Single-GPU first-order SGD (Fig. 2's SGD bar)."""
+    warn_deprecated("build_sgd_graph", 'Session(model, profile).plan("SGD")')
     return _build_graph(
         spec, profile, num_ranks=1, kfac=False, factor_strategy=None, placement_name=None
     )
 
 
 def build_ssgd_graph(spec: ModelSpec, profile: ClusterPerfProfile) -> TaskGraph:
-    """Distributed S-SGD with WFBP + tensor fusion (Eq. 5)."""
+    """Deprecated. Distributed S-SGD with WFBP + tensor fusion (Eq. 5)."""
+    warn_deprecated("build_ssgd_graph", 'Session(model, profile).plan("S-SGD")')
     return _build_graph(
         spec,
         profile,
@@ -362,14 +420,16 @@ def build_ssgd_graph(spec: ModelSpec, profile: ClusterPerfProfile) -> TaskGraph:
 
 
 def build_kfac_graph(spec: ModelSpec, profile: ClusterPerfProfile) -> TaskGraph:
-    """Single-GPU K-FAC: all factors and inverses computed locally."""
+    """Deprecated. Single-GPU K-FAC: factors and inverses all local."""
+    warn_deprecated("build_kfac_graph", 'Session(model, profile).plan("KFAC")')
     return _build_graph(
         spec, profile, num_ranks=1, kfac=True, factor_strategy=None, placement_name="non_dist"
     )
 
 
 def build_dkfac_graph(spec: ModelSpec, profile: ClusterPerfProfile) -> TaskGraph:
-    """D-KFAC baseline: bulk factor aggregation, all inverses local [22]."""
+    """Deprecated. D-KFAC baseline: bulk aggregation, all inverses local."""
+    warn_deprecated("build_dkfac_graph", 'Session(model, profile).plan("D-KFAC")')
     return _build_graph(
         spec,
         profile,
@@ -381,7 +441,8 @@ def build_dkfac_graph(spec: ModelSpec, profile: ClusterPerfProfile) -> TaskGraph
 
 
 def build_mpd_kfac_graph(spec: ModelSpec, profile: ClusterPerfProfile) -> TaskGraph:
-    """MPD-KFAC: bulk factor aggregation, round-robin inverses + broadcasts."""
+    """Deprecated. MPD-KFAC: bulk aggregation, round-robin inverses."""
+    warn_deprecated("build_mpd_kfac_graph", 'Session(model, profile).plan("MPD-KFAC")')
     return _build_graph(
         spec,
         profile,
@@ -398,12 +459,17 @@ def build_spd_kfac_graph(
     pipelining: bool = True,
     lbp: bool = True,
 ) -> TaskGraph:
-    """SPD-KFAC (the paper), with ablation switches (Table IV).
+    """Deprecated. SPD-KFAC (the paper), with ablation switches (Table IV).
 
     ``pipelining=False`` falls back to bulk factor aggregation
     (-Pipe...); ``lbp=False`` falls back to sequential inverse placement
     (...-LBP).  Defaults give +Pipe+LBP.
     """
+    warn_deprecated(
+        "build_spd_kfac_graph",
+        'Session(model, profile).plan("SPD-KFAC") '
+        "(ablate with strategy.but(factor_fusion=..., placement=...))",
+    )
     return _build_graph(
         spec,
         profile,
@@ -417,8 +483,13 @@ def build_spd_kfac_graph(
 def build_factor_pipeline_graph(
     spec: ModelSpec, profile: ClusterPerfProfile, strategy: FactorCommStrategy
 ) -> TaskGraph:
-    """Graph for the Fig. 10 comparison: full iteration minus the inverse
-    stage, so FactorComp/FactorComm are isolated from placement effects."""
+    """Deprecated. Fig. 10 comparison graph: full iteration minus the
+    inverse stage, so FactorComp/FactorComm are isolated from placement
+    effects.  Express as a strategy with ``include_solve=False``."""
+    warn_deprecated(
+        "build_factor_pipeline_graph",
+        "Session(model, profile).plan(strategy.but(include_solve=False))",
+    )
     return _build_graph(
         spec,
         profile,

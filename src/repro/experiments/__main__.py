@@ -1,10 +1,14 @@
-"""CLI: ``python -m repro.experiments [ids...|all|report]``.
+"""CLI: ``python -m repro.experiments [ids...|all|report]`` and
+``python -m repro.experiments plan <model> <strategy>``.
 
 Examples::
 
     python -m repro.experiments tab3 fig12
     python -m repro.experiments all
     python -m repro.experiments report   # regenerate EXPERIMENTS.md body
+    python -m repro.experiments plan ResNet-50 SPD-KFAC
+    python -m repro.experiments plan ResNet-152 MPD-KFAC --gpus 16 --json plan.json
+    python -m repro.experiments plan --list-strategies
 """
 
 from __future__ import annotations
@@ -16,7 +20,86 @@ from repro.experiments.base import EXPERIMENTS, get_experiment
 from repro.experiments.report import render_report
 
 
+def _plan_main(argv) -> int:
+    from repro.models.catalog import PAPER_MODELS
+    from repro.plan import COLLECTIVE_ALGORITHMS, Session, strategy_registry
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments plan",
+        description="Resolve and print a training plan for one model x strategy.",
+    )
+    parser.add_argument(
+        "model", nargs="?", help=f"model name ({', '.join(PAPER_MODELS)})"
+    )
+    parser.add_argument(
+        "strategy",
+        nargs="?",
+        help=f"strategy name ({', '.join(strategy_registry.names())})",
+    )
+    parser.add_argument(
+        "--gpus", type=int, default=None,
+        help="cluster size (default: the paper's 64-GPU testbed)",
+    )
+    parser.add_argument(
+        "--collective", choices=COLLECTIVE_ALGORITHMS, default=None,
+        help=(
+            "collective algorithm: models the cluster as a flat topology of "
+            "--gpus GPUs on the paper's fabric and derives the cost profile "
+            "with this algorithm (default: the paper's calibrated profile)"
+        ),
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also serialize the plan (losslessly) to PATH",
+    )
+    parser.add_argument(
+        "--list-strategies", action="store_true",
+        help="list registered strategies and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_strategies:
+        for name, strategy in strategy_registry.items():
+            print(strategy.describe())
+        return 0
+    if args.model is None or args.strategy is None:
+        parser.error("model and strategy are required (or use --list-strategies)")
+
+    try:
+        strategy = strategy_registry[args.strategy]
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    # A profile-backed session ignores the collective axis (the profile
+    # already encodes its collectives), so --collective switches to a
+    # topology-backed session over a flat cluster of the same size.
+    if args.collective is not None:
+        from repro.topo import flat
+
+        strategy = strategy.but(collective=args.collective)
+        cluster = flat(args.gpus if args.gpus is not None else 64)
+    else:
+        cluster = args.gpus
+
+    try:
+        session = Session(args.model, cluster)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    plan = session.plan(strategy)
+    print(plan.summary())
+    if args.json:
+        plan.save(args.json)
+        print(f"plan written to {args.json}")
+    return 0
+
+
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "plan":
+        return _plan_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Reproduce the paper's tables and figures.",
@@ -24,7 +107,10 @@ def main(argv=None) -> int:
     parser.add_argument(
         "ids",
         nargs="+",
-        help=f"experiment ids ({', '.join(EXPERIMENTS)}), 'all', or 'report'",
+        help=(
+            f"experiment ids ({', '.join(EXPERIMENTS)}), 'all', 'report', or "
+            "'plan <model> <strategy>' (see 'plan --help')"
+        ),
     )
     args = parser.parse_args(argv)
 

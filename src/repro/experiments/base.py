@@ -2,20 +2,13 @@
 
 from __future__ import annotations
 
-import functools
 import importlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.schedule import (
-    IterationResult,
-    build_dkfac_graph,
-    build_mpd_kfac_graph,
-    build_spd_kfac_graph,
-    run_iteration,
-)
-from repro.models import get_model_spec
+from repro.core.schedule import IterationResult
 from repro.perf import ClusterPerfProfile, paper_cluster_profile
+from repro.plan import Session
 
 #: Experiment id -> module path; order matches the paper's presentation.
 EXPERIMENTS: Dict[str, str] = {
@@ -111,28 +104,18 @@ def resolve_profile(profile: Optional[ClusterPerfProfile]) -> ClusterPerfProfile
     return profile if profile is not None else paper_cluster_profile()
 
 
-@functools.lru_cache(maxsize=None)
-def _cached_variant_results(model_name: str) -> Dict[str, IterationResult]:
-    """D/MPD/SPD iteration results on the paper profile (shared by
-    tab3, fig9 and fig13 to avoid re-simulating)."""
-    spec = get_model_spec(model_name)
-    profile = paper_cluster_profile()
-    return {
-        "D-KFAC": run_iteration(build_dkfac_graph(spec, profile), "D-KFAC", model_name),
-        "MPD-KFAC": run_iteration(build_mpd_kfac_graph(spec, profile), "MPD-KFAC", model_name),
-        "SPD-KFAC": run_iteration(build_spd_kfac_graph(spec, profile), "SPD-KFAC", model_name),
-    }
+#: The three distributed K-FAC variants every comparison prices.
+VARIANT_NAMES = ("D-KFAC", "MPD-KFAC", "SPD-KFAC")
 
 
 def variant_results(
     model_name: str, profile: Optional[ClusterPerfProfile] = None
 ) -> Dict[str, IterationResult]:
-    """D/MPD/SPD results for one model (cached for the default profile)."""
-    if profile is None:
-        return _cached_variant_results(model_name)
-    spec = get_model_spec(model_name)
-    return {
-        "D-KFAC": run_iteration(build_dkfac_graph(spec, profile), "D-KFAC", model_name),
-        "MPD-KFAC": run_iteration(build_mpd_kfac_graph(spec, profile), "MPD-KFAC", model_name),
-        "SPD-KFAC": run_iteration(build_spd_kfac_graph(spec, profile), "SPD-KFAC", model_name),
-    }
+    """D/MPD/SPD results for one model.
+
+    Memoization lives in the shared :mod:`repro.plan` Session cache,
+    keyed on (model, strategy, profile) — tab3, fig9 and fig13 all hit
+    the same entries instead of re-simulating per experiment.
+    """
+    session = Session(model_name, resolve_profile(profile))
+    return session.compare(*VARIANT_NAMES)

@@ -13,15 +13,9 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.core.schedule import (
-    build_dkfac_graph,
-    build_mpd_kfac_graph,
-    build_spd_kfac_graph,
-    run_iteration,
-)
 from repro.experiments.base import ExperimentResult
-from repro.models import get_model_spec
-from repro.perf import ClusterPerfProfile, scaled_cluster_profile
+from repro.perf import ClusterPerfProfile
+from repro.plan import Session
 
 DEFAULT_CLUSTER_SIZES = (4, 8, 16, 32, 64, 128)
 
@@ -33,17 +27,16 @@ def run(
 ) -> ExperimentResult:
     """Sweep cluster sizes for one model (default ResNet-50)."""
     del profile  # the sweep constructs its own per-P profiles
-    spec = get_model_spec(model)
     result = ExperimentResult(
         experiment_id="ext_scaling",
         title=f"Extension: {model} iteration time vs cluster size",
         columns=("GPUs", "D-KFAC", "MPD-KFAC", "SPD-KFAC", "SP1", "SP2"),
     )
     for num_gpus in cluster_sizes:
-        p = scaled_cluster_profile(num_gpus)
-        d = run_iteration(build_dkfac_graph(spec, p), "D-KFAC", model).iteration_time
-        m = run_iteration(build_mpd_kfac_graph(spec, p), "MPD-KFAC", model).iteration_time
-        s = run_iteration(build_spd_kfac_graph(spec, p), "SPD-KFAC", model).iteration_time
+        session = Session(model, num_gpus)
+        d = session.simulate("D-KFAC").iteration_time
+        m = session.simulate("MPD-KFAC").iteration_time
+        s = session.simulate("SPD-KFAC").iteration_time
         result.rows.append(
             {"GPUs": num_gpus, "D-KFAC": d, "MPD-KFAC": m, "SPD-KFAC": s,
              "SP1": d / s, "SP2": m / s}

@@ -15,10 +15,9 @@ from __future__ import annotations
 
 from typing import Optional, Sequence, Tuple
 
-from repro.core.schedule import build_dkfac_graph, build_spd_kfac_graph, run_iteration
 from repro.experiments.base import ExperimentResult
-from repro.models import get_model_spec
-from repro.perf import ClusterPerfProfile, topology_profile
+from repro.perf import ClusterPerfProfile
+from repro.plan import Session, strategy_registry
 from repro.topo import ClusterTopology, flat, heterogeneous, multi_node, multi_rack
 
 ALGORITHM_NAMES = ("ring", "tree", "hierarchical")
@@ -44,7 +43,6 @@ def run(
 ) -> ExperimentResult:
     """Sweep topologies x algorithms; simulate D-KFAC and SPD-KFAC on each."""
     del profile  # each cell derives its own profile from the topology
-    spec = get_model_spec(model)
     scenarios = tuple(scenarios) if scenarios is not None else default_scenarios()
     result = ExperimentResult(
         experiment_id="ext_topology",
@@ -53,17 +51,21 @@ def run(
     )
     times = {}
     for topo in scenarios:
+        session = Session(model, topo)
         for algorithm in ALGORITHM_NAMES:
-            p = topology_profile(topo, algorithm)
-            d = run_iteration(build_dkfac_graph(spec, p), "D-KFAC", model).iteration_time
-            s = run_iteration(build_spd_kfac_graph(spec, p), "SPD-KFAC", model).iteration_time
+            # The collective axis of the strategy picks the algorithm the
+            # topology-derived cost profile is built with.
+            dkfac = strategy_registry["D-KFAC"].but(collective=algorithm)
+            spd = strategy_registry["SPD-KFAC"].but(collective=algorithm)
+            d = session.simulate(dkfac).iteration_time
+            s = session.simulate(spd).iteration_time
             times[(topo.name, algorithm)] = s
             result.rows.append(
                 {
                     "topology": topo.name,
                     "GPUs": topo.world_size,
                     "algorithm": algorithm,
-                    "ar_beta(ns/elem)": p.allreduce.beta * 1e9,
+                    "ar_beta(ns/elem)": session.profile_for(spd).allreduce.beta * 1e9,
                     "D-KFAC(s)": d,
                     "SPD-KFAC(s)": s,
                 }

@@ -13,39 +13,24 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.core.schedule import (
-    build_dkfac_graph,
-    build_kfac_graph,
-    build_mpd_kfac_graph,
-    build_sgd_graph,
-    build_ssgd_graph,
-    run_iteration,
-)
 from repro.experiments.base import ExperimentResult, resolve_profile
-from repro.models import get_model_spec
 from repro.perf import ClusterPerfProfile
+from repro.plan import Session
 from repro.sim.timeline import PAPER_CATEGORIES
 
-BUILDERS = (
-    ("SGD", build_sgd_graph),
-    ("S-SGD", build_ssgd_graph),
-    ("KFAC", build_kfac_graph),
-    ("D-KFAC", build_dkfac_graph),
-    ("MPD-KFAC", build_mpd_kfac_graph),
-)
+SCHEMES = ("SGD", "S-SGD", "KFAC", "D-KFAC", "MPD-KFAC")
 
 
 def run(profile: Optional[ClusterPerfProfile] = None) -> ExperimentResult:
     """Simulate the five schemes on ResNet-50 and report stacked breakdowns."""
-    profile = resolve_profile(profile)
-    spec = get_model_spec("ResNet-50")
+    session = Session("ResNet-50", resolve_profile(profile))
     result = ExperimentResult(
         experiment_id="fig2",
         title="Fig. 2: ResNet-50 iteration breakdowns (seconds)",
         columns=("scheme", "total", *PAPER_CATEGORIES),
     )
-    for name, builder in BUILDERS:
-        res = run_iteration(builder(spec, profile), name, spec.name)
+    for name in SCHEMES:
+        res = session.simulate(name)
         row = {"scheme": name, "total": res.iteration_time}
         row.update(res.categories())
         result.rows.append(row)

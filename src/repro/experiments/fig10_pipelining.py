@@ -9,37 +9,43 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.core.pipeline import FactorCommStrategy
-from repro.core.schedule import build_factor_pipeline_graph, run_iteration
 from repro.experiments.base import (
     PAPER_MODEL_NAMES,
     ExperimentResult,
     resolve_profile,
 )
-from repro.models import get_model_spec
 from repro.perf import ClusterPerfProfile
+from repro.plan import Session, strategy_registry
 
-STRATEGY_LABELS = (
-    (FactorCommStrategy.NAIVE, "Naive"),
-    (FactorCommStrategy.LW_NO_TF, "LW w/o TF"),
-    (FactorCommStrategy.LW_TTF, "LW w/ TTF"),
-    (FactorCommStrategy.SP_OTF, "SP w/ OTF"),
+#: (factor_fusion, factor_pipelining) per compared strategy; the solve
+#: stage is dropped (include_solve=False) to isolate the factor pipeline.
+STRATEGY_AXES = (
+    ("Naive", "bulk", False),
+    ("LW w/o TF", "none", True),
+    ("LW w/ TTF", "threshold", True),
+    ("SP w/ OTF", "optimal", True),
 )
 
 
 def run(profile: Optional[ClusterPerfProfile] = None) -> ExperimentResult:
     """FactorComp + non-overlapped FactorComm for each strategy x model."""
     profile = resolve_profile(profile)
+    base = strategy_registry["SPD-KFAC"]
     result = ExperimentResult(
         experiment_id="fig10",
         title="Fig. 10: factor comp/comm pipelining (seconds)",
         columns=("model", "strategy", "FactorComp", "FactorComm", "total"),
     )
     for name in PAPER_MODEL_NAMES:
-        spec = get_model_spec(name)
-        for strategy, label in STRATEGY_LABELS:
-            graph = build_factor_pipeline_graph(spec, profile, strategy)
-            cats = run_iteration(graph, label, name).categories()
+        session = Session(name, profile)
+        for label, fusion, pipelined in STRATEGY_AXES:
+            strategy = base.but(
+                name=label,
+                factor_fusion=fusion,
+                factor_pipelining=pipelined,
+                include_solve=False,
+            )
+            cats = session.simulate(strategy).categories()
             result.rows.append(
                 {
                     "model": name,

@@ -10,14 +10,13 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.core.schedule import build_spd_kfac_graph, run_iteration
 from repro.experiments.base import (
     PAPER_MODEL_NAMES,
     ExperimentResult,
     resolve_profile,
 )
-from repro.models import get_model_spec
 from repro.perf import ClusterPerfProfile
+from repro.plan import Session, strategy_registry
 
 VARIANTS = (
     ("-Pipe-LBP", False, False),
@@ -25,6 +24,18 @@ VARIANTS = (
     ("-Pipe+LBP", False, True),
     ("+Pipe+LBP", True, True),
 )
+
+
+def _variant_strategy(pipe: bool, lbp: bool):
+    """SPD-KFAC with either optimization ablated, one axis at a time."""
+    strategy = strategy_registry["SPD-KFAC"]
+    if not pipe:  # fall back to bulk (D-KFAC-style) factor aggregation
+        strategy = strategy.but(
+            factor_fusion="bulk", factor_pipelining=False, combine_factor_passes=True
+        )
+    if not lbp:  # fall back to sequential (MPD-KFAC-style) placement
+        strategy = strategy.but(placement="seq_dist")
+    return strategy
 
 
 def run(profile: Optional[ClusterPerfProfile] = None) -> ExperimentResult:
@@ -36,11 +47,10 @@ def run(profile: Optional[ClusterPerfProfile] = None) -> ExperimentResult:
         columns=("model", *(label for label, _, __ in VARIANTS), "improvement"),
     )
     for name in PAPER_MODEL_NAMES:
-        spec = get_model_spec(name)
+        session = Session(name, profile)
         row: dict = {"model": name}
         for label, pipe, lbp in VARIANTS:
-            graph = build_spd_kfac_graph(spec, profile, pipelining=pipe, lbp=lbp)
-            row[label] = run_iteration(graph, label, name).iteration_time
+            row[label] = session.simulate(_variant_strategy(pipe, lbp)).iteration_time
         row["improvement"] = row["-Pipe-LBP"] / row["+Pipe+LBP"]
         result.rows.append(row)
     result.notes.append(

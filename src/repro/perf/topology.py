@@ -11,7 +11,10 @@ the paper's calibrated testbed::
     from repro.perf import topology_profile
 
     profile = topology_profile(multi_rack(4, 4, 4), algorithm="hierarchical")
-    graph = build_spd_kfac_graph(resnet50_spec(), profile)
+    plan = Session("ResNet-50", profile).plan("SPD-KFAC")
+
+(or pass the topology itself as the Session's cluster, and let each
+strategy's ``collective`` axis pick the algorithm).
 
 Calibration
 -----------

@@ -1,0 +1,60 @@
+"""Strategy / Plan / Session — the composable planning API.
+
+Three nouns replace the historical per-algorithm ``build_*_graph``
+builders:
+
+* :class:`TrainingStrategy` — every planner axis (gradient reduction,
+  factor fusion + launch mode, inverse placement, collective algorithm)
+  as one frozen dataclass; :data:`strategy_registry` names the paper's
+  schemes (``"SGD"``, ``"S-SGD"``, ``"KFAC"``, ``"D-KFAC"``,
+  ``"MPD-KFAC"``, ``"SPD-KFAC"``) as presets, and
+  :meth:`TrainingStrategy.but` derives arbitrary combinations.
+* :class:`Plan` — the resolved artifact (fusion plans, placement table,
+  task-graph metadata, predicted breakdown) with lossless
+  ``to_json`` / ``from_json``.
+* :class:`Session` — the facade ``Session(model, cluster)`` with
+  ``.plan(strategy)`` and ``.simulate(plan)``, backed by a shared LRU
+  plan/result cache.
+
+Quickstart::
+
+    from repro import Session, strategy_registry
+
+    session = Session("ResNet-50", 64)
+    plan = session.plan("SPD-KFAC")
+    print(session.simulate(plan).iteration_time)
+"""
+
+from repro.plan.strategy import (
+    COLLECTIVE_ALGORITHMS,
+    GRADIENT_REDUCTIONS,
+    StrategyRegistry,
+    TrainingStrategy,
+    strategy_registry,
+)
+from repro.plan.plan import PLAN_FORMAT_VERSION, Plan, count_tasks
+from repro.plan.session import (
+    Session,
+    build_strategy_graph,
+    cache_info,
+    clear_caches,
+    resolve_plan_parts,
+    resolve_strategy,
+)
+
+__all__ = [
+    "TrainingStrategy",
+    "StrategyRegistry",
+    "strategy_registry",
+    "GRADIENT_REDUCTIONS",
+    "COLLECTIVE_ALGORITHMS",
+    "Plan",
+    "PLAN_FORMAT_VERSION",
+    "count_tasks",
+    "Session",
+    "build_strategy_graph",
+    "resolve_plan_parts",
+    "resolve_strategy",
+    "clear_caches",
+    "cache_info",
+]

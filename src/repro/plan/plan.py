@@ -1,0 +1,298 @@
+"""The resolved planning artifact: strategy + cluster -> :class:`Plan`.
+
+A :class:`Plan` is everything the planner decided for one (model,
+cluster, strategy) triple — the factor-communication fusion plan, the
+WFBP gradient buckets, the inverse placement table, task-graph metadata
+and the predicted timing breakdown — in one immutable, comparable
+value.  ``to_json`` / ``from_json`` are lossless (floats survive via
+``repr`` round-tripping), so plans can be cached on disk, diffed in
+review, and re-simulated bit-identically::
+
+    plan = Session("ResNet-50").plan("SPD-KFAC")
+    text = plan.to_json(indent=2)          # diffable artifact
+    again = Plan.from_json(text)
+    assert again == plan                   # lossless
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.fusion import FusionPlan
+from repro.core.pipeline import FactorCommPlan, FactorCommStrategy
+from repro.core.placement import Placement
+from repro.core.schedule import build_graph_from_parts
+from repro.models import get_model_spec
+from repro.models.spec import ModelSpec
+from repro.perf.calibration import ClusterPerfProfile
+from repro.perf.models import (
+    CubicComputeModel,
+    ExpComputeModel,
+    FlopsComputeModel,
+    LinearCommModel,
+)
+from repro.plan.strategy import TrainingStrategy
+from repro.sim import COMM, TaskGraph
+
+PLAN_FORMAT_VERSION = 1
+
+_COST_MODEL_CLASSES = {
+    cls.__name__: cls
+    for cls in (LinearCommModel, ExpComputeModel, CubicComputeModel, FlopsComputeModel)
+}
+
+
+def _cost_model_to_dict(model: object) -> Dict[str, Any]:
+    cls = type(model)
+    registered = _COST_MODEL_CLASSES.get(cls.__name__)
+    if registered is not cls:
+        raise TypeError(
+            f"cannot serialize cost model of type {cls.__qualname__}; "
+            f"serializable families: {sorted(_COST_MODEL_CLASSES)}"
+        )
+    return {"kind": cls.__name__, **{
+        f.name: getattr(model, f.name) for f in dataclasses.fields(cls)
+    }}
+
+
+def _cost_model_from_dict(data: Dict[str, Any]) -> object:
+    kind = data.get("kind")
+    if kind not in _COST_MODEL_CLASSES:
+        raise ValueError(f"unknown cost-model kind {kind!r}")
+    fields = {k: v for k, v in data.items() if k != "kind"}
+    return _COST_MODEL_CLASSES[kind](**fields)
+
+
+def _profile_to_dict(profile: ClusterPerfProfile) -> Dict[str, Any]:
+    out: Dict[str, Any] = {}
+    for f in dataclasses.fields(ClusterPerfProfile):
+        value = getattr(profile, f.name)
+        if f.name in ("num_workers", "fusion_threshold_elements"):
+            out[f.name] = value
+        else:
+            out[f.name] = _cost_model_to_dict(value)
+    return out
+
+
+def _profile_from_dict(data: Dict[str, Any]) -> ClusterPerfProfile:
+    kwargs: Dict[str, Any] = {}
+    for f in dataclasses.fields(ClusterPerfProfile):
+        value = data[f.name]
+        if f.name in ("num_workers", "fusion_threshold_elements"):
+            kwargs[f.name] = value
+        else:
+            kwargs[f.name] = _cost_model_from_dict(value)
+    return ClusterPerfProfile(**kwargs)
+
+
+def _buckets_to_list(plan: FusionPlan) -> list:
+    return [list(bucket) for bucket in plan.buckets]
+
+
+def _buckets_from_list(data: list) -> FusionPlan:
+    return FusionPlan(tuple(tuple(b) for b in data))
+
+
+@dataclass(frozen=True)
+class Plan:
+    """Everything resolved for one (model, cluster, strategy) triple.
+
+    ``predicted_makespan`` / ``predicted_breakdown`` are the simulated
+    iteration time and its six paper categories at planning time;
+    :meth:`build_graph` reconstructs the exact task graph so a loaded
+    plan re-simulates bit-identically.
+    """
+
+    strategy: TrainingStrategy
+    model: str
+    num_ranks: int
+    profile: ClusterPerfProfile
+    grad_plan: Optional[FusionPlan]
+    factor_plan: Optional[FactorCommPlan]
+    placement: Optional[Placement]
+    predicted_makespan: float
+    predicted_breakdown: Tuple[Tuple[str, float], ...]
+    task_counts: Tuple[Tuple[str, int], ...]
+
+    # -- views -------------------------------------------------------------
+
+    def breakdown_dict(self) -> Dict[str, float]:
+        """The predicted paper-category breakdown as a dict."""
+        return dict(self.predicted_breakdown)
+
+    def build_graph(self, spec: Optional[ModelSpec] = None) -> TaskGraph:
+        """Reconstruct the task graph this plan describes.
+
+        ``spec`` is only needed for models outside the paper catalog
+        (e.g. synthetic test specs); it must match :attr:`model`.
+        """
+        if spec is None:
+            spec = get_model_spec(self.model)
+        elif spec.name != self.model:
+            raise ValueError(
+                f"spec {spec.name!r} does not match the plan's model {self.model!r}"
+            )
+        return build_graph_from_parts(
+            spec,
+            self.profile,
+            num_ranks=self.num_ranks,
+            kfac=self.strategy.second_order,
+            fplan=self.factor_plan,
+            grad_plan=self.grad_plan,
+            placement=self.placement,
+            include_solve=self.strategy.include_solve,
+        )
+
+    def summary(self) -> str:
+        """Human-readable multi-line plan report (what the CLI prints)."""
+        lines = [
+            f"plan: {self.model} x {self.strategy.name} "
+            f"({self.num_ranks} rank{'s' if self.num_ranks != 1 else ''})",
+            f"  strategy:   {self.strategy.describe()}",
+        ]
+        if self.grad_plan is not None:
+            lines.append(
+                f"  gradients:  {self.grad_plan.num_buckets} WFBP bucket(s) "
+                f"over {self.grad_plan.num_tensors} layers"
+            )
+        if self.factor_plan is not None:
+            launch = "post-pass" if self.factor_plan.launch_after_pass else "pipelined"
+            merged = " (A+G merged)" if self.factor_plan.combine_passes else ""
+            lines.append(
+                f"  factors:    A in {self.factor_plan.a_plan.num_buckets}, "
+                f"G in {self.factor_plan.g_plan.num_buckets} bucket(s), "
+                f"{launch} launch{merged}"
+            )
+        if self.placement is not None:
+            n = len(self.placement.dims)
+            cts = self.placement.num_cts()
+            lines.append(
+                f"  inverses:   {n} tensors, {cts} CT (broadcast) / "
+                f"{n - cts} NCT (computed everywhere)"
+            )
+        counts = dict(self.task_counts)
+        lines.append(
+            f"  task graph: {counts.get('tasks', 0)} tasks, "
+            f"{counts.get('collectives', 0)} collectives"
+        )
+        lines.append(f"  predicted:  {self.predicted_makespan:.4f} s/iteration")
+        for category, seconds in self.predicted_breakdown:
+            if seconds > 0:
+                lines.append(f"    {category:<12} {seconds:.4f} s")
+        return "\n".join(lines)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": PLAN_FORMAT_VERSION,
+            "strategy": self.strategy.to_dict(),
+            "model": self.model,
+            "num_ranks": self.num_ranks,
+            "profile": _profile_to_dict(self.profile),
+            "grad_plan": (
+                None if self.grad_plan is None else _buckets_to_list(self.grad_plan)
+            ),
+            "factor_plan": (
+                None
+                if self.factor_plan is None
+                else {
+                    "strategy": self.factor_plan.strategy.value,
+                    "a_buckets": _buckets_to_list(self.factor_plan.a_plan),
+                    "g_buckets": _buckets_to_list(self.factor_plan.g_plan),
+                    "launch_after_pass": self.factor_plan.launch_after_pass,
+                    "combine_passes": self.factor_plan.combine_passes,
+                }
+            ),
+            "placement": (
+                None
+                if self.placement is None
+                else {
+                    "num_ranks": self.placement.num_ranks,
+                    "dims": list(self.placement.dims),
+                    "assignments": [list(r) for r in self.placement.assignments],
+                }
+            ),
+            "predicted_makespan": self.predicted_makespan,
+            "predicted_breakdown": [[c, v] for c, v in self.predicted_breakdown],
+            "task_counts": [[k, v] for k, v in self.task_counts],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Plan":
+        version = data.get("version")
+        if version != PLAN_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported plan format version {version!r} "
+                f"(this build reads version {PLAN_FORMAT_VERSION})"
+            )
+        factor = data["factor_plan"]
+        placement = data["placement"]
+        return cls(
+            strategy=TrainingStrategy.from_dict(data["strategy"]),
+            model=data["model"],
+            num_ranks=data["num_ranks"],
+            profile=_profile_from_dict(data["profile"]),
+            grad_plan=(
+                None if data["grad_plan"] is None else _buckets_from_list(data["grad_plan"])
+            ),
+            factor_plan=(
+                None
+                if factor is None
+                else FactorCommPlan(
+                    strategy=FactorCommStrategy(factor["strategy"]),
+                    a_plan=_buckets_from_list(factor["a_buckets"]),
+                    g_plan=_buckets_from_list(factor["g_buckets"]),
+                    launch_after_pass=factor["launch_after_pass"],
+                    combine_passes=factor["combine_passes"],
+                )
+            ),
+            placement=(
+                None
+                if placement is None
+                else Placement(
+                    num_ranks=placement["num_ranks"],
+                    dims=tuple(placement["dims"]),
+                    assignments=tuple(tuple(r) for r in placement["assignments"]),
+                )
+            ),
+            predicted_makespan=data["predicted_makespan"],
+            predicted_breakdown=tuple(
+                (c, v) for c, v in data["predicted_breakdown"]
+            ),
+            task_counts=tuple((k, v) for k, v in data["task_counts"]),
+        )
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Lossless JSON (float repr round-trips exactly)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Plan":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str, indent: Optional[int] = 2) -> None:
+        with open(path, "w") as f:
+            f.write(self.to_json(indent=indent))
+            f.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "Plan":
+        with open(path) as f:
+            return cls.from_json(f.read())
+
+
+def count_tasks(graph: TaskGraph) -> Tuple[Tuple[str, int], ...]:
+    """Task-graph metadata recorded on plans: totals plus per-phase counts."""
+    per_phase: Dict[str, int] = {}
+    collectives = 0
+    for task in graph.tasks:
+        per_phase[task.phase.name] = per_phase.get(task.phase.name, 0) + 1
+        if task.kind == COMM:
+            collectives += 1
+    items = [("tasks", len(graph.tasks)), ("collectives", collectives)]
+    items.extend(sorted(per_phase.items()))
+    return tuple(items)

@@ -1,0 +1,319 @@
+"""The Session facade: ``Session(model, cluster).plan(strategy)``.
+
+A :class:`Session` binds a model to a cluster description and turns
+declarative :class:`~repro.plan.strategy.TrainingStrategy` values into
+resolved :class:`~repro.plan.plan.Plan` artifacts and simulated
+:class:`~repro.core.schedule.IterationResult` timelines::
+
+    from repro import Session
+
+    session = Session("ResNet-50", 64)           # model x cluster
+    plan = session.plan("SPD-KFAC")              # resolved, serializable
+    result = session.simulate(plan)              # discrete-event simulated
+
+``cluster`` may be ``None`` (the paper's 64-GPU testbed), an ``int``
+(the paper's fabric rescaled to that many GPUs), any
+:class:`~repro.perf.ClusterPerfProfile`, or a
+:class:`~repro.topo.ClusterTopology` — in which case each strategy's
+``collective`` axis picks the collective algorithm the profile is
+derived with.
+
+Plans and results are memoized in module-level LRU caches keyed on
+``(model spec, strategy, profile)`` and shared across Session
+instances, so sweeps that revisit the same cell (tab3/fig9/fig13 all
+price SPD-KFAC on the paper profile) simulate it once.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple, Union
+
+from repro.core.fusion import plan_bulk
+from repro.core.pipeline import factor_comm_plan_for, gradient_fusion_plan
+from repro.core.schedule import (
+    IterationResult,
+    build_graph_from_parts,
+    resolve_placement,
+    run_iteration,
+)
+from repro.models import get_model_spec
+from repro.models.spec import ModelSpec
+from repro.perf import (
+    ClusterPerfProfile,
+    paper_cluster_profile,
+    scaled_cluster_profile,
+    topology_profile,
+)
+from repro.plan.plan import Plan, count_tasks
+from repro.plan.strategy import TrainingStrategy, strategy_registry
+from repro.topo import ClusterTopology
+
+ClusterLike = Union[None, int, ClusterPerfProfile, ClusterTopology]
+
+_CACHE_MAXSIZE = 128
+_CacheKey = Tuple[ModelSpec, TrainingStrategy, ClusterPerfProfile]
+#: One atomic (plan, result) entry per key: planning and simulation are
+#: memoized together so eviction can never leave one without the other.
+_CACHE: "OrderedDict[_CacheKey, Tuple[Plan, IterationResult]]" = OrderedDict()
+_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def clear_caches() -> None:
+    """Drop all memoized plans and simulation results."""
+    _CACHE.clear()
+    _CACHE_STATS["hits"] = 0
+    _CACHE_STATS["misses"] = 0
+
+
+def cache_info() -> Dict[str, int]:
+    """Hit/miss/size counters of the shared plan cache."""
+    return {
+        "hits": _CACHE_STATS["hits"],
+        "misses": _CACHE_STATS["misses"],
+        "entries": len(_CACHE),
+        "maxsize": _CACHE_MAXSIZE,
+    }
+
+
+def _cache_get(key: _CacheKey):
+    value = _CACHE.get(key)
+    if value is not None:
+        _CACHE.move_to_end(key)
+    return value
+
+
+def _cache_put(key: _CacheKey, value: Tuple[Plan, IterationResult]) -> None:
+    _CACHE[key] = value
+    _CACHE.move_to_end(key)
+    while len(_CACHE) > _CACHE_MAXSIZE:
+        _CACHE.popitem(last=False)
+
+
+def resolve_strategy(strategy: Union[str, TrainingStrategy]) -> TrainingStrategy:
+    """Accept a registry name or a strategy value."""
+    if isinstance(strategy, TrainingStrategy):
+        return strategy
+    if isinstance(strategy, str):
+        return strategy_registry[strategy]
+    raise TypeError(
+        f"expected a strategy name or TrainingStrategy, got {type(strategy).__name__}"
+    )
+
+
+def resolve_plan_parts(
+    spec: ModelSpec, profile: ClusterPerfProfile, strategy: TrainingStrategy
+):
+    """Resolve a strategy's axes into the builder's planning parts.
+
+    Returns ``(num_ranks, grad_plan, fplan, placement)`` — exactly the
+    inputs of :func:`repro.core.schedule.build_graph_from_parts`.
+    """
+    num_ranks = profile.num_workers if strategy.distributed else 1
+    distributed = num_ranks > 1
+    kfac = strategy.second_order
+
+    grad_plan = None
+    if distributed and strategy.gradient_reduction != "none":
+        if strategy.gradient_reduction == "wfbp":
+            grad_plan = gradient_fusion_plan(spec, profile)
+        else:  # "bulk": one all-reduce launched after the backward pass
+            grad_plan = plan_bulk(len(spec.layers))
+
+    fplan = None
+    if kfac and distributed:
+        fplan = factor_comm_plan_for(
+            spec,
+            profile,
+            fusion=strategy.factor_fusion,
+            pipelined=strategy.factor_pipelining,
+            combine_passes=strategy.combine_factor_passes,
+            # The optimal G-pass planner shares the channel with the WFBP
+            # buckets by default; pass the actual plan when it differs.
+            grad_plan=None if strategy.gradient_reduction == "wfbp" else grad_plan,
+        )
+
+    placement = None
+    if kfac and strategy.include_solve:
+        placement = resolve_placement(strategy.placement, spec, profile, num_ranks)
+
+    return num_ranks, grad_plan, fplan, placement
+
+
+def build_strategy_graph(
+    spec: ModelSpec, profile: ClusterPerfProfile, strategy: Union[str, TrainingStrategy]
+):
+    """Uncached strategy -> task graph (the Session's building block)."""
+    strategy = resolve_strategy(strategy)
+    num_ranks, grad_plan, fplan, placement = resolve_plan_parts(spec, profile, strategy)
+    return build_graph_from_parts(
+        spec,
+        profile,
+        num_ranks=num_ranks,
+        kfac=strategy.second_order,
+        fplan=fplan,
+        grad_plan=grad_plan,
+        placement=placement,
+        include_solve=strategy.include_solve,
+    )
+
+
+class Session:
+    """Planning facade for one model on one cluster."""
+
+    def __init__(self, model: Union[str, ModelSpec], cluster: ClusterLike = None):
+        self._spec = model if isinstance(model, ModelSpec) else get_model_spec(model)
+        self._topology: Optional[ClusterTopology] = None
+        self._profile: Optional[ClusterPerfProfile] = None
+        self._topology_profiles: Dict[str, ClusterPerfProfile] = {}
+        if cluster is None:
+            self._profile = paper_cluster_profile()
+        elif isinstance(cluster, bool):
+            raise TypeError("cluster must not be a bool")
+        elif isinstance(cluster, int):
+            self._profile = scaled_cluster_profile(cluster)
+        elif isinstance(cluster, ClusterPerfProfile):
+            self._profile = cluster
+        elif isinstance(cluster, ClusterTopology):
+            self._topology = cluster
+        else:
+            raise TypeError(
+                "cluster must be None, a GPU count, a ClusterPerfProfile, or a "
+                f"ClusterTopology; got {type(cluster).__name__}"
+            )
+
+    @property
+    def spec(self) -> ModelSpec:
+        return self._spec
+
+    @property
+    def model(self) -> str:
+        return self._spec.name
+
+    @property
+    def topology(self) -> Optional[ClusterTopology]:
+        return self._topology
+
+    def profile_for(self, strategy: Union[str, TrainingStrategy]) -> ClusterPerfProfile:
+        """The cost profile a strategy runs under in this session.
+
+        For topology-backed sessions the strategy's ``collective`` axis
+        selects the collective algorithm; profile-backed sessions ignore
+        it (the profile already encodes its collectives).
+        """
+        strategy = resolve_strategy(strategy)
+        if self._topology is None:
+            assert self._profile is not None
+            return self._profile
+        profile = self._topology_profiles.get(strategy.collective)
+        if profile is None:
+            profile = topology_profile(self._topology, strategy.collective)
+            self._topology_profiles[strategy.collective] = profile
+        return profile
+
+    def _plan_and_result(
+        self, strategy: TrainingStrategy
+    ) -> Tuple[Plan, IterationResult]:
+        profile = self.profile_for(strategy)
+        key = (self._spec, strategy, profile)
+        cached = _cache_get(key)
+        if cached is not None:
+            _CACHE_STATS["hits"] += 1
+            return cached
+        _CACHE_STATS["misses"] += 1
+
+        num_ranks, grad_plan, fplan, placement = resolve_plan_parts(
+            self._spec, profile, strategy
+        )
+        graph = build_graph_from_parts(
+            self._spec,
+            profile,
+            num_ranks=num_ranks,
+            kfac=strategy.second_order,
+            fplan=fplan,
+            grad_plan=grad_plan,
+            placement=placement,
+            include_solve=strategy.include_solve,
+        )
+        result = run_iteration(graph, strategy.name, self._spec.name)
+        plan = Plan(
+            strategy=strategy,
+            model=self._spec.name,
+            num_ranks=num_ranks,
+            profile=profile,
+            grad_plan=grad_plan,
+            factor_plan=fplan,
+            placement=placement,
+            predicted_makespan=result.iteration_time,
+            predicted_breakdown=tuple(result.categories().items()),
+            task_counts=count_tasks(graph),
+        )
+        _cache_put(key, (plan, result))
+        return plan, result
+
+    def plan(self, strategy: Union[str, TrainingStrategy]) -> Plan:
+        """Resolve (and memoize) the plan for ``strategy`` on this cluster."""
+        return self._plan_and_result(resolve_strategy(strategy))[0]
+
+    def simulate(
+        self, plan_or_strategy: Union[str, TrainingStrategy, Plan]
+    ) -> IterationResult:
+        """Simulate one iteration of a plan (or of a strategy's plan)."""
+        if isinstance(plan_or_strategy, Plan):
+            plan = plan_or_strategy
+            if plan.model != self._spec.name:
+                raise ValueError(
+                    f"plan is for model {plan.model!r}; this session holds "
+                    f"{self._spec.name!r}"
+                )
+            if plan.profile != self.profile_for(plan.strategy):
+                raise ValueError(
+                    f"plan was resolved for a {plan.num_ranks}-worker cluster "
+                    "whose cost profile differs from this session's; create a "
+                    "Session for the plan's cluster (e.g. "
+                    f"Session({self._spec.name!r}, {plan.num_ranks})) or "
+                    "simulate plan.build_graph() directly"
+                )
+            key = (self._spec, plan.strategy, plan.profile)
+            cached = _cache_get(key)
+            # The cached result only stands in for this plan if the plan
+            # *values* match — a hand-edited or replaced Plan with the
+            # same (strategy, profile) must re-simulate its own parts.
+            if cached is not None and cached[0] == plan:
+                _CACHE_STATS["hits"] += 1
+                return cached[1]
+            _CACHE_STATS["misses"] += 1
+            graph = plan.build_graph(self._spec)
+            result = run_iteration(graph, plan.strategy.name, self._spec.name)
+            # Not cached under the strategy key: only plans this Session
+            # resolved itself are canonical for (strategy, profile), and a
+            # foreign plan's parts may differ from what resolution gives.
+            return result
+        return self._plan_and_result(resolve_strategy(plan_or_strategy))[1]
+
+    def compare(
+        self, *strategies: Union[str, TrainingStrategy]
+    ) -> Dict[str, IterationResult]:
+        """Simulate several strategies; returns {strategy name: result}.
+
+        Names must be unique — ``.but()`` preserves the base name, so
+        rename derived variants (``spd.but(name="SPD-eager", ...)``)
+        before comparing them against their base.
+        """
+        results: Dict[str, IterationResult] = {}
+        for strategy in strategies:
+            resolved = resolve_strategy(strategy)
+            if resolved.name in results:
+                raise ValueError(
+                    f"duplicate strategy name {resolved.name!r} in compare(); "
+                    "give variants distinct names with .but(name=...)"
+                )
+            results[resolved.name] = self.simulate(resolved)
+        return results
+
+    def __repr__(self) -> str:
+        if self._topology is not None:
+            cluster = f"topology={self._topology.name!r}"
+        else:
+            cluster = f"num_workers={self._profile.num_workers}"
+        return f"Session(model={self._spec.name!r}, {cluster})"

@@ -1,0 +1,299 @@
+"""Declarative training strategies: every planner axis as data.
+
+SPD-KFAC is a *composition* of independent design choices — how
+gradients are reduced, how Kronecker factors are fused and when their
+all-reduces launch, where the matrix inverses run, which collective
+algorithm the cluster uses.  :class:`TrainingStrategy` captures each
+choice as a field of a frozen dataclass, so "an algorithm" becomes a
+value that can be stored, compared, serialized, swept over, and tweaked
+one axis at a time::
+
+    from repro.plan import strategy_registry
+
+    spd = strategy_registry["SPD-KFAC"]
+    eager = spd.but(factor_pipelining=False)        # SPD fusion, no overlap
+    tree = spd.but(collective="tree")               # same plan, tree all-reduce
+
+:data:`strategy_registry` names the paper's six training schemes (SGD,
+S-SGD, KFAC, D-KFAC, MPD-KFAC, SPD-KFAC) as presets; arbitrary
+combinations — including ones the old per-algorithm builders could not
+express — are one :meth:`TrainingStrategy.but` call away.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.distributed import InverseStrategy
+from repro.core.pipeline import FACTOR_FUSION_POLICIES, FactorCommStrategy, _CANONICAL_AXES
+from repro.core.schedule import PLACEMENT_STRATEGIES
+
+#: How gradients are synchronized each iteration.
+GRADIENT_REDUCTIONS = ("none", "wfbp", "bulk")
+
+#: Collective-algorithm choices (only consulted when the Session's
+#: cluster is a :class:`repro.topo.ClusterTopology`; a plain profile
+#: already encodes its collectives).
+COLLECTIVE_ALGORITHMS = ("auto", "ring", "tree", "hierarchical")
+
+
+def _check_choice(field_name: str, value: object, options: Tuple[str, ...]) -> None:
+    if value not in options:
+        raise ValueError(
+            f"invalid TrainingStrategy.{field_name} {value!r}; options: {options}"
+        )
+
+
+@dataclass(frozen=True)
+class TrainingStrategy:
+    """One point in the distributed-training design space.
+
+    ================== ====================================================
+    ``second_order``    K-FAC preconditioning on/off (off = plain SGD)
+    ``distributed``     run on the whole cluster vs a single device
+    ``gradient_reduction``  ``"wfbp"`` (threshold-fused all-reduce during
+                        backward), ``"bulk"`` (one all-reduce after
+                        backward), or ``"none"`` (single device)
+    ``factor_fusion``   bucket partition for factor all-reduces:
+                        ``"bulk"`` / ``"none"`` / ``"threshold"`` /
+                        ``"optimal"`` (the paper's Eq. 15 plan)
+    ``factor_pipelining``  launch each bucket the moment its last factor
+                        is computed (overlapping compute) vs eagerly
+                        after the whole pass
+    ``combine_factor_passes``  merge the A and G passes into a single
+                        post-backward all-reduce (D-KFAC's bulk mode)
+    ``placement``       inverse placement policy: ``"non_dist"`` /
+                        ``"seq_dist"`` / ``"balanced"`` / ``"lbp"``
+                        (Algorithm 1); :attr:`inverse_strategy` exposes
+                        the same choice as the numeric optimizer's
+                        :class:`~repro.core.distributed.InverseStrategy`
+    ``include_solve``   ``False`` drops the inverse/precondition stage to
+                        isolate the factor pipeline (Fig. 10)
+    ``collective``      collective algorithm on modeled topologies:
+                        ``"auto"`` / ``"ring"`` / ``"tree"`` /
+                        ``"hierarchical"``
+    ================== ====================================================
+    """
+
+    name: str = "custom"
+    second_order: bool = True
+    distributed: bool = True
+    gradient_reduction: str = "wfbp"
+    factor_fusion: str = "optimal"
+    factor_pipelining: bool = True
+    combine_factor_passes: bool = False
+    placement: str = "lbp"
+    include_solve: bool = True
+    collective: str = "auto"
+
+    def __post_init__(self) -> None:
+        _check_choice("gradient_reduction", self.gradient_reduction, GRADIENT_REDUCTIONS)
+        _check_choice("factor_fusion", self.factor_fusion, FACTOR_FUSION_POLICIES)
+        _check_choice("placement", self.placement, PLACEMENT_STRATEGIES)
+        _check_choice("collective", self.collective, COLLECTIVE_ALGORITHMS)
+        if self.distributed and self.gradient_reduction == "none":
+            raise ValueError(
+                "distributed training must reduce gradients; pick "
+                "gradient_reduction='wfbp' or 'bulk' (or distributed=False)"
+            )
+        if not self.distributed and self.gradient_reduction != "none":
+            raise ValueError(
+                "single-device training has no gradients to reduce; use "
+                "gradient_reduction='none'"
+            )
+        if not self.distributed and self.second_order and self.placement != "non_dist":
+            raise ValueError(
+                "single-device K-FAC cannot distribute inverse workloads; "
+                "use placement='non_dist'"
+            )
+        if self.combine_factor_passes and (
+            self.factor_fusion != "bulk" or self.factor_pipelining
+        ):
+            raise ValueError(
+                "combine_factor_passes merges A and G into one post-backward "
+                "all-reduce; it requires factor_fusion='bulk' and "
+                "factor_pipelining=False"
+            )
+        if not self.second_order and not self.include_solve:
+            raise ValueError(
+                "include_solve=False isolates the K-FAC inverse stage and is "
+                "meaningless for first-order strategies"
+            )
+
+    # -- derived views -----------------------------------------------------
+
+    @property
+    def inverse_strategy(self) -> InverseStrategy:
+        """The numeric optimizer's enum for this placement policy."""
+        return InverseStrategy(self.placement)
+
+    @property
+    def factor_comm_strategy(self) -> Optional[FactorCommStrategy]:
+        """The named Fig. 10 strategy these factor axes coincide with,
+        or ``None`` for custom combinations (or first-order training)."""
+        if not self.second_order or not self.distributed:
+            return None
+        return _CANONICAL_AXES.get(
+            (self.factor_fusion, self.factor_pipelining, self.combine_factor_passes)
+        )
+
+    def but(self, **overrides: object) -> "TrainingStrategy":
+        """A copy with some axes replaced (name preserved unless given)."""
+        return dataclasses.replace(self, **overrides)
+
+    def describe(self) -> str:
+        """One-line human summary of every axis."""
+        if not self.second_order:
+            order = "first-order"
+            factors = "no factors"
+        else:
+            order = "second-order (K-FAC)"
+            launch = "pipelined" if self.factor_pipelining else "post-pass"
+            combined = "+combined-passes" if self.combine_factor_passes else ""
+            factors = (
+                f"factors={self.factor_fusion}/{launch}{combined}, "
+                f"placement={self.placement}"
+            )
+            if not self.include_solve:
+                factors += ", solve-stage off"
+        scope = "distributed" if self.distributed else "single-device"
+        return (
+            f"{self.name}: {order}, {scope}, grad={self.gradient_reduction}, "
+            f"{factors}, collective={self.collective}"
+        )
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "TrainingStrategy":
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown TrainingStrategy fields: {sorted(unknown)}")
+        return cls(**data)
+
+
+class StrategyRegistry:
+    """Named training strategies, looked up case/spelling-insensitively.
+
+    ``registry["SPD-KFAC"]``, ``registry["spd_kfac"]`` and
+    ``registry["spd kfac"]`` all resolve to the same preset.  Iteration
+    yields canonical display names in registration order.
+    """
+
+    def __init__(self) -> None:
+        self._strategies: Dict[str, TrainingStrategy] = {}
+        self._display: List[str] = []
+
+    @staticmethod
+    def _normalize(name: str) -> str:
+        return name.strip().lower().replace("_", "-").replace(" ", "-")
+
+    def register(self, strategy: TrainingStrategy, *aliases: str) -> TrainingStrategy:
+        """Register ``strategy`` under its name plus any ``aliases``."""
+        keys = [self._normalize(label) for label in (strategy.name, *aliases)]
+        # Validate every key (collisions with the registry *and* within
+        # this call) before mutating, so a failed registration leaves the
+        # registry untouched.
+        seen = set()
+        for label, key in zip((strategy.name, *aliases), keys):
+            if key in self._strategies or key in seen:
+                raise ValueError(f"strategy name {label!r} already registered")
+            seen.add(key)
+        for key in keys:
+            self._strategies[key] = strategy
+        self._display.append(strategy.name)
+        return strategy
+
+    def __getitem__(self, name: str) -> TrainingStrategy:
+        key = self._normalize(name)
+        if key not in self._strategies:
+            raise KeyError(
+                f"unknown strategy {name!r}; registered: {self.names()}"
+            )
+        return self._strategies[key]
+
+    def __contains__(self, name: str) -> bool:
+        return self._normalize(name) in self._strategies
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._display)
+
+    def __len__(self) -> int:
+        return len(self._display)
+
+    def names(self) -> Tuple[str, ...]:
+        """Canonical display names in registration order."""
+        return tuple(self._display)
+
+    def items(self) -> Iterator[Tuple[str, TrainingStrategy]]:
+        for name in self._display:
+            yield name, self[name]
+
+
+#: The paper's six training schemes as presets (Fig. 1 / Fig. 2).
+strategy_registry = StrategyRegistry()
+
+strategy_registry.register(
+    TrainingStrategy(
+        name="SGD",
+        second_order=False,
+        distributed=False,
+        gradient_reduction="none",
+        placement="non_dist",
+    )
+)
+strategy_registry.register(
+    TrainingStrategy(
+        name="S-SGD",
+        second_order=False,
+        distributed=True,
+        gradient_reduction="wfbp",
+        placement="non_dist",
+    ),
+    "ssgd",
+)
+strategy_registry.register(
+    TrainingStrategy(
+        name="KFAC",
+        second_order=True,
+        distributed=False,
+        gradient_reduction="none",
+        placement="non_dist",
+    ),
+    "k-fac",
+)
+strategy_registry.register(
+    TrainingStrategy(
+        name="D-KFAC",
+        factor_fusion="bulk",
+        factor_pipelining=False,
+        combine_factor_passes=True,
+        placement="non_dist",
+    ),
+    "dkfac",
+)
+strategy_registry.register(
+    TrainingStrategy(
+        name="MPD-KFAC",
+        factor_fusion="bulk",
+        factor_pipelining=False,
+        combine_factor_passes=True,
+        placement="seq_dist",
+    ),
+    "mpdkfac",
+)
+strategy_registry.register(
+    TrainingStrategy(
+        name="SPD-KFAC",
+        factor_fusion="optimal",
+        factor_pipelining=True,
+        placement="lbp",
+    ),
+    "spdkfac",
+)

@@ -1,5 +1,6 @@
 """Shared utilities: validation helpers, RNG management, formatting."""
 
+from repro.utils.deprecation import ReproDeprecationWarning, warn_deprecated
 from repro.utils.format import human_bytes, human_count, human_time
 from repro.utils.rng import new_rng, spawn_rngs
 from repro.utils.validation import (
@@ -11,6 +12,8 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "ReproDeprecationWarning",
+    "warn_deprecated",
     "human_bytes",
     "human_count",
     "human_time",

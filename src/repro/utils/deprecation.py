@@ -1,0 +1,24 @@
+"""Deprecation plumbing for the public API.
+
+:class:`ReproDeprecationWarning` subclasses :class:`DeprecationWarning`
+so standard filters apply, while letting the test suite (and CI) turn
+*repro's own* deprecations into hard errors without also erroring on
+deprecations raised by third-party libraries.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+
+class ReproDeprecationWarning(DeprecationWarning):
+    """A deprecated repro API was called."""
+
+
+def warn_deprecated(old: str, replacement: str, *, stacklevel: int = 3) -> None:
+    """Emit the standard deprecation message for ``old``."""
+    warnings.warn(
+        f"{old} is deprecated; use {replacement} instead",
+        ReproDeprecationWarning,
+        stacklevel=stacklevel,
+    )

@@ -25,6 +25,7 @@ class TestExamples:
         result = run_script(EXAMPLES / "quickstart.py")
         assert result.returncode == 0, result.stderr
         assert "K-FAC loss" in result.stdout
+        assert "SPD-KFAC on ResNet-50 x 64 GPUs" in result.stdout
 
     def test_distributed_training(self):
         result = run_script(EXAMPLES / "distributed_training.py")
@@ -71,6 +72,62 @@ class TestExperimentsCli:
         result = run_script("-m", "repro.experiments", "--help")
         assert result.returncode == 0
         assert "report" in result.stdout
+
+
+class TestPlanCli:
+    def test_plan_prints_summary(self):
+        result = run_script("-m", "repro.experiments", "plan", "ResNet-50", "SPD-KFAC")
+        assert result.returncode == 0, result.stderr
+        assert "plan: ResNet-50 x SPD-KFAC (64 ranks)" in result.stdout
+        assert "predicted:" in result.stdout
+
+    def test_plan_serializes_losslessly(self, tmp_path):
+        path = tmp_path / "plan.json"
+        result = run_script(
+            "-m", "repro.experiments", "plan", "ResNet-50", "MPD-KFAC",
+            "--gpus", "8", "--json", str(path),
+        )
+        assert result.returncode == 0, result.stderr
+        from repro.plan import Plan, Session
+
+        plan = Plan.load(path)
+        assert plan.model == "ResNet-50"
+        assert plan.num_ranks == 8
+        assert plan.strategy.name == "MPD-KFAC"
+        assert (
+            Session("ResNet-50", 8).simulate(plan).iteration_time
+            == plan.predicted_makespan
+        )
+
+    def test_plan_unknown_strategy_fails_cleanly(self):
+        result = run_script("-m", "repro.experiments", "plan", "ResNet-50", "warp")
+        assert result.returncode != 0
+        assert "unknown strategy" in result.stderr
+
+    def test_plan_unknown_model_fails_cleanly(self):
+        result = run_script("-m", "repro.experiments", "plan", "LeNet-9000", "SPD-KFAC")
+        assert result.returncode == 2
+        assert "unknown model" in result.stderr
+        assert "Traceback" not in result.stderr
+
+    def test_plan_collective_flag_changes_the_prediction(self):
+        # D-KFAC's bulk factor all-reduce is fully exposed, so the
+        # collective algorithm must move the predicted iteration time.
+        base = run_script("-m", "repro.experiments", "plan", "ResNet-50", "D-KFAC",
+                          "--gpus", "8", "--collective", "ring")
+        tree = run_script("-m", "repro.experiments", "plan", "ResNet-50", "D-KFAC",
+                          "--gpus", "8", "--collective", "tree")
+        assert base.returncode == 0, base.stderr
+        assert tree.returncode == 0, tree.stderr
+        base_line = [l for l in base.stdout.splitlines() if "predicted:" in l]
+        tree_line = [l for l in tree.stdout.splitlines() if "predicted:" in l]
+        assert base_line and tree_line and base_line != tree_line
+
+    def test_plan_list_strategies(self):
+        result = run_script("-m", "repro.experiments", "plan", "--list-strategies")
+        assert result.returncode == 0
+        for name in ("SGD", "S-SGD", "KFAC", "D-KFAC", "MPD-KFAC", "SPD-KFAC"):
+            assert name in result.stdout
 
 
 @pytest.mark.parametrize("experiment_id", ["tab2", "fig3", "fig7", "fig11"])

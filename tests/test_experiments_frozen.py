@@ -1,0 +1,51 @@
+"""Migration guard: every paper experiment reproduces its pre-migration rows.
+
+``tests/data/frozen_paper_rows.json`` snapshots the rows of tab2-fig13
+as produced by the per-algorithm ``build_*_graph`` builders immediately
+before the Strategy/Plan/Session migration, with floats stored as
+``float.hex`` so the comparison is bit-exact.  fig8's ``measured(s)`` /
+``fit(s)`` columns time real kernels on the host and are inherently
+non-deterministic, so they are excluded.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.base import get_experiment
+
+FROZEN_PATH = Path(__file__).parent / "data" / "frozen_paper_rows.json"
+
+#: Columns whose values depend on host wall-clock measurements.
+VOLATILE_COLUMNS = {"fig8": {"measured(s)", "fit(s)"}}
+
+
+def load_frozen():
+    with open(FROZEN_PATH) as f:
+        return json.load(f)
+
+
+def normalize(rows, volatile):
+    out = []
+    for row in rows:
+        out.append(
+            {
+                k: (float.hex(v) if isinstance(v, float) else v)
+                for k, v in row.items()
+                if k not in volatile
+            }
+        )
+    return out
+
+
+@pytest.mark.parametrize("experiment_id", sorted(load_frozen()))
+def test_rows_identical_to_pre_migration_snapshot(experiment_id):
+    frozen = load_frozen()[experiment_id]
+    volatile = VOLATILE_COLUMNS.get(experiment_id, set())
+    result = get_experiment(experiment_id).run()
+    assert list(result.columns) == frozen["columns"]
+    expected = [
+        {k: v for k, v in row.items() if k not in volatile} for row in frozen["rows"]
+    ]
+    assert normalize(result.rows, volatile) == expected

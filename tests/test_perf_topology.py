@@ -125,12 +125,10 @@ class TestTopologyProfile:
 
     def test_profile_drives_schedule_builders(self):
         """End-to-end: a topology profile drops into the simulator stack."""
-        from repro.core.schedule import build_spd_kfac_graph, run_iteration
-        from repro.models import get_model_spec
+        from repro.plan import Session
 
-        spec = get_model_spec("ResNet-50")
         profile = topology_profile(multi_node(2, 2), "hierarchical")
-        result = run_iteration(build_spd_kfac_graph(spec, profile), "SPD-KFAC", spec.name)
+        result = Session("ResNet-50", profile).simulate("SPD-KFAC")
         assert result.iteration_time > 0
 
     def test_symmetric_elements_consistency(self):

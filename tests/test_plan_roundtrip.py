@@ -1,0 +1,74 @@
+"""Property test: plan serialization is lossless.
+
+A random valid strategy is planned, serialized to JSON, deserialized,
+and re-simulated — the reloaded plan must equal the original value-wise
+and reproduce the exact same timeline bit for bit (floats survive JSON
+via repr round-tripping).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pipeline import FACTOR_FUSION_POLICIES
+from repro.core.schedule import PLACEMENT_STRATEGIES, run_iteration
+from repro.perf import scaled_cluster_profile
+from repro.plan import Plan, Session, TrainingStrategy
+from repro.sim import simulate
+from tests.conftest import build_tiny_spec
+
+SPEC = build_tiny_spec(num_layers=6)
+PROFILE = scaled_cluster_profile(4)
+
+
+@st.composite
+def valid_strategies(draw) -> TrainingStrategy:
+    """Random strategies satisfying the axis-combination rules."""
+    second_order = draw(st.booleans())
+    distributed = draw(st.booleans())
+    fusion = draw(st.sampled_from(FACTOR_FUSION_POLICIES))
+    pipelined = draw(st.booleans())
+    combine = (
+        draw(st.booleans()) if (fusion == "bulk" and not pipelined) else False
+    )
+    if second_order:
+        placement = (
+            draw(st.sampled_from(PLACEMENT_STRATEGIES)) if distributed else "non_dist"
+        )
+    else:
+        placement = "non_dist"
+    return TrainingStrategy(
+        name=draw(st.sampled_from(("probe", "sweep", "custom"))),
+        second_order=second_order,
+        distributed=distributed,
+        gradient_reduction=(
+            draw(st.sampled_from(("wfbp", "bulk"))) if distributed else "none"
+        ),
+        factor_fusion=fusion,
+        factor_pipelining=pipelined,
+        combine_factor_passes=combine,
+        placement=placement,
+        include_solve=draw(st.booleans()) if second_order else True,
+    )
+
+
+@given(strategy=valid_strategies())
+@settings(max_examples=25, deadline=None)
+def test_plan_json_round_trip_is_lossless_and_bit_identical(strategy):
+    plan = Session(SPEC, PROFILE).plan(strategy)
+    reloaded = Plan.from_json(plan.to_json())
+
+    # Lossless: every resolved artifact survives serialization exactly.
+    assert reloaded == plan
+
+    # Bit-identical re-simulation from the deserialized plan.
+    original = simulate(plan.build_graph(SPEC))
+    restored = simulate(reloaded.build_graph(SPEC))
+    assert restored.makespan == original.makespan
+    assert [(e.start, e.end) for e in restored.entries] == [
+        (e.start, e.end) for e in original.entries
+    ]
+
+    # And the packaged result matches what the plan predicted.
+    result = run_iteration(reloaded.build_graph(SPEC), strategy.name, SPEC.name)
+    assert result.iteration_time == plan.predicted_makespan
+    assert result.categories() == reloaded.breakdown_dict()

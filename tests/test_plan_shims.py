@@ -1,0 +1,115 @@
+"""The deprecated ``build_*_graph`` shims: warn once, behave identically.
+
+Outside this module, repro deprecation warnings are errors (see
+``pytest.ini``), so any internal module or migrated test that still
+leans on a shim fails loudly.
+"""
+
+import pytest
+
+from repro.core.pipeline import FactorCommStrategy
+from repro.core.schedule import (
+    build_dkfac_graph,
+    build_factor_pipeline_graph,
+    build_kfac_graph,
+    build_mpd_kfac_graph,
+    build_sgd_graph,
+    build_spd_kfac_graph,
+    build_ssgd_graph,
+)
+from repro.models import get_model_spec
+from repro.perf import paper_cluster_profile, scaled_cluster_profile
+from repro.plan import Session, build_strategy_graph, strategy_registry
+from repro.sim import simulate
+from repro.utils import ReproDeprecationWarning
+from tests.conftest import build_tiny_spec
+
+PAPER_MODEL_NAMES = ("ResNet-50", "ResNet-152", "DenseNet-201", "Inception-v4")
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return build_tiny_spec(num_layers=5)
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return scaled_cluster_profile(4)
+
+
+def timeline_signature(graph):
+    timeline = simulate(graph)
+    return [(e.start, e.end) for e in timeline.entries]
+
+
+SHIM_TO_STRATEGY = (
+    (build_sgd_graph, "SGD"),
+    (build_ssgd_graph, "S-SGD"),
+    (build_kfac_graph, "KFAC"),
+    (build_dkfac_graph, "D-KFAC"),
+    (build_mpd_kfac_graph, "MPD-KFAC"),
+    (build_spd_kfac_graph, "SPD-KFAC"),
+)
+
+
+@pytest.mark.parametrize("shim, strategy_name", SHIM_TO_STRATEGY, ids=lambda p: getattr(p, "__name__", p))
+def test_shim_warns_and_matches_strategy_graph(shim, strategy_name, spec, profile):
+    with pytest.warns(ReproDeprecationWarning, match="deprecated.*Session"):
+        old = shim(spec, profile)
+    new = build_strategy_graph(spec, profile, strategy_name)
+    assert timeline_signature(old) == timeline_signature(new)
+
+
+@pytest.mark.parametrize("model_name", PAPER_MODEL_NAMES)
+def test_spd_shim_equivalent_to_session_plan_on_paper_models(model_name):
+    """build_spd_kfac_graph(spec, profile) == Session.plan(registry["SPD-KFAC"])."""
+    profile = paper_cluster_profile()
+    spec = get_model_spec(model_name)
+    with pytest.warns(ReproDeprecationWarning):
+        old = simulate(build_spd_kfac_graph(spec, profile))
+    session = Session(model_name, profile)
+    plan = session.plan(strategy_registry["SPD-KFAC"])
+    assert plan.predicted_makespan == old.makespan
+    assert session.simulate(plan).iteration_time == old.makespan
+
+
+def test_spd_ablation_switches_match_strategy_axes(spec, profile):
+    spd = strategy_registry["SPD-KFAC"]
+    cases = {
+        (False, False): spd.but(
+            factor_fusion="bulk", factor_pipelining=False,
+            combine_factor_passes=True, placement="seq_dist",
+        ),
+        (True, False): spd.but(placement="seq_dist"),
+        (False, True): spd.but(
+            factor_fusion="bulk", factor_pipelining=False, combine_factor_passes=True,
+        ),
+        (True, True): spd,
+    }
+    for (pipelining, lbp), strategy in cases.items():
+        with pytest.warns(ReproDeprecationWarning):
+            old = build_spd_kfac_graph(spec, profile, pipelining=pipelining, lbp=lbp)
+        new = build_strategy_graph(spec, profile, strategy)
+        assert timeline_signature(old) == timeline_signature(new)
+
+
+def test_factor_pipeline_shim_matches_include_solve_false(spec, profile):
+    axes = {
+        FactorCommStrategy.NAIVE: ("bulk", False),
+        FactorCommStrategy.LW_NO_TF: ("none", True),
+        FactorCommStrategy.LW_TTF: ("threshold", True),
+        FactorCommStrategy.SP_OTF: ("optimal", True),
+    }
+    for enum_strategy, (fusion, pipelined) in axes.items():
+        with pytest.warns(ReproDeprecationWarning):
+            old = build_factor_pipeline_graph(spec, profile, enum_strategy)
+        new = build_strategy_graph(
+            spec,
+            profile,
+            strategy_registry["SPD-KFAC"].but(
+                factor_fusion=fusion,
+                factor_pipelining=pipelined,
+                include_solve=False,
+            ),
+        )
+        assert timeline_signature(old) == timeline_signature(new)

@@ -1,22 +1,14 @@
-"""Tests for the per-algorithm task-graph builders (Fig. 1 schedules)."""
+"""Tests for the strategy-driven task-graph builder (Fig. 1 schedules)."""
 
 import pytest
 
-from repro.core.pipeline import FactorCommStrategy
 from repro.core.schedule import (
-    build_dkfac_graph,
-    build_factor_pipeline_graph,
     build_inverse_graph,
-    build_kfac_graph,
-    build_mpd_kfac_graph,
-    build_sgd_graph,
-    build_spd_kfac_graph,
-    build_ssgd_graph,
     interleaved_factor_dims,
     resolve_placement,
-    run_iteration,
 )
 from repro.perf import scaled_cluster_profile
+from repro.plan import Session, build_strategy_graph, strategy_registry
 from repro.sim import COMM, Phase, simulate
 from tests.conftest import build_tiny_spec
 
@@ -37,19 +29,19 @@ def phases_in(graph):
 
 class TestGraphShapes:
     def test_sgd_single_rank_no_comm(self, spec, profile):
-        g = build_sgd_graph(spec, profile)
+        g = build_strategy_graph(spec, profile, "SGD")
         assert g.num_ranks == 1
         assert all(t.kind != COMM for t in g.tasks)
         assert phases_in(g) == {Phase.FORWARD, Phase.BACKWARD, Phase.UPDATE}
 
     def test_ssgd_has_grad_comm_only(self, spec, profile):
-        g = build_ssgd_graph(spec, profile)
+        g = build_strategy_graph(spec, profile, "S-SGD")
         assert g.num_ranks == 4
         assert Phase.GRAD_COMM in phases_in(g)
         assert Phase.FACTOR_COMM not in phases_in(g)
 
     def test_kfac_single_gpu_all_phases_no_comm(self, spec, profile):
-        g = build_kfac_graph(spec, profile)
+        g = build_strategy_graph(spec, profile, "KFAC")
         assert g.num_ranks == 1
         assert Phase.INVERSE_COMP in phases_in(g)
         assert all(t.kind != COMM for t in g.tasks)
@@ -58,46 +50,50 @@ class TestGraphShapes:
         assert len(inv_tasks) == 2 * len(spec.layers)
 
     def test_dkfac_inverts_everything_on_every_rank(self, spec, profile):
-        g = build_dkfac_graph(spec, profile)
+        g = build_strategy_graph(spec, profile, "D-KFAC")
         inv_tasks = [t for t in g.tasks if t.phase == Phase.INVERSE_COMP]
         assert len(inv_tasks) == 2 * len(spec.layers) * 4
         assert not [t for t in g.tasks if t.phase == Phase.INVERSE_COMM]
 
     def test_mpd_broadcasts_every_tensor(self, spec, profile):
-        g = build_mpd_kfac_graph(spec, profile)
+        g = build_strategy_graph(spec, profile, "MPD-KFAC")
         bcasts = [t for t in g.tasks if t.phase == Phase.INVERSE_COMM]
         assert len(bcasts) == 2 * len(spec.layers)
         inv_tasks = [t for t in g.tasks if t.phase == Phase.INVERSE_COMP]
         assert len(inv_tasks) == 2 * len(spec.layers)  # each inverted once
 
     def test_spd_graph_runs_and_beats_dkfac(self, spec, profile):
-        d = run_iteration(build_dkfac_graph(spec, profile), "d", spec.name)
-        s = run_iteration(build_spd_kfac_graph(spec, profile), "s", spec.name)
+        session = Session(spec, profile)
+        d = session.simulate("D-KFAC")
+        s = session.simulate("SPD-KFAC")
         assert s.iteration_time <= d.iteration_time + 1e-9
 
     def test_ablation_switches_change_graph(self, spec, profile):
-        full = build_spd_kfac_graph(spec, profile, pipelining=True, lbp=True)
-        no_pipe = build_spd_kfac_graph(spec, profile, pipelining=False, lbp=True)
+        spd = strategy_registry["SPD-KFAC"]
+        full = build_strategy_graph(spec, profile, spd)
+        no_pipe = build_strategy_graph(
+            spec,
+            profile,
+            spd.but(
+                factor_fusion="bulk",
+                factor_pipelining=False,
+                combine_factor_passes=True,
+            ),
+        )
         factor_comms = lambda g: [t for t in g.tasks if t.phase == Phase.FACTOR_COMM]
         assert len(factor_comms(no_pipe)) == 1  # bulk
         assert len(factor_comms(full)) >= 2
 
     def test_factor_pipeline_graph_has_no_inverse_stage(self, spec, profile):
-        g = build_factor_pipeline_graph(spec, profile, FactorCommStrategy.SP_OTF)
+        g = build_strategy_graph(
+            spec, profile, strategy_registry["SPD-KFAC"].but(include_solve=False)
+        )
         assert Phase.INVERSE_COMP not in phases_in(g)
         assert Phase.PRECONDITION not in phases_in(g)
 
     def test_every_graph_simulates_without_deadlock(self, spec, profile):
-        builders = [
-            build_sgd_graph,
-            build_ssgd_graph,
-            build_kfac_graph,
-            build_dkfac_graph,
-            build_mpd_kfac_graph,
-            build_spd_kfac_graph,
-        ]
-        for builder in builders:
-            timeline = simulate(builder(spec, profile))
+        for name in strategy_registry:
+            timeline = simulate(build_strategy_graph(spec, profile, name))
             assert timeline.makespan > 0
 
 
@@ -106,7 +102,7 @@ class TestScheduleSemantics:
         """Each rank's update starts only after that rank's last
         precondition kernel (ranks may finish at different times under
         asymmetric inverse placement)."""
-        tl = simulate(build_spd_kfac_graph(spec, profile))
+        tl = simulate(build_strategy_graph(spec, profile, "SPD-KFAC"))
         for rank in range(profile.num_workers):
             update_start = min(
                 e.start
@@ -121,13 +117,13 @@ class TestScheduleSemantics:
             assert update_start >= precond_end - 1e-12
 
     def test_backward_starts_after_forward_ends(self, spec, profile):
-        tl = simulate(build_dkfac_graph(spec, profile))
+        tl = simulate(build_strategy_graph(spec, profile, "D-KFAC"))
         fwd_end = max(e.end for e in tl.entries if e.task.phase == Phase.FORWARD)
         bwd_start = min(e.start for e in tl.entries if e.task.phase == Phase.BACKWARD)
         assert bwd_start >= fwd_end - 1e-12
 
     def test_inverse_waits_for_factor_aggregation(self, spec, profile):
-        tl = simulate(build_dkfac_graph(spec, profile))
+        tl = simulate(build_strategy_graph(spec, profile, "D-KFAC"))
         factor_comm_end = max(e.end for e in tl.entries if e.task.phase == Phase.FACTOR_COMM)
         inverse_start = min(e.start for e in tl.entries if e.task.phase == Phase.INVERSE_COMP)
         assert inverse_start >= factor_comm_end - 1e-12
@@ -135,7 +131,7 @@ class TestScheduleSemantics:
     def test_pipelined_factor_comm_overlaps_compute(self, spec, profile):
         """SPD-KFAC's A-factor all-reduces start before the forward pass
         finishes — the paper's pipelining claim."""
-        tl = simulate(build_spd_kfac_graph(spec, profile))
+        tl = simulate(build_strategy_graph(spec, profile, "SPD-KFAC"))
         fwd_end = max(e.end for e in tl.entries if e.task.phase == Phase.FORWARD)
         first_factor_comm = min(
             e.start for e in tl.entries if e.task.phase == Phase.FACTOR_COMM
@@ -143,13 +139,13 @@ class TestScheduleSemantics:
         assert first_factor_comm < fwd_end
 
     def test_bulk_factor_comm_does_not_overlap_forward(self, spec, profile):
-        tl = simulate(build_dkfac_graph(spec, profile))
+        tl = simulate(build_strategy_graph(spec, profile, "D-KFAC"))
         bwd_end = max(e.end for e in tl.entries if e.task.phase == Phase.BACKWARD)
         comm_start = min(e.start for e in tl.entries if e.task.phase == Phase.FACTOR_COMM)
         assert comm_start >= bwd_end - 1e-12
 
     def test_ranks_symmetric_in_dkfac(self, spec, profile):
-        tl = simulate(build_dkfac_graph(spec, profile))
+        tl = simulate(build_strategy_graph(spec, profile, "D-KFAC"))
         ends = [tl.rank_end(r) for r in range(profile.num_workers)]
         assert max(ends) - min(ends) < 1e-9
 

@@ -13,13 +13,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.schedule import (
-    build_dkfac_graph,
-    build_kfac_graph,
-    build_mpd_kfac_graph,
-    build_spd_kfac_graph,
-    run_iteration,
-)
+from repro.core.schedule import run_iteration
+from repro.plan import build_strategy_graph
 from repro.models.builder import SpecBuilder
 from repro.models.spec import ModelSpec
 from repro.perf import scaled_cluster_profile
@@ -57,8 +52,8 @@ def test_spd_never_slower_than_dkfac(spec, num_workers):
     CNNs in test_experiments.py.
     """
     profile = scaled_cluster_profile(num_workers)
-    d = run_iteration(build_dkfac_graph(spec, profile), "d", spec.name).iteration_time
-    spd = run_iteration(build_spd_kfac_graph(spec, profile), "s", spec.name).iteration_time
+    d = run_iteration(build_strategy_graph(spec, profile, "D-KFAC"), "d", spec.name).iteration_time
+    spd = run_iteration(build_strategy_graph(spec, profile, "SPD-KFAC"), "s", spec.name).iteration_time
     assert spd <= d * 1.02
 
 
@@ -68,7 +63,7 @@ def test_single_gpu_kfac_is_sum_of_parts(spec):
     """With one GPU there is no overlap: the KFAC makespan equals the sum
     of all task durations (single FIFO compute stream)."""
     profile = scaled_cluster_profile(1)
-    graph = build_kfac_graph(spec, profile)
+    graph = build_strategy_graph(spec, profile, "KFAC")
     timeline = simulate(graph)
     total = sum(t.duration for t in graph.tasks)
     assert timeline.makespan == pytest.approx(total, rel=1e-12)
@@ -78,7 +73,7 @@ def test_single_gpu_kfac_is_sum_of_parts(spec):
 @given(random_specs(), st.integers(min_value=2, max_value=6))
 def test_breakdown_categories_nonnegative_and_complete(spec, num_workers):
     profile = scaled_cluster_profile(num_workers)
-    result = run_iteration(build_spd_kfac_graph(spec, profile), "s", spec.name)
+    result = run_iteration(build_strategy_graph(spec, profile, "SPD-KFAC"), "s", spec.name)
     cats = result.categories()
     assert all(v >= 0 for v in cats.values())
     assert sum(cats.values()) == pytest.approx(result.iteration_time, rel=1e-6)
@@ -88,7 +83,7 @@ def test_breakdown_categories_nonnegative_and_complete(spec, num_workers):
 @given(random_specs(), st.integers(min_value=2, max_value=6))
 def test_dkfac_has_no_inverse_comm(spec, num_workers):
     profile = scaled_cluster_profile(num_workers)
-    graph = build_dkfac_graph(spec, profile)
+    graph = build_strategy_graph(spec, profile, "D-KFAC")
     assert not [t for t in graph.tasks if t.phase == Phase.INVERSE_COMM]
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.schedule import build_dkfac_graph, build_spd_kfac_graph
+from repro.plan import build_strategy_graph
 from repro.perf import scaled_cluster_profile
 from repro.sim import Phase, TaskGraph, critical_path, critical_path_phases, simulate
 from tests.conftest import build_tiny_spec
@@ -64,8 +64,8 @@ class TestCriticalPathOnSchedules:
         SPD-KFAC's critical path carries less FactorComm than D-KFAC's."""
         spec = build_tiny_spec(num_layers=6)
         profile = scaled_cluster_profile(4)
-        d_graph = build_dkfac_graph(spec, profile)
-        s_graph = build_spd_kfac_graph(spec, profile)
+        d_graph = build_strategy_graph(spec, profile, "D-KFAC")
+        s_graph = build_strategy_graph(spec, profile, "SPD-KFAC")
         d_phases = critical_path_phases(d_graph, simulate(d_graph))
         s_phases = critical_path_phases(s_graph, simulate(s_graph))
         assert s_phases.get(Phase.FACTOR_COMM.value, 0.0) <= d_phases.get(
@@ -75,7 +75,7 @@ class TestCriticalPathOnSchedules:
     def test_path_time_bounded_by_makespan(self):
         spec = build_tiny_spec(num_layers=5)
         profile = scaled_cluster_profile(4)
-        graph = build_spd_kfac_graph(spec, profile)
+        graph = build_strategy_graph(spec, profile, "SPD-KFAC")
         tl = simulate(graph)
         phases = critical_path_phases(graph, tl)
         assert sum(phases.values()) <= tl.makespan + 1e-9

@@ -108,22 +108,12 @@ class TestRandomizedEquivalence:
         assert_matches_reference(graph)
 
     def test_builder_graphs_match_reference(self, small_profile):
-        from repro.core.schedule import (
-            build_dkfac_graph,
-            build_mpd_kfac_graph,
-            build_spd_kfac_graph,
-            build_ssgd_graph,
-        )
+        from repro.plan import build_strategy_graph
         from tests.conftest import build_tiny_spec
 
         spec = build_tiny_spec(num_layers=5)
-        for builder in (
-            build_ssgd_graph,
-            build_dkfac_graph,
-            build_mpd_kfac_graph,
-            build_spd_kfac_graph,
-        ):
-            assert_matches_reference(builder(spec, small_profile))
+        for name in ("S-SGD", "D-KFAC", "MPD-KFAC", "SPD-KFAC"):
+            assert_matches_reference(build_strategy_graph(spec, small_profile, name))
 
     def test_empty_graph(self):
         assert simulate(TaskGraph(2)).makespan == 0.0
@@ -199,11 +189,14 @@ class TestDeadlockEquivalence:
 
 class TestSimulateMany:
     def test_matches_individual_simulate(self, small_profile):
-        from repro.core.schedule import build_dkfac_graph, build_spd_kfac_graph
+        from repro.plan import build_strategy_graph
         from tests.conftest import build_tiny_spec
 
         spec = build_tiny_spec(num_layers=4)
-        graphs = [build_dkfac_graph(spec, small_profile), build_spd_kfac_graph(spec, small_profile)]
+        graphs = [
+            build_strategy_graph(spec, small_profile, "D-KFAC"),
+            build_strategy_graph(spec, small_profile, "SPD-KFAC"),
+        ]
         batched = simulate_many(graphs)
         assert len(batched) == 2
         for graph, timeline in zip(graphs, batched):
