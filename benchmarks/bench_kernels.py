@@ -91,6 +91,32 @@ def test_simulator_spd_kfac_resnet50_64gpu(benchmark, profile):
     assert makespan > 0
 
 
+def test_autotune_full_grid_resnet50_64gpu(benchmark, profile):
+    """Full-grid autotune of ResNet-50 on the paper's 64-GPU testbed.
+
+    The acceptance bar: a cold full-grid search (72 candidates, pruning
+    by lower bound, presets first) must finish in under 10 s, and the
+    warm search — everything served from the shared Session cache — is
+    the benchmarked path (what a sweep pays per revisited cell).
+    """
+    import time
+
+    from repro.autotune import autotune
+
+    clear_caches()
+    t0 = time.perf_counter()
+    cold = autotune(resnet50_spec(), profile)
+    cold_seconds = time.perf_counter() - t0
+    print(f"\ncold full-grid autotune: {cold_seconds:.2f} s "
+          f"({cold.stats['simulated']} simulated, {cold.stats['pruned']} pruned)",
+          end=" ")
+    assert cold_seconds < 10.0, f"cold full-grid search took {cold_seconds:.2f}s"
+    assert cold.best.iteration_time <= cold.best_preset[1]
+
+    warm = benchmark(autotune, resnet50_spec(), profile)
+    assert warm.best.iteration_time == cold.best.iteration_time
+
+
 def test_session_plan_cache(benchmark, profile):
     """Cached SPD-KFAC/ResNet-50/64-GPU plan lookup via the Session cache.
 

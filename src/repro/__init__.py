@@ -27,6 +27,9 @@ This package provides:
   presets in :data:`strategy_registry`), serializable :class:`Plan`
   artifacts, and the :class:`Session` facade with a shared plan cache
   (:mod:`repro.plan`),
+* a strategy autotuner that searches the full planner axis grid per
+  (model, cluster) with lower-bound pruning and a time-x-traffic Pareto
+  frontier (:mod:`repro.autotune`),
 * and a reproduction harness for every table and figure
   (:mod:`repro.experiments`).
 
@@ -47,6 +50,13 @@ ran::
         factor_pipelining=False, collective="tree"
     )
 
+Or skip the hand-picking entirely and search the whole axis grid::
+
+    from repro import autotune
+
+    report = autotune("ResNet-50", 64)
+    print(report.best_strategy.describe())
+
 And the numeric K-FAC stack trains real (NumPy) models::
 
     from repro import KFACOptimizer, make_mlp
@@ -60,6 +70,7 @@ And the numeric K-FAC stack trains real (NumPy) models::
     opt.step()
 """
 
+from repro.autotune import AutotuneReport, autotune
 from repro.core import (
     DistKFACOptimizer,
     InverseStrategy,
@@ -96,6 +107,8 @@ __all__ = [
     "strategy_registry",
     "Plan",
     "Session",
+    "autotune",
+    "AutotuneReport",
     "ReproDeprecationWarning",
     "KFACOptimizer",
     "KFACPreconditioner",

@@ -1,0 +1,70 @@
+"""Strategy autotuning: search the planner axis space per cluster.
+
+The paper answers "which distributed K-FAC scheme is best?" with one
+hand-picked design for one 64-GPU testbed.  This package answers it by
+*search*: enumerate every valid :class:`~repro.plan.TrainingStrategy`
+axis combination (:func:`strategy_grid`), lower-bound each candidate
+from its resolved planning parts (:func:`candidate_bound`) so dominated
+schemes are pruned before simulation, price the survivors through the
+shared :class:`~repro.plan.Session` cache, and rank everything into an
+:class:`AutotuneReport` with a (time x traffic) Pareto frontier::
+
+    from repro.autotune import autotune
+    from repro.topo import multi_rack
+
+    report = autotune("ResNet-50", multi_rack(4, 4, 4, spine="ethernet"))
+    print(report.to_text(top_k=5))
+
+Command-line equivalent: ``python -m repro.experiments autotune``.
+"""
+
+from repro.autotune.bounds import CandidateBound, candidate_bound
+from repro.autotune.grid import (
+    DISTRIBUTED_GRADIENT_REDUCTIONS,
+    FACTOR_AXES,
+    strategy_grid,
+    strategy_label,
+)
+from repro.autotune.traffic import (
+    FACTOR_ALLREDUCE,
+    GRAD_ALLREDUCE,
+    INVERSE_BROADCAST,
+    iter_collective_elements,
+    parts_traffic,
+    plan_traffic,
+)
+from repro.autotune.tuner import (
+    PRUNED,
+    REUSED,
+    SECOND_ORDER_PRESETS,
+    SIMULATED,
+    AutotuneReport,
+    CandidateOutcome,
+    autotune,
+    matching_preset,
+    pareto_frontier,
+)
+
+__all__ = [
+    "autotune",
+    "AutotuneReport",
+    "CandidateOutcome",
+    "CandidateBound",
+    "candidate_bound",
+    "strategy_grid",
+    "strategy_label",
+    "matching_preset",
+    "pareto_frontier",
+    "iter_collective_elements",
+    "parts_traffic",
+    "plan_traffic",
+    "SECOND_ORDER_PRESETS",
+    "DISTRIBUTED_GRADIENT_REDUCTIONS",
+    "FACTOR_AXES",
+    "GRAD_ALLREDUCE",
+    "FACTOR_ALLREDUCE",
+    "INVERSE_BROADCAST",
+    "SIMULATED",
+    "REUSED",
+    "PRUNED",
+]

@@ -1,0 +1,160 @@
+"""Per-component makespan lower bounds for candidate strategies.
+
+A full candidate evaluation builds and simulates a ~25k-task graph; the
+bounds here cost microseconds because they never touch the graph — they
+are computed directly from the resolved planning parts, using the two
+structural facts the simulator enforces:
+
+* every rank executes its compute kernels serially on one compute
+  stream, so the makespan is at least the busiest rank's total compute
+  time (forward + backward + factor + precondition + update kernels plus
+  that rank's assigned inverse workloads);
+* every collective occupies *all* ranks' communication streams, so the
+  collectives serialize globally and the makespan is at least the sum of
+  all collective durations;
+* dependency chains the schedule cannot overlap: preconditioning
+  serializes behind the *last* gradient bucket (which closes with the
+  backward pass), and post-pass factor launches serialize the inverse
+  stage behind the post-backward factor all-reduces.
+
+``max`` over these components is a true lower bound on the simulated
+iteration time (property-tested in ``tests/test_autotune.py``), which
+lets the tuner discard a candidate the moment its bound meets the best
+simulated time — dominated candidates are never simulated at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.autotune.traffic import INVERSE_BROADCAST, iter_collective_elements
+from repro.core.fusion import FusionPlan
+from repro.core.pipeline import (
+    FactorCommPlan,
+    layer_compute_times,
+    precondition_times,
+)
+from repro.core.placement import Placement
+from repro.models.spec import ModelSpec
+from repro.perf.calibration import ClusterPerfProfile
+
+
+@dataclass(frozen=True)
+class CandidateBound:
+    """Component-wise lower bounds on one candidate's iteration time."""
+
+    compute: float  #: busiest rank's serial compute-stream time
+    comm: float  #: total collective time on the shared channel
+    chain: float = 0.0  #: longest non-overlappable dependency chain
+
+    @property
+    def total(self) -> float:
+        """The candidate's makespan lower bound."""
+        return max(self.compute, self.comm, self.chain)
+
+
+def candidate_bound(
+    spec: ModelSpec,
+    profile: ClusterPerfProfile,
+    *,
+    num_ranks: int,
+    grad_plan: Optional[FusionPlan],
+    fplan: Optional[FactorCommPlan],
+    placement: Optional[Placement],
+    include_solve: bool = True,
+) -> CandidateBound:
+    """Lower-bound a candidate from its resolved planning parts.
+
+    The parts are exactly what :func:`repro.plan.resolve_plan_parts`
+    returns, so the bound prices the same buckets and placement the
+    simulator would execute.
+    """
+    t_fwd, t_bwd, t_fa, t_fg = layer_compute_times(spec, profile)
+    kfac = fplan is not None or placement is not None
+
+    # -- compute stream: every rank runs all per-layer kernels ------------
+    compute = sum(t_fwd) + sum(t_bwd)
+    if kfac:
+        compute += sum(t_fa) + sum(t_fg)
+        if include_solve and placement is not None:
+            compute += sum(precondition_times(spec, profile.factor_compute))
+    compute += profile.train_compute.time(2.0 * spec.num_params)
+    if include_solve and placement is not None:
+        loads = [0.0] * num_ranks
+        for i, dim in enumerate(placement.dims):
+            t_inv = profile.inverse_actual.time(dim)
+            for rank in placement.assignments[i]:
+                loads[rank] += t_inv
+        compute += max(loads, default=0.0)
+
+    # -- communication channel: all collectives serialize globally --------
+    # Sizes come from the same iterator the traffic counter uses, so the
+    # bound prices exactly the collectives the Pareto axis counts
+    # (a packed broadcast of dimension d costs time(d(d+1)/2), which is
+    # what ``time_symmetric`` computes in the schedule builder).
+    comm = 0.0
+    for op, elements in iter_collective_elements(
+        spec,
+        num_ranks=num_ranks,
+        grad_plan=grad_plan,
+        fplan=fplan,
+        placement=placement if include_solve else None,
+    ):
+        if op == INVERSE_BROADCAST:
+            comm += profile.broadcast_streamed.time(elements)
+        else:
+            comm += profile.allreduce_streamed.time(elements)
+
+    # -- dependency chains the schedule cannot overlap --------------------
+    # B_0 (the last backward kernel) runs after every other F/B kernel and
+    # every A/G factor kernel except G_0 on its rank's compute stream.
+    chain = 0.0
+    update = profile.train_compute.time(2.0 * spec.num_params)
+    solve = include_solve and placement is not None
+    backward_end = sum(t_fwd) + sum(t_bwd)
+    if kfac:
+        # G_0 (layer 0's factor) is computed *after* B_0, last of all.
+        backward_end += sum(t_fa) + sum(t_fg) - t_fg[0]
+    if grad_plan is not None:
+        # The last gradient bucket closes with B_0; P_0 (first in the
+        # precondition FIFO) waits for it, so every precondition — and
+        # then the update — serializes behind it.  Without K-FAC the
+        # update itself waits for every gradient bucket.
+        grad_sizes = [layer.num_params for layer in reversed(spec.layers)]
+        last_bucket = profile.allreduce_streamed.time(
+            sum(grad_sizes[i] for i in grad_plan.buckets[-1])
+        )
+        tail = sum(precondition_times(spec, profile.factor_compute)) if solve else 0.0
+        chain = max(chain, backward_end + last_bucket + tail + update)
+    if fplan is not None and fplan.launch_after_pass and solve:
+        # Post-pass factor launch: the G-side all-reduces wait for G_0
+        # (after B_0) and serialize on the channel; the inverse stage —
+        # and the preconditions and update behind it — follow them.
+        base = backward_end + t_fg[0]
+        a_sizes = [layer.a_elements for layer in spec.layers]
+        g_sizes = [layer.g_elements for layer in reversed(spec.layers)]
+        if fplan.combine_passes:
+            # One merged all-reduce gates *every* inverse, so the busiest
+            # rank still owes its whole inverse load plus all preconds.
+            comm_post = profile.allreduce_streamed.time(sum(a_sizes) + sum(g_sizes))
+            loads = [0.0] * num_ranks
+            for i, dim in enumerate(placement.dims):
+                t_inv = profile.inverse_actual.time(dim)
+                for rank in placement.assignments[i]:
+                    loads[rank] += t_inv
+            tail = max(loads, default=0.0)
+            tail += sum(precondition_times(spec, profile.factor_compute))
+        else:
+            # The FIFO-last G bucket gates the inverse + precondition of
+            # (at least) its own last layer, and the update follows.
+            comm_post = sum(
+                profile.allreduce_streamed.time(sum(g_sizes[i] for i in bucket))
+                for bucket in fplan.g_plan.buckets
+            )
+            last_layer = len(spec.layers) - 1 - fplan.g_plan.buckets[-1][-1]
+            tail = profile.inverse_actual.time(placement.dims[2 * last_layer + 1])
+            tail += precondition_times(spec, profile.factor_compute)[last_layer]
+        chain = max(chain, base + comm_post + tail + update)
+
+    return CandidateBound(compute=compute, comm=comm, chain=chain)

@@ -1,0 +1,99 @@
+"""Enumeration of the valid planner axis grid.
+
+The autotuner's search space is the cross product of every axis a
+:class:`~repro.plan.TrainingStrategy` exposes, restricted to the
+combinations the strategy validator accepts.  :func:`strategy_grid`
+enumerates exactly that set — by *construction*, so the enumeration and
+the validator can be property-tested against each other (every emitted
+strategy must validate; every valid combination must be emitted).
+
+The grid covers distributed second-order training — the design space the
+paper's D/MPD/SPD-KFAC schemes live in.  Single-device strategies and
+first-order S-SGD have no planner axes worth searching (their schedules
+are fully determined), so the tuner prices them only as named reference
+presets, never as grid points.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.pipeline import FACTOR_FUSION_POLICIES
+from repro.core.schedule import PLACEMENT_STRATEGIES
+from repro.plan.strategy import COLLECTIVE_ALGORITHMS, TrainingStrategy
+
+#: Gradient-reduction modes available to a *distributed* strategy.
+DISTRIBUTED_GRADIENT_REDUCTIONS: Tuple[str, ...] = ("wfbp", "bulk")
+
+#: Valid (factor_fusion, factor_pipelining, combine_factor_passes)
+#: combinations: every (fusion, launch) pair, plus D-KFAC's merged
+#: post-backward all-reduce (which the validator restricts to
+#: non-pipelined bulk fusion).
+FACTOR_AXES: Tuple[Tuple[str, bool, bool], ...] = tuple(
+    (fusion, pipelined, False)
+    for fusion in FACTOR_FUSION_POLICIES
+    for pipelined in (True, False)
+) + (("bulk", False, True),)
+
+
+def strategy_label(strategy: TrainingStrategy) -> str:
+    """Compact axis summary, e.g. ``"wfbp|optimal+pipe|lbp|auto"``."""
+    launch = "+pipe" if strategy.factor_pipelining else "+post"
+    merged = "+merged" if strategy.combine_factor_passes else ""
+    return (
+        f"{strategy.gradient_reduction}|{strategy.factor_fusion}{launch}{merged}"
+        f"|{strategy.placement}|{strategy.collective}"
+    )
+
+
+def strategy_grid(
+    collectives: Optional[Sequence[str]] = None,
+    gradient_reductions: Sequence[str] = DISTRIBUTED_GRADIENT_REDUCTIONS,
+    placements: Sequence[str] = PLACEMENT_STRATEGIES,
+    factor_axes: Sequence[Tuple[str, bool, bool]] = FACTOR_AXES,
+) -> List[TrainingStrategy]:
+    """Every valid distributed second-order strategy over the axis grid.
+
+    ``collectives`` defaults to ``("auto",)`` — the right grid for a
+    profile-backed session, whose cost profile already encodes its
+    collectives.  Topology-backed sessions should pass
+    :data:`~repro.plan.COLLECTIVE_ALGORITHMS` (or a subset) so the
+    collective-algorithm axis is searched too.
+
+    Each strategy is named by :func:`strategy_label`, so grid points stay
+    distinguishable in reports and ``Session.compare``.
+    """
+    collectives = tuple(collectives) if collectives is not None else ("auto",)
+    for name in collectives:
+        if name not in COLLECTIVE_ALGORITHMS:
+            raise ValueError(
+                f"unknown collective {name!r}; options: {COLLECTIVE_ALGORITHMS}"
+            )
+    return list(
+        _iter_grid(tuple(gradient_reductions), tuple(placements),
+                   tuple(factor_axes), collectives)
+    )
+
+
+def _iter_grid(
+    gradient_reductions: Tuple[str, ...],
+    placements: Tuple[str, ...],
+    factor_axes: Tuple[Tuple[str, bool, bool], ...],
+    collectives: Tuple[str, ...],
+) -> Iterator[TrainingStrategy]:
+    for grad in gradient_reductions:
+        for fusion, pipelined, combined in factor_axes:
+            for placement in placements:
+                for collective in collectives:
+                    strategy = TrainingStrategy(
+                        second_order=True,
+                        distributed=True,
+                        gradient_reduction=grad,
+                        factor_fusion=fusion,
+                        factor_pipelining=pipelined,
+                        combine_factor_passes=combined,
+                        placement=placement,
+                        include_solve=True,
+                        collective=collective,
+                    )
+                    yield strategy.but(name=strategy_label(strategy))

@@ -1,0 +1,104 @@
+"""Traffic accounting for resolved plans: what a candidate puts on the wire.
+
+Uses the same per-collective accounting as the runtime's
+:class:`repro.comm.TrafficCounter` (an ``m``-element collective counts
+``m`` — the models' ``m`` in Eqs. 14 and 27 — and bytes default to the
+fp32 wire format), so simulated plans and the in-process SPMD runtime
+report commensurable numbers.  Iteration time and traffic bytes are the
+two axes of the tuner's Pareto frontier: e.g. ``placement="non_dist"``
+broadcasts nothing but inverts everything everywhere, while LBP trades
+inverse-broadcast bytes for balanced compute.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from repro.comm import TrafficCounter, packed_size
+from repro.core.fusion import FusionPlan
+from repro.core.pipeline import FactorCommPlan
+from repro.core.placement import Placement
+from repro.models import get_model_spec
+from repro.models.spec import ModelSpec
+from repro.plan.plan import Plan
+
+#: Operation labels used by the per-plan counters.
+GRAD_ALLREDUCE = "allreduce.grad"
+FACTOR_ALLREDUCE = "allreduce.factor"
+INVERSE_BROADCAST = "broadcast.inverse"
+
+
+def iter_collective_elements(
+    spec: ModelSpec,
+    *,
+    num_ranks: int,
+    grad_plan: Optional[FusionPlan],
+    fplan: Optional[FactorCommPlan],
+    placement: Optional[Placement],
+) -> Iterator[Tuple[str, int]]:
+    """``(op, element count)`` per collective the schedule would launch.
+
+    One entry per gradient bucket, per factor bucket (or the single
+    merged all-reduce), and per CT-placed inverse (its packed symmetric
+    broadcast).  This is the single source of per-collective sizes:
+    :func:`parts_traffic` counts them and
+    :func:`repro.autotune.bounds.candidate_bound` prices them, so the
+    pruning bound and the Pareto traffic axis can never drift apart.
+    """
+    if grad_plan is not None:
+        grad_sizes = [layer.num_params for layer in reversed(spec.layers)]
+        for bucket in grad_plan.buckets:
+            yield GRAD_ALLREDUCE, sum(grad_sizes[i] for i in bucket)
+    if fplan is not None:
+        a_sizes = [layer.a_elements for layer in spec.layers]
+        g_sizes = [layer.g_elements for layer in reversed(spec.layers)]
+        if fplan.combine_passes:
+            yield FACTOR_ALLREDUCE, sum(a_sizes) + sum(g_sizes)
+        else:
+            for bucket in fplan.a_plan.buckets:
+                yield FACTOR_ALLREDUCE, sum(a_sizes[i] for i in bucket)
+            for bucket in fplan.g_plan.buckets:
+                yield FACTOR_ALLREDUCE, sum(g_sizes[i] for i in bucket)
+    if placement is not None and num_ranks > 1:
+        for i, dim in enumerate(placement.dims):
+            if not placement.is_nct(i):
+                yield INVERSE_BROADCAST, packed_size(dim)
+
+
+def parts_traffic(
+    spec: ModelSpec,
+    *,
+    num_ranks: int,
+    grad_plan: Optional[FusionPlan],
+    fplan: Optional[FactorCommPlan],
+    placement: Optional[Placement],
+) -> TrafficCounter:
+    """Per-iteration traffic of resolved planning parts."""
+    counter = TrafficCounter()
+    for op, elements in iter_collective_elements(
+        spec, num_ranks=num_ranks, grad_plan=grad_plan, fplan=fplan,
+        placement=placement,
+    ):
+        counter.record(op, elements)
+    return counter
+
+
+def plan_traffic(plan: Plan, spec: Optional[ModelSpec] = None) -> TrafficCounter:
+    """Traffic of a resolved :class:`~repro.plan.Plan`.
+
+    ``spec`` is only needed for models outside the paper catalog; it must
+    match ``plan.model``.
+    """
+    if spec is None:
+        spec = get_model_spec(plan.model)
+    elif spec.name != plan.model:
+        raise ValueError(
+            f"spec {spec.name!r} does not match the plan's model {plan.model!r}"
+        )
+    return parts_traffic(
+        spec,
+        num_ranks=plan.num_ranks,
+        grad_plan=plan.grad_plan,
+        fplan=plan.factor_plan,
+        placement=plan.placement,
+    )

@@ -1,0 +1,414 @@
+"""The strategy autotuner: search the full planner axis space per cluster.
+
+The paper hand-picks SPD-KFAC's scheme (pipelined factor communication,
+optimal tensor fusion, LBP inverse placement) for one flat 64-GPU
+testbed.  With every planner axis declarative data
+(:class:`~repro.plan.TrainingStrategy`) and every cluster a cost profile
+(:class:`~repro.perf.ClusterPerfProfile` or
+:class:`~repro.topo.ClusterTopology`), "which scheme is best *here*?"
+becomes a search problem::
+
+    from repro.autotune import autotune
+
+    report = autotune("ResNet-50", 64)          # full grid, paper fabric
+    print(report.to_text(top_k=5))
+    report.best.strategy                        # the winning axes
+
+The search prices every valid axis combination through the shared
+:class:`~repro.plan.Session` plan/result cache, pruning candidates whose
+:mod:`per-component lower bound <repro.autotune.bounds>` already meets
+the best simulated time — dominated schemes are never simulated.  The
+report ranks all candidates and carries the (iteration time x traffic
+bytes) Pareto frontier, so "fastest" and "cheapest on the wire" are both
+one lookup away.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.autotune.bounds import CandidateBound, candidate_bound
+from repro.autotune.grid import strategy_grid, strategy_label
+from repro.autotune.traffic import parts_traffic
+from repro.plan import (
+    COLLECTIVE_ALGORITHMS,
+    Session,
+    TrainingStrategy,
+    resolve_plan_parts,
+    strategy_registry,
+)
+from repro.plan.session import ClusterLike
+
+#: The named presets the tuner's winner is measured against — the
+#: distributed second-order schemes the grid generalizes (first-order
+#: S-SGD does strictly less work per iteration, so comparing against it
+#: would be apples to oranges).
+SECOND_ORDER_PRESETS: Tuple[str, ...] = ("D-KFAC", "MPD-KFAC", "SPD-KFAC")
+
+#: Candidate evaluation statuses.
+SIMULATED = "simulated"
+REUSED = "reused"  # identical axes + profile as an already-simulated candidate
+PRUNED = "pruned"  # lower bound met the best simulated time
+
+
+def matching_preset(strategy: TrainingStrategy) -> Optional[str]:
+    """The registry preset with these exact axes, or ``None``.
+
+    Names are ignored — a grid point labelled ``"wfbp|optimal+pipe|lbp|auto"``
+    still *is* SPD-KFAC.
+    """
+    for name, preset in strategy_registry.items():
+        if dataclasses.replace(strategy, name=preset.name) == preset:
+            return name
+    return None
+
+
+@dataclass(frozen=True)
+class CandidateOutcome:
+    """One grid point's evaluation: bound, price, traffic, status."""
+
+    strategy: TrainingStrategy
+    preset: Optional[str]  #: registry preset these axes coincide with
+    bound: CandidateBound
+    iteration_time: Optional[float]  #: ``None`` when pruned
+    breakdown: Optional[Tuple[Tuple[str, float], ...]]
+    traffic_elements: int
+    traffic_bytes: int
+    traffic_by_op: Tuple[Tuple[str, int], ...]  #: bytes per collective kind
+    status: str
+
+    @property
+    def label(self) -> str:
+        return self.strategy.name
+
+    @property
+    def simulated(self) -> bool:
+        return self.iteration_time is not None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "strategy": self.strategy.to_dict(),
+            "preset": self.preset,
+            "lower_bound": {
+                "compute": self.bound.compute,
+                "comm": self.bound.comm,
+                "total": self.bound.total,
+            },
+            "iteration_time": self.iteration_time,
+            "breakdown": None if self.breakdown is None else dict(self.breakdown),
+            "traffic_elements": self.traffic_elements,
+            "traffic_bytes": self.traffic_bytes,
+            "traffic_by_op": dict(self.traffic_by_op),
+            "status": self.status,
+        }
+
+
+def pareto_frontier(outcomes: Sequence[CandidateOutcome]) -> List[CandidateOutcome]:
+    """Non-dominated simulated candidates under (iteration time, traffic bytes).
+
+    Sorted by iteration time; each kept point strictly reduces traffic
+    relative to every faster point (minimize both axes).
+    """
+    priced = sorted(
+        (o for o in outcomes if o.iteration_time is not None),
+        key=lambda o: (o.iteration_time, o.traffic_bytes),
+    )
+    frontier: List[CandidateOutcome] = []
+    best_bytes: Optional[int] = None
+    for outcome in priced:
+        if best_bytes is None or outcome.traffic_bytes < best_bytes:
+            frontier.append(outcome)
+            best_bytes = outcome.traffic_bytes
+    return frontier
+
+
+@dataclass
+class AutotuneReport:
+    """Ranked outcome of one (model, cluster) search."""
+
+    model: str
+    cluster: str
+    world_size: int
+    outcomes: List[CandidateOutcome]  #: ranked: simulated by time, then pruned by bound
+    preset_times: Dict[str, float]
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    # -- views -------------------------------------------------------------
+
+    def _best_or_none(self) -> Optional[CandidateOutcome]:
+        best = self.outcomes[0] if self.outcomes else None
+        return best if best is not None and best.simulated else None
+
+    @property
+    def best(self) -> CandidateOutcome:
+        """The fastest simulated candidate.
+
+        With the default grid at least the preset twins are always
+        priced; a custom ``candidates`` shortlist can be pruned in its
+        entirety, in which case no candidate beat the presets and this
+        raises.
+        """
+        best = self._best_or_none()
+        if best is None:
+            raise ValueError(
+                "every candidate was pruned by its lower bound; none can beat "
+                f"the best preset ({self.best_preset[0]})"
+                if self.preset_times
+                else "no candidate was simulated"
+            )
+        return best
+
+    @property
+    def best_strategy(self) -> TrainingStrategy:
+        return self.best.strategy
+
+    @property
+    def best_preset(self) -> Tuple[str, float]:
+        """(name, iteration time) of the fastest compared preset."""
+        if not self.preset_times:
+            raise ValueError("no presets were priced (autotune ran with presets=())")
+        name = min(self.preset_times, key=self.preset_times.get)
+        return name, self.preset_times[name]
+
+    @property
+    def speedup_over_presets(self) -> float:
+        """Best preset time / best found time (>= 1.0 by construction)."""
+        return self.best_preset[1] / self.best.iteration_time
+
+    def pareto(self) -> List[CandidateOutcome]:
+        """The (iteration time x traffic bytes) frontier of this search."""
+        return pareto_frontier(self.outcomes)
+
+    # -- rendering ---------------------------------------------------------
+
+    def to_text(self, top_k: int = 10) -> str:
+        lines = [
+            f"autotune: {self.model} on {self.cluster} ({self.world_size} GPUs)",
+            f"  searched {self.stats.get('candidates', 0)} candidates: "
+            f"{self.stats.get('simulated', 0)} simulated, "
+            f"{self.stats.get('reused', 0)} reused, "
+            f"{self.stats.get('pruned', 0)} pruned by lower bound",
+        ]
+        header = f"  {'rank':<4} {'strategy':<38} {'time(s)':>9} {'traffic(MB)':>12}  note"
+        lines += [header, "  " + "-" * (len(header) - 2)]
+        for rank, outcome in enumerate(self.outcomes[:top_k], start=1):
+            time_s = (
+                f"{outcome.iteration_time:.4f}"
+                if outcome.iteration_time is not None
+                else f">{outcome.bound.total:.4f}"
+            )
+            note = outcome.preset or ""
+            if outcome.status == PRUNED:
+                note = (note + " " if note else "") + "pruned"
+            lines.append(
+                f"  {rank:<4} {outcome.label:<38} {time_s:>9} "
+                f"{outcome.traffic_bytes / 1e6:>12.2f}  {note}"
+            )
+        best = self._best_or_none()
+        if self.preset_times and best is not None:
+            best_name, best_time = self.best_preset
+            lines.append(
+                f"  best preset: {best_name} at {best_time:.4f}s; "
+                f"best found: {best.label} at {best.iteration_time:.4f}s "
+                f"({self.speedup_over_presets:.3f}x)"
+            )
+        elif self.preset_times:
+            best_name, best_time = self.best_preset
+            lines.append(
+                f"  best preset: {best_name} at {best_time:.4f}s; every "
+                "candidate was pruned (none can beat it)"
+            )
+        elif best is not None:
+            lines.append(
+                f"  best found: {best.label} at {best.iteration_time:.4f}s"
+            )
+        frontier = self.pareto()
+        lines.append(
+            "  pareto (time x traffic): "
+            + (
+                "; ".join(
+                    f"{o.label} ({o.iteration_time:.4f}s, {o.traffic_bytes / 1e6:.1f}MB)"
+                    for o in frontier
+                )
+                or "(no candidate simulated)"
+            )
+        )
+        return "\n".join(lines)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        best = self._best_or_none()
+        return {
+            "model": self.model,
+            "cluster": self.cluster,
+            "world_size": self.world_size,
+            "outcomes": [o.to_dict() for o in self.outcomes],
+            "preset_times": dict(self.preset_times),
+            "best": None if best is None else best.to_dict(),
+            "best_preset": list(self.best_preset) if self.preset_times else None,
+            "speedup_over_presets": (
+                self.speedup_over_presets
+                if best is not None and self.preset_times
+                else None
+            ),
+            "pareto": [o.to_dict() for o in self.pareto()],
+            "stats": dict(self.stats),
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def save(self, path: str, indent: Optional[int] = 2) -> None:
+        with open(path, "w") as f:
+            f.write(self.to_json(indent=indent))
+            f.write("\n")
+
+
+def autotune(
+    model: Union[str, Session, object],
+    cluster: ClusterLike = None,
+    *,
+    collectives: Optional[Sequence[str]] = None,
+    presets: Sequence[str] = SECOND_ORDER_PRESETS,
+    prune: bool = True,
+    candidates: Optional[Sequence[TrainingStrategy]] = None,
+) -> AutotuneReport:
+    """Search the full planner axis grid for ``model`` on ``cluster``.
+
+    ``model`` is a model name / :class:`~repro.models.spec.ModelSpec`
+    (with ``cluster`` as in :class:`~repro.plan.Session`) or an existing
+    ``Session``.  ``collectives`` restricts the collective-algorithm axis
+    (default: all algorithms on a topology-backed session, ``"auto"``
+    alone on a profile-backed one, whose profile already encodes its
+    collectives).  ``presets`` are simulated first: they seed the
+    pruning incumbent, so the result can never be worse than the best
+    named scheme.  ``prune=False`` simulates every candidate — the full
+    Pareto surface at full cost.  ``candidates`` overrides the searched
+    grid entirely (e.g. a hand-written shortlist).
+    """
+    if isinstance(model, Session):
+        if cluster is not None:
+            raise ValueError("pass a cluster via Session(...), not both")
+        session = model
+    else:
+        session = Session(model, cluster)
+    spec = session.spec
+
+    if candidates is None:
+        if collectives is None:
+            collectives = (
+                COLLECTIVE_ALGORITHMS if session.topology is not None else ("auto",)
+            )
+        candidates = strategy_grid(collectives=collectives)
+    else:
+        candidates = [
+            c.but(name=strategy_label(c)) if c.name == "custom" else c
+            for c in candidates
+        ]
+
+    # Price the presets first: they seed the pruning incumbent *and* the
+    # reuse map, so the grid twin of e.g. SPD-KFAC always carries the
+    # preset's simulated result — pruning can never leave the report's
+    # best worse than the best named scheme.
+    preset_times: Dict[str, float] = {}
+    seen: Dict[object, Tuple[float, Tuple[Tuple[str, float], ...]]] = {}
+    for name in presets:
+        preset = strategy_registry[name]
+        result = session.simulate(preset)
+        preset_times[name] = result.iteration_time
+        key = (preset.but(name="grid", collective="auto"), session.profile_for(preset))
+        seen[key] = (result.iteration_time, tuple(result.categories().items()))
+    best_time = min(preset_times.values()) if preset_times else float("inf")
+
+    # Resolve parts + bounds for the whole grid first (microseconds per
+    # candidate next to a simulation), then evaluate cheapest-bound-first
+    # so the incumbent drops fast and pruning bites early.
+    prepared = []
+    for strategy in candidates:
+        profile = session.profile_for(strategy)
+        num_ranks, grad_plan, fplan, placement = resolve_plan_parts(
+            spec, profile, strategy
+        )
+        bound = candidate_bound(
+            spec,
+            profile,
+            num_ranks=num_ranks,
+            grad_plan=grad_plan,
+            fplan=fplan,
+            placement=placement,
+            include_solve=strategy.include_solve,
+        )
+        traffic = parts_traffic(
+            spec,
+            num_ranks=num_ranks,
+            grad_plan=grad_plan,
+            fplan=fplan,
+            placement=placement,
+        )
+        prepared.append((strategy, profile, bound, traffic))
+    prepared.sort(key=lambda item: item[2].total)
+
+    outcomes: List[CandidateOutcome] = []
+    stats = {"candidates": len(prepared), "simulated": 0, "reused": 0, "pruned": 0}
+    # ``seen`` also dedupes within the grid: two collective choices that
+    # derive the *same* cost profile (e.g. "auto" resolving to "ring" on
+    # a flat fabric) yield identical schedules; simulate one and reuse
+    # its result for the twins.
+    for strategy, profile, bound, traffic in prepared:
+        preset = matching_preset(strategy)
+        key = (strategy.but(name="grid", collective="auto"), profile)
+        if key in seen:
+            time, breakdown = seen[key]
+            status = REUSED
+            stats["reused"] += 1
+        elif prune and bound.total >= best_time:
+            time, breakdown, status = None, None, PRUNED
+            stats["pruned"] += 1
+        else:
+            result = session.simulate(strategy)
+            time = result.iteration_time
+            breakdown = tuple(result.categories().items())
+            seen[key] = (time, breakdown)
+            status = SIMULATED
+            stats["simulated"] += 1
+            best_time = min(best_time, time)
+        outcomes.append(
+            CandidateOutcome(
+                strategy=strategy,
+                preset=preset,
+                bound=bound,
+                iteration_time=time,
+                breakdown=breakdown,
+                traffic_elements=traffic.total_elements(),
+                traffic_bytes=traffic.total_bytes(),
+                traffic_by_op=tuple(sorted(traffic.bytes.items())),
+                status=status,
+            )
+        )
+
+    # Ranked: simulated/reused by time (named presets first on exact
+    # ties, then label for determinism), pruned by bound.
+    outcomes.sort(
+        key=lambda o: (
+            (0, o.iteration_time, o.preset is None, o.label)
+            if o.iteration_time is not None
+            else (1, o.bound.total, True, o.label)
+        )
+    )
+    world_size = session.num_workers
+    if session.topology is not None:
+        cluster_desc = session.topology.name
+    else:
+        cluster_desc = f"{world_size}-GPU profile"
+    return AutotuneReport(
+        model=spec.name,
+        cluster=cluster_desc,
+        world_size=world_size,
+        outcomes=outcomes,
+        preset_times=preset_times,
+        stats=stats,
+    )

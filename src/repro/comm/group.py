@@ -48,6 +48,16 @@ class TrafficCounter:
     def total_bytes(self) -> int:
         return sum(self.bytes.values())
 
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serializable snapshot (used by autotune reports)."""
+        return {
+            "elements": dict(self.elements),
+            "bytes": dict(self.bytes),
+            "calls": dict(self.calls),
+            "total_elements": self.total_elements(),
+            "total_bytes": self.total_bytes(),
+        }
+
 
 class CollectiveGroup:
     """Shared state for ``world_size`` communicating ranks.

@@ -1,5 +1,6 @@
-"""CLI: ``python -m repro.experiments [ids...|all|report]`` and
-``python -m repro.experiments plan <model> <strategy>``.
+"""CLI: ``python -m repro.experiments [ids...|all|report]``,
+``python -m repro.experiments plan <model> <strategy>``, and
+``python -m repro.experiments autotune <model>``.
 
 Examples::
 
@@ -9,6 +10,9 @@ Examples::
     python -m repro.experiments plan ResNet-50 SPD-KFAC
     python -m repro.experiments plan ResNet-152 MPD-KFAC --gpus 16 --json plan.json
     python -m repro.experiments plan --list-strategies
+    python -m repro.experiments autotune ResNet-50 --gpus 16
+    python -m repro.experiments autotune DenseNet-201 --topology heterogeneous --json report.json
+    python -m repro.experiments autotune --list-topologies
 """
 
 from __future__ import annotations
@@ -95,10 +99,88 @@ def _plan_main(argv) -> int:
     return 0
 
 
+def _autotune_main(argv) -> int:
+    from repro.autotune import autotune
+    from repro.models.catalog import PAPER_MODELS
+    from repro.topo import named_topology, topology_preset_names
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments autotune",
+        description=(
+            "Search the full planner axis grid (gradient reduction x factor "
+            "fusion/launch x inverse placement x collective algorithm) for "
+            "one model on one cluster."
+        ),
+    )
+    parser.add_argument(
+        "model", nargs="?", help=f"model name ({', '.join(PAPER_MODELS)})"
+    )
+    cluster = parser.add_mutually_exclusive_group()
+    cluster.add_argument(
+        "--gpus", type=int, default=None,
+        help="cluster size (default: the paper's 64-GPU testbed)",
+    )
+    cluster.add_argument(
+        "--topology", default=None, metavar="NAME",
+        help=(
+            "named cluster topology preset "
+            f"({', '.join(topology_preset_names())}); searches the "
+            "collective-algorithm axis too"
+        ),
+    )
+    parser.add_argument(
+        "--top", type=int, default=10, metavar="K",
+        help="ranked candidates to print (default: 10)",
+    )
+    parser.add_argument(
+        "--no-prune", action="store_true",
+        help="simulate every candidate instead of pruning by lower bound",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the full ranked report (with Pareto frontier) to PATH",
+    )
+    parser.add_argument(
+        "--list-topologies", action="store_true",
+        help="list named topology presets and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_topologies:
+        for name in topology_preset_names():
+            topo = named_topology(name)
+            print(f"{name}: {topo.name} ({topo.world_size} GPUs)")
+        return 0
+    if args.model is None:
+        parser.error("model is required (or use --list-topologies)")
+
+    if args.topology is not None:
+        try:
+            cluster_arg = named_topology(args.topology)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+    else:
+        cluster_arg = args.gpus
+
+    try:
+        report = autotune(args.model, cluster_arg, prune=not args.no_prune)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    print(report.to_text(top_k=args.top))
+    if args.json:
+        report.save(args.json)
+        print(f"report written to {args.json}")
+    return 0
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "plan":
         return _plan_main(argv[1:])
+    if argv and argv[0] == "autotune":
+        return _autotune_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -108,8 +190,9 @@ def main(argv=None) -> int:
         "ids",
         nargs="+",
         help=(
-            f"experiment ids ({', '.join(EXPERIMENTS)}), 'all', 'report', or "
-            "'plan <model> <strategy>' (see 'plan --help')"
+            f"experiment ids ({', '.join(EXPERIMENTS)}), 'all', 'report', "
+            "'plan <model> <strategy>' (see 'plan --help'), or "
+            "'autotune <model>' (see 'autotune --help')"
         ),
     )
     args = parser.parse_args(argv)

@@ -29,6 +29,7 @@ EXPERIMENTS: Dict[str, str] = {
     "ext_convergence": "repro.experiments.ext_convergence",
     "ext_topology": "repro.experiments.ext_topology",
     "ext_topo_crossover": "repro.experiments.ext_topo_crossover",
+    "ext_autotune": "repro.experiments.ext_autotune",
 }
 
 PAPER_MODEL_NAMES = ("ResNet-50", "ResNet-152", "DenseNet-201", "Inception-v4")

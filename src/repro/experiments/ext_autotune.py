@@ -1,0 +1,116 @@
+"""Extension: autotune the full planner axis grid per (model, cluster).
+
+The paper hand-picks SPD-KFAC's scheme for one flat 64-GPU InfiniBand
+testbed.  This sweep runs :func:`repro.autotune.autotune` — the full
+gradient-reduction x factor-fusion/launch x inverse-placement x
+collective-algorithm grid — for every paper model on the flat testbed,
+a 4-rack ethernet-spine cluster, and a heterogeneous NVLink+PCIe
+cluster, and reports the best found combination next to the best named
+preset.  Expected shape: on the paper's own fabric SPD-KFAC is (almost
+always) the optimum the search re-discovers; off the paper's testbed the
+search finds strictly better non-preset combinations — e.g. a different
+collective algorithm than "auto" picks, or bulk gradient reduction when
+a model's layer structure makes WFBP's interleaving a loss.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.autotune import autotune
+from repro.experiments.base import PAPER_MODEL_NAMES, ExperimentResult
+from repro.perf import ClusterPerfProfile
+from repro.topo import ClusterTopology, named_topology
+
+#: The swept 64-GPU cluster shapes (differences are purely topological).
+SCENARIO_NAMES = ("flat", "multi-rack", "heterogeneous")
+
+_CACHED_DEFAULT_RUN: Optional[ExperimentResult] = None
+
+
+def default_scenarios() -> Tuple[ClusterTopology, ...]:
+    return tuple(named_topology(name) for name in SCENARIO_NAMES)
+
+
+def _fresh_copy(result: ExperimentResult) -> ExperimentResult:
+    """A caller-mutable copy of a cached result (rows/notes copied)."""
+    return ExperimentResult(
+        experiment_id=result.experiment_id,
+        title=result.title,
+        columns=tuple(result.columns),
+        rows=[dict(row) for row in result.rows],
+        notes=list(result.notes),
+    )
+
+
+def run(
+    profile: Optional[ClusterPerfProfile] = None,
+    scenarios: Optional[Sequence[ClusterTopology]] = None,
+    models: Optional[Sequence[str]] = None,
+) -> ExperimentResult:
+    """Autotune every (model, topology) cell; compare with the presets.
+
+    The 12-cell default sweep simulates thousands of candidate schedules,
+    so its result is computed once per process and copied per caller.
+    """
+    global _CACHED_DEFAULT_RUN
+    del profile  # each cell derives its profiles from the topology
+    default_run = scenarios is None and models is None
+    if default_run and _CACHED_DEFAULT_RUN is not None:
+        return _fresh_copy(_CACHED_DEFAULT_RUN)
+    scenarios = tuple(scenarios) if scenarios is not None else default_scenarios()
+    models = tuple(models) if models is not None else PAPER_MODEL_NAMES
+
+    result = ExperimentResult(
+        experiment_id="ext_autotune",
+        title="Extension: best strategy per (model, topology) from a full axis-grid search",
+        columns=(
+            "model", "topology", "cands", "sim", "pruned", "best strategy",
+            "best(s)", "best preset", "preset(s)", "speedup", "pareto",
+        ),
+    )
+    beaten = []
+    for topo in scenarios:
+        for model in models:
+            report = autotune(model, topo)
+            best = report.best
+            preset_name, preset_time = report.best_preset
+            result.rows.append(
+                {
+                    "model": model,
+                    "topology": topo.name,
+                    "cands": report.stats["candidates"],
+                    "sim": report.stats["simulated"],
+                    "pruned": report.stats["pruned"],
+                    "best strategy": best.label,
+                    "best(s)": best.iteration_time,
+                    "best preset": preset_name,
+                    "preset(s)": preset_time,
+                    "speedup": report.speedup_over_presets,
+                    "pareto": len(report.pareto()),
+                }
+            )
+            if best.iteration_time < preset_time and best.preset is None:
+                beaten.append((model, topo.name, best, preset_name, preset_time))
+
+    for model, topo_name, best, preset_name, preset_time in beaten:
+        result.notes.append(
+            f"{model} on {topo_name}: the non-preset combination "
+            f"{best.label} beats {preset_name} "
+            f"({best.iteration_time:.4f}s vs {preset_time:.4f}s) — "
+            "the hand-picked SPD-KFAC axes are not optimal for this cell."
+        )
+    result.notes.append(
+        "Every cell's best is at least as fast as the best named preset by "
+        "construction: the presets are simulated first and their axis "
+        "twins stay in the ranking."
+    )
+    result.notes.append(
+        "speedup = best preset time / best found time; pareto = size of "
+        "the (iteration time x traffic bytes) frontier among simulated "
+        "candidates."
+    )
+    if default_run:
+        _CACHED_DEFAULT_RUN = result
+        return _fresh_copy(result)
+    return result

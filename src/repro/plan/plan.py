@@ -35,7 +35,7 @@ from repro.perf.models import (
     LinearCommModel,
 )
 from repro.plan.strategy import TrainingStrategy
-from repro.sim import COMM, TaskGraph
+from repro.sim import TaskGraph
 
 PLAN_FORMAT_VERSION = 1
 
@@ -287,12 +287,8 @@ class Plan:
 
 def count_tasks(graph: TaskGraph) -> Tuple[Tuple[str, int], ...]:
     """Task-graph metadata recorded on plans: totals plus per-phase counts."""
-    per_phase: Dict[str, int] = {}
-    collectives = 0
-    for task in graph.tasks:
-        per_phase[task.phase.name] = per_phase.get(task.phase.name, 0) + 1
-        if task.kind == COMM:
-            collectives += 1
-    items = [("tasks", len(graph.tasks)), ("collectives", collectives)]
+    per_phase = graph.phase_counts()
+    collectives = int(graph.columns().is_comm.sum())
+    items = [("tasks", len(graph)), ("collectives", collectives)]
     items.extend(sorted(per_phase.items()))
     return tuple(items)

@@ -194,6 +194,14 @@ class Session:
     def topology(self) -> Optional[ClusterTopology]:
         return self._topology
 
+    @property
+    def num_workers(self) -> int:
+        """The cluster size this session plans for."""
+        if self._topology is not None:
+            return self._topology.world_size
+        assert self._profile is not None
+        return self._profile.num_workers
+
     def profile_for(self, strategy: Union[str, TrainingStrategy]) -> ClusterPerfProfile:
         """The cost profile a strategy runs under in this session.
 
@@ -290,6 +298,17 @@ class Session:
             # foreign plan's parts may differ from what resolution gives.
             return result
         return self._plan_and_result(resolve_strategy(plan_or_strategy))[1]
+
+    def autotune(self, **options):
+        """Search the full planner axis grid on this session's cluster.
+
+        Convenience for :func:`repro.autotune.autotune` — options are
+        forwarded verbatim; returns its
+        :class:`~repro.autotune.AutotuneReport`.
+        """
+        from repro.autotune import autotune  # local: repro.autotune builds on plan
+
+        return autotune(self, **options)
 
     def compare(
         self, *strategies: Union[str, TrainingStrategy]

@@ -22,7 +22,7 @@ mismatched collective orders) exactly.
 from repro.sim.task import GraphColumns, Phase, SimTask, TaskGraph, COMPUTE, COMM
 from repro.sim.engine import DeadlockError, simulate, simulate_many
 from repro.sim.timeline import Breakdown, Timeline, TimelineEntry
-from repro.sim.analysis import critical_path, critical_path_phases
+from repro.sim.analysis import critical_path, critical_path_phases, stream_lower_bounds
 
 __all__ = [
     "GraphColumns",
@@ -39,4 +39,5 @@ __all__ = [
     "Breakdown",
     "critical_path",
     "critical_path_phases",
+    "stream_lower_bounds",
 ]

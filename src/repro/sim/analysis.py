@@ -10,7 +10,9 @@ it does and what a further optimization could possibly win.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.sim.task import TaskGraph
 from repro.sim.timeline import Timeline, TimelineEntry
@@ -56,6 +58,30 @@ def critical_path(graph: TaskGraph, timeline: Timeline) -> List[TimelineEntry]:
         current = pred
     path.reverse()
     return path
+
+
+def stream_lower_bounds(graph: TaskGraph) -> Tuple[float, float]:
+    """Schedule-free makespan lower bounds of ``graph``: (compute, comm).
+
+    ``compute`` is the busiest rank's total compute-kernel time (one
+    serial compute stream per rank); ``comm`` is the total collective
+    time (every collective occupies all its ranks' communication
+    streams, so collectives spanning all ranks serialize globally).  Any
+    legal schedule's makespan is at least ``max(compute, comm)`` — the
+    analytic counterpart, computed from the built graph, of the planner
+    bounds in :mod:`repro.autotune.bounds`.
+    """
+    cols = graph.columns()
+    comm = float(cols.durations[cols.is_comm].sum())
+    counts = np.diff(cols.ranks_indptr)
+    flat_tids = np.repeat(np.arange(cols.n), counts)
+    compute_mask = ~cols.is_comm[flat_tids]
+    loads = np.zeros(graph.num_ranks, dtype=np.float64)
+    np.add.at(
+        loads, cols.ranks_flat[compute_mask], cols.durations[flat_tids[compute_mask]]
+    )
+    compute = float(loads.max()) if loads.size else 0.0
+    return compute, comm
 
 
 def critical_path_phases(graph: TaskGraph, timeline: Timeline) -> Dict[str, float]:

@@ -18,6 +18,7 @@ build/simulate path never does).
 from __future__ import annotations
 
 import enum
+from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple
 
@@ -332,6 +333,18 @@ class TaskGraph:
         """Name of task ``tid`` without materializing objects."""
         self._absorb_external_tasks()
         return self._names[tid]
+
+    def task_phase(self, tid: int) -> Phase:
+        """Phase of task ``tid`` without materializing objects."""
+        self._absorb_external_tasks()
+        return self._phases[tid]
+
+    def phase_counts(self) -> Dict[str, int]:
+        """Task count per phase name (no object materialization)."""
+        self._absorb_external_tasks()
+        # Count by enum identity first: 25k ``.name`` attribute lookups
+        # are the expensive part, not the counting.
+        return {phase.name: count for phase, count in Counter(self._phases).items()}
 
     def stream_queues(self) -> Dict[Tuple[int, str], List[int]]:
         """FIFO queue (task ids in insertion order) per (rank, stream)."""

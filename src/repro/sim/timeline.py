@@ -13,8 +13,9 @@ The paper reports two time views we reproduce here:
 from __future__ import annotations
 
 import json
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -98,6 +99,7 @@ class Timeline:
         self._graph: Optional["TaskGraph"] = None
         self._start: Optional[np.ndarray] = None
         self._end: Optional[np.ndarray] = None
+        self._rank_ends: Optional[np.ndarray] = None
 
     @classmethod
     def from_schedule(
@@ -132,6 +134,49 @@ class Timeline:
             return float(self._end.max()) if self._end.size else 0.0
         return max((e.end for e in self.entries), default=0.0)
 
+    # -- columnar fast paths --------------------------------------------------
+    #
+    # Schedules built by the engine carry flat start/end vectors beside
+    # the graph's columnar arrays; summary queries (critical rank, per
+    # rank horizons, breakdowns) run directly on those arrays instead of
+    # materializing and scanning 25k ``TimelineEntry`` objects.  Every
+    # fast path reproduces the object path bit-exactly (same boundary
+    # order, same float accumulation order) — asserted by
+    # ``tests/test_sim_timeline.py``.
+
+    def _columnar(self) -> Optional[Tuple["TaskGraph", np.ndarray, np.ndarray]]:
+        if self._graph is None or self._start is None or self._end is None:
+            return None
+        return self._graph, self._start, self._end
+
+    def _rank_end_vector(self) -> Optional[np.ndarray]:
+        """Per-rank completion times from the columnar arrays (cached)."""
+        state = self._columnar()
+        if state is None:
+            return None
+        if self._rank_ends is None:
+            graph, _, end = state
+            cols = graph.columns()
+            n = end.size  # tasks appended after simulate() have no schedule
+            counts = np.diff(cols.ranks_indptr[: n + 1])
+            flat_tids = np.repeat(np.arange(n), counts)
+            flat_ranks = cols.ranks_flat[: cols.ranks_indptr[n]]
+            ends = np.zeros(self.num_ranks, dtype=np.float64)
+            np.maximum.at(ends, flat_ranks, end[flat_tids])
+            self._rank_ends = ends
+        return self._rank_ends
+
+    def _rank_tids(self, rank: int) -> np.ndarray:
+        """Scheduled task ids involving ``rank``, in (start, end) order."""
+        graph, start, end = self._columnar()
+        cols = graph.columns()
+        n = end.size
+        counts = np.diff(cols.ranks_indptr[: n + 1])
+        flat_tids = np.repeat(np.arange(n), counts)
+        tids = flat_tids[cols.ranks_flat[: cols.ranks_indptr[n]] == rank]
+        order = np.lexsort((end[tids], start[tids]))
+        return tids[order]
+
     def rank_entries(self, rank: int, kind: Optional[str] = None) -> List[TimelineEntry]:
         """Entries involving ``rank``, optionally filtered by stream kind."""
         selected = [
@@ -144,10 +189,16 @@ class Timeline:
 
     def rank_end(self, rank: int) -> float:
         """Completion time of the last task involving ``rank``."""
+        ends = self._rank_end_vector()
+        if ends is not None:
+            return float(ends[rank])
         return max((e.end for e in self.entries if rank in e.task.ranks), default=0.0)
 
     def critical_rank(self) -> int:
         """The rank that finishes last (defines iteration time)."""
+        ends = self._rank_end_vector()
+        if ends is not None:
+            return int(np.argmax(ends))  # first max, like the object path
         return max(range(self.num_ranks), key=self.rank_end)
 
     def busy_by_phase(self, rank: int) -> Dict[str, float]:
@@ -157,6 +208,60 @@ class Timeline:
             label = entry.task.phase.value
             out[label] = out.get(label, 0.0) + entry.duration
         return out
+
+    def _fast_breakdown(self, rank: int) -> Breakdown:
+        """Columnar :meth:`breakdown`: same attribution, array lookups.
+
+        Positive-duration tasks of one (rank, stream) never overlap (the
+        engine serializes each stream), so "the entry covering [a, b)" is
+        a binary search over that stream's start times instead of a scan.
+        Boundary set, attribution priority, and float accumulation order
+        are identical to the object path.
+        """
+        graph, start, end = self._columnar()
+        horizon = self.rank_end(rank)
+        seconds: Dict[str, float] = {}
+        if horizon <= 0.0:
+            return Breakdown(rank=rank, total=horizon if horizon > 0 else 0.0, seconds=seconds)
+
+        tids = self._rank_tids(rank)
+        starts = start[tids]
+        ends = end[tids]
+        is_comm = graph.columns().is_comm[tids]
+        labels = [graph.task_phase(int(t)).value for t in tids]
+        positive = ends > starts
+
+        def stream(mask: np.ndarray) -> Tuple[List[float], List[float], List[int]]:
+            idx = np.flatnonzero(mask & positive)
+            return starts[idx].tolist(), ends[idx].tolist(), idx.tolist()
+
+        comp_starts, comp_ends, comp_idx = stream(~is_comm)
+        comm_starts, comm_ends, comm_idx = stream(is_comm)
+        all_starts = starts.tolist()
+
+        boundaries = np.unique(
+            np.concatenate((np.array([0.0, horizon]), starts, ends))
+        ).tolist()
+        for a, b in zip(boundaries, boundaries[1:]):
+            if b > horizon:
+                break
+            segment = b - a
+            if segment <= 0:
+                continue
+            label = None
+            for s_starts, s_ends, s_idx in (
+                (comp_starts, comp_ends, comp_idx),
+                (comm_starts, comm_ends, comm_idx),
+            ):
+                pos = bisect_right(s_starts, a) - 1
+                if pos >= 0 and s_ends[pos] >= b:
+                    label = labels[s_idx[pos]]
+                    break
+            if label is None:
+                pos = bisect_left(all_starts, a)
+                label = labels[pos] if pos < len(all_starts) else Phase.OTHER.value
+            seconds[label] = seconds.get(label, 0.0) + segment
+        return Breakdown(rank=rank, total=horizon, seconds=seconds)
 
     def breakdown(self, rank: Optional[int] = None) -> Breakdown:
         """Stacked breakdown on ``rank`` (default: the critical rank).
@@ -171,6 +276,8 @@ class Timeline:
         """
         if rank is None:
             rank = self.critical_rank()
+        if self._columnar() is not None:
+            return self._fast_breakdown(rank)
         entries = self.rank_entries(rank)
         horizon = self.rank_end(rank)
         seconds: Dict[str, float] = {}

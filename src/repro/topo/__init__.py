@@ -39,6 +39,11 @@ from repro.topo.graph import (
     multi_rack,
     resolve_link,
 )
+from repro.topo.presets import (
+    TOPOLOGY_PRESETS,
+    named_topology,
+    topology_preset_names,
+)
 from repro.topo.collectives import (
     ALGORITHMS,
     TREE_BANDWIDTH_EFFICIENCY,
@@ -82,4 +87,7 @@ __all__ = [
     "TREE_BANDWIDTH_EFFICIENCY",
     "allreduce_model",
     "broadcast_model",
+    "TOPOLOGY_PRESETS",
+    "named_topology",
+    "topology_preset_names",
 ]

@@ -1,0 +1,47 @@
+"""Named cluster-topology presets for CLIs and sweeps.
+
+The autotuner and the ``autotune`` CLI subcommand need cluster shapes
+addressable by name (``--topology multi-rack``); these presets are the
+64-GPU scenario set the topology experiments sweep — same GPU count
+everywhere, so differences are purely topological.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.topo.graph import ClusterTopology, flat, heterogeneous, multi_node, multi_rack
+
+#: Name -> builder for the standard 64-GPU scenario shapes.
+TOPOLOGY_PRESETS: Dict[str, Callable[[], ClusterTopology]] = {
+    "flat": lambda: flat(64, name="flat-64 (paper fabric)"),
+    "multi-node": lambda: multi_node(
+        8, 8, intra="nvlink", inter="ib", name="8 nodes x 8 nvlink / ib"
+    ),
+    "pcie-eth": lambda: multi_node(
+        16, 4, intra="pcie", inter="ethernet", name="16 nodes x 4 pcie / eth"
+    ),
+    "multi-rack": lambda: multi_rack(
+        4, 4, 4, intra="nvlink", inter="ib", spine="ethernet",
+        name="4 racks x 4 x 4 / eth spine",
+    ),
+    "heterogeneous": lambda: heterogeneous(
+        ((7, 8, "nvlink"), (1, 8, "pcie")), inter="ib",
+        name="7 nvlink + 1 pcie node",
+    ),
+}
+
+
+def topology_preset_names() -> Tuple[str, ...]:
+    """Preset names in registration order."""
+    return tuple(TOPOLOGY_PRESETS)
+
+
+def named_topology(name: str) -> ClusterTopology:
+    """Build the preset topology called ``name`` (case-insensitive)."""
+    key = name.strip().lower().replace("_", "-").replace(" ", "-")
+    if key not in TOPOLOGY_PRESETS:
+        raise KeyError(
+            f"unknown topology preset {name!r}; options: {topology_preset_names()}"
+        )
+    return TOPOLOGY_PRESETS[key]()

@@ -1,0 +1,324 @@
+"""Unit tests for the strategy autotuner: grid, bounds, traffic, tuner."""
+
+import json
+
+import pytest
+
+from repro.autotune import (
+    FACTOR_AXES,
+    SECOND_ORDER_PRESETS,
+    autotune,
+    candidate_bound,
+    matching_preset,
+    pareto_frontier,
+    plan_traffic,
+    parts_traffic,
+    strategy_grid,
+    strategy_label,
+)
+from repro.comm import packed_size
+from repro.models import get_model_spec
+from repro.models.builder import SpecBuilder
+from repro.perf import scaled_cluster_profile
+from repro.plan import Session, resolve_plan_parts, strategy_registry
+from repro.sim import stream_lower_bounds
+
+
+def small_spec():
+    builder = SpecBuilder(model_name="tiny", batch_size=4, input_size=16)
+    builder.conv("conv0", 3, 8, kernel=3, stride=1, padding="same")
+    builder.conv("conv1", 8, 8, kernel=3, stride=1, padding="same")
+    builder.linear("fc", 8, 10)
+    return builder.build()
+
+
+@pytest.fixture(scope="module")
+def profile4():
+    return scaled_cluster_profile(4)
+
+
+class TestGrid:
+    def test_size_and_validity(self):
+        grid = strategy_grid()
+        # 2 gradient reductions x 9 factor combos x 4 placements.
+        assert len(grid) == 72
+        assert len({s.name for s in grid}) == len(grid)
+        for s in grid:
+            assert s.second_order and s.distributed and s.include_solve
+
+    def test_collective_axis_multiplies(self):
+        grid = strategy_grid(collectives=("auto", "ring", "tree", "hierarchical"))
+        assert len(grid) == 288
+
+    def test_unknown_collective_rejected(self):
+        with pytest.raises(ValueError, match="unknown collective"):
+            strategy_grid(collectives=("warp",))
+
+    def test_factor_axes_cover_validator(self):
+        # Every (fusion, pipelined, combined) triple the validator accepts
+        # must be in FACTOR_AXES, and vice versa.
+        from repro.core.pipeline import FACTOR_FUSION_POLICIES
+        from repro.plan import TrainingStrategy
+
+        valid = set()
+        for fusion in FACTOR_FUSION_POLICIES:
+            for pipelined in (True, False):
+                for combined in (True, False):
+                    try:
+                        TrainingStrategy(
+                            factor_fusion=fusion,
+                            factor_pipelining=pipelined,
+                            combine_factor_passes=combined,
+                            placement="lbp",
+                        )
+                    except ValueError:
+                        continue
+                    valid.add((fusion, pipelined, combined))
+        assert valid == set(FACTOR_AXES)
+
+    def test_presets_are_grid_points(self):
+        grid_axes = {
+            s.but(name="x") for s in strategy_grid(
+                collectives=("auto", "ring", "tree", "hierarchical")
+            )
+        }
+        for name in SECOND_ORDER_PRESETS:
+            assert strategy_registry[name].but(name="x") in grid_axes
+
+    def test_labels_roundtrip_axes(self):
+        for s in strategy_grid():
+            assert s.name == strategy_label(s)
+            assert s.gradient_reduction in s.name
+            assert s.placement in s.name
+
+
+class TestMatchingPreset:
+    def test_presets_match_themselves(self):
+        for name in ("SGD", "S-SGD", "KFAC", "D-KFAC", "MPD-KFAC", "SPD-KFAC"):
+            assert matching_preset(strategy_registry[name]) == name
+
+    def test_renamed_axes_still_match(self):
+        spd = strategy_registry["SPD-KFAC"].but(name="anything")
+        assert matching_preset(spd) == "SPD-KFAC"
+
+    def test_custom_combo_matches_nothing(self):
+        custom = strategy_registry["SPD-KFAC"].but(placement="balanced")
+        assert matching_preset(custom) is None
+
+
+class TestBounds:
+    def test_bound_below_simulated_time_full_grid(self, profile4):
+        spec = small_spec()
+        session = Session(spec, profile4)
+        for s in strategy_grid():
+            num_ranks, grad_plan, fplan, placement = resolve_plan_parts(
+                spec, profile4, s
+            )
+            bound = candidate_bound(
+                spec, profile4, num_ranks=num_ranks, grad_plan=grad_plan,
+                fplan=fplan, placement=placement, include_solve=s.include_solve,
+            )
+            plan = session.plan(s)
+            assert bound.total <= plan.predicted_makespan + 1e-12, s.name
+            # ... and the graph-level bound sits between them.
+            compute, comm = stream_lower_bounds(plan.build_graph(spec))
+            assert bound.compute <= compute + 1e-12
+            assert bound.comm == pytest.approx(comm, rel=1e-12)
+            assert max(compute, comm) <= plan.predicted_makespan + 1e-12
+
+    def test_components_nonnegative(self, profile4):
+        spec = small_spec()
+        s = strategy_grid()[0]
+        num_ranks, grad_plan, fplan, placement = resolve_plan_parts(spec, profile4, s)
+        bound = candidate_bound(
+            spec, profile4, num_ranks=num_ranks, grad_plan=grad_plan,
+            fplan=fplan, placement=placement,
+        )
+        assert bound.compute > 0
+        assert bound.comm > 0
+        assert bound.total == max(bound.compute, bound.comm, bound.chain)
+
+
+class TestTraffic:
+    def test_plan_traffic_matches_parts(self, profile4):
+        spec = small_spec()
+        session = Session(spec, profile4)
+        plan = session.plan("SPD-KFAC")
+        counter = plan_traffic(plan, spec)
+        parts = parts_traffic(
+            spec, num_ranks=plan.num_ranks, grad_plan=plan.grad_plan,
+            fplan=plan.factor_plan, placement=plan.placement,
+        )
+        assert counter.as_dict() == parts.as_dict()
+
+    def test_gradient_traffic_is_sum_of_layer_params(self, profile4):
+        spec = small_spec()
+        plan = Session(spec, profile4).plan("SPD-KFAC")
+        counter = plan_traffic(plan, spec)
+        assert counter.elements["allreduce.grad"] == sum(
+            layer.num_params for layer in spec.layers
+        )
+
+    def test_non_dist_placement_broadcasts_nothing(self, profile4):
+        spec = small_spec()
+        session = Session(spec, profile4)
+        spd = strategy_registry["SPD-KFAC"]
+        lbp_traffic = plan_traffic(session.plan(spd), spec)
+        local = plan_traffic(
+            session.plan(spd.but(name="local", placement="non_dist")), spec
+        )
+        assert "broadcast.inverse" not in local.elements
+        assert local.total_bytes() <= lbp_traffic.total_bytes()
+
+    def test_ct_broadcasts_are_packed_symmetric(self, profile4):
+        spec = small_spec()
+        plan = Session(spec, profile4).plan("MPD-KFAC")
+        counter = plan_traffic(plan, spec)
+        expected = sum(
+            packed_size(d)
+            for i, d in enumerate(plan.placement.dims)
+            if not plan.placement.is_nct(i)
+        )
+        assert counter.elements["broadcast.inverse"] == expected
+
+    def test_mismatched_spec_rejected(self, profile4):
+        plan = Session(small_spec(), profile4).plan("SPD-KFAC")
+        with pytest.raises(ValueError, match="does not match"):
+            plan_traffic(plan, get_model_spec("ResNet-50"))
+
+
+class TestTuner:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return autotune(small_spec(), scaled_cluster_profile(4))
+
+    def test_best_at_least_matches_best_preset(self, report):
+        _, preset_time = report.best_preset
+        assert report.best.iteration_time <= preset_time
+        assert report.speedup_over_presets >= 1.0
+
+    def test_ranked_order(self, report):
+        simulated = [o for o in report.outcomes if o.iteration_time is not None]
+        times = [o.iteration_time for o in simulated]
+        assert times == sorted(times)
+        pruned = report.outcomes[len(simulated):]
+        assert all(o.iteration_time is None for o in pruned)
+        bounds = [o.bound.total for o in pruned]
+        assert bounds == sorted(bounds)
+
+    def test_stats_consistent(self, report):
+        stats = report.stats
+        assert stats["candidates"] == 72
+        assert (
+            stats["simulated"] + stats["reused"] + stats["pruned"]
+            == stats["candidates"]
+        )
+        assert len(report.outcomes) == stats["candidates"]
+
+    def test_pruned_candidates_cannot_beat_best(self, report):
+        best = report.best.iteration_time
+        for o in report.outcomes:
+            if o.iteration_time is None:
+                assert o.bound.total >= best
+
+    def test_preset_twins_carry_preset_results(self, report):
+        for name in SECOND_ORDER_PRESETS:
+            twin = [o for o in report.outcomes if o.preset == name]
+            assert twin, name
+            assert twin[0].iteration_time == report.preset_times[name]
+
+    def test_pareto_frontier_nondominated(self, report):
+        frontier = pareto_frontier(report.outcomes)
+        assert frontier
+        assert frontier[0].iteration_time == report.best.iteration_time
+        for a in frontier:
+            for b in frontier:
+                if a is not b:
+                    dominated = (
+                        b.iteration_time <= a.iteration_time
+                        and b.traffic_bytes <= a.traffic_bytes
+                    )
+                    assert not dominated
+
+    def test_report_serializes(self, report, tmp_path):
+        payload = json.loads(report.to_json())
+        assert payload["model"] == "tiny"
+        assert payload["stats"]["candidates"] == 72
+        path = tmp_path / "report.json"
+        report.save(str(path))
+        assert json.loads(path.read_text())["best"] == payload["best"]
+
+    def test_to_text_mentions_best_preset(self, report):
+        text = report.to_text(top_k=5)
+        assert "best preset" in text
+        assert "pareto" in text
+
+    def test_no_prune_finds_same_best(self, report):
+        full = autotune(small_spec(), scaled_cluster_profile(4), prune=False)
+        assert full.stats["pruned"] == 0
+        assert full.best.iteration_time == report.best.iteration_time
+
+    def test_session_autotune_delegates(self):
+        session = Session(small_spec(), scaled_cluster_profile(4))
+        report = session.autotune(presets=("SPD-KFAC",))
+        assert set(report.preset_times) == {"SPD-KFAC"}
+
+    def test_custom_candidates_shortlist(self):
+        spd = strategy_registry["SPD-KFAC"]
+        report = autotune(
+            small_spec(),
+            scaled_cluster_profile(4),
+            candidates=[spd.but(name="custom"), spd.but(placement="balanced")],
+        )
+        assert report.stats["candidates"] == 2
+
+    def test_session_and_cluster_conflict_rejected(self):
+        session = Session(small_spec(), scaled_cluster_profile(4))
+        with pytest.raises(ValueError, match="not both"):
+            autotune(session, 8)
+
+    def test_fully_pruned_shortlist_reports_gracefully(self):
+        # A shortlist whose only candidate cannot beat the presets is
+        # pruned entirely; the report must render instead of crashing.
+        slow = strategy_registry["SPD-KFAC"].but(
+            name="slow",
+            gradient_reduction="bulk",
+            factor_fusion="none",
+            placement="non_dist",
+        )
+        report = autotune(
+            small_spec(), scaled_cluster_profile(4), candidates=[slow]
+        )
+        assert report.stats["candidates"] == 1
+        if report.stats["pruned"] == 1:
+            with pytest.raises(ValueError, match="pruned"):
+                report.best
+            assert report.to_dict()["best"] is None
+        text = report.to_text()
+        assert "best preset" in text
+
+    def test_no_presets_reports_gracefully(self):
+        report = autotune(
+            small_spec(), scaled_cluster_profile(4), presets=()
+        )
+        with pytest.raises(ValueError, match="no presets"):
+            report.best_preset
+        assert report.best.iteration_time > 0
+        payload = report.to_dict()
+        assert payload["best_preset"] is None
+        assert payload["speedup_over_presets"] is None
+        assert "best found" in report.to_text()
+
+
+class TestTunerOnTopology:
+    def test_collective_axis_searched(self):
+        from repro.topo import multi_rack
+
+        topo = multi_rack(2, 2, 2, intra="nvlink", inter="ib", spine="ethernet")
+        report = autotune(small_spec(), topo)
+        assert report.stats["candidates"] == 288
+        assert report.world_size == 8
+        collectives = {o.strategy.collective for o in report.outcomes}
+        assert collectives == {"auto", "ring", "tree", "hierarchical"}
+        _, preset_time = report.best_preset
+        assert report.best.iteration_time <= preset_time

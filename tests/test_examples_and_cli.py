@@ -130,6 +130,61 @@ class TestPlanCli:
             assert name in result.stdout
 
 
+class TestAutotuneCli:
+    def test_autotune_prints_ranked_report(self):
+        result = run_script(
+            "-m", "repro.experiments", "autotune", "ResNet-50", "--gpus", "8",
+            "--top", "5",
+        )
+        assert result.returncode == 0, result.stderr
+        assert "autotune: ResNet-50 on 8-GPU profile" in result.stdout
+        assert "best preset:" in result.stdout
+        assert "pareto" in result.stdout
+        assert "SPD-KFAC" in result.stdout
+
+    def test_autotune_json_report(self, tmp_path):
+        path = tmp_path / "report.json"
+        result = run_script(
+            "-m", "repro.experiments", "autotune", "ResNet-50", "--gpus", "8",
+            "--json", str(path),
+        )
+        assert result.returncode == 0, result.stderr
+        import json
+
+        payload = json.loads(path.read_text())
+        assert payload["model"] == "ResNet-50"
+        assert payload["world_size"] == 8
+        assert payload["stats"]["candidates"] == 72
+        assert payload["best"]["iteration_time"] <= payload["best_preset"][1]
+
+    def test_autotune_list_topologies(self):
+        result = run_script("-m", "repro.experiments", "autotune", "--list-topologies")
+        assert result.returncode == 0, result.stderr
+        for name in ("flat", "multi-rack", "heterogeneous"):
+            assert name in result.stdout
+
+    def test_autotune_unknown_model_fails_cleanly(self):
+        result = run_script("-m", "repro.experiments", "autotune", "LeNet-9000")
+        assert result.returncode == 2
+        assert "unknown model" in result.stderr
+        assert "Traceback" not in result.stderr
+
+    def test_autotune_unknown_topology_fails_cleanly(self):
+        result = run_script(
+            "-m", "repro.experiments", "autotune", "ResNet-50",
+            "--topology", "moebius-strip",
+        )
+        assert result.returncode == 2
+        assert "unknown topology" in result.stderr
+
+    def test_autotune_gpus_and_topology_conflict(self):
+        result = run_script(
+            "-m", "repro.experiments", "autotune", "ResNet-50",
+            "--gpus", "8", "--topology", "flat",
+        )
+        assert result.returncode != 0
+
+
 @pytest.mark.parametrize("experiment_id", ["tab2", "fig3", "fig7", "fig11"])
 def test_fast_experiments_render_roundtrip(experiment_id):
     """Fast experiments render both text and markdown without error."""

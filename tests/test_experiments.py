@@ -43,7 +43,7 @@ class TestRegistry:
         assert paper_ids <= set(EXPERIMENTS)
         assert set(EXPERIMENTS) - paper_ids == {
             "ext_scaling", "ext_planner", "ext_convergence",
-            "ext_topology", "ext_topo_crossover",
+            "ext_topology", "ext_topo_crossover", "ext_autotune",
         }
 
     def test_unknown_id(self):
@@ -289,6 +289,49 @@ class TestExtTopology:
         for row in results["ext_topology"].rows:
             assert row["SPD-KFAC(s)"] > 0
             assert row["D-KFAC(s)"] >= row["SPD-KFAC(s)"] * 0.8
+
+
+class TestExtAutotune:
+    def test_every_cell_covered(self, results):
+        rows = results["ext_autotune"].rows
+        assert {r["model"] for r in rows} == set(PAPER_MODEL_NAMES)
+        assert len({r["topology"] for r in rows}) == 3
+        assert len(rows) == 12
+
+    def test_best_never_worse_than_best_preset(self, results):
+        """Acceptance: on every (model, cluster) cell the tuner's best is
+        at least as fast as the best named registry preset."""
+        for row in results["ext_autotune"].rows:
+            assert row["best(s)"] <= row["preset(s)"]
+            assert row["speedup"] >= 1.0
+
+    def test_strictly_better_non_preset_on_heterogeneous(self, results):
+        """Acceptance: at least one heterogeneous/multi-rack cell finds a
+        strictly better combination than every named preset."""
+        strict = [
+            r
+            for r in results["ext_autotune"].rows
+            if r["best(s)"] < r["preset(s)"] and "pcie" in r["topology"]
+        ]
+        assert strict, "no strict win on the heterogeneous topology"
+
+    def test_spd_kfac_rediscovered_on_paper_fabric(self, results):
+        row = one_row(
+            results["ext_autotune"],
+            model="ResNet-50",
+            topology="flat-64 (paper fabric)",
+        )
+        assert row["best strategy"] == "wfbp|optimal+pipe|lbp|auto"
+        assert row["best preset"] == "SPD-KFAC"
+
+    def test_pruning_does_meaningful_work(self, results):
+        for row in results["ext_autotune"].rows:
+            assert row["cands"] == 288
+            assert row["sim"] + row["pruned"] <= row["cands"]
+            assert row["pruned"] > row["cands"] / 3
+
+    def test_notes_name_a_beaten_preset(self, results):
+        assert any("beats" in note for note in results["ext_autotune"].notes)
 
 
 class TestExtTopoCrossover:

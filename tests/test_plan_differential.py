@@ -1,0 +1,105 @@
+"""Differential tests: caching and serialization never change a verdict.
+
+The autotuner ranks strategies by simulated iteration time, mostly served
+from the shared Session cache — so a cache hit must be *bit-identical*
+to a fresh simulation, and a plan must survive JSON round-tripping with
+an identical re-simulation.  Any drift here could silently reorder a
+tuning report.
+"""
+
+import pytest
+
+from repro.models import get_model_spec
+from repro.models.builder import SpecBuilder
+from repro.perf import scaled_cluster_profile
+from repro.plan import Plan, Session, clear_caches, strategy_registry
+
+#: The compared sample: the three distributed presets plus non-preset
+#: combinations from the autotuner's grid (one per varied axis).
+def sample_strategies():
+    spd = strategy_registry["SPD-KFAC"]
+    return [
+        strategy_registry["D-KFAC"],
+        strategy_registry["MPD-KFAC"],
+        spd,
+        spd.but(name="bulk-grad", gradient_reduction="bulk"),
+        spd.but(name="threshold-post", factor_fusion="threshold",
+                factor_pipelining=False),
+        spd.but(name="balanced", placement="balanced"),
+        spd.but(name="solve-off", include_solve=False, placement="non_dist"),
+    ]
+
+
+def small_spec():
+    builder = SpecBuilder(model_name="tiny-diff", batch_size=4, input_size=16)
+    builder.conv("conv0", 3, 8, kernel=3, stride=1, padding="same")
+    builder.conv("conv1", 8, 8, kernel=3, stride=1, padding="same")
+    builder.linear("fc", 8, 10)
+    return builder.build()
+
+
+def specs():
+    return [small_spec(), get_model_spec("ResNet-50")]
+
+
+@pytest.mark.parametrize("strategy", sample_strategies(), ids=lambda s: s.name)
+def test_cached_results_bit_identical_to_fresh_session(strategy):
+    profile = scaled_cluster_profile(4)
+    for spec in specs():
+        clear_caches()
+        first = Session(spec, profile)
+        plan_a = first.plan(strategy)
+        result_a = first.simulate(strategy)
+        # Same session, warm cache: the identical objects come back.
+        assert first.plan(strategy) is plan_a
+        assert first.simulate(strategy) is result_a
+
+        # Fresh session over a cleared cache: bit-identical values.
+        clear_caches()
+        second = Session(spec, profile)
+        plan_b = second.plan(strategy)
+        result_b = second.simulate(strategy)
+        assert plan_b is not plan_a
+        assert plan_b == plan_a
+        assert result_b.iteration_time == result_a.iteration_time
+        assert result_b.breakdown.total == result_a.breakdown.total
+        assert result_b.breakdown.seconds == result_a.breakdown.seconds
+        assert result_b.categories() == result_a.categories()
+
+
+@pytest.mark.parametrize("strategy", sample_strategies(), ids=lambda s: s.name)
+def test_serialized_plans_resimulate_bit_identically(strategy):
+    profile = scaled_cluster_profile(4)
+    for spec in specs():
+        session = Session(spec, profile)
+        plan = session.plan(strategy)
+        reference = session.simulate(strategy)
+
+        loaded = Plan.from_json(plan.to_json())
+        assert loaded == plan
+
+        from repro.core.schedule import run_iteration
+
+        replayed = run_iteration(
+            loaded.build_graph(spec), loaded.strategy.name, spec.name
+        )
+        assert replayed.iteration_time == reference.iteration_time
+        assert replayed.breakdown.seconds == reference.breakdown.seconds
+        assert loaded.predicted_makespan == reference.iteration_time
+        assert dict(loaded.predicted_breakdown) == reference.categories()
+
+
+def test_autotune_verdict_stable_across_cache_states():
+    """The tuner's ranking must not depend on what is already cached."""
+    from repro.autotune import autotune
+
+    spec = small_spec()
+    profile = scaled_cluster_profile(4)
+    clear_caches()
+    cold = autotune(spec, profile)
+    warm = autotune(spec, profile)  # everything served from cache
+    assert [o.label for o in cold.outcomes] == [o.label for o in warm.outcomes]
+    assert [o.iteration_time for o in cold.outcomes] == [
+        o.iteration_time for o in warm.outcomes
+    ]
+    assert cold.best.iteration_time == warm.best.iteration_time

@@ -1,0 +1,160 @@
+"""Property/fuzz tests over the whole TrainingStrategy axis space.
+
+The autotuner's search space is every valid axis combination; this is
+the safety net it stands on.  Seeded random combinations (via
+``utils/rng``) are checked against an *independently stated* validity
+predicate: valid combos must construct, plan, and simulate without
+error, with breakdown components summing to the iteration time and the
+autotuner's lower bound below it; invalid combos must raise
+``ValueError``.
+"""
+
+import math
+
+import pytest
+
+from repro.autotune import candidate_bound, strategy_grid
+from repro.core.pipeline import FACTOR_FUSION_POLICIES
+from repro.core.schedule import PLACEMENT_STRATEGIES
+from repro.models.builder import SpecBuilder
+from repro.perf import scaled_cluster_profile
+from repro.plan import (
+    COLLECTIVE_ALGORITHMS,
+    GRADIENT_REDUCTIONS,
+    Session,
+    TrainingStrategy,
+    resolve_plan_parts,
+)
+from repro.utils.rng import new_rng
+
+SEED = 20260728
+
+#: Every axis with its full domain — the fuzzer draws uniformly here.
+AXIS_DOMAINS = {
+    "second_order": (True, False),
+    "distributed": (True, False),
+    "gradient_reduction": GRADIENT_REDUCTIONS,
+    "factor_fusion": FACTOR_FUSION_POLICIES,
+    "factor_pipelining": (True, False),
+    "combine_factor_passes": (True, False),
+    "placement": PLACEMENT_STRATEGIES,
+    "include_solve": (True, False),
+    "collective": COLLECTIVE_ALGORITHMS,
+}
+
+
+def is_valid(combo):
+    """The validity rules, stated independently of the validator."""
+    if combo["distributed"] and combo["gradient_reduction"] == "none":
+        return False
+    if not combo["distributed"] and combo["gradient_reduction"] != "none":
+        return False
+    if (
+        not combo["distributed"]
+        and combo["second_order"]
+        and combo["placement"] != "non_dist"
+    ):
+        return False
+    if combo["combine_factor_passes"] and (
+        combo["factor_fusion"] != "bulk" or combo["factor_pipelining"]
+    ):
+        return False
+    if not combo["second_order"] and not combo["include_solve"]:
+        return False
+    return True
+
+
+def random_combo(rng):
+    return {
+        axis: domain[int(rng.integers(len(domain)))]
+        for axis, domain in AXIS_DOMAINS.items()
+    }
+
+
+def tiny_spec():
+    builder = SpecBuilder(model_name="tiny-fuzz", batch_size=4, input_size=16)
+    builder.conv("conv0", 3, 8, kernel=3, stride=1, padding="same")
+    builder.conv("conv1", 8, 16, kernel=3, stride=1, padding="same")
+    builder.linear("fc", 16, 10)
+    return builder.build()
+
+
+def test_validator_agrees_with_independent_predicate():
+    """400 seeded random combos: constructibility == the stated rules."""
+    rng = new_rng(SEED)
+    valid_seen = invalid_seen = 0
+    for _ in range(400):
+        combo = random_combo(rng)
+        if is_valid(combo):
+            TrainingStrategy(**combo)  # must not raise
+            valid_seen += 1
+        else:
+            with pytest.raises(ValueError):
+                TrainingStrategy(**combo)
+            invalid_seen += 1
+    # The draw must actually exercise both sides.
+    assert valid_seen > 50
+    assert invalid_seen > 50
+
+
+def test_every_valid_combo_plans_and_simulates():
+    """Seeded valid combos (plus the full autotuner grid) all plan,
+    simulate, and account their time consistently."""
+    spec = tiny_spec()
+    profile = scaled_cluster_profile(4)
+    session = Session(spec, profile)
+
+    rng = new_rng(SEED + 1)
+    sampled = []
+    while len(sampled) < 60:
+        combo = random_combo(rng)
+        if is_valid(combo):
+            sampled.append(TrainingStrategy(**combo))
+    # The autotuner's grid is the distributed second-order subspace; the
+    # random sample adds single-device, first-order, and solve-off combos.
+    for strategy in sampled + strategy_grid():
+        plan = session.plan(strategy)
+        result = session.simulate(strategy)
+
+        # Planning and simulation agree on the headline number.
+        assert result.iteration_time > 0
+        assert plan.predicted_makespan == result.iteration_time
+
+        # Breakdown components sum to the iteration time.
+        breakdown = result.breakdown
+        assert breakdown.total == result.iteration_time
+        assert math.isclose(
+            sum(breakdown.seconds.values()), breakdown.total, rel_tol=1e-9
+        )
+        assert math.isclose(
+            sum(result.categories().values()), result.iteration_time, rel_tol=1e-9
+        )
+
+        # The autotuner's pruning bound never exceeds the simulated time.
+        num_ranks, grad_plan, fplan, placement = resolve_plan_parts(
+            spec, profile, strategy
+        )
+        bound = candidate_bound(
+            spec,
+            profile,
+            num_ranks=num_ranks,
+            grad_plan=grad_plan,
+            fplan=fplan,
+            placement=placement,
+            include_solve=strategy.include_solve,
+        )
+        assert bound.total <= result.iteration_time + 1e-12
+
+
+def test_invalid_axis_values_raise():
+    """Unknown axis values (not just bad combinations) raise ValueError."""
+    rng = new_rng(SEED + 2)
+    for axis in AXIS_DOMAINS:
+        if AXIS_DOMAINS[axis] == (True, False):
+            continue
+        combo = random_combo(rng)
+        while not is_valid(combo):
+            combo = random_combo(rng)
+        combo[axis] = "definitely-not-a-real-option"
+        with pytest.raises(ValueError):
+            TrainingStrategy(**combo)
