@@ -1,0 +1,24 @@
+PYTHON ?= python
+export PYTHONPATH := src:$(PYTHONPATH)
+
+.PHONY: test docs docs-check doctest clean-docs
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Build the documentation site (API reference + HTML) warning-clean.
+# Any broken link/anchor, missing public docstring, or stale paper-map
+# reference fails the build.
+docs:
+	$(PYTHON) docs/build.py
+
+# All docs checks without writing docs/_build/.
+docs-check:
+	$(PYTHON) docs/build.py --check
+
+# Run the runnable examples embedded in docstrings.
+doctest:
+	$(PYTHON) -m pytest -x -q tests/test_doctests.py
+
+clean-docs:
+	rm -rf docs/_build

@@ -1,0 +1,409 @@
+#!/usr/bin/env python
+"""Dependency-free documentation builder for the repro docs site.
+
+``make docs`` runs this script.  It has no third-party dependencies
+(the repro toolchain deliberately ships without sphinx/mkdocs), yet
+covers what a docs CI job needs:
+
+1. **API reference generation** — walks the curated public surface
+   (each package's ``__all__``) and writes one markdown page per
+   package under ``docs/_build/api/``, with signatures and docstrings
+   pulled from the live modules, so the reference can never drift from
+   the code.
+2. **HTML rendering** — converts every markdown page (narrative sources
+   in ``docs/`` plus the generated reference) to a small static HTML
+   site under ``docs/_build/html/``.
+3. **Strict checks** (any warning fails the build):
+
+   * every public symbol of the documented packages has a docstring;
+   * every relative markdown link and ``#anchor`` resolves to an
+     existing page/heading;
+   * every module / test file referenced in ``paper_map.md`` exists.
+
+Usage::
+
+    python docs/build.py            # build into docs/_build/
+    python docs/build.py --check    # checks only, write nothing
+"""
+
+from __future__ import annotations
+
+import argparse
+import html
+import importlib
+import inspect
+import re
+import sys
+from pathlib import Path
+
+DOCS_DIR = Path(__file__).resolve().parent
+REPO_ROOT = DOCS_DIR.parent
+BUILD_DIR = DOCS_DIR / "_build"
+
+#: Packages whose public (``__all__``) surface is documented.  Order is
+#: the order of the generated reference index.
+API_PACKAGES = [
+    "repro.plan",
+    "repro.autotune",
+    "repro.topo",
+    "repro.sim",
+    "repro.perf",
+    "repro.comm",
+    "repro.core",
+    "repro.models",
+    "repro.experiments.base",
+    "repro.workloads",
+]
+
+#: Packages under the strict docstring audit (ISSUE 5 satellite): every
+#: public class/function must carry a docstring.
+AUDITED_PACKAGES = {"repro.plan", "repro.autotune", "repro.topo"}
+
+#: Narrative pages, in navigation order (all must exist).
+NAV_PAGES = [
+    ("index.md", "Overview"),
+    ("architecture.md", "Architecture"),
+    ("tutorial.md", "Strategy / Plan / Session tutorial"),
+    ("autotuning.md", "Autotuner guide"),
+    ("topologies.md", "Topology modeling guide"),
+    ("precision.md", "Precision, compression & staleness"),
+    ("paper_map.md", "Paper-to-code map"),
+]
+
+
+def warn(warnings: list, message: str) -> None:
+    warnings.append(message)
+    print(f"warning: {message}", file=sys.stderr)
+
+
+# ---------------------------------------------------------------------------
+# API reference generation
+# ---------------------------------------------------------------------------
+
+
+def _signature(obj) -> str:
+    try:
+        return str(inspect.signature(obj))
+    except (TypeError, ValueError):
+        return "(...)"
+
+
+def _first_line(doc: str) -> str:
+    return doc.strip().splitlines()[0] if doc and doc.strip() else ""
+
+
+def generate_api_page(package: str, warnings: list) -> str:
+    """Markdown API reference for one package's ``__all__`` surface."""
+    module = importlib.import_module(package)
+    names = getattr(module, "__all__", None)
+    if names is None:
+        warn(warnings, f"{package} has no __all__; cannot document its surface")
+        names = []
+    lines = [f"# `{package}` API reference", ""]
+    module_doc = inspect.getdoc(module)
+    if module_doc:
+        lines += [module_doc, ""]
+    else:
+        warn(warnings, f"{package} has no module docstring")
+    audited = package in AUDITED_PACKAGES
+    for name in names:
+        obj = getattr(module, name, None)
+        if obj is None:
+            warn(warnings, f"{package}.__all__ lists {name!r} but it is missing")
+            continue
+        lines.append(f"## `{name}`")
+        lines.append("")
+        if inspect.isclass(obj):
+            lines.append(f"```python\nclass {name}{_signature(obj)}\n```")
+        elif callable(obj):
+            lines.append(f"```python\n{name}{_signature(obj)}\n```")
+        else:
+            kind = type(obj).__name__
+            lines.append(f"*constant* (`{kind}`)")
+        lines.append("")
+        doc = inspect.getdoc(obj)
+        if doc:
+            lines += [doc, ""]
+        elif inspect.isclass(obj) or callable(obj):
+            message = f"{package}.{name} has no docstring"
+            if audited:
+                warn(warnings, message)
+            else:
+                print(f"note: {message} (package not under audit)", file=sys.stderr)
+        if inspect.isclass(obj):
+            for mname, member in sorted(vars(obj).items()):
+                if mname.startswith("_") or not callable(member):
+                    continue
+                mdoc = inspect.getdoc(getattr(obj, mname))
+                if audited and not mdoc:
+                    warn(warnings, f"{package}.{name}.{mname} has no docstring")
+                if mdoc:
+                    lines.append(f"### `{name}.{mname}{_signature(member)}`")
+                    lines.append("")
+                    lines += [mdoc, ""]
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Minimal markdown -> HTML (headings, code, lists, tables, links)
+# ---------------------------------------------------------------------------
+
+_INLINE_CODE = re.compile(r"`([^`]+)`")
+_BOLD = re.compile(r"\*\*([^*]+)\*\*")
+_LINK = re.compile(r"\[([^\]]+)\]\(([^)\s]+)\)")
+
+
+def _anchor(text: str) -> str:
+    """GitHub-style anchor for a heading."""
+    text = re.sub(r"`", "", text.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _inline(text: str) -> str:
+    text = html.escape(text, quote=False)
+    text = _INLINE_CODE.sub(lambda m: f"<code>{m.group(1)}</code>", text)
+    text = _BOLD.sub(lambda m: f"<strong>{m.group(1)}</strong>", text)
+
+    def link(m):
+        label, target = m.group(1), m.group(2)
+        if target.endswith(".md") or ".md#" in target:
+            target = target.replace(".md", ".html", 1)
+        return f'<a href="{target}">{label}</a>'
+
+    return _LINK.sub(link, text)
+
+
+def markdown_to_html(text: str, title: str) -> str:
+    out = []
+    lines = text.splitlines()
+    i = 0
+    in_list = False
+    while i < len(lines):
+        line = lines[i]
+        if line.startswith("```"):
+            if in_list:
+                out.append("</ul>")
+                in_list = False
+            block = []
+            i += 1
+            while i < len(lines) and not lines[i].startswith("```"):
+                block.append(lines[i])
+                i += 1
+            code = html.escape("\n".join(block))
+            out.append(f"<pre><code>{code}</code></pre>")
+            i += 1
+            continue
+        heading = re.match(r"^(#{1,6})\s+(.*)$", line)
+        if heading:
+            if in_list:
+                out.append("</ul>")
+                in_list = False
+            level = len(heading.group(1))
+            content = heading.group(2)
+            out.append(
+                f'<h{level} id="{_anchor(content)}">{_inline(content)}</h{level}>'
+            )
+            i += 1
+            continue
+        if line.startswith("|") and i + 1 < len(lines) and re.match(
+            r"^\|[\s:|-]+\|$", lines[i + 1].strip()
+        ):
+            if in_list:
+                out.append("</ul>")
+                in_list = False
+            header = [c.strip() for c in line.strip().strip("|").split("|")]
+            out.append("<table><thead><tr>")
+            out += [f"<th>{_inline(c)}</th>" for c in header]
+            out.append("</tr></thead><tbody>")
+            i += 2
+            while i < len(lines) and lines[i].startswith("|"):
+                cells = [c.strip() for c in lines[i].strip().strip("|").split("|")]
+                out.append(
+                    "<tr>" + "".join(f"<td>{_inline(c)}</td>" for c in cells) + "</tr>"
+                )
+                i += 1
+            out.append("</tbody></table>")
+            continue
+        bullet = re.match(r"^[-*]\s+(.*)$", line)
+        if bullet:
+            if not in_list:
+                out.append("<ul>")
+                in_list = True
+            out.append(f"<li>{_inline(bullet.group(1))}</li>")
+            i += 1
+            continue
+        if in_list:
+            out.append("</ul>")
+            in_list = False
+        if line.strip():
+            out.append(f"<p>{_inline(line)}</p>")
+        i += 1
+    if in_list:
+        out.append("</ul>")
+    body = "\n".join(out)
+    return (
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+        f"<title>{html.escape(title)}</title>"
+        "<style>body{font-family:sans-serif;max-width:60em;margin:2em auto;"
+        "padding:0 1em;line-height:1.5}pre{background:#f6f8fa;padding:1em;"
+        "overflow-x:auto}code{background:#f6f8fa}table{border-collapse:collapse}"
+        "td,th{border:1px solid #ccc;padding:.3em .6em;text-align:left}</style>"
+        f"</head><body>\n{body}\n</body></html>\n"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Link / anchor / paper-map checking
+# ---------------------------------------------------------------------------
+
+
+def collect_anchors(pages: dict) -> dict:
+    anchors = {}
+    for name, text in pages.items():
+        page_anchors = set()
+        in_code = False
+        for line in text.splitlines():
+            if line.startswith("```"):
+                in_code = not in_code
+                continue
+            if in_code:
+                continue
+            heading = re.match(r"^(#{1,6})\s+(.*)$", line)
+            if heading:
+                page_anchors.add(_anchor(heading.group(2)))
+        anchors[name] = page_anchors
+    return anchors
+
+
+def check_links(pages: dict, warnings: list) -> None:
+    import posixpath
+
+    anchors = collect_anchors(pages)
+    for name, text in pages.items():
+        in_code = False
+        for line in text.splitlines():
+            if line.startswith("```"):
+                in_code = not in_code
+                continue
+            if in_code:
+                continue
+            for match in _LINK.finditer(line):
+                target = match.group(2)
+                if target.startswith(("http://", "https://", "mailto:")):
+                    continue
+                page, _, anchor = target.partition("#")
+                # Resolve relative to the linking page's directory.
+                if page:
+                    page = posixpath.normpath(
+                        posixpath.join(posixpath.dirname(name), page)
+                    )
+                else:
+                    page = name
+                if not page.endswith(".md"):
+                    warn(warnings, f"{name}: non-markdown internal link {target!r}")
+                    continue
+                if page not in pages:
+                    warn(warnings, f"{name}: broken link to {page!r}")
+                    continue
+                if anchor and anchor not in anchors[page]:
+                    warn(warnings, f"{name}: broken anchor {target!r}")
+
+
+_PAPER_MAP_CELL = re.compile(r"`([^`]+)`")
+
+
+def check_paper_map(text: str, warnings: list) -> None:
+    """Every module/test referenced in the paper map must exist."""
+    rows = 0
+    for line in text.splitlines():
+        if not line.startswith("|") or line.startswith("| Artifact") or re.match(
+            r"^\|[\s:|-]+\|$", line.strip()
+        ):
+            continue
+        rows += 1
+        for ref in _PAPER_MAP_CELL.findall(line):
+            if ref.startswith("repro."):
+                module = ref.split(":")[0]
+                try:
+                    importlib.import_module(module)
+                except ImportError:
+                    warn(warnings, f"paper_map.md: module {module!r} does not import")
+            elif ref.startswith(("tests/", "src/", "examples/")):
+                if not (REPO_ROOT / ref.split("::")[0]).exists():
+                    warn(warnings, f"paper_map.md: file {ref!r} does not exist")
+    if rows < 15:
+        warn(warnings, f"paper_map.md: only {rows} mapping rows (expected >= 15)")
+
+
+# ---------------------------------------------------------------------------
+# driver
+# ---------------------------------------------------------------------------
+
+
+def build(check_only: bool = False) -> int:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    warnings: list = []
+
+    pages = {}
+    for filename, _ in NAV_PAGES:
+        path = DOCS_DIR / filename
+        if not path.exists():
+            warn(warnings, f"missing narrative page {filename}")
+            continue
+        pages[filename] = path.read_text()
+
+    api_pages = {}
+    for package in API_PACKAGES:
+        api_pages[f"api/{package}.md"] = generate_api_page(package, warnings)
+    api_index = ["# API reference", ""]
+    api_index += [
+        f"- [`{p}`]({p}.md) — {_first_line(inspect.getdoc(importlib.import_module(p)) or '')}"
+        for p in API_PACKAGES
+    ]
+    api_pages["api/index.md"] = "\n".join(api_index) + "\n"
+
+    all_pages = {**pages, **api_pages}
+    check_links(all_pages, warnings)
+    if "paper_map.md" in pages:
+        check_paper_map(pages["paper_map.md"], warnings)
+
+    if not check_only:
+        for name, text in all_pages.items():
+            md_out = BUILD_DIR / name
+            md_out.parent.mkdir(parents=True, exist_ok=True)
+            md_out.write_text(text)
+            html_out = BUILD_DIR / "html" / name.replace(".md", ".html")
+            html_out.parent.mkdir(parents=True, exist_ok=True)
+            title = next(
+                (
+                    line.lstrip("# ").strip()
+                    for line in text.splitlines()
+                    if line.startswith("#")
+                ),
+                name,
+            )
+            html_out.write_text(markdown_to_html(text, title))
+        print(
+            f"built {len(all_pages)} pages -> {BUILD_DIR / 'html'}"
+            f" ({len(api_pages)} generated API pages)"
+        )
+
+    if warnings:
+        print(f"docs build FAILED with {len(warnings)} warning(s)", file=sys.stderr)
+        return 1
+    print("docs build clean: 0 warnings")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check", action="store_true", help="run all checks without writing _build/"
+    )
+    args = parser.parse_args(argv)
+    return build(check_only=args.check)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

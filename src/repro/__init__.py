@@ -42,12 +42,16 @@ Quickstart — plan and simulate a training scheme in three lines::
     print(session.simulate(plan).iteration_time)
 
 Strategies compose axis-by-axis, including combinations the paper never
-ran::
+ran — launch modes and collectives, but also wire precision, top-k
+gradient compression, and KAISA-style stale refresh intervals::
 
     from repro import strategy_registry
 
     eager_tree = strategy_registry["SPD-KFAC"].but(
         factor_pipelining=False, collective="tree"
+    )
+    cheap = strategy_registry["SPD-KFAC"].but(
+        factor_dtype="fp16", inverse_update_interval=4
     )
 
 Or skip the hand-picking entirely and search the whole axis grid::

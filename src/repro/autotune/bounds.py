@@ -21,6 +21,15 @@ structural facts the simulator enforces:
 iteration time (property-tested in ``tests/test_autotune.py``), which
 lets the tuner discard a candidate the moment its bound meets the best
 simulated time — dominated candidates are never simulated at all.
+
+Candidates with non-default wire axes are priced consistently with the
+schedule builder: reduced-precision / compressed collectives by their
+wire bytes (:func:`repro.core.schedule.collective_time`), and
+stale-refresh candidates (update intervals > 1) as the *weighted
+average* of per-phase bounds over the refresh cycle — a valid lower
+bound on the cycle-averaged iteration time because the average of
+per-phase lower bounds never exceeds the average of per-phase
+makespans.
 """
 
 from __future__ import annotations
@@ -28,7 +37,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.autotune.traffic import INVERSE_BROADCAST, iter_collective_elements
+from repro.autotune.traffic import (
+    GRAD_ALLREDUCE,
+    INVERSE_BROADCAST,
+    iter_collective_elements,
+    resolve_wire_axes,
+)
 from repro.core.fusion import FusionPlan
 from repro.core.pipeline import (
     FactorCommPlan,
@@ -36,13 +50,20 @@ from repro.core.pipeline import (
     precondition_times,
 )
 from repro.core.placement import Placement
+from repro.core.schedule import collective_time
 from repro.models.spec import ModelSpec
 from repro.perf.calibration import ClusterPerfProfile
+from repro.sim.analysis import FACTOR_REFRESH, REFRESH, interval_weights
 
 
 @dataclass(frozen=True)
 class CandidateBound:
-    """Component-wise lower bounds on one candidate's iteration time."""
+    """Component-wise lower bounds on one candidate's iteration time.
+
+    For stale-refresh candidates each component is the cycle-weighted
+    average of the per-phase components, so :attr:`total` lower-bounds
+    the amortized iteration time.
+    """
 
     compute: float  #: busiest rank's serial compute-stream time
     comm: float  #: total collective time on the shared channel
@@ -54,6 +75,137 @@ class CandidateBound:
         return max(self.compute, self.comm, self.chain)
 
 
+def _phase_bound(
+    spec: ModelSpec,
+    profile: ClusterPerfProfile,
+    *,
+    num_ranks: int,
+    grad_plan: Optional[FusionPlan],
+    fplan: Optional[FactorCommPlan],
+    placement: Optional[Placement],
+    include_solve: bool,
+    kfac: bool,
+    grad_dtype: str,
+    factor_dtype: str,
+    inverse_dtype: str,
+    grad_compression: float,
+    with_factors: bool,
+    with_inverses: bool,
+) -> CandidateBound:
+    """Bound one iteration *shape* (refresh / factor-only / steady)."""
+    t_fwd, t_bwd, t_fa, t_fg = layer_compute_times(spec, profile)
+    phase_fplan = fplan if with_factors else None
+    phase_placement = placement if with_inverses else None
+    factors = kfac and with_factors
+    has_precond = kfac and include_solve
+
+    # -- compute stream: every rank runs all per-layer kernels ------------
+    compute = sum(t_fwd) + sum(t_bwd)
+    if factors:
+        compute += sum(t_fa) + sum(t_fg)
+    if has_precond:
+        compute += sum(precondition_times(spec, profile.factor_compute))
+    compute += profile.train_compute.time(2.0 * spec.num_params)
+    if include_solve and phase_placement is not None:
+        loads = [0.0] * num_ranks
+        for i, dim in enumerate(phase_placement.dims):
+            t_inv = profile.inverse_actual.time(dim)
+            for rank in phase_placement.assignments[i]:
+                loads[rank] += t_inv
+        compute += max(loads, default=0.0)
+
+    # -- communication channel: all collectives serialize globally --------
+    # Sizes come from the same iterator the traffic counter uses, so the
+    # bound prices exactly the collectives the Pareto axis counts
+    # (a packed broadcast of dimension d costs time(d(d+1)/2), which is
+    # what ``time_symmetric`` computes in the schedule builder), at the
+    # same wire dtype / compression the schedule builder charges.
+    comm = 0.0
+    for op, elements in iter_collective_elements(
+        spec,
+        num_ranks=num_ranks,
+        grad_plan=grad_plan,
+        fplan=phase_fplan,
+        placement=phase_placement if include_solve else None,
+    ):
+        if op == INVERSE_BROADCAST:
+            comm += collective_time(profile.broadcast_streamed, elements, inverse_dtype)
+        elif op == GRAD_ALLREDUCE:
+            comm += collective_time(
+                profile.allreduce_streamed, elements, grad_dtype, grad_compression
+            )
+        else:
+            comm += collective_time(profile.allreduce_streamed, elements, factor_dtype)
+
+    # -- dependency chains the schedule cannot overlap --------------------
+    # B_0 (the last backward kernel) runs after every other F/B kernel and
+    # every A/G factor kernel except G_0 on its rank's compute stream.
+    chain = 0.0
+    update = profile.train_compute.time(2.0 * spec.num_params)
+    solve = include_solve and phase_placement is not None
+    backward_end = sum(t_fwd) + sum(t_bwd)
+    if factors:
+        # G_0 (layer 0's factor) is computed *after* B_0, last of all.
+        backward_end += sum(t_fa) + sum(t_fg) - t_fg[0]
+    if grad_plan is not None:
+        # The last gradient bucket closes with B_0; P_0 (first in the
+        # precondition FIFO) waits for it, so every precondition — and
+        # then the update — serializes behind it.  Without K-FAC the
+        # update itself waits for every gradient bucket.
+        grad_sizes = [layer.num_params for layer in reversed(spec.layers)]
+        last_bucket = collective_time(
+            profile.allreduce_streamed,
+            sum(grad_sizes[i] for i in grad_plan.buckets[-1]),
+            grad_dtype,
+            grad_compression,
+        )
+        tail = (
+            sum(precondition_times(spec, profile.factor_compute))
+            if has_precond
+            else 0.0
+        )
+        chain = max(chain, backward_end + last_bucket + tail + update)
+    if phase_fplan is not None and phase_fplan.launch_after_pass and solve:
+        # Post-pass factor launch: the G-side all-reduces wait for G_0
+        # (after B_0) and serialize on the channel; the inverse stage —
+        # and the preconditions and update behind it — follow them.
+        base = backward_end + t_fg[0]
+        a_sizes = [layer.a_elements for layer in spec.layers]
+        g_sizes = [layer.g_elements for layer in reversed(spec.layers)]
+        if phase_fplan.combine_passes:
+            # One merged all-reduce gates *every* inverse, so the busiest
+            # rank still owes its whole inverse load plus all preconds.
+            comm_post = collective_time(
+                profile.allreduce_streamed,
+                sum(a_sizes) + sum(g_sizes),
+                factor_dtype,
+            )
+            loads = [0.0] * num_ranks
+            for i, dim in enumerate(phase_placement.dims):
+                t_inv = profile.inverse_actual.time(dim)
+                for rank in phase_placement.assignments[i]:
+                    loads[rank] += t_inv
+            tail = max(loads, default=0.0)
+            tail += sum(precondition_times(spec, profile.factor_compute))
+        else:
+            # The FIFO-last G bucket gates the inverse + precondition of
+            # (at least) its own last layer, and the update follows.
+            comm_post = sum(
+                collective_time(
+                    profile.allreduce_streamed,
+                    sum(g_sizes[i] for i in bucket),
+                    factor_dtype,
+                )
+                for bucket in phase_fplan.g_plan.buckets
+            )
+            last_layer = len(spec.layers) - 1 - phase_fplan.g_plan.buckets[-1][-1]
+            tail = profile.inverse_actual.time(phase_placement.dims[2 * last_layer + 1])
+            tail += precondition_times(spec, profile.factor_compute)[last_layer]
+        chain = max(chain, base + comm_post + tail + update)
+
+    return CandidateBound(compute=compute, comm=comm, chain=chain)
+
+
 def candidate_bound(
     spec: ModelSpec,
     profile: ClusterPerfProfile,
@@ -63,98 +215,71 @@ def candidate_bound(
     fplan: Optional[FactorCommPlan],
     placement: Optional[Placement],
     include_solve: bool = True,
+    strategy=None,
 ) -> CandidateBound:
     """Lower-bound a candidate from its resolved planning parts.
 
-    The parts are exactly what :func:`repro.plan.resolve_plan_parts`
-    returns, so the bound prices the same buckets and placement the
-    simulator would execute.
+    Parameters
+    ----------
+    spec, profile : ModelSpec, ClusterPerfProfile
+        The (model, cluster) cell being searched.
+    num_ranks, grad_plan, fplan, placement : resolved parts
+        Exactly what :func:`repro.plan.resolve_plan_parts` returns, so
+        the bound prices the same buckets and placement the simulator
+        would execute.
+    include_solve : bool
+        Whether the inverse/precondition stage is scheduled.  Always
+        honored as passed — callers handing in a ``strategy`` should
+        pass ``include_solve=strategy.include_solve`` (as the tuner
+        does) unless they are deliberately bounding a reduced shape.
+    strategy : TrainingStrategy, optional
+        When given, its wire-precision / compression / update-interval
+        axes reprice the collectives and amortize the bound over the
+        refresh cycle; ``None`` (or a strategy with default axes) keeps
+        the paper's fp32 every-iteration pricing.
+
+    Returns
+    -------
+    CandidateBound
+        Component-wise lower bounds whose ``total`` never exceeds the
+        candidate's simulated (amortized) iteration time.
     """
-    t_fwd, t_bwd, t_fa, t_fg = layer_compute_times(spec, profile)
-    kfac = fplan is not None or placement is not None
+    (
+        grad_dtype,
+        factor_dtype,
+        inverse_dtype,
+        grad_compression,
+        factor_interval,
+        inverse_interval,
+    ) = resolve_wire_axes(strategy)
+    if strategy is not None:
+        kfac = strategy.second_order
+    else:
+        kfac = fplan is not None or placement is not None
 
-    # -- compute stream: every rank runs all per-layer kernels ------------
-    compute = sum(t_fwd) + sum(t_bwd)
-    if kfac:
-        compute += sum(t_fa) + sum(t_fg)
-        if include_solve and placement is not None:
-            compute += sum(precondition_times(spec, profile.factor_compute))
-    compute += profile.train_compute.time(2.0 * spec.num_params)
-    if include_solve and placement is not None:
-        loads = [0.0] * num_ranks
-        for i, dim in enumerate(placement.dims):
-            t_inv = profile.inverse_actual.time(dim)
-            for rank in placement.assignments[i]:
-                loads[rank] += t_inv
-        compute += max(loads, default=0.0)
-
-    # -- communication channel: all collectives serialize globally --------
-    # Sizes come from the same iterator the traffic counter uses, so the
-    # bound prices exactly the collectives the Pareto axis counts
-    # (a packed broadcast of dimension d costs time(d(d+1)/2), which is
-    # what ``time_symmetric`` computes in the schedule builder).
-    comm = 0.0
-    for op, elements in iter_collective_elements(
-        spec,
-        num_ranks=num_ranks,
-        grad_plan=grad_plan,
-        fplan=fplan,
-        placement=placement if include_solve else None,
-    ):
-        if op == INVERSE_BROADCAST:
-            comm += profile.broadcast_streamed.time(elements)
-        else:
-            comm += profile.allreduce_streamed.time(elements)
-
-    # -- dependency chains the schedule cannot overlap --------------------
-    # B_0 (the last backward kernel) runs after every other F/B kernel and
-    # every A/G factor kernel except G_0 on its rank's compute stream.
-    chain = 0.0
-    update = profile.train_compute.time(2.0 * spec.num_params)
-    solve = include_solve and placement is not None
-    backward_end = sum(t_fwd) + sum(t_bwd)
-    if kfac:
-        # G_0 (layer 0's factor) is computed *after* B_0, last of all.
-        backward_end += sum(t_fa) + sum(t_fg) - t_fg[0]
-    if grad_plan is not None:
-        # The last gradient bucket closes with B_0; P_0 (first in the
-        # precondition FIFO) waits for it, so every precondition — and
-        # then the update — serializes behind it.  Without K-FAC the
-        # update itself waits for every gradient bucket.
-        grad_sizes = [layer.num_params for layer in reversed(spec.layers)]
-        last_bucket = profile.allreduce_streamed.time(
-            sum(grad_sizes[i] for i in grad_plan.buckets[-1])
+    weights = interval_weights(factor_interval, inverse_interval)
+    compute = comm = chain = 0.0
+    cycle = inverse_interval
+    for phase, count in weights:
+        bound = _phase_bound(
+            spec,
+            profile,
+            num_ranks=num_ranks,
+            grad_plan=grad_plan,
+            fplan=fplan,
+            placement=placement,
+            include_solve=include_solve,
+            kfac=kfac,
+            grad_dtype=grad_dtype,
+            factor_dtype=factor_dtype,
+            inverse_dtype=inverse_dtype,
+            grad_compression=grad_compression,
+            with_factors=phase in (REFRESH, FACTOR_REFRESH),
+            with_inverses=phase == REFRESH,
         )
-        tail = sum(precondition_times(spec, profile.factor_compute)) if solve else 0.0
-        chain = max(chain, backward_end + last_bucket + tail + update)
-    if fplan is not None and fplan.launch_after_pass and solve:
-        # Post-pass factor launch: the G-side all-reduces wait for G_0
-        # (after B_0) and serialize on the channel; the inverse stage —
-        # and the preconditions and update behind it — follow them.
-        base = backward_end + t_fg[0]
-        a_sizes = [layer.a_elements for layer in spec.layers]
-        g_sizes = [layer.g_elements for layer in reversed(spec.layers)]
-        if fplan.combine_passes:
-            # One merged all-reduce gates *every* inverse, so the busiest
-            # rank still owes its whole inverse load plus all preconds.
-            comm_post = profile.allreduce_streamed.time(sum(a_sizes) + sum(g_sizes))
-            loads = [0.0] * num_ranks
-            for i, dim in enumerate(placement.dims):
-                t_inv = profile.inverse_actual.time(dim)
-                for rank in placement.assignments[i]:
-                    loads[rank] += t_inv
-            tail = max(loads, default=0.0)
-            tail += sum(precondition_times(spec, profile.factor_compute))
-        else:
-            # The FIFO-last G bucket gates the inverse + precondition of
-            # (at least) its own last layer, and the update follows.
-            comm_post = sum(
-                profile.allreduce_streamed.time(sum(g_sizes[i] for i in bucket))
-                for bucket in fplan.g_plan.buckets
-            )
-            last_layer = len(spec.layers) - 1 - fplan.g_plan.buckets[-1][-1]
-            tail = profile.inverse_actual.time(placement.dims[2 * last_layer + 1])
-            tail += precondition_times(spec, profile.factor_compute)[last_layer]
-        chain = max(chain, base + comm_post + tail + update)
-
+        if len(weights) == 1:
+            return bound
+        compute += bound.compute * count / cycle
+        comm += bound.comm * count / cycle
+        chain += bound.chain * count / cycle
     return CandidateBound(compute=compute, comm=comm, chain=chain)

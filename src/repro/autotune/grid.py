@@ -35,15 +35,52 @@ FACTOR_AXES: Tuple[Tuple[str, bool, bool], ...] = tuple(
     for pipelined in (True, False)
 ) + (("bulk", False, True),)
 
+#: The paper's wire-precision point: fp32 everywhere (gradients,
+#: factors, inverse broadcasts).
+PAPER_WIRE_DTYPES: Tuple[Tuple[str, str, str], ...] = (("fp32", "fp32", "fp32"),)
+
+#: The paper's compression point: dense gradients.
+PAPER_COMPRESSIONS: Tuple[float, ...] = (1.0,)
+
+#: The paper's staleness point: factors and inverses refreshed every
+#: iteration.
+PAPER_INTERVALS: Tuple[Tuple[int, int], ...] = ((1, 1),)
+
 
 def strategy_label(strategy: TrainingStrategy) -> str:
-    """Compact axis summary, e.g. ``"wfbp|optimal+pipe|lbp|auto"``."""
+    """Compact axis summary, e.g. ``"wfbp|optimal+pipe|lbp|auto"``.
+
+    Non-default wire axes append compact suffixes so grid points from an
+    extended search stay distinguishable, e.g.
+    ``"wfbp|optimal+pipe|lbp|auto|f:fp16|K1/4"``.
+
+    Examples
+    --------
+    >>> from repro.plan import strategy_registry
+    >>> strategy_label(strategy_registry["SPD-KFAC"])
+    'wfbp|optimal+pipe|lbp|auto'
+    >>> strategy_label(strategy_registry["SPD-KFAC"].but(factor_dtype="fp16"))
+    'wfbp|optimal+pipe|lbp|auto|f:fp16'
+    """
     launch = "+pipe" if strategy.factor_pipelining else "+post"
     merged = "+merged" if strategy.combine_factor_passes else ""
-    return (
+    label = (
         f"{strategy.gradient_reduction}|{strategy.factor_fusion}{launch}{merged}"
         f"|{strategy.placement}|{strategy.collective}"
     )
+    if strategy.grad_dtype != "fp32":
+        label += f"|g:{strategy.grad_dtype}"
+    if strategy.grad_compression != 1.0:
+        label += f"|top{strategy.grad_compression:g}"
+    if strategy.factor_dtype != "fp32":
+        label += f"|f:{strategy.factor_dtype}"
+    if strategy.inverse_dtype != "fp32":
+        label += f"|i:{strategy.inverse_dtype}"
+    if strategy.stale_updates:
+        label += (
+            f"|K{strategy.factor_update_interval}/{strategy.inverse_update_interval}"
+        )
+    return label
 
 
 def strategy_grid(
@@ -51,17 +88,46 @@ def strategy_grid(
     gradient_reductions: Sequence[str] = DISTRIBUTED_GRADIENT_REDUCTIONS,
     placements: Sequence[str] = PLACEMENT_STRATEGIES,
     factor_axes: Sequence[Tuple[str, bool, bool]] = FACTOR_AXES,
+    wire_dtypes: Sequence[Tuple[str, str, str]] = PAPER_WIRE_DTYPES,
+    compressions: Sequence[float] = PAPER_COMPRESSIONS,
+    intervals: Sequence[Tuple[int, int]] = PAPER_INTERVALS,
 ) -> List[TrainingStrategy]:
     """Every valid distributed second-order strategy over the axis grid.
 
-    ``collectives`` defaults to ``("auto",)`` — the right grid for a
-    profile-backed session, whose cost profile already encodes its
-    collectives.  Topology-backed sessions should pass
-    :data:`~repro.plan.COLLECTIVE_ALGORITHMS` (or a subset) so the
-    collective-algorithm axis is searched too.
+    Parameters
+    ----------
+    collectives : sequence of str, optional
+        Defaults to ``("auto",)`` — the right grid for a profile-backed
+        session, whose cost profile already encodes its collectives.
+        Topology-backed sessions should pass
+        :data:`~repro.plan.COLLECTIVE_ALGORITHMS` (or a subset) so the
+        collective-algorithm axis is searched too.
+    gradient_reductions, placements, factor_axes : sequences
+        The classic planner axes; defaults cover the full valid space.
+    wire_dtypes : sequence of (grad, factor, inverse) dtype triples
+        Wire-precision points to search; defaults to the paper's
+        all-fp32 point, so the default grid is unchanged.
+    compressions : sequence of float
+        Top-k gradient kept-fractions to search (default: dense only).
+    intervals : sequence of (factor, inverse) int pairs
+        Stale-refresh intervals to search (default: every iteration).
 
-    Each strategy is named by :func:`strategy_label`, so grid points stay
-    distinguishable in reports and ``Session.compare``.
+    Returns
+    -------
+    list of TrainingStrategy
+        Each named by :func:`strategy_label`, so grid points stay
+        distinguishable in reports and ``Session.compare``.
+
+    Examples
+    --------
+    >>> len(strategy_grid())                    # the classic 72-point grid
+    72
+    >>> extended = strategy_grid(
+    ...     wire_dtypes=[("fp32", "fp32", "fp32"), ("fp32", "fp16", "fp16")],
+    ...     intervals=[(1, 1), (1, 4)],
+    ... )
+    >>> len(extended)
+    288
     """
     collectives = tuple(collectives) if collectives is not None else ("auto",)
     for name in collectives:
@@ -70,8 +136,15 @@ def strategy_grid(
                 f"unknown collective {name!r}; options: {COLLECTIVE_ALGORITHMS}"
             )
     return list(
-        _iter_grid(tuple(gradient_reductions), tuple(placements),
-                   tuple(factor_axes), collectives)
+        _iter_grid(
+            tuple(gradient_reductions),
+            tuple(placements),
+            tuple(factor_axes),
+            collectives,
+            tuple(tuple(triple) for triple in wire_dtypes),
+            tuple(compressions),
+            tuple(tuple(pair) for pair in intervals),
+        )
     )
 
 
@@ -80,20 +153,32 @@ def _iter_grid(
     placements: Tuple[str, ...],
     factor_axes: Tuple[Tuple[str, bool, bool], ...],
     collectives: Tuple[str, ...],
+    wire_dtypes: Tuple[Tuple[str, str, str], ...],
+    compressions: Tuple[float, ...],
+    intervals: Tuple[Tuple[int, int], ...],
 ) -> Iterator[TrainingStrategy]:
     for grad in gradient_reductions:
         for fusion, pipelined, combined in factor_axes:
             for placement in placements:
                 for collective in collectives:
-                    strategy = TrainingStrategy(
-                        second_order=True,
-                        distributed=True,
-                        gradient_reduction=grad,
-                        factor_fusion=fusion,
-                        factor_pipelining=pipelined,
-                        combine_factor_passes=combined,
-                        placement=placement,
-                        include_solve=True,
-                        collective=collective,
-                    )
-                    yield strategy.but(name=strategy_label(strategy))
+                    for grad_dtype, factor_dtype, inverse_dtype in wire_dtypes:
+                        for compression in compressions:
+                            for factor_interval, inverse_interval in intervals:
+                                strategy = TrainingStrategy(
+                                    second_order=True,
+                                    distributed=True,
+                                    gradient_reduction=grad,
+                                    factor_fusion=fusion,
+                                    factor_pipelining=pipelined,
+                                    combine_factor_passes=combined,
+                                    placement=placement,
+                                    include_solve=True,
+                                    collective=collective,
+                                    grad_dtype=grad_dtype,
+                                    factor_dtype=factor_dtype,
+                                    inverse_dtype=inverse_dtype,
+                                    grad_compression=compression,
+                                    factor_update_interval=factor_interval,
+                                    inverse_update_interval=inverse_interval,
+                                )
+                                yield strategy.but(name=strategy_label(strategy))

@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Iterator, Optional, Tuple
 
 from repro.comm import TrafficCounter, packed_size
+from repro.comm.wire import compressed_elements, wire_bytes
 from repro.core.fusion import FusionPlan
 from repro.core.pipeline import FactorCommPlan
 from repro.core.placement import Placement
@@ -65,6 +66,79 @@ def iter_collective_elements(
                 yield INVERSE_BROADCAST, packed_size(dim)
 
 
+def resolve_wire_axes(strategy) -> Tuple[str, str, str, float, int, int]:
+    """A strategy's wire axes as a flat tuple, with paper defaults for ``None``.
+
+    Returns ``(grad_dtype, factor_dtype, inverse_dtype, grad_compression,
+    factor_update_interval, inverse_update_interval)`` — the single
+    unpacking shared by the traffic counter and the pruning bound
+    (:func:`repro.autotune.bounds.candidate_bound`), so the two can
+    never disagree about a candidate's wire format.
+    """
+    if strategy is None:
+        return "fp32", "fp32", "fp32", 1.0, 1, 1
+    return (
+        strategy.grad_dtype,
+        strategy.factor_dtype,
+        strategy.inverse_dtype,
+        strategy.grad_compression,
+        strategy.factor_update_interval,
+        strategy.inverse_update_interval,
+    )
+
+
+def iter_collective_wire(
+    spec: ModelSpec,
+    *,
+    num_ranks: int,
+    grad_plan: Optional[FusionPlan],
+    fplan: Optional[FactorCommPlan],
+    placement: Optional[Placement],
+    strategy=None,
+) -> Iterator[Tuple[str, object, object]]:
+    """``(op, transmitted elements, wire bytes)`` per amortized collective.
+
+    Applies a strategy's wire axes on top of the base geometry of
+    :func:`iter_collective_elements`: gradient all-reduces are top-k
+    compressed and cast to ``grad_dtype``, factor all-reduces to
+    ``factor_dtype`` weighted by ``1 / factor_update_interval`` (a
+    factor refreshed every ``K`` iterations ships ``1/K`` of its bytes
+    per iteration on average), and inverse broadcasts to
+    ``inverse_dtype`` weighted by ``1 / inverse_update_interval``.
+    Weighted entries are fractional; with ``strategy=None`` (or default
+    axes) every entry is the exact integer accounting the runtime's
+    :class:`~repro.comm.TrafficCounter` uses.
+    """
+    (
+        grad_dtype,
+        factor_dtype,
+        inverse_dtype,
+        compression,
+        factor_interval,
+        inverse_interval,
+    ) = resolve_wire_axes(strategy)
+    for op, elements in iter_collective_elements(
+        spec, num_ranks=num_ranks, grad_plan=grad_plan, fplan=fplan,
+        placement=placement,
+    ):
+        if op == GRAD_ALLREDUCE:
+            yield op, compressed_elements(elements, compression), wire_bytes(
+                elements, grad_dtype, compression
+            )
+        elif op == FACTOR_ALLREDUCE:
+            nbytes = wire_bytes(elements, factor_dtype)
+            if factor_interval > 1:
+                yield op, elements / factor_interval, nbytes / factor_interval
+            else:
+                yield op, elements, nbytes
+        else:
+            nbytes = wire_bytes(elements, inverse_dtype)
+            if inverse_interval > 1:
+                yield op, elements / inverse_interval, nbytes / inverse_interval
+            else:
+                yield op, elements, nbytes
+
+
 def parts_traffic(
     spec: ModelSpec,
     *,
@@ -72,22 +146,29 @@ def parts_traffic(
     grad_plan: Optional[FusionPlan],
     fplan: Optional[FactorCommPlan],
     placement: Optional[Placement],
+    strategy=None,
 ) -> TrafficCounter:
-    """Per-iteration traffic of resolved planning parts."""
+    """Per-iteration traffic of resolved planning parts.
+
+    ``strategy`` (optional) applies wire dtypes, top-k compression, and
+    amortized refresh intervals; without it the counter reports the
+    paper's exact fp32 every-iteration accounting.
+    """
     counter = TrafficCounter()
-    for op, elements in iter_collective_elements(
+    for op, elements, nbytes in iter_collective_wire(
         spec, num_ranks=num_ranks, grad_plan=grad_plan, fplan=fplan,
-        placement=placement,
+        placement=placement, strategy=strategy,
     ):
-        counter.record(op, elements)
+        counter.record(op, elements, nbytes)
     return counter
 
 
 def plan_traffic(plan: Plan, spec: Optional[ModelSpec] = None) -> TrafficCounter:
     """Traffic of a resolved :class:`~repro.plan.Plan`.
 
-    ``spec`` is only needed for models outside the paper catalog; it must
-    match ``plan.model``.
+    Applies the plan's own strategy axes (wire dtypes, compression,
+    amortized refresh intervals).  ``spec`` is only needed for models
+    outside the paper catalog; it must match ``plan.model``.
     """
     if spec is None:
         spec = get_model_spec(plan.model)
@@ -101,4 +182,5 @@ def plan_traffic(plan: Plan, spec: Optional[ModelSpec] = None) -> TrafficCounter
         grad_plan=plan.grad_plan,
         fplan=plan.factor_plan,
         placement=plan.placement,
+        strategy=plan.strategy,
     )

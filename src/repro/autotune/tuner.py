@@ -75,9 +75,9 @@ class CandidateOutcome:
     bound: CandidateBound
     iteration_time: Optional[float]  #: ``None`` when pruned
     breakdown: Optional[Tuple[Tuple[str, float], ...]]
-    traffic_elements: int
-    traffic_bytes: int
-    traffic_by_op: Tuple[Tuple[str, int], ...]  #: bytes per collective kind
+    traffic_elements: float  #: int unless amortized by a stale interval
+    traffic_bytes: float  #: int unless amortized by a stale interval
+    traffic_by_op: Tuple[Tuple[str, float], ...]  #: bytes per collective kind
     status: str
 
     @property
@@ -89,6 +89,7 @@ class CandidateOutcome:
         return self.iteration_time is not None
 
     def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable view of this outcome (used by report JSON)."""
         return {
             "strategy": self.strategy.to_dict(),
             "preset": self.preset,
@@ -185,6 +186,7 @@ class AutotuneReport:
     # -- rendering ---------------------------------------------------------
 
     def to_text(self, top_k: int = 10) -> str:
+        """Human-readable ranked table (what the ``autotune`` CLI prints)."""
         lines = [
             f"autotune: {self.model} on {self.cluster} ({self.world_size} GPUs)",
             f"  searched {self.stats.get('candidates', 0)} candidates: "
@@ -241,6 +243,7 @@ class AutotuneReport:
     # -- serialization -----------------------------------------------------
 
     def to_dict(self) -> Dict[str, object]:
+        """The whole report (outcomes, presets, Pareto, stats) as a dict."""
         best = self._best_or_none()
         return {
             "model": self.model,
@@ -260,9 +263,11 @@ class AutotuneReport:
         }
 
     def to_json(self, indent: Optional[int] = 2) -> str:
+        """The report as stable (sorted-keys) JSON."""
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
     def save(self, path: str, indent: Optional[int] = 2) -> None:
+        """Write the JSON report (plus trailing newline) to ``path``."""
         with open(path, "w") as f:
             f.write(self.to_json(indent=indent))
             f.write("\n")
@@ -276,6 +281,9 @@ def autotune(
     presets: Sequence[str] = SECOND_ORDER_PRESETS,
     prune: bool = True,
     candidates: Optional[Sequence[TrainingStrategy]] = None,
+    wire_dtypes: Optional[Sequence[Tuple[str, str, str]]] = None,
+    compressions: Optional[Sequence[float]] = None,
+    intervals: Optional[Sequence[Tuple[int, int]]] = None,
 ) -> AutotuneReport:
     """Search the full planner axis grid for ``model`` on ``cluster``.
 
@@ -289,6 +297,14 @@ def autotune(
     named scheme.  ``prune=False`` simulates every candidate — the full
     Pareto surface at full cost.  ``candidates`` overrides the searched
     grid entirely (e.g. a hand-written shortlist).
+
+    ``wire_dtypes`` / ``compressions`` / ``intervals`` extend the grid
+    along the precision, top-k compression, and stale-refresh axes (see
+    :func:`repro.autotune.strategy_grid`); by default only the paper's
+    point (fp32, dense, every-iteration refresh) is searched.  Bounds,
+    traffic, and the Pareto frontier all account for the extended axes
+    — a stale candidate's traffic is its amortized per-iteration byte
+    volume.
     """
     if isinstance(model, Session):
         if cluster is not None:
@@ -298,12 +314,25 @@ def autotune(
         session = Session(model, cluster)
     spec = session.spec
 
+    grid_kwargs = {}
+    if wire_dtypes is not None:
+        grid_kwargs["wire_dtypes"] = wire_dtypes
+    if compressions is not None:
+        grid_kwargs["compressions"] = compressions
+    if intervals is not None:
+        grid_kwargs["intervals"] = intervals
     if candidates is None:
         if collectives is None:
             collectives = (
                 COLLECTIVE_ALGORITHMS if session.topology is not None else ("auto",)
             )
-        candidates = strategy_grid(collectives=collectives)
+        candidates = strategy_grid(collectives=collectives, **grid_kwargs)
+    elif grid_kwargs:
+        raise ValueError(
+            "candidates= overrides the searched grid entirely; the grid axes "
+            f"{sorted(grid_kwargs)} would be silently ignored — bake them "
+            "into the candidate list instead"
+        )
     else:
         candidates = [
             c.but(name=strategy_label(c)) if c.name == "custom" else c
@@ -341,6 +370,7 @@ def autotune(
             fplan=fplan,
             placement=placement,
             include_solve=strategy.include_solve,
+            strategy=strategy,
         )
         traffic = parts_traffic(
             spec,
@@ -348,6 +378,7 @@ def autotune(
             grad_plan=grad_plan,
             fplan=fplan,
             placement=placement,
+            strategy=strategy,
         )
         prepared.append((strategy, profile, bound, traffic))
     prepared.sort(key=lambda item: item[2].total)

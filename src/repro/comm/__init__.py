@@ -22,6 +22,15 @@ from repro.comm.group import (
     run_spmd,
 )
 from repro.comm.packing import pack_symmetric, packed_size, unpack_symmetric
+from repro.comm.wire import (
+    TOPK_INDEX_BYTES,
+    WIRE_DTYPES,
+    compressed_elements,
+    dtype_bytes,
+    fp32_equivalent_elements,
+    wire_bytes,
+    wire_payload,
+)
 
 __all__ = [
     "CollectiveGroup",
@@ -33,4 +42,11 @@ __all__ = [
     "pack_symmetric",
     "packed_size",
     "unpack_symmetric",
+    "WIRE_DTYPES",
+    "TOPK_INDEX_BYTES",
+    "dtype_bytes",
+    "compressed_elements",
+    "wire_payload",
+    "wire_bytes",
+    "fp32_equivalent_elements",
 ]

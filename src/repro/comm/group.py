@@ -29,23 +29,31 @@ class TrafficCounter:
     algorithm.  Byte counts are dtype-aware (an fp64 all-reduce weighs
     twice an fp32 one of the same shape); when a caller does not supply
     them they default to the paper's fp32 wire format (4 bytes/element).
+
+    Counts are ints for exact per-call accounting, but the planner-side
+    counters (:func:`repro.autotune.parts_traffic`) may record
+    *fractional* amortized contributions — a factor all-reduce refreshed
+    every ``K`` iterations weighs ``1/K`` of its size per iteration — so
+    ``record`` preserves whatever numeric type the caller passes.
     """
 
-    elements: Dict[str, int] = field(default_factory=dict)
-    bytes: Dict[str, int] = field(default_factory=dict)
+    elements: Dict[str, float] = field(default_factory=dict)  #: int unless amortized
+    bytes: Dict[str, float] = field(default_factory=dict)  #: int unless amortized
     calls: Dict[str, int] = field(default_factory=dict)
 
-    def record(self, op: str, num_elements: int, num_bytes: Optional[int] = None) -> None:
+    def record(
+        self, op: str, num_elements: float, num_bytes: Optional[float] = None
+    ) -> None:
         if num_bytes is None:
-            num_bytes = WIRE_ELEMENT_BYTES * int(num_elements)
-        self.elements[op] = self.elements.get(op, 0) + int(num_elements)
-        self.bytes[op] = self.bytes.get(op, 0) + int(num_bytes)
+            num_bytes = WIRE_ELEMENT_BYTES * num_elements
+        self.elements[op] = self.elements.get(op, 0) + num_elements
+        self.bytes[op] = self.bytes.get(op, 0) + num_bytes
         self.calls[op] = self.calls.get(op, 0) + 1
 
-    def total_elements(self) -> int:
+    def total_elements(self) -> float:
         return sum(self.elements.values())
 
-    def total_bytes(self) -> int:
+    def total_bytes(self) -> float:
         return sum(self.bytes.values())
 
     def as_dict(self) -> Dict[str, object]:

@@ -1,0 +1,172 @@
+"""Wire-format math: dtypes, top-k compression, and byte accounting.
+
+The paper fixes the wire format at fp32 and sends every gradient and
+Kronecker factor at full precision.  Real deployments trade accuracy
+for time with three knobs this module prices:
+
+* **reduced-precision collectives** — fp16/bf16 payloads halve the
+  bytes (and hence the bandwidth term of Eq. 14) of an all-reduce or
+  broadcast;
+* **top-k gradient compression** — only a ``ratio`` fraction of
+  gradient values is communicated, each accompanied by an int32 index;
+* **staleness** (priced elsewhere) — factors/inverses refreshed every
+  ``K`` iterations amortize their traffic by ``1/K``.
+
+Everything here is pure integer/float arithmetic shared by the
+schedule builder (collective durations), the autotuner (traffic bytes
+and lower bounds), and the runtime's :class:`~repro.comm.TrafficCounter`
+— one source of truth so simulated time and counted bytes can never
+disagree about what went on the wire.
+
+Examples
+--------
+>>> from repro.comm import wire_bytes, compressed_elements
+>>> wire_bytes(1000)                      # paper default: fp32, no compression
+4000
+>>> wire_bytes(1000, dtype="fp16")        # half-precision payload
+2000
+>>> compressed_elements(1000, 0.1)        # top-k keeps 10% of the values
+100
+>>> wire_bytes(1000, dtype="fp16", compression=0.1)  # 100 values + 100 indices
+600
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+#: Supported wire dtypes and their payload bytes per element.  ``fp32``
+#: is the paper's format; ``fp16`` and ``bf16`` halve the payload (they
+#: differ in numerics, not in bytes — the cost model treats them alike).
+WIRE_DTYPES = {"fp32": 4, "fp16": 2, "bf16": 2}
+
+#: Bytes per transmitted index of a top-k compressed gradient (int32).
+TOPK_INDEX_BYTES = 4
+
+
+def dtype_bytes(dtype: str) -> int:
+    """Payload bytes per element of a wire dtype.
+
+    Parameters
+    ----------
+    dtype : str
+        One of ``"fp32"``, ``"fp16"``, ``"bf16"``.
+
+    Returns
+    -------
+    int
+        Bytes per element on the wire.
+
+    Examples
+    --------
+    >>> dtype_bytes("fp32"), dtype_bytes("bf16")
+    (4, 2)
+    """
+    if dtype not in WIRE_DTYPES:
+        raise ValueError(f"unknown wire dtype {dtype!r}; options: {tuple(WIRE_DTYPES)}")
+    return WIRE_DTYPES[dtype]
+
+
+def compressed_elements(num_elements: int, compression: float) -> int:
+    """Values kept by top-k compression of an ``num_elements`` buffer.
+
+    Parameters
+    ----------
+    num_elements : int
+        Uncompressed element count.
+    compression : float
+        Kept fraction in ``(0, 1]``; ``1.0`` disables compression.
+
+    Returns
+    -------
+    int
+        ``ceil(compression * num_elements)``, at least 1 for a non-empty
+        buffer (top-k never sends an empty message), and exactly
+        ``num_elements`` when ``compression == 1.0``.
+
+    Examples
+    --------
+    >>> compressed_elements(1000, 1.0)
+    1000
+    >>> compressed_elements(1000, 0.01)
+    10
+    >>> compressed_elements(3, 0.01)
+    1
+    """
+    if not 0.0 < compression <= 1.0:
+        raise ValueError(f"compression ratio must be in (0, 1], got {compression}")
+    if num_elements < 0:
+        raise ValueError(f"num_elements must be >= 0, got {num_elements}")
+    if compression == 1.0 or num_elements == 0:
+        return int(num_elements)
+    return max(1, math.ceil(compression * num_elements))
+
+
+def wire_payload(num_elements: int, compression: float = 1.0) -> Tuple[int, int]:
+    """Split a (possibly compressed) buffer into (values, indices) counts.
+
+    Returns
+    -------
+    tuple of int
+        ``(kept values, transmitted indices)`` — indices are 0 when no
+        compression is applied (dense buffers need no coordinates).
+    """
+    kept = compressed_elements(num_elements, compression)
+    indices = kept if compression < 1.0 else 0
+    return kept, indices
+
+
+def wire_bytes(num_elements: int, dtype: str = "fp32", compression: float = 1.0) -> int:
+    """Bytes a collective of ``num_elements`` puts on the wire.
+
+    Parameters
+    ----------
+    num_elements : int
+        Logical (uncompressed) element count of the buffer.
+    dtype : str
+        Wire dtype of the payload values.
+    compression : float
+        Top-k kept fraction in ``(0, 1]``; values below 1 add an int32
+        index per kept value.
+
+    Returns
+    -------
+    int
+        ``kept * dtype_bytes + indices * 4``.
+
+    Examples
+    --------
+    >>> wire_bytes(1000)
+    4000
+    >>> wire_bytes(1000, "bf16")
+    2000
+    >>> wire_bytes(1000, "fp32", 0.25)   # 250 values + 250 indices
+    2000
+    """
+    kept, indices = wire_payload(num_elements, compression)
+    return kept * dtype_bytes(dtype) + indices * TOPK_INDEX_BYTES
+
+
+def fp32_equivalent_elements(
+    num_elements: int, dtype: str = "fp32", compression: float = 1.0
+):
+    """The fp32-element count whose wire bytes equal this transfer's.
+
+    The calibrated cost models (Eq. 14/27 and the topology-derived
+    collectives) price fp32 elements; reduced-precision or compressed
+    transfers are priced by converting their wire bytes back into
+    "equivalent fp32 elements".  The default axes return
+    ``num_elements`` unchanged (``int`` in, ``int`` out) so paper-mode
+    schedules are bit-identical.
+
+    Examples
+    --------
+    >>> fp32_equivalent_elements(1000)
+    1000
+    >>> fp32_equivalent_elements(1000, "fp16")
+    500.0
+    """
+    if dtype == "fp32" and compression == 1.0:
+        return num_elements
+    return wire_bytes(num_elements, dtype, compression) / WIRE_DTYPES["fp32"]

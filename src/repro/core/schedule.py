@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import Dict, List, Optional, Tuple
 
+from repro.comm.wire import fp32_equivalent_elements, wire_bytes
 from repro.core.fusion import FusionPlan
 from repro.core.pipeline import (
     FactorCommPlan,
@@ -39,6 +40,7 @@ from repro.core.pipeline import (
     layer_compute_times,
     precondition_times,
 )
+from repro.perf.models import LinearCommModel, symmetric_elements
 from repro.utils.deprecation import warn_deprecated
 from repro.core.placement import (
     Placement,
@@ -49,7 +51,8 @@ from repro.core.placement import (
 )
 from repro.models.spec import ModelSpec
 from repro.perf.calibration import ClusterPerfProfile
-from repro.sim import Breakdown, Phase, TaskGraph, Timeline, simulate
+from repro.sim import Breakdown, Phase, TaskGraph, Timeline, interval_weights, simulate
+from repro.sim.analysis import FACTOR_REFRESH, REFRESH, STEADY
 
 PLACEMENT_STRATEGIES = ("non_dist", "seq_dist", "balanced", "lbp")
 
@@ -80,6 +83,115 @@ def run_iteration(graph: TaskGraph, algorithm: str, model: str) -> IterationResu
         model=model,
         timeline=timeline,
         breakdown=timeline.breakdown(),
+    )
+
+
+@dataclass(frozen=True)
+class AmortizedIterationResult:
+    """Amortized outcome of a multi-interval (stale-refresh) strategy.
+
+    With factor/inverse update intervals ``(K_f, K_inv)`` an iteration
+    cycle of length ``K_inv`` mixes up to three distinct iteration
+    shapes, each simulated exactly:
+
+    * ``refresh`` — factors recomputed + all-reduced *and* inverses
+      recomputed + broadcast (the paper's every-iteration shape);
+    * ``factor_refresh`` — factors refreshed, inverses reused stale
+      (present only when ``K_inv > K_f``);
+    * ``steady`` — neither refreshed: forward/backward, gradient
+      reduction, preconditioning with resident inverses, update.
+
+    :attr:`iteration_time` is the cycle's exact per-iteration average —
+    factor/inverse work contributes ``1/K`` of its cost, but through the
+    true two-phase (or three-phase) timelines rather than by scaling a
+    single makespan.  Duck-types :class:`IterationResult`'s reporting
+    surface (``iteration_time``, ``categories``, ``timeline``,
+    ``breakdown`` — the latter two are the refresh iteration's).
+    """
+
+    algorithm: str
+    model: str
+    refresh: IterationResult
+    factor_refresh: Optional[IterationResult]
+    steady: Optional[IterationResult]
+    weights: Tuple[Tuple[str, int], ...]  #: (phase, iterations per cycle)
+
+    def phase_results(self) -> Dict[str, IterationResult]:
+        """The distinct per-phase simulations, keyed by phase name."""
+        out = {"refresh": self.refresh}
+        if self.factor_refresh is not None:
+            out["factor_refresh"] = self.factor_refresh
+        if self.steady is not None:
+            out["steady"] = self.steady
+        return out
+
+    def phase_times(self) -> Dict[str, float]:
+        """Simulated makespan of each distinct iteration shape."""
+        return {k: r.iteration_time for k, r in self.phase_results().items()}
+
+    @property
+    def cycle_iterations(self) -> int:
+        """Iterations per refresh cycle (= the inverse update interval)."""
+        return sum(count for _, count in self.weights)
+
+    @property
+    def iteration_time(self) -> float:
+        """Exact per-iteration average over one refresh cycle."""
+        results = self.phase_results()
+        total = sum(
+            results[phase].iteration_time * count for phase, count in self.weights
+        )
+        return total / self.cycle_iterations
+
+    @property
+    def timeline(self) -> Timeline:
+        """The refresh iteration's timeline (the most complete shape)."""
+        return self.refresh.timeline
+
+    @property
+    def breakdown(self) -> Breakdown:
+        """The refresh iteration's breakdown."""
+        return self.refresh.breakdown
+
+    def categories(self) -> Dict[str, float]:
+        """Cycle-averaged paper categories; sums to :attr:`iteration_time`."""
+        results = self.phase_results()
+        cycle = self.cycle_iterations
+        out: Dict[str, float] = {}
+        for phase, count in self.weights:
+            for key, value in results[phase].categories().items():
+                out[key] = out.get(key, 0.0) + value * count / cycle
+        return out
+
+
+def run_phase_iterations(
+    graphs: Dict[str, TaskGraph],
+    algorithm: str,
+    model: str,
+    factor_interval: int = 1,
+    inverse_interval: int = 1,
+) -> "IterationResult | AmortizedIterationResult":
+    """Simulate the distinct iteration shapes of a refresh cycle.
+
+    ``graphs`` maps phase names (:data:`repro.sim.analysis.REFRESH`,
+    ``factor_refresh``, ``steady``) to their task graphs; only the
+    phases the interval mix contains are simulated.  The every-iteration
+    defaults collapse to a plain :func:`run_iteration` of the refresh
+    graph, so non-stale strategies return exactly what they always did.
+    """
+    weights = interval_weights(factor_interval, inverse_interval)
+    if len(weights) == 1:
+        return run_iteration(graphs[REFRESH], algorithm, model)
+    results = {
+        phase: run_iteration(graphs[phase], algorithm, model) for phase, _ in weights
+    }
+    return AmortizedIterationResult(
+        algorithm=algorithm,
+        model=model,
+        refresh=results[REFRESH],
+        factor_refresh=results.get(FACTOR_REFRESH),
+        steady=results.get(STEADY),
+        weights=weights,
     )
 
 
@@ -122,6 +234,32 @@ def resolve_placement(
 # ---------------------------------------------------------------------------
 
 
+def collective_time(
+    model: LinearCommModel,
+    num_elements: int,
+    dtype: str = "fp32",
+    compression: float = 1.0,
+) -> float:
+    """Duration of a collective under a wire dtype and top-k ratio.
+
+    The paper's default axes (fp32, no compression) take the exact
+    ``model.time(num_elements)`` path so legacy schedules stay
+    bit-identical; anything else is priced by its wire bytes expressed
+    in equivalent fp32 elements
+    (:func:`repro.comm.wire.fp32_equivalent_elements`).
+    """
+    return model.time(fp32_equivalent_elements(num_elements, dtype, compression))
+
+
+def broadcast_symmetric_time(
+    model: LinearCommModel, d: int, dtype: str = "fp32"
+) -> float:
+    """Duration of a packed symmetric ``d x d`` broadcast at ``dtype``."""
+    if dtype == "fp32":
+        return model.time_symmetric(d)
+    return model.time_bytes(wire_bytes(symmetric_elements(d), dtype))
+
+
 def build_graph_from_parts(
     spec: ModelSpec,
     profile: ClusterPerfProfile,
@@ -132,6 +270,12 @@ def build_graph_from_parts(
     grad_plan: Optional[FusionPlan],
     placement: Optional[Placement],
     include_solve: bool = True,
+    grad_dtype: str = "fp32",
+    factor_dtype: str = "fp32",
+    inverse_dtype: str = "fp32",
+    grad_compression: float = 1.0,
+    with_factors: bool = True,
+    with_inverses: bool = True,
 ) -> TaskGraph:
     """Assemble one iteration's task graph from resolved planning parts.
 
@@ -143,17 +287,30 @@ def build_graph_from_parts(
     ``include_solve=False`` isolates the factor pipeline, as in
     Fig. 10).  :mod:`repro.plan` resolves these parts from a declarative
     :class:`~repro.plan.TrainingStrategy`.
+
+    The wire axes (``grad_dtype`` / ``factor_dtype`` / ``inverse_dtype``
+    / ``grad_compression``) reprice the matching collectives by their
+    wire bytes; defaults reproduce the paper's fp32 uncompressed
+    schedule bit-identically.  ``with_factors=False`` drops the factor
+    computation/aggregation stage and ``with_inverses=False`` the
+    inverse computation/broadcast stage — the steady-state and
+    factor-only-refresh iteration shapes of a stale-update
+    (``K_f``/``K_inv`` interval) strategy, in which preconditioning
+    reuses resident inverses.
     """
     layers = spec.layers
     num_layers = len(layers)
     distributed = num_ranks > 1
     all_ranks = list(range(num_ranks))
     graph = TaskGraph(num_ranks)
+    factors = kfac and with_factors
+    if not factors:
+        fplan = None
 
     t_fwd, t_bwd, t_fa, t_fg = layer_compute_times(spec, profile)
     t_precond = precondition_times(spec, profile.factor_compute)
 
-    if kfac and distributed and fplan is None:
+    if factors and distributed and fplan is None:
         raise ValueError("distributed K-FAC requires a factor communication strategy")
 
     # ---- forward pass -------------------------------------------------------
@@ -166,7 +323,7 @@ def build_graph_from_parts(
         # One kernel per rank, appended as a batch; each rank's compute
         # stream still sees A_l before F_l, so the FIFO order (and hence
         # the schedule) is identical to per-rank interleaved appends.
-        if kfac:
+        if factors:
             fa_tasks[l] = graph.add_compute_batch(
                 f"A{l}", Phase.FACTOR_COMP, all_ranks, t_fa[l]
             )
@@ -179,7 +336,7 @@ def build_graph_from_parts(
                     f"CA[{bucket_id}]",
                     Phase.FACTOR_COMM,
                     all_ranks,
-                    profile.allreduce_streamed.time(elements),
+                    collective_time(profile.allreduce_streamed, elements, factor_dtype),
                     deps=fa_tasks[l],
                 )
 
@@ -194,7 +351,7 @@ def build_graph_from_parts(
                 "CA[all]" if single else f"CA[{bucket_id}]",
                 Phase.FACTOR_COMM,
                 all_ranks,
-                profile.allreduce_streamed.time(elements),
+                collective_time(profile.allreduce_streamed, elements, factor_dtype),
                 deps=fa_tasks[num_layers - 1],
             )
 
@@ -212,7 +369,7 @@ def build_graph_from_parts(
         bwd_tasks[l] = graph.add_compute_batch(
             f"B{l}", Phase.BACKWARD, all_ranks, t_bwd[l], deps_per_rank=bwd_deps
         )
-        if kfac:
+        if factors:
             fg_tasks[l] = graph.add_compute_batch(
                 f"G{l}", Phase.FACTOR_COMP, all_ranks, t_fg[l]
             )
@@ -224,7 +381,9 @@ def build_graph_from_parts(
                     f"CG[{bucket_id}]",
                     Phase.GRAD_COMM,
                     all_ranks,
-                    profile.allreduce_streamed.time(elements),
+                    collective_time(
+                        profile.allreduce_streamed, elements, grad_dtype, grad_compression
+                    ),
                     deps=bwd_tasks[l],
                 )
         if fplan is not None and not fplan.launch_after_pass:
@@ -235,7 +394,7 @@ def build_graph_from_parts(
                     f"CF_G[{bucket_id}]",
                     Phase.FACTOR_COMM,
                     all_ranks,
-                    profile.allreduce_streamed.time(elements),
+                    collective_time(profile.allreduce_streamed, elements, factor_dtype),
                     deps=fg_tasks[l],
                 )
 
@@ -247,7 +406,7 @@ def build_graph_from_parts(
                 "CF[all]",
                 Phase.FACTOR_COMM,
                 all_ranks,
-                profile.allreduce_streamed.time(elements),
+                collective_time(profile.allreduce_streamed, elements, factor_dtype),
                 deps=fg_tasks[0],
             )
             a_bucket_task[0] = task
@@ -260,7 +419,7 @@ def build_graph_from_parts(
                     "CG_fac[all]" if single else f"CG_fac[{bucket_id}]",
                     Phase.FACTOR_COMM,
                     all_ranks,
-                    profile.allreduce_streamed.time(elements),
+                    collective_time(profile.allreduce_streamed, elements, factor_dtype),
                     deps=fg_tasks[0],
                 )
 
@@ -286,47 +445,62 @@ def build_graph_from_parts(
 
     # ---- inverses, broadcasts, preconditioning, update ------------------------
     if kfac and include_solve:
-        if placement is None:
-            raise ValueError("K-FAC schedules need an inverse placement strategy")
-        dims = placement.dims
-        inv_task: Dict[Tuple[int, int], int] = {}  # (tensor, rank) -> task
-        bcast_task: Dict[int, int] = {}
-        order = sorted(range(len(dims)), key=lambda i: -dims[i])
-        for i in order:
-            ready = factor_ready_global(i)
-            assigned = placement.assignments[i]
-            if ready is not None:
-                deps_per_rank: Optional[List[List[int]]] = [[ready]] * len(assigned)
-            else:
-                deps_per_rank = [[factor_ready_local(i, r)] for r in assigned]
-            tids = graph.add_compute_batch(
-                f"I{i}",
-                Phase.INVERSE_COMP,
-                assigned,
-                profile.inverse_actual.time(dims[i]),
-                deps_per_rank=deps_per_rank,
-            )
-            for r, tid in zip(assigned, tids):
-                inv_task[(i, r)] = tid
-            if distributed and not placement.is_nct(i):
-                root = placement.owner(i)
-                bcast_task[i] = graph.add_collective(
-                    f"CI{i}",
-                    Phase.INVERSE_COMM,
-                    all_ranks,
-                    profile.broadcast_streamed.time_symmetric(dims[i]),
-                    deps=[inv_task[(i, root)]],
+        inverse_available = None
+        if with_inverses:
+            if placement is None:
+                raise ValueError("K-FAC schedules need an inverse placement strategy")
+            dims = placement.dims
+            inv_task: Dict[Tuple[int, int], int] = {}  # (tensor, rank) -> task
+            bcast_task: Dict[int, int] = {}
+            order = sorted(range(len(dims)), key=lambda i: -dims[i])
+            for i in order:
+                ready = factor_ready_global(i)
+                assigned = placement.assignments[i]
+                if ready is not None:
+                    deps_per_rank: Optional[List[List[int]]] = [[ready]] * len(assigned)
+                elif factors:
+                    deps_per_rank = [[factor_ready_local(i, r)] for r in assigned]
+                else:
+                    # Inverse-only refresh from factors resident since an
+                    # earlier iteration: nothing this iteration gates them.
+                    deps_per_rank = None
+                tids = graph.add_compute_batch(
+                    f"I{i}",
+                    Phase.INVERSE_COMP,
+                    assigned,
+                    profile.inverse_actual.time(dims[i]),
+                    deps_per_rank=deps_per_rank,
                 )
+                for r, tid in zip(assigned, tids):
+                    inv_task[(i, r)] = tid
+                if distributed and not placement.is_nct(i):
+                    root = placement.owner(i)
+                    bcast_task[i] = graph.add_collective(
+                        f"CI{i}",
+                        Phase.INVERSE_COMM,
+                        all_ranks,
+                        broadcast_symmetric_time(
+                            profile.broadcast_streamed, dims[i], inverse_dtype
+                        ),
+                        deps=[inv_task[(i, root)]],
+                    )
 
-        def inverse_available(tensor_index: int, rank: int) -> int:
-            if (tensor_index, rank) in inv_task:
-                return inv_task[(tensor_index, rank)]
-            return bcast_task[tensor_index]
+            def inverse_available(tensor_index: int, rank: int) -> int:
+                if (tensor_index, rank) in inv_task:
+                    return inv_task[(tensor_index, rank)]
+                return bcast_task[tensor_index]
 
         for l in range(num_layers):
             precond_deps: List[List[int]] = []
             for r in all_ranks:
-                deps = [inverse_available(2 * l, r), inverse_available(2 * l + 1, r)]
+                # Steady-state iterations precondition with the inverses
+                # already resident from the last refresh, so only the
+                # gradient gates them.
+                deps = (
+                    [inverse_available(2 * l, r), inverse_available(2 * l + 1, r)]
+                    if inverse_available is not None
+                    else []
+                )
                 if grad_plan is not None:
                     backward_pos = num_layers - 1 - l
                     deps.append(grad_bucket_task[grad_plan.bucket_of(backward_pos)])

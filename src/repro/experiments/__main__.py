@@ -63,8 +63,12 @@ def _plan_main(argv) -> int:
     args = parser.parse_args(argv)
 
     if args.list_strategies:
+        width = max(len(name) for name in strategy_registry.names())
         for name, strategy in strategy_registry.items():
-            print(strategy.describe())
+            # describe() starts with "<name>: "; strip it so the padded
+            # name column and the one-line description stay aligned.
+            description = strategy.describe().split(": ", 1)[1]
+            print(f"{name:<{width}}  {description}")
         return 0
     if args.model is None or args.strategy is None:
         parser.error("model and strategy are required (or use --list-strategies)")
@@ -102,7 +106,7 @@ def _plan_main(argv) -> int:
 def _autotune_main(argv) -> int:
     from repro.autotune import autotune
     from repro.models.catalog import PAPER_MODELS
-    from repro.topo import named_topology, topology_preset_names
+    from repro.topo import describe_topology_preset, named_topology, topology_preset_names
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments autotune",
@@ -147,9 +151,13 @@ def _autotune_main(argv) -> int:
     args = parser.parse_args(argv)
 
     if args.list_topologies:
+        width = max(len(name) for name in topology_preset_names())
         for name in topology_preset_names():
             topo = named_topology(name)
-            print(f"{name}: {topo.name} ({topo.world_size} GPUs)")
+            print(
+                f"{name:<{width}}  {describe_topology_preset(name)} "
+                f"({topo.world_size} GPUs)"
+            )
         return 0
     if args.model is None:
         parser.error("model is required (or use --list-topologies)")

@@ -2,6 +2,16 @@
 
 from __future__ import annotations
 
+__all__ = [
+    "EXPERIMENTS",
+    "PAPER_MODEL_NAMES",
+    "VARIANT_NAMES",
+    "ExperimentResult",
+    "get_experiment",
+    "resolve_profile",
+    "variant_results",
+]
+
 import importlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
@@ -30,6 +40,7 @@ EXPERIMENTS: Dict[str, str] = {
     "ext_topology": "repro.experiments.ext_topology",
     "ext_topo_crossover": "repro.experiments.ext_topo_crossover",
     "ext_autotune": "repro.experiments.ext_autotune",
+    "ext_precision": "repro.experiments.ext_precision",
 }
 
 PAPER_MODEL_NAMES = ("ResNet-50", "ResNet-152", "DenseNet-201", "Inception-v4")

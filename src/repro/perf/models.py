@@ -67,6 +67,17 @@ class LinearCommModel:
         """Predicted time to communicate a packed symmetric ``d x d`` matrix."""
         return self.time(symmetric_elements(d))
 
+    def time_bytes(self, num_bytes: float) -> float:
+        """Predicted time to communicate ``num_bytes`` bytes on the wire.
+
+        The fitted ``beta`` is per *fp32 element* (the paper's wire
+        format); reduced-precision or compressed transfers are priced by
+        their byte volume expressed in equivalent fp32 elements, so an
+        fp16 all-reduce of ``m`` elements costs
+        ``alpha + beta * m / 2``.
+        """
+        return self.time(num_bytes / WIRE_ELEMENT_BYTES)
+
     def saturating_size(self) -> float:
         """Message size at which transfer time equals startup time.
 

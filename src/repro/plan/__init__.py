@@ -28,6 +28,7 @@ Quickstart::
 from repro.plan.strategy import (
     COLLECTIVE_ALGORITHMS,
     GRADIENT_REDUCTIONS,
+    WIRE_DTYPE_NAMES,
     StrategyRegistry,
     TrainingStrategy,
     strategy_registry,
@@ -35,11 +36,13 @@ from repro.plan.strategy import (
 from repro.plan.plan import PLAN_FORMAT_VERSION, Plan, count_tasks
 from repro.plan.session import (
     Session,
+    build_phase_graphs,
     build_strategy_graph,
     cache_info,
     clear_caches,
     resolve_plan_parts,
     resolve_strategy,
+    wire_axis_kwargs,
 )
 
 __all__ = [
@@ -48,11 +51,14 @@ __all__ = [
     "strategy_registry",
     "GRADIENT_REDUCTIONS",
     "COLLECTIVE_ALGORITHMS",
+    "WIRE_DTYPE_NAMES",
     "Plan",
     "PLAN_FORMAT_VERSION",
     "count_tasks",
     "Session",
     "build_strategy_graph",
+    "build_phase_graphs",
+    "wire_axis_kwargs",
     "resolve_plan_parts",
     "resolve_strategy",
     "clear_caches",

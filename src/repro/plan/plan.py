@@ -37,7 +37,14 @@ from repro.perf.models import (
 from repro.plan.strategy import TrainingStrategy
 from repro.sim import TaskGraph
 
-PLAN_FORMAT_VERSION = 1
+#: Current plan format.  Version 2 added the strategy's wire-precision /
+#: compression / update-interval axes; version-1 documents (written
+#: before those axes existed) still load, with every new axis at its
+#: paper-faithful default.
+PLAN_FORMAT_VERSION = 2
+
+#: Formats :meth:`Plan.from_dict` can read.
+READABLE_PLAN_FORMAT_VERSIONS = (1, 2)
 
 _COST_MODEL_CLASSES = {
     cls.__name__: cls
@@ -124,7 +131,13 @@ class Plan:
         return dict(self.predicted_breakdown)
 
     def build_graph(self, spec: Optional[ModelSpec] = None) -> TaskGraph:
-        """Reconstruct the task graph this plan describes.
+        """Reconstruct the *refresh-iteration* task graph this plan describes.
+
+        For a stale-refresh plan (update intervals > 1) this is the full
+        refresh shape only — its simulated makespan exceeds the plan's
+        cycle-averaged :attr:`predicted_makespan`.  Use
+        :meth:`build_phase_graphs` (or ``Session.simulate(plan)``) to
+        reproduce the amortized number.
 
         ``spec`` is only needed for models outside the paper catalog
         (e.g. synthetic test specs); it must match :attr:`model`.
@@ -144,6 +157,38 @@ class Plan:
             grad_plan=self.grad_plan,
             placement=self.placement,
             include_solve=self.strategy.include_solve,
+            grad_dtype=self.strategy.grad_dtype,
+            factor_dtype=self.strategy.factor_dtype,
+            inverse_dtype=self.strategy.inverse_dtype,
+            grad_compression=self.strategy.grad_compression,
+        )
+
+    def build_phase_graphs(self, spec: Optional[ModelSpec] = None) -> Dict[str, TaskGraph]:
+        """One task graph per distinct iteration shape of the refresh cycle.
+
+        Non-stale plans return ``{"refresh": graph}``; stale plans add
+        the factor-only-refresh and/or steady-state shapes.  Simulating
+        each and cycle-averaging with
+        :func:`repro.sim.amortized_makespan` reproduces
+        :attr:`predicted_makespan` exactly.
+        """
+        # Local import: repro.plan.session composes Plans, not vice versa.
+        from repro.plan.session import build_phase_graphs
+
+        if spec is None:
+            spec = get_model_spec(self.model)
+        elif spec.name != self.model:
+            raise ValueError(
+                f"spec {spec.name!r} does not match the plan's model {self.model!r}"
+            )
+        return build_phase_graphs(
+            spec,
+            self.profile,
+            self.strategy,
+            num_ranks=self.num_ranks,
+            grad_plan=self.grad_plan,
+            fplan=self.factor_plan,
+            placement=self.placement,
         )
 
     def summary(self) -> str:
@@ -178,7 +223,15 @@ class Plan:
             f"  task graph: {counts.get('tasks', 0)} tasks, "
             f"{counts.get('collectives', 0)} collectives"
         )
-        lines.append(f"  predicted:  {self.predicted_makespan:.4f} s/iteration")
+        cycle = self.strategy.inverse_update_interval
+        amortized = (
+            f" (cycle average over {cycle} iterations)"
+            if self.strategy.stale_updates
+            else ""
+        )
+        lines.append(
+            f"  predicted:  {self.predicted_makespan:.4f} s/iteration{amortized}"
+        )
         for category, seconds in self.predicted_breakdown:
             if seconds > 0:
                 lines.append(f"    {category:<12} {seconds:.4f} s")
@@ -187,6 +240,7 @@ class Plan:
     # -- serialization -----------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
+        """The full plan as a JSON-serializable dict (see :meth:`to_json`)."""
         return {
             "version": PLAN_FORMAT_VERSION,
             "strategy": self.strategy.to_dict(),
@@ -224,10 +278,10 @@ class Plan:
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "Plan":
         version = data.get("version")
-        if version != PLAN_FORMAT_VERSION:
+        if version not in READABLE_PLAN_FORMAT_VERSIONS:
             raise ValueError(
                 f"unsupported plan format version {version!r} "
-                f"(this build reads version {PLAN_FORMAT_VERSION})"
+                f"(this build reads versions {READABLE_PLAN_FORMAT_VERSIONS})"
             )
         factor = data["factor_plan"]
         placement = data["placement"]
@@ -275,12 +329,14 @@ class Plan:
         return cls.from_dict(json.loads(text))
 
     def save(self, path: str, indent: Optional[int] = 2) -> None:
+        """Write the plan's JSON document (plus trailing newline) to ``path``."""
         with open(path, "w") as f:
             f.write(self.to_json(indent=indent))
             f.write("\n")
 
     @classmethod
     def load(cls, path: str) -> "Plan":
+        """Read a plan previously written by :meth:`save`."""
         with open(path) as f:
             return cls.from_json(f.read())
 

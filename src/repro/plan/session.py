@@ -32,11 +32,13 @@ from typing import Dict, Optional, Tuple, Union
 from repro.core.fusion import plan_bulk
 from repro.core.pipeline import factor_comm_plan_for, gradient_fusion_plan
 from repro.core.schedule import (
+    AmortizedIterationResult,
     IterationResult,
     build_graph_from_parts,
     resolve_placement,
-    run_iteration,
+    run_phase_iterations,
 )
+from repro.sim.analysis import FACTOR_REFRESH, REFRESH, interval_weights
 from repro.models import get_model_spec
 from repro.models.spec import ModelSpec
 from repro.perf import (
@@ -51,11 +53,15 @@ from repro.topo import ClusterTopology
 
 ClusterLike = Union[None, int, ClusterPerfProfile, ClusterTopology]
 
+#: What a simulation returns: a plain single-iteration result, or the
+#: cycle-averaged result of a stale-refresh (interval > 1) strategy.
+ResultLike = Union[IterationResult, AmortizedIterationResult]
+
 _CACHE_MAXSIZE = 128
 _CacheKey = Tuple[ModelSpec, TrainingStrategy, ClusterPerfProfile]
 #: One atomic (plan, result) entry per key: planning and simulation are
 #: memoized together so eviction can never leave one without the other.
-_CACHE: "OrderedDict[_CacheKey, Tuple[Plan, IterationResult]]" = OrderedDict()
+_CACHE: "OrderedDict[_CacheKey, Tuple[Plan, ResultLike]]" = OrderedDict()
 _CACHE_STATS = {"hits": 0, "misses": 0}
 
 
@@ -140,10 +146,66 @@ def resolve_plan_parts(
     return num_ranks, grad_plan, fplan, placement
 
 
+def wire_axis_kwargs(strategy: TrainingStrategy) -> Dict[str, object]:
+    """The strategy's wire axes as :func:`build_graph_from_parts` kwargs."""
+    return {
+        "grad_dtype": strategy.grad_dtype,
+        "factor_dtype": strategy.factor_dtype,
+        "inverse_dtype": strategy.inverse_dtype,
+        "grad_compression": strategy.grad_compression,
+    }
+
+
+def build_phase_graphs(
+    spec: ModelSpec,
+    profile: ClusterPerfProfile,
+    strategy: TrainingStrategy,
+    *,
+    num_ranks: int,
+    grad_plan,
+    fplan,
+    placement,
+):
+    """One task graph per distinct iteration shape of the refresh cycle.
+
+    Non-stale strategies (both intervals 1) produce a single
+    ``{"refresh": graph}`` entry — built through exactly the legacy
+    arguments, so their schedule is bit-identical to the
+    every-iteration path.  Stale strategies add the factor-only-refresh
+    and/or steady-state shapes, which drop the factor and inverse stages
+    respectively.
+    """
+    graphs = {}
+    for phase, _ in interval_weights(
+        strategy.factor_update_interval, strategy.inverse_update_interval
+    ):
+        with_factors = phase in (REFRESH, FACTOR_REFRESH)
+        with_inverses = phase == REFRESH
+        graphs[phase] = build_graph_from_parts(
+            spec,
+            profile,
+            num_ranks=num_ranks,
+            kfac=strategy.second_order,
+            fplan=fplan if with_factors else None,
+            grad_plan=grad_plan,
+            placement=placement if with_inverses else None,
+            include_solve=strategy.include_solve,
+            with_factors=with_factors,
+            with_inverses=with_inverses,
+            **wire_axis_kwargs(strategy),
+        )
+    return graphs
+
+
 def build_strategy_graph(
     spec: ModelSpec, profile: ClusterPerfProfile, strategy: Union[str, TrainingStrategy]
 ):
-    """Uncached strategy -> task graph (the Session's building block)."""
+    """Uncached strategy -> task graph (the Session's building block).
+
+    For stale-refresh strategies this is the *refresh* iteration's graph
+    (the most complete shape); :func:`build_phase_graphs` exposes all
+    shapes.
+    """
     strategy = resolve_strategy(strategy)
     num_ranks, grad_plan, fplan, placement = resolve_plan_parts(spec, profile, strategy)
     return build_graph_from_parts(
@@ -155,11 +217,21 @@ def build_strategy_graph(
         grad_plan=grad_plan,
         placement=placement,
         include_solve=strategy.include_solve,
+        **wire_axis_kwargs(strategy),
     )
 
 
 class Session:
-    """Planning facade for one model on one cluster."""
+    """Planning facade for one model on one cluster.
+
+    Examples
+    --------
+    >>> session = Session("ResNet-50", 4)
+    >>> plan = session.plan("SPD-KFAC")
+    >>> result = session.simulate(plan)
+    >>> plan.predicted_makespan == result.iteration_time
+    True
+    """
 
     def __init__(self, model: Union[str, ModelSpec], cluster: ClusterLike = None):
         self._spec = model if isinstance(model, ModelSpec) else get_model_spec(model)
@@ -219,9 +291,7 @@ class Session:
             self._topology_profiles[strategy.collective] = profile
         return profile
 
-    def _plan_and_result(
-        self, strategy: TrainingStrategy
-    ) -> Tuple[Plan, IterationResult]:
+    def _plan_and_result(self, strategy: TrainingStrategy) -> Tuple[Plan, ResultLike]:
         profile = self.profile_for(strategy)
         key = (self._spec, strategy, profile)
         cached = _cache_get(key)
@@ -233,17 +303,22 @@ class Session:
         num_ranks, grad_plan, fplan, placement = resolve_plan_parts(
             self._spec, profile, strategy
         )
-        graph = build_graph_from_parts(
+        graphs = build_phase_graphs(
             self._spec,
             profile,
+            strategy,
             num_ranks=num_ranks,
-            kfac=strategy.second_order,
-            fplan=fplan,
             grad_plan=grad_plan,
+            fplan=fplan,
             placement=placement,
-            include_solve=strategy.include_solve,
         )
-        result = run_iteration(graph, strategy.name, self._spec.name)
+        result = run_phase_iterations(
+            graphs,
+            strategy.name,
+            self._spec.name,
+            strategy.factor_update_interval,
+            strategy.inverse_update_interval,
+        )
         plan = Plan(
             strategy=strategy,
             model=self._spec.name,
@@ -254,7 +329,7 @@ class Session:
             placement=placement,
             predicted_makespan=result.iteration_time,
             predicted_breakdown=tuple(result.categories().items()),
-            task_counts=count_tasks(graph),
+            task_counts=count_tasks(graphs[REFRESH]),
         )
         _cache_put(key, (plan, result))
         return plan, result
@@ -265,8 +340,15 @@ class Session:
 
     def simulate(
         self, plan_or_strategy: Union[str, TrainingStrategy, Plan]
-    ) -> IterationResult:
-        """Simulate one iteration of a plan (or of a strategy's plan)."""
+    ) -> ResultLike:
+        """Simulate one iteration of a plan (or of a strategy's plan).
+
+        Stale-refresh strategies (factor/inverse update intervals > 1)
+        return an :class:`~repro.core.schedule.AmortizedIterationResult`
+        whose ``iteration_time`` is the exact cycle average; everything
+        else returns the usual
+        :class:`~repro.core.schedule.IterationResult`.
+        """
         if isinstance(plan_or_strategy, Plan):
             plan = plan_or_strategy
             if plan.model != self._spec.name:
@@ -280,7 +362,7 @@ class Session:
                     "whose cost profile differs from this session's; create a "
                     "Session for the plan's cluster (e.g. "
                     f"Session({self._spec.name!r}, {plan.num_ranks})) or "
-                    "simulate plan.build_graph() directly"
+                    "simulate plan.build_phase_graphs() directly"
                 )
             key = (self._spec, plan.strategy, plan.profile)
             cached = _cache_get(key)
@@ -291,8 +373,22 @@ class Session:
                 _CACHE_STATS["hits"] += 1
                 return cached[1]
             _CACHE_STATS["misses"] += 1
-            graph = plan.build_graph(self._spec)
-            result = run_iteration(graph, plan.strategy.name, self._spec.name)
+            graphs = build_phase_graphs(
+                self._spec,
+                plan.profile,
+                plan.strategy,
+                num_ranks=plan.num_ranks,
+                grad_plan=plan.grad_plan,
+                fplan=plan.factor_plan,
+                placement=plan.placement,
+            )
+            result = run_phase_iterations(
+                graphs,
+                plan.strategy.name,
+                self._spec.name,
+                plan.strategy.factor_update_interval,
+                plan.strategy.inverse_update_interval,
+            )
             # Not cached under the strategy key: only plans this Session
             # resolved itself are canonical for (strategy, profile), and a
             # foreign plan's parts may differ from what resolution gives.

@@ -26,6 +26,7 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.comm.wire import WIRE_DTYPES
 from repro.core.distributed import InverseStrategy
 from repro.core.pipeline import FACTOR_FUSION_POLICIES, FactorCommStrategy, _CANONICAL_AXES
 from repro.core.schedule import PLACEMENT_STRATEGIES
@@ -38,11 +39,21 @@ GRADIENT_REDUCTIONS = ("none", "wfbp", "bulk")
 #: already encodes its collectives).
 COLLECTIVE_ALGORITHMS = ("auto", "ring", "tree", "hierarchical")
 
+#: Wire dtypes a traffic class may use (``fp32`` is the paper's format).
+WIRE_DTYPE_NAMES: Tuple[str, ...] = tuple(WIRE_DTYPES)
+
 
 def _check_choice(field_name: str, value: object, options: Tuple[str, ...]) -> None:
     if value not in options:
         raise ValueError(
             f"invalid TrainingStrategy.{field_name} {value!r}; options: {options}"
+        )
+
+
+def _check_interval(field_name: str, value: object) -> None:
+    if isinstance(value, bool) or not isinstance(value, int) or value < 1:
+        raise ValueError(
+            f"TrainingStrategy.{field_name} must be an integer >= 1, got {value!r}"
         )
 
 
@@ -74,7 +85,34 @@ class TrainingStrategy:
     ``collective``      collective algorithm on modeled topologies:
                         ``"auto"`` / ``"ring"`` / ``"tree"`` /
                         ``"hierarchical"``
+    ``grad_dtype``      wire dtype of gradient all-reduces:
+                        ``"fp32"`` (paper) / ``"fp16"`` / ``"bf16"``
+    ``factor_dtype``    wire dtype of Kronecker-factor all-reduces
+    ``inverse_dtype``   wire dtype of inverse broadcasts
+    ``grad_compression``  top-k kept fraction of gradient all-reduces in
+                        ``(0, 1]``; ``1.0`` (paper) disables compression,
+                        smaller values ship that fraction of the values
+                        plus an int32 index each
+    ``factor_update_interval``  refresh factors (compute + all-reduce)
+                        every ``K_f`` iterations (KAISA-style staleness;
+                        1 = the paper's every-iteration refresh)
+    ``inverse_update_interval``  recompute/broadcast inverses every
+                        ``K_inv`` iterations; must be a multiple of
+                        ``factor_update_interval`` (inverses are rebuilt
+                        from freshly aggregated factors)
     ================== ====================================================
+
+    Defaults reproduce the paper bit-identically; every new axis has to
+    be opted into.
+
+    Examples
+    --------
+    >>> spd = TrainingStrategy(name="SPD-KFAC")
+    >>> cheap = spd.but(factor_dtype="fp16", inverse_update_interval=4)
+    >>> cheap.factor_dtype, cheap.inverse_update_interval
+    ('fp16', 4)
+    >>> spd == cheap.but(factor_dtype="fp32", inverse_update_interval=1)
+    True
     """
 
     name: str = "custom"
@@ -87,12 +125,32 @@ class TrainingStrategy:
     placement: str = "lbp"
     include_solve: bool = True
     collective: str = "auto"
+    grad_dtype: str = "fp32"
+    factor_dtype: str = "fp32"
+    inverse_dtype: str = "fp32"
+    grad_compression: float = 1.0
+    factor_update_interval: int = 1
+    inverse_update_interval: int = 1
 
     def __post_init__(self) -> None:
         _check_choice("gradient_reduction", self.gradient_reduction, GRADIENT_REDUCTIONS)
         _check_choice("factor_fusion", self.factor_fusion, FACTOR_FUSION_POLICIES)
         _check_choice("placement", self.placement, PLACEMENT_STRATEGIES)
         _check_choice("collective", self.collective, COLLECTIVE_ALGORITHMS)
+        _check_choice("grad_dtype", self.grad_dtype, WIRE_DTYPE_NAMES)
+        _check_choice("factor_dtype", self.factor_dtype, WIRE_DTYPE_NAMES)
+        _check_choice("inverse_dtype", self.inverse_dtype, WIRE_DTYPE_NAMES)
+        if not (
+            isinstance(self.grad_compression, (int, float))
+            and not isinstance(self.grad_compression, bool)
+            and 0.0 < float(self.grad_compression) <= 1.0
+        ):
+            raise ValueError(
+                "TrainingStrategy.grad_compression must be a kept fraction in "
+                f"(0, 1], got {self.grad_compression!r}"
+            )
+        _check_interval("factor_update_interval", self.factor_update_interval)
+        _check_interval("inverse_update_interval", self.inverse_update_interval)
         if self.distributed and self.gradient_reduction == "none":
             raise ValueError(
                 "distributed training must reduce gradients; pick "
@@ -121,6 +179,43 @@ class TrainingStrategy:
                 "include_solve=False isolates the K-FAC inverse stage and is "
                 "meaningless for first-order strategies"
             )
+        reduces_gradients = self.distributed and self.gradient_reduction != "none"
+        if not reduces_gradients and (
+            self.grad_dtype != "fp32" or self.grad_compression != 1.0
+        ):
+            raise ValueError(
+                "grad_dtype/grad_compression shape gradient all-reduces; this "
+                "strategy reduces no gradients (single device) so they must "
+                "stay at their fp32/1.0 defaults"
+            )
+        comm_factors = self.second_order and self.distributed
+        if not comm_factors and (
+            self.factor_dtype != "fp32" or self.inverse_dtype != "fp32"
+        ):
+            raise ValueError(
+                "factor_dtype/inverse_dtype shape factor all-reduces and "
+                "inverse broadcasts; this strategy communicates neither "
+                "(first-order or single device) so they must stay 'fp32'"
+            )
+        stale = self.factor_update_interval > 1 or self.inverse_update_interval > 1
+        if stale and not self.second_order:
+            raise ValueError(
+                "factor/inverse update intervals amortize K-FAC refresh work; "
+                "first-order strategies have none (keep both intervals at 1)"
+            )
+        if stale and not self.include_solve:
+            raise ValueError(
+                "update intervals > 1 price amortized steady-state iterations; "
+                "include_solve=False is a single-refresh diagnostic mode "
+                "(keep both intervals at 1)"
+            )
+        if self.inverse_update_interval % self.factor_update_interval != 0:
+            raise ValueError(
+                "inverse_update_interval must be a multiple of "
+                "factor_update_interval (inverses are rebuilt from freshly "
+                f"aggregated factors); got {self.inverse_update_interval} "
+                f"vs {self.factor_update_interval}"
+            )
 
     # -- derived views -----------------------------------------------------
 
@@ -143,8 +238,19 @@ class TrainingStrategy:
         """A copy with some axes replaced (name preserved unless given)."""
         return dataclasses.replace(self, **overrides)
 
+    @property
+    def stale_updates(self) -> bool:
+        """Whether any refresh interval exceeds the paper's every-iteration 1."""
+        return self.factor_update_interval > 1 or self.inverse_update_interval > 1
+
     def describe(self) -> str:
-        """One-line human summary of every axis."""
+        """One-line human summary of every axis.
+
+        Examples
+        --------
+        >>> print(TrainingStrategy(name="SPD-KFAC").describe())
+        SPD-KFAC: second-order (K-FAC), distributed, grad=wfbp, factors=optimal/pipelined, placement=lbp, collective=auto
+        """
         if not self.second_order:
             order = "first-order"
             factors = "no factors"
@@ -159,18 +265,47 @@ class TrainingStrategy:
             if not self.include_solve:
                 factors += ", solve-stage off"
         scope = "distributed" if self.distributed else "single-device"
+        extras = []
+        grad = self.gradient_reduction
+        if self.grad_dtype != "fp32":
+            grad += f"@{self.grad_dtype}"
+        if self.grad_compression != 1.0:
+            grad += f"/top{self.grad_compression:g}"
+        if self.factor_dtype != "fp32":
+            extras.append(f"factor-wire={self.factor_dtype}")
+        if self.inverse_dtype != "fp32":
+            extras.append(f"inverse-wire={self.inverse_dtype}")
+        if self.stale_updates:
+            extras.append(
+                f"refresh=K_f{self.factor_update_interval}/"
+                f"K_inv{self.inverse_update_interval}"
+            )
+        extra = (", " + ", ".join(extras)) if extras else ""
         return (
-            f"{self.name}: {order}, {scope}, grad={self.gradient_reduction}, "
-            f"{factors}, collective={self.collective}"
+            f"{self.name}: {order}, {scope}, grad={grad}, "
+            f"{factors}, collective={self.collective}{extra}"
         )
 
     # -- serialization -----------------------------------------------------
 
     def to_dict(self) -> Dict[str, object]:
+        """Every axis as a plain JSON-serializable dict.
+
+        Examples
+        --------
+        >>> TrainingStrategy().to_dict()["placement"]
+        'lbp'
+        """
         return dataclasses.asdict(self)
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "TrainingStrategy":
+        """Rebuild a strategy from :meth:`to_dict` output.
+
+        Unknown keys raise ``ValueError``; missing keys take their
+        defaults, so documents written before an axis existed load with
+        paper-faithful behavior.
+        """
         known = {f.name for f in dataclasses.fields(cls)}
         unknown = set(data) - known
         if unknown:
@@ -232,6 +367,7 @@ class StrategyRegistry:
         return tuple(self._display)
 
     def items(self) -> Iterator[Tuple[str, TrainingStrategy]]:
+        """Yield ``(canonical name, strategy)`` pairs in registration order."""
         for name in self._display:
             yield name, self[name]
 

@@ -22,7 +22,13 @@ mismatched collective orders) exactly.
 from repro.sim.task import GraphColumns, Phase, SimTask, TaskGraph, COMPUTE, COMM
 from repro.sim.engine import DeadlockError, simulate, simulate_many
 from repro.sim.timeline import Breakdown, Timeline, TimelineEntry
-from repro.sim.analysis import critical_path, critical_path_phases, stream_lower_bounds
+from repro.sim.analysis import (
+    amortized_makespan,
+    critical_path,
+    critical_path_phases,
+    interval_weights,
+    stream_lower_bounds,
+)
 
 __all__ = [
     "GraphColumns",
@@ -40,4 +46,6 @@ __all__ = [
     "critical_path",
     "critical_path_phases",
     "stream_lower_bounds",
+    "interval_weights",
+    "amortized_makespan",
 ]

@@ -95,3 +95,98 @@ def critical_path_phases(graph: TaskGraph, timeline: Timeline) -> Dict[str, floa
         label = entry.task.phase.value
         totals[label] = totals.get(label, 0.0) + entry.duration
     return totals
+
+
+# ---------------------------------------------------------------------------
+# amortized multi-interval makespans (stale factor/inverse refresh)
+# ---------------------------------------------------------------------------
+
+#: Phase names of a stale-refresh iteration cycle.
+REFRESH = "refresh"
+FACTOR_REFRESH = "factor_refresh"
+STEADY = "steady"
+
+
+def interval_weights(
+    factor_interval: int, inverse_interval: int
+) -> Tuple[Tuple[str, int], ...]:
+    """Iteration-shape mix of one stale-refresh cycle.
+
+    With factors refreshed every ``factor_interval`` iterations and
+    inverses every ``inverse_interval`` (a multiple of it), one cycle of
+    ``inverse_interval`` iterations contains exactly one full refresh
+    (factors + inverses), ``inverse_interval / factor_interval - 1``
+    factor-only refreshes, and steady-state iterations for the rest.
+
+    Parameters
+    ----------
+    factor_interval : int
+        Iterations between factor recomputations/all-reduces (>= 1).
+    inverse_interval : int
+        Iterations between inverse recomputations/broadcasts; must be a
+        positive multiple of ``factor_interval``.
+
+    Returns
+    -------
+    tuple of (str, int)
+        ``(phase, iterations per cycle)`` pairs with zero-count phases
+        omitted; counts sum to ``inverse_interval``.
+
+    Examples
+    --------
+    >>> interval_weights(1, 1)
+    (('refresh', 1),)
+    >>> interval_weights(2, 6)
+    (('refresh', 1), ('factor_refresh', 2), ('steady', 3))
+    """
+    for name, value in (
+        ("factor_interval", factor_interval),
+        ("inverse_interval", inverse_interval),
+    ):
+        if isinstance(value, bool) or not isinstance(value, int) or value < 1:
+            raise ValueError(f"{name} must be an integer >= 1, got {value!r}")
+    if inverse_interval % factor_interval != 0:
+        raise ValueError(
+            "inverse_interval must be a multiple of factor_interval, got "
+            f"{inverse_interval} vs {factor_interval}"
+        )
+    factor_refreshes = inverse_interval // factor_interval
+    weights = [
+        (REFRESH, 1),
+        (FACTOR_REFRESH, factor_refreshes - 1),
+        (STEADY, inverse_interval - factor_refreshes),
+    ]
+    return tuple((phase, count) for phase, count in weights if count > 0)
+
+
+def amortized_makespan(
+    phase_times: Dict[str, float], factor_interval: int, inverse_interval: int
+) -> float:
+    """Exact per-iteration average time of a stale-refresh cycle.
+
+    Factor/inverse refresh work contributes ``1/K`` of its cost — not by
+    scaling a single makespan, but by averaging the *simulated* makespans
+    of the distinct iteration shapes over the cycle mix of
+    :func:`interval_weights`.
+
+    Parameters
+    ----------
+    phase_times : dict
+        Simulated makespan per phase name; must cover every phase the
+        cycle mix contains.
+    factor_interval, inverse_interval : int
+        The refresh intervals (see :func:`interval_weights`).
+
+    Examples
+    --------
+    >>> amortized_makespan({"refresh": 1.0}, 1, 1)
+    1.0
+    >>> amortized_makespan({"refresh": 1.0, "steady": 0.5}, 4, 4)
+    0.625
+    """
+    weights = interval_weights(factor_interval, inverse_interval)
+    missing = [phase for phase, _ in weights if phase not in phase_times]
+    if missing:
+        raise ValueError(f"phase_times missing phases: {missing}")
+    total = sum(phase_times[phase] * count for phase, count in weights)
+    return total / inverse_interval

@@ -41,6 +41,7 @@ from repro.topo.graph import (
 )
 from repro.topo.presets import (
     TOPOLOGY_PRESETS,
+    describe_topology_preset,
     named_topology,
     topology_preset_names,
 )
@@ -88,6 +89,7 @@ __all__ = [
     "allreduce_model",
     "broadcast_model",
     "TOPOLOGY_PRESETS",
+    "describe_topology_preset",
     "named_topology",
     "topology_preset_names",
 ]

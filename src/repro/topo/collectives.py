@@ -92,6 +92,15 @@ class CollectiveCostModel:
         """Predicted time for a packed symmetric ``d x d`` matrix (CommModelLike)."""
         return self.time(symmetric_elements(d))
 
+    def time_bytes(self, num_bytes: float) -> float:
+        """Predicted time to move ``num_bytes`` bytes with this collective.
+
+        Reduced-precision / compressed transfers are priced by byte
+        volume: ``beta`` is per element of ``element_bytes`` bytes, so
+        the equivalent element count is ``num_bytes / element_bytes``.
+        """
+        return self.time(num_bytes / self.element_bytes)
+
     def saturating_size(self) -> float:
         """Message size where transfer time equals startup time."""
         if self.beta == 0:

@@ -176,6 +176,7 @@ class ClusterTopology:
         return sum(len(switch.nodes) for switch in self.switches)
 
     def all_nodes(self) -> Tuple[NodeSpec, ...]:
+        """Every node of the cluster, in switch order."""
         return tuple(node for switch in self.switches for node in switch.nodes)
 
     def compute_scale(self) -> float:
@@ -289,7 +290,15 @@ class ClusterTopology:
 
 
 def flat(world_size: int, link: "Link | str" = PAPER_IB, name: Optional[str] = None) -> ClusterTopology:
-    """All GPUs equidistant on one fabric — the paper's testbed abstraction."""
+    """All GPUs equidistant on one fabric — the paper's testbed abstraction.
+
+    Examples
+    --------
+    >>> flat(64).world_size
+    64
+    >>> flat(8, link="ethernet").name
+    'flat8-eth-25g'
+    """
     check_positive("world_size", world_size)
     fabric = resolve_link(link)
     label = name or f"flat{world_size}-{fabric.name}"
@@ -325,7 +334,14 @@ def multi_rack(
     spine: "Link | str" = "ethernet",
     name: Optional[str] = None,
 ) -> ClusterTopology:
-    """``num_racks`` identical racks joined by a (typically slower) spine."""
+    """``num_racks`` identical racks joined by a (typically slower) spine.
+
+    Examples
+    --------
+    >>> topo = multi_rack(4, 4, 4)
+    >>> topo.world_size, len(topo.switches)
+    (64, 4)
+    """
     check_positive("num_racks", num_racks)
     check_positive("nodes_per_rack", nodes_per_rack)
     check_positive("gpus_per_node", gpus_per_node)

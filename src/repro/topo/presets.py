@@ -4,6 +4,15 @@ The autotuner and the ``autotune`` CLI subcommand need cluster shapes
 addressable by name (``--topology multi-rack``); these presets are the
 64-GPU scenario set the topology experiments sweep — same GPU count
 everywhere, so differences are purely topological.
+
+Examples
+--------
+>>> topology_preset_names()
+('flat', 'multi-node', 'pcie-eth', 'multi-rack', 'heterogeneous')
+>>> named_topology("multi_rack").world_size     # spelling-insensitive
+64
+>>> print(describe_topology_preset("flat"))
+the paper's testbed fabric: 64 GPUs on one full-bandwidth IB switch
 """
 
 from __future__ import annotations
@@ -31,17 +40,59 @@ TOPOLOGY_PRESETS: Dict[str, Callable[[], ClusterTopology]] = {
     ),
 }
 
+#: One-line human description per preset (same keys as the builders;
+#: what ``autotune --list-topologies`` prints).
+TOPOLOGY_PRESET_DESCRIPTIONS: Dict[str, str] = {
+    "flat": "the paper's testbed fabric: 64 GPUs on one full-bandwidth IB switch",
+    "multi-node": "8 nodes of 8 NVLink-connected GPUs, InfiniBand between nodes",
+    "pcie-eth": "16 nodes of 4 PCIe GPUs on commodity ethernet — the slow-fabric case",
+    "multi-rack": "4 racks of 4x4 NVLink nodes, IB in-rack, ethernet spine across racks",
+    "heterogeneous": "7 NVLink nodes plus 1 straggler PCIe node behind InfiniBand",
+}
+
+
+def _normalize(name: str) -> str:
+    return name.strip().lower().replace("_", "-").replace(" ", "-")
+
 
 def topology_preset_names() -> Tuple[str, ...]:
-    """Preset names in registration order."""
+    """Preset names in registration order.
+
+    Returns
+    -------
+    tuple of str
+        The names :func:`named_topology` accepts.
+    """
     return tuple(TOPOLOGY_PRESETS)
 
 
 def named_topology(name: str) -> ClusterTopology:
-    """Build the preset topology called ``name`` (case-insensitive)."""
-    key = name.strip().lower().replace("_", "-").replace(" ", "-")
+    """Build the preset topology called ``name`` (case-insensitive).
+
+    Parameters
+    ----------
+    name : str
+        A preset name; underscores/spaces/case are normalized, so
+        ``"Multi Rack"`` and ``"multi_rack"`` both resolve.
+
+    Returns
+    -------
+    ClusterTopology
+        A freshly built topology (presets are builders, not singletons).
+    """
+    key = _normalize(name)
     if key not in TOPOLOGY_PRESETS:
         raise KeyError(
             f"unknown topology preset {name!r}; options: {topology_preset_names()}"
         )
     return TOPOLOGY_PRESETS[key]()
+
+
+def describe_topology_preset(name: str) -> str:
+    """One-line human description of a preset (what ``--list-topologies`` prints)."""
+    key = _normalize(name)
+    if key not in TOPOLOGY_PRESET_DESCRIPTIONS:
+        raise KeyError(
+            f"unknown topology preset {name!r}; options: {topology_preset_names()}"
+        )
+    return TOPOLOGY_PRESET_DESCRIPTIONS[key]

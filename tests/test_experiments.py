@@ -44,6 +44,7 @@ class TestRegistry:
         assert set(EXPERIMENTS) - paper_ids == {
             "ext_scaling", "ext_planner", "ext_convergence",
             "ext_topology", "ext_topo_crossover", "ext_autotune",
+            "ext_precision",
         }
 
     def test_unknown_id(self):

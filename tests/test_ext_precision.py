@@ -1,0 +1,91 @@
+"""The ext_precision experiment: frozen rows + behavioral guarantees.
+
+``tests/data/frozen_ext_precision_rows.json`` pins the sweep's rows
+bit-exactly (floats stored as ``float.hex``), the same discipline
+``frozen_paper_rows.json`` applies to the paper experiments.  To
+regenerate after an *intentional* cost-model change::
+
+    PYTHONPATH=src python - <<'PY'
+    import json
+    from repro.experiments.base import get_experiment
+    result = get_experiment("ext_precision").run()
+    rows = [{k: (float.hex(v) if isinstance(v, float) else v)
+             for k, v in row.items()} for row in result.rows]
+    payload = {"ext_precision": {"columns": list(result.columns), "rows": rows}}
+    with open("tests/data/frozen_ext_precision_rows.json", "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True); f.write("\n")
+    PY
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.base import get_experiment
+from repro.experiments.ext_precision import HEADLINE_VARIANT, SCENARIO_NAMES, VARIANTS
+
+FROZEN_PATH = Path(__file__).parent / "data" / "frozen_ext_precision_rows.json"
+
+
+@pytest.fixture(scope="module")
+def result():
+    return get_experiment("ext_precision").run()
+
+
+def test_rows_identical_to_frozen_snapshot(result):
+    with open(FROZEN_PATH) as f:
+        frozen = json.load(f)["ext_precision"]
+    assert list(result.columns) == frozen["columns"]
+    normalized = [
+        {k: (float.hex(v) if isinstance(v, float) else v) for k, v in row.items()}
+        for row in result.rows
+    ]
+    assert normalized == frozen["rows"]
+
+
+def test_paper_variant_is_bit_identical_to_spd_kfac_preset(result):
+    """The 'paper' baseline row must be the SPD-KFAC preset itself."""
+    from repro.plan import Session, strategy_registry
+    from repro.topo import named_topology
+
+    rows = [r for r in result.rows if r["variant"] == "paper"]
+    assert len(rows) == len(SCENARIO_NAMES) * 4
+    for name in SCENARIO_NAMES:
+        topo = named_topology(name)
+        session = Session("ResNet-50", topo)
+        preset_time = session.simulate(strategy_registry["SPD-KFAC"]).iteration_time
+        row = next(
+            r
+            for r in rows
+            if r["model"] == "ResNet-50" and r["topology"] == topo.name
+        )
+        assert row["time(s)"] == preset_time
+
+
+def test_headline_variant_beats_paper_everywhere(result):
+    """fp16 factors + interval-4 inverses wins on every (model, topology)."""
+    headline = [r for r in result.rows if r["variant"] == HEADLINE_VARIANT]
+    assert headline, "headline variant missing from the sweep"
+    for row in headline:
+        assert row["speedup"] > 1.0
+        assert row["time(s)"] > 0
+    assert any(row["speedup"] > 1.5 for row in headline)
+
+
+def test_cheaper_wire_never_increases_traffic(result):
+    """Every non-paper variant ships at most the paper's wire bytes."""
+    by_cell = {}
+    for row in result.rows:
+        by_cell.setdefault((row["model"], row["topology"]), {})[row["variant"]] = row
+    assert by_cell
+    for variants in by_cell.values():
+        paper = variants["paper"]
+        for label, _ in VARIANTS:
+            assert variants[label]["wire(MB/iter)"] <= paper["wire(MB/iter)"] + 1e-9
+
+    # ...and time never regresses either (these axes only remove work).
+    for variants in by_cell.values():
+        paper = variants["paper"]
+        for label, _ in VARIANTS:
+            assert variants[label]["time(s)"] <= paper["time(s)"] + 1e-12

@@ -1,0 +1,494 @@
+"""Property tests over the precision / compression / staleness axes.
+
+Mirrors the discipline of ``test_strategy_property.py`` for the three
+new axis groups: seeded random combinations are checked against an
+independently stated validity predicate; every valid combination plans,
+simulates, JSON round-trips losslessly, and re-simulates bit-identically
+from the deserialized plan; the autotuner's lower bound stays below the
+(amortized) simulated time; and the paper-default point is bit-identical
+to the legacy behavior.
+"""
+
+import math
+
+import pytest
+
+from repro.autotune import candidate_bound, parts_traffic, strategy_grid
+from repro.comm.wire import (
+    WIRE_DTYPES,
+    compressed_elements,
+    dtype_bytes,
+    fp32_equivalent_elements,
+    wire_bytes,
+)
+from repro.core.schedule import AmortizedIterationResult, IterationResult
+from repro.models.builder import SpecBuilder
+from repro.perf import scaled_cluster_profile
+from repro.plan import Plan, Session, TrainingStrategy, resolve_plan_parts, strategy_registry
+from repro.sim import amortized_makespan, interval_weights
+from repro.utils.rng import new_rng
+
+SEED = 20260728
+
+WIRE_AXIS_DOMAINS = {
+    "grad_dtype": ("fp32", "fp16", "bf16"),
+    "factor_dtype": ("fp32", "fp16", "bf16"),
+    "inverse_dtype": ("fp32", "fp16", "bf16"),
+    "grad_compression": (1.0, 0.5, 0.1, 0.01),
+    "factor_update_interval": (1, 2, 3, 4),
+    "inverse_update_interval": (1, 2, 3, 4, 6, 8),
+}
+
+BASE_DOMAINS = {
+    "second_order": (True, False),
+    "distributed": (True, False),
+    "gradient_reduction": ("none", "wfbp", "bulk"),
+    "include_solve": (True, False),
+}
+
+
+def wire_combo_is_valid(combo):
+    """The new-axis validity rules, stated independently of the validator."""
+    reduces_gradients = combo["distributed"] and combo["gradient_reduction"] != "none"
+    if not reduces_gradients and (
+        combo["grad_dtype"] != "fp32" or combo["grad_compression"] != 1.0
+    ):
+        return False
+    comm_factors = combo["second_order"] and combo["distributed"]
+    if not comm_factors and (
+        combo["factor_dtype"] != "fp32" or combo["inverse_dtype"] != "fp32"
+    ):
+        return False
+    stale = combo["factor_update_interval"] > 1 or combo["inverse_update_interval"] > 1
+    if stale and (not combo["second_order"] or not combo["include_solve"]):
+        return False
+    if combo["inverse_update_interval"] % combo["factor_update_interval"] != 0:
+        return False
+    return True
+
+
+def base_combo_is_valid(combo):
+    if combo["distributed"] != (combo["gradient_reduction"] != "none"):
+        return False
+    if not combo["second_order"] and not combo["include_solve"]:
+        return False
+    return True
+
+
+def random_combo(rng):
+    combo = {
+        axis: domain[int(rng.integers(len(domain)))]
+        for axis, domain in {**BASE_DOMAINS, **WIRE_AXIS_DOMAINS}.items()
+    }
+    # Half the draws use a consistent distributed second-order base so the
+    # new-axis rules (not the classic base rules) decide validity; the
+    # other half exercises the joint space.
+    if int(rng.integers(2)):
+        combo.update(
+            second_order=True,
+            distributed=True,
+            include_solve=True,
+            gradient_reduction=("wfbp", "bulk")[int(rng.integers(2))],
+        )
+    # Keep the classic axes consistent so failures isolate the new rules.
+    if not combo["distributed"] or not combo["second_order"]:
+        combo["placement"] = "non_dist"
+    return combo
+
+
+def tiny_spec():
+    builder = SpecBuilder(model_name="tiny-wire", batch_size=4, input_size=16)
+    builder.conv("conv0", 3, 8, kernel=3, stride=1, padding="same")
+    builder.conv("conv1", 8, 16, kernel=3, stride=1, padding="same")
+    builder.linear("fc", 16, 10)
+    return builder.build()
+
+
+# ---------------------------------------------------------------------------
+# wire-format primitives
+# ---------------------------------------------------------------------------
+
+
+class TestWirePrimitives:
+    def test_dtype_bytes(self):
+        assert dtype_bytes("fp32") == 4
+        assert dtype_bytes("fp16") == 2
+        assert dtype_bytes("bf16") == 2
+        with pytest.raises(ValueError):
+            dtype_bytes("fp64")
+
+    def test_compressed_elements_bounds(self):
+        rng = new_rng(SEED)
+        for _ in range(200):
+            m = int(rng.integers(0, 10_000))
+            ratio = float(rng.uniform(0.001, 1.0))
+            kept = compressed_elements(m, ratio)
+            assert 0 <= kept <= m or (m > 0 and kept == 1)
+            if m > 0:
+                assert kept >= 1
+            assert compressed_elements(m, 1.0) == m
+        with pytest.raises(ValueError):
+            compressed_elements(10, 0.0)
+        with pytest.raises(ValueError):
+            compressed_elements(10, 1.5)
+
+    def test_wire_bytes_defaults_are_paper_fp32(self):
+        assert wire_bytes(123) == 4 * 123
+        assert fp32_equivalent_elements(123) == 123
+        assert isinstance(fp32_equivalent_elements(123), int)
+
+    def test_wire_bytes_compression_includes_indices(self):
+        # 10% of 1000 = 100 values (fp16) + 100 int32 indices.
+        assert wire_bytes(1000, "fp16", 0.1) == 100 * 2 + 100 * 4
+
+    def test_interval_weights_partition_the_cycle(self):
+        for k_f in (1, 2, 3, 4):
+            for mult in (1, 2, 3):
+                k_inv = k_f * mult
+                weights = dict(interval_weights(k_f, k_inv))
+                assert sum(weights.values()) == k_inv
+                assert weights["refresh"] == 1
+        with pytest.raises(ValueError):
+            interval_weights(2, 3)
+        with pytest.raises(ValueError):
+            interval_weights(0, 1)
+
+    def test_amortized_makespan_is_cycle_average(self):
+        times = {"refresh": 1.0, "factor_refresh": 0.7, "steady": 0.4}
+        expected = (1.0 + 0.7 + 2 * 0.4) / 4
+        assert math.isclose(amortized_makespan(times, 2, 4), expected)
+        with pytest.raises(ValueError):
+            amortized_makespan({"refresh": 1.0}, 1, 4)  # missing phases
+
+
+# ---------------------------------------------------------------------------
+# validator vs independent predicate
+# ---------------------------------------------------------------------------
+
+
+def test_validator_agrees_with_independent_predicate():
+    rng = new_rng(SEED + 10)
+    valid_seen = invalid_seen = 0
+    for _ in range(400):
+        combo = random_combo(rng)
+        if base_combo_is_valid(combo) and wire_combo_is_valid(combo):
+            TrainingStrategy(**combo)  # must not raise
+            valid_seen += 1
+        else:
+            with pytest.raises(ValueError):
+                TrainingStrategy(**combo)
+            invalid_seen += 1
+    assert valid_seen > 50
+    assert invalid_seen > 50
+
+
+def test_but_rejects_invalid_axis_values():
+    spd = strategy_registry["SPD-KFAC"]
+    for overrides in (
+        {"grad_dtype": "fp64"},
+        {"factor_dtype": "int8"},
+        {"inverse_dtype": ""},
+        {"grad_compression": 0.0},
+        {"grad_compression": -0.5},
+        {"grad_compression": 1.5},
+        {"grad_compression": True},
+        {"factor_update_interval": 0},
+        {"inverse_update_interval": -1},
+        {"factor_update_interval": 2.5},
+        {"factor_update_interval": True},
+        {"factor_update_interval": 4, "inverse_update_interval": 6},
+        {"inverse_update_interval": 4, "include_solve": False},
+    ):
+        with pytest.raises(ValueError):
+            spd.but(**overrides)
+    # First-order / single-device strategies reject the wire axes outright.
+    with pytest.raises(ValueError):
+        strategy_registry["S-SGD"].but(factor_dtype="fp16")
+    with pytest.raises(ValueError):
+        strategy_registry["S-SGD"].but(inverse_update_interval=2)
+    with pytest.raises(ValueError):
+        strategy_registry["KFAC"].but(grad_compression=0.5)
+
+
+def test_but_derivation_round_trips_to_base():
+    spd = strategy_registry["SPD-KFAC"]
+    derived = spd.but(
+        grad_dtype="bf16",
+        grad_compression=0.25,
+        factor_dtype="fp16",
+        inverse_dtype="fp16",
+        factor_update_interval=2,
+        inverse_update_interval=4,
+    )
+    assert derived.stale_updates
+    back = derived.but(
+        grad_dtype="fp32",
+        grad_compression=1.0,
+        factor_dtype="fp32",
+        inverse_dtype="fp32",
+        factor_update_interval=1,
+        inverse_update_interval=1,
+    )
+    assert back == spd
+    assert not back.stale_updates
+
+
+# ---------------------------------------------------------------------------
+# simulation, serialization, bounds
+# ---------------------------------------------------------------------------
+
+
+def _sampled_wire_strategies(n=40):
+    """Seeded valid distributed second-order strategies over the new axes."""
+    rng = new_rng(SEED + 20)
+    out = []
+    while len(out) < n:
+        combo = random_combo(rng)
+        combo.update(second_order=True, distributed=True, include_solve=True)
+        combo["gradient_reduction"] = ("wfbp", "bulk")[int(rng.integers(2))]
+        combo.pop("placement", None)
+        if wire_combo_is_valid(combo):
+            out.append(TrainingStrategy(**combo))
+    return out
+
+
+@pytest.fixture(scope="module")
+def wire_session():
+    return Session(tiny_spec(), scaled_cluster_profile(4))
+
+
+class TestWireStrategiesSimulate:
+    def test_every_valid_combo_plans_simulates_and_round_trips(self, wire_session):
+        session = wire_session
+        spec = session.spec
+        profile = session.profile_for("SPD-KFAC")
+        for strategy in _sampled_wire_strategies():
+            plan = session.plan(strategy)
+            result = session.simulate(strategy)
+
+            # Planning and simulation agree on the (amortized) headline.
+            assert result.iteration_time > 0
+            assert plan.predicted_makespan == result.iteration_time
+            assert math.isclose(
+                sum(result.categories().values()),
+                result.iteration_time,
+                rel_tol=1e-9,
+            )
+
+            # Stale strategies return the amortized result type with a
+            # coherent cycle decomposition.
+            if strategy.stale_updates:
+                assert isinstance(result, AmortizedIterationResult)
+                times = result.phase_times()
+                assert result.refresh.iteration_time == times["refresh"]
+                assert result.iteration_time <= times["refresh"] + 1e-12
+                assert result.iteration_time >= min(times.values()) - 1e-12
+                assert result.cycle_iterations == strategy.inverse_update_interval
+            else:
+                assert isinstance(result, IterationResult)
+
+            # Lossless JSON round trip, and the loaded plan re-simulates
+            # bit-identically.
+            loaded = Plan.from_json(plan.to_json())
+            assert loaded == plan
+            re_result = session.simulate(loaded)
+            assert re_result.iteration_time == result.iteration_time
+            assert re_result.categories() == result.categories()
+
+            # The tuner's lower bound stays below the amortized time.
+            num_ranks, grad_plan, fplan, placement = resolve_plan_parts(
+                spec, profile, strategy
+            )
+            bound = candidate_bound(
+                spec,
+                profile,
+                num_ranks=num_ranks,
+                grad_plan=grad_plan,
+                fplan=fplan,
+                placement=placement,
+                include_solve=strategy.include_solve,
+                strategy=strategy,
+            )
+            assert bound.total <= result.iteration_time + 1e-12
+
+    def test_default_axes_are_bit_identical_to_legacy_path(self, wire_session):
+        spd = strategy_registry["SPD-KFAC"]
+        explicit = spd.but(
+            grad_dtype="fp32",
+            factor_dtype="fp32",
+            inverse_dtype="fp32",
+            grad_compression=1.0,
+            factor_update_interval=1,
+            inverse_update_interval=1,
+        )
+        assert explicit == spd
+        base = wire_session.simulate(spd)
+        assert isinstance(base, IterationResult)
+        assert wire_session.simulate(explicit).iteration_time == base.iteration_time
+
+    def test_k1_cycle_is_plain_iteration_result(self, wire_session):
+        s = strategy_registry["SPD-KFAC"].but(factor_dtype="fp16")
+        assert isinstance(wire_session.simulate(s), IterationResult)
+
+    def test_cheaper_wire_never_slower(self, wire_session):
+        spd = strategy_registry["SPD-KFAC"]
+        base = wire_session.simulate(spd).iteration_time
+        for overrides in (
+            {"grad_dtype": "fp16"},
+            {"grad_compression": 0.1},
+            {"factor_dtype": "fp16"},
+            {"inverse_dtype": "bf16"},
+            {"inverse_update_interval": 4},
+            {"factor_update_interval": 2, "inverse_update_interval": 4},
+        ):
+            variant = spd.but(name=str(overrides), **overrides)
+            assert wire_session.simulate(variant).iteration_time <= base + 1e-12
+
+
+class TestWireTraffic:
+    def test_dtype_halves_factor_bytes(self, wire_session):
+        spec = wire_session.spec
+        profile = wire_session.profile_for("SPD-KFAC")
+        spd = strategy_registry["SPD-KFAC"]
+        num_ranks, grad_plan, fplan, placement = resolve_plan_parts(
+            spec, profile, spd
+        )
+        base = parts_traffic(
+            spec, num_ranks=num_ranks, grad_plan=grad_plan, fplan=fplan,
+            placement=placement,
+        )
+        fp16 = parts_traffic(
+            spec, num_ranks=num_ranks, grad_plan=grad_plan, fplan=fplan,
+            placement=placement, strategy=spd.but(factor_dtype="fp16"),
+        )
+        assert fp16.bytes["allreduce.factor"] * 2 == base.bytes["allreduce.factor"]
+        assert fp16.bytes["allreduce.grad"] == base.bytes["allreduce.grad"]
+        assert fp16.elements == base.elements  # same logical elements
+
+    def test_intervals_amortize_traffic(self, wire_session):
+        spec = wire_session.spec
+        profile = wire_session.profile_for("SPD-KFAC")
+        spd = strategy_registry["SPD-KFAC"]
+        num_ranks, grad_plan, fplan, placement = resolve_plan_parts(
+            spec, profile, spd
+        )
+        base = parts_traffic(
+            spec, num_ranks=num_ranks, grad_plan=grad_plan, fplan=fplan,
+            placement=placement,
+        )
+        stale = parts_traffic(
+            spec, num_ranks=num_ranks, grad_plan=grad_plan, fplan=fplan,
+            placement=placement,
+            strategy=spd.but(factor_update_interval=2, inverse_update_interval=4),
+        )
+        assert stale.bytes["allreduce.factor"] * 2 == base.bytes["allreduce.factor"]
+        assert stale.bytes["broadcast.inverse"] * 4 == base.bytes["broadcast.inverse"]
+        assert stale.bytes["allreduce.grad"] == base.bytes["allreduce.grad"]
+
+    def test_strategy_none_is_integer_fp32_accounting(self, wire_session):
+        spec = wire_session.spec
+        profile = wire_session.profile_for("SPD-KFAC")
+        num_ranks, grad_plan, fplan, placement = resolve_plan_parts(
+            spec, profile, strategy_registry["SPD-KFAC"]
+        )
+        counter = parts_traffic(
+            spec, num_ranks=num_ranks, grad_plan=grad_plan, fplan=fplan,
+            placement=placement,
+        )
+        for op, elements in counter.elements.items():
+            assert isinstance(elements, int)
+            assert counter.bytes[op] == 4 * elements
+
+
+def test_extended_grid_defaults_unchanged():
+    """The default grid is exactly the classic 72 points (paper axes only)."""
+    grid = strategy_grid()
+    assert len(grid) == 72
+    for s in grid:
+        assert not s.stale_updates
+        assert (s.grad_dtype, s.factor_dtype, s.inverse_dtype) == ("fp32",) * 3
+        assert s.grad_compression == 1.0
+
+
+def test_extended_grid_labels_are_unique():
+    grid = strategy_grid(
+        wire_dtypes=[("fp32", "fp32", "fp32"), ("fp16", "fp16", "fp16")],
+        compressions=[1.0, 0.1],
+        intervals=[(1, 1), (2, 4)],
+    )
+    labels = [s.name for s in grid]
+    assert len(labels) == len(set(labels))
+    assert len(grid) == 72 * 8
+
+
+class TestDtypeAwareCostModels:
+    def test_linear_model_time_bytes_is_fp32_equivalent(self):
+        from repro.perf import LinearCommModel
+
+        model = LinearCommModel(alpha=1e-3, beta=1e-9)
+        assert model.time_bytes(4000) == model.time(1000.0)
+        # fp16 halves the bandwidth term of the same logical transfer.
+        assert model.time_bytes(wire_bytes(1000, "fp16")) == model.time(500.0)
+
+    def test_topology_collective_time_bytes(self):
+        from repro.topo import flat
+        from repro.topo.collectives import RingAllReduce
+
+        ring = RingAllReduce(flat(8))
+        assert ring.time_bytes(80 * ring.element_bytes) == ring.time(80.0)
+
+    def test_describe_topology_preset(self):
+        from repro.topo import describe_topology_preset, topology_preset_names
+
+        for name in topology_preset_names():
+            description = describe_topology_preset(name)
+            assert description and len(description.splitlines()) == 1
+        with pytest.raises(KeyError):
+            describe_topology_preset("warp-fabric")
+
+    def test_broadcast_symmetric_time_matches_wire_bytes(self):
+        from repro.core.schedule import broadcast_symmetric_time
+        from repro.perf import LinearCommModel
+        from repro.perf.models import symmetric_elements
+
+        model = LinearCommModel(alpha=1e-3, beta=1e-9)
+        assert broadcast_symmetric_time(model, 64) == model.time_symmetric(64)
+        assert broadcast_symmetric_time(model, 64, "fp16") == model.time_bytes(
+            wire_bytes(symmetric_elements(64), "fp16")
+        )
+
+
+def test_plan_build_phase_graphs_reproduces_amortized_prediction():
+    """Simulating a stale plan's phase graphs cycle-averages to its prediction."""
+    from repro.core.schedule import run_iteration
+
+    spec = tiny_spec()
+    session = Session(spec, scaled_cluster_profile(4))
+    strategy = strategy_registry["SPD-KFAC"].but(
+        name="stale", factor_dtype="fp16", factor_update_interval=2,
+        inverse_update_interval=4,
+    )
+    plan = session.plan(strategy)
+    graphs = plan.build_phase_graphs(spec)
+    assert set(graphs) == {"refresh", "factor_refresh", "steady"}
+    times = {
+        phase: run_iteration(graph, "stale", spec.name).iteration_time
+        for phase, graph in graphs.items()
+    }
+    assert amortized_makespan(times, 2, 4) == plan.predicted_makespan
+    # The single-shape accessor builds the refresh graph only.
+    refresh = plan.build_graph(spec)
+    assert run_iteration(refresh, "stale", spec.name).iteration_time == times["refresh"]
+
+
+def test_autotune_rejects_candidates_with_grid_axes():
+    """candidates= replaces the grid, so grid-axis kwargs must not silently vanish."""
+    from repro.autotune import autotune
+
+    shortlist = [strategy_registry["SPD-KFAC"]]
+    with pytest.raises(ValueError, match="intervals"):
+        autotune(
+            Session(tiny_spec(), scaled_cluster_profile(4)),
+            candidates=shortlist,
+            intervals=[(1, 4)],
+        )
