@@ -45,6 +45,7 @@ BUILD_DIR = DOCS_DIR / "_build"
 API_PACKAGES = [
     "repro.plan",
     "repro.autotune",
+    "repro.faults",
     "repro.topo",
     "repro.sim",
     "repro.perf",
@@ -57,7 +58,7 @@ API_PACKAGES = [
 
 #: Packages under the strict docstring audit (ISSUE 5 satellite): every
 #: public class/function must carry a docstring.
-AUDITED_PACKAGES = {"repro.plan", "repro.autotune", "repro.topo"}
+AUDITED_PACKAGES = {"repro.plan", "repro.autotune", "repro.faults", "repro.topo"}
 
 #: Narrative pages, in navigation order (all must exist).
 NAV_PAGES = [
@@ -67,6 +68,7 @@ NAV_PAGES = [
     ("autotuning.md", "Autotuner guide"),
     ("topologies.md", "Topology modeling guide"),
     ("precision.md", "Precision, compression & staleness"),
+    ("robustness.md", "Robustness & fault-aware planning"),
     ("paper_map.md", "Paper-to-code map"),
 ]
 

@@ -1,0 +1,111 @@
+"""Fault-aware planning: stragglers, a preemption, and an elastic resize.
+
+The paper picks SPD-KFAC's scheme on a healthy, fixed-size 64-GPU
+cluster.  This example prices the same decision on a cluster that
+misbehaves — the multi-rack preset under heavy straggling plus one
+preemption — and shows where the robust answer differs:
+
+1. rank a shortlist of distributed K-FAC schemes both by nominal
+   (noise-free) iteration time and by p95 over seeded straggler samples
+   (:func:`repro.autotune.autotune` with ``objective="p95"``);
+2. price the preemption event with the Young/Daly-optimal checkpoint
+   policy (:mod:`repro.faults.checkpoint`);
+3. price an elastic resize (32 -> 64 ranks) as a re-plan plus state
+   movement (:func:`repro.faults.replan`).
+
+Run:  python examples/elastic_training.py
+"""
+
+from repro.autotune import autotune
+from repro.faults import (
+    FaultEvent,
+    FaultScenario,
+    StragglerSpec,
+    default_policy,
+    named_scenario,
+    price_elastic_run,
+    price_events,
+    replan,
+)
+from repro.models import get_model_spec
+from repro.plan import strategy_registry
+from repro.topo import named_topology
+
+MODEL = "ResNet-50"
+SAMPLES = 8
+
+#: Heavy per-rank compute jitter plus one concrete preemption: rank 13
+#: dies half an hour (of useful work) into the run and is back 2 min later.
+SCENARIO = FaultScenario(
+    name="rough-day",
+    straggler=StragglerSpec(distribution="lognormal", sigma=0.6, prob=0.5),
+    events=(FaultEvent(rank=13, time=1800.0, downtime=120.0),),
+    seed=2021,
+)
+
+
+def shortlist():
+    spd = strategy_registry["SPD-KFAC"]
+    return (
+        strategy_registry["D-KFAC"],
+        strategy_registry["MPD-KFAC"],
+        spd,
+        spd.but(name="SPD-KFAC[balanced]", placement="balanced"),
+    )
+
+
+def main() -> None:
+    topology = named_topology("multi-rack")
+    print(f"=== Robust vs nominal strategy choice: {MODEL} on {topology.name} ===")
+    print(f"scenario  {SCENARIO.describe()}")
+    report = autotune(
+        MODEL,
+        topology,
+        candidates=shortlist(),
+        presets=(),
+        prune=False,
+        scenario=SCENARIO,
+        objective="p95",
+        samples=SAMPLES,
+    )
+    simulated = [o for o in report.outcomes if o.simulated]
+    print(f"{'strategy':<22} {'nominal(s)':>11} {'p95(s)':>9}")
+    for outcome in simulated:
+        print(
+            f"{outcome.label:<22} {outcome.iteration_time:>11.4f} "
+            f"{outcome.robust.p95:>9.4f}"
+        )
+    nominal = min(simulated, key=lambda o: (o.iteration_time, o.label))
+    robust = min(simulated, key=lambda o: (o.robust.p95, o.label))
+    print(f"nominal best: {nominal.label} ({nominal.iteration_time:.4f} s)")
+    print(f"robust best:  {robust.label} ({robust.robust.p95:.4f} s p95)")
+    if robust.label != nominal.label:
+        print("-> the tail objective changes the planning decision.")
+
+    print()
+    print("=== Pricing the preemption with a Young/Daly checkpoint policy ===")
+    spec = get_model_spec(MODEL)
+    # Reuse the preset preemption pressure for the policy's MTBF.
+    preemption = named_scenario("preemption").preemption
+    policy = default_policy(topology, spec.num_params, preemption)
+    print(
+        f"checkpoint write: {policy.write_cost:.2f} s -> Young/Daly optimal "
+        f"interval {policy.interval:.0f} s of work"
+    )
+    run = price_events(3600.0, SCENARIO.events, policy)
+    print(
+        f"one hour of work + 1 preemption: {run.total_time:.1f} s wall "
+        f"({run.overhead * 100:.1f}% overhead: {run.lost_work:.1f} s lost, "
+        f"{run.downtime:.0f} s down, {run.checkpoint_time:.1f} s checkpoints)"
+    )
+
+    print()
+    print("=== Elastic resize: 32 -> 64 ranks mid-run ===")
+    transition = replan(MODEL, "SPD-KFAC", 32, 64)
+    print(transition.describe())
+    elastic = price_elastic_run(MODEL, "SPD-KFAC", [(32, 300), (64, 700)])
+    print(elastic.describe())
+
+
+if __name__ == "__main__":
+    main()

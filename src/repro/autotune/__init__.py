@@ -33,6 +33,13 @@ from repro.autotune.traffic import (
     parts_traffic,
     plan_traffic,
 )
+from repro.autotune.robust import (
+    ROBUST_OBJECTIVES,
+    RobustStats,
+    candidate_sample_times,
+    robust_value,
+    scenario_adjusted_bound,
+)
 from repro.autotune.tuner import (
     PRUNED,
     REUSED,
@@ -55,6 +62,11 @@ __all__ = [
     "strategy_label",
     "matching_preset",
     "pareto_frontier",
+    "RobustStats",
+    "ROBUST_OBJECTIVES",
+    "robust_value",
+    "candidate_sample_times",
+    "scenario_adjusted_bound",
     "iter_collective_elements",
     "parts_traffic",
     "plan_traffic",

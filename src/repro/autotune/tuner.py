@@ -32,7 +32,15 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.autotune.bounds import CandidateBound, candidate_bound
 from repro.autotune.grid import strategy_grid, strategy_label
+from repro.autotune.robust import (
+    ROBUST_OBJECTIVES,
+    OverheadRates,
+    RobustStats,
+    candidate_sample_times,
+    scenario_adjusted_bound,
+)
 from repro.autotune.traffic import parts_traffic
+from repro.faults.scenario import FaultScenario, named_scenario
 from repro.plan import (
     COLLECTIVE_ALGORITHMS,
     Session,
@@ -79,6 +87,7 @@ class CandidateOutcome:
     traffic_bytes: float  #: int unless amortized by a stale interval
     traffic_by_op: Tuple[Tuple[str, float], ...]  #: bytes per collective kind
     status: str
+    robust: Optional[RobustStats] = None  #: sampled stats under a fault scenario
 
     @property
     def label(self) -> str:
@@ -104,6 +113,7 @@ class CandidateOutcome:
             "traffic_bytes": self.traffic_bytes,
             "traffic_by_op": dict(self.traffic_by_op),
             "status": self.status,
+            "robust": None if self.robust is None else self.robust.to_dict(),
         }
 
 
@@ -111,11 +121,14 @@ def pareto_frontier(outcomes: Sequence[CandidateOutcome]) -> List[CandidateOutco
     """Non-dominated simulated candidates under (iteration time, traffic bytes).
 
     Sorted by iteration time; each kept point strictly reduces traffic
-    relative to every faster point (minimize both axes).
+    relative to every faster point (minimize both axes).  Candidates
+    with identical (time, traffic) tie-break on their label, so the
+    frontier — and therefore robust-vs-nominal comparisons built on it
+    — is fully deterministic across runs.
     """
     priced = sorted(
         (o for o in outcomes if o.iteration_time is not None),
-        key=lambda o: (o.iteration_time, o.traffic_bytes),
+        key=lambda o: (o.iteration_time, o.traffic_bytes, o.label),
     )
     frontier: List[CandidateOutcome] = []
     best_bytes: Optional[int] = None
@@ -133,11 +146,21 @@ class AutotuneReport:
     model: str
     cluster: str
     world_size: int
-    outcomes: List[CandidateOutcome]  #: ranked: simulated by time, then pruned by bound
-    preset_times: Dict[str, float]
+    outcomes: List[CandidateOutcome]  #: ranked: simulated by objective, then pruned
+    preset_times: Dict[str, float]  #: nominal iteration time per preset
     stats: Dict[str, int] = field(default_factory=dict)
+    objective: str = "nominal"  #: what the ranking minimizes
+    scenario: Optional[FaultScenario] = None  #: fault scenario (robust runs)
+    preset_values: Dict[str, float] = field(default_factory=dict)
+    #: objective value per preset; empty in nominal runs (= preset_times)
 
     # -- views -------------------------------------------------------------
+
+    def outcome_value(self, outcome: CandidateOutcome) -> Optional[float]:
+        """The value ``outcome`` is ranked by under this report's objective."""
+        if self.objective == "nominal":
+            return outcome.iteration_time
+        return None if outcome.robust is None else outcome.robust.value(self.objective)
 
     def _best_or_none(self) -> Optional[CandidateOutcome]:
         best = self.outcomes[0] if self.outcomes else None
@@ -145,7 +168,7 @@ class AutotuneReport:
 
     @property
     def best(self) -> CandidateOutcome:
-        """The fastest simulated candidate.
+        """The best simulated candidate under the search objective.
 
         With the default grid at least the preset twins are always
         priced; a custom ``candidates`` shortlist can be pruned in its
@@ -168,16 +191,17 @@ class AutotuneReport:
 
     @property
     def best_preset(self) -> Tuple[str, float]:
-        """(name, iteration time) of the fastest compared preset."""
-        if not self.preset_times:
+        """(name, objective value) of the best compared preset."""
+        values = self.preset_values or self.preset_times
+        if not values:
             raise ValueError("no presets were priced (autotune ran with presets=())")
-        name = min(self.preset_times, key=self.preset_times.get)
-        return name, self.preset_times[name]
+        name = min(values, key=values.get)
+        return name, values[name]
 
     @property
     def speedup_over_presets(self) -> float:
-        """Best preset time / best found time (>= 1.0 by construction)."""
-        return self.best_preset[1] / self.best.iteration_time
+        """Best preset value / best found value (>= 1.0 by construction)."""
+        return self.best_preset[1] / self.outcome_value(self.best)
 
     def pareto(self) -> List[CandidateOutcome]:
         """The (iteration time x traffic bytes) frontier of this search."""
@@ -187,6 +211,7 @@ class AutotuneReport:
 
     def to_text(self, top_k: int = 10) -> str:
         """Human-readable ranked table (what the ``autotune`` CLI prints)."""
+        robust_mode = self.objective != "nominal"
         lines = [
             f"autotune: {self.model} on {self.cluster} ({self.world_size} GPUs)",
             f"  searched {self.stats.get('candidates', 0)} candidates: "
@@ -194,7 +219,18 @@ class AutotuneReport:
             f"{self.stats.get('reused', 0)} reused, "
             f"{self.stats.get('pruned', 0)} pruned by lower bound",
         ]
-        header = f"  {'rank':<4} {'strategy':<38} {'time(s)':>9} {'traffic(MB)':>12}  note"
+        if robust_mode and self.scenario is not None:
+            lines.append(
+                f"  objective: {self.objective} over "
+                f"{self.stats.get('samples', 0)} samples of "
+                f"{self.scenario.describe()}"
+            )
+        value_col = f"{self.objective}(s)"
+        extra = f" {value_col:>10}" if robust_mode else ""
+        header = (
+            f"  {'rank':<4} {'strategy':<38} {'time(s)':>9}{extra} "
+            f"{'traffic(MB)':>12}  note"
+        )
         lines += [header, "  " + "-" * (len(header) - 2)]
         for rank, outcome in enumerate(self.outcomes[:top_k], start=1):
             time_s = (
@@ -202,30 +238,38 @@ class AutotuneReport:
                 if outcome.iteration_time is not None
                 else f">{outcome.bound.total:.4f}"
             )
+            if robust_mode:
+                value = self.outcome_value(outcome)
+                extra = f" {value:>10.4f}" if value is not None else f" {'-':>10}"
+            else:
+                extra = ""
             note = outcome.preset or ""
             if outcome.status == PRUNED:
                 note = (note + " " if note else "") + "pruned"
             lines.append(
-                f"  {rank:<4} {outcome.label:<38} {time_s:>9} "
+                f"  {rank:<4} {outcome.label:<38} {time_s:>9}{extra} "
                 f"{outcome.traffic_bytes / 1e6:>12.2f}  {note}"
             )
         best = self._best_or_none()
+        unit = f"s {self.objective}" if robust_mode else "s"
         if self.preset_times and best is not None:
             best_name, best_time = self.best_preset
             lines.append(
-                f"  best preset: {best_name} at {best_time:.4f}s; "
-                f"best found: {best.label} at {best.iteration_time:.4f}s "
+                f"  best preset: {best_name} at {best_time:.4f}{unit}; "
+                f"best found: {best.label} at "
+                f"{self.outcome_value(best):.4f}{unit} "
                 f"({self.speedup_over_presets:.3f}x)"
             )
         elif self.preset_times:
             best_name, best_time = self.best_preset
             lines.append(
-                f"  best preset: {best_name} at {best_time:.4f}s; every "
+                f"  best preset: {best_name} at {best_time:.4f}{unit}; every "
                 "candidate was pruned (none can beat it)"
             )
         elif best is not None:
             lines.append(
-                f"  best found: {best.label} at {best.iteration_time:.4f}s"
+                f"  best found: {best.label} at "
+                f"{self.outcome_value(best):.4f}{unit}"
             )
         frontier = self.pareto()
         lines.append(
@@ -249,8 +293,11 @@ class AutotuneReport:
             "model": self.model,
             "cluster": self.cluster,
             "world_size": self.world_size,
+            "objective": self.objective,
+            "scenario": None if self.scenario is None else self.scenario.to_dict(),
             "outcomes": [o.to_dict() for o in self.outcomes],
             "preset_times": dict(self.preset_times),
+            "preset_values": dict(self.preset_values),
             "best": None if best is None else best.to_dict(),
             "best_preset": list(self.best_preset) if self.preset_times else None,
             "speedup_over_presets": (
@@ -284,6 +331,10 @@ def autotune(
     wire_dtypes: Optional[Sequence[Tuple[str, str, str]]] = None,
     compressions: Optional[Sequence[float]] = None,
     intervals: Optional[Sequence[Tuple[int, int]]] = None,
+    objective: Optional[str] = None,
+    scenario: Union[None, str, FaultScenario] = None,
+    samples: int = 32,
+    seed: Optional[int] = None,
 ) -> AutotuneReport:
     """Search the full planner axis grid for ``model`` on ``cluster``.
 
@@ -305,14 +356,64 @@ def autotune(
     traffic, and the Pareto frontier all account for the extended axes
     — a stale candidate's traffic is its amortized per-iteration byte
     volume.
+
+    ``scenario`` (a :class:`~repro.faults.FaultScenario` or preset name)
+    switches the search to a **robust objective**: every surviving
+    candidate is additionally priced across ``samples`` seeded scenario
+    perturbations (batched — one scheduling pass per phase graph) and
+    ranked by ``objective`` (``"p95"`` by default with a scenario;
+    also ``"mean"``, ``"cvar95"``, ``"worst"``).  All candidates share
+    the same sample seeds (common random numbers), derived from ``seed``
+    (default: the scenario's own seed).  Pruning stays sound: the
+    incumbent is tracked in objective space and candidates are pruned
+    with the jitter-adjusted bound of
+    :func:`~repro.autotune.robust.scenario_adjusted_bound`, which
+    lower-bounds every perturbed sample.
     """
     if isinstance(model, Session):
         if cluster is not None:
             raise ValueError("pass a cluster via Session(...), not both")
         session = model
+        if session.scenario is not None:
+            raise ValueError(
+                "autotune manages fault scenarios itself; pass scenario= to "
+                "autotune() instead of a scenario-bound Session (which would "
+                "perturb the nominal times too)"
+            )
     else:
         session = Session(model, cluster)
     spec = session.spec
+
+    if isinstance(scenario, str):
+        scenario = named_scenario(scenario)
+    if scenario is None:
+        if objective not in (None, "nominal"):
+            raise ValueError(
+                f"objective={objective!r} needs a fault scenario; pass "
+                "scenario= (a FaultScenario or a preset name)"
+            )
+        objective = "nominal"
+    else:
+        if not isinstance(scenario, FaultScenario):
+            raise TypeError(
+                f"scenario must be a FaultScenario or preset name, got "
+                f"{type(scenario).__name__}"
+            )
+        objective = objective or "p95"
+        if objective not in ROBUST_OBJECTIVES or objective == "nominal":
+            raise ValueError(
+                f"objective={objective!r} is not a robust objective; choose "
+                f"from {ROBUST_OBJECTIVES[1:]}"
+            )
+        if samples < 1:
+            raise ValueError(f"samples must be >= 1, got {samples}")
+        if seed is not None:
+            scenario = dataclasses.replace(scenario, seed=seed)
+    robust_mode = objective != "nominal"
+    seeds = scenario.sample_seeds(samples) if robust_mode else []
+    rates = (
+        OverheadRates(scenario, spec, session.topology) if robust_mode else None
+    )
 
     grid_kwargs = {}
     if wire_dtypes is not None:
@@ -339,29 +440,59 @@ def autotune(
             for c in candidates
         ]
 
+    def resolve_parts(strategy: TrainingStrategy, profile):
+        return resolve_plan_parts(spec, profile, strategy)
+
+    def robust_stats(strategy: TrainingStrategy, profile, parts) -> RobustStats:
+        num_ranks, grad_plan, fplan, placement = parts
+        times = candidate_sample_times(
+            spec,
+            profile,
+            strategy,
+            scenario,
+            seeds,
+            num_ranks=num_ranks,
+            grad_plan=grad_plan,
+            fplan=fplan,
+            placement=placement,
+            overhead_rate=rates.for_profile(profile),
+        )
+        return RobustStats.from_times(times)
+
     # Price the presets first: they seed the pruning incumbent *and* the
     # reuse map, so the grid twin of e.g. SPD-KFAC always carries the
     # preset's simulated result — pruning can never leave the report's
-    # best worse than the best named scheme.
+    # best worse than the best named scheme.  In robust mode the
+    # incumbent lives in objective space (p95/CVaR seconds, not nominal
+    # seconds): pruning against a nominal incumbent would be unsound,
+    # since a nominally-slower candidate can still win on the tail.
     preset_times: Dict[str, float] = {}
-    seen: Dict[object, Tuple[float, Tuple[Tuple[str, float], ...]]] = {}
+    preset_values: Dict[str, float] = {}
+    seen: Dict[object, Tuple[float, Tuple, Optional[RobustStats]]] = {}
     for name in presets:
         preset = strategy_registry[name]
+        profile = session.profile_for(preset)
         result = session.simulate(preset)
         preset_times[name] = result.iteration_time
-        key = (preset.but(name="grid", collective="auto"), session.profile_for(preset))
-        seen[key] = (result.iteration_time, tuple(result.categories().items()))
-    best_time = min(preset_times.values()) if preset_times else float("inf")
+        robust = None
+        if robust_mode:
+            robust = robust_stats(preset, profile, resolve_parts(preset, profile))
+            preset_values[name] = robust.value(objective)
+        key = (preset.but(name="grid", collective="auto"), profile)
+        seen[key] = (result.iteration_time, tuple(result.categories().items()), robust)
+    incumbent_values = preset_values if robust_mode else preset_times
+    best_value = min(incumbent_values.values()) if incumbent_values else float("inf")
 
     # Resolve parts + bounds for the whole grid first (microseconds per
     # candidate next to a simulation), then evaluate cheapest-bound-first
-    # so the incumbent drops fast and pruning bites early.
+    # so the incumbent drops fast and pruning bites early.  The pruning
+    # bound is the scenario-adjusted one in robust mode — valid on every
+    # perturbed sample, hence on every objective value.
     prepared = []
     for strategy in candidates:
         profile = session.profile_for(strategy)
-        num_ranks, grad_plan, fplan, placement = resolve_plan_parts(
-            spec, profile, strategy
-        )
+        parts = resolve_parts(strategy, profile)
+        num_ranks, grad_plan, fplan, placement = parts
         bound = candidate_bound(
             spec,
             profile,
@@ -372,6 +503,11 @@ def autotune(
             include_solve=strategy.include_solve,
             strategy=strategy,
         )
+        prune_bound = bound
+        if robust_mode:
+            prune_bound = scenario_adjusted_bound(
+                bound, scenario, rates.for_profile(profile)
+            )
         traffic = parts_traffic(
             spec,
             num_ranks=num_ranks,
@@ -380,33 +516,40 @@ def autotune(
             placement=placement,
             strategy=strategy,
         )
-        prepared.append((strategy, profile, bound, traffic))
-    prepared.sort(key=lambda item: item[2].total)
+        prepared.append((strategy, profile, parts, bound, prune_bound, traffic))
+    prepared.sort(key=lambda item: item[4].total)
 
     outcomes: List[CandidateOutcome] = []
     stats = {"candidates": len(prepared), "simulated": 0, "reused": 0, "pruned": 0}
+    if robust_mode:
+        stats["samples"] = len(seeds)
     # ``seen`` also dedupes within the grid: two collective choices that
     # derive the *same* cost profile (e.g. "auto" resolving to "ring" on
     # a flat fabric) yield identical schedules; simulate one and reuse
     # its result for the twins.
-    for strategy, profile, bound, traffic in prepared:
+    for strategy, profile, parts, bound, prune_bound, traffic in prepared:
         preset = matching_preset(strategy)
         key = (strategy.but(name="grid", collective="auto"), profile)
+        robust = None
         if key in seen:
-            time, breakdown = seen[key]
+            time, breakdown, robust = seen[key]
             status = REUSED
             stats["reused"] += 1
-        elif prune and bound.total >= best_time:
+        elif prune and prune_bound.total >= best_value:
             time, breakdown, status = None, None, PRUNED
             stats["pruned"] += 1
         else:
             result = session.simulate(strategy)
             time = result.iteration_time
             breakdown = tuple(result.categories().items())
-            seen[key] = (time, breakdown)
+            if robust_mode:
+                robust = robust_stats(strategy, profile, parts)
+                best_value = min(best_value, robust.value(objective))
+            else:
+                best_value = min(best_value, time)
+            seen[key] = (time, breakdown, robust)
             status = SIMULATED
             stats["simulated"] += 1
-            best_time = min(best_time, time)
         outcomes.append(
             CandidateOutcome(
                 strategy=strategy,
@@ -418,18 +561,23 @@ def autotune(
                 traffic_bytes=traffic.total_bytes(),
                 traffic_by_op=tuple(sorted(traffic.bytes.items())),
                 status=status,
+                robust=robust,
             )
         )
 
-    # Ranked: simulated/reused by time (named presets first on exact
-    # ties, then label for determinism), pruned by bound.
-    outcomes.sort(
-        key=lambda o: (
-            (0, o.iteration_time, o.preset is None, o.label)
-            if o.iteration_time is not None
-            else (1, o.bound.total, True, o.label)
-        )
-    )
+    # Ranked: simulated/reused by the objective value (named presets
+    # first on exact ties, then label for determinism), pruned by bound.
+    def rank_key(o: CandidateOutcome):
+        if o.iteration_time is not None:
+            value = (
+                o.robust.value(objective)
+                if robust_mode and o.robust is not None
+                else o.iteration_time
+            )
+            return (0, value, o.preset is None, o.label)
+        return (1, o.bound.total, True, o.label)
+
+    outcomes.sort(key=rank_key)
     world_size = session.num_workers
     if session.topology is not None:
         cluster_desc = session.topology.name
@@ -442,4 +590,7 @@ def autotune(
         outcomes=outcomes,
         preset_times=preset_times,
         stats=stats,
+        objective=objective,
+        scenario=scenario,
+        preset_values=preset_values,
     )

@@ -12,6 +12,7 @@ Examples::
     python -m repro.experiments plan --list-strategies
     python -m repro.experiments autotune ResNet-50 --gpus 16
     python -m repro.experiments autotune DenseNet-201 --topology heterogeneous --json report.json
+    python -m repro.experiments autotune ResNet-50 --scenario stragglers --samples 8
     python -m repro.experiments autotune --list-topologies
 """
 
@@ -104,7 +105,8 @@ def _plan_main(argv) -> int:
 
 
 def _autotune_main(argv) -> int:
-    from repro.autotune import autotune
+    from repro.autotune import ROBUST_OBJECTIVES, autotune
+    from repro.faults import scenario_preset_names
     from repro.models.catalog import PAPER_MODELS
     from repro.topo import describe_topology_preset, named_topology, topology_preset_names
 
@@ -141,6 +143,29 @@ def _autotune_main(argv) -> int:
         help="simulate every candidate instead of pruning by lower bound",
     )
     parser.add_argument(
+        "--scenario", default=None, metavar="NAME",
+        help=(
+            "fault scenario preset "
+            f"({', '.join(scenario_preset_names())}); switches the search "
+            "to a robust objective over seeded scenario samples"
+        ),
+    )
+    parser.add_argument(
+        "--objective", default=None, metavar="OBJ",
+        help=(
+            "robust ranking objective with --scenario "
+            f"({', '.join(ROBUST_OBJECTIVES[1:])}; default: p95)"
+        ),
+    )
+    parser.add_argument(
+        "--samples", type=int, default=32, metavar="N",
+        help="seeded scenario samples per candidate (default: 32)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="override the scenario's base seed",
+    )
+    parser.add_argument(
         "--json", metavar="PATH", default=None,
         help="also write the full ranked report (with Pareto frontier) to PATH",
     )
@@ -172,8 +197,16 @@ def _autotune_main(argv) -> int:
         cluster_arg = args.gpus
 
     try:
-        report = autotune(args.model, cluster_arg, prune=not args.no_prune)
-    except KeyError as exc:
+        report = autotune(
+            args.model,
+            cluster_arg,
+            prune=not args.no_prune,
+            scenario=args.scenario,
+            objective=args.objective,
+            samples=args.samples,
+            seed=args.seed,
+        )
+    except (KeyError, ValueError) as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
     print(report.to_text(top_k=args.top))

@@ -41,6 +41,7 @@ EXPERIMENTS: Dict[str, str] = {
     "ext_topo_crossover": "repro.experiments.ext_topo_crossover",
     "ext_autotune": "repro.experiments.ext_autotune",
     "ext_precision": "repro.experiments.ext_precision",
+    "ext_elastic": "repro.experiments.ext_elastic",
 }
 
 PAPER_MODEL_NAMES = ("ResNet-50", "ResNet-152", "DenseNet-201", "Inception-v4")

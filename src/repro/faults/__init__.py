@@ -1,0 +1,93 @@
+"""Fault-aware simulation: stragglers, preemption, and elastic clusters.
+
+The planner and simulator price a noise-free iteration on a fixed
+cluster; this package layers deterministic, seeded fault scenarios on
+top without touching either:
+
+* :mod:`repro.faults.scenario` — declarative :class:`FaultScenario`
+  values (straggler jitter, preemption events/rates) with stable
+  digests for plan-cache keys;
+* :mod:`repro.faults.perturb` — vectorized duration perturbation over
+  the columnar graph layout, batched through
+  :func:`repro.sim.simulate_batch`;
+* :mod:`repro.faults.checkpoint` — checkpoint/restart economics with
+  the analytic Young/Daly-optimal interval;
+* :mod:`repro.faults.elastic` — world-size changes priced as a re-plan
+  (through the shared :class:`~repro.plan.Session` cache) plus a state
+  transition on a :class:`~repro.comm.TrafficCounter`.
+
+Scenarios plug into :class:`repro.plan.Session` (``scenario=...``) and
+:func:`repro.autotune.autotune` (``objective="p95", scenario=...``).
+"""
+
+from repro.faults.scenario import (
+    SCENARIO_PRESETS,
+    FaultEvent,
+    FaultScenario,
+    PreemptionSpec,
+    StragglerSpec,
+    named_scenario,
+    scenario_preset_names,
+)
+from repro.faults.perturb import (
+    perturb_durations,
+    perturb_durations_many,
+    run_faulted_phase_iterations,
+    sample_iteration_times,
+    sample_makespans,
+    simulate_faulted,
+    simulate_faulted_many,
+    straggler_factors,
+)
+from repro.faults.checkpoint import (
+    CheckpointPolicy,
+    FaultRunReport,
+    checkpoint_write_cost,
+    default_policy,
+    expected_overhead_rate,
+    optimal_checkpoint_interval,
+    price_events,
+    scenario_overhead_rate,
+    simulate_checkpoint_run,
+)
+from repro.faults.elastic import (
+    ElasticRunReport,
+    ElasticTransition,
+    price_elastic_run,
+    replan,
+    transition_time,
+    transition_traffic,
+)
+
+__all__ = [
+    "FaultScenario",
+    "StragglerSpec",
+    "FaultEvent",
+    "PreemptionSpec",
+    "SCENARIO_PRESETS",
+    "named_scenario",
+    "scenario_preset_names",
+    "perturb_durations",
+    "perturb_durations_many",
+    "straggler_factors",
+    "simulate_faulted",
+    "simulate_faulted_many",
+    "sample_makespans",
+    "sample_iteration_times",
+    "run_faulted_phase_iterations",
+    "CheckpointPolicy",
+    "FaultRunReport",
+    "checkpoint_write_cost",
+    "optimal_checkpoint_interval",
+    "expected_overhead_rate",
+    "default_policy",
+    "price_events",
+    "scenario_overhead_rate",
+    "simulate_checkpoint_run",
+    "ElasticTransition",
+    "ElasticRunReport",
+    "replan",
+    "price_elastic_run",
+    "transition_traffic",
+    "transition_time",
+]

@@ -1,0 +1,253 @@
+"""Checkpoint/restart economics for preemption-prone clusters.
+
+Preemptions are priced with the classic checkpoint-restart model: the
+run writes a checkpoint every ``interval`` seconds of useful work at a
+cost of ``write_cost`` seconds each; a failure at work-time ``t`` loses
+the work since the last checkpoint, then pays the node's downtime and a
+restore.  The write cost itself comes from the cluster — a checkpoint is
+a parameter-sized transfer over the slowest link on the path to storage
+(:func:`checkpoint_write_cost` derives it from a
+:class:`~repro.topo.ClusterTopology`'s bottleneck link, or from a
+:class:`~repro.perf.ClusterPerfProfile`'s streamed-broadcast model when
+no topology is available).
+
+For a Poisson failure process with mean time between failures ``M`` the
+expected overhead per second of useful work is
+
+    ``overhead(tau) = C/tau + (tau/2 + D + R) / M``
+
+(write cost ``C`` amortized over the interval, plus the expected half-
+interval of lost work and the downtime ``D`` + restore ``R`` per
+failure).  Minimizing over ``tau`` gives the Young/Daly optimum
+``tau* = sqrt(2 C M)`` — exposed analytically by
+:func:`optimal_checkpoint_interval` and validated against the seeded
+Monte-Carlo simulation :func:`simulate_checkpoint_run` in the tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Sequence
+
+from repro.faults.scenario import FaultEvent, FaultScenario, PreemptionSpec
+from repro.perf.models import WIRE_ELEMENT_BYTES
+from repro.utils.rng import SeedLike, new_rng
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """How a run protects itself: checkpoint every ``interval`` seconds
+    of work, each write costing ``write_cost`` seconds; ``restore_cost``
+    defaults to the write cost (symmetric storage path)."""
+
+    interval: float
+    write_cost: float
+    restore_cost: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ValueError(f"interval must be > 0, got {self.interval}")
+        if self.write_cost < 0:
+            raise ValueError(f"write_cost must be >= 0, got {self.write_cost}")
+        if self.restore_cost is not None and self.restore_cost < 0:
+            raise ValueError(f"restore_cost must be >= 0, got {self.restore_cost}")
+
+    @property
+    def effective_restore_cost(self) -> float:
+        """Restore cost, defaulting to ``write_cost`` when unset."""
+        return self.write_cost if self.restore_cost is None else self.restore_cost
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form for reports and serialization."""
+        return {
+            "interval": self.interval,
+            "write_cost": self.write_cost,
+            "restore_cost": self.restore_cost,
+        }
+
+
+def checkpoint_write_cost(
+    cluster: Any, num_params: int, element_bytes: int = WIRE_ELEMENT_BYTES
+) -> float:
+    """Seconds to write one parameter-sized checkpoint on ``cluster``.
+
+    ``cluster`` may be a :class:`~repro.topo.ClusterTopology` (the
+    checkpoint crosses its bottleneck link) or a
+    :class:`~repro.perf.ClusterPerfProfile` (priced with the streamed
+    broadcast model, the profile's only full-parameter transfer model).
+    """
+    if num_params <= 0:
+        raise ValueError(f"num_params must be > 0, got {num_params}")
+    bottleneck = getattr(cluster, "bottleneck_link", None)
+    if callable(bottleneck):
+        link = bottleneck()
+        return link.latency + num_params * element_bytes / link.bandwidth
+    broadcast = getattr(cluster, "broadcast_streamed", None)
+    if broadcast is not None:
+        return broadcast.time(num_params)
+    raise TypeError(
+        f"cluster must be a ClusterTopology or ClusterPerfProfile, got "
+        f"{type(cluster).__name__}"
+    )
+
+
+def optimal_checkpoint_interval(write_cost: float, mtbf: float) -> float:
+    """The Young/Daly first-order optimum ``sqrt(2 * write_cost * mtbf)``."""
+    if write_cost < 0:
+        raise ValueError(f"write_cost must be >= 0, got {write_cost}")
+    if mtbf <= 0:
+        raise ValueError(f"mtbf must be > 0, got {mtbf}")
+    return math.sqrt(2.0 * write_cost * mtbf)
+
+
+def expected_overhead_rate(policy: CheckpointPolicy, preemption: PreemptionSpec) -> float:
+    """Expected overhead seconds per second of useful work.
+
+    ``write_cost/interval + (interval/2 + downtime + restore) / mtbf``
+    under a Poisson failure process — the function whose minimizer is
+    :func:`optimal_checkpoint_interval`.  Always >= 0, so scaling a
+    nominal lower bound by ``1 + rate`` keeps it a valid lower bound.
+    """
+    per_failure = (
+        policy.interval / 2.0 + preemption.downtime + policy.effective_restore_cost
+    )
+    return policy.write_cost / policy.interval + per_failure / preemption.mtbf
+
+
+def default_policy(
+    cluster: Any, num_params: int, preemption: PreemptionSpec
+) -> CheckpointPolicy:
+    """The Young/Daly-optimal policy for ``cluster`` and ``preemption``."""
+    write = checkpoint_write_cost(cluster, num_params)
+    return CheckpointPolicy(
+        interval=optimal_checkpoint_interval(write, preemption.mtbf),
+        write_cost=write,
+    )
+
+
+@dataclass(frozen=True)
+class FaultRunReport:
+    """Deterministic price of a run's failure events under one policy."""
+
+    work_time: float  #: useful training seconds
+    checkpoint_time: float  #: seconds spent writing checkpoints
+    lost_work: float  #: recomputed seconds (work since last checkpoint)
+    downtime: float  #: seconds waiting for preempted nodes
+    restore_time: float  #: seconds restoring from checkpoints
+
+    @property
+    def total_time(self) -> float:
+        """Wall-clock seconds: work plus every overhead component."""
+        return (
+            self.work_time
+            + self.checkpoint_time
+            + self.lost_work
+            + self.downtime
+            + self.restore_time
+        )
+
+    @property
+    def overhead(self) -> float:
+        """Fractional slowdown over the fault-free run (>= 0)."""
+        if self.work_time == 0:
+            return 0.0
+        return self.total_time / self.work_time - 1.0
+
+    def to_dict(self) -> Dict[str, float]:
+        """Plain-dict form for reports and serialization."""
+        return {
+            "work_time": self.work_time,
+            "checkpoint_time": self.checkpoint_time,
+            "lost_work": self.lost_work,
+            "downtime": self.downtime,
+            "restore_time": self.restore_time,
+            "total_time": self.total_time,
+            "overhead": self.overhead,
+        }
+
+
+def price_events(
+    work_time: float,
+    events: Sequence[FaultEvent],
+    policy: CheckpointPolicy,
+) -> FaultRunReport:
+    """Deterministically price a run's :class:`FaultEvent` timeline.
+
+    ``work_time`` is the useful-work length of the run; event times are
+    in work seconds (see :class:`FaultEvent`).  Each failure loses the
+    work since the last checkpoint (``t mod interval``) and pays the
+    event's downtime plus one restore; checkpoints are written at every
+    whole interval of completed work.
+    """
+    if work_time < 0:
+        raise ValueError(f"work_time must be >= 0, got {work_time}")
+    lost = 0.0
+    down = 0.0
+    restores = 0.0
+    for event in sorted(events, key=lambda e: (e.time, e.rank)):
+        if event.time >= work_time:
+            continue
+        lost += math.fmod(event.time, policy.interval)
+        down += event.downtime
+        restores += policy.effective_restore_cost
+    num_checkpoints = math.floor(work_time / policy.interval)
+    return FaultRunReport(
+        work_time=work_time,
+        checkpoint_time=num_checkpoints * policy.write_cost,
+        lost_work=lost,
+        downtime=down,
+        restore_time=restores,
+    )
+
+
+def scenario_overhead_rate(
+    scenario: FaultScenario, cluster: Any, num_params: int
+) -> float:
+    """Amortized preemption overhead per work second under ``scenario``.
+
+    Zero when the scenario has no stochastic preemption spec; otherwise
+    the expected overhead of the Young/Daly-optimal checkpoint policy on
+    ``cluster``.  Used by the robust autotuner to fold checkpoint/
+    restart costs into every sampled iteration time.
+    """
+    if scenario.preemption is None:
+        return 0.0
+    policy = default_policy(cluster, num_params, scenario.preemption)
+    return expected_overhead_rate(policy, scenario.preemption)
+
+
+def simulate_checkpoint_run(
+    work_time: float,
+    policy: CheckpointPolicy,
+    preemption: PreemptionSpec,
+    seed: SeedLike = None,
+) -> float:
+    """Seeded Monte-Carlo wall-clock of a run under Poisson preemptions.
+
+    Failures arrive with exponential inter-arrival times (mean ``mtbf``
+    in work seconds); each one loses the work since the last checkpoint
+    and pays downtime + restore.  Used to validate that
+    :func:`optimal_checkpoint_interval` actually minimizes the simulated
+    wall-clock, not just the analytic rate.
+    """
+    if work_time < 0:
+        raise ValueError(f"work_time must be >= 0, got {work_time}")
+    rng = new_rng(seed)
+    wall = 0.0
+    progress = 0.0  # durable work, committed at the last checkpoint
+    time_to_failure = float(rng.exponential(preemption.mtbf))
+    while progress < work_time:
+        needed = min(policy.interval, work_time - progress)
+        if time_to_failure < needed:
+            # Fail mid-segment: the partial segment is lost entirely.
+            wall += time_to_failure
+            wall += preemption.downtime + policy.effective_restore_cost
+            time_to_failure = float(rng.exponential(preemption.mtbf))
+            continue
+        wall += needed
+        time_to_failure -= needed
+        progress += needed
+        if progress < work_time:
+            wall += policy.write_cost
+    return wall

@@ -1,0 +1,228 @@
+"""Elastic world-size changes: re-plan mid-run and price the transition.
+
+When a cluster grows or shrinks, the run re-plans at the new world size
+(bucket boundaries, factor fusion, inverse placement all change) and
+pays a one-off state transition before the first new-size iteration:
+
+* **parameter redistribution** — every rank needs the current parameter
+  vector (joining ranks have nothing; after a shrink the new root
+  re-broadcasts to re-establish bitwise agreement);
+* **factor state** — K-FAC's running Kronecker factor estimates are
+  re-broadcast so joiners do not restart their EMA from zero;
+* **inverse re-placement** — inverses live where the placement put
+  them, and the new placement is computed for the new world size, so
+  every inverse moves to (at worst) a new owner.
+
+Each component is recorded on a :class:`~repro.comm.TrafficCounter`
+(bytes that actually cross the wire) and priced with the *new*
+profile's streamed-broadcast model.  Re-planning goes through
+:class:`~repro.plan.Session`, so repeated transitions between the same
+sizes hit the shared plan cache.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.comm.group import TrafficCounter
+from repro.perf.models import symmetric_elements
+from repro.plan.plan import Plan
+from repro.plan.session import ClusterLike, Session, resolve_strategy
+from repro.plan.strategy import TrainingStrategy
+
+#: TrafficCounter op labels of the three transition components.
+PARAM_REDISTRIBUTION = "transition.params"
+FACTOR_STATE_SYNC = "transition.factors"
+INVERSE_REPLACEMENT = "transition.inverses"
+
+
+def transition_traffic(spec, strategy: TrainingStrategy) -> TrafficCounter:
+    """Wire traffic of one elastic transition for ``spec``/``strategy``.
+
+    Parameters always move; factor and inverse state only exist for
+    second-order strategies (and inverses only when the strategy solves
+    them explicitly).  Dtypes follow the strategy's wire axes.
+    """
+    counter = TrafficCounter()
+    counter.record(PARAM_REDISTRIBUTION, spec.num_params)
+    if strategy.second_order:
+        factor_elements = sum(symmetric_elements(d) for d in spec.factor_dims())
+        counter.record(FACTOR_STATE_SYNC, factor_elements)
+        if strategy.include_solve:
+            counter.record(INVERSE_REPLACEMENT, factor_elements)
+    return counter
+
+
+def transition_time(profile, traffic: TrafficCounter) -> float:
+    """Seconds the transition's broadcasts take on ``profile``.
+
+    Each component is one streamed broadcast on the new cluster (the
+    transition happens *after* the resize, on the surviving fabric).
+    """
+    return sum(
+        profile.broadcast_streamed.time(elements)
+        for elements in traffic.elements.values()
+    )
+
+
+@dataclass(frozen=True)
+class ElasticTransition:
+    """One re-plan: old cluster -> new cluster for a fixed strategy."""
+
+    model: str
+    strategy: TrainingStrategy
+    old_plan: Plan
+    new_plan: Plan
+    old_time: float  #: per-iteration seconds before the resize
+    new_time: float  #: per-iteration seconds after the resize
+    traffic: TrafficCounter
+    transition_time: float  #: one-off seconds to move state
+
+    @property
+    def old_world_size(self) -> int:
+        """Ranks before the resize."""
+        return self.old_plan.num_ranks
+
+    @property
+    def new_world_size(self) -> int:
+        """Ranks after the resize."""
+        return self.new_plan.num_ranks
+
+    def break_even_iterations(self) -> float:
+        """Iterations until the transition cost is recovered.
+
+        Finite only when the new plan is faster per iteration (growing
+        the cluster); ``inf`` for shrinks, where the transition is
+        forced rather than chosen.
+        """
+        gain = self.old_time - self.new_time
+        if gain <= 0:
+            return math.inf
+        return self.transition_time / gain
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary of the transition."""
+        lines = [
+            f"elastic transition: {self.model} x {self.strategy.name}, "
+            f"{self.old_world_size} -> {self.new_world_size} ranks",
+            f"  iteration time: {self.old_time * 1e3:.2f} ms -> "
+            f"{self.new_time * 1e3:.2f} ms",
+            f"  transition: {self.transition_time * 1e3:.2f} ms, "
+            f"{self.traffic.total_bytes() / 1e6:.1f} MB moved",
+        ]
+        breakeven = self.break_even_iterations()
+        if math.isfinite(breakeven):
+            lines.append(f"  break-even after {breakeven:.1f} iterations")
+        else:
+            lines.append("  no break-even (new plan is not faster per iteration)")
+        return "\n".join(lines)
+
+
+def replan(
+    model: str,
+    strategy: Union[str, TrainingStrategy],
+    old_cluster: ClusterLike,
+    new_cluster: ClusterLike,
+    scenario=None,
+) -> ElasticTransition:
+    """Re-plan ``strategy`` at a new world size and price the transition.
+
+    Builds one :class:`~repro.plan.Session` per cluster (both share the
+    module-level plan cache, so repeated resizes between the same sizes
+    replan for free) and prices the state movement on the new cluster's
+    profile.  ``scenario`` makes both sides price under the same fault
+    scenario.
+    """
+    strategy = resolve_strategy(strategy)
+    old_session = Session(model, old_cluster, scenario=scenario)
+    new_session = Session(model, new_cluster, scenario=scenario)
+    old_plan = old_session.plan(strategy)
+    new_plan = new_session.plan(strategy)
+    traffic = transition_traffic(old_session.spec, strategy)
+    return ElasticTransition(
+        model=old_session.model,
+        strategy=strategy,
+        old_plan=old_plan,
+        new_plan=new_plan,
+        old_time=old_plan.predicted_makespan,
+        new_time=new_plan.predicted_makespan,
+        traffic=traffic,
+        transition_time=transition_time(
+            new_session.profile_for(strategy), traffic
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class ElasticRunReport:
+    """End-to-end price of a run whose world size changes mid-training."""
+
+    model: str
+    strategy: TrainingStrategy
+    segments: Tuple[Tuple[int, int, float], ...]  #: (world, iterations, iter seconds)
+    transitions: Tuple[ElasticTransition, ...]
+
+    @property
+    def training_time(self) -> float:
+        """Seconds spent in actual iterations across every segment."""
+        return sum(iters * t for _, iters, t in self.segments)
+
+    @property
+    def transition_time(self) -> float:
+        """Seconds spent moving state between segments."""
+        return sum(t.transition_time for t in self.transitions)
+
+    @property
+    def total_time(self) -> float:
+        """Wall-clock seconds: training plus transitions."""
+        return self.training_time + self.transition_time
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary of the elastic run."""
+        lines = [f"elastic run: {self.model} x {self.strategy.name}"]
+        for world, iters, t in self.segments:
+            lines.append(
+                f"  {iters} iterations @ {world} ranks x {t * 1e3:.2f} ms"
+            )
+        lines.append(
+            f"  total {self.total_time:.2f} s "
+            f"({self.transition_time * 1e3:.2f} ms in "
+            f"{len(self.transitions)} transition(s))"
+        )
+        return "\n".join(lines)
+
+
+def price_elastic_run(
+    model: str,
+    strategy: Union[str, TrainingStrategy],
+    segments: Sequence[Tuple[ClusterLike, int]],
+    scenario=None,
+) -> ElasticRunReport:
+    """Price a training run across a sequence of ``(cluster, iterations)``
+    segments, charging one transition between each consecutive pair."""
+    if not segments:
+        raise ValueError("segments must be non-empty")
+    strategy = resolve_strategy(strategy)
+    seg_rows: List[Tuple[int, int, float]] = []
+    transitions: List[ElasticTransition] = []
+    model_name: Optional[str] = None
+    for idx, (cluster, iterations) in enumerate(segments):
+        if iterations < 0:
+            raise ValueError(f"iterations must be >= 0, got {iterations}")
+        session = Session(model, cluster, scenario=scenario)
+        model_name = session.model
+        plan = session.plan(strategy)
+        seg_rows.append((plan.num_ranks, iterations, plan.predicted_makespan))
+        if idx > 0:
+            transitions.append(
+                replan(model, strategy, segments[idx - 1][0], cluster, scenario)
+            )
+    assert model_name is not None
+    return ElasticRunReport(
+        model=model_name,
+        strategy=strategy,
+        segments=tuple(seg_rows),
+        transitions=tuple(transitions),
+    )

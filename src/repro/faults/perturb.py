@@ -1,0 +1,176 @@
+"""Apply fault scenarios to task graphs: vectorized duration perturbation.
+
+A straggler scenario turns into one slowdown factor per rank; applying
+it to a :class:`~repro.sim.TaskGraph` is a single vectorized pass over
+the graph's columnar layout — compute tasks are scaled by their rank's
+factor, communication tasks are left untouched (stragglers model slow
+*kernels*, not slow wires; a slow NIC is a topology property).  The
+perturbed vector is handed to :func:`repro.sim.simulate` (or, for many
+samples at once, :func:`repro.sim.simulate_batch`) without ever mutating
+the graph, so nominal and faulted pricing share one graph build.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.schedule import (
+    AmortizedIterationResult,
+    IterationResult,
+)
+from repro.sim import TaskGraph, Timeline, interval_weights, simulate, simulate_batch
+from repro.sim.analysis import REFRESH
+from repro.faults.scenario import FaultScenario
+from repro.utils.rng import new_rng
+
+
+def straggler_factors(
+    scenario: FaultScenario, num_ranks: int, seed: Optional[int] = None
+) -> np.ndarray:
+    """The per-rank slowdown factors one sample of ``scenario`` draws.
+
+    ``seed`` defaults to ``scenario.seed``; all factors are >= 1.0 (see
+    :class:`~repro.faults.scenario.StragglerSpec`).  Scenarios without a
+    straggler spec yield all-ones.
+    """
+    if scenario.straggler is None:
+        return np.ones(num_ranks)
+    rng = new_rng(scenario.seed if seed is None else seed)
+    return scenario.straggler.sample_factors(num_ranks, rng)
+
+
+def _apply_factors(graph: TaskGraph, factors: np.ndarray) -> np.ndarray:
+    cols = graph.columns()
+    if factors.shape != (graph.num_ranks,):
+        raise ValueError(
+            f"factors must have shape ({graph.num_ranks},), got {factors.shape}"
+        )
+    if cols.n == 0:
+        return cols.durations.copy()
+    # Compute tasks occupy exactly one rank, so each task's first rank
+    # occurrence *is* its rank; collectives keep factor 1.0.
+    first_rank = cols.ranks_flat[cols.ranks_indptr[:-1]]
+    scale = np.where(cols.is_comm, 1.0, factors[first_rank])
+    return cols.durations * scale
+
+
+def perturb_durations(
+    graph: TaskGraph, scenario: FaultScenario, seed: Optional[int] = None
+) -> np.ndarray:
+    """One perturbed duration vector for ``graph`` under ``scenario``.
+
+    Deterministic in ``(scenario, seed)``; ``seed`` defaults to
+    ``scenario.seed``.  The graph is not modified — feed the result to
+    ``simulate(graph, durations=...)``.
+    """
+    return _apply_factors(graph, straggler_factors(scenario, graph.num_ranks, seed))
+
+
+def perturb_durations_many(
+    graph: TaskGraph, scenario: FaultScenario, seeds: Sequence[int]
+) -> np.ndarray:
+    """A ``(len(seeds), n)`` matrix of perturbed duration samples.
+
+    Row ``i`` is bit-identical to ``perturb_durations(graph, scenario,
+    seeds[i])``; the matrix feeds :func:`repro.sim.simulate_batch` so
+    all samples are priced in one batched scheduling pass.
+    """
+    cols = graph.columns()
+    if not seeds:
+        return np.empty((0, cols.n))
+    return np.stack([perturb_durations(graph, scenario, s) for s in seeds])
+
+
+def simulate_faulted(
+    graph: TaskGraph, scenario: FaultScenario, seed: Optional[int] = None
+) -> Timeline:
+    """Simulate one perturbed sample of ``graph`` under ``scenario``."""
+    return simulate(graph, perturb_durations(graph, scenario, seed))
+
+
+def simulate_faulted_many(
+    graph: TaskGraph, scenario: FaultScenario, seeds: Sequence[int]
+) -> List[Timeline]:
+    """Simulate one perturbed sample per seed, batched into one pass."""
+    if not seeds:
+        return []
+    return simulate_batch(graph, perturb_durations_many(graph, scenario, seeds))
+
+
+def sample_makespans(
+    graph: TaskGraph, scenario: FaultScenario, seeds: Sequence[int]
+) -> np.ndarray:
+    """Per-sample makespans of ``graph`` under ``scenario`` (batched)."""
+    return np.array(
+        [t.makespan for t in simulate_faulted_many(graph, scenario, seeds)]
+    )
+
+
+def sample_iteration_times(
+    graphs: Dict[str, TaskGraph],
+    scenario: FaultScenario,
+    seeds: Sequence[int],
+    factor_interval: int = 1,
+    inverse_interval: int = 1,
+) -> np.ndarray:
+    """Per-sample amortized iteration times for a phase-graph bundle.
+
+    Stale-refresh strategies mix several iteration shapes per cycle;
+    each shape is batch-simulated across all seeds (every sample uses
+    the *same* per-rank straggler factors in every phase — a straggling
+    GPU straggles all cycle) and the cycle average is taken per sample.
+    Plain strategies collapse to the refresh graph's sample makespans.
+    """
+    weights = interval_weights(factor_interval, inverse_interval)
+    if len(weights) == 1:
+        return sample_makespans(graphs[REFRESH], scenario, seeds)
+    per_phase = {
+        phase: sample_makespans(graphs[phase], scenario, seeds)
+        for phase, _ in weights
+    }
+    total = sum(per_phase[phase] * count for phase, count in weights)
+    return total / inverse_interval
+
+
+def run_faulted_phase_iterations(
+    graphs: Dict[str, TaskGraph],
+    algorithm: str,
+    model: str,
+    factor_interval: int = 1,
+    inverse_interval: int = 1,
+    *,
+    scenario: FaultScenario,
+    seed: Optional[int] = None,
+) -> "IterationResult | AmortizedIterationResult":
+    """Fault-scenario counterpart of
+    :func:`repro.core.schedule.run_phase_iterations`.
+
+    Simulates every phase graph under one perturbed sample (the same
+    per-rank factors across phases) and packages the same result types,
+    so scenario-aware :class:`~repro.plan.Session` plans report through
+    the unchanged ``IterationResult`` surface.
+    """
+    weights = interval_weights(factor_interval, inverse_interval)
+
+    def one(phase: str) -> IterationResult:
+        timeline = simulate_faulted(graphs[phase], scenario, seed)
+        return IterationResult(
+            algorithm=algorithm,
+            model=model,
+            timeline=timeline,
+            breakdown=timeline.breakdown(),
+        )
+
+    if len(weights) == 1:
+        return one(REFRESH)
+    results = {phase: one(phase) for phase, _ in weights}
+    return AmortizedIterationResult(
+        algorithm=algorithm,
+        model=model,
+        refresh=results[REFRESH],
+        factor_refresh=results.get("factor_refresh"),
+        steady=results.get("steady"),
+        weights=weights,
+    )

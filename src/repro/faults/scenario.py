@@ -1,0 +1,280 @@
+"""Fault scenarios: seeded, declarative descriptions of cluster trouble.
+
+A :class:`FaultScenario` is a frozen value object describing what goes
+wrong during a training run — per-rank compute stragglers, a timeline of
+deterministic preemption events, and/or a stochastic preemption rate —
+plus a base seed that makes every derived sample reproducible.  The
+scenario itself never touches a graph; :mod:`repro.faults.perturb` turns
+it into perturbed duration vectors and :mod:`repro.faults.checkpoint`
+prices its failure events.
+
+Two invariants keep the rest of the stack sound:
+
+* **Straggler factors are clamped at 1.0** — stragglers only ever slow a
+  rank down.  Every perturbed duration is therefore >= its nominal
+  value, makespans are monotone in durations, and the autotuner's
+  nominal lower bounds remain valid lower bounds on *every* perturbed
+  sample (see :func:`repro.autotune.scenario_adjusted_bound`).
+* **All randomness flows from ``seed``** via ``numpy.random.Generator``
+  with a fixed draw order, so a scenario plus a seed is bit-reproducible
+  across runs, and :meth:`FaultScenario.digest` can serve as a plan
+  cache key component.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import new_rng
+
+STRAGGLER_DISTRIBUTIONS = ("lognormal", "uniform")
+
+
+@dataclass(frozen=True)
+class StragglerSpec:
+    """Per-rank multiplicative compute jitter.
+
+    Each sample draws one slowdown factor per rank: with probability
+    ``prob`` the rank is afflicted and its factor is drawn from
+    ``distribution`` (then clamped at 1.0 — stragglers never speed a
+    rank up); otherwise the factor is exactly 1.0.  ``sigma`` is the
+    log-normal shape parameter, or the width of the uniform band
+    ``[1, 1 + sigma]``.
+    """
+
+    distribution: str = "lognormal"
+    sigma: float = 0.25
+    prob: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.distribution not in STRAGGLER_DISTRIBUTIONS:
+            raise ValueError(
+                f"unknown straggler distribution {self.distribution!r}; "
+                f"choose from {STRAGGLER_DISTRIBUTIONS}"
+            )
+        if self.sigma <= 0:
+            raise ValueError(f"sigma must be > 0, got {self.sigma}")
+        if not 0.0 < self.prob <= 1.0:
+            raise ValueError(f"prob must be in (0, 1], got {self.prob}")
+
+    def min_factor(self) -> float:
+        """Smallest slowdown factor any rank can receive (always 1.0).
+
+        The clamp below is what keeps nominal lower bounds valid on
+        every perturbed sample, so this is an invariant, not a detail.
+        """
+        return 1.0
+
+    def sample_factors(self, num_ranks: int, rng: np.random.Generator) -> np.ndarray:
+        """One slowdown factor per rank, >= 1.0, drawn in a fixed order.
+
+        The afflicted mask and the raw factors are always both drawn
+        (mask first), so the stream position after a call depends only
+        on ``num_ranks`` — never on which ranks happened to straggle.
+        """
+        afflicted = rng.random(num_ranks) < self.prob
+        if self.distribution == "lognormal":
+            raw = np.exp(self.sigma * rng.standard_normal(num_ranks))
+        else:  # uniform
+            raw = 1.0 + self.sigma * rng.random(num_ranks)
+        factors = np.maximum(raw, 1.0)
+        return np.where(afflicted, factors, 1.0)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form used by scenario digests and serialization."""
+        return {
+            "distribution": self.distribution,
+            "sigma": self.sigma,
+            "prob": self.prob,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "StragglerSpec":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One deterministic preemption: ``rank`` dies after ``time`` seconds
+    of useful training work and rejoins ``downtime`` seconds later.
+
+    ``time`` is measured in *work* seconds (progress through the run,
+    excluding checkpoint and recovery overhead), which keeps event
+    pricing independent of the checkpoint policy being evaluated.
+    """
+
+    rank: int
+    time: float
+    downtime: float
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise ValueError(f"rank must be >= 0, got {self.rank}")
+        if self.time < 0:
+            raise ValueError(f"time must be >= 0, got {self.time}")
+        if self.downtime < 0:
+            raise ValueError(f"downtime must be >= 0, got {self.downtime}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form used by scenario digests and serialization."""
+        return {"rank": self.rank, "time": self.time, "downtime": self.downtime}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FaultEvent":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class PreemptionSpec:
+    """Stochastic preemption pressure: whole-cluster mean time between
+    failures (seconds of work) and the per-event restart downtime."""
+
+    mtbf: float
+    downtime: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.mtbf <= 0:
+            raise ValueError(f"mtbf must be > 0, got {self.mtbf}")
+        if self.downtime < 0:
+            raise ValueError(f"downtime must be >= 0, got {self.downtime}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form used by scenario digests and serialization."""
+        return {"mtbf": self.mtbf, "downtime": self.downtime}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "PreemptionSpec":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    """A named, seeded bundle of fault behaviour for one simulated run.
+
+    Combine any of: ``straggler`` jitter applied to every iteration,
+    a deterministic ``events`` timeline of preemptions, and a stochastic
+    ``preemption`` rate used for amortized checkpoint/restart overhead.
+    ``seed`` anchors all sampling; :meth:`sample_seeds` derives the
+    per-sample sub-seeds deterministically.
+    """
+
+    name: str = "scenario"
+    straggler: Optional[StragglerSpec] = None
+    events: Tuple[FaultEvent, ...] = ()
+    preemption: Optional[PreemptionSpec] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scenario name must be non-empty")
+        object.__setattr__(self, "events", tuple(self.events))
+        for event in self.events:
+            if not isinstance(event, FaultEvent):
+                raise TypeError(f"events must be FaultEvent instances, got {event!r}")
+
+    def min_compute_factor(self) -> float:
+        """Lower bound on every compute slowdown factor (>= 1.0)."""
+        return self.straggler.min_factor() if self.straggler else 1.0
+
+    def sample_seeds(self, count: int) -> List[int]:
+        """``count`` deterministic per-sample seeds derived from ``seed``."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        rng = new_rng(self.seed)
+        return [int(s) for s in rng.integers(0, 2**63 - 1, size=count)]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical plain-dict form (digest input and serialization)."""
+        return {
+            "name": self.name,
+            "straggler": self.straggler.to_dict() if self.straggler else None,
+            "events": [event.to_dict() for event in self.events],
+            "preemption": self.preemption.to_dict() if self.preemption else None,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FaultScenario":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            name=payload["name"],
+            straggler=(
+                StragglerSpec.from_dict(payload["straggler"])
+                if payload.get("straggler")
+                else None
+            ),
+            events=tuple(
+                FaultEvent.from_dict(e) for e in payload.get("events", ())
+            ),
+            preemption=(
+                PreemptionSpec.from_dict(payload["preemption"])
+                if payload.get("preemption")
+                else None
+            ),
+            seed=payload.get("seed", 0),
+        )
+
+    def digest(self) -> str:
+        """Stable 16-hex-char content hash, usable in plan-cache keys."""
+        payload = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        parts = []
+        if self.straggler:
+            s = self.straggler
+            parts.append(
+                f"stragglers({s.distribution}, sigma={s.sigma:g}, prob={s.prob:g})"
+            )
+        if self.events:
+            parts.append(f"{len(self.events)} preemption event(s)")
+        if self.preemption:
+            parts.append(
+                f"preemption(mtbf={self.preemption.mtbf:g}s, "
+                f"downtime={self.preemption.downtime:g}s)"
+            )
+        body = " + ".join(parts) if parts else "no faults"
+        return f"{self.name}: {body} [seed={self.seed}]"
+
+
+SCENARIO_PRESETS: Dict[str, FaultScenario] = {
+    "stragglers": FaultScenario(
+        name="stragglers",
+        straggler=StragglerSpec(distribution="lognormal", sigma=0.35, prob=0.25),
+        seed=2021,
+    ),
+    "severe-stragglers": FaultScenario(
+        name="severe-stragglers",
+        straggler=StragglerSpec(distribution="lognormal", sigma=0.6, prob=0.5),
+        seed=2021,
+    ),
+    "preemption": FaultScenario(
+        name="preemption",
+        straggler=StragglerSpec(distribution="lognormal", sigma=0.2, prob=0.15),
+        preemption=PreemptionSpec(mtbf=3600.0, downtime=120.0),
+        seed=2021,
+    ),
+}
+
+
+def scenario_preset_names() -> Tuple[str, ...]:
+    """The registered scenario preset names, in registration order."""
+    return tuple(SCENARIO_PRESETS)
+
+
+def named_scenario(name: str) -> FaultScenario:
+    """Look up a scenario preset by name (exact match)."""
+    try:
+        return SCENARIO_PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIO_PRESETS))
+        raise KeyError(f"unknown fault scenario {name!r}; choose from: {known}") from None

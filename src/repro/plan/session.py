@@ -18,10 +18,16 @@ resolved :class:`~repro.plan.plan.Plan` artifacts and simulated
 ``collective`` axis picks the collective algorithm the profile is
 derived with.
 
+An optional :class:`~repro.faults.FaultScenario` makes the session
+price iterations under that scenario's straggler perturbation (seeded
+at ``scenario.seed``) instead of the noise-free nominal durations; the
+default ``scenario=None`` is bit-identical to the pre-fault behaviour.
+
 Plans and results are memoized in module-level LRU caches keyed on
-``(model spec, strategy, profile)`` and shared across Session
-instances, so sweeps that revisit the same cell (tab3/fig9/fig13 all
-price SPD-KFAC on the paper profile) simulate it once.
+``(model spec, strategy, profile, scenario digest)`` and shared across
+Session instances, so sweeps that revisit the same cell (tab3/fig9/
+fig13 all price SPD-KFAC on the paper profile) simulate it once, and
+scenario-aware sessions never collide with nominal ones.
 """
 
 from __future__ import annotations
@@ -58,7 +64,7 @@ ClusterLike = Union[None, int, ClusterPerfProfile, ClusterTopology]
 ResultLike = Union[IterationResult, AmortizedIterationResult]
 
 _CACHE_MAXSIZE = 128
-_CacheKey = Tuple[ModelSpec, TrainingStrategy, ClusterPerfProfile]
+_CacheKey = Tuple[ModelSpec, TrainingStrategy, ClusterPerfProfile, Optional[str]]
 #: One atomic (plan, result) entry per key: planning and simulation are
 #: memoized together so eviction can never leave one without the other.
 _CACHE: "OrderedDict[_CacheKey, Tuple[Plan, ResultLike]]" = OrderedDict()
@@ -233,11 +239,28 @@ class Session:
     True
     """
 
-    def __init__(self, model: Union[str, ModelSpec], cluster: ClusterLike = None):
+    def __init__(
+        self,
+        model: Union[str, ModelSpec],
+        cluster: ClusterLike = None,
+        scenario=None,
+    ):
         self._spec = model if isinstance(model, ModelSpec) else get_model_spec(model)
         self._topology: Optional[ClusterTopology] = None
         self._profile: Optional[ClusterPerfProfile] = None
         self._topology_profiles: Dict[str, ClusterPerfProfile] = {}
+        self._scenario = None
+        if scenario is not None:
+            # Local import: repro.faults builds on repro.plan (elastic
+            # replanning reuses Session), so plan cannot import it at
+            # module scope.
+            from repro.faults.scenario import FaultScenario
+
+            if not isinstance(scenario, FaultScenario):
+                raise TypeError(
+                    f"scenario must be a FaultScenario, got {type(scenario).__name__}"
+                )
+            self._scenario = scenario
         if cluster is None:
             self._profile = paper_cluster_profile()
         elif isinstance(cluster, bool):
@@ -267,6 +290,35 @@ class Session:
         return self._topology
 
     @property
+    def scenario(self):
+        """The fault scenario this session prices under (None = nominal)."""
+        return self._scenario
+
+    def _scenario_digest(self) -> Optional[str]:
+        return None if self._scenario is None else self._scenario.digest()
+
+    def _run_phases(self, graphs, strategy: TrainingStrategy) -> ResultLike:
+        """Price phase graphs nominally or under this session's scenario."""
+        if self._scenario is None:
+            return run_phase_iterations(
+                graphs,
+                strategy.name,
+                self._spec.name,
+                strategy.factor_update_interval,
+                strategy.inverse_update_interval,
+            )
+        from repro.faults.perturb import run_faulted_phase_iterations
+
+        return run_faulted_phase_iterations(
+            graphs,
+            strategy.name,
+            self._spec.name,
+            strategy.factor_update_interval,
+            strategy.inverse_update_interval,
+            scenario=self._scenario,
+        )
+
+    @property
     def num_workers(self) -> int:
         """The cluster size this session plans for."""
         if self._topology is not None:
@@ -293,7 +345,7 @@ class Session:
 
     def _plan_and_result(self, strategy: TrainingStrategy) -> Tuple[Plan, ResultLike]:
         profile = self.profile_for(strategy)
-        key = (self._spec, strategy, profile)
+        key = (self._spec, strategy, profile, self._scenario_digest())
         cached = _cache_get(key)
         if cached is not None:
             _CACHE_STATS["hits"] += 1
@@ -312,13 +364,7 @@ class Session:
             fplan=fplan,
             placement=placement,
         )
-        result = run_phase_iterations(
-            graphs,
-            strategy.name,
-            self._spec.name,
-            strategy.factor_update_interval,
-            strategy.inverse_update_interval,
-        )
+        result = self._run_phases(graphs, strategy)
         plan = Plan(
             strategy=strategy,
             model=self._spec.name,
@@ -364,7 +410,7 @@ class Session:
                     f"Session({self._spec.name!r}, {plan.num_ranks})) or "
                     "simulate plan.build_phase_graphs() directly"
                 )
-            key = (self._spec, plan.strategy, plan.profile)
+            key = (self._spec, plan.strategy, plan.profile, self._scenario_digest())
             cached = _cache_get(key)
             # The cached result only stands in for this plan if the plan
             # *values* match — a hand-edited or replaced Plan with the
@@ -382,13 +428,7 @@ class Session:
                 fplan=plan.factor_plan,
                 placement=plan.placement,
             )
-            result = run_phase_iterations(
-                graphs,
-                plan.strategy.name,
-                self._spec.name,
-                plan.strategy.factor_update_interval,
-                plan.strategy.inverse_update_interval,
-            )
+            result = self._run_phases(graphs, plan.strategy)
             # Not cached under the strategy key: only plans this Session
             # resolved itself are canonical for (strategy, profile), and a
             # foreign plan's parts may differ from what resolution gives.
@@ -431,4 +471,7 @@ class Session:
             cluster = f"topology={self._topology.name!r}"
         else:
             cluster = f"num_workers={self._profile.num_workers}"
-        return f"Session(model={self._spec.name!r}, {cluster})"
+        scenario = ""
+        if self._scenario is not None:
+            scenario = f", scenario={self._scenario.name!r}"
+        return f"Session(model={self._spec.name!r}, {cluster}{scenario})"

@@ -20,7 +20,7 @@ mismatched collective orders) exactly.
 """
 
 from repro.sim.task import GraphColumns, Phase, SimTask, TaskGraph, COMPUTE, COMM
-from repro.sim.engine import DeadlockError, simulate, simulate_many
+from repro.sim.engine import DeadlockError, simulate, simulate_batch, simulate_many
 from repro.sim.timeline import Breakdown, Timeline, TimelineEntry
 from repro.sim.analysis import (
     amortized_makespan,
@@ -38,6 +38,7 @@ __all__ = [
     "COMPUTE",
     "COMM",
     "simulate",
+    "simulate_batch",
     "simulate_many",
     "DeadlockError",
     "Timeline",

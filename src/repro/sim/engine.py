@@ -10,14 +10,23 @@ nodes, and each wave's start times, end times and indegree updates are
 single vectorized numpy operations over the graph's flat CSR arrays —
 no per-task Python objects are touched on this path.
 
+The wave decomposition depends only on the graph topology, never on task
+durations, so it is computed once per graph (and cached) and then priced
+against any duration vector.  Fault injection exploits this:
+:func:`simulate` accepts an optional ``durations`` override, and
+:func:`simulate_batch` prices a whole matrix of perturbed duration
+samples against the same cached wave plan in one pass per wave.
+
 If the combined graph has a cycle — e.g. two ranks enqueue the same two
 collectives in opposite orders, the classic NCCL deadlock — the engine
-raises :class:`DeadlockError` naming the tasks involved.
+raises :class:`DeadlockError` naming the tasks involved and, for each,
+the unresolved dependencies it was waiting on.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Tuple
+import weakref
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -26,17 +35,38 @@ from repro.sim.timeline import Timeline
 
 
 class DeadlockError(RuntimeError):
-    """The task graph cannot be scheduled: cyclic wait between streams."""
+    """The task graph cannot be scheduled: cyclic wait between streams.
 
-    def __init__(self, stuck_task_names: List[str]):
+    ``stuck_task_names`` lists every task that never became ready;
+    ``blocked_on`` maps each stuck task name to the names of the
+    unresolved dependencies it was still waiting on (its incoming edges
+    from other stuck tasks), so the cycle itself is visible in the error
+    rather than just its membership.
+    """
+
+    def __init__(
+        self,
+        stuck_task_names: List[str],
+        blocked_on: Optional[Dict[str, Tuple[str, ...]]] = None,
+    ):
         preview = ", ".join(stuck_task_names[:8])
         if len(stuck_task_names) > 8:
             preview += f", ... ({len(stuck_task_names)} total)"
-        super().__init__(
+        message = (
             "scheduling deadlock: cyclic wait between dependency order and "
             f"stream FIFO order involving tasks [{preview}]"
         )
+        if blocked_on:
+            waits = "; ".join(
+                f"{name} <- ({', '.join(deps)})"
+                for name, deps in list(blocked_on.items())[:8]
+                if deps
+            )
+            if waits:
+                message += f"; blocked on: {waits}"
+        super().__init__(message)
         self.stuck_task_names = stuck_task_names
+        self.blocked_on: Dict[str, Tuple[str, ...]] = dict(blocked_on or {})
 
 
 def _ragged_take(
@@ -92,35 +122,32 @@ def _csr_from_edges(
     return indptr, values[order]
 
 
-def simulate(graph: TaskGraph) -> Timeline:
-    """Schedule ``graph`` and return its :class:`Timeline`.
+def _build_waves(graph: TaskGraph) -> List[Tuple[np.ndarray, ...]]:
+    """Topologically decompose ``graph`` into duration-independent waves.
 
-    Raises :class:`DeadlockError` when the dependency order conflicts with
-    some stream's FIFO order.
+    Each wave is ``(frontier, preds, rows_with_preds, seg_offsets)``:
+    the tasks resolved in that wave, the concatenated predecessor ids of
+    the frontier, the subset of the frontier that has predecessors, and
+    the reduceat segment offsets into ``preds``.  Raises
+    :class:`DeadlockError` (with blocked-on dependency names) when the
+    combined graph is cyclic.
     """
     cols = graph.columns()
     n = cols.n
-    if n == 0:
-        return Timeline.from_schedule(graph, np.empty(0), np.empty(0))
-
     pred, succ = _combined_edges(graph)
     pred_indptr, pred_flat = _csr_from_edges(succ, pred, n)  # preds grouped by task
     succ_indptr, succ_flat = _csr_from_edges(pred, succ, n)  # succs grouped by task
     indegree = pred_indptr[1:] - pred_indptr[:-1]  # fresh array, mutated below
 
-    durations = cols.durations
-    start = np.zeros(n)
-    end = np.zeros(n)
+    waves: List[Tuple[np.ndarray, ...]] = []
     resolved = 0
     frontier = np.flatnonzero(indegree == 0)
     while frontier.size:
         resolved += frontier.size
         preds, counts = _ragged_take(pred_indptr, pred_flat, frontier)
-        if preds.size:
-            has = counts > 0
-            seg_offsets = (np.cumsum(counts) - counts)[has]
-            start[frontier[has]] = np.maximum.reduceat(end[preds], seg_offsets)
-        end[frontier] = start[frontier] + durations[frontier]
+        has = counts > 0
+        seg_offsets = (np.cumsum(counts) - counts)[has]
+        waves.append((frontier, preds, frontier[has], seg_offsets))
         succs, _ = _ragged_take(succ_indptr, succ_flat, frontier)
         if succs.size == 0:
             break
@@ -129,21 +156,155 @@ def simulate(graph: TaskGraph) -> Timeline:
         frontier = candidates[indegree[candidates] == 0]
 
     if resolved != n:
-        stuck = [graph.task_name(int(tid)) for tid in np.flatnonzero(indegree > 0)]
-        raise DeadlockError(stuck)
+        stuck_ids = np.flatnonzero(indegree > 0)
+        stuck_set = set(int(t) for t in stuck_ids)
+        stuck = [graph.task_name(int(tid)) for tid in stuck_ids]
+        blocked_on: Dict[str, Tuple[str, ...]] = {}
+        for tid in stuck_ids:
+            row = pred_flat[pred_indptr[tid] : pred_indptr[tid + 1]]
+            waiting: List[str] = []
+            for p in row:
+                if int(p) in stuck_set:
+                    name = graph.task_name(int(p))
+                    if name not in waiting:
+                        waiting.append(name)
+            blocked_on[graph.task_name(int(tid))] = tuple(waiting)
+        raise DeadlockError(stuck, blocked_on)
 
+    return waves
+
+
+# Wave plans cached per graph; invalidated by identity-checking the
+# columns snapshot, which TaskGraph rebuilds whenever tasks are appended.
+_WAVES_CACHE: "weakref.WeakKeyDictionary[TaskGraph, Tuple[object, List[Tuple[np.ndarray, ...]]]]"
+_WAVES_CACHE = weakref.WeakKeyDictionary()
+
+
+def _waves(graph: TaskGraph) -> List[Tuple[np.ndarray, ...]]:
+    cols = graph.columns()
+    cached = _WAVES_CACHE.get(graph)
+    if cached is not None and cached[0] is cols:
+        return cached[1]
+    waves = _build_waves(graph)
+    try:
+        _WAVES_CACHE[graph] = (cols, waves)
+    except TypeError:  # pragma: no cover - non-weakrefable graph subclass
+        pass
+    return waves
+
+
+def _resolve_durations(graph: TaskGraph, durations) -> np.ndarray:
+    cols = graph.columns()
+    if durations is None:
+        return cols.durations
+    arr = np.asarray(durations, dtype=np.float64)
+    if arr.shape != (cols.n,):
+        raise ValueError(
+            f"durations must have shape ({cols.n},) to match the graph, "
+            f"got {arr.shape}"
+        )
+    return arr
+
+
+def simulate(graph: TaskGraph, durations: Optional[np.ndarray] = None) -> Timeline:
+    """Schedule ``graph`` and return its :class:`Timeline`.
+
+    ``durations``, when given, overrides the per-task durations stored in
+    the graph (same order as ``graph.tasks``) without mutating it — this
+    is how fault scenarios price straggler-perturbed iterations against
+    the unmodified graph.  Raises :class:`DeadlockError` when the
+    dependency order conflicts with some stream's FIFO order.
+    """
+    cols = graph.columns()
+    n = cols.n
+    if n == 0:
+        return Timeline.from_schedule(graph, np.empty(0), np.empty(0))
+    dur = _resolve_durations(graph, durations)
+
+    start = np.zeros(n)
+    end = np.zeros(n)
+    for frontier, preds, rows, seg_offsets in _waves(graph):
+        if preds.size:
+            start[rows] = np.maximum.reduceat(end[preds], seg_offsets)
+        end[frontier] = start[frontier] + dur[frontier]
     return Timeline.from_schedule(graph, start, end)
 
 
-def simulate_many(graphs: Iterable[TaskGraph]) -> List[Timeline]:
+def simulate_batch(graph: TaskGraph, durations: np.ndarray) -> List[Timeline]:
+    """Schedule one graph under many duration samples in a single pass.
+
+    ``durations`` is an ``(S, n)`` matrix — one row per sample.  The wave
+    decomposition is computed once and every wave's start/end update runs
+    vectorized across the whole sample axis, so pricing S fault-scenario
+    samples costs one scheduling pass instead of S.  Each row's timeline
+    is bit-identical to ``simulate(graph, durations[s])``.
+    """
+    cols = graph.columns()
+    n = cols.n
+    dur = np.asarray(durations, dtype=np.float64)
+    if dur.ndim != 2 or dur.shape[1] != n:
+        raise ValueError(
+            f"durations must have shape (samples, {n}) to match the graph, "
+            f"got {dur.shape}"
+        )
+    num_samples = dur.shape[0]
+    if num_samples == 0:
+        return []
+    if n == 0:
+        empty = np.empty(0)
+        return [Timeline.from_schedule(graph, empty, empty) for _ in range(num_samples)]
+
+    start = np.zeros((num_samples, n))
+    end = np.zeros((num_samples, n))
+    for frontier, preds, rows, seg_offsets in _waves(graph):
+        if preds.size:
+            start[:, rows] = np.maximum.reduceat(end[:, preds], seg_offsets, axis=1)
+        end[:, frontier] = start[:, frontier] + dur[:, frontier]
+    return [
+        Timeline.from_schedule(graph, start[s].copy(), end[s].copy())
+        for s in range(num_samples)
+    ]
+
+
+def simulate_many(
+    graphs: Iterable[TaskGraph],
+    durations: Optional[Sequence[Optional[np.ndarray]]] = None,
+) -> List[Timeline]:
     """Schedule a batch of graphs and return one :class:`Timeline` each.
 
     Sweep drivers (Fig. 9/13, the scaling extension) simulate hundreds of
     independent iteration graphs; this is the batch entry point so they
-    make one call per sweep instead of one per cell.  Scheduling is
-    embarrassingly parallel across graphs — each is a single vectorized
-    :func:`simulate` pass — so the batch API is a thin loop today, but it
-    gives callers one place that a future parallel backend can accelerate
-    without touching call sites.
+    make one call per sweep instead of one per cell.  ``durations``, when
+    given, supplies one per-graph duration override (or ``None``) per
+    entry.  Consecutive entries that reference the *same* graph object
+    with overrides are priced together through :func:`simulate_batch`, so
+    a fault sweep of S samples over one graph is a single batched
+    scheduling pass.
     """
-    return [simulate(graph) for graph in graphs]
+    graph_list = list(graphs)
+    if durations is None:
+        return [simulate(graph) for graph in graph_list]
+    dur_list = list(durations)
+    if len(dur_list) != len(graph_list):
+        raise ValueError(
+            f"durations must have one entry per graph: "
+            f"{len(dur_list)} != {len(graph_list)}"
+        )
+    out: List[Optional[Timeline]] = [None] * len(graph_list)
+    i = 0
+    while i < len(graph_list):
+        j = i + 1
+        while (
+            j < len(graph_list)
+            and graph_list[j] is graph_list[i]
+            and dur_list[j] is not None
+            and dur_list[i] is not None
+        ):
+            j += 1
+        if j - i > 1:
+            stacked = np.stack([np.asarray(d, dtype=np.float64) for d in dur_list[i:j]])
+            out[i:j] = simulate_batch(graph_list[i], stacked)
+        else:
+            out[i] = simulate(graph_list[i], dur_list[i])
+        i = j
+    return out  # type: ignore[return-value]

@@ -49,6 +49,15 @@ class TestExamples:
         assert "Optimal tensor fusion" in result.stdout
         assert "LBP" in result.stdout
 
+    def test_elastic_training(self):
+        result = run_script(EXAMPLES / "elastic_training.py")
+        assert result.returncode == 0, result.stderr
+        assert "nominal best:" in result.stdout
+        assert "robust best:" in result.stdout
+        assert "Young/Daly optimal" in result.stdout
+        assert "break-even after" in result.stdout
+        assert "1 transition(s)" in result.stdout
+
 
 class TestExperimentsCli:
     def test_single_fast_experiments(self):
@@ -183,6 +192,33 @@ class TestAutotuneCli:
             "--gpus", "8", "--topology", "flat",
         )
         assert result.returncode != 0
+
+    def test_autotune_scenario_prints_robust_columns(self):
+        result = run_script(
+            "-m", "repro.experiments", "autotune", "ResNet-50", "--gpus", "8",
+            "--scenario", "stragglers", "--samples", "4", "--top", "3",
+        )
+        assert result.returncode == 0, result.stderr
+        assert "objective: p95 over 4 samples" in result.stdout
+        assert "p95(s)" in result.stdout
+        assert "s p95" in result.stdout
+
+    def test_autotune_unknown_scenario_fails_cleanly(self):
+        result = run_script(
+            "-m", "repro.experiments", "autotune", "ResNet-50", "--gpus", "8",
+            "--scenario", "asteroids",
+        )
+        assert result.returncode == 2
+        assert "unknown fault scenario" in result.stderr
+        assert "Traceback" not in result.stderr
+
+    def test_autotune_objective_without_scenario_fails_cleanly(self):
+        result = run_script(
+            "-m", "repro.experiments", "autotune", "ResNet-50", "--gpus", "8",
+            "--objective", "p95",
+        )
+        assert result.returncode == 2
+        assert "needs a fault scenario" in result.stderr
 
 
 @pytest.mark.parametrize("experiment_id", ["tab2", "fig3", "fig7", "fig11"])

@@ -1,0 +1,89 @@
+"""The ext_elastic experiment: frozen rows + divergence guarantees.
+
+``tests/data/frozen_ext_elastic_rows.json`` pins the full 36-cell sweep
+(4 models x 3 topologies x 3 fault scenarios) bit-exactly, floats
+stored as ``float.hex``.  The live run here prices only a subset
+(2 models x severe-stragglers x all topologies) to keep the suite fast;
+cells are independent, so the subset must match the corresponding
+frozen cells bit-for-bit.  To regenerate after an *intentional*
+cost-model or scenario-preset change::
+
+    PYTHONPATH=src python - <<'PY'
+    import json
+    from repro.experiments.base import get_experiment
+    result = get_experiment("ext_elastic").run()
+    rows = [{k: (float.hex(v) if isinstance(v, float) else v)
+             for k, v in row.items()} for row in result.rows]
+    payload = {"ext_elastic": {"columns": list(result.columns), "rows": rows}}
+    with open("tests/data/frozen_ext_elastic_rows.json", "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True); f.write("\n")
+    PY
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.base import get_experiment
+from repro.experiments.ext_elastic import FAULT_SCENARIOS, TOPOLOGY_NAMES
+
+FROZEN_PATH = Path(__file__).parent / "data" / "frozen_ext_elastic_rows.json"
+
+#: The cells the live run re-prices (every severe-stragglers cell of two
+#: models); the frozen file additionally holds the other scenarios/models.
+SUBSET_MODELS = ("ResNet-50", "ResNet-152")
+SUBSET_SCENARIOS = ("severe-stragglers",)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return get_experiment("ext_elastic").run(
+        models=SUBSET_MODELS, scenarios=SUBSET_SCENARIOS
+    )
+
+
+def load_frozen():
+    with open(FROZEN_PATH) as f:
+        return json.load(f)["ext_elastic"]
+
+
+def test_subset_rows_identical_to_frozen_snapshot(result):
+    frozen = load_frozen()
+    assert list(result.columns) == frozen["columns"]
+    expected = [
+        row
+        for row in frozen["rows"]
+        if row["model"] in SUBSET_MODELS and row["scenario"] in SUBSET_SCENARIOS
+    ]
+    normalized = [
+        {k: (float.hex(v) if isinstance(v, float) else v) for k, v in row.items()}
+        for row in result.rows
+    ]
+    assert normalized == expected
+
+
+def test_frozen_sweep_covers_full_grid_and_finds_divergence():
+    """The frozen full sweep has every cell and >= 1 nominal/robust flip."""
+    frozen = load_frozen()
+    rows = frozen["rows"]
+    assert len(rows) == 4 * len(TOPOLOGY_NAMES) * len(FAULT_SCENARIOS)
+    differing = [r for r in rows if r["differs"]]
+    assert differing, "fault-aware autotuning never changed a decision"
+    for row in differing:
+        assert row["nominal_best"] != row["robust_best"]
+    # severe straggling flips the placement axis on every topology.
+    severe = [r for r in rows if r["scenario"] == "severe-stragglers"]
+    assert severe and all(r["differs"] for r in severe)
+
+
+def test_perturbed_tail_never_beats_nominal(result):
+    """p95 over factor>=1 samples can only be slower than noise-free."""
+    for row in result.rows:
+        assert row["p95(s)"] >= row["time(s)"] > 0
+
+
+def test_live_subset_reports_divergence(result):
+    assert any(row["differs"] for row in result.rows)
+    note = " ".join(result.notes)
+    assert "breaks even" in note and "p95-robust-optimal" in note

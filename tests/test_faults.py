@@ -1,0 +1,414 @@
+"""Tests for :mod:`repro.faults`: scenarios, perturbation, checkpoints,
+elastic transitions, and scenario-aware Sessions.
+
+The load-bearing invariants: straggler factors are clamped >= 1 (so
+perturbed durations only grow and nominal lower bounds stay sound),
+all sampling is bit-reproducible from the scenario seed, and the
+analytic Young/Daly checkpoint optimum actually minimizes both the
+expected-overhead formula and the seeded Monte-Carlo wall-clock.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import (
+    CheckpointPolicy,
+    FaultEvent,
+    FaultScenario,
+    PreemptionSpec,
+    StragglerSpec,
+    checkpoint_write_cost,
+    default_policy,
+    expected_overhead_rate,
+    named_scenario,
+    optimal_checkpoint_interval,
+    perturb_durations,
+    perturb_durations_many,
+    price_elastic_run,
+    price_events,
+    replan,
+    sample_makespans,
+    scenario_overhead_rate,
+    scenario_preset_names,
+    simulate_checkpoint_run,
+    simulate_faulted,
+    simulate_faulted_many,
+    straggler_factors,
+    transition_time,
+    transition_traffic,
+)
+from repro.faults.elastic import (
+    FACTOR_STATE_SYNC,
+    INVERSE_REPLACEMENT,
+    PARAM_REDISTRIBUTION,
+)
+from repro.models import get_model_spec
+from repro.perf import paper_cluster_profile
+from repro.plan import Session, strategy_registry
+from repro.sim import Phase, TaskGraph, simulate, simulate_many
+from repro.topo import named_topology
+
+JITTER = FaultScenario(
+    name="jitter", straggler=StragglerSpec(sigma=0.5, prob=1.0), seed=7
+)
+
+
+def demo_graph(num_ranks: int = 4) -> TaskGraph:
+    """Per-rank compute of distinct lengths feeding one allreduce."""
+    g = TaskGraph(num_ranks)
+    comp = [
+        g.add_compute(f"fwd{r}", Phase.FORWARD, r, 1.0 + 0.1 * r)
+        for r in range(num_ranks)
+    ]
+    g.add_collective("ar", Phase.GRAD_COMM, list(range(num_ranks)), 0.5, deps=comp)
+    return g
+
+
+class TestScenarioValidation:
+    def test_unknown_distribution(self):
+        with pytest.raises(ValueError, match="distribution"):
+            StragglerSpec(distribution="cauchy")
+
+    def test_sigma_and_prob_bounds(self):
+        with pytest.raises(ValueError, match="sigma"):
+            StragglerSpec(sigma=0.0)
+        with pytest.raises(ValueError, match="prob"):
+            StragglerSpec(prob=0.0)
+        with pytest.raises(ValueError, match="prob"):
+            StragglerSpec(prob=1.5)
+
+    def test_event_bounds(self):
+        with pytest.raises(ValueError, match="rank"):
+            FaultEvent(rank=-1, time=1.0, downtime=1.0)
+        with pytest.raises(ValueError, match="time"):
+            FaultEvent(rank=0, time=-1.0, downtime=1.0)
+        with pytest.raises(ValueError, match="downtime"):
+            FaultEvent(rank=0, time=1.0, downtime=-1.0)
+
+    def test_preemption_bounds(self):
+        with pytest.raises(ValueError, match="mtbf"):
+            PreemptionSpec(mtbf=0.0)
+        with pytest.raises(ValueError, match="downtime"):
+            PreemptionSpec(mtbf=1.0, downtime=-1.0)
+
+    def test_scenario_name_and_event_types(self):
+        with pytest.raises(ValueError, match="name"):
+            FaultScenario(name="")
+        with pytest.raises(TypeError, match="FaultEvent"):
+            FaultScenario(events=({"rank": 0},))
+
+    def test_sample_seeds_negative_count(self):
+        with pytest.raises(ValueError, match="count"):
+            FaultScenario().sample_seeds(-1)
+
+
+class TestScenarioIdentity:
+    def test_digest_is_stable_and_content_addressed(self):
+        a = named_scenario("preemption")
+        assert a.digest() == named_scenario("preemption").digest()
+        assert len(a.digest()) == 16
+        import dataclasses
+
+        assert a.digest() != dataclasses.replace(a, seed=a.seed + 1).digest()
+
+    def test_dict_roundtrip_preserves_digest(self):
+        scenario = FaultScenario(
+            name="full",
+            straggler=StragglerSpec("uniform", sigma=0.3, prob=0.5),
+            events=(FaultEvent(2, 100.0, 30.0),),
+            preemption=PreemptionSpec(mtbf=1800.0),
+            seed=11,
+        )
+        clone = FaultScenario.from_dict(scenario.to_dict())
+        assert clone == scenario
+        assert clone.digest() == scenario.digest()
+
+    def test_sample_seeds_deterministic(self):
+        scenario = FaultScenario(seed=42)
+        assert scenario.sample_seeds(8) == scenario.sample_seeds(8)
+        assert scenario.sample_seeds(8) != FaultScenario(seed=43).sample_seeds(8)
+
+    def test_presets_resolve(self):
+        for name in scenario_preset_names():
+            assert named_scenario(name).name == name
+        with pytest.raises(KeyError, match="unknown fault scenario"):
+            named_scenario("meteor-strike")
+
+    def test_describe_mentions_components(self):
+        text = named_scenario("preemption").describe()
+        assert "stragglers" in text and "preemption" in text and "seed=2021" in text
+        assert "no faults" in FaultScenario().describe()
+
+
+class TestPerturbation:
+    def test_factors_clamped_at_one(self):
+        for seed in range(20):
+            factors = straggler_factors(JITTER, 16, seed)
+            assert factors.shape == (16,)
+            assert np.all(factors >= 1.0)
+
+    def test_no_straggler_spec_is_identity(self):
+        g = demo_graph()
+        scenario = FaultScenario(name="calm")
+        assert np.all(straggler_factors(scenario, 4) == 1.0)
+        np.testing.assert_array_equal(
+            perturb_durations(g, scenario), g.columns().durations
+        )
+
+    def test_comm_untouched_compute_scaled_by_own_rank(self):
+        g = demo_graph(4)
+        factors = straggler_factors(JITTER, 4)
+        perturbed = perturb_durations(g, JITTER)
+        cols = g.columns()
+        for tid, task in enumerate(g.tasks):
+            if cols.is_comm[tid]:
+                assert perturbed[tid] == cols.durations[tid]
+            else:
+                (rank,) = task.ranks
+                assert perturbed[tid] == cols.durations[tid] * factors[rank]
+
+    def test_bit_reproducible_and_seed_sensitive(self):
+        g = demo_graph()
+        a = perturb_durations(g, JITTER, seed=1)
+        b = perturb_durations(g, JITTER, seed=1)
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a, perturb_durations(g, JITTER, seed=2))
+
+    def test_many_matches_single_sample_rows(self):
+        g = demo_graph()
+        seeds = JITTER.sample_seeds(5)
+        matrix = perturb_durations_many(g, JITTER, seeds)
+        assert matrix.shape == (5, len(g.tasks))
+        for row, seed in zip(matrix, seeds):
+            np.testing.assert_array_equal(row, perturb_durations(g, JITTER, seed))
+
+    def test_batched_timelines_match_unbatched(self):
+        g = demo_graph()
+        seeds = JITTER.sample_seeds(4)
+        batched = simulate_faulted_many(g, JITTER, seeds)
+        for timeline, seed in zip(batched, seeds):
+            single = simulate_faulted(g, JITTER, seed)
+            assert timeline.makespan == single.makespan
+            for a, b in zip(timeline.entries, single.entries):
+                assert a == b
+
+    def test_perturbed_makespans_dominate_nominal(self):
+        g = demo_graph()
+        nominal = simulate(g).makespan
+        times = sample_makespans(g, JITTER, JITTER.sample_seeds(16))
+        assert np.all(times >= nominal)
+
+    def test_empty_seed_list(self):
+        g = demo_graph()
+        assert simulate_faulted_many(g, JITTER, []) == []
+        assert perturb_durations_many(g, JITTER, []).shape == (0, len(g.tasks))
+
+    @given(
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_fixed_seed_bit_identical_everywhere(self, seed, nsamples):
+        """ISSUE 6 satellite: a fixed-seed scenario yields bit-identical
+        perturbed durations and timelines across repeated runs and across
+        the simulate / simulate_many code paths."""
+        import dataclasses
+
+        scenario = dataclasses.replace(JITTER, seed=seed)
+        g = demo_graph()
+        seeds = scenario.sample_seeds(nsamples)
+        durations = perturb_durations_many(g, scenario, seeds)
+        np.testing.assert_array_equal(
+            durations, perturb_durations_many(g, scenario, seeds)
+        )
+        singles = [simulate(g, row) for row in durations]
+        many = simulate_many([g] * nsamples, list(durations))
+        batched = simulate_faulted_many(g, scenario, seeds)
+        for single, grouped, batch in zip(singles, many, batched):
+            assert single.makespan == grouped.makespan == batch.makespan
+            assert single.entries == grouped.entries == batch.entries
+
+
+class TestCheckpoint:
+    def test_policy_validation(self):
+        with pytest.raises(ValueError, match="interval"):
+            CheckpointPolicy(interval=0.0, write_cost=1.0)
+        with pytest.raises(ValueError, match="write_cost"):
+            CheckpointPolicy(interval=1.0, write_cost=-1.0)
+        assert CheckpointPolicy(1.0, 0.5).effective_restore_cost == 0.5
+        assert CheckpointPolicy(1.0, 0.5, restore_cost=2.0).effective_restore_cost == 2.0
+
+    def test_analytic_optimum_minimizes_overhead_rate(self):
+        preemption = PreemptionSpec(mtbf=3600.0, downtime=60.0)
+        write = 12.0
+        tau_star = optimal_checkpoint_interval(write, preemption.mtbf)
+        assert tau_star == math.sqrt(2.0 * write * preemption.mtbf)
+        best = expected_overhead_rate(CheckpointPolicy(tau_star, write), preemption)
+        for tau in np.linspace(tau_star / 10, tau_star * 10, 500):
+            rate = expected_overhead_rate(CheckpointPolicy(float(tau), write), preemption)
+            assert rate >= best - 1e-12
+
+    def test_price_events_arithmetic(self):
+        policy = CheckpointPolicy(interval=3.0, write_cost=0.1, restore_cost=0.2)
+        events = [FaultEvent(0, 7.0, 30.0), FaultEvent(1, 2.0, 10.0)]
+        report = price_events(10.0, events, policy)
+        assert report.checkpoint_time == pytest.approx(3 * 0.1)
+        assert report.lost_work == pytest.approx((7.0 % 3.0) + (2.0 % 3.0))
+        assert report.downtime == pytest.approx(40.0)
+        assert report.restore_time == pytest.approx(2 * 0.2)
+        assert report.total_time == pytest.approx(
+            10.0 + 0.3 + 3.0 + 40.0 + 0.4
+        )
+        assert report.overhead == pytest.approx(report.total_time / 10.0 - 1.0)
+
+    def test_price_events_ignores_events_past_the_run(self):
+        policy = CheckpointPolicy(interval=5.0, write_cost=0.1)
+        report = price_events(10.0, [FaultEvent(0, 10.0, 99.0)], policy)
+        assert report.downtime == 0.0 and report.lost_work == 0.0
+
+    def test_write_cost_from_topology_and_profile(self):
+        topo = named_topology("multi-rack")
+        params = get_model_spec("ResNet-50").num_params
+        link = topo.bottleneck_link()
+        expected = link.latency + params * 4 / link.bandwidth
+        assert checkpoint_write_cost(topo, params) == pytest.approx(expected)
+        profile = paper_cluster_profile()
+        assert checkpoint_write_cost(profile, params) == pytest.approx(
+            profile.broadcast_streamed.time(params)
+        )
+        with pytest.raises(TypeError, match="cluster"):
+            checkpoint_write_cost(object(), params)
+        with pytest.raises(ValueError, match="num_params"):
+            checkpoint_write_cost(topo, 0)
+
+    def test_scenario_overhead_rate(self):
+        topo = named_topology("flat")
+        params = get_model_spec("ResNet-50").num_params
+        assert scenario_overhead_rate(named_scenario("stragglers"), topo, params) == 0.0
+        rate = scenario_overhead_rate(named_scenario("preemption"), topo, params)
+        assert rate > 0.0
+
+    def test_monte_carlo_prefers_the_analytic_interval(self):
+        """Averaged over seeds, tau* beats both much-shorter and much-
+        longer checkpoint intervals on simulated wall-clock."""
+        preemption = PreemptionSpec(mtbf=3600.0, downtime=120.0)
+        write = 10.0
+        tau_star = optimal_checkpoint_interval(write, preemption.mtbf)
+        work = 50 * preemption.mtbf
+
+        def mean_wall(interval: float) -> float:
+            policy = CheckpointPolicy(interval, write)
+            return float(
+                np.mean(
+                    [
+                        simulate_checkpoint_run(work, policy, preemption, seed)
+                        for seed in range(10)
+                    ]
+                )
+            )
+
+        at_star = mean_wall(tau_star)
+        assert at_star < mean_wall(tau_star / 4)
+        assert at_star < mean_wall(tau_star * 4)
+        assert at_star > work  # overhead is never free
+
+    def test_monte_carlo_deterministic_per_seed(self):
+        policy = CheckpointPolicy(300.0, 10.0)
+        preemption = PreemptionSpec(mtbf=3600.0)
+        a = simulate_checkpoint_run(1e5, policy, preemption, seed=3)
+        assert a == simulate_checkpoint_run(1e5, policy, preemption, seed=3)
+
+    def test_default_policy_uses_young_daly(self):
+        topo = named_topology("flat")
+        params = get_model_spec("ResNet-50").num_params
+        preemption = PreemptionSpec(mtbf=3600.0)
+        policy = default_policy(topo, params, preemption)
+        assert policy.interval == pytest.approx(
+            optimal_checkpoint_interval(policy.write_cost, preemption.mtbf)
+        )
+
+
+class TestElastic:
+    def test_transition_traffic_components(self):
+        spec = get_model_spec("ResNet-50")
+        second = transition_traffic(spec, strategy_registry["SPD-KFAC"])
+        assert set(second.elements) == {
+            PARAM_REDISTRIBUTION,
+            FACTOR_STATE_SYNC,
+            INVERSE_REPLACEMENT,
+        }
+        assert second.elements[PARAM_REDISTRIBUTION] == spec.num_params
+        first = transition_traffic(spec, strategy_registry["S-SGD"])
+        assert set(first.elements) == {PARAM_REDISTRIBUTION}
+        assert first.total_bytes() < second.total_bytes()
+
+    def test_transition_time_positive(self):
+        spec = get_model_spec("ResNet-50")
+        traffic = transition_traffic(spec, strategy_registry["SPD-KFAC"])
+        assert transition_time(paper_cluster_profile(), traffic) > 0.0
+
+    def test_replan_grow_vs_shrink(self):
+        grow = replan("ResNet-50", "SPD-KFAC", 32, 64)
+        assert grow.old_world_size == 32 and grow.new_world_size == 64
+        assert grow.new_time < grow.old_time
+        assert math.isfinite(grow.break_even_iterations())
+        assert "break-even" in grow.describe()
+        shrink = replan("ResNet-50", "SPD-KFAC", 64, 32)
+        assert shrink.break_even_iterations() == math.inf
+        assert "no break-even" in shrink.describe()
+
+    def test_price_elastic_run(self):
+        report = price_elastic_run(
+            "ResNet-50", "SPD-KFAC", [(32, 100), (64, 100)]
+        )
+        assert len(report.transitions) == 1
+        assert report.segments[0][0] == 32 and report.segments[1][0] == 64
+        assert report.total_time == pytest.approx(
+            report.training_time + report.transition_time
+        )
+        assert report.training_time == pytest.approx(
+            100 * report.segments[0][2] + 100 * report.segments[1][2]
+        )
+        assert "2 " not in report.describe().splitlines()[0]
+        with pytest.raises(ValueError, match="non-empty"):
+            price_elastic_run("ResNet-50", "SPD-KFAC", [])
+        with pytest.raises(ValueError, match="iterations"):
+            price_elastic_run("ResNet-50", "SPD-KFAC", [(32, -1)])
+
+
+class TestSessionScenario:
+    def test_scenario_prices_slower_than_nominal(self):
+        topo = named_topology("flat")
+        nominal = Session("ResNet-50", topo).simulate("SPD-KFAC")
+        faulted = Session(
+            "ResNet-50", topo, scenario=named_scenario("severe-stragglers")
+        ).simulate("SPD-KFAC")
+        assert faulted.iteration_time >= nominal.iteration_time
+
+    def test_nominal_results_unchanged_by_scenario_runs(self):
+        """Scenario pricing must never leak into the nominal cache."""
+        topo = named_topology("flat")
+        before = Session("ResNet-50", topo).simulate("SPD-KFAC").iteration_time
+        Session(
+            "ResNet-50", topo, scenario=named_scenario("stragglers")
+        ).simulate("SPD-KFAC")
+        after = Session("ResNet-50", topo).simulate("SPD-KFAC").iteration_time
+        assert after == before
+
+    def test_scenario_pricing_is_deterministic(self):
+        scenario = named_scenario("stragglers")
+        a = Session("ResNet-50", 8, scenario=scenario).simulate("SPD-KFAC")
+        b = Session("ResNet-50", 8, scenario=scenario).simulate("SPD-KFAC")
+        assert a.iteration_time == b.iteration_time
+
+    def test_scenario_type_checked_and_shown_in_repr(self):
+        with pytest.raises(TypeError, match="scenario"):
+            Session("ResNet-50", 8, scenario="stragglers")
+        session = Session("ResNet-50", 8, scenario=named_scenario("stragglers"))
+        assert session.scenario is named_scenario("stragglers")
+        assert "scenario='stragglers'" in repr(session)
+        assert "scenario" not in repr(Session("ResNet-50", 8))

@@ -1,0 +1,247 @@
+"""Robust autotuning: sound pruning bounds, determinism, report surface.
+
+The central property (ISSUE 6): the jitter-adjusted lower bound of
+:func:`repro.autotune.scenario_adjusted_bound` must not exceed the
+simulated time of *any* perturbed sample — that is what keeps pruning
+sound when the tuner ranks by a tail objective instead of the nominal
+time.  Alongside it: common-random-number determinism (two identical
+robust searches produce byte-identical JSON) and the prune/no-prune
+verdict equivalence.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.autotune import (
+    ROBUST_OBJECTIVES,
+    AutotuneReport,
+    CandidateBound,
+    CandidateOutcome,
+    autotune,
+    candidate_bound,
+    candidate_sample_times,
+    pareto_frontier,
+    robust_value,
+    scenario_adjusted_bound,
+    strategy_grid,
+)
+from repro.autotune.robust import RobustStats
+from repro.faults import FaultScenario, StragglerSpec, named_scenario
+from repro.plan import Session, resolve_plan_parts, strategy_registry
+
+SAMPLES = 6
+
+
+@pytest.fixture(scope="module")
+def robust_report():
+    return autotune(
+        "ResNet-50", 8, scenario="stragglers", objective="p95", samples=SAMPLES
+    )
+
+
+class TestBoundSoundness:
+    def test_adjusted_bound_below_every_perturbed_sample(self):
+        """bound * min_factor * (1 + rate) <= every sampled time."""
+        session = Session("ResNet-50", 8)
+        spec = session.spec
+        scenario = named_scenario("severe-stragglers")
+        seeds = scenario.sample_seeds(SAMPLES)
+        for strategy in strategy_grid()[::7]:  # a spread of the grid
+            profile = session.profile_for(strategy)
+            parts = resolve_plan_parts(spec, profile, strategy)
+            num_ranks, grad_plan, fplan, placement = parts
+            bound = candidate_bound(
+                spec,
+                profile,
+                num_ranks=num_ranks,
+                grad_plan=grad_plan,
+                fplan=fplan,
+                placement=placement,
+                include_solve=strategy.include_solve,
+                strategy=strategy,
+            )
+            adjusted = scenario_adjusted_bound(bound, scenario)
+            times = candidate_sample_times(
+                spec,
+                profile,
+                strategy,
+                scenario,
+                seeds,
+                num_ranks=num_ranks,
+                grad_plan=grad_plan,
+                fplan=fplan,
+                placement=placement,
+            )
+            assert adjusted.total <= times.min() * (1 + 1e-12)
+            # factors are clamped >= 1, so the nominal bound itself holds too
+            assert bound.total <= times.min() * (1 + 1e-12)
+
+    def test_adjusted_bound_scales_by_overhead_rate(self):
+        bound = CandidateBound(compute=2.0, comm=3.0, chain=1.0)
+        scenario = FaultScenario(straggler=StragglerSpec(sigma=0.5))
+        adjusted = scenario_adjusted_bound(bound, scenario, overhead_rate=0.5)
+        assert adjusted.compute == pytest.approx(2.0 * 1.5)
+        assert adjusted.comm == pytest.approx(3.0 * 1.5)
+        assert adjusted.chain == pytest.approx(1.0 * 1.5)
+        with pytest.raises(ValueError, match="overhead_rate"):
+            scenario_adjusted_bound(bound, scenario, overhead_rate=-0.1)
+
+    def test_prune_never_changes_the_verdict(self, robust_report):
+        unpruned = autotune(
+            "ResNet-50",
+            8,
+            scenario="stragglers",
+            objective="p95",
+            samples=SAMPLES,
+            prune=False,
+        )
+        assert unpruned.stats["pruned"] == 0
+        assert robust_report.best.label == unpruned.best.label
+        assert robust_report.outcome_value(
+            robust_report.best
+        ) == unpruned.outcome_value(unpruned.best)
+
+    def test_pruned_candidates_could_not_have_won(self, robust_report):
+        best_value = robust_report.outcome_value(robust_report.best)
+        for outcome in robust_report.outcomes:
+            if outcome.status == "pruned":
+                assert outcome.robust is None
+                # the *nominal* bound already exceeds nothing it shouldn't:
+                # the adjusted bound used for pruning is >= this one.
+                assert outcome.bound.total * robust_report.scenario.min_compute_factor() >= 0
+
+        # every simulated candidate's objective value >= the winner's
+        for outcome in robust_report.outcomes:
+            value = robust_report.outcome_value(outcome)
+            if value is not None:
+                assert value >= best_value
+
+
+class TestRobustValues:
+    def test_summary_statistics_order(self):
+        times = [1.0, 2.0, 3.0, 4.0, 10.0]
+        assert robust_value(times, "mean") == pytest.approx(4.0)
+        assert robust_value(times, "worst") == 10.0
+        assert robust_value(times, "p95") <= robust_value(times, "worst")
+        assert robust_value(times, "cvar95") == 10.0  # worst 5% of 5 = 1 sample
+        stats = RobustStats.from_times(times)
+        assert stats.samples == 5
+        assert stats.best == 1.0
+        assert stats.mean <= stats.p95 <= stats.worst
+        assert stats.p95 <= stats.cvar95 <= stats.worst
+        for objective in ROBUST_OBJECTIVES[1:]:
+            assert stats.value(objective) == robust_value(times, objective)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            robust_value([], "mean")
+        with pytest.raises(ValueError, match="unknown robust objective"):
+            robust_value([1.0], "median")
+        with pytest.raises(ValueError, match="unknown robust objective"):
+            RobustStats.from_times([1.0]).value("nominal")
+
+
+class TestAutotuneRobustMode:
+    def test_deterministic_across_runs(self, robust_report):
+        again = autotune(
+            "ResNet-50", 8, scenario="stragglers", objective="p95", samples=SAMPLES
+        )
+        assert again.to_json() == robust_report.to_json()
+
+    def test_robust_values_dominate_nominal_times(self, robust_report):
+        for outcome in robust_report.outcomes:
+            if outcome.robust is not None:
+                assert outcome.robust.best >= outcome.iteration_time
+                assert outcome.robust.samples == SAMPLES
+
+    def test_ranked_by_objective_not_nominal(self, robust_report):
+        values = [
+            robust_report.outcome_value(o)
+            for o in robust_report.outcomes
+            if o.simulated
+        ]
+        assert values == sorted(values)
+
+    def test_report_surface(self, robust_report):
+        assert robust_report.objective == "p95"
+        assert robust_report.scenario.name == "stragglers"
+        assert set(robust_report.preset_values) == set(robust_report.preset_times)
+        text = robust_report.to_text()
+        assert "objective: p95" in text and "p95(s)" in text
+        payload = robust_report.to_dict()
+        assert payload["objective"] == "p95"
+        assert payload["scenario"]["name"] == "stragglers"
+        assert payload["best"]["robust"]["samples"] == SAMPLES
+
+    def test_seed_override_changes_samples(self):
+        a = autotune("ResNet-50", 8, scenario="stragglers", samples=4, seed=1)
+        b = autotune("ResNet-50", 8, scenario="stragglers", samples=4, seed=2)
+        assert a.scenario.seed == 1 and b.scenario.seed == 2
+        assert a.best.robust.to_dict() != b.best.robust.to_dict()
+
+    def test_nominal_mode_unchanged(self):
+        report = autotune("ResNet-50", 8, presets=("SPD-KFAC",))
+        assert report.objective == "nominal"
+        assert report.scenario is None and report.preset_values == {}
+        assert all(o.robust is None for o in report.outcomes)
+        assert "objective:" not in report.to_text()
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError, match="needs a fault scenario"):
+            autotune("ResNet-50", 8, objective="p95")
+        with pytest.raises(ValueError, match="not a robust objective"):
+            autotune("ResNet-50", 8, scenario="stragglers", objective="nominal")
+        with pytest.raises(ValueError, match="not a robust objective"):
+            autotune("ResNet-50", 8, scenario="stragglers", objective="median")
+        with pytest.raises(ValueError, match="samples"):
+            autotune("ResNet-50", 8, scenario="stragglers", samples=0)
+        with pytest.raises(TypeError, match="scenario"):
+            autotune("ResNet-50", 8, scenario=42)
+        with pytest.raises(KeyError, match="unknown fault scenario"):
+            autotune("ResNet-50", 8, scenario="asteroids")
+        with pytest.raises(ValueError, match="scenario-bound Session"):
+            autotune(
+                Session("ResNet-50", 8, scenario=named_scenario("stragglers"))
+            )
+
+
+def _outcome(label: str, time: float, traffic: float) -> CandidateOutcome:
+    return CandidateOutcome(
+        strategy=strategy_registry["SPD-KFAC"].but(name=label),
+        preset=None,
+        bound=CandidateBound(compute=0.0, comm=0.0),
+        iteration_time=time,
+        breakdown=(),
+        traffic_elements=traffic,
+        traffic_bytes=traffic,
+        traffic_by_op=(),
+        status="simulated",
+    )
+
+
+class TestParetoTieBreak:
+    def test_equal_cells_break_ties_on_label_deterministically(self):
+        """Identical (time, traffic) candidates must keep one canonical
+        order no matter how the input list was ordered."""
+        outcomes = [
+            _outcome("zeta", 1.0, 100.0),
+            _outcome("alpha", 1.0, 100.0),
+            _outcome("mid", 1.0, 100.0),
+        ]
+        frontier = pareto_frontier(outcomes)
+        assert [o.label for o in frontier] == ["alpha"]
+        for rotation in range(3):
+            rotated = outcomes[rotation:] + outcomes[:rotation]
+            assert [o.label for o in pareto_frontier(rotated)] == ["alpha"]
+
+    def test_frontier_minimizes_both_axes(self):
+        outcomes = [
+            _outcome("fast-heavy", 1.0, 300.0),
+            _outcome("mid", 2.0, 200.0),
+            _outcome("slow-light", 3.0, 100.0),
+            _outcome("dominated", 3.0, 300.0),
+        ]
+        labels = [o.label for o in pareto_frontier(outcomes)]
+        assert labels == ["fast-heavy", "mid", "slow-light"]

@@ -140,3 +140,26 @@ class TestDeadlockDetection:
         with pytest.raises(DeadlockError) as excinfo:
             simulate(g)
         assert "first" in str(excinfo.value)
+
+    def test_deadlock_error_names_blocking_dependencies(self):
+        """The error shows *why* each stuck task is stuck: the unresolved
+        dependencies it waits on, not just the cycle's membership."""
+        g = TaskGraph(1)
+        g.tasks.append(SimTask(0, "first", Phase.FORWARD, COMPUTE, (0,), 1.0, deps=(1,)))
+        g.tasks.append(SimTask(1, "second", Phase.FORWARD, COMPUTE, (0,), 1.0, deps=()))
+        with pytest.raises(DeadlockError) as excinfo:
+            simulate(g)
+        err = excinfo.value
+        assert set(err.stuck_task_names) == {"first", "second"}
+        assert err.blocked_on["first"] == ("second",)  # dep edge
+        assert err.blocked_on["second"] == ("first",)  # stream FIFO edge
+        assert "blocked on:" in str(err)
+        assert "first <- (second)" in str(err)
+
+    def test_deadlock_error_constructible_without_blocked_on(self):
+        """The reference scheduler (and any older caller) still raises
+        with just the stuck-name list."""
+        err = DeadlockError(["a", "b"])
+        assert err.stuck_task_names == ["a", "b"]
+        assert err.blocked_on == {}
+        assert "blocked on:" not in str(err)
