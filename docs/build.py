@@ -48,6 +48,7 @@ API_PACKAGES = [
     "repro.faults",
     "repro.topo",
     "repro.sim",
+    "repro.obs",
     "repro.perf",
     "repro.comm",
     "repro.core",
@@ -69,6 +70,7 @@ NAV_PAGES = [
     ("topologies.md", "Topology modeling guide"),
     ("precision.md", "Precision, compression & staleness"),
     ("robustness.md", "Robustness & fault-aware planning"),
+    ("observability.md", "Observability & tracing"),
     ("paper_map.md", "Paper-to-code map"),
 ]
 

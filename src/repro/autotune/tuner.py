@@ -27,10 +27,12 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import time as _time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.autotune.bounds import CandidateBound, candidate_bound
+from repro.obs import Histogram, RATIO_BUCKETS, recorder
 from repro.autotune.grid import strategy_grid, strategy_label
 from repro.autotune.robust import (
     ROBUST_OBJECTIVES,
@@ -60,6 +62,8 @@ SECOND_ORDER_PRESETS: Tuple[str, ...] = ("D-KFAC", "MPD-KFAC", "SPD-KFAC")
 SIMULATED = "simulated"
 REUSED = "reused"  # identical axes + profile as an already-simulated candidate
 PRUNED = "pruned"  # lower bound met the best simulated time
+
+_REC = recorder()
 
 
 def matching_preset(strategy: TrainingStrategy) -> Optional[str]:
@@ -153,6 +157,9 @@ class AutotuneReport:
     scenario: Optional[FaultScenario] = None  #: fault scenario (robust runs)
     preset_values: Dict[str, float] = field(default_factory=dict)
     #: objective value per preset; empty in nominal runs (= preset_times)
+    telemetry: Dict[str, object] = field(default_factory=dict)
+    #: search telemetry: wall-clock per stage, prune rate, bound-tightness
+    #: histogram, plan-cache hit/miss deltas (``autotune --stats``)
 
     # -- views -------------------------------------------------------------
 
@@ -284,12 +291,59 @@ class AutotuneReport:
         )
         return "\n".join(lines)
 
+    def telemetry_text(self) -> str:
+        """Human-readable search telemetry (``autotune --stats``).
+
+        Reports wall-clock per search stage, the prune rate, the
+        bound-tightness histogram over simulated candidates (how close
+        each candidate's per-component lower bound came to its simulated
+        time — tight bounds are what make pruning sound *and* sharp),
+        and the shared plan-cache traffic this search generated.
+        """
+        if not self.telemetry:
+            return "  (no telemetry recorded)"
+        lines = ["search telemetry:"]
+        wall = self.telemetry.get("wall_clock_s", {})
+        for stage in ("presets", "prepare", "evaluate", "total"):
+            if stage in wall:
+                lines.append(f"  {stage:<10} {wall[stage]:>9.4f}s")
+        rate = self.telemetry.get("prune_rate")
+        if rate is not None:
+            lines.append(
+                f"  prune rate: {rate:.1%} "
+                f"({self.stats.get('pruned', 0)}/{self.stats.get('candidates', 0)} "
+                "candidates never simulated)"
+            )
+        cache = self.telemetry.get("cache", {})
+        if cache:
+            lines.append(
+                f"  plan cache: {cache.get('hits', 0)} hits, "
+                f"{cache.get('misses', 0)} misses during this search"
+            )
+        hist = self.telemetry.get("bound_tightness")
+        if hist:
+            lines.append(
+                "  bound tightness (bound/simulated, 1.0 = exact) over "
+                f"{hist['count']} simulated candidates, mean "
+                f"{(hist['sum'] / hist['count']) if hist['count'] else 0.0:.3f}:"
+            )
+            for label, count in hist["buckets"].items():
+                if count:
+                    lines.append(f"    {label:>8}  {count}")
+        return "\n".join(lines)
+
     # -- serialization -----------------------------------------------------
 
-    def to_dict(self) -> Dict[str, object]:
-        """The whole report (outcomes, presets, Pareto, stats) as a dict."""
+    def to_dict(self, *, telemetry: bool = False) -> Dict[str, object]:
+        """The whole report (outcomes, presets, Pareto, stats) as a dict.
+
+        ``telemetry=True`` additionally includes the search telemetry.
+        It is excluded by default because wall-clock timings and cache
+        hit/miss deltas vary run to run, and ``to_json`` guarantees the
+        same search yields byte-identical JSON.
+        """
         best = self._best_or_none()
-        return {
+        payload = {
             "model": self.model,
             "cluster": self.cluster,
             "world_size": self.world_size,
@@ -308,6 +362,9 @@ class AutotuneReport:
             "pareto": [o.to_dict() for o in self.pareto()],
             "stats": dict(self.stats),
         }
+        if telemetry:
+            payload["telemetry"] = dict(self.telemetry)
+        return payload
 
     def to_json(self, indent: Optional[int] = 2) -> str:
         """The report as stable (sorted-keys) JSON."""
@@ -459,6 +516,16 @@ def autotune(
         )
         return RobustStats.from_times(times)
 
+    # Telemetry is always collected (a handful of perf_counter calls and
+    # one histogram per search — negligible next to a single simulation);
+    # spans are only recorded when the process recorder is enabled.
+    from repro.plan.session import cache_info
+
+    t_start = _time.perf_counter()
+    cache_before = cache_info()
+    # Bound/simulated-time ratio per simulated candidate: 1.0 = exact.
+    tightness = Histogram("autotune.bound_tightness", bounds=RATIO_BUCKETS)
+
     # Price the presets first: they seed the pruning incumbent *and* the
     # reuse map, so the grid twin of e.g. SPD-KFAC always carries the
     # preset's simulated result — pruning can never leave the report's
@@ -469,17 +536,23 @@ def autotune(
     preset_times: Dict[str, float] = {}
     preset_values: Dict[str, float] = {}
     seen: Dict[object, Tuple[float, Tuple, Optional[RobustStats]]] = {}
-    for name in presets:
-        preset = strategy_registry[name]
-        profile = session.profile_for(preset)
-        result = session.simulate(preset)
-        preset_times[name] = result.iteration_time
-        robust = None
-        if robust_mode:
-            robust = robust_stats(preset, profile, resolve_parts(preset, profile))
-            preset_values[name] = robust.value(objective)
-        key = (preset.but(name="grid", collective="auto"), profile)
-        seen[key] = (result.iteration_time, tuple(result.categories().items()), robust)
+    with _REC.span("autotune.presets", model=spec.name, presets=len(presets)):
+        for name in presets:
+            preset = strategy_registry[name]
+            profile = session.profile_for(preset)
+            result = session.simulate(preset)
+            preset_times[name] = result.iteration_time
+            robust = None
+            if robust_mode:
+                robust = robust_stats(preset, profile, resolve_parts(preset, profile))
+                preset_values[name] = robust.value(objective)
+            key = (preset.but(name="grid", collective="auto"), profile)
+            seen[key] = (
+                result.iteration_time,
+                tuple(result.categories().items()),
+                robust,
+            )
+    t_presets = _time.perf_counter()
     incumbent_values = preset_values if robust_mode else preset_times
     best_value = min(incumbent_values.values()) if incumbent_values else float("inf")
 
@@ -489,35 +562,37 @@ def autotune(
     # bound is the scenario-adjusted one in robust mode — valid on every
     # perturbed sample, hence on every objective value.
     prepared = []
-    for strategy in candidates:
-        profile = session.profile_for(strategy)
-        parts = resolve_parts(strategy, profile)
-        num_ranks, grad_plan, fplan, placement = parts
-        bound = candidate_bound(
-            spec,
-            profile,
-            num_ranks=num_ranks,
-            grad_plan=grad_plan,
-            fplan=fplan,
-            placement=placement,
-            include_solve=strategy.include_solve,
-            strategy=strategy,
-        )
-        prune_bound = bound
-        if robust_mode:
-            prune_bound = scenario_adjusted_bound(
-                bound, scenario, rates.for_profile(profile)
+    with _REC.span("autotune.prepare", model=spec.name, candidates=len(candidates)):
+        for strategy in candidates:
+            profile = session.profile_for(strategy)
+            parts = resolve_parts(strategy, profile)
+            num_ranks, grad_plan, fplan, placement = parts
+            bound = candidate_bound(
+                spec,
+                profile,
+                num_ranks=num_ranks,
+                grad_plan=grad_plan,
+                fplan=fplan,
+                placement=placement,
+                include_solve=strategy.include_solve,
+                strategy=strategy,
             )
-        traffic = parts_traffic(
-            spec,
-            num_ranks=num_ranks,
-            grad_plan=grad_plan,
-            fplan=fplan,
-            placement=placement,
-            strategy=strategy,
-        )
-        prepared.append((strategy, profile, parts, bound, prune_bound, traffic))
+            prune_bound = bound
+            if robust_mode:
+                prune_bound = scenario_adjusted_bound(
+                    bound, scenario, rates.for_profile(profile)
+                )
+            traffic = parts_traffic(
+                spec,
+                num_ranks=num_ranks,
+                grad_plan=grad_plan,
+                fplan=fplan,
+                placement=placement,
+                strategy=strategy,
+            )
+            prepared.append((strategy, profile, parts, bound, prune_bound, traffic))
     prepared.sort(key=lambda item: item[4].total)
+    t_prepare = _time.perf_counter()
 
     outcomes: List[CandidateOutcome] = []
     stats = {"candidates": len(prepared), "simulated": 0, "reused": 0, "pruned": 0}
@@ -527,43 +602,60 @@ def autotune(
     # derive the *same* cost profile (e.g. "auto" resolving to "ring" on
     # a flat fabric) yield identical schedules; simulate one and reuse
     # its result for the twins.
-    for strategy, profile, parts, bound, prune_bound, traffic in prepared:
-        preset = matching_preset(strategy)
+
+    def evaluate_one(strategy, profile, parts, prune_bound):
+        nonlocal best_value
         key = (strategy.but(name="grid", collective="auto"), profile)
-        robust = None
         if key in seen:
             time, breakdown, robust = seen[key]
-            status = REUSED
             stats["reused"] += 1
-        elif prune and prune_bound.total >= best_value:
-            time, breakdown, status = None, None, PRUNED
+            return time, breakdown, robust, REUSED
+        if prune and prune_bound.total >= best_value:
             stats["pruned"] += 1
+            return None, None, None, PRUNED
+        result = session.simulate(strategy)
+        time = result.iteration_time
+        breakdown = tuple(result.categories().items())
+        robust = None
+        if robust_mode:
+            robust = robust_stats(strategy, profile, parts)
+            best_value = min(best_value, robust.value(objective))
         else:
-            result = session.simulate(strategy)
-            time = result.iteration_time
-            breakdown = tuple(result.categories().items())
-            if robust_mode:
-                robust = robust_stats(strategy, profile, parts)
-                best_value = min(best_value, robust.value(objective))
+            best_value = min(best_value, time)
+        seen[key] = (time, breakdown, robust)
+        stats["simulated"] += 1
+        return time, breakdown, robust, SIMULATED
+
+    with _REC.span("autotune.evaluate", model=spec.name, candidates=len(prepared)):
+        for strategy, profile, parts, bound, prune_bound, traffic in prepared:
+            preset = matching_preset(strategy)
+            if _REC.enabled:
+                with _REC.span("autotune.candidate", label=strategy.name) as sp:
+                    time, breakdown, robust, status = evaluate_one(
+                        strategy, profile, parts, prune_bound
+                    )
+                    sp.set(status=status)
             else:
-                best_value = min(best_value, time)
-            seen[key] = (time, breakdown, robust)
-            status = SIMULATED
-            stats["simulated"] += 1
-        outcomes.append(
-            CandidateOutcome(
-                strategy=strategy,
-                preset=preset,
-                bound=bound,
-                iteration_time=time,
-                breakdown=breakdown,
-                traffic_elements=traffic.total_elements(),
-                traffic_bytes=traffic.total_bytes(),
-                traffic_by_op=tuple(sorted(traffic.bytes.items())),
-                status=status,
-                robust=robust,
+                time, breakdown, robust, status = evaluate_one(
+                    strategy, profile, parts, prune_bound
+                )
+            if status == SIMULATED and time:
+                tightness.observe(bound.total / time)
+            outcomes.append(
+                CandidateOutcome(
+                    strategy=strategy,
+                    preset=preset,
+                    bound=bound,
+                    iteration_time=time,
+                    breakdown=breakdown,
+                    traffic_elements=traffic.total_elements(),
+                    traffic_bytes=traffic.total_bytes(),
+                    traffic_by_op=tuple(sorted(traffic.bytes.items())),
+                    status=status,
+                    robust=robust,
+                )
             )
-        )
+    t_evaluate = _time.perf_counter()
 
     # Ranked: simulated/reused by the objective value (named presets
     # first on exact ties, then label for determinism), pruned by bound.
@@ -578,6 +670,21 @@ def autotune(
         return (1, o.bound.total, True, o.label)
 
     outcomes.sort(key=rank_key)
+    cache_after = cache_info()
+    telemetry: Dict[str, object] = {
+        "wall_clock_s": {
+            "presets": t_presets - t_start,
+            "prepare": t_prepare - t_presets,
+            "evaluate": t_evaluate - t_prepare,
+            "total": t_evaluate - t_start,
+        },
+        "prune_rate": stats["pruned"] / stats["candidates"] if prepared else 0.0,
+        "bound_tightness": tightness.to_dict(),
+        "cache": {
+            "hits": cache_after["hits"] - cache_before["hits"],
+            "misses": cache_after["misses"] - cache_before["misses"],
+        },
+    }
     world_size = session.num_workers
     if session.topology is not None:
         cluster_desc = session.topology.name
@@ -593,4 +700,5 @@ def autotune(
         objective=objective,
         scenario=scenario,
         preset_values=preset_values,
+        telemetry=telemetry,
     )

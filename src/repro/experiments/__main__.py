@@ -1,19 +1,24 @@
 """CLI: ``python -m repro.experiments [ids...|all|report]``,
-``python -m repro.experiments plan <model> <strategy>``, and
-``python -m repro.experiments autotune <model>``.
+``python -m repro.experiments plan <model> <strategy>``,
+``python -m repro.experiments autotune <model>``, and
+``python -m repro.experiments trace <model> <strategy>``.
 
 Examples::
 
     python -m repro.experiments tab3 fig12
     python -m repro.experiments all
     python -m repro.experiments report   # regenerate EXPERIMENTS.md body
+    python -m repro.experiments tab3 --run-report reports/
     python -m repro.experiments plan ResNet-50 SPD-KFAC
     python -m repro.experiments plan ResNet-152 MPD-KFAC --gpus 16 --json plan.json
     python -m repro.experiments plan --list-strategies
     python -m repro.experiments autotune ResNet-50 --gpus 16
     python -m repro.experiments autotune DenseNet-201 --topology heterogeneous --json report.json
     python -m repro.experiments autotune ResNet-50 --scenario stragglers --samples 8
+    python -m repro.experiments autotune ResNet-50 --stats --cache-stats
     python -m repro.experiments autotune --list-topologies
+    python -m repro.experiments trace ResNet-50 SPD-KFAC --gpus 64 --out trace.json
+    python -m repro.experiments trace ResNet-50 SPD-KFAC --critical-only
 """
 
 from __future__ import annotations
@@ -23,6 +28,16 @@ import sys
 
 from repro.experiments.base import EXPERIMENTS, get_experiment
 from repro.experiments.report import render_report
+
+
+def _print_cache_stats() -> None:
+    from repro.plan.session import cache_info
+
+    info = cache_info()
+    print(
+        f"plan cache: {info['hits']} hits, {info['misses']} misses, "
+        f"{info['entries']}/{info['maxsize']} entries"
+    )
 
 
 def _plan_main(argv) -> int:
@@ -60,6 +75,10 @@ def _plan_main(argv) -> int:
     parser.add_argument(
         "--list-strategies", action="store_true",
         help="list registered strategies and exit",
+    )
+    parser.add_argument(
+        "--cache-stats", action="store_true",
+        help="print shared plan-cache hit/miss counters after planning",
     )
     args = parser.parse_args(argv)
 
@@ -101,6 +120,8 @@ def _plan_main(argv) -> int:
     if args.json:
         plan.save(args.json)
         print(f"plan written to {args.json}")
+    if args.cache_stats:
+        _print_cache_stats()
     return 0
 
 
@@ -170,6 +191,17 @@ def _autotune_main(argv) -> int:
         help="also write the full ranked report (with Pareto frontier) to PATH",
     )
     parser.add_argument(
+        "--stats", action="store_true",
+        help=(
+            "print search telemetry: wall-clock per stage, prune rate, "
+            "bound-tightness histogram, plan-cache traffic"
+        ),
+    )
+    parser.add_argument(
+        "--cache-stats", action="store_true",
+        help="print shared plan-cache hit/miss counters after the search",
+    )
+    parser.add_argument(
         "--list-topologies", action="store_true",
         help="list named topology presets and exit",
     )
@@ -210,9 +242,109 @@ def _autotune_main(argv) -> int:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
     print(report.to_text(top_k=args.top))
+    if args.stats:
+        print(report.telemetry_text())
     if args.json:
         report.save(args.json)
         print(f"report written to {args.json}")
+    if args.cache_stats:
+        _print_cache_stats()
+    return 0
+
+
+def _trace_main(argv) -> int:
+    from repro.models.catalog import PAPER_MODELS
+    from repro.plan import Session, strategy_registry
+    from repro.plan.session import build_strategy_graph
+    from repro.sim import critical_path_report, perfetto_trace, save_trace, simulate
+    from repro.topo import named_topology, topology_preset_names
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments trace",
+        description=(
+            "Simulate one iteration of a model x strategy and export the "
+            "schedule as a Perfetto/chrome-tracing JSON trace (per-rank "
+            "compute/comm tracks, dependency flow arrows, counter tracks, "
+            "and the critical path as its own track), plus a slack/blame "
+            "critical-path summary on stdout."
+        ),
+    )
+    parser.add_argument(
+        "model", help=f"model name ({', '.join(PAPER_MODELS)})"
+    )
+    parser.add_argument(
+        "strategy",
+        help=f"strategy name ({', '.join(strategy_registry.names())})",
+    )
+    cluster = parser.add_mutually_exclusive_group()
+    cluster.add_argument(
+        "--gpus", type=int, default=None,
+        help="cluster size (default: the paper's 64-GPU testbed)",
+    )
+    cluster.add_argument(
+        "--topology", default=None, metavar="NAME",
+        help=f"named cluster topology preset ({', '.join(topology_preset_names())})",
+    )
+    parser.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the trace JSON here (open in ui.perfetto.dev or chrome://tracing)",
+    )
+    parser.add_argument(
+        "--no-flows", action="store_true",
+        help="omit dependency flow arrows (smaller file)",
+    )
+    parser.add_argument(
+        "--no-counters", action="store_true",
+        help="omit the per-rank counter tracks",
+    )
+    parser.add_argument(
+        "--critical-only", action="store_true",
+        help="print the critical-path blame summary without writing a trace",
+    )
+    args = parser.parse_args(argv)
+
+    if args.out is None and not args.critical_only:
+        parser.error("--out PATH is required (or use --critical-only)")
+
+    if args.topology is not None:
+        try:
+            cluster_arg = named_topology(args.topology)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+    else:
+        cluster_arg = args.gpus
+
+    try:
+        session = Session(args.model, cluster_arg)
+        strategy = strategy_registry[args.strategy]
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    graph = build_strategy_graph(
+        session.spec, session.profile_for(strategy), strategy
+    )
+    timeline = simulate(graph)
+    report = critical_path_report(graph, timeline)
+    print(
+        f"{session.model} x {strategy.name} on {session.num_workers} GPUs: "
+        f"{len(graph)} tasks, makespan {timeline.makespan:.4f}s"
+    )
+    print(report.to_text())
+    if args.out is not None:
+        trace = perfetto_trace(
+            timeline,
+            graph,
+            flows=not args.no_flows,
+            counters=not args.no_counters,
+            report=report,
+        )
+        save_trace(args.out, trace)
+        print(
+            f"trace written to {args.out} "
+            f"({len(trace['traceEvents'])} events; open in ui.perfetto.dev)"
+        )
     return 0
 
 
@@ -222,6 +354,8 @@ def main(argv=None) -> int:
         return _plan_main(argv[1:])
     if argv and argv[0] == "autotune":
         return _autotune_main(argv[1:])
+    if argv and argv[0] == "trace":
+        return _trace_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -232,8 +366,16 @@ def main(argv=None) -> int:
         nargs="+",
         help=(
             f"experiment ids ({', '.join(EXPERIMENTS)}), 'all', 'report', "
-            "'plan <model> <strategy>' (see 'plan --help'), or "
-            "'autotune <model>' (see 'autotune --help')"
+            "'plan <model> <strategy>' (see 'plan --help'), "
+            "'autotune <model>' (see 'autotune --help'), or "
+            "'trace <model> <strategy>' (see 'trace --help')"
+        ),
+    )
+    parser.add_argument(
+        "--run-report", metavar="DIR", default=None,
+        help=(
+            "also write one <id>.report.json per experiment into DIR "
+            "(wall-clock, plan-cache hit rate, span summary)"
         ),
     )
     args = parser.parse_args(argv)
@@ -243,6 +385,20 @@ def main(argv=None) -> int:
         return 0
 
     ids = list(EXPERIMENTS) if args.ids == ["all"] else args.ids
+    if args.run_report is not None:
+        import os
+
+        from repro.experiments.base import run_with_report, save_run_report
+
+        os.makedirs(args.run_report, exist_ok=True)
+        for experiment_id in ids:
+            result, run_report = run_with_report(experiment_id)
+            print(result.to_text())
+            path = os.path.join(args.run_report, f"{experiment_id}.report.json")
+            save_run_report(path, run_report)
+            print(f"run report written to {path}")
+            print()
+        return 0
     for experiment_id in ids:
         module = get_experiment(experiment_id)
         print(module.run().to_text())

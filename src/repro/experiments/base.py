@@ -9,16 +9,24 @@ __all__ = [
     "ExperimentResult",
     "get_experiment",
     "resolve_profile",
+    "run_with_report",
+    "save_run_report",
     "variant_results",
 ]
 
 import importlib
+import json
+import os
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.schedule import IterationResult
+from repro.obs import recorder, recording
 from repro.perf import ClusterPerfProfile, paper_cluster_profile
 from repro.plan import Session
+
+_REC = recorder()
 
 #: Experiment id -> module path; order matches the paper's presentation.
 EXPERIMENTS: Dict[str, str] = {
@@ -131,4 +139,54 @@ def variant_results(
     the same entries instead of re-simulating per experiment.
     """
     session = Session(model_name, resolve_profile(profile))
+    if _REC.enabled:
+        with _REC.span("experiments.variants", model=model_name):
+            return session.compare(*VARIANT_NAMES)
     return session.compare(*VARIANT_NAMES)
+
+
+def run_with_report(experiment_id: str) -> Tuple[ExperimentResult, Dict[str, object]]:
+    """Run one experiment under the recorder; return (result, run report).
+
+    The run report is a JSON-ready artifact describing *how* the rows
+    were produced: wall-clock, shared plan-cache traffic (hit rate), and
+    the per-name span aggregates of everything the run touched.  The
+    rows themselves are untouched — instrumentation is observation only,
+    so they are bit-identical to a bare ``run()``.
+
+    Recording uses the process-wide recorder with a fresh slate (any
+    telemetry collected before this call is dropped, and the recorder's
+    prior enabled state is restored afterwards).
+    """
+    from repro.plan.session import cache_info
+
+    module = get_experiment(experiment_id)
+    cache_before = cache_info()
+    with recording() as rec:
+        t0 = time.perf_counter()
+        result = module.run()
+        wall = time.perf_counter() - t0
+    cache_after = cache_info()
+    hits = cache_after["hits"] - cache_before["hits"]
+    misses = cache_after["misses"] - cache_before["misses"]
+    lookups = hits + misses
+    report: Dict[str, object] = {
+        "experiment_id": experiment_id,
+        "title": result.title,
+        "rows": len(result.rows),
+        "wall_clock_s": wall,
+        "cache": {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / lookups if lookups else 0.0,
+        },
+        "obs": rec.summary(),
+    }
+    return result, report
+
+
+def save_run_report(path, report: Dict[str, object]) -> None:
+    """Write a :func:`run_with_report` artifact as deterministic JSON."""
+    with open(os.fspath(path), "w") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")

@@ -18,9 +18,19 @@ PAPER_MODELS: Dict[str, Callable[[], ModelSpec]] = {
 }
 
 
+def _normalize(name: str) -> str:
+    """Case- and punctuation-insensitive key: ``resnet50 == ResNet-50``."""
+    return "".join(ch for ch in name.lower() if ch.isalnum())
+
+
 def get_model_spec(name: str) -> ModelSpec:
-    """Build the spec for one of the paper's models by (case-insensitive) name."""
+    """Build the spec for one of the paper's models by name.
+
+    Lookup ignores case and punctuation, so ``"resnet50"``,
+    ``"ResNet-50"`` and ``"RESNET 50"`` all resolve to the same spec.
+    """
+    wanted = _normalize(name)
     for key, factory in PAPER_MODELS.items():
-        if key.lower() == name.lower():
+        if _normalize(key) == wanted:
             return factory()
     raise KeyError(f"unknown model {name!r}; available: {sorted(PAPER_MODELS)}")

@@ -1,0 +1,52 @@
+"""repro.obs — spans, metrics, and trace-friendly telemetry.
+
+The paper's whole argument rests on observability: SPD-KFAC is motivated
+by time-breakdown profiling of the D-KFAC pipeline (Figs. 2-3) showing
+where iteration time goes before each optimization is applied.  This
+package is the reproduction's own profiler: a process-wide
+:class:`Recorder` that the planner (:mod:`repro.plan`), simulator
+(:mod:`repro.sim`), autotuner (:mod:`repro.autotune`), and experiment
+harness (:mod:`repro.experiments`) all report spans and metrics to.
+
+Everything is **off by default** — the disabled path is one attribute
+check — and purely observational: enabling the recorder never changes a
+planned or simulated value (the frozen paper rows are asserted
+bit-identical with it on).
+
+Quickstart::
+
+    from repro import Session
+    from repro.obs import recording
+
+    with recording() as rec:
+        Session("ResNet-50", 64).simulate("SPD-KFAC")
+    print(rec.summary()["spans"])        # where the wall-clock went
+
+Three instrument kinds back the metric side (:mod:`repro.obs.metrics`):
+counters (cache hits, candidates pruned), gauges (levels), and
+histograms with fixed bucket boundaries (latencies, bound-tightness
+ratios).  For the simulator's task-level view — Perfetto-grade traces
+with flow events and counter tracks — see :mod:`repro.sim.trace`.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    RATIO_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+)
+from repro.obs.recorder import Recorder, Span, SpanStats, recorder, recording
+
+__all__ = [
+    "Recorder",
+    "Span",
+    "SpanStats",
+    "recorder",
+    "recording",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_LATENCY_BUCKETS",
+    "RATIO_BUCKETS",
+]

@@ -1,0 +1,139 @@
+"""Metric primitives of the observability layer: counters, gauges, histograms.
+
+These are deliberately minimal, dependency-free mirrors of the usual
+telemetry vocabulary:
+
+* :class:`Counter` — a monotonically increasing total (cache hits,
+  candidates pruned);
+* :class:`Gauge` — a last-write-wins level (current queue depth);
+* :class:`Histogram` — observations bucketed against *fixed* boundaries
+  chosen at creation time, so two histograms of the same metric are
+  mergeable and snapshots are deterministic.
+
+Instances are created and owned by :class:`repro.obs.Recorder`; user
+code normally goes through ``recorder.count(...)`` /
+``recorder.observe(...)`` rather than instantiating these directly.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_LATENCY_BUCKETS",
+    "RATIO_BUCKETS",
+]
+
+#: Default histogram boundaries for wall-clock observations, in seconds.
+#: Spans from microseconds (a cache hit) to minutes (a cold full-grid
+#: robust autotune) in roughly-decade steps.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0, 300.0,
+)
+
+#: Boundaries for dimensionless 0..1-ish ratios (bound tightness, hit
+#: rates): a fine-grained tail near 1.0 where the interesting mass is.
+RATIO_BUCKETS: Tuple[float, ...] = (
+    0.1, 0.25, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99, 1.0,
+)
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the total."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (got {amount})")
+        self.value += amount
+
+    def to_dict(self) -> Dict[str, object]:
+        """Snapshot as a plain dict (JSON-ready)."""
+        return {"type": "counter", "value": self.value}
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Gauge:
+    """A last-write-wins level."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current level."""
+        self.value = value
+
+    def to_dict(self) -> Dict[str, object]:
+        """Snapshot as a plain dict (JSON-ready)."""
+        return {"type": "gauge", "value": self.value}
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, value={self.value})"
+
+
+class Histogram:
+    """Observations bucketed against fixed, sorted boundaries.
+
+    Bucket ``i`` counts observations ``v <= bounds[i]``; one overflow
+    bucket counts everything beyond the last boundary.  ``sum`` and
+    ``count`` track the exact total alongside the bucketed shape, so
+    means stay exact no matter how coarse the boundaries are.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "sum", "count")
+
+    def __init__(self, name: str, bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS):
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds:
+            raise ValueError(f"histogram {name!r} needs at least one bucket boundary")
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError(
+                f"histogram {name!r} boundaries must be strictly increasing, got {bounds}"
+            )
+        self.name = name
+        self.bounds = bounds
+        self.counts: List[int] = [0] * (len(bounds) + 1)
+        self.sum: float = 0.0
+        self.count: int = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        """Exact mean of all observations (0.0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def bucket_labels(self) -> List[str]:
+        """Human-readable upper-bound label per bucket (``+Inf`` last)."""
+        return [f"<={b:g}" for b in self.bounds] + ["+Inf"]
+
+    def to_dict(self) -> Dict[str, object]:
+        """Snapshot as a plain dict (JSON-ready, deterministic keys)."""
+        return {
+            "type": "histogram",
+            "buckets": dict(zip(self.bucket_labels(), self.counts)),
+            "count": self.count,
+            "sum": self.sum,
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, count={self.count}, sum={self.sum:g})"

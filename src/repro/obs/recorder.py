@@ -1,0 +1,395 @@
+"""The process-wide span/metric recorder.
+
+A :class:`Recorder` collects two kinds of telemetry:
+
+* **spans** — named, attributed wall-clock intervals opened with
+  ``recorder.span(name, **attrs)`` as a context manager;
+* **metrics** — named :class:`~repro.obs.metrics.Counter` /
+  :class:`~repro.obs.metrics.Gauge` /
+  :class:`~repro.obs.metrics.Histogram` instruments mutated through
+  ``count`` / ``gauge`` / ``observe``.
+
+Recording is **off by default** and the disabled path is a single
+attribute check: ``span()`` returns a shared no-op context manager and
+every metric mutator returns immediately, so instrumented hot paths
+(the simulator engine, the Session cache) pay effectively nothing when
+nobody is looking.  ``repro``'s own instrumentation never changes any
+computed value — enabling the recorder is observation only, asserted by
+the frozen-row tests running with it on.
+
+The module-level :func:`recorder` returns the process-wide default
+instance that all of repro's built-in instrumentation reports to.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, Counter, Gauge, Histogram
+
+__all__ = ["Span", "Recorder", "recorder", "recording"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One finished span: a named wall-clock interval with attributes.
+
+    ``start``/``end`` are :func:`time.perf_counter` readings — they
+    order and measure spans within this process but are not wall-clock
+    timestamps.  ``thread`` is the recording thread's ``ident``.
+    """
+
+    name: str
+    start: float
+    end: float
+    attrs: Tuple[Tuple[str, object], ...] = ()
+    thread: int = 0
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds between enter and exit."""
+        return self.end - self.start
+
+    def get(self, key: str, default: object = None) -> object:
+        """Attribute lookup (attrs are stored as a sorted tuple)."""
+        for k, v in self.attrs:
+            if k == key:
+                return v
+        return default
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready view of this span."""
+        return {
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "attrs": dict(self.attrs),
+        }
+
+
+class _NullSpan:
+    """Shared no-op context manager returned by a disabled recorder."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+    def set(self, **attrs) -> None:
+        """Discard attributes (recording is off)."""
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _LiveSpan:
+    """Context manager that records a :class:`Span` on exit."""
+
+    __slots__ = ("_recorder", "_name", "_attrs", "_start")
+
+    def __init__(self, recorder: "Recorder", name: str, attrs: Dict[str, object]):
+        self._recorder = recorder
+        self._name = name
+        self._attrs = attrs
+        self._start = 0.0
+
+    def set(self, **attrs) -> None:
+        """Attach or update attributes before the span closes."""
+        self._attrs.update(attrs)
+
+    def __enter__(self) -> "_LiveSpan":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        end = time.perf_counter()
+        self._recorder._record(
+            Span(
+                name=self._name,
+                start=self._start,
+                end=end,
+                attrs=tuple(sorted(self._attrs.items())),
+                thread=threading.get_ident(),
+            )
+        )
+
+
+@dataclass
+class SpanStats:
+    """Aggregate of all finished spans sharing one name."""
+
+    count: int = 0
+    total: float = 0.0
+    max: float = 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        """JSON-ready view (count, total seconds, max seconds, mean)."""
+        return {
+            "count": self.count,
+            "total_s": self.total,
+            "max_s": self.max,
+            "mean_s": self.total / self.count if self.count else 0.0,
+        }
+
+
+class Recorder:
+    """Collects spans and metrics; off by default, near-free when off.
+
+    Examples
+    --------
+    >>> rec = Recorder()
+    >>> with rec.span("work"):          # disabled: no-op, nothing kept
+    ...     pass
+    >>> rec.spans
+    []
+    >>> rec.enable()
+    >>> with rec.span("work", items=3):
+    ...     rec.count("widgets", 2)
+    >>> rec.spans[0].name, rec.spans[0].get("items")
+    ('work', 3)
+    >>> rec.counters["widgets"].value
+    2
+    """
+
+    def __init__(self) -> None:
+        self.enabled: bool = False
+        self._spans: List[Span] = []
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def enable(self) -> None:
+        """Start recording spans and metrics."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Stop recording (already-collected telemetry is kept)."""
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop every collected span and metric (enabled state unchanged)."""
+        with self._lock:
+            self._spans = []
+            self._counters = {}
+            self._gauges = {}
+            self._histograms = {}
+
+    # -- spans --------------------------------------------------------------
+
+    def span(self, name: str, **attrs) -> Union[_NullSpan, _LiveSpan]:
+        """A context manager timing ``name`` (no-op while disabled)."""
+        if not self.enabled:  # the disabled fast path: one attribute check
+            return _NULL_SPAN
+        return _LiveSpan(self, name, attrs)
+
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            self._spans.append(span)
+
+    @property
+    def spans(self) -> List[Span]:
+        """All finished spans, in completion order (a copy)."""
+        with self._lock:
+            return list(self._spans)
+
+    def span_stats(self) -> Dict[str, SpanStats]:
+        """Per-name aggregates (count, total, max) over finished spans."""
+        stats: Dict[str, SpanStats] = {}
+        for span in self.spans:
+            entry = stats.setdefault(span.name, SpanStats())
+            entry.count += 1
+            entry.total += span.duration
+            entry.max = max(entry.max, span.duration)
+        return stats
+
+    # -- metrics ------------------------------------------------------------
+
+    def count(self, name: str, amount: float = 1) -> None:
+        """Increment counter ``name`` (created on first use)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            counter = self._counters.get(name)
+            if counter is None:
+                counter = self._counters[name] = Counter(name)
+        counter.inc(amount)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (created on first use)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            gauge = self._gauges.get(name)
+            if gauge is None:
+                gauge = self._gauges[name] = Gauge(name)
+        gauge.set(value)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        """Record ``value`` into histogram ``name``.
+
+        ``buckets`` fixes the boundaries on first use; later calls with
+        different boundaries are an error (mergeable histograms require
+        one stable bucket layout per name).
+        """
+        if not self.enabled:
+            return
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = Histogram(name, buckets)
+            elif tuple(float(b) for b in buckets) != hist.bounds:
+                raise ValueError(
+                    f"histogram {name!r} already exists with boundaries "
+                    f"{hist.bounds}; cannot observe with {tuple(buckets)}"
+                )
+        hist.observe(value)
+
+    @property
+    def counters(self) -> Dict[str, Counter]:
+        """Live counter instruments by name (a copy of the registry)."""
+        with self._lock:
+            return dict(self._counters)
+
+    @property
+    def gauges(self) -> Dict[str, Gauge]:
+        """Live gauge instruments by name (a copy of the registry)."""
+        with self._lock:
+            return dict(self._gauges)
+
+    @property
+    def histograms(self) -> Dict[str, Histogram]:
+        """Live histogram instruments by name (a copy of the registry)."""
+        with self._lock:
+            return dict(self._histograms)
+
+    # -- export -------------------------------------------------------------
+
+    def summary(self) -> Dict[str, object]:
+        """Everything collected so far as one JSON-ready dict.
+
+        ``spans`` holds per-name aggregates, not the raw span list —
+        this is the shape the experiment run reports embed.
+        """
+        return {
+            "spans": {
+                name: stats.to_dict()
+                for name, stats in sorted(self.span_stats().items())
+            },
+            "counters": {
+                name: c.to_dict() for name, c in sorted(self.counters.items())
+            },
+            "gauges": {name: g.to_dict() for name, g in sorted(self.gauges.items())},
+            "histograms": {
+                name: h.to_dict() for name, h in sorted(self.histograms.items())
+            },
+        }
+
+    def to_chrome_trace(self) -> List[dict]:
+        """Finished spans as Chrome/Perfetto ``X`` events (one pid).
+
+        Loadable in the same viewers as the simulator traces; span
+        timestamps are perf-counter microseconds rebased to the first
+        span, one tid per recording thread.
+        """
+        spans = self.spans
+        if not spans:
+            return []
+        base = min(s.start for s in spans)
+        threads = {s.thread for s in spans}
+        tids = {ident: tid for tid, ident in enumerate(sorted(threads))}
+        events: List[dict] = [
+            {
+                "ph": "M",
+                "pid": 0,
+                "tid": 0,
+                "name": "process_name",
+                "args": {"name": "repro.obs recorder"},
+            }
+        ]
+        for span in spans:
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": "obs",
+                    "ph": "X",
+                    "ts": (span.start - base) * 1e6,
+                    "dur": span.duration * 1e6,
+                    "pid": 0,
+                    "tid": tids[span.thread],
+                    "args": dict(span.attrs),
+                }
+            )
+        return events
+
+    def save_summary(self, path) -> None:
+        """Write :meth:`summary` as deterministic JSON to ``path``."""
+        import os
+
+        with open(os.fspath(path), "w") as f:
+            json.dump(self.summary(), f, indent=2, sort_keys=True)
+            f.write("\n")
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return (
+            f"Recorder({state}, spans={len(self._spans)}, "
+            f"metrics={len(self._counters) + len(self._gauges) + len(self._histograms)})"
+        )
+
+
+#: The process-wide recorder all built-in instrumentation reports to.
+_DEFAULT = Recorder()
+
+
+def recorder() -> Recorder:
+    """The process-wide default :class:`Recorder`."""
+    return _DEFAULT
+
+
+class recording:
+    """Context manager: enable the default recorder, restore on exit.
+
+    >>> from repro.obs import recording
+    >>> with recording() as rec:
+    ...     with rec.span("step"):
+    ...         pass
+    >>> rec.enabled
+    False
+    >>> [s.name for s in rec.spans]
+    ['step']
+
+    ``fresh=True`` (the default) resets previously collected telemetry
+    on entry so the block observes only itself.
+    """
+
+    def __init__(self, rec: Optional[Recorder] = None, *, fresh: bool = True):
+        self._recorder = rec if rec is not None else _DEFAULT
+        self._fresh = fresh
+        self._was_enabled = False
+
+    def __enter__(self) -> Recorder:
+        self._was_enabled = self._recorder.enabled
+        if self._fresh:
+            self._recorder.reset()
+        self._recorder.enable()
+        return self._recorder
+
+    def __exit__(self, *exc) -> None:
+        self._recorder.enabled = self._was_enabled

@@ -36,6 +36,7 @@ from collections import OrderedDict
 from typing import Dict, Optional, Tuple, Union
 
 from repro.core.fusion import plan_bulk
+from repro.obs import recorder
 from repro.core.pipeline import factor_comm_plan_for, gradient_fusion_plan
 from repro.core.schedule import (
     AmortizedIterationResult,
@@ -69,6 +70,8 @@ _CacheKey = Tuple[ModelSpec, TrainingStrategy, ClusterPerfProfile, Optional[str]
 #: memoized together so eviction can never leave one without the other.
 _CACHE: "OrderedDict[_CacheKey, Tuple[Plan, ResultLike]]" = OrderedDict()
 _CACHE_STATS = {"hits": 0, "misses": 0}
+
+_REC = recorder()
 
 
 def clear_caches() -> None:
@@ -344,13 +347,33 @@ class Session:
         return profile
 
     def _plan_and_result(self, strategy: TrainingStrategy) -> Tuple[Plan, ResultLike]:
+        # One attribute check when instrumentation is off; spans carry the
+        # (model, strategy, workers) identity so traces of sweeps are
+        # self-describing.
+        if _REC.enabled:
+            with _REC.span(
+                "plan.session.plan",
+                model=self._spec.name,
+                strategy=strategy.name,
+                workers=self.num_workers,
+            ) as sp:
+                plan, result = self._plan_and_result_impl(strategy)
+                sp.set(ranks=plan.num_ranks)
+                return plan, result
+        return self._plan_and_result_impl(strategy)
+
+    def _plan_and_result_impl(
+        self, strategy: TrainingStrategy
+    ) -> Tuple[Plan, ResultLike]:
         profile = self.profile_for(strategy)
         key = (self._spec, strategy, profile, self._scenario_digest())
         cached = _cache_get(key)
         if cached is not None:
             _CACHE_STATS["hits"] += 1
+            _REC.count("plan.cache.hits")
             return cached
         _CACHE_STATS["misses"] += 1
+        _REC.count("plan.cache.misses")
 
         num_ranks, grad_plan, fplan, placement = resolve_plan_parts(
             self._spec, profile, strategy
@@ -417,23 +440,36 @@ class Session:
             # same (strategy, profile) must re-simulate its own parts.
             if cached is not None and cached[0] == plan:
                 _CACHE_STATS["hits"] += 1
+                _REC.count("plan.cache.hits")
                 return cached[1]
             _CACHE_STATS["misses"] += 1
-            graphs = build_phase_graphs(
-                self._spec,
-                plan.profile,
-                plan.strategy,
-                num_ranks=plan.num_ranks,
-                grad_plan=plan.grad_plan,
-                fplan=plan.factor_plan,
-                placement=plan.placement,
-            )
-            result = self._run_phases(graphs, plan.strategy)
-            # Not cached under the strategy key: only plans this Session
-            # resolved itself are canonical for (strategy, profile), and a
-            # foreign plan's parts may differ from what resolution gives.
-            return result
+            _REC.count("plan.cache.misses")
+            if _REC.enabled:
+                with _REC.span(
+                    "plan.session.simulate",
+                    model=self._spec.name,
+                    strategy=plan.strategy.name,
+                    ranks=plan.num_ranks,
+                ):
+                    return self._simulate_plan(plan)
+            return self._simulate_plan(plan)
         return self._plan_and_result(resolve_strategy(plan_or_strategy))[1]
+
+    def _simulate_plan(self, plan: Plan) -> ResultLike:
+        graphs = build_phase_graphs(
+            self._spec,
+            plan.profile,
+            plan.strategy,
+            num_ranks=plan.num_ranks,
+            grad_plan=plan.grad_plan,
+            fplan=plan.factor_plan,
+            placement=plan.placement,
+        )
+        result = self._run_phases(graphs, plan.strategy)
+        # Not cached under the strategy key: only plans this Session
+        # resolved itself are canonical for (strategy, profile), and a
+        # foreign plan's parts may differ from what resolution gives.
+        return result
 
     def autotune(self, **options):
         """Search the full planner axis grid on this session's cluster.

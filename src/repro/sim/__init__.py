@@ -23,12 +23,18 @@ from repro.sim.task import GraphColumns, Phase, SimTask, TaskGraph, COMPUTE, COM
 from repro.sim.engine import DeadlockError, simulate, simulate_batch, simulate_many
 from repro.sim.timeline import Breakdown, Timeline, TimelineEntry
 from repro.sim.analysis import (
+    BlameRow,
+    CriticalPathReport,
     amortized_makespan,
+    blame_table,
     critical_path,
     critical_path_phases,
+    critical_path_report,
     interval_weights,
     stream_lower_bounds,
+    task_slack,
 )
+from repro.sim.trace import perfetto_trace, save_trace
 
 __all__ = [
     "GraphColumns",
@@ -46,6 +52,13 @@ __all__ = [
     "Breakdown",
     "critical_path",
     "critical_path_phases",
+    "critical_path_report",
+    "CriticalPathReport",
+    "BlameRow",
+    "blame_table",
+    "task_slack",
+    "perfetto_trace",
+    "save_trace",
     "stream_lower_bounds",
     "interval_weights",
     "amortized_makespan",

@@ -1,4 +1,4 @@
-"""Post-simulation analysis: critical paths and optimization headroom.
+"""Post-simulation analysis: critical paths, slack, and blame attribution.
 
 The paper's optimizations are exercises in critical-path surgery: factor
 pipelining removes FactorComm from the path, LBP removes InverseComp /
@@ -6,10 +6,19 @@ InverseComm.  :func:`critical_path` recovers the chain of tasks that
 determines the makespan, and :func:`critical_path_phases` aggregates it
 per phase — the quickest way to see *why* an iteration takes as long as
 it does and what a further optimization could possibly win.
+
+:func:`task_slack` generalizes the single chain to every task: how much
+later could each task start without moving the makespan?  Zero-slack
+tasks are the binding ones, and :func:`critical_path_report` packages
+the whole story — the zero-slack chain, per-task slack, and a **blame
+table** attributing the makespan to phases (the paper's Fig. 2/3
+time-breakdown narrative, computed from the schedule instead of
+hand-drawn).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -95,6 +104,185 @@ def critical_path_phases(graph: TaskGraph, timeline: Timeline) -> Dict[str, floa
         label = entry.task.phase.value
         totals[label] = totals.get(label, 0.0) + entry.duration
     return totals
+
+
+# ---------------------------------------------------------------------------
+# slack and blame attribution
+# ---------------------------------------------------------------------------
+
+
+def _schedule_arrays(timeline: Timeline) -> Tuple[np.ndarray, np.ndarray]:
+    """(start, end) vectors indexed by tid, from either timeline backing."""
+    state = timeline._columnar()
+    if state is not None:
+        _, start, end = state
+        return start, end
+    entries = timeline.entries
+    n = max((e.task.tid for e in entries), default=-1) + 1
+    start = np.zeros(n, dtype=np.float64)
+    end = np.zeros(n, dtype=np.float64)
+    for entry in entries:
+        start[entry.task.tid] = entry.start
+        end[entry.task.tid] = entry.end
+    return start, end
+
+
+def task_slack(graph: TaskGraph, timeline: Timeline) -> np.ndarray:
+    """Per-task slack: seconds each task could start later without
+    moving the makespan, holding every duration and the stream FIFO
+    order fixed.
+
+    A reverse longest-path pass over the combined DAG (declared
+    dependencies plus stream-serialization edges): a task's latest
+    finish is the earliest latest-start among its successors (the
+    makespan for sinks), and ``slack = latest_start - actual_start``.
+    Zero-slack tasks are exactly the ones some critical chain runs
+    through; every task the makespan-defining chain of
+    :func:`critical_path` visits has slack 0.
+    """
+    # Local import: engine imports timeline, which this module also
+    # uses; importing engine lazily keeps repro.sim's import order free.
+    from repro.sim.engine import _combined_edges, _csr_from_edges
+
+    start, end = _schedule_arrays(timeline)
+    n = start.size
+    if n == 0:
+        return np.empty(0, dtype=np.float64)
+    makespan = float(end.max())
+    pred, succ = _combined_edges(graph)
+    # Tasks appended after simulate() have no schedule; drop their edges.
+    keep = (pred < n) & (succ < n)
+    pred, succ = pred[keep], succ[keep]
+    succ_indptr, succ_flat = _csr_from_edges(pred, succ, n)
+    dur = end - start
+    latest_start = np.empty(n, dtype=np.float64)
+    # Combined-DAG edges always point to higher tids (dependency ids are
+    # validated < tid; stream FIFO order is insertion order), so reverse
+    # tid order is a reverse topological order.
+    for tid in range(n - 1, -1, -1):
+        row = succ_flat[succ_indptr[tid] : succ_indptr[tid + 1]]
+        latest_end = float(latest_start[row].min()) if row.size else makespan
+        latest_start[tid] = latest_end - dur[tid]
+    return latest_start - start
+
+
+@dataclass(frozen=True)
+class BlameRow:
+    """One phase's share of the critical path."""
+
+    label: str  #: phase label (``Phase.value``)
+    kind: str  #: ``"compute"`` or ``"comm"``
+    seconds: float  #: summed critical-path residence of this phase
+    share: float  #: ``seconds / makespan``
+    tasks: int  #: number of critical-chain tasks in this phase
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready view of this row."""
+        return {
+            "label": self.label,
+            "kind": self.kind,
+            "seconds": self.seconds,
+            "share": self.share,
+            "tasks": self.tasks,
+        }
+
+
+@dataclass(frozen=True)
+class CriticalPathReport:
+    """The full makespan attribution of one simulated iteration.
+
+    ``entries`` is the zero-slack chain of :func:`critical_path` in
+    execution order: it starts at t=0, each link starts exactly when its
+    blocking predecessor ends, the last link ends at the makespan, and
+    the link durations sum to the makespan exactly.  ``slack`` is the
+    per-task slack vector of :func:`task_slack` (tid-indexed), and
+    ``blame`` attributes the makespan to phases — which tasks/links
+    bound the iteration, sorted by descending seconds.
+    """
+
+    makespan: float
+    entries: Tuple[TimelineEntry, ...]
+    slack: np.ndarray
+    blame: Tuple[BlameRow, ...]
+
+    @property
+    def critical_tids(self) -> Tuple[int, ...]:
+        """Task ids on the makespan-defining chain, execution order."""
+        return tuple(entry.task.tid for entry in self.entries)
+
+    def zero_slack_tids(self, eps: float = 1e-9) -> np.ndarray:
+        """All task ids with slack <= ``eps`` (every critical chain's tasks)."""
+        return np.flatnonzero(self.slack <= eps)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready view: makespan, chain task ids, blame rows."""
+        return {
+            "makespan": self.makespan,
+            "critical_tids": list(self.critical_tids),
+            "blame": [row.to_dict() for row in self.blame],
+        }
+
+    def to_text(self) -> str:
+        """Human-readable blame table (what the ``trace`` CLI prints)."""
+        lines = [
+            f"critical path: {len(self.entries)} tasks over "
+            f"{self.makespan:.6f}s makespan"
+        ]
+        header = f"  {'phase':<14} {'kind':<8} {'seconds':>10} {'share':>7}  tasks"
+        lines += [header, "  " + "-" * (len(header) - 2)]
+        for row in self.blame:
+            lines.append(
+                f"  {row.label:<14} {row.kind:<8} {row.seconds:>10.6f} "
+                f"{row.share * 100:>6.1f}%  {row.tasks}"
+            )
+        return "\n".join(lines)
+
+
+def blame_table(
+    entries: Tuple[TimelineEntry, ...], makespan: float
+) -> Tuple[BlameRow, ...]:
+    """Aggregate a critical chain into per-phase blame rows.
+
+    Rows are sorted by descending seconds (ties by label) and their
+    seconds sum to the chain's total duration — equal to the makespan
+    for chains produced by :func:`critical_path` on engine schedules.
+    """
+    seconds: Dict[Tuple[str, str], float] = {}
+    counts: Dict[Tuple[str, str], int] = {}
+    for entry in entries:
+        key = (entry.task.phase.value, entry.task.kind)
+        seconds[key] = seconds.get(key, 0.0) + entry.duration
+        counts[key] = counts.get(key, 0) + 1
+    rows = [
+        BlameRow(
+            label=label,
+            kind=kind,
+            seconds=value,
+            share=value / makespan if makespan > 0 else 0.0,
+            tasks=counts[(label, kind)],
+        )
+        for (label, kind), value in seconds.items()
+    ]
+    rows.sort(key=lambda row: (-row.seconds, row.label))
+    return tuple(rows)
+
+
+def critical_path_report(graph: TaskGraph, timeline: Timeline) -> CriticalPathReport:
+    """Chain + slack + blame for one simulated iteration.
+
+    The computed counterpart of the paper's Fig. 2/3 profiling: instead
+    of instrumenting a testbed, the simulated schedule is analyzed
+    exactly — which phases the makespan-defining chain runs through, and
+    how much headroom (slack) every other task has.
+    """
+    entries = tuple(critical_path(graph, timeline))
+    makespan = timeline.makespan
+    return CriticalPathReport(
+        makespan=makespan,
+        entries=entries,
+        slack=task_slack(graph, timeline),
+        blame=blame_table(entries, makespan),
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -339,6 +339,16 @@ class TaskGraph:
         self._absorb_external_tasks()
         return self._phases[tid]
 
+    def task_names(self) -> List[str]:
+        """All task names in tid order (a copy; no object materialization)."""
+        self._absorb_external_tasks()
+        return list(self._names)
+
+    def task_phases(self) -> List[Phase]:
+        """All task phases in tid order (a copy; no object materialization)."""
+        self._absorb_external_tasks()
+        return list(self._phases)
+
     def phase_counts(self) -> Dict[str, int]:
         """Task count per phase name (no object materialization)."""
         self._absorb_external_tasks()

@@ -13,9 +13,10 @@ The paper reports two time views we reproduce here:
 from __future__ import annotations
 
 import json
+import os
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -317,7 +318,39 @@ class Timeline:
         return Breakdown(rank=rank, total=horizon, seconds=seconds)
 
     def to_chrome_trace(self) -> List[dict]:
-        """Chrome ``chrome://tracing`` events (one pid per rank, tid per stream)."""
+        """Chrome ``chrome://tracing`` events (one pid per rank, tid per stream).
+
+        Engine schedules take a columnar fast path over the task-graph
+        arrays (no :class:`TimelineEntry` materialization); the event
+        list is identical to the object path's.  For the full Perfetto
+        export — flow events, counter tracks, stream metadata, the
+        critical-path track — see :func:`repro.sim.trace.perfetto_trace`.
+        """
+        state = self._columnar()
+        if state is not None:
+            graph, start, end = state
+            cols = graph.columns()
+            n = end.size  # tasks appended after simulate() have no schedule
+            names = graph.task_names()
+            cats = [phase.value for phase in graph.task_phases()]
+            counts = np.diff(cols.ranks_indptr[: n + 1])
+            occ_tid = np.repeat(np.arange(n, dtype=np.int64), counts)
+            ts = (start[occ_tid] * 1e6).tolist()
+            dur = ((end[occ_tid] - start[occ_tid]) * 1e6).tolist()
+            stream = cols.is_comm[occ_tid].astype(np.int64).tolist()
+            pids = cols.ranks_flat[: cols.ranks_indptr[n]].tolist()
+            return [
+                {
+                    "name": names[t],
+                    "cat": cats[t],
+                    "ph": "X",
+                    "ts": ts[i],
+                    "dur": dur[i],
+                    "pid": pids[i],
+                    "tid": stream[i],
+                }
+                for i, t in enumerate(occ_tid.tolist())
+            ]
         events = []
         for entry in self.entries:
             for rank in entry.task.ranks:
@@ -334,7 +367,8 @@ class Timeline:
                 )
         return events
 
-    def save_chrome_trace(self, path: str) -> None:
-        """Write the Chrome trace JSON to ``path``."""
-        with open(path, "w") as f:
-            json.dump({"traceEvents": self.to_chrome_trace()}, f)
+    def save_chrome_trace(self, path: Union[str, os.PathLike]) -> None:
+        """Write the Chrome trace JSON to ``path`` (str or ``os.PathLike``)
+        with deterministic (sorted) key order."""
+        with open(os.fspath(path), "w") as f:
+            json.dump({"traceEvents": self.to_chrome_trace()}, f, sort_keys=True)

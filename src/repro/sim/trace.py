@@ -1,0 +1,404 @@
+"""Perfetto-grade trace export of simulated schedules.
+
+:func:`perfetto_trace` turns a :class:`~repro.sim.timeline.Timeline`
+into a Chrome/Perfetto JSON trace that tells the whole scheduling story,
+not just the slices:
+
+* **process/thread metadata** — one process per rank (``rank 0`` …),
+  two named threads per rank (``compute stream``, ``comm stream``),
+  mirroring the CUDA-stream/NCCL-queue model the simulator executes;
+* **slices** (``ph: "X"``) — one per (task, participating rank), built
+  on a columnar fast path over the task-graph arrays (no
+  ``TimelineEntry`` objects are materialized for engine schedules);
+* **flow events** (``ph: "s"/"f"``) — one arrow per declared dependency
+  edge, so clicking a collective shows exactly which kernels gated it;
+* **per-rank counter tracks** (``ph: "C"``) — ``comm queue depth`` (comm
+  tasks still unfinished on the rank's communication stream) and
+  ``outstanding comm (s)`` (their summed remaining seconds — the byte
+  backlog at the calibrated link rate);
+* a **critical-path track** — a synthetic process replaying the
+  zero-slack chain of :func:`repro.sim.analysis.critical_path_report`,
+  so the makespan-defining spine is one glance away.
+
+The export is fully deterministic (stable event order, sorted JSON
+keys, no wall-clock stamps), so traces diff cleanly across runs.
+
+Load the output at ``ui.perfetto.dev`` (or ``chrome://tracing``)::
+
+    from repro.sim import simulate
+    from repro.sim.trace import perfetto_trace, save_trace
+
+    timeline = simulate(graph)
+    save_trace("trace.json", perfetto_trace(timeline))
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.sim.analysis import CriticalPathReport, critical_path_report
+from repro.sim.task import COMM, TaskGraph
+from repro.sim.timeline import Timeline
+
+__all__ = ["perfetto_trace", "save_trace"]
+
+#: Thread ids of the two per-rank streams (matches ``Timeline.to_chrome_trace``).
+COMPUTE_TID = 0
+COMM_TID = 1
+
+#: Counter-track names emitted per rank.
+QUEUE_DEPTH_COUNTER = "comm queue depth"
+OUTSTANDING_COMM_COUNTER = "outstanding comm (s)"
+
+#: Category labels of the non-slice event kinds.
+FLOW_CATEGORY = "dep"
+CRITICAL_CATEGORY = "critical-path"
+
+
+class _TraceColumns:
+    """Flat tid-indexed views of one schedule, from either backing."""
+
+    def __init__(
+        self,
+        num_ranks: int,
+        names: List[str],
+        cats: List[str],
+        is_comm: np.ndarray,
+        start: np.ndarray,
+        end: np.ndarray,
+        ranks_indptr: np.ndarray,
+        ranks_flat: np.ndarray,
+        deps_indptr: np.ndarray,
+        deps_flat: np.ndarray,
+    ):
+        self.num_ranks = num_ranks
+        self.names = names
+        self.cats = cats
+        self.is_comm = is_comm
+        self.start = start
+        self.end = end
+        self.ranks_indptr = ranks_indptr
+        self.ranks_flat = ranks_flat
+        self.deps_indptr = deps_indptr
+        self.deps_flat = deps_flat
+
+    @property
+    def n(self) -> int:
+        return self.start.size
+
+    def first_rank(self, tid: int) -> int:
+        """The anchor rank a task's flow endpoints bind to."""
+        return int(self.ranks_flat[self.ranks_indptr[tid]])
+
+
+def _columns_from_graph(graph: TaskGraph, start: np.ndarray, end: np.ndarray) -> _TraceColumns:
+    cols = graph.columns()
+    n = end.size  # tasks appended after simulate() have no schedule
+    return _TraceColumns(
+        num_ranks=graph.num_ranks,
+        names=graph.task_names()[:n],
+        cats=[phase.value for phase in graph.task_phases()[:n]],
+        is_comm=cols.is_comm[:n],
+        start=start,
+        end=end,
+        ranks_indptr=cols.ranks_indptr[: n + 1],
+        ranks_flat=cols.ranks_flat[: cols.ranks_indptr[n]],
+        deps_indptr=cols.deps_indptr[: n + 1],
+        deps_flat=cols.deps_flat[: cols.deps_indptr[n]],
+    )
+
+
+def _columns_from_entries(timeline: Timeline) -> _TraceColumns:
+    """Object-path fallback for hand-built (entries-only) timelines."""
+    entries = sorted(timeline.entries, key=lambda e: e.task.tid)
+    n = len(entries)
+    names = [e.task.name for e in entries]
+    cats = [e.task.phase.value for e in entries]
+    is_comm = np.array([e.task.kind == COMM for e in entries], dtype=bool)
+    start = np.array([e.start for e in entries], dtype=np.float64)
+    end = np.array([e.end for e in entries], dtype=np.float64)
+    ranks_flat: List[int] = []
+    ranks_indptr = [0]
+    deps_flat: List[int] = []
+    deps_indptr = [0]
+    for entry in entries:
+        ranks_flat.extend(entry.task.ranks)
+        ranks_indptr.append(len(ranks_flat))
+        deps_flat.extend(d for d in entry.task.deps if d < n)
+        deps_indptr.append(len(deps_flat))
+    return _TraceColumns(
+        num_ranks=timeline.num_ranks,
+        names=names,
+        cats=cats,
+        is_comm=is_comm,
+        start=start,
+        end=end,
+        ranks_indptr=np.asarray(ranks_indptr, dtype=np.int64),
+        ranks_flat=np.asarray(ranks_flat, dtype=np.int64),
+        deps_indptr=np.asarray(deps_indptr, dtype=np.int64),
+        deps_flat=np.asarray(deps_flat, dtype=np.int64),
+    )
+
+
+def _metadata_events(tc: _TraceColumns, critical: bool) -> List[dict]:
+    events: List[dict] = []
+    for rank in range(tc.num_ranks):
+        events.append(
+            {
+                "ph": "M",
+                "pid": rank,
+                "tid": 0,
+                "name": "process_name",
+                "args": {"name": f"rank {rank}"},
+            }
+        )
+        events.append(
+            {
+                "ph": "M",
+                "pid": rank,
+                "tid": 0,
+                "name": "process_sort_index",
+                "args": {"sort_index": rank},
+            }
+        )
+        for tid, label in ((COMPUTE_TID, "compute stream"), (COMM_TID, "comm stream")):
+            events.append(
+                {
+                    "ph": "M",
+                    "pid": rank,
+                    "tid": tid,
+                    "name": "thread_name",
+                    "args": {"name": label},
+                }
+            )
+            events.append(
+                {
+                    "ph": "M",
+                    "pid": rank,
+                    "tid": tid,
+                    "name": "thread_sort_index",
+                    "args": {"sort_index": tid},
+                }
+            )
+    if critical:
+        pid = tc.num_ranks
+        events.append(
+            {
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "name": "process_name",
+                "args": {"name": "critical path"},
+            }
+        )
+        events.append(
+            {
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "name": "process_sort_index",
+                "args": {"sort_index": tc.num_ranks},
+            }
+        )
+    return events
+
+
+def _slice_events(tc: _TraceColumns) -> List[dict]:
+    """One ``X`` slice per (task, participating rank), columnar."""
+    counts = np.diff(tc.ranks_indptr)
+    occ_tid = np.repeat(np.arange(tc.n, dtype=np.int64), counts)
+    ts = (tc.start[occ_tid] * 1e6).tolist()
+    dur = ((tc.end[occ_tid] - tc.start[occ_tid]) * 1e6).tolist()
+    stream = tc.is_comm[occ_tid].astype(np.int64).tolist()
+    tids = occ_tid.tolist()
+    pids = tc.ranks_flat.tolist()
+    names, cats = tc.names, tc.cats
+    return [
+        {
+            "name": names[t],
+            "cat": cats[t],
+            "ph": "X",
+            "ts": ts[i],
+            "dur": dur[i],
+            "pid": pids[i],
+            "tid": stream[i],
+            "args": {"tid": t},
+        }
+        for i, t in enumerate(tids)
+    ]
+
+
+def _flow_events(tc: _TraceColumns) -> List[dict]:
+    """Dependency edges as ``s``/``f`` flow pairs anchored to slices."""
+    counts = np.diff(tc.deps_indptr)
+    succ = np.repeat(np.arange(tc.n, dtype=np.int64), counts)
+    pred = tc.deps_flat
+    events: List[dict] = []
+    end_us = (tc.end * 1e6).tolist()
+    start_us = (tc.start * 1e6).tolist()
+    stream = tc.is_comm.astype(np.int64).tolist()
+    anchors = tc.ranks_flat[tc.ranks_indptr[:-1]].tolist()
+    for flow_id, (p, s) in enumerate(zip(pred.tolist(), succ.tolist())):
+        events.append(
+            {
+                "name": FLOW_CATEGORY,
+                "cat": FLOW_CATEGORY,
+                "ph": "s",
+                "id": flow_id,
+                "ts": end_us[p],
+                "pid": anchors[p],
+                "tid": stream[p],
+            }
+        )
+        events.append(
+            {
+                "name": FLOW_CATEGORY,
+                "cat": FLOW_CATEGORY,
+                "ph": "f",
+                "bp": "e",
+                "id": flow_id,
+                "ts": start_us[s],
+                "pid": anchors[s],
+                "tid": stream[s],
+            }
+        )
+    return events
+
+
+def _counter_events(tc: _TraceColumns) -> List[dict]:
+    """Per-rank comm-stream backlog counters, stepped at task ends."""
+    counts = np.diff(tc.ranks_indptr)
+    occ_tid = np.repeat(np.arange(tc.n, dtype=np.int64), counts)
+    comm_mask = tc.is_comm[occ_tid]
+    comm_tid = occ_tid[comm_mask]
+    comm_rank = tc.ranks_flat[comm_mask]
+    events: List[dict] = []
+    for rank in range(tc.num_ranks):
+        mine = comm_tid[comm_rank == rank]
+        ends = tc.end[mine]
+        durs = tc.end[mine] - tc.start[mine]
+        order = np.argsort(ends, kind="stable")
+        depth = int(mine.size)
+        outstanding = float(durs.sum())
+        steps: List[Tuple[float, int, float]] = [(0.0, depth, outstanding)]
+        for i in order.tolist():
+            depth -= 1
+            outstanding -= float(durs[i])
+            steps.append((float(ends[i]) * 1e6, depth, outstanding))
+        for ts, depth_v, out_v in steps:
+            events.append(
+                {
+                    "name": QUEUE_DEPTH_COUNTER,
+                    "ph": "C",
+                    "ts": ts,
+                    "pid": rank,
+                    "args": {"tasks": depth_v},
+                }
+            )
+            events.append(
+                {
+                    "name": OUTSTANDING_COMM_COUNTER,
+                    "ph": "C",
+                    "ts": ts,
+                    "pid": rank,
+                    # Clamp float cancellation so the track ends at exactly 0.
+                    "args": {"seconds": max(out_v, 0.0)},
+                }
+            )
+    return events
+
+
+def _critical_events(tc: _TraceColumns, report: CriticalPathReport) -> List[dict]:
+    pid = tc.num_ranks
+    events: List[dict] = []
+    for entry in report.entries:
+        events.append(
+            {
+                "name": entry.task.name,
+                "cat": CRITICAL_CATEGORY,
+                "ph": "X",
+                "ts": entry.start * 1e6,
+                "dur": entry.duration * 1e6,
+                "pid": pid,
+                "tid": 0,
+                "args": {"tid": entry.task.tid, "slack": 0.0},
+            }
+        )
+    return events
+
+
+def perfetto_trace(
+    timeline: Timeline,
+    graph: Optional[TaskGraph] = None,
+    *,
+    flows: bool = True,
+    counters: bool = True,
+    critical: bool = True,
+    report: Optional[CriticalPathReport] = None,
+) -> Dict[str, object]:
+    """Export ``timeline`` as a Perfetto-loadable Chrome JSON trace dict.
+
+    ``graph`` defaults to the graph the timeline was scheduled from
+    (engine timelines carry it); hand-built timelines reconstruct the
+    needed columns from their entries.  ``flows``, ``counters`` and
+    ``critical`` toggle the flow-event, counter-track and
+    critical-path-track sections; ``report`` supplies a precomputed
+    :func:`~repro.sim.analysis.critical_path_report` (otherwise one is
+    derived when ``critical`` is on and a graph is available).
+
+    Returns a dict with ``traceEvents``, ``displayTimeUnit`` and an
+    ``otherData`` summary — pass it to :func:`save_trace` for
+    deterministic serialization.
+    """
+    if graph is None:
+        graph = timeline._graph
+    state = timeline._columnar()
+    if state is not None and (graph is None or graph is state[0]):
+        graph, start, end = state
+        tc = _columns_from_graph(graph, start, end)
+    else:
+        tc = _columns_from_entries(timeline)
+
+    cp_report = report
+    if critical and cp_report is None:
+        if graph is not None:
+            cp_report = critical_path_report(graph, timeline)
+        else:
+            critical = False
+
+    events = _metadata_events(tc, critical=critical and cp_report is not None)
+    events += _slice_events(tc)
+    if flows:
+        events += _flow_events(tc)
+    if counters:
+        events += _counter_events(tc)
+    if critical and cp_report is not None:
+        events += _critical_events(tc, cp_report)
+
+    other: Dict[str, object] = {
+        "makespan_s": timeline.makespan,
+        "num_ranks": tc.num_ranks,
+        "tasks": tc.n,
+        "events": len(events),
+    }
+    if cp_report is not None:
+        other["critical_path"] = cp_report.to_dict()
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }
+
+
+def save_trace(path: Union[str, os.PathLike], trace: Dict[str, object]) -> None:
+    """Write a trace dict as deterministic JSON (sorted keys, compact).
+
+    ``path`` may be anything :func:`os.fspath` accepts.
+    """
+    with open(os.fspath(path), "w") as f:
+        json.dump(trace, f, sort_keys=True, separators=(",", ":"))
+        f.write("\n")

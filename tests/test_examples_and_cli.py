@@ -221,6 +221,103 @@ class TestAutotuneCli:
         assert "needs a fault scenario" in result.stderr
 
 
+class TestTraceCli:
+    def test_trace_writes_perfetto_trace(self, tmp_path):
+        path = tmp_path / "t.json"
+        # Acceptance spelling: lowercase, punctuation-free names resolve.
+        result = run_script(
+            "-m", "repro.experiments", "trace", "resnet50", "spd-kfac",
+            "--gpus", "8", "--out", str(path),
+        )
+        assert result.returncode == 0, result.stderr
+        assert "critical path:" in result.stdout
+        assert "trace written to" in result.stdout
+        import json
+
+        trace = json.loads(path.read_text())
+        phases = {e["ph"] for e in trace["traceEvents"]}
+        assert {"M", "X", "s", "f", "C"} <= phases  # flows + counters present
+        assert trace["otherData"]["num_ranks"] == 8
+        assert trace["otherData"]["critical_path"]["makespan"] > 0
+
+    def test_trace_critical_only_skips_file(self):
+        result = run_script(
+            "-m", "repro.experiments", "trace", "ResNet-50", "SPD-KFAC",
+            "--gpus", "4", "--critical-only",
+        )
+        assert result.returncode == 0, result.stderr
+        assert "critical path:" in result.stdout
+        assert "trace written" not in result.stdout
+
+    def test_trace_requires_out_or_critical_only(self):
+        result = run_script(
+            "-m", "repro.experiments", "trace", "ResNet-50", "SPD-KFAC",
+            "--gpus", "4",
+        )
+        assert result.returncode != 0
+        assert "--out" in result.stderr
+
+    def test_trace_unknown_model_fails_cleanly(self):
+        result = run_script(
+            "-m", "repro.experiments", "trace", "LeNet-9000", "SPD-KFAC",
+            "--critical-only",
+        )
+        assert result.returncode == 2
+        assert "unknown model" in result.stderr
+        assert "Traceback" not in result.stderr
+
+    def test_trace_topology_cluster(self, tmp_path):
+        path = tmp_path / "topo.json"
+        result = run_script(
+            "-m", "repro.experiments", "trace", "ResNet-50", "SPD-KFAC",
+            "--topology", "flat", "--out", str(path), "--no-flows",
+            "--no-counters",
+        )
+        assert result.returncode == 0, result.stderr
+        import json
+
+        trace = json.loads(path.read_text())
+        phases = {e["ph"] for e in trace["traceEvents"]}
+        assert "s" not in phases and "C" not in phases
+
+
+class TestObservabilityFlags:
+    def test_plan_cache_stats_flag(self):
+        result = run_script(
+            "-m", "repro.experiments", "plan", "ResNet-50", "SPD-KFAC",
+            "--gpus", "4", "--cache-stats",
+        )
+        assert result.returncode == 0, result.stderr
+        assert "plan cache:" in result.stdout
+        assert "misses" in result.stdout
+
+    def test_autotune_stats_and_cache_stats(self):
+        result = run_script(
+            "-m", "repro.experiments", "autotune", "ResNet-50", "--gpus", "4",
+            "--top", "3", "--stats", "--cache-stats",
+        )
+        assert result.returncode == 0, result.stderr
+        assert "search telemetry:" in result.stdout
+        assert "prune rate:" in result.stdout
+        assert "bound tightness" in result.stdout
+        assert "plan cache:" in result.stdout
+
+    def test_run_report_artifacts(self, tmp_path):
+        out = tmp_path / "reports"
+        result = run_script(
+            "-m", "repro.experiments", "tab2", "fig3",
+            "--run-report", str(out),
+        )
+        assert result.returncode == 0, result.stderr
+        import json
+
+        for experiment_id in ("tab2", "fig3"):
+            payload = json.loads((out / f"{experiment_id}.report.json").read_text())
+            assert payload["experiment_id"] == experiment_id
+            assert payload["wall_clock_s"] > 0
+            assert "obs" in payload
+
+
 @pytest.mark.parametrize("experiment_id", ["tab2", "fig3", "fig7", "fig11"])
 def test_fast_experiments_render_roundtrip(experiment_id):
     """Fast experiments render both text and markdown without error."""

@@ -91,6 +91,11 @@ class TestPaperModels:
     def test_case_insensitive_lookup(self):
         assert get_model_spec("resnet-50").name == "ResNet-50"
 
+    def test_punctuation_insensitive_lookup(self):
+        assert get_model_spec("resnet50").name == "ResNet-50"
+        assert get_model_spec("RESNET 152").name == "ResNet-152"
+        assert get_model_spec("inceptionv4").name == "Inception-v4"
+
     def test_resnet50_forward_flops_in_published_range(self):
         """~4.1 GMACs/image => ~8.2 GFLOPs at 2 FLOPs per MAC."""
         spec = get_model_spec("ResNet-50")

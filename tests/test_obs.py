@@ -1,0 +1,383 @@
+"""Tests for the observability layer: recorder, metrics, instrumentation.
+
+The contract under test is twofold: (1) the recorder faithfully collects
+spans and metrics when enabled, and (2) enabling it never changes any
+computed value — frozen paper rows are bit-identical with instrumentation
+off and on.
+"""
+
+import json
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    RATIO_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    Recorder,
+    recorder,
+    recording,
+)
+
+
+class TestMetrics:
+    def test_counter_accumulates(self):
+        c = Counter("hits")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        assert c.to_dict() == {"type": "counter", "value": 5}
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError, match="cannot decrease"):
+            Counter("hits").inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        g = Gauge("depth")
+        g.set(3)
+        g.set(1.5)
+        assert g.value == 1.5
+
+    def test_histogram_buckets_observations(self):
+        h = Histogram("lat", bounds=(1.0, 2.0))
+        for v in (0.5, 1.0, 1.5, 5.0):
+            h.observe(v)
+        assert h.counts == [2, 1, 1]  # <=1.0, <=2.0, +Inf
+        assert h.count == 4
+        assert h.sum == pytest.approx(8.0)
+        assert h.mean == pytest.approx(2.0)
+
+    def test_histogram_labels_and_dict(self):
+        h = Histogram("lat", bounds=(0.1, 1.0))
+        assert h.bucket_labels() == ["<=0.1", "<=1", "+Inf"]
+        h.observe(0.05)
+        assert h.to_dict()["buckets"] == {"<=0.1": 1, "<=1": 0, "+Inf": 0}
+
+    def test_histogram_rejects_bad_bounds(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Histogram("h", bounds=())
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("h", bounds=(2.0, 1.0))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("h", bounds=(1.0, 1.0))
+
+    def test_default_bucket_sets_are_valid(self):
+        # The shared bucket layouts must themselves satisfy the invariant.
+        Histogram("lat", bounds=DEFAULT_LATENCY_BUCKETS)
+        Histogram("ratio", bounds=RATIO_BUCKETS)
+
+
+class TestRecorder:
+    def test_disabled_span_records_nothing(self):
+        rec = Recorder()
+        with rec.span("work", tag=1) as sp:
+            sp.set(more=2)
+        rec.count("c")
+        rec.gauge("g", 1.0)
+        rec.observe("h", 0.5)
+        assert rec.spans == []
+        assert rec.counters == {}
+        assert rec.gauges == {}
+        assert rec.histograms == {}
+
+    def test_disabled_span_is_shared_noop(self):
+        rec = Recorder()
+        assert rec.span("a") is rec.span("b")
+
+    def test_enabled_span_captures_attrs_and_timing(self):
+        rec = Recorder()
+        rec.enable()
+        with rec.span("work", items=3) as sp:
+            sp.set(status="done")
+        (span,) = rec.spans
+        assert span.name == "work"
+        assert span.get("items") == 3
+        assert span.get("status") == "done"
+        assert span.get("missing", "x") == "x"
+        assert span.duration >= 0.0
+        assert span.thread == threading.get_ident()
+
+    def test_metrics_round_trip(self):
+        rec = Recorder()
+        rec.enable()
+        rec.count("hits", 2)
+        rec.count("hits")
+        rec.gauge("depth", 7)
+        rec.observe("lat", 0.2, buckets=(0.1, 1.0))
+        assert rec.counters["hits"].value == 3
+        assert rec.gauges["depth"].value == 7
+        assert rec.histograms["lat"].count == 1
+
+    def test_observe_rejects_mismatched_buckets(self):
+        rec = Recorder()
+        rec.enable()
+        rec.observe("lat", 0.2, buckets=(0.1, 1.0))
+        with pytest.raises(ValueError, match="already exists"):
+            rec.observe("lat", 0.2, buckets=(0.5, 1.0))
+
+    def test_reset_drops_everything_but_keeps_state(self):
+        rec = Recorder()
+        rec.enable()
+        with rec.span("work"):
+            rec.count("c")
+        rec.reset()
+        assert rec.spans == []
+        assert rec.counters == {}
+        assert rec.enabled
+
+    def test_span_stats_aggregates_by_name(self):
+        rec = Recorder()
+        rec.enable()
+        for _ in range(3):
+            with rec.span("step"):
+                pass
+        stats = rec.span_stats()["step"]
+        assert stats.count == 3
+        assert stats.total >= stats.max >= 0.0
+        payload = stats.to_dict()
+        assert payload["count"] == 3
+        assert payload["mean_s"] == pytest.approx(payload["total_s"] / 3)
+
+    def test_summary_is_json_ready(self):
+        rec = Recorder()
+        rec.enable()
+        with rec.span("step", k=1):
+            rec.count("c")
+            rec.gauge("g", 2.0)
+            rec.observe("h", 0.1)
+        summary = rec.summary()
+        assert set(summary) == {"spans", "counters", "gauges", "histograms"}
+        assert summary["spans"]["step"]["count"] == 1
+        json.dumps(summary)  # must serialize as-is
+
+    def test_chrome_trace_export(self):
+        rec = Recorder()
+        rec.enable()
+        with rec.span("outer"):
+            with rec.span("inner"):
+                pass
+        events = rec.to_chrome_trace()
+        assert events[0]["ph"] == "M"
+        slices = [e for e in events if e["ph"] == "X"]
+        assert {e["name"] for e in slices} == {"outer", "inner"}
+        assert min(e["ts"] for e in slices) == 0.0
+
+    def test_chrome_trace_empty(self):
+        assert Recorder().to_chrome_trace() == []
+
+    def test_save_summary_accepts_pathlike(self, tmp_path):
+        rec = Recorder()
+        rec.enable()
+        with rec.span("step"):
+            pass
+        path = tmp_path / "summary.json"
+        rec.save_summary(path)  # a Path, not a str
+        assert json.loads(path.read_text())["spans"]["step"]["count"] == 1
+
+
+class TestRecordingContext:
+    def test_default_recorder_is_process_wide(self):
+        assert recorder() is recorder()
+
+    def test_recording_enables_and_restores(self):
+        rec = recorder()
+        assert not rec.enabled
+        with recording() as got:
+            assert got is rec
+            assert rec.enabled
+        assert not rec.enabled
+
+    def test_recording_fresh_resets_previous_telemetry(self):
+        with recording() as rec:
+            with rec.span("old"):
+                pass
+        with recording() as rec:
+            assert rec.spans == []
+
+    def test_recording_keep_previous_telemetry(self):
+        with recording() as rec:
+            with rec.span("old"):
+                pass
+        with recording(fresh=False) as rec:
+            assert [s.name for s in rec.spans] == ["old"]
+
+    def test_recording_restores_enabled_state(self):
+        rec = recorder()
+        rec.enable()
+        try:
+            with recording():
+                pass
+            assert rec.enabled
+        finally:
+            rec.disable()
+            rec.reset()
+
+
+class TestBuiltInInstrumentation:
+    """The wired spans in engine, session, tuner, and experiments."""
+
+    def test_simulate_records_span(self):
+        from repro.sim import Phase, TaskGraph, simulate
+
+        g = TaskGraph(2)
+        a = g.add_compute("a", Phase.FORWARD, 0, 1.0)
+        g.add_collective("ar", Phase.GRAD_COMM, [0, 1], 2.0, deps=[a])
+        with recording() as rec:
+            simulate(g)
+        (span,) = [s for s in rec.spans if s.name == "sim.simulate"]
+        assert span.get("tasks") == 2
+        assert span.get("ranks") == 2
+
+    def test_simulate_batch_records_span(self):
+        from repro.sim import Phase, TaskGraph, simulate_batch
+
+        g = TaskGraph(1)
+        g.add_compute("a", Phase.FORWARD, 0, 1.0)
+        with recording() as rec:
+            simulate_batch(g, [[1.0], [2.0], [3.0]])
+        (span,) = [s for s in rec.spans if s.name == "sim.simulate_batch"]
+        assert span.get("samples") == 3
+
+    def test_session_spans_and_cache_counters(self):
+        from repro.plan import Session
+        from repro.plan.session import clear_caches
+        from tests.conftest import build_tiny_spec
+
+        clear_caches()
+        session = Session(build_tiny_spec(), 4)
+        with recording() as rec:
+            session.plan("SPD-KFAC")
+            session.simulate("SPD-KFAC")  # cache hit
+        plan_spans = [s for s in rec.spans if s.name == "plan.session.plan"]
+        assert len(plan_spans) == 2
+        assert plan_spans[0].get("strategy") == "SPD-KFAC"
+        counters = rec.counters
+        assert counters["plan.cache.misses"].value == 1
+        assert counters["plan.cache.hits"].value == 1
+
+    def test_tuner_candidate_spans_carry_status(self):
+        from repro.autotune import autotune
+        from repro.perf import scaled_cluster_profile
+        from tests.conftest import build_tiny_spec
+
+        with recording() as rec:
+            report = autotune(build_tiny_spec(), scaled_cluster_profile(4))
+        stage_names = {s.name for s in rec.spans}
+        assert {"autotune.presets", "autotune.prepare", "autotune.evaluate"} <= stage_names
+        candidates = [s for s in rec.spans if s.name == "autotune.candidate"]
+        assert len(candidates) == report.stats["candidates"]
+        statuses = {}
+        for span in candidates:
+            status = span.get("status")
+            statuses[status] = statuses.get(status, 0) + 1
+        assert statuses.get("simulated", 0) == report.stats["simulated"]
+        assert statuses.get("reused", 0) == report.stats["reused"]
+        assert statuses.get("pruned", 0) == report.stats["pruned"]
+
+    def test_rows_bit_identical_with_instrumentation_on(self):
+        """Acceptance: enabling the recorder never changes computed rows."""
+        from repro.experiments import get_experiment
+        from repro.plan.session import clear_caches
+
+        clear_caches()
+        baseline = get_experiment("fig11").run().rows
+        clear_caches()
+        with recording():
+            instrumented = get_experiment("fig11").run().rows
+        assert instrumented == baseline
+
+    def test_disabled_instrumentation_unchanged_results(self):
+        from repro.plan import Session
+        from repro.plan.session import clear_caches
+        from tests.conftest import build_tiny_spec
+
+        clear_caches()
+        bare = Session(build_tiny_spec(), 4).simulate("SPD-KFAC").iteration_time
+        clear_caches()
+        with recording():
+            observed = Session(build_tiny_spec(), 4).simulate("SPD-KFAC").iteration_time
+        assert observed == bare
+
+
+class TestAutotuneTelemetry:
+    @pytest.fixture(scope="class")
+    def report(self):
+        from repro.autotune import autotune
+        from repro.perf import scaled_cluster_profile
+        from tests.conftest import build_tiny_spec
+
+        return autotune(build_tiny_spec(), scaled_cluster_profile(4))
+
+    def test_telemetry_shape(self, report):
+        wall = report.telemetry["wall_clock_s"]
+        assert set(wall) == {"presets", "prepare", "evaluate", "total"}
+        assert wall["total"] >= wall["evaluate"] >= 0.0
+        assert 0.0 <= report.telemetry["prune_rate"] <= 1.0
+        assert report.telemetry["cache"]["misses"] >= 1
+
+    def test_bound_tightness_counts_simulated(self, report):
+        hist = report.telemetry["bound_tightness"]
+        assert hist["count"] == report.stats["simulated"]
+        # Bounds are lower bounds: every ratio is <= 1 (within float fuzz),
+        # so nothing lands beyond the 1.0 boundary.
+        assert hist["buckets"]["+Inf"] == 0
+
+    def test_telemetry_text_renders(self, report):
+        text = report.telemetry_text()
+        assert "prune rate" in text
+        assert "bound tightness" in text
+        assert "plan cache" in text
+
+    def test_telemetry_is_opt_in_for_serialization(self, report):
+        # Default view stays deterministic: telemetry (wall-clock, cache
+        # deltas) only appears when explicitly requested.
+        assert "telemetry" not in json.loads(report.to_json())
+        payload = report.to_dict(telemetry=True)
+        assert payload["telemetry"]["bound_tightness"]["count"] == report.stats[
+            "simulated"
+        ]
+
+    def test_empty_telemetry_text(self):
+        from repro.autotune.tuner import AutotuneReport
+
+        empty = AutotuneReport(
+            model="m", cluster="c", world_size=1, outcomes=[], preset_times={}
+        )
+        assert "no telemetry" in empty.telemetry_text()
+
+
+class TestRunReports:
+    def test_run_with_report_shape(self, tmp_path):
+        from repro.experiments.base import run_with_report, save_run_report
+
+        result, report = run_with_report("tab2")
+        assert result.rows
+        assert report["experiment_id"] == "tab2"
+        assert report["rows"] == len(result.rows)
+        assert report["wall_clock_s"] > 0.0
+        assert 0.0 <= report["cache"]["hit_rate"] <= 1.0
+        assert set(report["obs"]) == {"spans", "counters", "gauges", "histograms"}
+        path = tmp_path / "tab2.report.json"
+        save_run_report(path, report)  # a Path, not a str
+        assert json.loads(path.read_text())["experiment_id"] == "tab2"
+
+    def test_run_with_report_rows_match_bare_run(self):
+        from repro.experiments import get_experiment
+        from repro.experiments.base import run_with_report
+
+        bare = get_experiment("fig3").run().rows
+        result, _ = run_with_report("fig3")
+        assert result.rows == bare
+
+    def test_run_report_cache_hits_on_shared_rows(self):
+        from repro.experiments.base import run_with_report
+        from repro.plan.session import clear_caches
+
+        clear_caches()
+        run_with_report("tab3")
+        _, second = run_with_report("tab3")
+        assert second["cache"]["hit_rate"] == 1.0

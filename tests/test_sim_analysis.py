@@ -1,10 +1,20 @@
 """Tests for critical-path analysis."""
 
+import numpy as np
 import pytest
 
 from repro.plan import build_strategy_graph
 from repro.perf import scaled_cluster_profile
-from repro.sim import Phase, TaskGraph, critical_path, critical_path_phases, simulate
+from repro.sim import (
+    Phase,
+    TaskGraph,
+    blame_table,
+    critical_path,
+    critical_path_phases,
+    critical_path_report,
+    simulate,
+    task_slack,
+)
 from tests.conftest import build_tiny_spec
 
 
@@ -79,3 +89,100 @@ class TestCriticalPathOnSchedules:
         tl = simulate(graph)
         phases = critical_path_phases(graph, tl)
         assert sum(phases.values()) <= tl.makespan + 1e-9
+
+
+class TestTaskSlack:
+    def test_slack_zero_on_serial_chain(self):
+        g = TaskGraph(1)
+        g.add_compute("a", Phase.FORWARD, 0, 1.0)
+        g.add_compute("b", Phase.BACKWARD, 0, 2.0)
+        tl = simulate(g)
+        assert task_slack(g, tl).tolist() == [0.0, 0.0]
+
+    def test_hidden_comm_has_positive_slack(self):
+        g = TaskGraph(1)
+        b1 = g.add_compute("B1", Phase.BACKWARD, 0, 1.0)
+        c1 = g.add_collective("C1", Phase.GRAD_COMM, [0], 0.5, deps=[b1])
+        g.add_compute("B2", Phase.BACKWARD, 0, 2.0)
+        tl = simulate(g)
+        slack = task_slack(g, tl)
+        # C1 (tid 1) finishes at 1.5 but nothing needs it before the
+        # makespan at 3.0: it could start 1.5s later.
+        assert slack[c1] == pytest.approx(1.5)
+        assert slack[b1] == 0.0
+
+    def test_straggler_peer_carries_the_slack(self):
+        g = TaskGraph(2)
+        fast = g.add_compute("fast", Phase.FORWARD, 0, 1.0)
+        slow = g.add_compute("slow", Phase.FORWARD, 1, 4.0)
+        g.add_collective("ar", Phase.GRAD_COMM, [0, 1], 1.0, deps=[fast, slow])
+        slack = task_slack(g, simulate(g))
+        assert slack[fast] == pytest.approx(3.0)
+        assert slack[slow] == 0.0
+
+    def test_slack_nonnegative_and_empty_graph(self):
+        g = TaskGraph(1)
+        assert task_slack(g, simulate(g)).size == 0
+        graph = build_strategy_graph(
+            build_tiny_spec(num_layers=4), scaled_cluster_profile(4), "SPD-KFAC"
+        )
+        slack = task_slack(graph, simulate(graph))
+        assert (slack >= -1e-9).all()
+
+
+class TestCriticalPathReport:
+    @pytest.fixture(scope="class")
+    def schedule(self):
+        graph = build_strategy_graph(
+            build_tiny_spec(num_layers=5), scaled_cluster_profile(4), "SPD-KFAC"
+        )
+        timeline = simulate(graph)
+        return graph, timeline, critical_path_report(graph, timeline)
+
+    def test_zero_slack_chain_spans_start_to_makespan(self, schedule):
+        """Acceptance: slack-0 tasks chain from t=0 to the makespan and
+        their durations sum to the makespan exactly."""
+        _, timeline, report = schedule
+        entries = report.entries
+        assert entries[0].start == 0.0
+        assert entries[-1].end == timeline.makespan
+        for prev, nxt in zip(entries, entries[1:]):
+            assert nxt.start == prev.end  # gapless: starts when blocker ends
+        assert sum(e.duration for e in entries) == pytest.approx(
+            timeline.makespan, abs=1e-12
+        )
+
+    def test_chain_tasks_all_have_zero_slack(self, schedule):
+        _, _, report = schedule
+        zero = set(report.zero_slack_tids().tolist())
+        assert set(report.critical_tids) <= zero
+
+    def test_blame_sums_to_makespan(self, schedule):
+        _, timeline, report = schedule
+        assert sum(row.seconds for row in report.blame) == pytest.approx(
+            timeline.makespan
+        )
+        assert sum(row.share for row in report.blame) == pytest.approx(1.0)
+        assert sum(row.tasks for row in report.blame) == len(report.entries)
+        # Sorted by descending seconds.
+        seconds = [row.seconds for row in report.blame]
+        assert seconds == sorted(seconds, reverse=True)
+
+    def test_report_views(self, schedule):
+        _, timeline, report = schedule
+        payload = report.to_dict()
+        assert payload["makespan"] == timeline.makespan
+        assert payload["critical_tids"] == list(report.critical_tids)
+        assert len(payload["blame"]) == len(report.blame)
+        text = report.to_text()
+        assert "critical path:" in text
+        for row in report.blame:
+            assert row.label in text
+
+    def test_blame_table_empty_chain(self):
+        assert blame_table((), 0.0) == ()
+
+    def test_slack_vector_is_tid_indexed(self, schedule):
+        graph, _, report = schedule
+        assert report.slack.shape == (len(graph),)
+        assert isinstance(report.slack, np.ndarray)
