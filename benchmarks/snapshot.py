@@ -81,6 +81,16 @@ def run_suite() -> Dict[str, BenchmarkResult]:
         results[name] = BenchmarkResult(
             name=name, seconds=float(stats["median"]), rounds=int(stats["rounds"])
         )
+        # Benchmarks can publish extra tracked latencies (e.g. the serve
+        # load test's per-request p50/p99) via benchmark.extra_info: every
+        # "<metric>_s" float becomes its own "<name>::<metric>" entry, so
+        # the regression gate watches tail latency, not just round time.
+        for key, value in bench.get("extra_info", {}).items():
+            if key.endswith("_s") and isinstance(value, (int, float)):
+                sub = f"{name}::{key[:-2]}"
+                results[sub] = BenchmarkResult(
+                    name=sub, seconds=float(value), rounds=int(stats["rounds"])
+                )
     if not results:
         raise SystemExit("bench_kernels.py produced no benchmark records")
     return results

@@ -45,6 +45,7 @@ BUILD_DIR = DOCS_DIR / "_build"
 API_PACKAGES = [
     "repro.plan",
     "repro.autotune",
+    "repro.serve",
     "repro.faults",
     "repro.topo",
     "repro.sim",
@@ -59,7 +60,13 @@ API_PACKAGES = [
 
 #: Packages under the strict docstring audit (ISSUE 5 satellite): every
 #: public class/function must carry a docstring.
-AUDITED_PACKAGES = {"repro.plan", "repro.autotune", "repro.faults", "repro.topo"}
+AUDITED_PACKAGES = {
+    "repro.plan",
+    "repro.autotune",
+    "repro.serve",
+    "repro.faults",
+    "repro.topo",
+}
 
 #: Narrative pages, in navigation order (all must exist).
 NAV_PAGES = [
@@ -71,6 +78,7 @@ NAV_PAGES = [
     ("precision.md", "Precision, compression & staleness"),
     ("robustness.md", "Robustness & fault-aware planning"),
     ("observability.md", "Observability & tracing"),
+    ("serving.md", "Plan serving"),
     ("paper_map.md", "Paper-to-code map"),
 ]
 

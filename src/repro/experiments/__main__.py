@@ -1,7 +1,8 @@
 """CLI: ``python -m repro.experiments [ids...|all|report]``,
 ``python -m repro.experiments plan <model> <strategy>``,
-``python -m repro.experiments autotune <model>``, and
-``python -m repro.experiments trace <model> <strategy>``.
+``python -m repro.experiments autotune <model>``,
+``python -m repro.experiments trace <model> <strategy>``, and
+``python -m repro.experiments serve``.
 
 Examples::
 
@@ -19,6 +20,8 @@ Examples::
     python -m repro.experiments autotune --list-topologies
     python -m repro.experiments trace ResNet-50 SPD-KFAC --gpus 64 --out trace.json
     python -m repro.experiments trace ResNet-50 SPD-KFAC --critical-only
+    python -m repro.experiments serve --port 8061 --store /tmp/plan-store
+    python -m repro.experiments serve --load-test 1000 --concurrency 8 --json report.json
 """
 
 from __future__ import annotations
@@ -348,6 +351,88 @@ def _trace_main(argv) -> int:
     return 0
 
 
+def _serve_main(argv) -> int:
+    from repro.serve import PlanServer, run_load_test
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments serve",
+        description=(
+            "Run the plan server (plan/simulate/autotune over JSON HTTP), "
+            "or load-test a fresh instance with --load-test."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind host")
+    parser.add_argument(
+        "--port", type=int, default=8061, help="bind port (0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="disk-backed plan store directory (created if missing)",
+    )
+    parser.add_argument(
+        "--no-remote-shutdown",
+        action="store_true",
+        help="disable the POST /shutdown endpoint",
+    )
+    parser.add_argument(
+        "--load-test",
+        type=int,
+        metavar="N",
+        default=None,
+        help="instead of serving, boot an ephemeral server and fire N mixed queries",
+    )
+    parser.add_argument(
+        "--concurrency", type=int, default=8, help="load-test client threads"
+    )
+    parser.add_argument(
+        "--processes", type=int, default=1, help="load-test client processes"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="load-test workload seed"
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the load-test report as JSON",
+    )
+    args = parser.parse_args(argv)
+
+    if args.load_test is not None:
+        with PlanServer(args.host, 0, store=args.store) as server:
+            report = run_load_test(
+                server.host,
+                server.port,
+                queries=args.load_test,
+                concurrency=args.concurrency,
+                processes=args.processes,
+                seed=args.seed,
+            )
+        print(report.to_text())
+        if args.json is not None:
+            import json as json_mod
+
+            with open(args.json, "w") as fh:
+                json_mod.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"load-test report written to {args.json}")
+        return 1 if report.errors else 0
+
+    server = PlanServer(
+        args.host,
+        args.port,
+        store=args.store,
+        allow_remote_shutdown=not args.no_remote_shutdown,
+    )
+    store_note = f", store={args.store}" if args.store else ""
+    print(f"serving on http://{server.address}{store_note}  (Ctrl-C to stop)")
+    server.serve_forever()
+    print("server stopped")
+    return 0
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "plan":
@@ -356,6 +441,8 @@ def main(argv=None) -> int:
         return _autotune_main(argv[1:])
     if argv and argv[0] == "trace":
         return _trace_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -367,8 +454,9 @@ def main(argv=None) -> int:
         help=(
             f"experiment ids ({', '.join(EXPERIMENTS)}), 'all', 'report', "
             "'plan <model> <strategy>' (see 'plan --help'), "
-            "'autotune <model>' (see 'autotune --help'), or "
-            "'trace <model> <strategy>' (see 'trace --help')"
+            "'autotune <model>' (see 'autotune --help'), "
+            "'trace <model> <strategy>' (see 'trace --help'), or "
+            "'serve' (see 'serve --help')"
         ),
     )
     parser.add_argument(

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import List, Tuple
 
 from repro.perf.models import symmetric_elements
+from repro.utils.digest import content_digest
 
 
 @dataclass(frozen=True)
@@ -148,6 +149,37 @@ class ModelSpec:
     def total_g_elements(self) -> int:
         """Table II '# Gs': upper-triangle elements over all ``G`` factors."""
         return sum(layer.g_elements for layer in self.layers)
+
+    def digest(self) -> str:
+        """Stable 16-hex-char content hash of the full layer table.
+
+        Covers every dimension the planners and cost models consume
+        (layer kinds, channel/kernel/spatial extents, biases, batch
+        size), so two specs with equal digests plan and simulate
+        identically.  Stable across processes and Python versions
+        (sorted-key canonical JSON + sha256).
+        """
+        return content_digest(
+            {
+                "kind": "model_spec",
+                "name": self.name,
+                "batch_size": self.batch_size,
+                "input_size": self.input_size,
+                "extra_params": self.extra_params,
+                "layers": [
+                    {
+                        "name": layer.name,
+                        "kind": layer.kind,
+                        "in_dim": layer.in_dim,
+                        "out_dim": layer.out_dim,
+                        "kernel": list(layer.kernel),
+                        "spatial_out": layer.spatial_out,
+                        "has_bias": layer.has_bias,
+                    }
+                    for layer in self.layers
+                ],
+            }
+        )
 
     def factor_dims(self) -> List[int]:
         """All 2L Kronecker dimensions, interleaved [a_1, g_1, a_2, g_2, ...]."""

@@ -18,6 +18,7 @@ breakdown: FF&BP around 0.21 s and FactorComp around 0.1 s.
 from __future__ import annotations
 
 import math
+import dataclasses
 from dataclasses import dataclass, field, replace
 
 from repro.perf.models import (
@@ -104,6 +105,33 @@ class ClusterPerfProfile:
 
     def __post_init__(self) -> None:
         check_positive("num_workers", self.num_workers)
+
+    def digest(self) -> str:
+        """Stable 16-hex-char content hash of the whole cost surface.
+
+        Every cost-model family and fitted constant participates (tagged
+        with its class name, so two model kinds sharing parameter values
+        cannot collide), which makes the digest a sound cache-key
+        component: equal digests imply identical task durations for any
+        graph priced with this profile.  Stable across processes and
+        Python versions (sorted-key canonical JSON + sha256).
+        """
+        from repro.utils.digest import content_digest
+
+        payload = {"kind": "cluster_perf_profile"}
+        for spec in dataclasses.fields(self):
+            value = getattr(self, spec.name)
+            if spec.name in ("num_workers", "fusion_threshold_elements"):
+                payload[spec.name] = value
+            else:
+                payload[spec.name] = {
+                    "model": type(value).__name__,
+                    **{
+                        f.name: getattr(value, f.name)
+                        for f in dataclasses.fields(value)
+                    },
+                }
+        return content_digest(payload)
 
 
 def paper_cluster_profile() -> ClusterPerfProfile:

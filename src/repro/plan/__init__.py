@@ -40,8 +40,11 @@ from repro.plan.session import (
     build_strategy_graph,
     cache_info,
     clear_caches,
+    get_plan_store,
+    plan_store_key,
     resolve_plan_parts,
     resolve_strategy,
+    set_plan_store,
     wire_axis_kwargs,
 )
 
@@ -63,4 +66,7 @@ __all__ = [
     "resolve_strategy",
     "clear_caches",
     "cache_info",
+    "set_plan_store",
+    "get_plan_store",
+    "plan_store_key",
 ]

@@ -36,6 +36,7 @@ from repro.perf.models import (
 )
 from repro.plan.strategy import TrainingStrategy
 from repro.sim import TaskGraph
+from repro.utils.digest import content_digest
 
 #: Current plan format.  Version 2 added the strategy's wire-precision /
 #: compression / update-interval axes; version-1 documents (written
@@ -236,6 +237,18 @@ class Plan:
             if seconds > 0:
                 lines.append(f"    {category:<12} {seconds:.4f} s")
         return "\n".join(lines)
+
+    def digest(self) -> str:
+        """Stable 16-hex-char content hash of the resolved plan.
+
+        Hashes the serialized form minus the format version, so the
+        digest survives format bumps that merely re-encode the same
+        plan.  Equal digests mean equal plans (same strategy axes, cost
+        profile, fusion buckets, placement table, and predictions).
+        """
+        payload = self.to_dict()
+        del payload["version"]
+        return content_digest({"kind": "plan", **payload})
 
     # -- serialization -----------------------------------------------------
 

@@ -27,11 +27,18 @@ Plans and results are memoized in module-level LRU caches keyed on
 ``(model spec, strategy, profile, scenario digest)`` and shared across
 Session instances, so sweeps that revisit the same cell (tab3/fig9/
 fig13 all price SPD-KFAC on the paper profile) simulate it once, and
-scenario-aware sessions never collide with nominal ones.
+scenario-aware sessions never collide with nominal ones.  The cache is
+guarded by a lock (concurrent ``plan()``/``simulate()`` from serving
+threads is safe), and :func:`set_plan_store` optionally layers a
+disk-backed content-addressed :class:`repro.serve.PlanStore` underneath
+it so plans and result summaries survive restarts and are shared across
+processes.
 """
 
 from __future__ import annotations
 
+import os
+import threading
 from collections import OrderedDict
 from typing import Dict, Optional, Tuple, Union
 
@@ -57,6 +64,7 @@ from repro.perf import (
 from repro.plan.plan import Plan, count_tasks
 from repro.plan.strategy import TrainingStrategy, strategy_registry
 from repro.topo import ClusterTopology
+from repro.utils.digest import content_digest
 
 ClusterLike = Union[None, int, ClusterPerfProfile, ClusterTopology]
 
@@ -69,40 +77,148 @@ _CacheKey = Tuple[ModelSpec, TrainingStrategy, ClusterPerfProfile, Optional[str]
 #: One atomic (plan, result) entry per key: planning and simulation are
 #: memoized together so eviction can never leave one without the other.
 _CACHE: "OrderedDict[_CacheKey, Tuple[Plan, ResultLike]]" = OrderedDict()
-_CACHE_STATS = {"hits": 0, "misses": 0}
+_CACHE_STATS = {"hits": 0, "misses": 0, "store_hits": 0, "store_misses": 0}
+#: Guards _CACHE and _CACHE_STATS: the cache is shared process-wide, and
+#: concurrent plan()/simulate() calls (the serving threads) would
+#: otherwise race on OrderedDict reordering/eviction mid-iteration.
+_CACHE_LOCK = threading.RLock()
+
+#: Optional disk layer underneath the LRU (see :func:`set_plan_store`).
+_PLAN_STORE = None
 
 _REC = recorder()
 
 
 def clear_caches() -> None:
-    """Drop all memoized plans and simulation results."""
-    _CACHE.clear()
-    _CACHE_STATS["hits"] = 0
-    _CACHE_STATS["misses"] = 0
+    """Drop all memoized plans and simulation results (in-memory only)."""
+    with _CACHE_LOCK:
+        _CACHE.clear()
+        for counter in _CACHE_STATS:
+            _CACHE_STATS[counter] = 0
 
 
 def cache_info() -> Dict[str, int]:
-    """Hit/miss/size counters of the shared plan cache."""
-    return {
-        "hits": _CACHE_STATS["hits"],
-        "misses": _CACHE_STATS["misses"],
-        "entries": len(_CACHE),
-        "maxsize": _CACHE_MAXSIZE,
-    }
+    """Hit/miss/size counters of the shared plan cache.
+
+    ``store_hits``/``store_misses`` count disk-layer lookups; they stay
+    zero until a plan store is installed with :func:`set_plan_store`.
+    """
+    with _CACHE_LOCK:
+        return {
+            "hits": _CACHE_STATS["hits"],
+            "misses": _CACHE_STATS["misses"],
+            "store_hits": _CACHE_STATS["store_hits"],
+            "store_misses": _CACHE_STATS["store_misses"],
+            "entries": len(_CACHE),
+            "maxsize": _CACHE_MAXSIZE,
+        }
 
 
 def _cache_get(key: _CacheKey):
-    value = _CACHE.get(key)
-    if value is not None:
-        _CACHE.move_to_end(key)
-    return value
+    with _CACHE_LOCK:
+        value = _CACHE.get(key)
+        if value is not None:
+            _CACHE.move_to_end(key)
+        return value
 
 
 def _cache_put(key: _CacheKey, value: Tuple[Plan, IterationResult]) -> None:
-    _CACHE[key] = value
-    _CACHE.move_to_end(key)
-    while len(_CACHE) > _CACHE_MAXSIZE:
-        _CACHE.popitem(last=False)
+    with _CACHE_LOCK:
+        _CACHE[key] = value
+        _CACHE.move_to_end(key)
+        while len(_CACHE) > _CACHE_MAXSIZE:
+            _CACHE.popitem(last=False)
+
+
+_STAT_METRICS = {
+    "hits": "plan.cache.hits",
+    "misses": "plan.cache.misses",
+    "store_hits": "plan.store.hits",
+    "store_misses": "plan.store.misses",
+}
+
+
+def _note(counter: str) -> None:
+    with _CACHE_LOCK:
+        _CACHE_STATS[counter] += 1
+    _REC.count(_STAT_METRICS[counter])
+
+
+def set_plan_store(store):
+    """Install (or clear) the process-wide disk layer under the LRU.
+
+    ``store`` may be a :class:`repro.serve.PlanStore`, a directory path
+    (a store is opened there), or ``None`` to detach.  While installed,
+    every LRU miss consults the store before planning/simulating, and
+    every freshly computed (plan, result) pair is written through — so
+    plans survive restarts and are shared across processes pointing at
+    the same directory.  Returns the installed store.
+
+    Results loaded from disk are summary playbacks
+    (:class:`repro.serve.StoredResult`): bit-identical
+    ``iteration_time``/``categories``, but no ``timeline``.
+    """
+    global _PLAN_STORE
+    if store is not None and isinstance(store, (str, os.PathLike)):
+        from repro.serve.store import PlanStore
+
+        store = PlanStore(store)
+    _PLAN_STORE = store
+    return store
+
+
+def get_plan_store():
+    """The installed disk plan store, or ``None``."""
+    return _PLAN_STORE
+
+
+def plan_store_key(
+    spec: ModelSpec,
+    strategy: TrainingStrategy,
+    profile: ClusterPerfProfile,
+    scenario_digest: Optional[str] = None,
+) -> str:
+    """Content digest addressing one (model, strategy, profile, scenario)
+    cell in the disk store — the canonical serving cache key."""
+    return content_digest(
+        {
+            "kind": "plan+result",
+            "model": spec.digest(),
+            "strategy": strategy.digest(),
+            "profile": profile.digest(),
+            "scenario": scenario_digest,
+        }
+    )
+
+
+def _store_load(store, skey: str):
+    """Decode one store document into (Plan, StoredResult), or ``None``.
+
+    A document whose *payload* is malformed (the envelope was already
+    validated by the store) is quarantined like any other corruption.
+    """
+    doc = store.get(skey)
+    if doc is None:
+        return None
+    from repro.serve.results import result_from_doc
+
+    try:
+        plan = Plan.from_dict(doc["plan"])
+        result = result_from_doc(doc["result"])
+    except (KeyError, TypeError, ValueError, IndexError, AttributeError):
+        store.quarantine(skey)
+        return None
+    return plan, result
+
+
+def _store_save(store, skey: str, plan: Plan, result) -> None:
+    from repro.serve.results import result_to_doc
+
+    store.put(
+        skey,
+        {"plan": plan.to_dict(), "result": result_to_doc(result)},
+        kind="plan+result",
+    )
 
 
 def resolve_strategy(strategy: Union[str, TrainingStrategy]) -> TrainingStrategy:
@@ -369,11 +485,22 @@ class Session:
         key = (self._spec, strategy, profile, self._scenario_digest())
         cached = _cache_get(key)
         if cached is not None:
-            _CACHE_STATS["hits"] += 1
-            _REC.count("plan.cache.hits")
+            _note("hits")
             return cached
-        _CACHE_STATS["misses"] += 1
-        _REC.count("plan.cache.misses")
+        _note("misses")
+
+        store = _PLAN_STORE
+        skey = None
+        if store is not None:
+            skey = plan_store_key(
+                self._spec, strategy, profile, self._scenario_digest()
+            )
+            loaded = _store_load(store, skey)
+            if loaded is not None:
+                _note("store_hits")
+                _cache_put(key, loaded)
+                return loaded
+            _note("store_misses")
 
         num_ranks, grad_plan, fplan, placement = resolve_plan_parts(
             self._spec, profile, strategy
@@ -401,6 +528,8 @@ class Session:
             task_counts=count_tasks(graphs[REFRESH]),
         )
         _cache_put(key, (plan, result))
+        if store is not None and skey is not None:
+            _store_save(store, skey, plan, result)
         return plan, result
 
     def plan(self, strategy: Union[str, TrainingStrategy]) -> Plan:
@@ -439,11 +568,20 @@ class Session:
             # *values* match — a hand-edited or replaced Plan with the
             # same (strategy, profile) must re-simulate its own parts.
             if cached is not None and cached[0] == plan:
-                _CACHE_STATS["hits"] += 1
-                _REC.count("plan.cache.hits")
+                _note("hits")
                 return cached[1]
-            _CACHE_STATS["misses"] += 1
-            _REC.count("plan.cache.misses")
+            _note("misses")
+            store = _PLAN_STORE
+            if store is not None:
+                skey = plan_store_key(
+                    self._spec, plan.strategy, plan.profile, self._scenario_digest()
+                )
+                loaded = _store_load(store, skey)
+                if loaded is not None and loaded[0] == plan:
+                    _note("store_hits")
+                    _cache_put(key, loaded)
+                    return loaded[1]
+                _note("store_misses")
             if _REC.enabled:
                 with _REC.span(
                     "plan.session.simulate",

@@ -28,6 +28,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.comm.wire import WIRE_DTYPES
 from repro.core.distributed import InverseStrategy
+from repro.utils.digest import content_digest
 from repro.core.pipeline import FACTOR_FUSION_POLICIES, FactorCommStrategy, _CANONICAL_AXES
 from repro.core.schedule import PLACEMENT_STRATEGIES
 
@@ -297,6 +298,30 @@ class TrainingStrategy:
         'lbp'
         """
         return dataclasses.asdict(self)
+
+    def digest(self) -> str:
+        """Stable 16-hex-char content hash of every axis (name excluded).
+
+        Two strategies with identical axes share a digest even under
+        different display names, so cache keys follow *behavior*:
+        ``spd.but(name="renamed")`` hits the same store entries as
+        ``spd``.  Stable across processes and Python versions
+        (sorted-key canonical JSON + sha256, see
+        :func:`repro.utils.digest.content_digest`).
+
+        Examples
+        --------
+        >>> spd = TrainingStrategy(name="SPD-KFAC")
+        >>> spd.digest() == spd.but(name="alias").digest()
+        True
+        >>> spd.digest() == spd.but(collective="tree").digest()
+        False
+        """
+        axes = self.to_dict()
+        del axes["name"]
+        # Compression is numeric: normalize so 1 and 1.0 share a digest.
+        axes["grad_compression"] = float(axes["grad_compression"])
+        return content_digest({"kind": "training_strategy", "axes": axes})
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "TrainingStrategy":

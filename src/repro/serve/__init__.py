@@ -1,0 +1,60 @@
+"""The plan-serving subsystem: store, service, server, client, load harness.
+
+``repro.serve`` turns the planner/simulator/autotuner into a long-lived,
+concurrent service on nothing but the standard library:
+
+* :class:`PlanStore` — a disk-backed, content-addressed store (atomic
+  writes, fsync-safe index, cross-process file locking, corruption
+  quarantine) installed *under* the in-memory Session LRU via
+  :func:`repro.plan.set_plan_store`, so plans and simulation summaries
+  survive restarts and are shared across processes;
+* :class:`PlanService` — the transport-independent core: request
+  validation, session management, and response caching for the three
+  operations (``plan`` / ``simulate`` / ``autotune``);
+* :class:`PlanServer` — a ``ThreadingHTTPServer`` frontend with JSON
+  endpoints, structured errors, graceful shutdown, and
+  :mod:`repro.obs` spans+metrics;
+* :class:`PlanClient` / :func:`run_load_test` — the client library and
+  the concurrent load harness behind the
+  ``test_serve_load_resnet50_64gpu`` BENCH entry.
+
+Quickstart::
+
+    from repro.serve import PlanServer, PlanClient
+
+    with PlanServer(store="/tmp/plan-store") as server:
+        client = PlanClient(server.host, server.port)
+        print(client.simulate("ResNet-50", "SPD-KFAC", gpus=64)["iteration_time"])
+
+or from the command line::
+
+    python -m repro.experiments serve --port 8061 --store /tmp/plan-store
+"""
+
+from repro.serve.store import STORE_SCHEMA_VERSION, FileLock, PlanStore
+from repro.serve.results import StoredResult, result_from_doc, result_to_doc
+from repro.serve.service import SERVICE_OPS, PlanService, RequestError
+from repro.serve.server import MAX_BODY_BYTES, LatencyTracker, PlanServer
+from repro.serve.client import PlanClient, ServeError, wait_ready
+from repro.serve.loadtest import LoadTestReport, default_workload, run_load_test
+
+__all__ = [
+    "PlanStore",
+    "FileLock",
+    "STORE_SCHEMA_VERSION",
+    "StoredResult",
+    "result_to_doc",
+    "result_from_doc",
+    "PlanService",
+    "RequestError",
+    "SERVICE_OPS",
+    "PlanServer",
+    "LatencyTracker",
+    "MAX_BODY_BYTES",
+    "PlanClient",
+    "ServeError",
+    "wait_ready",
+    "LoadTestReport",
+    "default_workload",
+    "run_load_test",
+]

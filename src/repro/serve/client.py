@@ -1,0 +1,161 @@
+"""A minimal, dependency-free client for the plan server.
+
+:class:`PlanClient` speaks the server's JSON protocol over
+:mod:`http.client` — one connection per request, so a single client
+instance is safe to share across threads and trivially safe across
+processes (the load harness does both).  Error responses raise
+:class:`ServeError` carrying the structured ``code``/``message`` the
+server returned.
+
+Examples
+--------
+>>> from repro.serve import PlanServer, PlanClient
+>>> with PlanServer() as server:
+...     client = PlanClient(server.host, server.port)
+...     out = client.plan("ResNet-50", "SPD-KFAC", gpus=4)
+...     out["num_ranks"]
+4
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Dict, Optional
+
+__all__ = ["PlanClient", "ServeError", "wait_ready"]
+
+
+class ServeError(Exception):
+    """An error response from the server (or a transport failure).
+
+    ``code`` and ``status`` mirror the server's structured error body;
+    transport-level failures use code ``"transport"`` and status 0.
+    """
+
+    def __init__(self, code: str, message: str, status: int = 0):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+        self.status = status
+
+
+class PlanClient:
+    """Typed access to every server endpoint.
+
+    Parameters
+    ----------
+    host, port:
+        The server's bound address.
+    timeout:
+        Per-request socket timeout in seconds (autotune cold runs can
+        take a few seconds on large models; default 60).
+    """
+
+    def __init__(self, host: str, port: int, *, timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------------
+
+    def request(
+        self, method: str, path: str, body: Optional[Dict] = None
+    ) -> Dict[str, object]:
+        """One HTTP round-trip; raises :class:`ServeError` on any failure."""
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers = {"Content-Type": "application/json"}
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+            except OSError as exc:
+                raise ServeError("transport", f"{type(exc).__name__}: {exc}")
+            try:
+                document = json.loads(raw) if raw else {}
+            except ValueError:
+                raise ServeError(
+                    "transport",
+                    f"non-JSON response (status {response.status})",
+                    status=response.status,
+                )
+            if response.status >= 400:
+                error = document.get("error", {}) if isinstance(document, dict) else {}
+                raise ServeError(
+                    error.get("code", "unknown"),
+                    error.get("message", f"HTTP {response.status}"),
+                    status=response.status,
+                )
+            return document
+        finally:
+            conn.close()
+
+    # -- endpoints -----------------------------------------------------------
+
+    def health(self) -> Dict[str, object]:
+        """``GET /health``."""
+        return self.request("GET", "/health")
+
+    def stats(self) -> Dict[str, object]:
+        """``GET /stats``."""
+        return self.request("GET", "/stats")
+
+    def models(self) -> list:
+        """``GET /v1/models`` → sorted servable model names."""
+        return self.request("GET", "/v1/models")["models"]
+
+    def strategies(self) -> Dict[str, Dict]:
+        """``GET /v1/strategies`` → preset name → axes dict."""
+        return self.request("GET", "/v1/strategies")["strategies"]
+
+    def plan(self, model: str, strategy, **params) -> Dict[str, object]:
+        """``POST /v1/plan`` (kwargs: ``gpus``/``topology``/``scenario``/...)."""
+        return self.request(
+            "POST", "/v1/plan", {"model": model, "strategy": strategy, **params}
+        )
+
+    def simulate(self, model: str, strategy, **params) -> Dict[str, object]:
+        """``POST /v1/simulate`` (same body as :meth:`plan`)."""
+        return self.request(
+            "POST", "/v1/simulate", {"model": model, "strategy": strategy, **params}
+        )
+
+    def autotune(self, model: str, **params) -> Dict[str, object]:
+        """``POST /v1/autotune`` (kwargs: ``gpus``/``topology``/``top``/``prune``)."""
+        return self.request("POST", "/v1/autotune", {"model": model, **params})
+
+    def shutdown(self) -> Dict[str, object]:
+        """``POST /shutdown`` — ask the server to stop gracefully."""
+        return self.request("POST", "/shutdown", {})
+
+    def __repr__(self) -> str:
+        return f"PlanClient({self.host}:{self.port})"
+
+
+def wait_ready(
+    host: str, port: int, *, timeout: float = 10.0, interval: float = 0.05
+) -> PlanClient:
+    """Poll ``/health`` until the server answers; returns a ready client.
+
+    Raises :class:`ServeError` if the server is not up within ``timeout``
+    seconds — used by CI and the load harness to synchronise with a
+    freshly forked server process.
+    """
+    client = PlanClient(host, port, timeout=max(interval, 1.0))
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            client.health()
+            return PlanClient(host, port)
+        except ServeError:
+            if time.monotonic() >= deadline:
+                raise ServeError(
+                    "transport", f"server at {host}:{port} not ready after {timeout}s"
+                )
+            time.sleep(interval)

@@ -1,0 +1,328 @@
+"""Concurrent load harness for the plan server.
+
+:func:`run_load_test` drives a deterministic, seeded mix of
+plan/simulate/autotune queries against a running server from many
+threads at once (optionally from multiple *processes* — each worker
+process runs its own thread pool), then folds every observed latency
+into a :class:`LoadTestReport` with p50/p90/p99/max per operation and
+the server's store/cache hit rates.
+
+The workload is two-phase by design:
+
+1. an optional **warmup** pass sends each distinct query once from a
+   single thread, populating the Session LRU and the disk store;
+2. the **measured** pass fires ``queries`` requests from
+   ``concurrency`` clients, sampling from the distinct-query pool with
+   a seeded :class:`random.Random` so runs are reproducible.
+
+The BENCH entry ``test_serve_load_resnet50_64gpu`` runs exactly this
+harness (≥1000 queries, ≥8 clients, warm) and snapshots the p50/p99.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.serve.client import PlanClient, ServeError, wait_ready
+
+__all__ = ["LoadTestReport", "default_workload", "run_load_test"]
+
+#: Relative frequency of each operation in the mixed workload.  Autotune
+#: is rare (it is by far the heaviest query, and production traffic is
+#: dominated by plan/simulate lookups), but always present so every run
+#: exercises all three endpoints.
+OP_WEIGHTS: Tuple[Tuple[str, int], ...] = (("plan", 5), ("simulate", 4), ("autotune", 1))
+
+
+def default_workload(
+    model: str = "ResNet-50", gpus: int = 64
+) -> List[Tuple[str, Dict[str, object]]]:
+    """The distinct (op, params) pool the load test samples from.
+
+    Covers every registered strategy preset for ``plan`` and
+    ``simulate``, plus one ``autotune`` query, all on the same
+    (model, gpus) cell — the shape of a tuning dashboard's traffic.
+    """
+    from repro.plan import strategy_registry
+
+    pool: List[Tuple[str, Dict[str, object]]] = []
+    for name in strategy_registry.names():
+        pool.append(("plan", {"model": model, "strategy": name, "gpus": gpus}))
+        pool.append(("simulate", {"model": model, "strategy": name, "gpus": gpus}))
+    pool.append(("autotune", {"model": model, "gpus": gpus, "top": 3}))
+    return pool
+
+
+def _percentile(samples: List[float], q: float) -> float:
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, int(round(q * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+@dataclass
+class LoadTestReport:
+    """Aggregated outcome of one load-test run."""
+
+    queries: int  #: measured requests attempted
+    concurrency: int  #: concurrent client threads
+    processes: int  #: worker processes (1 = in-process threads only)
+    duration_s: float  #: wall-clock of the measured pass
+    errors: int  #: failed requests (ServeError)
+    latencies: Dict[str, List[float]] = field(default_factory=dict)  #: op → seconds
+    sources: Dict[str, int] = field(default_factory=dict)  #: response source → count
+    store_stats: Optional[Dict[str, object]] = None  #: server-side /stats store block
+
+    @property
+    def completed(self) -> int:
+        """Successfully answered requests."""
+        return sum(len(v) for v in self.latencies.values())
+
+    @property
+    def throughput(self) -> float:
+        """Completed requests per second over the measured pass."""
+        return self.completed / self.duration_s if self.duration_s > 0 else 0.0
+
+    def all_latencies(self) -> List[float]:
+        """Every measured latency, across operations."""
+        out: List[float] = []
+        for samples in self.latencies.values():
+            out.extend(samples)
+        return out
+
+    def percentile(self, q: float, op: Optional[str] = None) -> float:
+        """The ``q``-quantile latency overall or for one operation."""
+        samples = self.latencies.get(op, []) if op else self.all_latencies()
+        if not samples:
+            raise ValueError(f"no samples for op={op!r}")
+        return _percentile(samples, q)
+
+    def store_hit_rate(self) -> Optional[float]:
+        """The server store's hit rate, if a store was configured."""
+        if not self.store_stats:
+            return None
+        hits = self.store_stats.get("hits", 0)
+        misses = self.store_stats.get("misses", 0)
+        return hits / (hits + misses) if hits + misses else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready summary (per-op percentiles, not raw samples)."""
+        ops = {}
+        for op, samples in sorted(self.latencies.items()):
+            if samples:
+                ops[op] = {
+                    "count": len(samples),
+                    "p50_s": _percentile(samples, 0.50),
+                    "p90_s": _percentile(samples, 0.90),
+                    "p99_s": _percentile(samples, 0.99),
+                    "max_s": max(samples),
+                }
+        overall = self.all_latencies()
+        return {
+            "queries": self.queries,
+            "completed": self.completed,
+            "errors": self.errors,
+            "concurrency": self.concurrency,
+            "processes": self.processes,
+            "duration_s": self.duration_s,
+            "throughput_rps": self.throughput,
+            "p50_s": _percentile(overall, 0.50) if overall else None,
+            "p90_s": _percentile(overall, 0.90) if overall else None,
+            "p99_s": _percentile(overall, 0.99) if overall else None,
+            "ops": ops,
+            "sources": dict(sorted(self.sources.items())),
+            "store_hit_rate": self.store_hit_rate(),
+            "store": self.store_stats,
+        }
+
+    def to_text(self) -> str:
+        """Human-readable report (the ``serve --load-test`` output)."""
+        doc = self.to_dict()
+        lines = [
+            f"load test: {doc['completed']}/{doc['queries']} queries ok, "
+            f"{doc['errors']} errors",
+            f"  {self.concurrency} concurrent clients x {self.processes} "
+            f"process{'es' if self.processes != 1 else ''}, "
+            f"{doc['duration_s']:.2f}s wall, {doc['throughput_rps']:.0f} req/s",
+        ]
+        if doc["p50_s"] is not None:
+            lines.append(
+                f"  latency: p50 {doc['p50_s'] * 1e3:.2f} ms, "
+                f"p90 {doc['p90_s'] * 1e3:.2f} ms, p99 {doc['p99_s'] * 1e3:.2f} ms"
+            )
+        for op, stats in doc["ops"].items():
+            lines.append(
+                f"    {op:<9} n={stats['count']:<5} p50 {stats['p50_s'] * 1e3:.2f} ms"
+                f"  p99 {stats['p99_s'] * 1e3:.2f} ms  max {stats['max_s'] * 1e3:.2f} ms"
+            )
+        if self.sources:
+            mix = ", ".join(f"{k}: {v}" for k, v in sorted(self.sources.items()))
+            lines.append(f"  sources: {mix}")
+        rate = self.store_hit_rate()
+        if rate is not None:
+            lines.append(f"  store hit rate: {rate:.1%}")
+        return "\n".join(lines)
+
+
+def _run_queries(
+    host: str,
+    port: int,
+    jobs: List[Tuple[str, Dict[str, object]]],
+    concurrency: int,
+) -> Tuple[Dict[str, List[float]], Dict[str, int], int]:
+    """Fire ``jobs`` from ``concurrency`` threads; returns (latencies, sources, errors)."""
+    client = PlanClient(host, port)
+    latencies: Dict[str, List[float]] = {}
+    sources: Dict[str, int] = {}
+    errors = 0
+    lock = threading.Lock()
+
+    def one(job: Tuple[str, Dict[str, object]]) -> None:
+        nonlocal errors
+        op, params = job
+        started = time.perf_counter()
+        try:
+            response = client.request("POST", f"/v1/{op}", params)
+        except ServeError:
+            with lock:
+                errors += 1
+            return
+        elapsed = time.perf_counter() - started
+        source = response.get("source", "unknown")
+        with lock:
+            latencies.setdefault(op, []).append(elapsed)
+            sources[source] = sources.get(source, 0) + 1
+
+    with ThreadPoolExecutor(max_workers=concurrency) as pool:
+        list(pool.map(one, jobs))
+    return latencies, sources, errors
+
+
+def _worker_main(host: str, port: int, jobs_json: str, concurrency: int, out_path: str):
+    """Entry point for a forked load-generating process."""
+    jobs = [(op, params) for op, params in json.loads(jobs_json)]
+    latencies, sources, errors = _run_queries(host, port, jobs, concurrency)
+    with open(out_path, "w") as fh:
+        json.dump({"latencies": latencies, "sources": sources, "errors": errors}, fh)
+
+
+def run_load_test(
+    host: str,
+    port: int,
+    *,
+    queries: int = 1000,
+    concurrency: int = 8,
+    processes: int = 1,
+    seed: int = 0,
+    warmup: bool = True,
+    workload: Optional[List[Tuple[str, Dict[str, object]]]] = None,
+) -> LoadTestReport:
+    """Drive ``queries`` seeded mixed requests at a running server.
+
+    With ``processes > 1`` the measured pass is split across that many
+    forked worker processes, each running ``concurrency`` client
+    threads — a genuine multi-process clientele for exercising the
+    store's cross-process file lock.
+
+    Deterministic given (queries, seed, workload): the same sequence of
+    requests is issued in every run (arrival *order* under concurrency
+    is of course scheduler-dependent).
+    """
+    if queries < 1:
+        raise ValueError(f"queries must be >= 1, got {queries}")
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    if processes < 1:
+        raise ValueError(f"processes must be >= 1, got {processes}")
+    pool = workload if workload is not None else default_workload()
+    if not pool:
+        raise ValueError("workload pool is empty")
+
+    wait_ready(host, port)
+    if warmup:
+        warm_lat, _, warm_errors = _run_queries(host, port, list(pool), 1)
+        if warm_errors:
+            raise ServeError(
+                "transport", f"{warm_errors} warmup queries failed; aborting load test"
+            )
+        del warm_lat
+
+    # Weighted, seeded sample of the distinct-query pool.
+    rng = random.Random(seed)
+    weighted: List[Tuple[str, Dict[str, object]]] = []
+    for op, weight in OP_WEIGHTS:
+        matching = [job for job in pool if job[0] == op]
+        weighted.extend(matching * weight)
+    if not weighted:
+        weighted = list(pool)
+    jobs = [rng.choice(weighted) for _ in range(queries)]
+
+    started = time.perf_counter()
+    if processes == 1:
+        latencies, sources, errors = _run_queries(host, port, jobs, concurrency)
+    else:
+        latencies, sources, errors = _run_multiprocess(
+            host, port, jobs, concurrency, processes
+        )
+    duration = time.perf_counter() - started
+
+    try:
+        stats = PlanClient(host, port).stats()
+        store_stats = stats.get("store")
+    except ServeError:
+        store_stats = None
+
+    return LoadTestReport(
+        queries=queries,
+        concurrency=concurrency * processes,
+        processes=processes,
+        duration_s=duration,
+        errors=errors,
+        latencies=latencies,
+        sources=sources,
+        store_stats=store_stats,
+    )
+
+
+def _run_multiprocess(host, port, jobs, concurrency, processes):
+    """Split ``jobs`` across forked worker processes; merge their results."""
+    import multiprocessing
+    import os
+    import tempfile
+
+    chunks: List[List] = [jobs[i::processes] for i in range(processes)]
+    ctx = multiprocessing.get_context("fork" if hasattr(os, "fork") else "spawn")
+    with tempfile.TemporaryDirectory(prefix="repro-loadtest-") as tmpdir:
+        workers = []
+        outs = []
+        for i, chunk in enumerate(chunks):
+            out_path = os.path.join(tmpdir, f"worker-{i}.json")
+            outs.append(out_path)
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(host, port, json.dumps(chunk), concurrency, out_path),
+            )
+            proc.start()
+            workers.append(proc)
+        for proc in workers:
+            proc.join()
+        latencies: Dict[str, List[float]] = {}
+        sources: Dict[str, int] = {}
+        errors = 0
+        for proc, out_path in zip(workers, outs):
+            if proc.exitcode != 0 or not os.path.exists(out_path):
+                errors += 1  # count a dead worker as at least one failure
+                continue
+            with open(out_path) as fh:
+                part = json.load(fh)
+            for op, samples in part["latencies"].items():
+                latencies.setdefault(op, []).extend(samples)
+            for source, count in part["sources"].items():
+                sources[source] = sources.get(source, 0) + count
+            errors += part["errors"]
+    return latencies, sources, errors

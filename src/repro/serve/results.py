@@ -1,0 +1,149 @@
+"""Lossless result summaries: what the store keeps of a simulation.
+
+An :class:`~repro.core.schedule.IterationResult` carries a full
+:class:`~repro.sim.Timeline` — tens of thousands of task intervals —
+but every serving consumer (the HTTP endpoints, the experiments'
+tables, the autotuner's ranking) reads only the *summary* surface:
+``iteration_time``, the paper-category breakdown, and, for stale
+strategies, the per-phase makespans and cycle weights.
+
+:func:`result_to_doc` captures exactly that surface as a JSON document,
+and :class:`StoredResult` plays it back.  Floats round-trip exactly
+through JSON (``repr`` shortest-form), so a summary loaded from disk
+reports **bit-identical** numbers to the simulation that produced it —
+the property the frozen-paper-row tests assert with the store enabled.
+
+A :class:`StoredResult` deliberately has no ``timeline``/``breakdown``:
+accessing them raises with a pointer to re-simulation, rather than
+silently serving an empty schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+__all__ = ["StoredResult", "result_to_doc", "result_from_doc"]
+
+
+def result_to_doc(result) -> Dict[str, object]:
+    """Serialize a (possibly amortized) iteration result's summary surface.
+
+    Accepts an :class:`~repro.core.schedule.IterationResult`, an
+    :class:`~repro.core.schedule.AmortizedIterationResult`, or an
+    already-loaded :class:`StoredResult`.
+    """
+    doc: Dict[str, object] = {
+        "algorithm": result.algorithm,
+        "model": result.model,
+        "iteration_time": result.iteration_time,
+        "categories": sorted(result.categories().items()),
+    }
+    phase_times = getattr(result, "phase_times", None)
+    if callable(phase_times):
+        doc["phase_times"] = sorted(phase_times().items())
+        doc["cycle_iterations"] = result.cycle_iterations
+    return doc
+
+
+def result_from_doc(doc: Dict[str, object]) -> "StoredResult":
+    """Rebuild a :class:`StoredResult` from :func:`result_to_doc` output."""
+    phases = doc.get("phase_times")
+    return StoredResult(
+        algorithm=doc["algorithm"],
+        model=doc["model"],
+        iteration_time=doc["iteration_time"],
+        categories=dict((k, v) for k, v in doc["categories"]),
+        phase_times=None if phases is None else dict((k, v) for k, v in phases),
+        cycle_iterations=doc.get("cycle_iterations"),
+    )
+
+
+class StoredResult:
+    """A simulation result played back from its stored summary.
+
+    Duck-types the reporting surface of
+    :class:`~repro.core.schedule.IterationResult` /
+    :class:`~repro.core.schedule.AmortizedIterationResult`
+    (``algorithm``, ``model``, ``iteration_time``, ``categories()``, and
+    for stale strategies ``phase_times()`` / ``cycle_iterations``) with
+    the exact floats the original simulation reported.  The full
+    ``timeline`` is not retained — accessing it raises ``AttributeError``
+    with a pointer to re-simulation.
+    """
+
+    __slots__ = (
+        "algorithm",
+        "model",
+        "_iteration_time",
+        "_categories",
+        "_phase_times",
+        "_cycle_iterations",
+    )
+
+    def __init__(
+        self,
+        *,
+        algorithm: str,
+        model: str,
+        iteration_time: float,
+        categories: Dict[str, float],
+        phase_times: Optional[Dict[str, float]] = None,
+        cycle_iterations: Optional[int] = None,
+    ):
+        self.algorithm = algorithm
+        self.model = model
+        self._iteration_time = float(iteration_time)
+        self._categories = dict(categories)
+        self._phase_times = None if phase_times is None else dict(phase_times)
+        self._cycle_iterations = cycle_iterations
+
+    @property
+    def iteration_time(self) -> float:
+        """Simulated (cycle-averaged, for stale strategies) seconds/iteration."""
+        return self._iteration_time
+
+    def categories(self) -> Dict[str, float]:
+        """The six paper categories, exactly as originally simulated."""
+        return dict(self._categories)
+
+    def phase_times(self) -> Dict[str, float]:
+        """Per-phase makespans of a stale-refresh cycle (if amortized)."""
+        if self._phase_times is None:
+            return {"refresh": self._iteration_time}
+        return dict(self._phase_times)
+
+    @property
+    def cycle_iterations(self) -> int:
+        """Iterations per refresh cycle (1 for non-stale strategies)."""
+        return 1 if self._cycle_iterations is None else self._cycle_iterations
+
+    @property
+    def amortized(self) -> bool:
+        """Whether the original result was cycle-averaged (stale refresh)."""
+        return self._phase_times is not None
+
+    @property
+    def timeline(self):
+        """Not retained in summaries — raises with re-simulation advice."""
+        raise AttributeError(
+            "StoredResult has no timeline: disk-store summaries keep only "
+            "iteration_time/categories/phase_times. Re-simulate (e.g. "
+            "simulate(plan.build_graph()) or a Session without a plan "
+            "store) to obtain a full Timeline."
+        )
+
+    @property
+    def breakdown(self):
+        """Not retained in summaries — raises with re-simulation advice."""
+        raise AttributeError(
+            "StoredResult has no breakdown object: disk-store summaries "
+            "keep only the paper-category totals (categories()). "
+            "Re-simulate for the full Breakdown."
+        )
+
+    def __repr__(self) -> str:
+        kind = "amortized" if self.amortized else "single-iteration"
+        return (
+            f"StoredResult({self.algorithm!r} x {self.model!r}, {kind}, "
+            f"iteration_time={self._iteration_time:.6f})"
+        )

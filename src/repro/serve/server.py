@@ -1,0 +1,374 @@
+"""A long-lived, concurrent plan server on the Python standard library.
+
+:class:`PlanServer` wraps a ``ThreadingHTTPServer`` (one thread per
+connection, daemon threads) around a :class:`~repro.serve.PlanService`.
+Endpoints (all JSON):
+
+====================  ====  ==================================================
+``/health``           GET   liveness: ``{"status": "ok", "uptime_s": ...}``
+``/stats``            GET   request counts + latency percentiles per
+                            endpoint, plan-cache and store counters
+``/v1/models``        GET   servable model names
+``/v1/strategies``    GET   registered strategy presets
+``/v1/plan``          POST  resolve a plan (``model``, ``strategy``,
+                            ``gpus`` | ``topology``, ``include_plan``)
+``/v1/simulate``      POST  simulate one iteration (same body)
+``/v1/autotune``      POST  grid-search (``model``, ``gpus`` | ``topology``,
+                            ``top``, ``prune``)
+``/shutdown``         POST  graceful remote shutdown (optional; on by
+                            default, disable with ``allow_remote_shutdown=False``)
+====================  ====  ==================================================
+
+Errors come back as ``{"error": {"code": ..., "message": ...}}`` with
+the matching HTTP status (400 validation, 404 unknown resource, 413
+oversized body, 500 internal).  Request handling is instrumented twice:
+an internal thread-safe latency tracker feeds ``/stats`` (always on),
+and when the :mod:`repro.obs` recorder is enabled each request also
+emits a ``serve.request`` span plus ``serve.requests``/``serve.errors``
+counters and a ``serve.latency`` histogram.
+
+The server binds ``port=0`` (ephemeral) by default so tests and the
+load harness can run many instances concurrently; :meth:`PlanServer.start`
+runs it on a background thread, and :meth:`PlanServer.serve_forever`
+blocks with SIGINT/SIGTERM wired to a graceful shutdown (in-flight
+requests finish, the listener closes, the store is left consistent).
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs import recorder
+from repro.serve.service import PlanService, RequestError
+
+__all__ = ["PlanServer", "LatencyTracker", "MAX_BODY_BYTES"]
+
+#: Largest accepted request body (strategy axes dicts are tiny; anything
+#: bigger is a client bug or abuse).
+MAX_BODY_BYTES = 1 << 20
+
+#: Latency samples kept per endpoint for the /stats percentiles.
+_MAX_SAMPLES = 200_000
+
+
+def percentile(samples: List[float], q: float) -> float:
+    """The ``q``-quantile (0..1) of ``samples`` by nearest-rank.
+
+    Examples
+    --------
+    >>> percentile([0.1, 0.2, 0.3], 0.5)
+    0.2
+    >>> percentile([0.1], 0.99)
+    0.1
+    """
+    if not samples:
+        raise ValueError("percentile of no samples")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, int(round(q * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+class LatencyTracker:
+    """Thread-safe per-endpoint request latency accounting for ``/stats``."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._samples: Dict[str, List[float]] = {}
+        self._errors: Dict[str, int] = {}
+
+    def record(self, endpoint: str, seconds: float, *, error: bool = False) -> None:
+        """Record one finished request."""
+        with self._lock:
+            samples = self._samples.setdefault(endpoint, [])
+            if len(samples) < _MAX_SAMPLES:
+                samples.append(seconds)
+            if error:
+                self._errors[endpoint] = self._errors.get(endpoint, 0) + 1
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Per-endpoint count/error/percentile summary (a copy)."""
+        with self._lock:
+            samples = {k: list(v) for k, v in self._samples.items()}
+            errors = dict(self._errors)
+        out: Dict[str, Dict[str, float]] = {}
+        for endpoint, latencies in sorted(samples.items()):
+            out[endpoint] = {
+                "count": len(latencies),
+                "errors": errors.get(endpoint, 0),
+                "p50_s": percentile(latencies, 0.50),
+                "p90_s": percentile(latencies, 0.90),
+                "p99_s": percentile(latencies, 0.99),
+                "max_s": max(latencies),
+                "mean_s": sum(latencies) / len(latencies),
+            }
+        return out
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes HTTP requests into the service; one instance per request."""
+
+    # Set by PlanServer via type(); documented here for the curious.
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+    plan_server: "PlanServer"
+
+    # -- plumbing ------------------------------------------------------------
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        """Silence per-request stderr logging (stats carry the signal)."""
+
+    def _send_json(self, status: int, body: Dict[str, object]) -> None:
+        data = (json.dumps(body, sort_keys=True) + "\n").encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _read_body(self) -> Dict[str, object]:
+        length = self.headers.get("Content-Length")
+        try:
+            length = int(length)
+        except (TypeError, ValueError):
+            raise RequestError("invalid_request", "Content-Length required")
+        if length > MAX_BODY_BYTES:
+            raise RequestError(
+                "invalid_request",
+                f"request body exceeds {MAX_BODY_BYTES} bytes",
+                status=413,
+            )
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            body = json.loads(raw)
+        except ValueError:
+            raise RequestError("invalid_request", "request body is not valid JSON")
+        if not isinstance(body, dict):
+            raise RequestError("invalid_request", "request body must be a JSON object")
+        return body
+
+    # -- routing -------------------------------------------------------------
+
+    def _dispatch(self, method: str) -> None:
+        server = self.plan_server
+        endpoint = self.path.split("?", 1)[0].rstrip("/") or "/"
+        started = time.perf_counter()
+        status = 200
+        rec = server._rec
+        try:
+            with rec.span("serve.request", endpoint=endpoint, method=method):
+                status, body = server.route(method, endpoint, self._read_body)
+            self._send_json(status, body)
+        except (BrokenPipeError, ConnectionResetError):  # client went away
+            status = 499
+        finally:
+            elapsed = time.perf_counter() - started
+            server.latency.record(endpoint, elapsed, error=status >= 400)
+            rec.count("serve.requests")
+            if status >= 400:
+                rec.count("serve.errors")
+            rec.observe("serve.latency", elapsed)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        """Serve the read-only endpoints."""
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        """Serve the query and admin endpoints."""
+        self._dispatch("POST")
+
+
+class PlanServer:
+    """The serving frontend: HTTP transport around a :class:`PlanService`.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; ``port=0`` picks an ephemeral port (read it back
+        from :attr:`port`).
+    store:
+        Optional :class:`~repro.serve.PlanStore` or directory path —
+        installed process-wide under the Session LRU (see
+        :func:`repro.plan.set_plan_store`).
+    allow_remote_shutdown:
+        Keep the ``POST /shutdown`` endpoint (handy for CI and the load
+        harness; disable for anything internet-facing).
+
+    Examples
+    --------
+    >>> from repro.serve import PlanClient, PlanServer
+    >>> with PlanServer() as server:
+    ...     client = PlanClient(server.host, server.port)
+    ...     client.health()["status"]
+    'ok'
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        store=None,
+        allow_remote_shutdown: bool = True,
+    ):
+        self.service = PlanService(store=store)
+        self.latency = LatencyTracker()
+        self.allow_remote_shutdown = allow_remote_shutdown
+        self._rec = recorder()
+        self._started = time.time()
+        self._thread: Optional[threading.Thread] = None
+        self._shutdown_requested = threading.Event()
+        handler = type("_BoundHandler", (_Handler,), {"plan_server": self})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+
+    # -- addresses -----------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        """The bound host."""
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound (possibly ephemeral) port."""
+        return self._httpd.server_address[1]
+
+    @property
+    def address(self) -> str:
+        """``host:port`` of the listening socket."""
+        return f"{self.host}:{self.port}"
+
+    # -- routing -------------------------------------------------------------
+
+    def route(self, method: str, endpoint: str, read_body) -> Tuple[int, Dict]:
+        """Map one request to a (status, body) pair.
+
+        ``read_body`` is called lazily so GET endpoints never touch the
+        body.  :class:`RequestError` maps to its own status; anything
+        else becomes a 500 with the exception type named.
+        """
+        try:
+            if method == "GET":
+                if endpoint == "/health":
+                    return 200, {
+                        "status": "ok",
+                        "uptime_s": time.time() - self._started,
+                    }
+                if endpoint == "/stats":
+                    return 200, self.stats()
+                if endpoint == "/v1/models":
+                    from repro.models.catalog import PAPER_MODELS
+
+                    return 200, {"models": sorted(PAPER_MODELS)}
+                if endpoint == "/v1/strategies":
+                    from repro.plan import strategy_registry
+
+                    return 200, {
+                        "strategies": {
+                            name: strategy.to_dict()
+                            for name, strategy in strategy_registry.items()
+                        }
+                    }
+                raise RequestError(
+                    "unknown_endpoint", f"no GET endpoint {endpoint!r}", status=404
+                )
+            if method == "POST":
+                if endpoint == "/shutdown":
+                    if not self.allow_remote_shutdown:
+                        raise RequestError(
+                            "forbidden", "remote shutdown is disabled", status=403
+                        )
+                    # Shut down from another thread so this response can
+                    # still be written before the listener closes.
+                    self._shutdown_requested.set()
+                    threading.Thread(target=self.shutdown, daemon=True).start()
+                    return 200, {"status": "shutting down"}
+                if endpoint.startswith("/v1/"):
+                    op = endpoint[len("/v1/"):]
+                    return 200, self.service.handle(op, read_body())
+                raise RequestError(
+                    "unknown_endpoint", f"no POST endpoint {endpoint!r}", status=404
+                )
+            raise RequestError(
+                "invalid_request", f"unsupported method {method}", status=405
+            )
+        except RequestError as exc:
+            return exc.status, exc.to_dict()
+        except Exception as exc:  # noqa: BLE001 - the 500 boundary
+            return 500, {
+                "error": {
+                    "code": "internal_error",
+                    "message": f"{type(exc).__name__}: {exc}",
+                }
+            }
+
+    def stats(self) -> Dict[str, object]:
+        """The ``/stats`` body: service + transport statistics."""
+        return {
+            "uptime_s": time.time() - self._started,
+            "endpoints": self.latency.snapshot(),
+            **self.service.stats(),
+        }
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "PlanServer":
+        """Serve on a background daemon thread; returns self."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            daemon=True,
+            name=f"repro-serve:{self.port}",
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self, *, install_signal_handlers: bool = True) -> None:
+        """Serve on the calling thread until shut down.
+
+        With ``install_signal_handlers`` (main thread only), SIGINT and
+        SIGTERM trigger the same graceful shutdown as ``/shutdown``:
+        in-flight requests complete, then the listener closes.
+        """
+        if install_signal_handlers:
+
+            def _graceful(signum, frame):
+                threading.Thread(target=self.shutdown, daemon=True).start()
+
+            signal.signal(signal.SIGINT, _graceful)
+            signal.signal(signal.SIGTERM, _graceful)
+        self._httpd.serve_forever(poll_interval=0.05)
+        self._httpd.server_close()
+
+    def shutdown(self) -> None:
+        """Gracefully stop serving (idempotent, callable from any thread)."""
+        self._shutdown_requested.set()
+        self._httpd.shutdown()
+
+    def close(self) -> None:
+        """Shut down and release the listening socket."""
+        self.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "PlanServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"PlanServer(address={self.address!r})"

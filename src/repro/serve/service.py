@@ -1,0 +1,359 @@
+"""The plan service: validated request dicts in, JSON documents out.
+
+:class:`PlanService` is the transport-independent core of the serving
+subsystem — the HTTP server, the CLI, and the tests all drive the same
+:meth:`PlanService.handle` entry point with plain dicts.  It owns:
+
+* **request validation** — unknown models/strategies/topologies and
+  malformed parameters raise :class:`RequestError` with a machine-
+  readable code and the HTTP status the server maps it to;
+* **session management** — one :class:`~repro.plan.Session` per
+  (model, cluster, scenario) cell, created lazily and reused across
+  requests (Sessions share the process-wide, lock-guarded plan LRU);
+* **response caching** — ``plan``/``simulate`` responses ride the
+  Session cache and its optional disk layer; ``autotune`` reports are
+  additionally content-addressed in the same
+  :class:`~repro.serve.PlanStore` (keyed on model/profile digests plus
+  the search options), so a restarted server answers repeat searches
+  without re-running the grid.
+
+Every response carries the request's canonical ``digest`` so clients
+can correlate answers with store entries, and ``source`` describing
+where the answer came from (``"computed"``, ``"memory"``, or
+``"store"``).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional, Tuple
+
+from repro.models import get_model_spec
+from repro.obs import recorder
+from repro.plan import (
+    Session,
+    TrainingStrategy,
+    get_plan_store,
+    plan_store_key,
+    strategy_registry,
+)
+from repro.utils.digest import content_digest
+
+__all__ = ["PlanService", "RequestError", "SERVICE_OPS"]
+
+#: Operations :meth:`PlanService.handle` accepts.
+SERVICE_OPS = ("plan", "simulate", "autotune")
+
+_RESPONSE_CACHE_MAXSIZE = 256
+
+
+class RequestError(Exception):
+    """A rejected request: machine-readable ``code`` + HTTP ``status``.
+
+    ``code`` is one of ``invalid_request``, ``unknown_model``,
+    ``unknown_strategy``, ``unknown_topology``, ``unknown_scenario``,
+    ``unknown_op`` — stable strings clients can switch on.
+    """
+
+    def __init__(self, code: str, message: str, status: int = 400):
+        super().__init__(message)
+        self.code = code
+        self.message = message
+        self.status = status
+
+    def to_dict(self) -> Dict[str, object]:
+        """The structured error body the server returns."""
+        return {"error": {"code": self.code, "message": self.message}}
+
+
+def _require_type(params: Dict[str, object], key: str, types, label: str):
+    value = params.get(key)
+    if value is not None and not isinstance(value, types):
+        raise RequestError(
+            "invalid_request", f"{key!r} must be {label}, got {type(value).__name__}"
+        )
+    if isinstance(value, bool) and bool not in (
+        types if isinstance(types, tuple) else (types,)
+    ):
+        raise RequestError("invalid_request", f"{key!r} must be {label}, got bool")
+    return value
+
+
+class PlanService:
+    """Answers plan/simulate/autotune queries over shared sessions.
+
+    Examples
+    --------
+    >>> service = PlanService()
+    >>> out = service.handle("plan", {"model": "ResNet-50", "strategy": "SPD-KFAC", "gpus": 4})
+    >>> out["model"], out["num_ranks"], out["strategy"]["placement"]
+    ('ResNet-50', 4, 'lbp')
+    """
+
+    def __init__(self, store=None):
+        # The disk layer is process-wide (it sits under the Session LRU);
+        # installing it here makes every session of this process share it.
+        if store is not None:
+            from repro.plan import set_plan_store
+
+            set_plan_store(store)
+        self._sessions: Dict[Tuple[str, object, Optional[str]], Session] = {}
+        self._lock = threading.Lock()
+        self._responses: Dict[str, Dict[str, object]] = {}
+        self._rec = recorder()
+
+    # -- request resolution --------------------------------------------------
+
+    def _resolve_cluster(self, params: Dict[str, object]):
+        """(cluster argument for Session, canonical cluster token)."""
+        gpus = _require_type(params, "gpus", int, "an integer GPU count")
+        topology = _require_type(params, "topology", str, "a topology preset name")
+        if gpus is not None and topology is not None:
+            raise RequestError(
+                "invalid_request", "'gpus' and 'topology' are mutually exclusive"
+            )
+        if topology is not None:
+            from repro.topo import named_topology
+
+            try:
+                topo = named_topology(topology)
+            except KeyError as exc:
+                raise RequestError("unknown_topology", exc.args[0], status=404)
+            return topo, {"topology": topology, "world_size": topo.world_size}
+        if gpus is not None:
+            if not 1 <= gpus <= 4096:
+                raise RequestError(
+                    "invalid_request", f"'gpus' must be in [1, 4096], got {gpus}"
+                )
+            return gpus, {"gpus": gpus}
+        return None, {"gpus": 64}  # the paper's testbed
+
+    def _resolve_scenario(self, params: Dict[str, object]):
+        name = _require_type(params, "scenario", str, "a fault-scenario preset name")
+        if name is None:
+            return None
+        from repro.faults import named_scenario
+
+        try:
+            return named_scenario(name)
+        except KeyError as exc:
+            raise RequestError("unknown_scenario", exc.args[0], status=404)
+
+    def _resolve_strategy(self, params: Dict[str, object]) -> TrainingStrategy:
+        strategy = params.get("strategy")
+        if isinstance(strategy, str):
+            try:
+                return strategy_registry[strategy]
+            except KeyError as exc:
+                raise RequestError("unknown_strategy", exc.args[0], status=404)
+        if isinstance(strategy, dict):
+            try:
+                return TrainingStrategy.from_dict(strategy)
+            except (TypeError, ValueError) as exc:
+                raise RequestError("invalid_strategy", str(exc))
+        raise RequestError(
+            "invalid_request",
+            "'strategy' is required: a registered name or an axes dict",
+        )
+
+    def _session_for(self, params: Dict[str, object]) -> Tuple[Session, Dict]:
+        model = params.get("model")
+        if not isinstance(model, str):
+            raise RequestError("invalid_request", "'model' (string) is required")
+        cluster, cluster_token = self._resolve_cluster(params)
+        scenario = self._resolve_scenario(params)
+        try:
+            spec = get_model_spec(model)
+        except KeyError as exc:
+            raise RequestError("unknown_model", exc.args[0], status=404)
+        key = (
+            spec.name,
+            tuple(sorted(cluster_token.items())),
+            None if scenario is None else scenario.digest(),
+        )
+        with self._lock:
+            session = self._sessions.get(key)
+            if session is None:
+                session = Session(spec, cluster, scenario=scenario)
+                self._sessions[key] = session
+        return session, cluster_token
+
+    # -- operations ----------------------------------------------------------
+
+    def handle(self, op: str, params: Dict[str, object]) -> Dict[str, object]:
+        """Dispatch one validated operation; returns the response body."""
+        if not isinstance(params, dict):
+            raise RequestError("invalid_request", "request body must be a JSON object")
+        if op == "plan":
+            return self.plan(params)
+        if op == "simulate":
+            return self.simulate(params)
+        if op == "autotune":
+            return self.autotune(params)
+        raise RequestError(
+            "unknown_op", f"unknown operation {op!r}; one of {SERVICE_OPS}", status=404
+        )
+
+    def _request_digest(self, session: Session, strategy: TrainingStrategy) -> str:
+        profile = session.profile_for(strategy)
+        scenario = session.scenario
+        return plan_store_key(
+            session.spec,
+            strategy,
+            profile,
+            None if scenario is None else scenario.digest(),
+        )
+
+    def plan(self, params: Dict[str, object]) -> Dict[str, object]:
+        """Resolve a plan; body: model, strategy, gpus|topology, include_plan."""
+        session, cluster_token = self._session_for(params)
+        strategy = self._resolve_strategy(params)
+        include_plan = bool(params.get("include_plan", False))
+        source = _SourceProbe()
+        plan = session.plan(strategy)
+        response = {
+            "digest": self._request_digest(session, strategy),
+            "model": session.model,
+            "cluster": cluster_token,
+            "strategy_name": strategy.name,
+            "strategy": strategy.to_dict(),
+            "num_ranks": plan.num_ranks,
+            "plan_digest": plan.digest(),
+            "predicted_makespan": plan.predicted_makespan,
+            "breakdown": plan.breakdown_dict(),
+            "task_counts": dict(plan.task_counts),
+            "summary": plan.summary(),
+            "source": source.resolve(),
+        }
+        if include_plan:
+            response["plan"] = plan.to_dict()
+        return response
+
+    def simulate(self, params: Dict[str, object]) -> Dict[str, object]:
+        """Simulate one iteration; same body as ``plan``."""
+        session, cluster_token = self._session_for(params)
+        strategy = self._resolve_strategy(params)
+        source = _SourceProbe()
+        result = session.simulate(strategy)
+        phase_times = getattr(result, "phase_times", None)
+        return {
+            "digest": self._request_digest(session, strategy),
+            "model": session.model,
+            "cluster": cluster_token,
+            "strategy_name": strategy.name,
+            "iteration_time": result.iteration_time,
+            "categories": result.categories(),
+            "phase_times": phase_times() if callable(phase_times) else None,
+            "cycle_iterations": getattr(result, "cycle_iterations", 1),
+            "source": source.resolve(),
+        }
+
+    def autotune(self, params: Dict[str, object]) -> Dict[str, object]:
+        """Grid-search the cluster; body: model, gpus|topology, top, prune."""
+        session, cluster_token = self._session_for(params)
+        if session.scenario is not None:
+            raise RequestError(
+                "invalid_request",
+                "autotune over fault scenarios is not served; drop 'scenario'",
+            )
+        top = params.get("top", 5)
+        if isinstance(top, bool) or not isinstance(top, int) or not 1 <= top <= 100:
+            raise RequestError(
+                "invalid_request", f"'top' must be an integer in [1, 100], got {top!r}"
+            )
+        prune = params.get("prune", True)
+        if not isinstance(prune, bool):
+            raise RequestError("invalid_request", "'prune' must be a boolean")
+
+        digest = content_digest(
+            {
+                "kind": "autotune",
+                "model": session.spec.digest(),
+                "profile": session.profile_for("SPD-KFAC").digest(),
+                "cluster": cluster_token,
+                "top": top,
+                "prune": prune,
+            }
+        )
+        cached = self._response_get(digest)
+        if cached is not None:
+            return {**cached, "digest": digest, "source": "memory"}
+        store = get_plan_store()
+        if store is not None:
+            doc = store.get(digest)
+            if isinstance(doc, dict):
+                self._response_put(digest, doc)
+                return {**doc, "digest": digest, "source": "store"}
+
+        report = session.autotune(prune=prune)
+        best = report.best
+        response = {
+            "model": report.model,
+            "cluster": cluster_token,
+            "world_size": report.world_size,
+            "objective": report.objective,
+            "stats": dict(report.stats),
+            "best": best.to_dict(),
+            "best_preset": list(report.best_preset),
+            "speedup_over_presets": report.speedup_over_presets,
+            "candidates": [o.to_dict() for o in report.outcomes[:top]],
+            "text": report.to_text(top_k=top),
+        }
+        self._response_put(digest, response)
+        if store is not None:
+            store.put(digest, response, kind="autotune")
+        return {**response, "digest": digest, "source": "computed"}
+
+    # -- response cache ------------------------------------------------------
+
+    def _response_get(self, digest: str) -> Optional[Dict[str, object]]:
+        with self._lock:
+            return self._responses.get(digest)
+
+    def _response_put(self, digest: str, response: Dict[str, object]) -> None:
+        with self._lock:
+            if len(self._responses) >= _RESPONSE_CACHE_MAXSIZE:
+                self._responses.pop(next(iter(self._responses)))
+            self._responses[digest] = response
+
+    def stats(self) -> Dict[str, object]:
+        """Cache/store/session statistics (the ``/stats`` endpoint body)."""
+        from repro.plan import cache_info
+
+        store = get_plan_store()
+        with self._lock:
+            sessions = len(self._sessions)
+            responses = len(self._responses)
+        return {
+            "sessions": sessions,
+            "autotune_responses": responses,
+            "plan_cache": cache_info(),
+            "store": None if store is None else store.stats(),
+        }
+
+
+class _SourceProbe:
+    """Classify where an answer came from by cache-counter deltas.
+
+    Snapshot the shared cache counters before the call; afterwards,
+    :meth:`resolve` reports ``"memory"`` (LRU hit), ``"store"`` (disk
+    hit), or ``"computed"``.  Under concurrent traffic the deltas can
+    mix several requests' lookups; the label then reflects the cheapest
+    source that *could* have served it (memory first) — best-effort
+    telemetry, never load-bearing.
+    """
+
+    def __init__(self):
+        from repro.plan import cache_info
+
+        self._before = cache_info()
+
+    def resolve(self) -> str:
+        from repro.plan import cache_info
+
+        after = cache_info()
+        if after["hits"] > self._before["hits"]:
+            return "memory"
+        if after["store_hits"] > self._before["store_hits"]:
+            return "store"
+        return "computed"

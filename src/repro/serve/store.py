@@ -1,0 +1,375 @@
+"""Disk-backed, content-addressed store for plans and results.
+
+A :class:`PlanStore` persists JSON documents keyed by canonical content
+digests (:func:`repro.utils.digest.content_digest`), so deterministic
+artifacts — resolved plans, simulation summaries, autotune reports —
+survive process restarts and are shared between every process pointing
+at the same directory.
+
+Layout of a store rooted at ``DIR``::
+
+    DIR/
+      objects/<key[:2]>/<key>.json   # one envelope per entry
+      quarantine/                    # corrupted entries, moved aside
+      index.json                     # key -> {kind} listing (rebuildable)
+      store.lock                     # cross-process flock target
+
+Durability and concurrency:
+
+* **Atomic writes** — entries are written to a temp file in the target
+  directory, flushed, ``fsync``-ed, then ``os.replace``-d into place;
+  readers can never observe a partial entry.
+* **Fsync-safe index** — ``index.json`` is rewritten with the same
+  temp + fsync + replace discipline, *after* the object lands.  The
+  object files are the source of truth: :meth:`get` reads them
+  directly, and :meth:`rebuild_index` regenerates the index from a
+  directory scan, so a crash between the two writes loses nothing.
+* **Cross-process file locking** — writers serialize on an ``flock`` of
+  ``store.lock`` (advisory, POSIX; a no-op fallback keeps the store
+  usable on platforms without ``fcntl``).  Readers are lock-free.
+* **Corruption quarantine** — an entry that fails to parse, carries the
+  wrong envelope key, or has an unknown schema is moved into
+  ``quarantine/`` (never deleted) and reported as a miss.
+
+Entries are wrapped in a tiny envelope ``{"schema": 1, "key": ...,
+"kind": ..., "payload": ...}`` so :meth:`get` can detect truncation and
+misfiled content, not just JSON syntax errors.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from typing import Dict, Iterator, Optional
+
+try:  # POSIX advisory locks; absent on some platforms.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
+__all__ = ["FileLock", "PlanStore", "STORE_SCHEMA_VERSION"]
+
+#: Envelope schema written around every stored payload.
+STORE_SCHEMA_VERSION = 1
+
+_KEY_CHARS = frozenset("0123456789abcdef")
+
+
+class FileLock:
+    """Advisory cross-process lock on one file (``flock``-based).
+
+    Usable as a context manager; each acquisition opens its own file
+    descriptor, so concurrent threads of one process exclude each other
+    exactly like separate processes do.  On platforms without ``fcntl``
+    the lock degrades to a per-process ``threading.Lock`` (documented:
+    multi-process writers then race, readers stay safe thanks to atomic
+    replaces).
+    """
+
+    def __init__(self, path: str):
+        self.path = os.fspath(path)
+        # The holder's fd lives in thread-local storage: a shared FileLock
+        # instance must not let thread B's acquire clobber the fd thread A
+        # is about to release.
+        self._local = threading.local()
+        self._fallback = threading.Lock() if fcntl is None else None
+
+    def acquire(self) -> None:
+        """Block until the lock is held."""
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            assert self._fallback is not None
+            self._fallback.acquire()
+            return
+        fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+        fcntl.flock(fd, fcntl.LOCK_EX)
+        self._local.fd = fd
+
+    def release(self) -> None:
+        """Release the lock (a no-op if this thread does not hold it)."""
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            assert self._fallback is not None
+            if self._fallback.locked():
+                self._fallback.release()
+            return
+        fd = getattr(self._local, "fd", None)
+        if fd is not None:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
+            self._local.fd = None
+
+    def __enter__(self) -> "FileLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+def _atomic_write_json(path: str, document: object) -> None:
+    """Write ``document`` to ``path`` via temp file + fsync + rename."""
+    directory = os.path.dirname(path)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as f:
+            json.dump(document, f, sort_keys=True, separators=(",", ":"))
+            f.write("\n")
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    # Make the rename itself durable (POSIX: fsync the directory).
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - e.g. O_RDONLY dirs unsupported
+        return
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+
+
+class PlanStore:
+    """Content-addressed JSON store on disk (see module docstring).
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> root = tempfile.mkdtemp()
+    >>> store = PlanStore(root)
+    >>> key = "ab" * 8
+    >>> store.put(key, {"makespan": 0.25}, kind="demo")
+    >>> store.get(key)
+    {'makespan': 0.25}
+    >>> PlanStore(root).get(key)        # a fresh process sees it too
+    {'makespan': 0.25}
+    >>> sorted(store.stats().items())[:2]
+    [('entries', 1), ('hits', 1)]
+    """
+
+    def __init__(self, root):
+        self.root = os.fspath(root)
+        self._objects = os.path.join(self.root, "objects")
+        self._quarantine = os.path.join(self.root, "quarantine")
+        self._index_path = os.path.join(self.root, "index.json")
+        os.makedirs(self._objects, exist_ok=True)
+        os.makedirs(self._quarantine, exist_ok=True)
+        self._lock = FileLock(os.path.join(self.root, "store.lock"))
+        self._stats_lock = threading.Lock()
+        self._counters = {"hits": 0, "misses": 0, "writes": 0, "quarantined": 0}
+
+    # -- keys and paths ------------------------------------------------------
+
+    @staticmethod
+    def check_key(key: str) -> str:
+        """Validate a store key (lowercase hex, 8..64 chars); returns it."""
+        if (
+            not isinstance(key, str)
+            or not 8 <= len(key) <= 64
+            or not set(key) <= _KEY_CHARS
+        ):
+            raise ValueError(
+                f"store keys are 8..64 lowercase hex chars (a content "
+                f"digest); got {key!r}"
+            )
+        return key
+
+    def _object_path(self, key: str) -> str:
+        return os.path.join(self._objects, key[:2], f"{key}.json")
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        with self._stats_lock:
+            self._counters[name] += amount
+
+    # -- core API ------------------------------------------------------------
+
+    def put(self, key: str, payload: object, *, kind: str = "generic") -> None:
+        """Persist ``payload`` (JSON-serializable) under ``key`` atomically.
+
+        Overwrites any existing entry for ``key`` (content-addressed
+        keys make overwrites idempotent re-writes of equal content).
+        """
+        self.check_key(key)
+        envelope = {
+            "schema": STORE_SCHEMA_VERSION,
+            "key": key,
+            "kind": kind,
+            "payload": payload,
+        }
+        path = self._object_path(key)
+        with self._lock:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            _atomic_write_json(path, envelope)
+            self._index_add(key, kind)
+        self._count("writes")
+
+    def get(self, key: str) -> Optional[object]:
+        """The payload stored under ``key``, or ``None``.
+
+        Entries that fail to load — unparseable JSON, truncation, a
+        mismatched envelope key, an unknown schema — are moved to the
+        quarantine directory and reported as misses.
+        """
+        self.check_key(key)
+        path = self._object_path(key)
+        try:
+            with open(path) as f:
+                envelope = json.load(f)
+            if (
+                not isinstance(envelope, dict)
+                or envelope.get("schema") != STORE_SCHEMA_VERSION
+                or envelope.get("key") != key
+                or "payload" not in envelope
+            ):
+                raise ValueError(f"invalid store envelope in {path}")
+        except FileNotFoundError:
+            self._count("misses")
+            return None
+        except (ValueError, OSError):
+            self.quarantine(key)
+            self._count("misses")
+            return None
+        self._count("hits")
+        return envelope["payload"]
+
+    def __contains__(self, key: str) -> bool:
+        return os.path.exists(self._object_path(self.check_key(key)))
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def keys(self) -> Iterator[str]:
+        """All stored keys, from a directory scan (index-independent)."""
+        for shard in sorted(os.listdir(self._objects)):
+            shard_dir = os.path.join(self._objects, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(".json"):
+                    yield name[: -len(".json")]
+
+    def quarantine(self, key: str) -> Optional[str]:
+        """Move ``key``'s entry file into the quarantine directory.
+
+        Returns the quarantine path (``None`` if the entry vanished
+        first).  Quarantined files keep their content for post-mortems;
+        a numeric suffix avoids clobbering earlier quarantines of the
+        same key.
+        """
+        path = self._object_path(key)
+        with self._lock:
+            if not os.path.exists(path):
+                return None
+            dest = os.path.join(self._quarantine, f"{key}.json")
+            suffix = 0
+            while os.path.exists(dest):
+                suffix += 1
+                dest = os.path.join(self._quarantine, f"{key}.json.{suffix}")
+            os.replace(path, dest)
+            self._index_discard(key)
+        self._count("quarantined")
+        return dest
+
+    # -- index ---------------------------------------------------------------
+
+    def _read_index(self) -> Dict[str, Dict[str, str]]:
+        try:
+            with open(self._index_path) as f:
+                index = json.load(f)
+        except (FileNotFoundError, ValueError, OSError):
+            return {}
+        entries = index.get("entries") if isinstance(index, dict) else None
+        return entries if isinstance(entries, dict) else {}
+
+    def _write_index(self, entries: Dict[str, Dict[str, str]]) -> None:
+        _atomic_write_json(
+            self._index_path,
+            {"schema": STORE_SCHEMA_VERSION, "entries": entries},
+        )
+
+    def _index_add(self, key: str, kind: str) -> None:
+        entries = self._read_index()
+        entries[key] = {"kind": kind}
+        self._write_index(entries)
+
+    def _index_discard(self, key: str) -> None:
+        entries = self._read_index()
+        if key in entries:
+            del entries[key]
+            self._write_index(entries)
+
+    def index(self) -> Dict[str, Dict[str, str]]:
+        """The current index: ``{key: {"kind": ...}}`` (a copy)."""
+        return dict(self._read_index())
+
+    def rebuild_index(self) -> int:
+        """Regenerate ``index.json`` from the object files; returns count.
+
+        Entries that fail to load are quarantined along the way, so a
+        rebuild doubles as a full-store verification pass.
+        """
+        entries: Dict[str, Dict[str, str]] = {}
+        for key in list(self.keys()):
+            path = self._object_path(key)
+            try:
+                with open(path) as f:
+                    envelope = json.load(f)
+                if (
+                    not isinstance(envelope, dict)
+                    or envelope.get("schema") != STORE_SCHEMA_VERSION
+                    or envelope.get("key") != key
+                    or "payload" not in envelope
+                ):
+                    raise ValueError(f"invalid store envelope in {path}")
+            except (ValueError, OSError):
+                self.quarantine(key)
+                continue
+            entries[key] = {"kind": str(envelope.get("kind", "generic"))}
+        with self._lock:
+            self._write_index(entries)
+        return len(entries)
+
+    # -- reporting -----------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Entry count plus this instance's hit/miss/write/quarantine totals."""
+        with self._stats_lock:
+            counters = dict(self._counters)
+        quarantined_files = [
+            name for name in os.listdir(self._quarantine) if not name.startswith(".")
+        ]
+        return {
+            "entries": len(self),
+            "quarantine_files": len(quarantined_files),
+            **counters,
+        }
+
+    def hit_rate(self) -> float:
+        """``hits / (hits + misses)`` for this instance (0.0 when idle)."""
+        with self._stats_lock:
+            hits = self._counters["hits"]
+            misses = self._counters["misses"]
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def clear(self) -> int:
+        """Delete every entry (quarantine kept); returns removed count."""
+        removed = 0
+        with self._lock:
+            for key in list(self.keys()):
+                try:
+                    os.unlink(self._object_path(key))
+                    removed += 1
+                except FileNotFoundError:
+                    pass
+            self._write_index({})
+        return removed
+
+    def __repr__(self) -> str:
+        return f"PlanStore(root={self.root!r}, entries={len(self)})"

@@ -1,6 +1,7 @@
 """Shared utilities: validation helpers, RNG management, formatting."""
 
 from repro.utils.deprecation import ReproDeprecationWarning, warn_deprecated
+from repro.utils.digest import canonical_json, content_digest
 from repro.utils.format import human_bytes, human_count, human_time
 from repro.utils.rng import new_rng, spawn_rngs
 from repro.utils.validation import (
@@ -14,6 +15,8 @@ from repro.utils.validation import (
 __all__ = [
     "ReproDeprecationWarning",
     "warn_deprecated",
+    "canonical_json",
+    "content_digest",
     "human_bytes",
     "human_count",
     "human_time",

@@ -1,0 +1,66 @@
+"""Canonical content digests: one hashing convention for the whole stack.
+
+The plan-serving store, the Session cache, and every ``digest()`` method
+on the planning value objects (:class:`~repro.plan.TrainingStrategy`,
+:class:`~repro.models.spec.ModelSpec`,
+:class:`~repro.perf.ClusterPerfProfile`,
+:class:`~repro.faults.FaultScenario`) need keys that are stable across
+processes, machines, and Python versions.  The convention:
+
+* serialize the payload as **canonical JSON** — sorted keys, compact
+  separators, no NaN/Infinity.  Python's ``json`` renders floats via
+  ``repr`` (shortest round-tripping form, stable since CPython 3.1) and
+  ints without locale effects, so equal values always produce equal
+  bytes;
+* hash the UTF-8 bytes with **sha256** and keep the first 16 hex
+  characters (64 bits — ample for cache keys, short enough to read in
+  logs and directory listings).
+
+``content_digest`` is the one entry point; everything else in the
+repository delegates to it so digests can never drift between layers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+__all__ = ["canonical_json", "content_digest", "DIGEST_LENGTH"]
+
+#: Hex characters kept from the sha256 digest (64 bits).
+DIGEST_LENGTH = 16
+
+
+def canonical_json(payload: object) -> str:
+    """Serialize ``payload`` as canonical (sorted, compact) JSON.
+
+    Only JSON-native types are accepted (``dict``/``list``/``tuple``/
+    ``str``/``int``/``float``/``bool``/``None``); anything else raises
+    ``TypeError`` rather than hashing an unstable ``repr``.  NaN and
+    infinities are rejected: their JSON spellings are non-standard and
+    their semantics break key equality.
+
+    Examples
+    --------
+    >>> canonical_json({"b": 1, "a": [1.5, None]})
+    '{"a":[1.5,null],"b":1}'
+    """
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def content_digest(payload: object, *, length: int = DIGEST_LENGTH) -> str:
+    """Stable hex digest of ``payload``'s canonical JSON form.
+
+    Examples
+    --------
+    >>> content_digest({"model": "ResNet-50", "gpus": 64})
+    '63cbfbb4c5bbcf66'
+    >>> content_digest({"gpus": 64, "model": "ResNet-50"})  # order-insensitive
+    '63cbfbb4c5bbcf66'
+    """
+    if not 1 <= length <= 64:
+        raise ValueError(f"digest length must be in [1, 64], got {length}")
+    data = canonical_json(payload).encode("utf-8")
+    return hashlib.sha256(data).hexdigest()[:length]

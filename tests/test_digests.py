@@ -1,0 +1,155 @@
+"""Canonical digests: stability, sensitivity, and collision checks.
+
+The serving subsystem addresses plans and results by content, so every
+digest must be (a) stable across processes and Python versions — frozen
+hex literals below guard that — and (b) sensitive to exactly the axes
+that change the answer (and insensitive to presentation details like a
+strategy's display name).
+"""
+
+import itertools
+import json
+import math
+import subprocess
+import sys
+
+import pytest
+
+from repro.models import get_model_spec
+from repro.models.catalog import PAPER_MODELS
+from repro.perf import paper_cluster_profile, scaled_cluster_profile
+from repro.plan import Session, plan_store_key, strategy_registry
+from repro.utils.digest import DIGEST_LENGTH, canonical_json, content_digest
+
+
+class TestCanonicalJson:
+    def test_key_order_irrelevant(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
+
+    def test_compact_and_sorted(self):
+        assert canonical_json({"b": 1, "a": [1, 2]}) == '{"a":[1,2],"b":1}'
+
+    def test_floats_roundtrip_exactly(self):
+        value = 0.1 + 0.2  # not representable; repr must round-trip
+        assert json.loads(canonical_json({"x": value}))["x"] == value
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            canonical_json({"x": math.nan})
+
+    def test_content_digest_frozen(self):
+        """Cross-version stability anchor: recorded once, never drifts."""
+        assert content_digest({"a": 1, "b": [1.5, "x"], "c": None}) == (
+            "fc829ae825088cb1"
+        )
+
+    def test_digest_length(self):
+        digest = content_digest({"k": "v"})
+        assert len(digest) == DIGEST_LENGTH
+        assert set(digest) <= set("0123456789abcdef")
+
+    def test_digest_stable_across_processes(self):
+        """A fresh interpreter (fresh hash seed) computes the same digest."""
+        code = (
+            "from repro.utils.digest import content_digest;"
+            "print(content_digest({'a': 1, 'b': [1.5, 'x'], 'c': None}))"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            check=True,
+            env={"PYTHONPATH": "src", "PYTHONHASHSEED": "99"},
+        )
+        assert out.stdout.strip() == "fc829ae825088cb1"
+
+
+class TestStrategyDigest:
+    def test_frozen(self):
+        assert strategy_registry["SPD-KFAC"].digest() == "d5e045a43035648b"
+
+    def test_name_is_presentation_only(self):
+        spd = strategy_registry["SPD-KFAC"]
+        renamed = spd.but(name="my-alias")
+        assert renamed.digest() == spd.digest()
+
+    def test_every_axis_changes_the_digest(self):
+        base = strategy_registry["SPD-KFAC"]
+        variants = [
+            base.but(gradient_reduction="bulk"),
+            base.but(factor_fusion="threshold"),
+            base.but(placement="balanced"),
+            base.but(collective="ring"),
+            base.but(grad_dtype="fp16"),
+            base.but(grad_compression=0.01),
+            base.but(inverse_update_interval=10),
+        ]
+        digests = {base.digest()} | {v.digest() for v in variants}
+        assert len(digests) == 1 + len(variants)
+
+    def test_presets_all_distinct(self):
+        digests = [strategy_registry[n].digest() for n in strategy_registry.names()]
+        assert len(set(digests)) == len(digests)
+
+    def test_roundtrip_preserves_digest(self):
+        from repro.plan import TrainingStrategy
+
+        for name in strategy_registry.names():
+            strategy = strategy_registry[name]
+            assert TrainingStrategy.from_dict(strategy.to_dict()).digest() == (
+                strategy.digest()
+            )
+
+
+class TestModelAndProfileDigests:
+    def test_model_frozen(self):
+        assert get_model_spec("ResNet-50").digest() == "1f5e5f4b56d72e95"
+
+    def test_models_all_distinct(self):
+        digests = [get_model_spec(m).digest() for m in PAPER_MODELS]
+        assert len(set(digests)) == len(digests)
+
+    def test_batch_size_changes_model_digest(self, tiny_spec):
+        import dataclasses
+
+        bigger = dataclasses.replace(tiny_spec, batch_size=tiny_spec.batch_size * 2)
+        assert bigger.digest() != tiny_spec.digest()
+
+    def test_profile_frozen(self):
+        assert paper_cluster_profile().digest() == "653ee25c5ce455e9"
+
+    def test_profiles_scale_sensitive(self):
+        assert scaled_cluster_profile(4).digest() != scaled_cluster_profile(8).digest()
+
+
+class TestPlanDigestAndStoreKey:
+    def test_plan_digest_survives_roundtrip(self):
+        from repro.plan import Plan
+
+        session = Session("ResNet-50", 4)
+        plan = session.plan("SPD-KFAC")
+        assert Plan.from_json(plan.to_json()).digest() == plan.digest()
+
+    def test_store_key_distinct_across_grid(self):
+        """No collisions over models x strategies x cluster sizes."""
+        keys = set()
+        combos = 0
+        for model, gpus in itertools.product(["ResNet-50", "ResNet-152"], [4, 8]):
+            session = Session(model, gpus)
+            for name in strategy_registry.names():
+                strategy = strategy_registry[name]
+                keys.add(
+                    plan_store_key(
+                        session.spec, strategy, session.profile_for(strategy), None
+                    )
+                )
+                combos += 1
+        assert len(keys) == combos
+
+    def test_scenario_digest_separates_keys(self):
+        session = Session("ResNet-50", 4)
+        strategy = strategy_registry["SPD-KFAC"]
+        profile = session.profile_for(strategy)
+        nominal = plan_store_key(session.spec, strategy, profile, None)
+        faulted = plan_store_key(session.spec, strategy, profile, "abcd1234abcd1234")
+        assert nominal != faulted

@@ -19,6 +19,11 @@ DOCTEST_MODULES = [
     "repro.plan.session",
     "repro.autotune.grid",
     "repro.autotune.tuner",
+    "repro.utils.digest",
+    "repro.serve.store",
+    "repro.serve.service",
+    "repro.serve.server",
+    "repro.serve.client",
     "repro.topo.presets",
     "repro.topo.graph",
     "repro.sim.analysis",

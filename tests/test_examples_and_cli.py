@@ -327,3 +327,48 @@ def test_fast_experiments_render_roundtrip(experiment_id):
     assert result.rows
     assert result.to_text()
     assert result.to_markdown()
+
+
+class TestServeCLI:
+    @pytest.fixture(autouse=True)
+    def _isolated_caches(self):
+        from repro.plan import clear_caches, set_plan_store
+
+        clear_caches()
+        set_plan_store(None)
+        yield
+        clear_caches()
+        set_plan_store(None)
+
+    def test_serve_load_test_writes_report(self, tmp_path, capsys):
+        """`serve --load-test` boots an ephemeral server, fires the mixed
+        workload from multiple processes, and writes the JSON report."""
+        from repro.experiments.__main__ import main
+
+        report_path = tmp_path / "report.json"
+        code = main(
+            [
+                "serve",
+                "--load-test", "40",
+                "--concurrency", "2",
+                "--processes", "2",
+                "--store", str(tmp_path / "store"),
+                "--json", str(report_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "load test: 40/40 queries ok" in out
+
+        import json
+
+        payload = json.loads(report_path.read_text())
+        assert payload["completed"] == 40
+        assert payload["errors"] == 0
+        assert payload["processes"] == 2
+        assert payload["p99_s"] > 0
+
+    def test_serve_help(self):
+        result = run_script("-m", "repro.experiments", "serve", "--help")
+        assert result.returncode == 0
+        assert "--load-test" in result.stdout and "--store" in result.stdout

@@ -1,0 +1,311 @@
+"""The plan server end to end: endpoints, validation, concurrency, restarts.
+
+Everything runs against real ``ThreadingHTTPServer`` instances on
+ephemeral ports — the same stack ``python -m repro.experiments serve``
+boots — plus service-level checks that don't need a socket.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.experiments.base import get_experiment
+from repro.plan import clear_caches, set_plan_store
+from repro.serve import (
+    PlanClient,
+    PlanServer,
+    PlanService,
+    RequestError,
+    ServeError,
+    run_load_test,
+    wait_ready,
+)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_caches():
+    """Serving installs a process-wide store; never leak it across tests."""
+    clear_caches()
+    set_plan_store(None)
+    yield
+    clear_caches()
+    set_plan_store(None)
+
+
+@pytest.fixture
+def server(tmp_path):
+    with PlanServer(store=tmp_path / "store") as srv:
+        yield srv
+
+
+@pytest.fixture
+def client(server):
+    return PlanClient(server.host, server.port)
+
+
+class TestServiceValidation:
+    """Transport-independent request validation (no socket needed)."""
+
+    @pytest.mark.parametrize(
+        "op,params,code",
+        [
+            ("plan", {"strategy": "SPD-KFAC"}, "invalid_request"),
+            ("plan", {"model": "nope", "strategy": "SPD-KFAC"}, "unknown_model"),
+            ("plan", {"model": "ResNet-50", "strategy": "nope"}, "unknown_strategy"),
+            ("plan", {"model": "ResNet-50"}, "invalid_request"),
+            (
+                "plan",
+                {"model": "ResNet-50", "strategy": "SPD-KFAC", "gpus": 0},
+                "invalid_request",
+            ),
+            (
+                "plan",
+                {"model": "ResNet-50", "strategy": "SPD-KFAC", "gpus": "four"},
+                "invalid_request",
+            ),
+            (
+                "plan",
+                {
+                    "model": "ResNet-50",
+                    "strategy": "SPD-KFAC",
+                    "gpus": 4,
+                    "topology": "paper_testbed",
+                },
+                "invalid_request",
+            ),
+            (
+                "plan",
+                {"model": "ResNet-50", "strategy": "SPD-KFAC", "topology": "nope"},
+                "unknown_topology",
+            ),
+            (
+                "plan",
+                {"model": "ResNet-50", "strategy": "SPD-KFAC", "scenario": "nope"},
+                "unknown_scenario",
+            ),
+            (
+                "simulate",
+                {"model": "ResNet-50", "strategy": {"placement": "bogus"}},
+                "invalid_strategy",
+            ),
+            ("autotune", {"model": "ResNet-50", "top": 0}, "invalid_request"),
+            ("autotune", {"model": "ResNet-50", "top": True}, "invalid_request"),
+            ("autotune", {"model": "ResNet-50", "prune": "yes"}, "invalid_request"),
+            ("frobnicate", {}, "unknown_op"),
+        ],
+    )
+    def test_rejections(self, op, params, code):
+        service = PlanService()
+        with pytest.raises(RequestError) as exc:
+            service.handle(op, params)
+        assert exc.value.code == code
+        assert exc.value.to_dict()["error"]["code"] == code
+
+    def test_strategy_axes_dict_accepted(self):
+        service = PlanService()
+        out = service.handle(
+            "plan",
+            {
+                "model": "ResNet-50",
+                "strategy": {"name": "custom", "placement": "balanced"},
+                "gpus": 4,
+            },
+        )
+        assert out["strategy"]["placement"] == "balanced"
+        assert out["num_ranks"] == 4
+
+
+class TestEndpoints:
+    def test_health_and_stats(self, client):
+        assert client.health()["status"] == "ok"
+        stats = client.stats()
+        assert stats["store"]["entries"] == 0
+        assert "endpoints" in stats and "plan_cache" in stats
+
+    def test_models_and_strategies(self, client):
+        assert "ResNet-50" in client.models()
+        strategies = client.strategies()
+        assert "SPD-KFAC" in strategies
+        assert strategies["SPD-KFAC"]["placement"] == "lbp"
+
+    def test_plan_simulate_autotune(self, client):
+        plan = client.plan("ResNet-50", "SPD-KFAC", gpus=4)
+        assert plan["num_ranks"] == 4
+        assert plan["source"] == "computed"
+        assert len(plan["digest"]) == 16
+
+        sim = client.simulate("ResNet-50", "SPD-KFAC", gpus=4)
+        assert sim["digest"] == plan["digest"]
+        assert sim["iteration_time"] > 0
+        assert sim["source"] == "memory"  # the plan call simulated too
+
+        tune = client.autotune("ResNet-50", gpus=4, top=2)
+        assert tune["source"] == "computed"
+        assert len(tune["candidates"]) == 2
+        again = client.autotune("ResNet-50", gpus=4, top=2)
+        assert again["source"] == "memory"
+        assert again["best"] == tune["best"]
+
+    def test_include_plan_roundtrips(self, client):
+        from repro.plan import Plan
+
+        out = client.plan("ResNet-50", "SPD-KFAC", gpus=4, include_plan=True)
+        plan = Plan.from_dict(out["plan"])
+        assert plan.digest() == out["plan_digest"]
+
+    def test_http_errors_are_structured(self, client):
+        with pytest.raises(ServeError) as exc:
+            client.plan("nope", "SPD-KFAC")
+        assert (exc.value.code, exc.value.status) == ("unknown_model", 404)
+        with pytest.raises(ServeError) as exc:
+            client.request("GET", "/bogus")
+        assert exc.value.status == 404
+        with pytest.raises(ServeError) as exc:
+            client.request("POST", "/v1/frobnicate", {})
+        assert (exc.value.code, exc.value.status) == ("unknown_op", 404)
+
+    def test_malformed_body_rejected(self, client):
+        import http.client
+
+        conn = http.client.HTTPConnection(client.host, client.port, timeout=10)
+        try:
+            conn.request(
+                "POST",
+                "/v1/plan",
+                body=b"not json",
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            body = json.loads(response.read())
+            assert response.status == 400
+            assert body["error"]["code"] == "invalid_request"
+        finally:
+            conn.close()
+
+    def test_oversized_body_rejected(self, client):
+        from repro.serve import MAX_BODY_BYTES
+
+        with pytest.raises(ServeError) as exc:
+            client.request("POST", "/v1/plan", {"pad": "x" * (MAX_BODY_BYTES + 1)})
+        assert exc.value.status == 413
+
+
+class TestConcurrencyAndRestart:
+    def test_concurrent_clients_agree(self, server):
+        """8 threads x mixed strategies: identical answers, no errors."""
+        results = {}
+        errors = []
+        lock = threading.Lock()
+
+        def worker():
+            try:
+                client = PlanClient(server.host, server.port)
+                for name in ("SPD-KFAC", "MPD-KFAC", "S-SGD"):
+                    out = client.simulate("ResNet-50", name, gpus=4)
+                    with lock:
+                        results.setdefault(name, set()).add(out["iteration_time"])
+            except Exception as exc:  # pragma: no cover - failure signal
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert all(len(v) == 1 for v in results.values())
+
+    def test_restart_answers_from_store(self, tmp_path):
+        """A restarted server serves a previously-planned query from disk."""
+        store_dir = tmp_path / "store"
+        with PlanServer(store=store_dir) as first:
+            cold = PlanClient(first.host, first.port).simulate(
+                "ResNet-50", "SPD-KFAC", gpus=4
+            )
+            assert cold["source"] == "computed"
+
+        clear_caches()  # kill the process' in-memory state
+        set_plan_store(None)
+        with PlanServer(store=store_dir) as second:
+            warm = PlanClient(second.host, second.port).simulate(
+                "ResNet-50", "SPD-KFAC", gpus=4
+            )
+        assert warm["source"] == "store"  # no re-simulation
+        assert warm["iteration_time"] == cold["iteration_time"]  # bit-identical
+        assert warm["categories"] == cold["categories"]
+        assert warm["digest"] == cold["digest"]
+
+    def test_graceful_shutdown_endpoint(self, tmp_path):
+        server = PlanServer(store=tmp_path / "store").start()
+        client = PlanClient(server.host, server.port)
+        assert client.shutdown()["status"] == "shutting down"
+        server.close()  # joins the serving thread; idempotent with /shutdown
+        with pytest.raises(ServeError):
+            PlanClient(server.host, server.port, timeout=0.5).health()
+
+    def test_load_harness_small(self, server):
+        report = run_load_test(
+            server.host, server.port, queries=60, concurrency=4, seed=7
+        )
+        assert report.errors == 0
+        assert report.completed == 60
+        assert report.percentile(0.99) > 0
+        doc = report.to_dict()
+        assert doc["p50_s"] <= doc["p99_s"]
+        assert set(doc["ops"]) <= {"plan", "simulate", "autotune"}
+        assert report.to_text().startswith("load test: 60/60")
+
+    def test_wait_ready_times_out_on_dead_port(self):
+        with pytest.raises(ServeError):
+            wait_ready("127.0.0.1", 1, timeout=0.3, interval=0.1)
+
+
+class TestFrozenRowsWithStore:
+    """The disk store must never change what the paper tables report."""
+
+    def _frozen(self):
+        from pathlib import Path
+
+        path = Path(__file__).parent / "data" / "frozen_paper_rows.json"
+        return json.loads(path.read_text())["fig2"]
+
+    def _rows_hex(self, result):
+        return [
+            {k: (float.hex(v) if isinstance(v, float) else v) for k, v in row.items()}
+            for row in result.rows
+        ]
+
+    def test_fig2_bit_identical_store_on_and_off(self, tmp_path):
+        frozen = self._frozen()
+        expected = frozen["rows"]
+
+        clear_caches()
+        baseline = self._rows_hex(get_experiment("fig2").run())
+        assert baseline == expected  # store disabled
+
+        store = set_plan_store(tmp_path / "store")
+        clear_caches()
+        cold = self._rows_hex(get_experiment("fig2").run())
+        assert cold == expected  # store enabled, populating
+
+        clear_caches()  # simulated restart: rows now replay from disk
+        warm = self._rows_hex(get_experiment("fig2").run())
+        assert warm == expected
+        assert store.stats()["hits"] > 0  # the replay really hit the store
+
+
+def test_serve_forever_foreground_shutdown(tmp_path):
+    """The blocking serve loop (the CLI's foreground path) stops cleanly."""
+    server = PlanServer(store=tmp_path / "store")
+    thread = threading.Thread(
+        target=server.serve_forever,
+        kwargs={"install_signal_handlers": False},
+        daemon=True,
+    )
+    thread.start()
+    client = wait_ready(server.host, server.port)
+    assert client.health()["status"] == "ok"
+    server.shutdown()
+    thread.join(timeout=10)
+    assert not thread.is_alive()

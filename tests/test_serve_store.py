@@ -1,0 +1,300 @@
+"""Durability and concurrency guarantees of the disk-backed plan store.
+
+Covers the ISSUE-8 satellite checklist: kill/restart round-trips (a
+fresh store instance — and a fresh Session with cleared LRU — answers
+from disk), corrupted-entry quarantine, concurrent multi-process
+writers through the file lock, and thread-safety of the shared Session
+LRU cache.
+"""
+
+import json
+import multiprocessing
+import os
+import threading
+
+import pytest
+
+from repro.plan import (
+    Session,
+    cache_info,
+    clear_caches,
+    get_plan_store,
+    plan_store_key,
+    set_plan_store,
+    strategy_registry,
+)
+from repro.serve import FileLock, PlanStore, StoredResult, result_from_doc, result_to_doc
+
+KEY = "ab" * 8
+
+
+@pytest.fixture
+def store(tmp_path):
+    return PlanStore(tmp_path / "store")
+
+
+@pytest.fixture
+def installed_store(tmp_path):
+    """A PlanStore installed under the Session LRU, cleaned up after."""
+    clear_caches()
+    store = set_plan_store(tmp_path / "store")
+    try:
+        yield store
+    finally:
+        set_plan_store(None)
+        clear_caches()
+
+
+class TestPlanStoreBasics:
+    def test_roundtrip(self, store):
+        store.put(KEY, {"x": [1, 2.5, "three"]}, kind="demo")
+        assert store.get(KEY) == {"x": [1, 2.5, "three"]}
+        assert KEY in store
+        assert list(store.keys()) == [KEY]
+        assert store.index()[KEY] == {"kind": "demo"}
+
+    def test_missing_key_is_a_miss(self, store):
+        assert store.get("cd" * 8) is None
+        assert store.stats()["misses"] == 1
+
+    def test_bad_keys_rejected(self, store):
+        for bad in ("short", "XY" * 8, "ab" * 40, 123, "g" * 16):
+            with pytest.raises(ValueError):
+                store.check_key(bad)
+
+    def test_restart_roundtrip(self, tmp_path):
+        """A brand-new instance (fresh process, same dir) sees the entry."""
+        PlanStore(tmp_path / "s").put(KEY, {"v": 7})
+        reopened = PlanStore(tmp_path / "s")
+        assert reopened.get(KEY) == {"v": 7}
+        assert reopened.stats()["entries"] == 1
+
+    def test_overwrite_idempotent(self, store):
+        store.put(KEY, {"v": 1})
+        store.put(KEY, {"v": 2})
+        assert store.get(KEY) == {"v": 2}
+        assert len(store) == 1
+
+    def test_clear(self, store):
+        store.put(KEY, {"v": 1})
+        assert store.clear() == 1
+        assert store.get(KEY) is None
+        assert store.index() == {}
+
+
+class TestCorruptionQuarantine:
+    def _entry_path(self, store):
+        return store._object_path(KEY)
+
+    @pytest.mark.parametrize(
+        "breakage",
+        ["truncate", "garbage", "wrong_key", "wrong_schema", "no_payload"],
+    )
+    def test_corrupted_entry_quarantined_and_missed(self, store, breakage):
+        store.put(KEY, {"v": 1})
+        path = self._entry_path(store)
+        if breakage == "truncate":
+            with open(path, "w") as f:
+                f.write('{"schema": 1, "key": ')
+        elif breakage == "garbage":
+            with open(path, "wb") as f:
+                f.write(b"\x00\xff not json")
+        elif breakage == "wrong_key":
+            with open(path, "w") as f:
+                json.dump({"schema": 1, "key": "cd" * 8, "payload": {}}, f)
+        elif breakage == "wrong_schema":
+            with open(path, "w") as f:
+                json.dump({"schema": 999, "key": KEY, "payload": {}}, f)
+        elif breakage == "no_payload":
+            with open(path, "w") as f:
+                json.dump({"schema": 1, "key": KEY}, f)
+        assert store.get(KEY) is None
+        assert not os.path.exists(path)
+        stats = store.stats()
+        assert stats["quarantine_files"] == 1
+        assert stats["quarantined"] == 1
+        # the quarantined file keeps its bytes for post-mortems
+        quarantined = os.listdir(os.path.join(store.root, "quarantine"))
+        assert quarantined and quarantined[0].startswith(KEY)
+
+    def test_repeated_quarantine_does_not_clobber(self, store):
+        for _ in range(3):
+            store.put(KEY, {"v": 1})
+            with open(self._entry_path(store), "w") as f:
+                f.write("broken")
+            assert store.get(KEY) is None
+        assert store.stats()["quarantine_files"] == 3
+
+    def test_rebuild_index_quarantines_and_counts(self, store):
+        store.put(KEY, {"v": 1})
+        other = "cd" * 8
+        store.put(other, {"v": 2}, kind="other")
+        with open(store._object_path(other), "w") as f:
+            f.write("broken")
+        os.unlink(store._index_path)
+        assert store.rebuild_index() == 1
+        assert store.index() == {KEY: {"kind": "generic"}}
+        assert store.stats()["quarantine_files"] == 1
+
+
+def _locked_increment(args):
+    """Read-modify-write a shared counter file under the store lock."""
+    lock_path, counter_path, rounds = args
+    lock = FileLock(lock_path)
+    for _ in range(rounds):
+        with lock:
+            with open(counter_path) as f:
+                value = int(f.read())
+            with open(counter_path, "w") as f:
+                f.write(str(value + 1))
+    return True
+
+
+def _writer_process(args):
+    """Write ``count`` distinct entries into a shared store."""
+    root, worker, count = args
+    store = PlanStore(root)
+    for i in range(count):
+        key = f"{worker:02x}{i:04x}" + "0" * 10
+        store.put(key, {"worker": worker, "i": i})
+    return worker
+
+
+class TestCrossProcessLocking:
+    def test_file_lock_excludes_threads(self, tmp_path):
+        lock_path = str(tmp_path / "lock")
+        counter = {"v": 0}
+        lock = FileLock(lock_path)
+
+        def bump():
+            for _ in range(200):
+                with lock:
+                    # non-atomic increment; only mutual exclusion keeps it right
+                    v = counter["v"]
+                    counter["v"] = v + 1
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter["v"] == 800
+
+    def test_file_lock_excludes_processes(self, tmp_path):
+        lock_path = str(tmp_path / "lock")
+        counter_path = str(tmp_path / "counter")
+        with open(counter_path, "w") as f:
+            f.write("0")
+        workers, rounds = 4, 25
+        with multiprocessing.get_context("fork").Pool(workers) as pool:
+            pool.map(
+                _locked_increment,
+                [(lock_path, counter_path, rounds)] * workers,
+            )
+        with open(counter_path) as f:
+            assert int(f.read()) == workers * rounds
+
+    def test_concurrent_multiprocess_writers(self, tmp_path):
+        """Several processes write disjoint entries; none are lost/corrupt."""
+        root = str(tmp_path / "shared-store")
+        PlanStore(root)  # create layout up-front
+        workers, per_worker = 4, 20
+        with multiprocessing.get_context("fork").Pool(workers) as pool:
+            pool.map(
+                _writer_process,
+                [(root, w, per_worker) for w in range(workers)],
+            )
+        store = PlanStore(root)
+        assert len(store) == workers * per_worker
+        for key in store.keys():
+            assert store.get(key) is not None  # nothing quarantined
+        assert store.stats()["quarantine_files"] == 0
+        # the index survived the write storm or is exactly rebuildable
+        assert store.rebuild_index() == workers * per_worker
+
+
+class TestSessionStoreLayer:
+    def test_restart_round_trip_serves_from_disk(self, installed_store):
+        """Cold compute -> simulated restart -> warm answer from disk only."""
+        session = Session("ResNet-50", 4)
+        plan = session.plan("SPD-KFAC")
+        result = session.simulate("SPD-KFAC")
+
+        clear_caches()  # the "restart": in-memory LRU gone, disk store stays
+        before = cache_info()
+        session2 = Session("ResNet-50", 4)
+        plan2 = session2.plan("SPD-KFAC")
+        result2 = session2.simulate("SPD-KFAC")
+        after = cache_info()
+
+        assert after["store_hits"] > before["store_hits"]
+        assert plan2.digest() == plan.digest()
+        assert result2.iteration_time == result.iteration_time  # bit-identical
+        assert result2.categories() == result.categories()
+        assert isinstance(result2, StoredResult)
+
+    def test_store_key_lookup_matches_direct_get(self, installed_store):
+        session = Session("ResNet-50", 4)
+        strategy = strategy_registry["SPD-KFAC"]
+        session.simulate(strategy)
+        key = plan_store_key(
+            session.spec, strategy, session.profile_for(strategy), None
+        )
+        doc = installed_store.get(key)
+        assert doc is not None and set(doc) == {"plan", "result"}
+
+    def test_corrupt_store_entry_falls_back_to_compute(self, installed_store):
+        session = Session("ResNet-50", 4)
+        result = session.simulate("SPD-KFAC")
+        strategy = strategy_registry["SPD-KFAC"]
+        key = plan_store_key(
+            session.spec, strategy, session.profile_for(strategy), None
+        )
+        # corrupt the stored payload (valid envelope, malformed body)
+        installed_store.put(key, {"plan": "not-a-plan"}, kind="plan+result")
+        clear_caches()
+        recomputed = Session("ResNet-50", 4).simulate("SPD-KFAC")
+        assert recomputed.iteration_time == result.iteration_time
+        assert installed_store.stats()["quarantine_files"] >= 1
+
+    def test_stored_result_surface(self, installed_store):
+        session = Session("ResNet-50", 4)
+        result = session.simulate("SPD-KFAC")
+        played = result_from_doc(result_to_doc(result))
+        assert played.iteration_time == result.iteration_time
+        assert played.categories() == result.categories()
+        with pytest.raises(AttributeError, match="timeline"):
+            played.timeline
+        with pytest.raises(AttributeError, match="breakdown"):
+            played.breakdown
+
+
+class TestSessionCacheThreadSafety:
+    def test_concurrent_sessions_race_free(self):
+        """Many threads hammer the shared LRU; stats and results stay sane."""
+        clear_caches()
+        errors = []
+        results = []
+
+        def worker(seed):
+            try:
+                session = Session("ResNet-50", 4)
+                for name in ("SPD-KFAC", "MPD-KFAC", "S-SGD"):
+                    results.append((name, session.simulate(name).iteration_time))
+            except Exception as exc:  # pragma: no cover - the failure signal
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        # every thread observed the same answer per strategy
+        by_name = {}
+        for name, value in results:
+            by_name.setdefault(name, set()).add(value)
+        assert all(len(v) == 1 for v in by_name.values())
+        info = cache_info()
+        assert info["hits"] + info["misses"] == len(results)
+        clear_caches()
