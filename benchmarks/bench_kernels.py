@@ -158,6 +158,50 @@ def test_autotune_full_grid_resnet50_64gpu(benchmark, profile):
     assert warm.best.iteration_time == cold.best.iteration_time
 
 
+def test_autotune_bnb_resnet50_64gpu(benchmark, profile):
+    """Branch-and-bound autotune over the precision-extended grid on the
+    paper's 64-GPU testbed: 864 candidates, 12x the default 72.
+
+    The acceptance bar: the *cold* best-first search over the extended
+    grid must finish under the same 10 s the 72-candidate exhaustive
+    grid gets — subtree pruning against the incumbent discards most
+    leaf families unsimulated, and the survivors are priced through
+    shape-batched scheduling passes.  The benchmarked path is the warm
+    search; the subtree-pruned leaf count is published via
+    ``extra_info`` so the snapshot gate watches pruning effectiveness
+    (``::nodes-pruned``), not just wall-clock.
+    """
+    import time
+
+    from repro.autotune import autotune
+
+    kwargs = dict(
+        search="bnb",
+        wire_dtypes=[("fp32", "fp32", "fp32"), ("fp32", "fp16", "fp16")],
+        compressions=[1.0, 0.1],
+        intervals=[(1, 1), (1, 4), (4, 16)],
+    )
+    clear_caches()
+    t0 = time.perf_counter()
+    cold = autotune(resnet50_spec(), profile, **kwargs)
+    cold_seconds = time.perf_counter() - t0
+    nodes = cold.telemetry["nodes"]
+    print(f"\ncold bnb autotune (864 candidates): {cold_seconds:.2f} s "
+          f"({cold.stats['simulated']} simulated, {cold.stats['pruned']} pruned, "
+          f"{nodes['subtrees_pruned']} subtrees cut)",
+          end=" ")
+    assert cold.stats["candidates"] == 864
+    assert cold_seconds < 10.0, f"cold bnb search took {cold_seconds:.2f}s"
+    assert cold.best.iteration_time <= cold.best_preset[1]
+
+    def run():
+        return autotune(resnet50_spec(), profile, **kwargs)
+
+    warm = benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=0)
+    assert warm.best.iteration_time == cold.best.iteration_time
+    benchmark.extra_info["nodes-pruned_count"] = warm.stats["pruned"]
+
+
 def test_robust_autotune_resnet50_64gpu(benchmark, profile):
     """Full-grid p95-robust autotune (N=32 scenario samples) on the
     paper's 64-GPU testbed.

@@ -81,16 +81,25 @@ def run_suite() -> Dict[str, BenchmarkResult]:
         results[name] = BenchmarkResult(
             name=name, seconds=float(stats["median"]), rounds=int(stats["rounds"])
         )
-        # Benchmarks can publish extra tracked latencies (e.g. the serve
-        # load test's per-request p50/p99) via benchmark.extra_info: every
-        # "<metric>_s" float becomes its own "<name>::<metric>" entry, so
-        # the regression gate watches tail latency, not just round time.
+        # Benchmarks can publish extra tracked metrics via
+        # benchmark.extra_info: every "<metric>_s" float becomes its own
+        # "<name>::<metric>" entry (the serve load test's per-request
+        # p50/p99), and every "<metric>_count" becomes a dimensionless
+        # "<name>::<metric>" entry (the BnB autotuner's pruned-leaf
+        # count), so the gate watches tail latency and search
+        # effectiveness, not just round time.
         for key, value in bench.get("extra_info", {}).items():
-            if key.endswith("_s") and isinstance(value, (int, float)):
+            if not isinstance(value, (int, float)):
+                continue
+            if key.endswith("_s"):
                 sub = f"{name}::{key[:-2]}"
-                results[sub] = BenchmarkResult(
-                    name=sub, seconds=float(value), rounds=int(stats["rounds"])
-                )
+            elif key.endswith("_count"):
+                sub = f"{name}::{key[: -len('_count')]}"
+            else:
+                continue
+            results[sub] = BenchmarkResult(
+                name=sub, seconds=float(value), rounds=int(stats["rounds"])
+            )
     if not results:
         raise SystemExit("bench_kernels.py produced no benchmark records")
     return results

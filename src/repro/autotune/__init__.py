@@ -33,6 +33,13 @@ from repro.autotune.traffic import (
     parts_traffic,
     plan_traffic,
 )
+from repro.autotune.search import (
+    STRUCT_AXES,
+    AxisDomains,
+    BnbSearch,
+    family_strategies,
+    partial_bound,
+)
 from repro.autotune.robust import (
     ROBUST_OBJECTIVES,
     RobustStats,
@@ -79,4 +86,9 @@ __all__ = [
     "SIMULATED",
     "REUSED",
     "PRUNED",
+    "STRUCT_AXES",
+    "AxisDomains",
+    "BnbSearch",
+    "family_strategies",
+    "partial_bound",
 ]

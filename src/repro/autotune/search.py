@@ -1,0 +1,689 @@
+"""Best-first branch-and-bound over partial strategy assignments.
+
+The flat grid search (:func:`repro.autotune.autotune` with
+``search="grid"``) resolves parts, bounds, and traffic for *every* grid
+point before evaluating any — linear in the grid size even when pruning
+skips most simulations.  Every extended axis (wire dtypes, compression,
+stale intervals) multiplies that constant.  This module replaces the
+enumeration with a best-first search over **partial assignments**: axes
+are fixed one at a time (ordered by pruning power) and each subtree is
+priced by a *relaxed* :class:`~repro.autotune.bounds.CandidateBound` in
+which every unassigned axis takes its component-wise best value — so a
+subtree whose optimistic bound already meets the incumbent is discarded
+without ever resolving its members.
+
+Admissibility of the partial bound
+----------------------------------
+Each bound component (compute / comm / chain) is a sum (or max) of
+terms, and every term that depends on an unassigned axis is replaced by
+the **minimum of that term over the axis's remaining options** (for the
+placement/fusion structure axes this is an explicit minimum over the
+resolved options; for wire axes it is the cheapest dtype/compression
+pricing of each collective).  A sum of per-term minima never exceeds the
+sum for any completion, so for every leaf ``c`` under a node ``P``::
+
+    partial_bound(P).component <= candidate_bound(c).component   (each)
+    => partial_bound(P).total  <= candidate_bound(c).total <= time(c)
+
+— exactly the admissibility property subtree pruning needs, inherited
+from the proven per-leaf bound (property-tested in
+``tests/test_autotune_bnb.py``).  In robust mode the partial bound goes
+through :func:`~repro.autotune.robust.scenario_adjusted_bound` (per
+candidate profile), so pruning happens in objective space, valid on
+every perturbed sample.
+
+Axis ordering (pruning power)
+-----------------------------
+Structural axes are expanded in the order that moves the bound most:
+``collective`` first (it rescales every collective on the wire and fixes
+the cost profile of the whole subtree), then ``placement`` (the busiest
+rank's inverse load and the broadcast volume), then the factor
+fusion/launch triple (factor comm + the post-pass chain), then
+``gradient_reduction``.  The duration-only wire axes (dtype triples,
+compression, stale intervals) are never branched on: once the structure
+is fixed, the remaining **leaf family** shares one set of task-graph
+shapes, so its surviving members are priced in a single vectorized
+scheduling pass per shape (:meth:`repro.plan.Session.simulate_many` →
+:func:`repro.sim.simulate_plans`).  That pairing is what makes a 10×
+grid affordable: subtree pruning skips most of the tree, and the
+survivors are batched instead of simulated one by one.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.autotune.bounds import CandidateBound, candidate_bound
+from repro.autotune.grid import strategy_label
+from repro.autotune.robust import scenario_adjusted_bound
+from repro.autotune.traffic import parts_traffic
+from repro.core.fusion import plan_bulk
+from repro.core.pipeline import (
+    factor_comm_plan_for,
+    gradient_fusion_plan,
+    layer_compute_times,
+    precondition_times,
+)
+from repro.core.schedule import collective_time, resolve_placement
+from repro.comm import packed_size
+from repro.models.spec import ModelSpec
+from repro.perf.calibration import ClusterPerfProfile
+from repro.plan import TrainingStrategy, resolve_plan_parts
+from repro.sim.analysis import FACTOR_REFRESH, REFRESH, interval_weights
+
+#: Structural axes, in expansion order (see module docstring).
+STRUCT_AXES: Tuple[str, ...] = (
+    "collective",
+    "placement",
+    "factor_axes",
+    "gradient_reduction",
+)
+
+
+@dataclass(frozen=True)
+class AxisDomains:
+    """The option lists of one search: structural axes + leaf-family axes."""
+
+    collectives: Tuple[str, ...]
+    placements: Tuple[str, ...]
+    factor_axes: Tuple[Tuple[str, bool, bool], ...]
+    gradient_reductions: Tuple[str, ...]
+    wire_dtypes: Tuple[Tuple[str, str, str], ...]
+    compressions: Tuple[float, ...]
+    intervals: Tuple[Tuple[int, int], ...]
+
+    def structural(self, axis: str) -> Tuple:
+        """The option tuple of one structural axis (a ``STRUCT_AXES`` name)."""
+        return {
+            "collective": self.collectives,
+            "placement": self.placements,
+            "factor_axes": self.factor_axes,
+            "gradient_reduction": self.gradient_reductions,
+        }[axis]
+
+    @property
+    def family_size(self) -> int:
+        return len(self.wire_dtypes) * len(self.compressions) * len(self.intervals)
+
+    @property
+    def total_leaves(self) -> int:
+        n = self.family_size
+        for axis in STRUCT_AXES:
+            n *= len(self.structural(axis))
+        return n
+
+
+class _ProfileCtx:
+    """Per-profile precomputation shared by every partial bound under it.
+
+    Everything here is duration-axis independent: per-layer kernel
+    times, resolved gradient/factor plans per structural option, and
+    per-placement inverse loads / broadcast sizes.  Partial bounds then
+    reduce to sums and minima over these cached pieces.
+    """
+
+    def __init__(self, spec: ModelSpec, profile: ClusterPerfProfile):
+        self.spec = spec
+        self.profile = profile
+        self.num_ranks = profile.num_workers
+        t_fwd, t_bwd, t_fa, t_fg = layer_compute_times(spec, profile)
+        self.base_compute = sum(t_fwd) + sum(t_bwd)
+        self.factor_compute = sum(t_fa) + sum(t_fg)
+        self.t_fg0 = t_fg[0]
+        self.precond = precondition_times(spec, profile.factor_compute)
+        self.precond_sum = sum(self.precond)
+        self.update = profile.train_compute.time(2.0 * spec.num_params)
+        self.grad_sizes = [layer.num_params for layer in reversed(spec.layers)]
+        self.a_sizes = [layer.a_elements for layer in spec.layers]
+        self.g_sizes = [layer.g_elements for layer in reversed(spec.layers)]
+        self._grad_plans: Dict[str, object] = {}
+        self._fplans: Dict[Tuple[Tuple[str, bool, bool], str], object] = {}
+        self._placements: Dict[str, object] = {}
+        self._placement_load: Dict[str, float] = {}
+        self._placement_bcast: Dict[str, List[int]] = {}
+
+    def grad_plan(self, reduction: str):
+        plan = self._grad_plans.get(reduction)
+        if plan is None:
+            if reduction == "wfbp":
+                plan = gradient_fusion_plan(self.spec, self.profile)
+            else:  # "bulk"
+                plan = plan_bulk(len(self.spec.layers))
+            self._grad_plans[reduction] = plan
+        return plan
+
+    def fplan(self, axes: Tuple[str, bool, bool], reduction: str):
+        key = (axes, reduction)
+        plan = self._fplans.get(key)
+        if plan is None:
+            fusion, pipelined, combined = axes
+            plan = factor_comm_plan_for(
+                self.spec,
+                self.profile,
+                fusion=fusion,
+                pipelined=pipelined,
+                combine_passes=combined,
+                grad_plan=None if reduction == "wfbp" else self.grad_plan(reduction),
+            )
+            self._fplans[key] = plan
+        return plan
+
+    def placement(self, name: str):
+        pl = self._placements.get(name)
+        if pl is None:
+            pl = resolve_placement(name, self.spec, self.profile, self.num_ranks)
+            self._placements[name] = pl
+        return pl
+
+    def placement_load(self, name: str) -> float:
+        """Busiest rank's inverse-compute load under this placement."""
+        load = self._placement_load.get(name)
+        if load is None:
+            pl = self.placement(name)
+            loads = [0.0] * self.num_ranks
+            for i, dim in enumerate(pl.dims):
+                t_inv = self.profile.inverse_actual.time(dim)
+                for rank in pl.assignments[i]:
+                    loads[rank] += t_inv
+            load = max(loads, default=0.0)
+            self._placement_load[name] = load
+        return load
+
+    def placement_bcast(self, name: str) -> List[int]:
+        """Packed element counts of this placement's CT broadcasts."""
+        sizes = self._placement_bcast.get(name)
+        if sizes is None:
+            pl = self.placement(name)
+            sizes = [
+                packed_size(dim)
+                for i, dim in enumerate(pl.dims)
+                if not pl.is_nct(i)
+            ]
+            self._placement_bcast[name] = sizes
+        return sizes
+
+
+def _relaxed_phase_bound(
+    ctx: _ProfileCtx,
+    *,
+    with_factors: bool,
+    with_inverses: bool,
+    grad_options: Sequence[str],
+    factor_options: Sequence[Tuple[str, bool, bool]],
+    placement_options: Sequence[str],
+    grad_price: Callable[[int], float],
+    factor_price: Callable[[int], float],
+    inverse_price: Callable[[int], float],
+) -> CandidateBound:
+    """One phase's relaxed bound: every free axis at its per-term minimum.
+
+    ``grad_price``/``factor_price``/``inverse_price`` price one
+    collective of that class at the cheapest remaining wire
+    dtype/compression — singleton-option callers get the exact pricing.
+    Mirrors :func:`repro.autotune.bounds._phase_bound` term by term (all
+    grid candidates are distributed second-order with the solve stage,
+    which is what makes the relaxations below valid for every member).
+    """
+    # -- compute stream ----------------------------------------------------
+    compute = ctx.base_compute + ctx.precond_sum + ctx.update
+    if with_factors:
+        compute += ctx.factor_compute
+    if with_inverses:
+        compute += min(ctx.placement_load(p) for p in placement_options)
+
+    # -- communication channel --------------------------------------------
+    def grad_comm(reduction: str) -> float:
+        plan = ctx.grad_plan(reduction)
+        return sum(
+            grad_price(sum(ctx.grad_sizes[i] for i in bucket))
+            for bucket in plan.buckets
+        )
+
+    def factor_comm(axes: Tuple[str, bool, bool], reduction: str) -> float:
+        fp = ctx.fplan(axes, reduction)
+        if fp.combine_passes:
+            return factor_price(sum(ctx.a_sizes) + sum(ctx.g_sizes))
+        return sum(
+            factor_price(sum(ctx.a_sizes[i] for i in bucket))
+            for bucket in fp.a_plan.buckets
+        ) + sum(
+            factor_price(sum(ctx.g_sizes[i] for i in bucket))
+            for bucket in fp.g_plan.buckets
+        )
+
+    comm = min(grad_comm(g) for g in grad_options)
+    if with_factors:
+        comm += min(
+            factor_comm(axes, g)
+            for axes in factor_options
+            for g in grad_options
+        )
+    if with_inverses and ctx.num_ranks > 1:
+        # Single-rank candidates broadcast nothing (the exact bound's
+        # collective iterator skips placements when num_ranks == 1).
+        comm += min(
+            sum(inverse_price(e) for e in ctx.placement_bcast(p))
+            for p in placement_options
+        )
+
+    # -- dependency chains -------------------------------------------------
+    backward_end = ctx.base_compute
+    if with_factors:
+        backward_end += ctx.factor_compute - ctx.t_fg0
+    last_bucket = min(
+        grad_price(
+            sum(ctx.grad_sizes[i] for i in ctx.grad_plan(g).buckets[-1])
+        )
+        for g in grad_options
+    )
+    chain = backward_end + last_bucket + ctx.precond_sum + ctx.update
+
+    if with_factors and with_inverses:
+
+        def post_chain(axes: Tuple[str, bool, bool], g: str, p: str) -> float:
+            fp = ctx.fplan(axes, g)
+            if not fp.launch_after_pass:
+                # Pipelined launches carry no post-pass chain; a free
+                # factor axis takes 0 here (sound: chains only add).
+                return 0.0
+            base = backward_end + ctx.t_fg0
+            if fp.combine_passes:
+                comm_post = factor_price(sum(ctx.a_sizes) + sum(ctx.g_sizes))
+                tail = ctx.placement_load(p) + ctx.precond_sum
+            else:
+                comm_post = sum(
+                    factor_price(sum(ctx.g_sizes[i] for i in bucket))
+                    for bucket in fp.g_plan.buckets
+                )
+                last_layer = (
+                    len(ctx.spec.layers) - 1 - fp.g_plan.buckets[-1][-1]
+                )
+                pl = ctx.placement(p)
+                tail = ctx.profile.inverse_actual.time(
+                    pl.dims[2 * last_layer + 1]
+                )
+                tail += ctx.precond[last_layer]
+            return base + comm_post + tail + ctx.update
+
+        chain = max(
+            chain,
+            min(
+                post_chain(axes, g, p)
+                for axes in factor_options
+                for g in grad_options
+                for p in placement_options
+            ),
+        )
+
+    return CandidateBound(compute=compute, comm=comm, chain=chain)
+
+
+def partial_bound(
+    spec: ModelSpec,
+    ctx: _ProfileCtx,
+    domains: AxisDomains,
+    assign: Dict[str, object],
+) -> CandidateBound:
+    """Relaxed lower bound of every completion of a partial assignment.
+
+    ``assign`` fixes a prefix of :data:`STRUCT_AXES` (``collective``
+    must already be fixed — the caller enumerates profiles); every
+    unassigned axis is relaxed to its component-wise best value.  The
+    small interval axis is enumerated exactly (each option induces its
+    own phase weighting) and the component-wise minimum across options
+    is returned, which is admissible for the same reason as the per-term
+    minima (each completion uses one of the options).
+    """
+    grad_options = (
+        (assign["gradient_reduction"],)
+        if "gradient_reduction" in assign
+        else domains.gradient_reductions
+    )
+    factor_options = (
+        (assign["factor_axes"],)
+        if "factor_axes" in assign
+        else domains.factor_axes
+    )
+    placement_options = (
+        (assign["placement"],) if "placement" in assign else domains.placements
+    )
+    grad_dtypes = sorted({t[0] for t in domains.wire_dtypes})
+    factor_dtypes = sorted({t[1] for t in domains.wire_dtypes})
+    inverse_dtypes = sorted({t[2] for t in domains.wire_dtypes})
+    allreduce = ctx.profile.allreduce_streamed
+    broadcast = ctx.profile.broadcast_streamed
+
+    def grad_price(elements: int) -> float:
+        return min(
+            collective_time(allreduce, elements, dt, comp)
+            for dt in grad_dtypes
+            for comp in domains.compressions
+        )
+
+    def factor_price(elements: int) -> float:
+        return min(collective_time(allreduce, elements, dt) for dt in factor_dtypes)
+
+    def inverse_price(elements: int) -> float:
+        return min(collective_time(broadcast, elements, dt) for dt in inverse_dtypes)
+
+    best: Optional[CandidateBound] = None
+    for factor_interval, inverse_interval in domains.intervals:
+        weights = interval_weights(factor_interval, inverse_interval)
+        cycle = inverse_interval
+        compute = comm = chain = 0.0
+        for phase, count in weights:
+            bound = _relaxed_phase_bound(
+                ctx,
+                with_factors=phase in (REFRESH, FACTOR_REFRESH),
+                with_inverses=phase == REFRESH,
+                grad_options=grad_options,
+                factor_options=factor_options,
+                placement_options=placement_options,
+                grad_price=grad_price,
+                factor_price=factor_price,
+                inverse_price=inverse_price,
+            )
+            compute += bound.compute * count / cycle
+            comm += bound.comm * count / cycle
+            chain += bound.chain * count / cycle
+        candidate = CandidateBound(compute=compute, comm=comm, chain=chain)
+        if best is None:
+            best = candidate
+        else:
+            best = CandidateBound(
+                compute=min(best.compute, candidate.compute),
+                comm=min(best.comm, candidate.comm),
+                chain=min(best.chain, candidate.chain),
+            )
+    assert best is not None  # domains.intervals is never empty
+    return best
+
+
+def family_strategies(
+    domains: AxisDomains, assign: Dict[str, object]
+) -> List[TrainingStrategy]:
+    """The leaf family of a fully structural assignment, in grid order."""
+    fusion, pipelined, combined = assign["factor_axes"]
+    out = []
+    for (gd, fd, ivd), comp, (fi, ii) in itertools.product(
+        domains.wire_dtypes, domains.compressions, domains.intervals
+    ):
+        strategy = TrainingStrategy(
+            second_order=True,
+            distributed=True,
+            gradient_reduction=assign["gradient_reduction"],
+            factor_fusion=fusion,
+            factor_pipelining=pipelined,
+            combine_factor_passes=combined,
+            placement=assign["placement"],
+            include_solve=True,
+            collective=assign["collective"],
+            grad_dtype=gd,
+            factor_dtype=fd,
+            inverse_dtype=ivd,
+            grad_compression=comp,
+            factor_update_interval=fi,
+            inverse_update_interval=ii,
+        )
+        out.append(strategy.but(name=strategy_label(strategy)))
+    return out
+
+
+@dataclass
+class _Node:
+    assign: Dict[str, object]
+    depth: int
+    leaves: int
+    bound: float  #: prune-space scalar (scenario-adjusted in robust mode)
+
+
+class BnbSearch:
+    """One best-first branch-and-bound run (driven by ``autotune``).
+
+    The driver supplies the session, domains, preset-seeded incumbent
+    and reuse map, and the evaluation/robust closures; this class owns
+    the queue, the partial bounds, subtree accounting, and the batched
+    leaf-family evaluation.  Results come back as the same outcome
+    tuples the grid path produces, so ranking and reporting are shared.
+    """
+
+    def __init__(
+        self,
+        *,
+        session,
+        spec: ModelSpec,
+        domains: AxisDomains,
+        prune: bool,
+        robust_mode: bool,
+        objective: str,
+        scenario,
+        rates,
+        robust_stats: Optional[Callable],
+        seen: Dict[object, Tuple],
+        best_value: float,
+        preset_twins: Sequence[TrainingStrategy] = (),
+    ):
+        self.session = session
+        self.spec = spec
+        self.domains = domains
+        self.prune = prune
+        self.robust_mode = robust_mode
+        self.objective = objective
+        self.scenario = scenario
+        self.rates = rates
+        self.robust_stats = robust_stats
+        self.seen = seen
+        self.best_value = best_value
+        self.preset_twins = list(preset_twins)
+        self._ctx: Dict[str, _ProfileCtx] = {}
+        self.outcomes: List[Tuple] = []
+        self.nodes_expanded = 0
+        self.subtrees_pruned = 0
+        self.leaves_pruned = 0
+        self.families_evaluated = 0
+        self.batch_sizes: List[int] = []
+        self.counts = {"simulated": 0, "reused": 0, "pruned": 0}
+
+    # -- bound machinery ---------------------------------------------------
+
+    def ctx_for(self, collective: str) -> _ProfileCtx:
+        """The (cached) per-profile bound context of one collective choice."""
+        ctx = self._ctx.get(collective)
+        if ctx is None:
+            profile = self.session.profile_for(
+                TrainingStrategy(name="probe", collective=collective)
+            )
+            ctx = _ProfileCtx(self.spec, profile)
+            self._ctx[collective] = ctx
+        return ctx
+
+    def _prune_value(self, bound: CandidateBound, profile) -> float:
+        if not self.robust_mode:
+            return bound.total
+        return scenario_adjusted_bound(
+            bound, self.scenario, self.rates.for_profile(profile)
+        ).total
+
+    def node_bound(self, assign: Dict[str, object]) -> float:
+        """The prune-space lower bound of a partial assignment."""
+        if "collective" in assign:
+            ctx = self.ctx_for(assign["collective"])
+            bound = partial_bound(self.spec, ctx, self.domains, assign)
+            return self._prune_value(bound, ctx.profile)
+        # Collective free (the root on a topology session): the best
+        # completion is under one of the per-collective bounds.
+        return min(
+            self.node_bound({**assign, "collective": c})
+            for c in self.domains.collectives
+        )
+
+    # -- the search --------------------------------------------------------
+
+    def run(self) -> None:
+        """Best-first expansion until every subtree is pruned or evaluated."""
+        counter = itertools.count()
+        root = _Node(assign={}, depth=0, leaves=self.domains.total_leaves, bound=0.0)
+        root.bound = self.node_bound(root.assign)
+        heap: List[Tuple[float, int, _Node]] = [(root.bound, next(counter), root)]
+        while heap:
+            value, _, node = heapq.heappop(heap)
+            if self.prune and value >= self.best_value:
+                self._prune_subtree(node)
+                continue
+            if node.depth == len(STRUCT_AXES):
+                self._evaluate_family(node)
+                continue
+            axis = STRUCT_AXES[node.depth]
+            self.nodes_expanded += 1
+            for option in self.domains.structural(axis):
+                child_assign = dict(node.assign)
+                child_assign[axis] = option
+                child = _Node(
+                    assign=child_assign,
+                    depth=node.depth + 1,
+                    leaves=node.leaves // len(self.domains.structural(axis)),
+                    bound=0.0,
+                )
+                child.bound = max(node.bound, self.node_bound(child_assign))
+                heapq.heappush(heap, (child.bound, next(counter), child))
+
+    def _twins_in(self, assign: Dict[str, object]) -> List[TrainingStrategy]:
+        """Preset grid-twins living inside this (pruned) subtree."""
+        out = []
+        for twin in self.preset_twins:
+            axes = {
+                "collective": twin.collective,
+                "placement": twin.placement,
+                "factor_axes": (
+                    twin.factor_fusion,
+                    twin.factor_pipelining,
+                    twin.combine_factor_passes,
+                ),
+                "gradient_reduction": twin.gradient_reduction,
+            }
+            if all(axes[k] == v for k, v in assign.items()):
+                out.append(twin)
+        return out
+
+    def _prune_subtree(self, node: _Node) -> None:
+        """Discard a subtree, but surface the preset twins it contains.
+
+        The grid path always lists a preset's grid twin as a REUSED
+        outcome (twins carry the preset's simulated result); mirroring
+        that here keeps ``report.best`` total even when pruning discards
+        everything else, so branch-and-bound can never report worse than
+        the best preset.
+        """
+        self.subtrees_pruned += 1
+        pruned = node.leaves
+        for twin in self._twins_in(node.assign):
+            key = self._seen_key(twin)
+            if key in self.seen:
+                time, breakdown, robust = self.seen[key]
+                self._emit(twin, time, breakdown, robust, "reused")
+                self.counts["reused"] += 1
+                pruned -= 1
+        self.leaves_pruned += pruned
+        self.counts["pruned"] += pruned
+
+    def _seen_key(self, strategy: TrainingStrategy):
+        profile = self.session.profile_for(strategy)
+        return (strategy.but(name="grid", collective="auto"), profile)
+
+    def _emit(self, strategy, time, breakdown, robust, status) -> None:
+        profile = self.session.profile_for(strategy)
+        parts = resolve_plan_parts(self.spec, profile, strategy)
+        num_ranks, grad_plan, fplan, placement = parts
+        bound = candidate_bound(
+            self.spec,
+            profile,
+            num_ranks=num_ranks,
+            grad_plan=grad_plan,
+            fplan=fplan,
+            placement=placement,
+            include_solve=strategy.include_solve,
+            strategy=strategy,
+        )
+        traffic = parts_traffic(
+            self.spec,
+            num_ranks=num_ranks,
+            grad_plan=grad_plan,
+            fplan=fplan,
+            placement=placement,
+            strategy=strategy,
+        )
+        self.outcomes.append((strategy, bound, time, breakdown, robust, traffic, status))
+
+    def _evaluate_family(self, node: _Node) -> None:
+        """Price one leaf family: exact bounds, then one batched pass.
+
+        All members share resolved parts (the duration axes never change
+        the fusion/placement structure), so the survivors' phase graphs
+        have identical shapes and collapse into a few vectorized
+        scheduling passes.
+        """
+        self.families_evaluated += 1
+        members = family_strategies(self.domains, node.assign)
+        ctx = self.ctx_for(node.assign["collective"])
+        profile = ctx.profile
+        parts = resolve_plan_parts(self.spec, profile, members[0])
+        num_ranks, grad_plan, fplan, placement = parts
+
+        survivors: List[Tuple[TrainingStrategy, CandidateBound, object]] = []
+        for member in members:
+            bound = candidate_bound(
+                self.spec,
+                profile,
+                num_ranks=num_ranks,
+                grad_plan=grad_plan,
+                fplan=fplan,
+                placement=placement,
+                include_solve=member.include_solve,
+                strategy=member,
+            )
+            traffic = parts_traffic(
+                self.spec,
+                num_ranks=num_ranks,
+                grad_plan=grad_plan,
+                fplan=fplan,
+                placement=placement,
+                strategy=member,
+            )
+            key = self._seen_key(member)
+            if key in self.seen:
+                time, breakdown, robust = self.seen[key]
+                self.outcomes.append(
+                    (member, bound, time, breakdown, robust, traffic, "reused")
+                )
+                self.counts["reused"] += 1
+                continue
+            if self.prune and self._prune_value(bound, profile) >= self.best_value:
+                self.outcomes.append(
+                    (member, bound, None, None, None, traffic, "pruned")
+                )
+                self.counts["pruned"] += 1
+                continue
+            survivors.append((member, bound, traffic))
+
+        if not survivors:
+            return
+        results = self.session.simulate_many(
+            [member for member, _, _ in survivors], batch_sizes=self.batch_sizes
+        )
+        for (member, bound, traffic), result in zip(survivors, results):
+            time = result.iteration_time
+            breakdown = tuple(result.categories().items())
+            robust = None
+            if self.robust_mode:
+                robust = self.robust_stats(member, profile, parts)
+                self.best_value = min(self.best_value, robust.value(self.objective))
+            else:
+                self.best_value = min(self.best_value, time)
+            self.seen[self._seen_key(member)] = (time, breakdown, robust)
+            self.outcomes.append(
+                (member, bound, time, breakdown, robust, traffic, "simulated")
+            )
+            self.counts["simulated"] += 1

@@ -33,7 +33,16 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.autotune.bounds import CandidateBound, candidate_bound
 from repro.obs import Histogram, RATIO_BUCKETS, recorder
-from repro.autotune.grid import strategy_grid, strategy_label
+from repro.autotune.grid import (
+    DISTRIBUTED_GRADIENT_REDUCTIONS,
+    FACTOR_AXES,
+    PAPER_COMPRESSIONS,
+    PAPER_INTERVALS,
+    PAPER_WIRE_DTYPES,
+    strategy_grid,
+    strategy_label,
+)
+from repro.autotune.search import AxisDomains, BnbSearch
 from repro.autotune.robust import (
     ROBUST_OBJECTIVES,
     OverheadRates,
@@ -42,6 +51,7 @@ from repro.autotune.robust import (
     scenario_adjusted_bound,
 )
 from repro.autotune.traffic import parts_traffic
+from repro.core.schedule import PLACEMENT_STRATEGIES
 from repro.faults.scenario import FaultScenario, named_scenario
 from repro.plan import (
     COLLECTIVE_ALGORITHMS,
@@ -314,6 +324,21 @@ class AutotuneReport:
                 f"({self.stats.get('pruned', 0)}/{self.stats.get('candidates', 0)} "
                 "candidates never simulated)"
             )
+        nodes = self.telemetry.get("nodes")
+        if nodes:
+            lines.append(
+                f"  bnb nodes: {nodes.get('expanded', 0)} expanded, "
+                f"{nodes.get('subtrees_pruned', 0)} subtrees pruned "
+                f"({nodes.get('leaves_pruned', 0)} leaves), "
+                f"{nodes.get('families_evaluated', 0)} leaf families evaluated"
+            )
+        batches = self.telemetry.get("batches")
+        if batches:
+            lines.append(
+                f"  batched pricing: {batches.get('graphs', 0)} phase graphs in "
+                f"{batches.get('count', 0)} scheduling passes "
+                f"(largest batch {batches.get('max_size', 0)})"
+            )
         cache = self.telemetry.get("cache", {})
         if cache:
             lines.append(
@@ -392,6 +417,7 @@ def autotune(
     scenario: Union[None, str, FaultScenario] = None,
     samples: int = 32,
     seed: Optional[int] = None,
+    search: str = "grid",
 ) -> AutotuneReport:
     """Search the full planner axis grid for ``model`` on ``cluster``.
 
@@ -426,7 +452,24 @@ def autotune(
     with the jitter-adjusted bound of
     :func:`~repro.autotune.robust.scenario_adjusted_bound`, which
     lower-bounds every perturbed sample.
+
+    ``search`` selects the enumeration engine: ``"grid"`` (the default)
+    prices every grid point's bound up front and evaluates cheapest
+    first; ``"bnb"`` runs the best-first branch-and-bound of
+    :mod:`repro.autotune.search`, which prunes whole subtrees against
+    the incumbent via relaxed partial bounds and prices surviving leaf
+    families in vectorized batches — the same winner, much cheaper on
+    extended grids.  ``candidates=`` shortlists only work with
+    ``search="grid"`` (a shortlist has no axis structure to branch on).
     """
+    if search not in ("grid", "bnb"):
+        raise ValueError(f"unknown search={search!r}; choose 'grid' or 'bnb'")
+    if search == "bnb" and candidates is not None:
+        raise ValueError(
+            "search='bnb' branches on the axis structure of the full grid and "
+            "cannot price a hand-written candidates= shortlist; use "
+            "search='grid' for shortlists"
+        )
     if isinstance(model, Session):
         if cluster is not None:
             raise ValueError("pass a cluster via Session(...), not both")
@@ -497,6 +540,26 @@ def autotune(
             for c in candidates
         ]
 
+    domains: Optional[AxisDomains] = None
+    if search == "bnb":
+        domains = AxisDomains(
+            collectives=tuple(collectives),
+            placements=tuple(PLACEMENT_STRATEGIES),
+            factor_axes=tuple(FACTOR_AXES),
+            gradient_reductions=tuple(DISTRIBUTED_GRADIENT_REDUCTIONS),
+            wire_dtypes=tuple(
+                tuple(t)
+                for t in (wire_dtypes if wire_dtypes is not None else PAPER_WIRE_DTYPES)
+            ),
+            compressions=tuple(
+                compressions if compressions is not None else PAPER_COMPRESSIONS
+            ),
+            intervals=tuple(
+                tuple(p)
+                for p in (intervals if intervals is not None else PAPER_INTERVALS)
+            ),
+        )
+
     def resolve_parts(strategy: TrainingStrategy, profile):
         return resolve_plan_parts(spec, profile, strategy)
 
@@ -556,95 +619,73 @@ def autotune(
     incumbent_values = preset_values if robust_mode else preset_times
     best_value = min(incumbent_values.values()) if incumbent_values else float("inf")
 
-    # Resolve parts + bounds for the whole grid first (microseconds per
-    # candidate next to a simulation), then evaluate cheapest-bound-first
-    # so the incumbent drops fast and pruning bites early.  The pruning
-    # bound is the scenario-adjusted one in robust mode — valid on every
-    # perturbed sample, hence on every objective value.
-    prepared = []
-    with _REC.span("autotune.prepare", model=spec.name, candidates=len(candidates)):
-        for strategy in candidates:
-            profile = session.profile_for(strategy)
-            parts = resolve_parts(strategy, profile)
-            num_ranks, grad_plan, fplan, placement = parts
-            bound = candidate_bound(
-                spec,
-                profile,
-                num_ranks=num_ranks,
-                grad_plan=grad_plan,
-                fplan=fplan,
-                placement=placement,
-                include_solve=strategy.include_solve,
-                strategy=strategy,
+    bnb: Optional[BnbSearch] = None
+    if search == "bnb":
+        # Presets whose axes are a leaf of this grid: the search surfaces
+        # them as REUSED outcomes even when pruning discards the subtree
+        # around them, mirroring the grid path's guarantee that the
+        # report's best can never be worse than the best named scheme.
+        preset_twins = []
+        for name in presets:
+            preset = strategy_registry[name]
+            factor_triple = (
+                preset.factor_fusion,
+                preset.factor_pipelining,
+                preset.combine_factor_passes,
             )
-            prune_bound = bound
-            if robust_mode:
-                prune_bound = scenario_adjusted_bound(
-                    bound, scenario, rates.for_profile(profile)
-                )
-            traffic = parts_traffic(
-                spec,
-                num_ranks=num_ranks,
-                grad_plan=grad_plan,
-                fplan=fplan,
-                placement=placement,
-                strategy=strategy,
+            wire_triple = (
+                preset.grad_dtype,
+                preset.factor_dtype,
+                preset.inverse_dtype,
             )
-            prepared.append((strategy, profile, parts, bound, prune_bound, traffic))
-    prepared.sort(key=lambda item: item[4].total)
-    t_prepare = _time.perf_counter()
+            interval_pair = (
+                preset.factor_update_interval,
+                preset.inverse_update_interval,
+            )
+            if (
+                preset.second_order
+                and preset.distributed
+                and preset.include_solve
+                and preset.collective in domains.collectives
+                and preset.placement in domains.placements
+                and factor_triple in domains.factor_axes
+                and preset.gradient_reduction in domains.gradient_reductions
+                and wire_triple in domains.wire_dtypes
+                and preset.grad_compression in domains.compressions
+                and interval_pair in domains.intervals
+            ):
+                preset_twins.append(preset.but(name=strategy_label(preset)))
 
-    outcomes: List[CandidateOutcome] = []
-    stats = {"candidates": len(prepared), "simulated": 0, "reused": 0, "pruned": 0}
-    if robust_mode:
-        stats["samples"] = len(seeds)
-    # ``seen`` also dedupes within the grid: two collective choices that
-    # derive the *same* cost profile (e.g. "auto" resolving to "ring" on
-    # a flat fabric) yield identical schedules; simulate one and reuse
-    # its result for the twins.
-
-    def evaluate_one(strategy, profile, parts, prune_bound):
-        nonlocal best_value
-        key = (strategy.but(name="grid", collective="auto"), profile)
-        if key in seen:
-            time, breakdown, robust = seen[key]
-            stats["reused"] += 1
-            return time, breakdown, robust, REUSED
-        if prune and prune_bound.total >= best_value:
-            stats["pruned"] += 1
-            return None, None, None, PRUNED
-        result = session.simulate(strategy)
-        time = result.iteration_time
-        breakdown = tuple(result.categories().items())
-        robust = None
+        t_prepare = t_presets  # BnB resolves parts lazily; no prepare stage
+        with _REC.span(
+            "autotune.bnb", model=spec.name, leaves=domains.total_leaves
+        ):
+            bnb = BnbSearch(
+                session=session,
+                spec=spec,
+                domains=domains,
+                prune=prune,
+                robust_mode=robust_mode,
+                objective=objective,
+                scenario=scenario,
+                rates=rates,
+                robust_stats=robust_stats if robust_mode else None,
+                seen=seen,
+                best_value=best_value,
+                preset_twins=preset_twins,
+            )
+            bnb.run()
+        stats = {"candidates": domains.total_leaves, **bnb.counts}
         if robust_mode:
-            robust = robust_stats(strategy, profile, parts)
-            best_value = min(best_value, robust.value(objective))
-        else:
-            best_value = min(best_value, time)
-        seen[key] = (time, breakdown, robust)
-        stats["simulated"] += 1
-        return time, breakdown, robust, SIMULATED
-
-    with _REC.span("autotune.evaluate", model=spec.name, candidates=len(prepared)):
-        for strategy, profile, parts, bound, prune_bound, traffic in prepared:
-            preset = matching_preset(strategy)
-            if _REC.enabled:
-                with _REC.span("autotune.candidate", label=strategy.name) as sp:
-                    time, breakdown, robust, status = evaluate_one(
-                        strategy, profile, parts, prune_bound
-                    )
-                    sp.set(status=status)
-            else:
-                time, breakdown, robust, status = evaluate_one(
-                    strategy, profile, parts, prune_bound
-                )
+            stats["samples"] = len(seeds)
+        outcomes = []
+        for strategy, bound, time, breakdown, robust, traffic, status in bnb.outcomes:
             if status == SIMULATED and time:
                 tightness.observe(bound.total / time)
             outcomes.append(
                 CandidateOutcome(
                     strategy=strategy,
-                    preset=preset,
+                    preset=matching_preset(strategy),
                     bound=bound,
                     iteration_time=time,
                     breakdown=breakdown,
@@ -655,7 +696,113 @@ def autotune(
                     robust=robust,
                 )
             )
-    t_evaluate = _time.perf_counter()
+        t_evaluate = _time.perf_counter()
+    else:
+        # Resolve parts + bounds for the whole grid first (microseconds
+        # per candidate next to a simulation), then evaluate
+        # cheapest-bound-first so the incumbent drops fast and pruning
+        # bites early.  The pruning bound is the scenario-adjusted one in
+        # robust mode — valid on every perturbed sample, hence on every
+        # objective value.
+        prepared = []
+        with _REC.span(
+            "autotune.prepare", model=spec.name, candidates=len(candidates)
+        ):
+            for strategy in candidates:
+                profile = session.profile_for(strategy)
+                parts = resolve_parts(strategy, profile)
+                num_ranks, grad_plan, fplan, placement = parts
+                bound = candidate_bound(
+                    spec,
+                    profile,
+                    num_ranks=num_ranks,
+                    grad_plan=grad_plan,
+                    fplan=fplan,
+                    placement=placement,
+                    include_solve=strategy.include_solve,
+                    strategy=strategy,
+                )
+                prune_bound = bound
+                if robust_mode:
+                    prune_bound = scenario_adjusted_bound(
+                        bound, scenario, rates.for_profile(profile)
+                    )
+                traffic = parts_traffic(
+                    spec,
+                    num_ranks=num_ranks,
+                    grad_plan=grad_plan,
+                    fplan=fplan,
+                    placement=placement,
+                    strategy=strategy,
+                )
+                prepared.append(
+                    (strategy, profile, parts, bound, prune_bound, traffic)
+                )
+        prepared.sort(key=lambda item: item[4].total)
+        t_prepare = _time.perf_counter()
+
+        outcomes = []
+        stats = {"candidates": len(prepared), "simulated": 0, "reused": 0, "pruned": 0}
+        if robust_mode:
+            stats["samples"] = len(seeds)
+        # ``seen`` also dedupes within the grid: two collective choices that
+        # derive the *same* cost profile (e.g. "auto" resolving to "ring" on
+        # a flat fabric) yield identical schedules; simulate one and reuse
+        # its result for the twins.
+
+        def evaluate_one(strategy, profile, parts, prune_bound):
+            nonlocal best_value
+            key = (strategy.but(name="grid", collective="auto"), profile)
+            if key in seen:
+                time, breakdown, robust = seen[key]
+                stats["reused"] += 1
+                return time, breakdown, robust, REUSED
+            if prune and prune_bound.total >= best_value:
+                stats["pruned"] += 1
+                return None, None, None, PRUNED
+            result = session.simulate(strategy)
+            time = result.iteration_time
+            breakdown = tuple(result.categories().items())
+            robust = None
+            if robust_mode:
+                robust = robust_stats(strategy, profile, parts)
+                best_value = min(best_value, robust.value(objective))
+            else:
+                best_value = min(best_value, time)
+            seen[key] = (time, breakdown, robust)
+            stats["simulated"] += 1
+            return time, breakdown, robust, SIMULATED
+
+        with _REC.span("autotune.evaluate", model=spec.name, candidates=len(prepared)):
+            for strategy, profile, parts, bound, prune_bound, traffic in prepared:
+                preset = matching_preset(strategy)
+                if _REC.enabled:
+                    with _REC.span("autotune.candidate", label=strategy.name) as sp:
+                        time, breakdown, robust, status = evaluate_one(
+                            strategy, profile, parts, prune_bound
+                        )
+                        sp.set(status=status)
+                else:
+                    time, breakdown, robust, status = evaluate_one(
+                        strategy, profile, parts, prune_bound
+                    )
+                if status == SIMULATED and time:
+                    tightness.observe(bound.total / time)
+                outcomes.append(
+                    CandidateOutcome(
+                        strategy=strategy,
+                        preset=preset,
+                        bound=bound,
+                        iteration_time=time,
+                        breakdown=breakdown,
+                        traffic_elements=traffic.total_elements(),
+                        traffic_bytes=traffic.total_bytes(),
+                        traffic_by_op=tuple(sorted(traffic.bytes.items())),
+                        status=status,
+                        robust=robust,
+                    )
+                )
+        t_evaluate = _time.perf_counter()
 
     # Ranked: simulated/reused by the objective value (named presets
     # first on exact ties, then label for determinism), pruned by bound.
@@ -678,13 +825,29 @@ def autotune(
             "evaluate": t_evaluate - t_prepare,
             "total": t_evaluate - t_start,
         },
-        "prune_rate": stats["pruned"] / stats["candidates"] if prepared else 0.0,
+        "prune_rate": (
+            stats["pruned"] / stats["candidates"] if stats["candidates"] else 0.0
+        ),
         "bound_tightness": tightness.to_dict(),
         "cache": {
             "hits": cache_after["hits"] - cache_before["hits"],
             "misses": cache_after["misses"] - cache_before["misses"],
         },
+        "search": search,
     }
+    if bnb is not None:
+        telemetry["nodes"] = {
+            "expanded": bnb.nodes_expanded,
+            "subtrees_pruned": bnb.subtrees_pruned,
+            "leaves_pruned": bnb.leaves_pruned,
+            "families_evaluated": bnb.families_evaluated,
+        }
+        sizes = bnb.batch_sizes
+        telemetry["batches"] = {
+            "count": len(sizes),
+            "graphs": sum(sizes),
+            "max_size": max(sizes) if sizes else 0,
+        }
     world_size = session.num_workers
     if session.topology is not None:
         cluster_desc = session.topology.name

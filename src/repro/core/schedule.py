@@ -164,6 +164,55 @@ class AmortizedIterationResult:
         return out
 
 
+def result_from_timeline(
+    timeline: Timeline, algorithm: str, model: str
+) -> IterationResult:
+    """Package an already-simulated timeline as an :class:`IterationResult`.
+
+    The assembly half of :func:`run_iteration`, for callers that priced
+    the graph through a batched scheduling pass
+    (:func:`repro.sim.simulate_plans`) instead of a per-graph
+    ``simulate`` call.
+    """
+    return IterationResult(
+        algorithm=algorithm,
+        model=model,
+        timeline=timeline,
+        breakdown=timeline.breakdown(),
+    )
+
+
+def phase_results_from_timelines(
+    timelines: Dict[str, Timeline],
+    algorithm: str,
+    model: str,
+    factor_interval: int = 1,
+    inverse_interval: int = 1,
+) -> "IterationResult | AmortizedIterationResult":
+    """Assemble the result of a refresh cycle from pre-simulated timelines.
+
+    The batched counterpart of :func:`run_phase_iterations`: given one
+    timeline per phase of the interval mix, it packages exactly the same
+    (amortized) result objects — bit-identical when the timelines came
+    from the same graphs the sequential path would have simulated.
+    """
+    weights = interval_weights(factor_interval, inverse_interval)
+    if len(weights) == 1:
+        return result_from_timeline(timelines[REFRESH], algorithm, model)
+    results = {
+        phase: result_from_timeline(timelines[phase], algorithm, model)
+        for phase, _ in weights
+    }
+    return AmortizedIterationResult(
+        algorithm=algorithm,
+        model=model,
+        refresh=results[REFRESH],
+        factor_refresh=results.get(FACTOR_REFRESH),
+        steady=results.get(STEADY),
+        weights=weights,
+    )
+
+
 def run_phase_iterations(
     graphs: Dict[str, TaskGraph],
     algorithm: str,

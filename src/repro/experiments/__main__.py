@@ -167,6 +167,14 @@ def _autotune_main(argv) -> int:
         help="simulate every candidate instead of pruning by lower bound",
     )
     parser.add_argument(
+        "--search", choices=("grid", "bnb"), default="grid",
+        help=(
+            "enumeration engine: 'grid' prices every candidate's bound up "
+            "front; 'bnb' runs best-first branch-and-bound with batched "
+            "leaf pricing (same winner, cheaper on extended grids)"
+        ),
+    )
+    parser.add_argument(
         "--scenario", default=None, metavar="NAME",
         help=(
             "fault scenario preset "
@@ -236,6 +244,7 @@ def _autotune_main(argv) -> int:
             args.model,
             cluster_arg,
             prune=not args.no_prune,
+            search=args.search,
             scenario=args.scenario,
             objective=args.objective,
             samples=args.samples,
@@ -372,6 +381,16 @@ def _serve_main(argv) -> int:
         help="disk-backed plan store directory (created if missing)",
     )
     parser.add_argument(
+        "--store-max-mb",
+        type=float,
+        metavar="MB",
+        default=None,
+        help=(
+            "cap the store's on-disk size (megabytes); oldest entries are "
+            "evicted at boot and periodically while serving"
+        ),
+    )
+    parser.add_argument(
         "--no-remote-shutdown",
         action="store_true",
         help="disable the POST /shutdown endpoint",
@@ -400,8 +419,19 @@ def _serve_main(argv) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.store_max_mb is not None:
+        if args.store is None:
+            parser.error("--store-max-mb requires --store")
+        if args.store_max_mb < 0:
+            parser.error("--store-max-mb must be >= 0")
+    store_max_bytes = (
+        None if args.store_max_mb is None else int(args.store_max_mb * 1024 * 1024)
+    )
+
     if args.load_test is not None:
-        with PlanServer(args.host, 0, store=args.store) as server:
+        with PlanServer(
+            args.host, 0, store=args.store, store_max_bytes=store_max_bytes
+        ) as server:
             report = run_load_test(
                 server.host,
                 server.port,
@@ -424,6 +454,7 @@ def _serve_main(argv) -> int:
         args.host,
         args.port,
         store=args.store,
+        store_max_bytes=store_max_bytes,
         allow_remote_shutdown=not args.no_remote_shutdown,
     )
     store_note = f", store={args.store}" if args.store else ""

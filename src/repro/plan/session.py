@@ -40,7 +40,7 @@ from __future__ import annotations
 import os
 import threading
 from collections import OrderedDict
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.core.fusion import plan_bulk
 from repro.obs import recorder
@@ -49,6 +49,7 @@ from repro.core.schedule import (
     AmortizedIterationResult,
     IterationResult,
     build_graph_from_parts,
+    phase_results_from_timelines,
     resolve_placement,
     run_phase_iterations,
 )
@@ -608,6 +609,121 @@ class Session:
         # resolved itself are canonical for (strategy, profile), and a
         # foreign plan's parts may differ from what resolution gives.
         return result
+
+    def simulate_many(
+        self,
+        strategies,
+        *,
+        batch_sizes=None,
+    ) -> List[ResultLike]:
+        """Simulate many strategies, batching structurally-identical graphs.
+
+        The one-shot multi-plan pricing path: all cache/store misses have
+        their phase graphs built up front and priced through
+        :func:`repro.sim.simulate_plans`, which stacks graphs with equal
+        :func:`~repro.sim.graph_shape_digest` (same task-graph shape,
+        different durations — e.g. the dtype/compression variants of one
+        fusion plan) into single vectorized scheduling passes.  Results,
+        cache entries, and store writes are bit-identical to calling
+        :meth:`simulate` per strategy; only the wall-clock differs.
+
+        ``batch_sizes``, when given a list, receives the size of every
+        scheduling pass issued (the autotuner's telemetry hook).
+        Scenario-bound sessions fall back to per-strategy simulation —
+        fault perturbation draws per-graph random factors that the
+        batched path does not replicate.
+        """
+        resolved = [resolve_strategy(s) for s in strategies]
+        if self._scenario is not None:
+            return [self.simulate(s) for s in resolved]
+        results: List[Optional[ResultLike]] = [None] * len(resolved)
+        pending: "OrderedDict[_CacheKey, List[int]]" = OrderedDict()
+        meta: Dict[_CacheKey, Tuple[TrainingStrategy, ClusterPerfProfile, Optional[str]]] = {}
+        for idx, strategy in enumerate(resolved):
+            profile = self.profile_for(strategy)
+            key = (self._spec, strategy, profile, None)
+            if key in pending:  # duplicate within this batch: plan once
+                pending[key].append(idx)
+                continue
+            cached = _cache_get(key)
+            if cached is not None:
+                _note("hits")
+                results[idx] = cached[1]
+                continue
+            _note("misses")
+            store = _PLAN_STORE
+            skey = None
+            if store is not None:
+                skey = plan_store_key(self._spec, strategy, profile, None)
+                loaded = _store_load(store, skey)
+                if loaded is not None:
+                    _note("store_hits")
+                    _cache_put(key, loaded)
+                    results[idx] = loaded[1]
+                    continue
+                _note("store_misses")
+            pending[key] = [idx]
+            meta[key] = (strategy, profile, skey)
+        if pending:
+            self._simulate_pending(pending, meta, results, batch_sizes)
+        return results  # type: ignore[return-value]
+
+    def _simulate_pending(self, pending, meta, results, batch_sizes) -> None:
+        """Plan + batch-price the cache-missing strategies of simulate_many."""
+        from repro.sim import simulate_plans
+
+        built = {}
+        flat_graphs = []
+        tags = []
+        for key in pending:
+            strategy, profile, _ = meta[key]
+            parts = resolve_plan_parts(self._spec, profile, strategy)
+            num_ranks, grad_plan, fplan, placement = parts
+            graphs = build_phase_graphs(
+                self._spec,
+                profile,
+                strategy,
+                num_ranks=num_ranks,
+                grad_plan=grad_plan,
+                fplan=fplan,
+                placement=placement,
+            )
+            built[key] = (parts, graphs)
+            for phase, graph in graphs.items():
+                flat_graphs.append(graph)
+                tags.append((key, phase))
+        timelines = simulate_plans(flat_graphs, batch_sizes=batch_sizes)
+        by_key: Dict[object, Dict[str, object]] = {}
+        for (key, phase), timeline in zip(tags, timelines):
+            by_key.setdefault(key, {})[phase] = timeline
+        store = _PLAN_STORE
+        for key, indices in pending.items():
+            strategy, profile, skey = meta[key]
+            (num_ranks, grad_plan, fplan, placement), graphs = built[key]
+            result = phase_results_from_timelines(
+                by_key[key],
+                strategy.name,
+                self._spec.name,
+                strategy.factor_update_interval,
+                strategy.inverse_update_interval,
+            )
+            plan = Plan(
+                strategy=strategy,
+                model=self._spec.name,
+                num_ranks=num_ranks,
+                profile=profile,
+                grad_plan=grad_plan,
+                factor_plan=fplan,
+                placement=placement,
+                predicted_makespan=result.iteration_time,
+                predicted_breakdown=tuple(result.categories().items()),
+                task_counts=count_tasks(graphs[REFRESH]),
+            )
+            _cache_put(key, (plan, result))
+            if store is not None and skey is not None:
+                _store_save(store, skey, plan, result)
+            for idx in indices:
+                results[idx] = result
 
     def autotune(self, **options):
         """Search the full planner axis grid on this session's cluster.

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.serve.client import PlanClient, ServeError, wait_ready
+from repro.utils.stats import percentile as _shared_percentile
 
 __all__ = ["LoadTestReport", "default_workload", "run_load_test"]
 
@@ -59,10 +60,18 @@ def default_workload(
     return pool
 
 
-def _percentile(samples: List[float], q: float) -> float:
-    ordered = sorted(samples)
-    rank = max(0, min(len(ordered) - 1, int(round(q * (len(ordered) - 1)))))
-    return ordered[rank]
+def _percentile(samples: List[float], q: float) -> Optional[float]:
+    """Nearest-rank quantile, degraded to ``None`` for empty samples.
+
+    The report must stay renderable when *zero* requests succeeded (every
+    query errored), so this wraps the canonical validating
+    :func:`repro.utils.stats.percentile` with a soft empty-list answer
+    instead of its ``ValueError`` (or the bare ``IndexError`` the old
+    guard-less local copy raised).
+    """
+    if not samples:
+        return None
+    return _shared_percentile(samples, q)
 
 
 @dataclass
@@ -95,11 +104,14 @@ class LoadTestReport:
             out.extend(samples)
         return out
 
-    def percentile(self, q: float, op: Optional[str] = None) -> float:
-        """The ``q``-quantile latency overall or for one operation."""
+    def percentile(self, q: float, op: Optional[str] = None) -> Optional[float]:
+        """The ``q``-quantile latency overall or for one operation.
+
+        Returns ``None`` when no request of that kind succeeded — a
+        zero-successful-op run degrades to empty fields rather than
+        raising.
+        """
         samples = self.latencies.get(op, []) if op else self.all_latencies()
-        if not samples:
-            raise ValueError(f"no samples for op={op!r}")
         return _percentile(samples, q)
 
     def store_hit_rate(self) -> Optional[float]:
@@ -131,9 +143,9 @@ class LoadTestReport:
             "processes": self.processes,
             "duration_s": self.duration_s,
             "throughput_rps": self.throughput,
-            "p50_s": _percentile(overall, 0.50) if overall else None,
-            "p90_s": _percentile(overall, 0.90) if overall else None,
-            "p99_s": _percentile(overall, 0.99) if overall else None,
+            "p50_s": _percentile(overall, 0.50),
+            "p90_s": _percentile(overall, 0.90),
+            "p99_s": _percentile(overall, 0.99),
             "ops": ops,
             "sources": dict(sorted(self.sources.items())),
             "store_hit_rate": self.store_hit_rate(),

@@ -45,6 +45,9 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.obs import recorder
 from repro.serve.service import PlanService, RequestError
+# Canonical nearest-rank quantile; re-exported here because the /stats
+# percentiles predate repro.utils.stats and callers import it from serve.
+from repro.utils.stats import percentile
 
 __all__ = ["PlanServer", "LatencyTracker", "MAX_BODY_BYTES"]
 
@@ -56,23 +59,6 @@ MAX_BODY_BYTES = 1 << 20
 _MAX_SAMPLES = 200_000
 
 
-def percentile(samples: List[float], q: float) -> float:
-    """The ``q``-quantile (0..1) of ``samples`` by nearest-rank.
-
-    Examples
-    --------
-    >>> percentile([0.1, 0.2, 0.3], 0.5)
-    0.2
-    >>> percentile([0.1], 0.99)
-    0.1
-    """
-    if not samples:
-        raise ValueError("percentile of no samples")
-    if not 0.0 <= q <= 1.0:
-        raise ValueError(f"quantile must be in [0, 1], got {q}")
-    ordered = sorted(samples)
-    rank = max(0, min(len(ordered) - 1, int(round(q * (len(ordered) - 1)))))
-    return ordered[rank]
 
 
 class LatencyTracker:
@@ -198,6 +184,10 @@ class PlanServer:
         Optional :class:`~repro.serve.PlanStore` or directory path —
         installed process-wide under the Session LRU (see
         :func:`repro.plan.set_plan_store`).
+    store_max_bytes:
+        Optional on-disk byte cap for the store: enforced at boot and
+        periodically while serving via :meth:`PlanStore.gc`
+        (oldest-first eviction; the CLI flag is ``--store-max-mb``).
     allow_remote_shutdown:
         Keep the ``POST /shutdown`` endpoint (handy for CI and the load
         harness; disable for anything internet-facing).
@@ -217,9 +207,10 @@ class PlanServer:
         port: int = 0,
         *,
         store=None,
+        store_max_bytes: Optional[int] = None,
         allow_remote_shutdown: bool = True,
     ):
-        self.service = PlanService(store=store)
+        self.service = PlanService(store=store, store_max_bytes=store_max_bytes)
         self.latency = LatencyTracker()
         self.allow_remote_shutdown = allow_remote_shutdown
         self._rec = recorder()

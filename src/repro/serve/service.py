@@ -46,6 +46,9 @@ SERVICE_OPS = ("plan", "simulate", "autotune")
 
 _RESPONSE_CACHE_MAXSIZE = 256
 
+#: Handled requests between store-size checks when a byte cap is set.
+_GC_CHECK_INTERVAL = 64
+
 
 class RequestError(Exception):
     """A rejected request: machine-readable ``code`` + HTTP ``status``.
@@ -90,17 +93,26 @@ class PlanService:
     ('ResNet-50', 4, 'lbp')
     """
 
-    def __init__(self, store=None):
+    def __init__(self, store=None, *, store_max_bytes: Optional[int] = None):
         # The disk layer is process-wide (it sits under the Session LRU);
         # installing it here makes every session of this process share it.
         if store is not None:
             from repro.plan import set_plan_store
 
             set_plan_store(store)
+        if store_max_bytes is not None and store_max_bytes < 0:
+            raise ValueError(
+                f"store_max_bytes must be >= 0, got {store_max_bytes}"
+            )
         self._sessions: Dict[Tuple[str, object, Optional[str]], Session] = {}
         self._lock = threading.Lock()
         self._responses: Dict[str, Dict[str, object]] = {}
         self._rec = recorder()
+        self._store_max_bytes = store_max_bytes
+        self._gc_countdown = _GC_CHECK_INTERVAL
+        # Enforce the cap on whatever the store directory already holds,
+        # so a restart over a full store starts within budget.
+        self.store_gc()
 
     # -- request resolution --------------------------------------------------
 
@@ -184,15 +196,45 @@ class PlanService:
         """Dispatch one validated operation; returns the response body."""
         if not isinstance(params, dict):
             raise RequestError("invalid_request", "request body must be a JSON object")
-        if op == "plan":
-            return self.plan(params)
-        if op == "simulate":
-            return self.simulate(params)
-        if op == "autotune":
-            return self.autotune(params)
+        try:
+            if op == "plan":
+                return self.plan(params)
+            if op == "simulate":
+                return self.simulate(params)
+            if op == "autotune":
+                return self.autotune(params)
+        finally:
+            self._maybe_gc()
         raise RequestError(
             "unknown_op", f"unknown operation {op!r}; one of {SERVICE_OPS}", status=404
         )
+
+    def store_gc(self) -> Optional[Dict[str, int]]:
+        """Evict oldest store entries down to the configured byte cap.
+
+        A no-op (returning ``None``) when no cap is configured, no store
+        is installed, or the store predates :meth:`PlanStore.gc`.
+        """
+        if self._store_max_bytes is None:
+            return None
+        store = get_plan_store()
+        if store is None or not hasattr(store, "gc"):
+            return None
+        outcome = store.gc(max_bytes=self._store_max_bytes)
+        if outcome["evicted"]:
+            self._rec.count("serve.store_gc_evictions", outcome["evicted"])
+        return outcome
+
+    def _maybe_gc(self) -> None:
+        """Periodic cap check: one GC pass every ``_GC_CHECK_INTERVAL`` ops."""
+        if self._store_max_bytes is None:
+            return
+        with self._lock:
+            self._gc_countdown -= 1
+            if self._gc_countdown > 0:
+                return
+            self._gc_countdown = _GC_CHECK_INTERVAL
+        self.store_gc()
 
     def _request_digest(self, session: Session, strategy: TrainingStrategy) -> str:
         profile = session.profile_for(strategy)

@@ -335,6 +335,88 @@ class PlanStore:
             self._write_index(entries)
         return len(entries)
 
+    # -- garbage collection --------------------------------------------------
+
+    def total_bytes(self) -> int:
+        """Total on-disk size of every object file (quarantine excluded)."""
+        total = 0
+        for key in self.keys():
+            try:
+                total += os.path.getsize(self._object_path(key))
+            except OSError:  # pragma: no cover - raced with an eviction
+                pass
+        return total
+
+    def gc(
+        self,
+        *,
+        max_objects: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+    ) -> Dict[str, int]:
+        """Evict oldest entries until the store fits under the given caps.
+
+        Eviction is oldest-first by object-file mtime (ties broken by
+        key, so concurrent GCs of the same store delete the same
+        entries), runs entirely under the cross-process write lock, and
+        rewrites ``index.json`` once after the deletions.  The object
+        files stay the source of truth: a GC killed between an unlink
+        and the index rewrite leaves dangling index rows that read as
+        plain misses and disappear on the next :meth:`rebuild_index` (or
+        the next GC/put, which rewrite the index from disk state).
+
+        Un-evicted entries are never touched — their bytes on disk are
+        exactly what :meth:`put` wrote.
+
+        Returns ``{"evicted", "kept", "bytes_freed", "bytes_kept"}``.
+        With both caps ``None`` this is a no-op inventory pass.
+        """
+        if max_objects is not None and max_objects < 0:
+            raise ValueError(f"max_objects must be >= 0, got {max_objects}")
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        evicted = bytes_freed = 0
+        with self._lock:
+            entries = []  # (mtime, key, size)
+            for key in self.keys():
+                path = self._object_path(key)
+                try:
+                    stat = os.stat(path)
+                except OSError:
+                    continue
+                entries.append((stat.st_mtime, key, stat.st_size))
+            entries.sort()
+            count = len(entries)
+            size = sum(e[2] for e in entries)
+            survivors = {key: None for _, key, _ in entries}
+            for mtime, key, nbytes in entries:
+                over_objects = max_objects is not None and count > max_objects
+                over_bytes = max_bytes is not None and size > max_bytes
+                if not (over_objects or over_bytes):
+                    break
+                try:
+                    os.unlink(self._object_path(key))
+                except FileNotFoundError:  # pragma: no cover - raced
+                    pass
+                del survivors[key]
+                count -= 1
+                size -= nbytes
+                evicted += 1
+                bytes_freed += nbytes
+            if evicted:
+                kinds = self._read_index()
+                self._write_index(
+                    {
+                        key: kinds.get(key, {"kind": "generic"})
+                        for key in survivors
+                    }
+                )
+        return {
+            "evicted": evicted,
+            "kept": count,
+            "bytes_freed": bytes_freed,
+            "bytes_kept": size,
+        }
+
     # -- reporting -----------------------------------------------------------
 
     def stats(self) -> Dict[str, int]:

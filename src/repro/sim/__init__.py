@@ -20,7 +20,14 @@ mismatched collective orders) exactly.
 """
 
 from repro.sim.task import GraphColumns, Phase, SimTask, TaskGraph, COMPUTE, COMM
-from repro.sim.engine import DeadlockError, simulate, simulate_batch, simulate_many
+from repro.sim.engine import (
+    DeadlockError,
+    graph_shape_digest,
+    simulate,
+    simulate_batch,
+    simulate_many,
+    simulate_plans,
+)
 from repro.sim.timeline import Breakdown, Timeline, TimelineEntry
 from repro.sim.analysis import (
     BlameRow,
@@ -43,9 +50,11 @@ __all__ = [
     "TaskGraph",
     "COMPUTE",
     "COMM",
+    "graph_shape_digest",
     "simulate",
     "simulate_batch",
     "simulate_many",
+    "simulate_plans",
     "DeadlockError",
     "Timeline",
     "TimelineEntry",

@@ -25,6 +25,7 @@ the unresolved dependencies it was waiting on.
 
 from __future__ import annotations
 
+import hashlib
 import weakref
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -196,6 +197,46 @@ def _waves(graph: TaskGraph) -> List[Tuple[np.ndarray, ...]]:
     return waves
 
 
+# Shape digests cached per graph, invalidated like the wave cache: by
+# identity-checking the columns snapshot.
+_SHAPE_CACHE: "weakref.WeakKeyDictionary[TaskGraph, Tuple[object, str]]"
+_SHAPE_CACHE = weakref.WeakKeyDictionary()
+
+
+def graph_shape_digest(graph: TaskGraph) -> str:
+    """Digest of a graph's *structure*: everything the schedule shape
+    depends on except task durations.
+
+    Two graphs with equal digests have identical dependency CSR arrays,
+    stream occupancy (ranks + comm flags), and rank count — so they share
+    one wave decomposition and can be priced together in a single batched
+    scheduling pass (:func:`simulate_plans`).  Durations are deliberately
+    excluded: that is the whole point — dtype/compression variants of one
+    fusion plan differ only in durations.
+    """
+    cols = graph.columns()
+    cached = _SHAPE_CACHE.get(graph)
+    if cached is not None and cached[0] is cols:
+        return cached[1]
+    h = hashlib.blake2b(digest_size=16)
+    h.update(f"n={cols.n};ranks={graph.num_ranks};".encode())
+    for arr in (
+        cols.is_comm,
+        cols.deps_indptr,
+        cols.deps_flat,
+        cols.ranks_indptr,
+        cols.ranks_flat,
+    ):
+        h.update(np.ascontiguousarray(arr).tobytes())
+        h.update(b"|")
+    digest = h.hexdigest()
+    try:
+        _SHAPE_CACHE[graph] = (cols, digest)
+    except TypeError:  # pragma: no cover - non-weakrefable graph subclass
+        pass
+    return digest
+
+
 def _resolve_durations(graph: TaskGraph, durations) -> np.ndarray:
     cols = graph.columns()
     if durations is None:
@@ -263,6 +304,29 @@ def simulate_batch(graph: TaskGraph, durations: np.ndarray) -> List[Timeline]:
     return _simulate_batch(graph, durations)
 
 
+def _batch_schedule(
+    graph: TaskGraph, dur: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Start/end matrices of ``graph``'s wave plan under ``(S, n)`` durations.
+
+    The shared scheduling kernel of :func:`simulate_batch` (many duration
+    samples, one graph) and :func:`simulate_plans` (one sample each of
+    many structurally-identical graphs): row ``s`` is bit-identical to
+    what ``simulate`` computes for ``dur[s]``, because the wave arrays —
+    and therefore every ``reduceat`` segment order — depend only on the
+    structure the callers already matched.
+    """
+    n = graph.columns().n
+    num_samples = dur.shape[0]
+    start = np.zeros((num_samples, n))
+    end = np.zeros((num_samples, n))
+    for frontier, preds, rows, seg_offsets in _waves(graph):
+        if preds.size:
+            start[:, rows] = np.maximum.reduceat(end[:, preds], seg_offsets, axis=1)
+        end[:, frontier] = start[:, frontier] + dur[:, frontier]
+    return start, end
+
+
 def _simulate_batch(graph: TaskGraph, durations: np.ndarray) -> List[Timeline]:
     cols = graph.columns()
     n = cols.n
@@ -279,12 +343,7 @@ def _simulate_batch(graph: TaskGraph, durations: np.ndarray) -> List[Timeline]:
         empty = np.empty(0)
         return [Timeline.from_schedule(graph, empty, empty) for _ in range(num_samples)]
 
-    start = np.zeros((num_samples, n))
-    end = np.zeros((num_samples, n))
-    for frontier, preds, rows, seg_offsets in _waves(graph):
-        if preds.size:
-            start[:, rows] = np.maximum.reduceat(end[:, preds], seg_offsets, axis=1)
-        end[:, frontier] = start[:, frontier] + dur[:, frontier]
+    start, end = _batch_schedule(graph, dur)
     return [
         Timeline.from_schedule(graph, start[s].copy(), end[s].copy())
         for s in range(num_samples)
@@ -332,4 +391,80 @@ def simulate_many(
         else:
             out[i] = simulate(graph_list[i], dur_list[i])
         i = j
+    return out  # type: ignore[return-value]
+
+
+def simulate_plans(
+    graphs: Iterable[TaskGraph],
+    durations: Optional[Sequence[Optional[np.ndarray]]] = None,
+    *,
+    batch_sizes: Optional[List[int]] = None,
+) -> List[Timeline]:
+    """Schedule many *structurally-identical* graphs in shared batched passes.
+
+    Where :func:`simulate_many` only coalesces consecutive references to
+    the *same* graph object, this groups **distinct** graph objects by
+    their :func:`graph_shape_digest` — same dependency/stream structure,
+    different durations, exactly what dtype/compression variants of one
+    fusion plan produce — and prices each group through a single
+    vectorized scheduling pass over the first member's cached wave plan.
+    Every returned timeline is bit-identical to ``simulate(graph_i,
+    durations_i)`` (each row is wrapped against its *own* graph, so task
+    names and breakdowns stay per-candidate).
+
+    ``durations`` optionally overrides per-graph durations (``None``
+    entries use each graph's stored durations).  ``batch_sizes``, when
+    given a list, receives the size of each scheduling pass issued — the
+    autotuner's telemetry hook.
+    """
+    graph_list = list(graphs)
+    if durations is None:
+        dur_list: List[Optional[np.ndarray]] = [None] * len(graph_list)
+    else:
+        dur_list = list(durations)
+        if len(dur_list) != len(graph_list):
+            raise ValueError(
+                f"durations must have one entry per graph: "
+                f"{len(dur_list)} != {len(graph_list)}"
+            )
+    if _REC.enabled:
+        with _REC.span("sim.simulate_plans", graphs=len(graph_list)):
+            return _simulate_plans(graph_list, dur_list, batch_sizes)
+    return _simulate_plans(graph_list, dur_list, batch_sizes)
+
+
+def _simulate_plans(
+    graph_list: List[TaskGraph],
+    dur_list: List[Optional[np.ndarray]],
+    batch_sizes: Optional[List[int]],
+) -> List[Timeline]:
+    groups: Dict[str, List[int]] = {}
+    for i, graph in enumerate(graph_list):
+        groups.setdefault(graph_shape_digest(graph), []).append(i)
+
+    out: List[Optional[Timeline]] = [None] * len(graph_list)
+    for members in groups.values():
+        if len(members) == 1:
+            i = members[0]
+            out[i] = simulate(graph_list[i], dur_list[i])
+            if batch_sizes is not None:
+                batch_sizes.append(1)
+            continue
+        ref = graph_list[members[0]]
+        n = ref.columns().n
+        if batch_sizes is not None:
+            batch_sizes.append(len(members))
+        if n == 0:
+            empty = np.empty(0)
+            for i in members:
+                out[i] = Timeline.from_schedule(graph_list[i], empty, empty)
+            continue
+        stacked = np.stack(
+            [_resolve_durations(graph_list[i], dur_list[i]) for i in members]
+        )
+        start, end = _batch_schedule(ref, stacked)
+        for s, i in enumerate(members):
+            out[i] = Timeline.from_schedule(
+                graph_list[i], start[s].copy(), end[s].copy()
+            )
     return out  # type: ignore[return-value]

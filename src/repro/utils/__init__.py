@@ -4,6 +4,7 @@ from repro.utils.deprecation import ReproDeprecationWarning, warn_deprecated
 from repro.utils.digest import canonical_json, content_digest
 from repro.utils.format import human_bytes, human_count, human_time
 from repro.utils.rng import new_rng, spawn_rngs
+from repro.utils.stats import percentile
 from repro.utils.validation import (
     check_positive,
     check_non_negative,
@@ -21,6 +22,7 @@ __all__ = [
     "human_count",
     "human_time",
     "new_rng",
+    "percentile",
     "spawn_rngs",
     "check_positive",
     "check_non_negative",

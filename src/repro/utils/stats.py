@@ -1,0 +1,43 @@
+"""Shared order statistics.
+
+One canonical :func:`percentile` for every subsystem that summarizes
+latency samples — the server's ``/stats`` endpoint and the load-test
+report both import it, so their quantile semantics (nearest-rank over
+the sorted samples) can never drift apart.  Historically the load
+harness carried its own guard-less copy, which raised a bare
+``IndexError`` on an empty sample list (a zero-successful-op load test
+hit it); the validation now lives in exactly one place.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["percentile"]
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The ``q``-quantile (0..1) of ``samples`` by nearest-rank.
+
+    Raises ``ValueError`` on an empty sample list or a quantile outside
+    ``[0, 1]`` — callers that want a soft answer (the load-test report
+    degrades to ``None`` fields) must guard for emptiness themselves.
+
+    Examples
+    --------
+    >>> percentile([0.1, 0.2, 0.3], 0.5)
+    0.2
+    >>> percentile([0.1], 0.99)
+    0.1
+    >>> percentile([0.3, 0.1, 0.2], 0.0)
+    0.1
+    >>> percentile([0.3, 0.1, 0.2], 1.0)
+    0.3
+    """
+    if not samples:
+        raise ValueError("percentile of no samples")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, int(round(q * (len(ordered) - 1)))))
+    return ordered[rank]

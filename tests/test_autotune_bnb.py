@@ -1,0 +1,245 @@
+"""Differential tests: branch-and-bound autotune vs the exhaustive grid.
+
+The contract of ``autotune(search="bnb")`` is *winner identity*: on every
+(model, cluster) cell, nominal or robust, it must return the same best
+candidate — same label, same objective value, bit-identical resolved
+plan digest — as the exhaustive grid search, while pruning subtrees the
+grid enumerates one by one.  These tests check that contract across the
+paper models and three cluster shapes (flat fabric, multi-rack topology,
+heterogeneous topology), plus the admissibility property the subtree
+pruning rests on: a partial assignment's relaxed bound never exceeds the
+exact bound of any of its completions.
+"""
+
+import random
+
+import pytest
+
+from repro.autotune import autotune, candidate_bound, strategy_grid
+from repro.autotune.grid import FACTOR_AXES
+from repro.autotune.search import (
+    STRUCT_AXES,
+    AxisDomains,
+    _ProfileCtx,
+    family_strategies,
+    partial_bound,
+)
+from repro.core.schedule import PLACEMENT_STRATEGIES
+from repro.models.catalog import PAPER_MODELS
+from repro.plan import Session, resolve_plan_parts
+from repro.topo import heterogeneous, multi_rack
+
+CLUSTER_NAMES = ("flat", "multi-rack", "heterogeneous")
+
+
+def make_cluster(name):
+    """Small instances of the three cluster shapes the suite sweeps."""
+    if name == "flat":
+        return 8  # profile-backed session, collective axis fixed to "auto"
+    if name == "multi-rack":
+        return multi_rack(2, 2, 1)
+    return heterogeneous([(1, 2, "nvlink"), (1, 2, "pcie")])
+
+
+CELLS = [
+    (model, cluster) for model in sorted(PAPER_MODELS) for cluster in CLUSTER_NAMES
+]
+
+
+def assert_same_winner(session, grid_report, bnb_report):
+    """Label, objective value, and resolved plan digest must all agree."""
+    assert grid_report.best.label == bnb_report.best.label
+    assert grid_report.outcome_value(grid_report.best) == bnb_report.outcome_value(
+        bnb_report.best
+    )
+    grid_plan = session.plan(grid_report.best.strategy)
+    bnb_plan = session.plan(bnb_report.best.strategy)
+    assert grid_plan.digest() == bnb_plan.digest()
+    # Both engines cover the same candidate universe, fully accounted.
+    assert grid_report.stats["candidates"] == bnb_report.stats["candidates"]
+    for report in (grid_report, bnb_report):
+        assert (
+            report.stats["simulated"]
+            + report.stats["reused"]
+            + report.stats["pruned"]
+            == report.stats["candidates"]
+        )
+
+
+@pytest.mark.parametrize("model,cluster_name", CELLS)
+def test_bnb_matches_grid_nominal(model, cluster_name):
+    session = Session(model, make_cluster(cluster_name))
+    grid = autotune(session)
+    bnb = autotune(session, search="bnb")
+    assert_same_winner(session, grid, bnb)
+    assert bnb.speedup_over_presets >= 1.0
+
+
+@pytest.mark.parametrize("model,cluster_name", CELLS)
+def test_bnb_matches_grid_robust(model, cluster_name):
+    session = Session(model, make_cluster(cluster_name))
+    kwargs = dict(scenario="stragglers", samples=3)
+    grid = autotune(session, **kwargs)
+    bnb = autotune(session, search="bnb", **kwargs)
+    assert grid.objective == bnb.objective == "p95"
+    assert_same_winner(session, grid, bnb)
+
+
+def test_bnb_matches_grid_extended_axes():
+    """The 10x grid (precision / compression / staleness axes) agrees too."""
+    session = Session("ResNet-50", 8)
+    kwargs = dict(
+        wire_dtypes=[("fp32", "fp32", "fp32"), ("fp32", "fp16", "fp16")],
+        compressions=[1.0, 0.1],
+        intervals=[(1, 1), (1, 4), (4, 16)],
+    )
+    grid = autotune(session, **kwargs)
+    bnb = autotune(session, search="bnb", **kwargs)
+    assert grid.stats["candidates"] == 72 * 2 * 2 * 3
+    assert_same_winner(session, grid, bnb)
+
+
+def test_bnb_no_prune_prices_every_candidate():
+    session = Session("ResNet-50", 4)
+    grid = autotune(session, prune=False)
+    bnb = autotune(session, search="bnb", prune=False)
+    assert bnb.stats["pruned"] == 0
+    assert bnb.stats["simulated"] + bnb.stats["reused"] == 72
+    assert_same_winner(session, grid, bnb)
+
+
+def test_bnb_telemetry_and_report_text():
+    report = autotune("ResNet-50", 8, search="bnb")
+    assert report.telemetry["search"] == "bnb"
+    nodes = report.telemetry["nodes"]
+    assert nodes["expanded"] >= 1
+    assert nodes["families_evaluated"] >= 1
+    assert (
+        nodes["leaves_pruned"] <= report.stats["pruned"]
+    )  # family-level prunes are counted in stats but not as subtree leaves
+    batches = report.telemetry["batches"]
+    assert batches["count"] >= 0 and batches["graphs"] >= 0
+    text = report.telemetry_text()
+    assert "bnb nodes" in text
+    assert "batched pricing" in text
+    # The standard report renders identically to the grid engine's.
+    assert "searched 72 candidates" in report.to_text()
+
+
+def test_bnb_rejects_candidate_shortlists():
+    shortlist = strategy_grid()[:3]
+    with pytest.raises(ValueError, match="shortlist"):
+        autotune("ResNet-50", 4, search="bnb", candidates=shortlist)
+
+
+def test_unknown_search_engine_rejected():
+    with pytest.raises(ValueError, match="search"):
+        autotune("ResNet-50", 4, search="dfs")
+
+
+def _completions(domains, assign):
+    """Every full structural assignment extending ``assign``."""
+    free = [axis for axis in STRUCT_AXES if axis not in assign]
+    if not free:
+        yield dict(assign)
+        return
+    axis = free[0]
+    for option in domains.structural(axis):
+        yield from _completions(domains, {**assign, axis: option})
+
+
+def test_partial_bound_admissible_for_every_completion():
+    """partial_bound(P) <= candidate_bound(c), component-wise, for all c in P.
+
+    This is the property subtree pruning relies on: if the relaxed bound
+    of a partial assignment already meets the incumbent, no completion
+    can beat it.  Checked component-wise (compute/comm/chain), which is
+    stronger than the total-only statement the search needs.
+    """
+    session = Session("ResNet-50", 4)
+    spec = session.spec
+    domains = AxisDomains(
+        collectives=("auto",),
+        placements=tuple(PLACEMENT_STRATEGIES),
+        factor_axes=tuple(FACTOR_AXES),
+        gradient_reductions=("wfbp", "bulk"),
+        wire_dtypes=(("fp32", "fp32", "fp32"), ("fp32", "fp16", "fp16")),
+        compressions=(1.0, 0.1),
+        intervals=((1, 1), (1, 4)),
+    )
+    profile = session.profile_for(strategy_grid()[0])
+    ctx = _ProfileCtx(spec, profile)
+    rng = random.Random(20260808)
+    for _ in range(8):
+        assign = {"collective": "auto"}
+        depth = rng.randrange(1, len(STRUCT_AXES) + 1)
+        for axis in STRUCT_AXES[1:depth]:
+            assign[axis] = rng.choice(domains.structural(axis))
+        relaxed = partial_bound(spec, ctx, domains, assign)
+        completions = list(_completions(domains, assign))
+        # Keep the exact-bound sweep bounded: sample completions when the
+        # subtree is large, always checking at least one full family.
+        rng.shuffle(completions)
+        for completion in completions[:6]:
+            for member in family_strategies(domains, completion):
+                num_ranks, grad_plan, fplan, placement = resolve_plan_parts(
+                    spec, profile, member
+                )
+                exact = candidate_bound(
+                    spec,
+                    profile,
+                    num_ranks=num_ranks,
+                    grad_plan=grad_plan,
+                    fplan=fplan,
+                    placement=placement,
+                    include_solve=member.include_solve,
+                    strategy=member,
+                )
+                tol = 1e-9
+                assert relaxed.compute <= exact.compute + tol
+                assert relaxed.comm <= exact.comm + tol
+                assert relaxed.chain <= exact.chain + tol
+                assert relaxed.total <= exact.total + tol
+
+
+def test_family_strategies_match_grid_enumeration():
+    """A leaf family is exactly the grid slice with its structural axes."""
+    domains = AxisDomains(
+        collectives=("auto",),
+        placements=tuple(PLACEMENT_STRATEGIES),
+        factor_axes=tuple(FACTOR_AXES),
+        gradient_reductions=("wfbp", "bulk"),
+        wire_dtypes=(("fp32", "fp32", "fp32"), ("fp32", "fp16", "fp16")),
+        compressions=(1.0, 0.25),
+        intervals=((1, 1), (2, 8)),
+    )
+    assign = {
+        "collective": "auto",
+        "placement": "lbp",
+        "factor_axes": ("optimal", True, False),
+        "gradient_reduction": "wfbp",
+    }
+    family = family_strategies(domains, assign)
+    assert len(family) == domains.family_size == 2 * 2 * 2
+    twins = [
+        s
+        for s in strategy_grid(
+            wire_dtypes=domains.wire_dtypes,
+            compressions=domains.compressions,
+            intervals=domains.intervals,
+        )
+        if s.placement == "lbp"
+        and s.factor_fusion == "optimal"
+        and s.factor_pipelining
+        and not s.combine_factor_passes
+        and s.gradient_reduction == "wfbp"
+    ]
+    assert {s.name for s in family} == {s.name for s in twins}
+    assert sorted(s.name for s in family) == sorted(s.name for s in twins)
+    assert domains.total_leaves == len(
+        strategy_grid(
+            wire_dtypes=domains.wire_dtypes,
+            compressions=domains.compressions,
+            intervals=domains.intervals,
+        )
+    )

@@ -166,6 +166,23 @@ class TestAutotuneCli:
         assert payload["stats"]["candidates"] == 72
         assert payload["best"]["iteration_time"] <= payload["best_preset"][1]
 
+    def test_autotune_bnb_search_flag(self):
+        result = run_script(
+            "-m", "repro.experiments", "autotune", "ResNet-50", "--gpus", "8",
+            "--search", "bnb", "--stats",
+        )
+        assert result.returncode == 0, result.stderr
+        assert "searched 72 candidates" in result.stdout
+        assert "bnb nodes:" in result.stdout
+        assert "batched pricing:" in result.stdout
+
+    def test_autotune_rejects_unknown_search(self):
+        result = run_script(
+            "-m", "repro.experiments", "autotune", "ResNet-50", "--search", "dfs",
+        )
+        assert result.returncode != 0
+        assert "--search" in result.stderr
+
     def test_autotune_list_topologies(self):
         result = run_script("-m", "repro.experiments", "autotune", "--list-topologies")
         assert result.returncode == 0, result.stderr
@@ -372,3 +389,46 @@ class TestServeCLI:
         result = run_script("-m", "repro.experiments", "serve", "--help")
         assert result.returncode == 0
         assert "--load-test" in result.stdout and "--store" in result.stdout
+        assert "--store-max-mb" in result.stdout
+
+    def test_store_max_mb_requires_store(self):
+        from repro.experiments.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["serve", "--load-test", "5", "--store-max-mb", "1"])
+
+    def test_store_max_mb_rejects_negative(self, tmp_path):
+        from repro.experiments.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "serve",
+                    "--load-test", "5",
+                    "--store", str(tmp_path / "store"),
+                    "--store-max-mb", "-2",
+                ]
+            )
+
+    def test_store_max_mb_evicts_stale_entries_at_boot(self, tmp_path):
+        """Pre-existing oversized entries are GC'd when the server boots."""
+        from repro.experiments.__main__ import main
+        from repro.serve import PlanStore
+
+        store = PlanStore(tmp_path / "store")
+        stale = [f"{i:016x}" for i in range(6)]
+        for key in stale:
+            store.put(key, {"pad": "x" * 20_000})  # each entry alone over cap
+
+        code = main(
+            [
+                "serve",
+                "--load-test", "10",
+                "--concurrency", "2",
+                "--store", str(tmp_path / "store"),
+                "--store-max-mb", "0.01",  # ~10 KiB
+            ]
+        )
+        assert code == 0
+        reopened = PlanStore(tmp_path / "store")
+        assert not any(key in reopened for key in stale)

@@ -276,6 +276,14 @@ class TestFrozenRowsWithStore:
             for row in result.rows
         ]
 
+    @pytest.fixture(autouse=True)
+    def _uninstall_store(self):
+        # The installed store is process-global: leaving it behind would
+        # point every later test at this test's (deleted) tmp dir.
+        yield
+        set_plan_store(None)
+        clear_caches()
+
     def test_fig2_bit_identical_store_on_and_off(self, tmp_path):
         frozen = self._frozen()
         expected = frozen["rows"]

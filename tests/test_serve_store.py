@@ -298,3 +298,146 @@ class TestSessionCacheThreadSafety:
         info = cache_info()
         assert info["hits"] + info["misses"] == len(results)
         clear_caches()
+
+
+def _keyed(i):
+    return f"{i:016x}"
+
+
+class TestStoreGC:
+    """Capacity eviction: oldest-first, lock-held, index-consistent."""
+
+    def _populate(self, store, n, *, payload=None):
+        """n entries with strictly increasing mtimes (oldest = lowest i)."""
+        base = 1_700_000_000
+        for i in range(n):
+            key = _keyed(i)
+            store.put(key, payload or {"i": i, "blob": "x" * 64}, kind="demo")
+            os.utime(store._object_path(key), (base + i, base + i))
+        return [_keyed(i) for i in range(n)]
+
+    def test_evicts_oldest_first_by_object_count(self, store):
+        keys = self._populate(store, 5)
+        outcome = store.gc(max_objects=2)
+        assert outcome["evicted"] == 3
+        assert outcome["kept"] == 2
+        assert sorted(store.keys()) == keys[3:]
+        assert sorted(store.index()) == keys[3:]
+        for key in keys[:3]:
+            assert store.get(key) is None
+
+    def test_byte_cap_frees_down_to_limit(self, store):
+        self._populate(store, 6)
+        per_entry = store.total_bytes() // 6
+        outcome = store.gc(max_bytes=3 * per_entry)
+        assert outcome["evicted"] >= 3
+        assert store.total_bytes() <= 3 * per_entry
+        assert outcome["bytes_kept"] == store.total_bytes()
+
+    def test_noop_inventory_pass_and_under_cap(self, store):
+        keys = self._populate(store, 3)
+        # no caps: pure inventory
+        outcome = store.gc()
+        assert outcome == {
+            "evicted": 0,
+            "kept": 3,
+            "bytes_freed": 0,
+            "bytes_kept": store.total_bytes(),
+        }
+        # caps already satisfied: nothing moves
+        assert store.gc(max_objects=10, max_bytes=10**9)["evicted"] == 0
+        assert sorted(store.keys()) == keys
+
+    def test_negative_caps_rejected(self, store):
+        with pytest.raises(ValueError, match="max_objects"):
+            store.gc(max_objects=-1)
+        with pytest.raises(ValueError, match="max_bytes"):
+            store.gc(max_bytes=-1)
+
+    def test_survivors_bit_identical_after_restart(self, store, tmp_path):
+        """GC -> process restart: un-evicted entries read back byte-for-byte."""
+        keys = self._populate(store, 5)
+        before = {
+            key: open(store._object_path(key), "rb").read() for key in keys[2:]
+        }
+        store.gc(max_objects=3)
+        reopened = PlanStore(store.root)  # fresh instance = restart
+        assert sorted(reopened.keys()) == keys[2:]
+        for key in keys[2:]:
+            assert open(reopened._object_path(key), "rb").read() == before[key]
+            assert reopened.get(key) == {"i": int(key, 16), "blob": "x" * 64}
+        assert sorted(reopened.index()) == keys[2:]
+
+    def test_mid_gc_kill_leaves_recoverable_store(self, store):
+        """Unlink-without-index-rewrite (a GC killed mid-pass) self-heals."""
+        keys = self._populate(store, 4)
+        # Simulate the crash window: objects gone, index still lists them.
+        for key in keys[:2]:
+            os.unlink(store._object_path(key))
+        assert sorted(store.index()) == keys  # dangling rows present
+        for key in keys[:2]:
+            assert store.get(key) is None  # read as plain misses
+        assert store.rebuild_index() == 2  # the two surviving entries
+        assert sorted(store.index()) == keys[2:]
+        # and a later GC pass also rewrites the index from disk state
+        store.put(_keyed(9), {"v": 9})
+        store.gc(max_objects=10)
+        assert _keyed(9) in store.index()
+
+    def test_gc_excludes_quarantine_bytes(self, store):
+        keys = self._populate(store, 2)
+        with open(store._object_path(keys[0]), "w") as f:
+            f.write("broken")
+        assert store.get(keys[0]) is None  # quarantined
+        assert store.total_bytes() == os.path.getsize(store._object_path(keys[1]))
+        outcome = store.gc(max_objects=5)
+        assert outcome["kept"] == 1
+
+
+class TestServiceStoreGC:
+    def test_boot_time_gc_enforces_cap(self, tmp_path):
+        from repro.serve.service import PlanService
+
+        store = PlanStore(tmp_path / "store")
+        base = 1_700_000_000
+        for i in range(8):
+            key = _keyed(i)
+            store.put(key, {"i": i, "pad": "y" * 256})
+            os.utime(store._object_path(key), (base + i, base + i))
+        cap = store.total_bytes() // 2
+        service = PlanService(store, store_max_bytes=cap)
+        assert store.total_bytes() <= cap
+        assert service.store_gc()["evicted"] == 0  # already under cap
+
+    def test_no_cap_means_no_gc(self, tmp_path):
+        from repro.serve.service import PlanService
+
+        store = PlanStore(tmp_path / "store")
+        store.put(_keyed(1), {"v": 1})
+        service = PlanService(store)
+        assert service.store_gc() is None
+        assert list(store.keys()) == [_keyed(1)]
+
+    def test_negative_cap_rejected(self, tmp_path):
+        from repro.serve.service import PlanService
+
+        with pytest.raises(ValueError, match="store_max_bytes"):
+            PlanService(PlanStore(tmp_path / "store"), store_max_bytes=-1)
+
+    def test_periodic_gc_fires_every_interval(self, tmp_path):
+        from repro.serve import service as service_mod
+
+        store = PlanStore(tmp_path / "store")
+        service = service_mod.PlanService(store, store_max_bytes=10**9)
+        calls = []
+        service.store_gc = lambda: calls.append(1)  # observe the hook
+        request = {"model": "ResNet-50", "gpus": 2, "strategy": "SPD-KFAC"}
+        interval = service_mod._GC_CHECK_INTERVAL
+        for _ in range(interval - 1):
+            service.handle("plan", request)
+        assert not calls
+        service.handle("plan", request)
+        assert len(calls) == 1
+        for _ in range(interval):
+            service.handle("plan", request)
+        assert len(calls) == 2

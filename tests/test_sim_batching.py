@@ -1,0 +1,256 @@
+"""Differential tests for batched simulation paths.
+
+Every batched entry point — ``simulate_batch`` row stacking,
+``simulate_many`` run-coalescing, ``simulate_plans`` shape-digest
+grouping, and ``Session.simulate_many`` one-shot multi-plan pricing —
+promises *bit-identical* results to the naive per-entry ``simulate()``
+loop.  These tests check that promise over random mixes of shared and
+distinct graphs with ``None``/array duration overrides, plus the
+degenerate shapes (0-task graphs, single-wave graphs, empty batches)
+where vectorized code paths most often diverge.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autotune import strategy_grid
+from repro.plan import Session, clear_caches
+from repro.plan.session import build_strategy_graph
+from repro.sim import (
+    graph_shape_digest,
+    simulate,
+    simulate_batch,
+    simulate_many,
+    simulate_plans,
+)
+from repro.sim.analysis import REFRESH
+from repro.sim.task import TaskGraph
+
+
+def assert_timelines_equal(actual, expected):
+    assert actual.makespan == expected.makespan
+    assert np.array_equal(actual._start, expected._start)
+    assert np.array_equal(actual._end, expected._end)
+
+
+@pytest.fixture(scope="module")
+def graph_pool():
+    """Real iteration graphs from a handful of grid strategies.
+
+    Dtype/compression variants of one fusion plan share a task-graph
+    shape, so this pool contains both same-shape distinct objects (the
+    simulate_plans batching case) and genuinely different shapes.
+    """
+    session = Session("ResNet-50", 4)
+    spec = session.spec
+    strategies = strategy_grid(
+        wire_dtypes=[("fp32", "fp32", "fp32"), ("fp32", "fp16", "fp16")],
+        compressions=[1.0, 0.1],
+    )[:12]
+    graphs = []
+    for strategy in strategies:
+        profile = session.profile_for(strategy)
+        graphs.append(build_strategy_graph(spec, profile, strategy))
+    return graphs
+
+
+def _tiny_chain_graph(scale=1.0):
+    graph = TaskGraph(2)
+    a = graph.add_compute("fwd0", REFRESH, 0, 1.0 * scale)
+    b = graph.add_compute("fwd1", REFRESH, 1, 2.0 * scale)
+    c = graph.add_collective("allreduce", REFRESH, (0, 1), 0.5 * scale, deps=(a, b))
+    graph.add_compute("update", REFRESH, 0, 0.25 * scale, deps=(c,))
+    return graph
+
+
+def _single_wave_graph():
+    graph = TaskGraph(2)
+    graph.add_compute("a", REFRESH, 0, 1.0)
+    graph.add_compute("b", REFRESH, 1, 2.0)
+    return graph
+
+
+# -- simulate_plans vs naive per-entry simulate -------------------------
+
+
+def test_simulate_plans_matches_naive_over_random_mixes(graph_pool):
+    rng = np.random.default_rng(20260808)
+    pool = list(graph_pool) + [_tiny_chain_graph(), _tiny_chain_graph(3.0)]
+    for _ in range(6):
+        picks = rng.integers(0, len(pool), size=10)
+        graphs = [pool[i] for i in picks]  # repeats = shared graph objects
+        durations = []
+        for graph in graphs:
+            if rng.random() < 0.4:
+                durations.append(None)
+            else:
+                base = graph.columns().durations
+                durations.append(base * rng.uniform(0.5, 1.5, size=base.shape))
+        batch_sizes = []
+        batched = simulate_plans(graphs, durations, batch_sizes=batch_sizes)
+        assert sum(batch_sizes) == len(graphs)
+        for graph, dur, timeline in zip(graphs, durations, batched):
+            assert_timelines_equal(timeline, simulate(graph, dur))
+
+
+def test_simulate_plans_groups_same_shape_distinct_objects(graph_pool):
+    # Same strategy shape, different dtype/compression -> same digest,
+    # distinct objects: this is the path one scheduling pass must cover.
+    digests = [graph_shape_digest(g) for g in graph_pool]
+    groups = {}
+    for digest, graph in zip(digests, graph_pool):
+        groups.setdefault(digest, []).append(graph)
+    shared = max(groups.values(), key=len)
+    assert len(shared) >= 2, "pool should contain same-shape variants"
+    batch_sizes = []
+    batched = simulate_plans(shared, batch_sizes=batch_sizes)
+    assert max(batch_sizes) == len(shared)
+    for graph, timeline in zip(shared, batched):
+        assert_timelines_equal(timeline, simulate(graph))
+
+
+def test_simulate_plans_empty_and_zero_task_groups():
+    assert simulate_plans([]) == []
+    # Two distinct 0-task graphs share the empty digest; the n == 0
+    # branch must still return one (empty) timeline per member.
+    out = simulate_plans([TaskGraph(2), TaskGraph(4)])
+    assert [t.makespan for t in out] == [0.0, 0.0]
+    for timeline in out:
+        assert timeline._start.shape == (0,)
+
+
+def test_simulate_plans_validates_duration_arity():
+    graph = _tiny_chain_graph()
+    with pytest.raises(ValueError, match="one entry per graph"):
+        simulate_plans([graph, graph], [None])
+
+
+# -- simulate_many run-coalescing ---------------------------------------
+
+
+def test_simulate_many_coalescing_matches_naive(graph_pool):
+    rng = np.random.default_rng(7)
+    graph = graph_pool[0]
+    other = _tiny_chain_graph()
+    base = graph.columns().durations
+    # Consecutive same-object runs with overrides (coalesced through
+    # simulate_batch), broken by None entries and a different graph.
+    graphs = [graph, graph, graph, other, graph, graph]
+    durations = [
+        base * rng.uniform(0.5, 1.5, size=base.shape),
+        base * rng.uniform(0.5, 1.5, size=base.shape),
+        None,
+        other.columns().durations * 2.0,
+        base.copy(),
+        base * 0.75,
+    ]
+    results = simulate_many(graphs, durations)
+    for graph_i, dur_i, timeline in zip(graphs, durations, results):
+        assert_timelines_equal(timeline, simulate(graph_i, dur_i))
+
+
+def test_simulate_many_without_durations(graph_pool):
+    results = simulate_many(graph_pool[:3])
+    for graph, timeline in zip(graph_pool[:3], results):
+        assert_timelines_equal(timeline, simulate(graph))
+
+
+# -- simulate_batch edge cases ------------------------------------------
+
+
+def test_simulate_batch_zero_tasks():
+    out = simulate_batch(TaskGraph(2), np.zeros((3, 0)))
+    assert [t.makespan for t in out] == [0.0, 0.0, 0.0]
+
+
+def test_simulate_batch_zero_samples():
+    graph = _tiny_chain_graph()
+    assert simulate_batch(graph, np.zeros((0, graph.columns().n))) == []
+
+
+def test_simulate_batch_single_wave():
+    # No dependencies at all: every task starts at t=0 in one wave.
+    graph = _single_wave_graph()
+    durations = np.array([[1.0, 2.0], [3.0, 0.5]])
+    for row, timeline in zip(durations, simulate_batch(graph, durations)):
+        ref = simulate(graph, row)
+        assert_timelines_equal(timeline, ref)
+        assert np.array_equal(timeline._start, np.zeros(2))
+        assert timeline.makespan == row.max()
+
+
+# -- graph_shape_digest properties --------------------------------------
+
+
+def test_graph_shape_digest_ignores_durations_and_names():
+    a = _tiny_chain_graph(1.0)
+    b = _tiny_chain_graph(17.0)
+    assert graph_shape_digest(a) == graph_shape_digest(b)
+
+    renamed = TaskGraph(2)
+    x = renamed.add_compute("x", REFRESH, 0, 9.0)
+    y = renamed.add_compute("y", REFRESH, 1, 9.0)
+    z = renamed.add_collective("coll", REFRESH, (0, 1), 9.0, deps=(x, y))
+    renamed.add_compute("tail", REFRESH, 0, 9.0, deps=(z,))
+    assert graph_shape_digest(a) == graph_shape_digest(renamed)
+
+
+def test_graph_shape_digest_separates_structure():
+    chain = _tiny_chain_graph()
+    wave = _single_wave_graph()
+    assert graph_shape_digest(chain) != graph_shape_digest(wave)
+    # Same tasks, one extra dependency edge -> different shape.
+    variant = TaskGraph(2)
+    a = variant.add_compute("fwd0", REFRESH, 0, 1.0)
+    b = variant.add_compute("fwd1", REFRESH, 1, 2.0, deps=(a,))
+    c = variant.add_collective("allreduce", REFRESH, (0, 1), 0.5, deps=(a, b))
+    variant.add_compute("update", REFRESH, 0, 0.25, deps=(c,))
+    assert graph_shape_digest(chain) != graph_shape_digest(variant)
+
+
+# -- Session.simulate_many vs sequential Session.simulate ----------------
+
+
+@pytest.fixture
+def no_plan_store():
+    """Detach any globally installed disk store (a prior test's leftover)."""
+    from repro.plan import get_plan_store, set_plan_store
+
+    previous = get_plan_store()
+    set_plan_store(None)
+    clear_caches()
+    yield
+    set_plan_store(previous)
+    clear_caches()
+
+
+def test_session_simulate_many_matches_sequential(no_plan_store):
+    strategies = strategy_grid()[:8] + [strategy_grid()[0]]  # with duplicate
+    clear_caches()
+    naive_session = Session("ResNet-50", 4)
+    naive = [naive_session.simulate(s) for s in strategies]
+
+    clear_caches()
+    session = Session("ResNet-50", 4)
+    batch_sizes = []
+    batched = session.simulate_many(strategies, batch_sizes=batch_sizes)
+
+    assert len(batched) == len(naive)
+    assert batch_sizes, "cold batch should issue scheduling passes"
+    for got, want in zip(batched, naive):
+        assert got.iteration_time == want.iteration_time
+        assert got.categories() == want.categories()
+    # Duplicate entries resolve to the same cached result object.
+    assert batched[-1] is batched[0]
+
+
+def test_session_simulate_many_serves_warm_entries_from_cache(no_plan_store):
+    clear_caches()
+    session = Session("ResNet-50", 4)
+    strategies = strategy_grid()[:4]
+    first = session.simulate_many(strategies)
+    batch_sizes = []
+    second = session.simulate_many(strategies, batch_sizes=batch_sizes)
+    assert batch_sizes == []  # fully cache-served: no scheduling passes
+    for a, b in zip(first, second):
+        assert a is b

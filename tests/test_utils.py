@@ -17,6 +17,7 @@ from repro.utils import (
     new_rng,
     spawn_rngs,
 )
+from repro.utils.stats import percentile
 
 
 class TestFormat:
@@ -100,3 +101,55 @@ class TestValidation:
         check_symmetric("m", np.eye(2))
         with pytest.raises(ValueError):
             check_symmetric("m", np.array([[0.0, 1.0], [0.0, 0.0]]))
+
+
+class TestPercentile:
+    """The one shared nearest-rank quantile (repro.utils.stats)."""
+
+    def test_empty_samples_raise(self):
+        with pytest.raises(ValueError, match="no samples"):
+            percentile([], 0.5)
+
+    def test_quantile_out_of_range_raises(self):
+        for bad in (-0.01, 1.01, 2.0):
+            with pytest.raises(ValueError, match=r"\[0, 1\]"):
+                percentile([1.0, 2.0], bad)
+
+    def test_single_sample_is_every_quantile(self):
+        for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert percentile([3.5], q) == 3.5
+
+    def test_extreme_quantiles_are_min_and_max(self):
+        samples = [0.4, 0.1, 0.9, 0.2]
+        assert percentile(samples, 0.0) == min(samples)
+        assert percentile(samples, 1.0) == max(samples)
+
+    def test_nearest_rank_on_sorted_input(self):
+        samples = list(range(101))
+        assert percentile(samples, 0.50) == 50
+        assert percentile(samples, 0.95) == 95
+
+    def test_input_order_irrelevant(self):
+        shuffled = [5.0, 1.0, 4.0, 2.0, 3.0]
+        assert percentile(shuffled, 0.5) == percentile(sorted(shuffled), 0.5)
+
+    @given(
+        st.lists(st.floats(0, 1e6), min_size=1, max_size=40),
+        st.floats(0.0, 1.0),
+    )
+    def test_result_is_always_a_sample(self, samples, q):
+        assert percentile(samples, q) in samples
+
+    def test_loadtest_report_degrades_to_none_on_empty(self):
+        from repro.serve.loadtest import LoadTestReport
+
+        report = LoadTestReport(
+            queries=10, concurrency=2, processes=1, duration_s=1.0, errors=10
+        )
+        assert report.completed == 0
+        assert report.percentile(0.5) is None
+        assert report.percentile(0.99, op="plan") is None
+        doc = report.to_dict()
+        assert doc["ops"] == {} or all(
+            entry["count"] > 0 for entry in doc["ops"].values()
+        )
