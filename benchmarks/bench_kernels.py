@@ -202,6 +202,44 @@ def test_autotune_bnb_resnet50_64gpu(benchmark, profile):
     benchmark.extra_info["nodes-pruned_count"] = warm.stats["pruned"]
 
 
+def test_autotune_comm_schemes_resnet50_64gpu(benchmark, profile):
+    """Branch-and-bound autotune over the three-scheme communication
+    grid on the paper's 64-GPU testbed: 198 candidates (72 per scheme,
+    minus the 18 excluded ``mem_opt`` x ``non_dist`` points).
+
+    The acceptance bar matches the other autotune benches: the *cold*
+    search over the comm-scheme-extended grid must clear the same 10 s
+    bar as the paper's 72-candidate grid.  On this fabric ``mem_opt``
+    supplies the incumbent early (its per-layer preconditioned-gradient
+    broadcasts beat the packed inverse volume on every paper model), so
+    the paper/comm_opt subtrees are mostly priced by bound only.
+    """
+    import time
+
+    from repro.autotune import autotune
+    from repro.plan.strategy import COMM_SCHEMES
+
+    kwargs = dict(search="bnb", comm_schemes=list(COMM_SCHEMES))
+    clear_caches()
+    t0 = time.perf_counter()
+    cold = autotune(resnet50_spec(), profile, **kwargs)
+    cold_seconds = time.perf_counter() - t0
+    print(f"\ncold comm-scheme bnb autotune (198 candidates): "
+          f"{cold_seconds:.2f} s ({cold.stats['simulated']} simulated, "
+          f"{cold.stats['pruned']} pruned)",
+          end=" ")
+    assert cold.stats["candidates"] == 198
+    assert cold_seconds < 10.0, f"cold comm-scheme search took {cold_seconds:.2f}s"
+    assert cold.best.iteration_time <= cold.best_preset[1]
+    assert cold.best.strategy.comm_scheme == "mem_opt"
+
+    def run():
+        return autotune(resnet50_spec(), profile, **kwargs)
+
+    warm = benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=0)
+    assert warm.best.iteration_time == cold.best.iteration_time
+
+
 def test_robust_autotune_resnet50_64gpu(benchmark, profile):
     """Full-grid p95-robust autotune (N=32 scenario samples) on the
     paper's 64-GPU testbed.

@@ -40,6 +40,7 @@ from typing import Optional
 from repro.autotune.traffic import (
     GRAD_ALLREDUCE,
     INVERSE_BROADCAST,
+    PRECOND_BROADCAST,
     iter_collective_elements,
     resolve_wire_axes,
 )
@@ -91,27 +92,47 @@ def _phase_bound(
     grad_compression: float,
     with_factors: bool,
     with_inverses: bool,
+    comm_scheme: str = "paper",
 ) -> CandidateBound:
     """Bound one iteration *shape* (refresh / factor-only / steady)."""
     t_fwd, t_bwd, t_fa, t_fg = layer_compute_times(spec, profile)
+    mem_opt = comm_scheme == "mem_opt"
     phase_fplan = fplan if with_factors else None
-    phase_placement = placement if with_inverses else None
+    # MEM_OPT owners precondition (and broadcast) in every shape, so the
+    # placement stays live in the stale phases too.
+    phase_placement = placement if (with_inverses or mem_opt) else None
     factors = kfac and with_factors
     has_precond = kfac and include_solve
+    t_precond = precondition_times(spec, profile.factor_compute)
+    num_layers = len(spec.layers)
 
     # -- compute stream: every rank runs all per-layer kernels ------------
     compute = sum(t_fwd) + sum(t_bwd)
     if factors:
         compute += sum(t_fa) + sum(t_fg)
-    if has_precond:
-        compute += sum(precondition_times(spec, profile.factor_compute))
+    if has_precond and not mem_opt:
+        compute += sum(t_precond)
     compute += profile.train_compute.time(2.0 * spec.num_params)
     if include_solve and phase_placement is not None:
         loads = [0.0] * num_ranks
-        for i, dim in enumerate(phase_placement.dims):
-            t_inv = profile.inverse_actual.time(dim)
-            for rank in phase_placement.assignments[i]:
-                loads[rank] += t_inv
+        if mem_opt:
+            # Only the owner runs a layer's preconditioning (always) and
+            # its pair of inversions (refresh shapes only).
+            for l in range(num_layers):
+                owner = phase_placement.assignments[2 * l][0]
+                loads[owner] += t_precond[l]
+                if with_inverses:
+                    loads[owner] += profile.inverse_actual.time(
+                        phase_placement.dims[2 * l]
+                    )
+                    loads[owner] += profile.inverse_actual.time(
+                        phase_placement.dims[2 * l + 1]
+                    )
+        else:
+            for i, dim in enumerate(phase_placement.dims):
+                t_inv = profile.inverse_actual.time(dim)
+                for rank in phase_placement.assignments[i]:
+                    loads[rank] += t_inv
         compute += max(loads, default=0.0)
 
     # -- communication channel: all collectives serialize globally --------
@@ -127,8 +148,9 @@ def _phase_bound(
         grad_plan=grad_plan,
         fplan=phase_fplan,
         placement=phase_placement if include_solve else None,
+        comm_scheme=comm_scheme,
     ):
-        if op == INVERSE_BROADCAST:
+        if op in (INVERSE_BROADCAST, PRECOND_BROADCAST):
             comm += collective_time(profile.broadcast_streamed, elements, inverse_dtype)
         elif op == GRAD_ALLREDUCE:
             comm += collective_time(
@@ -142,7 +164,7 @@ def _phase_bound(
     # every A/G factor kernel except G_0 on its rank's compute stream.
     chain = 0.0
     update = profile.train_compute.time(2.0 * spec.num_params)
-    solve = include_solve and phase_placement is not None
+    solve = include_solve and phase_placement is not None and with_inverses
     backward_end = sum(t_fwd) + sum(t_bwd)
     if factors:
         # G_0 (layer 0's factor) is computed *after* B_0, last of all.
@@ -151,7 +173,9 @@ def _phase_bound(
         # The last gradient bucket closes with B_0; P_0 (first in the
         # precondition FIFO) waits for it, so every precondition — and
         # then the update — serializes behind it.  Without K-FAC the
-        # update itself waits for every gradient bucket.
+        # update itself waits for every gradient bucket.  MEM_OPT's P_0
+        # runs only on layer 0's owner, but its preconditioned-gradient
+        # broadcast still gates the update.
         grad_sizes = [layer.num_params for layer in reversed(spec.layers)]
         last_bucket = collective_time(
             profile.allreduce_streamed,
@@ -159,16 +183,23 @@ def _phase_bound(
             grad_dtype,
             grad_compression,
         )
-        tail = (
-            sum(precondition_times(spec, profile.factor_compute))
-            if has_precond
-            else 0.0
-        )
+        if has_precond and mem_opt:
+            tail = t_precond[0]
+            if num_ranks > 1:
+                tail += collective_time(
+                    profile.broadcast_streamed,
+                    spec.layers[0].num_params,
+                    inverse_dtype,
+                )
+        elif has_precond:
+            tail = sum(t_precond)
+        else:
+            tail = 0.0
         chain = max(chain, backward_end + last_bucket + tail + update)
     if phase_fplan is not None and phase_fplan.launch_after_pass and solve:
         # Post-pass factor launch: the G-side all-reduces wait for G_0
         # (after B_0) and serialize on the channel; the inverse stage —
-        # and the preconditions and update behind it — follow them.
+        # and whatever the scheme serializes behind it — follow them.
         base = backward_end + t_fg[0]
         a_sizes = [layer.a_elements for layer in spec.layers]
         g_sizes = [layer.g_elements for layer in reversed(spec.layers)]
@@ -181,12 +212,31 @@ def _phase_bound(
                 factor_dtype,
             )
             loads = [0.0] * num_ranks
-            for i, dim in enumerate(phase_placement.dims):
-                t_inv = profile.inverse_actual.time(dim)
-                for rank in phase_placement.assignments[i]:
-                    loads[rank] += t_inv
-            tail = max(loads, default=0.0)
-            tail += sum(precondition_times(spec, profile.factor_compute))
+            if mem_opt:
+                # Each owner's FIFO: its inversions then its preconds,
+                # whose broadcasts gate the update.
+                for l in range(num_layers):
+                    owner = phase_placement.assignments[2 * l][0]
+                    loads[owner] += (
+                        profile.inverse_actual.time(phase_placement.dims[2 * l])
+                        + profile.inverse_actual.time(phase_placement.dims[2 * l + 1])
+                        + t_precond[l]
+                    )
+                chain = max(chain, base + comm_post + max(loads, default=0.0) + update)
+            else:
+                for i, dim in enumerate(phase_placement.dims):
+                    t_inv = profile.inverse_actual.time(dim)
+                    for rank in phase_placement.assignments[i]:
+                        loads[rank] += t_inv
+                tail = max(loads, default=0.0)
+                if comm_scheme == "comm_opt":
+                    # The decoupled refresh runs after the update: only
+                    # the inverse work itself serializes behind the
+                    # factor all-reduce.
+                    chain = max(chain, base + comm_post + tail)
+                else:
+                    tail += sum(t_precond)
+                    chain = max(chain, base + comm_post + tail + update)
         else:
             # The FIFO-last G bucket gates the inverse + precondition of
             # (at least) its own last layer, and the update follows.
@@ -199,9 +249,14 @@ def _phase_bound(
                 for bucket in phase_fplan.g_plan.buckets
             )
             last_layer = len(spec.layers) - 1 - phase_fplan.g_plan.buckets[-1][-1]
-            tail = profile.inverse_actual.time(phase_placement.dims[2 * last_layer + 1])
-            tail += precondition_times(spec, profile.factor_compute)[last_layer]
-        chain = max(chain, base + comm_post + tail + update)
+            t_inv_last = profile.inverse_actual.time(
+                phase_placement.dims[2 * last_layer + 1]
+            )
+            if comm_scheme == "comm_opt":
+                chain = max(chain, base + comm_post + t_inv_last)
+            else:
+                tail = t_inv_last + t_precond[last_layer]
+                chain = max(chain, base + comm_post + tail + update)
 
     return CandidateBound(compute=compute, comm=comm, chain=chain)
 
@@ -254,8 +309,10 @@ def candidate_bound(
     ) = resolve_wire_axes(strategy)
     if strategy is not None:
         kfac = strategy.second_order
+        comm_scheme = strategy.comm_scheme
     else:
         kfac = fplan is not None or placement is not None
+        comm_scheme = "paper"
 
     weights = interval_weights(factor_interval, inverse_interval)
     compute = comm = chain = 0.0
@@ -276,6 +333,7 @@ def candidate_bound(
             grad_compression=grad_compression,
             with_factors=phase in (REFRESH, FACTOR_REFRESH),
             with_inverses=phase == REFRESH,
+            comm_scheme=comm_scheme,
         )
         if len(weights) == 1:
             return bound

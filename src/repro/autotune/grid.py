@@ -46,6 +46,10 @@ PAPER_COMPRESSIONS: Tuple[float, ...] = (1.0,)
 #: iteration.
 PAPER_INTERVALS: Tuple[Tuple[int, int], ...] = ((1, 1),)
 
+#: The paper's communication scheme: packed inverse broadcasts with
+#: preconditioning everywhere.
+PAPER_COMM_SCHEMES: Tuple[str, ...] = ("paper",)
+
 
 def strategy_label(strategy: TrainingStrategy) -> str:
     """Compact axis summary, e.g. ``"wfbp|optimal+pipe|lbp|auto"``.
@@ -68,6 +72,8 @@ def strategy_label(strategy: TrainingStrategy) -> str:
         f"{strategy.gradient_reduction}|{strategy.factor_fusion}{launch}{merged}"
         f"|{strategy.placement}|{strategy.collective}"
     )
+    if strategy.comm_scheme != "paper":
+        label += f"|{strategy.comm_scheme}"
     if strategy.grad_dtype != "fp32":
         label += f"|g:{strategy.grad_dtype}"
     if strategy.grad_compression != 1.0:
@@ -91,6 +97,7 @@ def strategy_grid(
     wire_dtypes: Sequence[Tuple[str, str, str]] = PAPER_WIRE_DTYPES,
     compressions: Sequence[float] = PAPER_COMPRESSIONS,
     intervals: Sequence[Tuple[int, int]] = PAPER_INTERVALS,
+    comm_schemes: Sequence[str] = PAPER_COMM_SCHEMES,
 ) -> List[TrainingStrategy]:
     """Every valid distributed second-order strategy over the axis grid.
 
@@ -111,6 +118,10 @@ def strategy_grid(
         Top-k gradient kept-fractions to search (default: dense only).
     intervals : sequence of (factor, inverse) int pairs
         Stale-refresh intervals to search (default: every iteration).
+    comm_schemes : sequence of str
+        Communication schemes to search (default: the paper's
+        inverse-broadcast scheme only).  ``"mem_opt"`` is skipped for
+        ``placement="non_dist"`` — the validator rejects that pair.
 
     Returns
     -------
@@ -144,6 +155,7 @@ def strategy_grid(
             tuple(tuple(triple) for triple in wire_dtypes),
             tuple(compressions),
             tuple(tuple(pair) for pair in intervals),
+            tuple(comm_schemes),
         )
     )
 
@@ -156,29 +168,34 @@ def _iter_grid(
     wire_dtypes: Tuple[Tuple[str, str, str], ...],
     compressions: Tuple[float, ...],
     intervals: Tuple[Tuple[int, int], ...],
+    comm_schemes: Tuple[str, ...] = PAPER_COMM_SCHEMES,
 ) -> Iterator[TrainingStrategy]:
     for grad in gradient_reductions:
         for fusion, pipelined, combined in factor_axes:
             for placement in placements:
                 for collective in collectives:
-                    for grad_dtype, factor_dtype, inverse_dtype in wire_dtypes:
-                        for compression in compressions:
-                            for factor_interval, inverse_interval in intervals:
-                                strategy = TrainingStrategy(
-                                    second_order=True,
-                                    distributed=True,
-                                    gradient_reduction=grad,
-                                    factor_fusion=fusion,
-                                    factor_pipelining=pipelined,
-                                    combine_factor_passes=combined,
-                                    placement=placement,
-                                    include_solve=True,
-                                    collective=collective,
-                                    grad_dtype=grad_dtype,
-                                    factor_dtype=factor_dtype,
-                                    inverse_dtype=inverse_dtype,
-                                    grad_compression=compression,
-                                    factor_update_interval=factor_interval,
-                                    inverse_update_interval=inverse_interval,
-                                )
-                                yield strategy.but(name=strategy_label(strategy))
+                    for comm_scheme in comm_schemes:
+                        if comm_scheme == "mem_opt" and placement == "non_dist":
+                            continue  # the validator rejects this pair
+                        for grad_dtype, factor_dtype, inverse_dtype in wire_dtypes:
+                            for compression in compressions:
+                                for factor_interval, inverse_interval in intervals:
+                                    strategy = TrainingStrategy(
+                                        second_order=True,
+                                        distributed=True,
+                                        gradient_reduction=grad,
+                                        factor_fusion=fusion,
+                                        factor_pipelining=pipelined,
+                                        combine_factor_passes=combined,
+                                        placement=placement,
+                                        include_solve=True,
+                                        collective=collective,
+                                        grad_dtype=grad_dtype,
+                                        factor_dtype=factor_dtype,
+                                        inverse_dtype=inverse_dtype,
+                                        grad_compression=compression,
+                                        factor_update_interval=factor_interval,
+                                        inverse_update_interval=inverse_interval,
+                                        comm_scheme=comm_scheme,
+                                    )
+                                    yield strategy.but(name=strategy_label(strategy))

@@ -67,20 +67,28 @@ from repro.core.pipeline import (
     layer_compute_times,
     precondition_times,
 )
-from repro.core.schedule import collective_time, resolve_placement
+from repro.core.schedule import collective_time, mem_opt_placement, resolve_placement
 from repro.comm import packed_size
 from repro.models.spec import ModelSpec
 from repro.perf.calibration import ClusterPerfProfile
 from repro.plan import TrainingStrategy, resolve_plan_parts
 from repro.sim.analysis import FACTOR_REFRESH, REFRESH, interval_weights
 
-#: Structural axes, in expansion order (see module docstring).
+#: Structural axes, in expansion order (see module docstring).  The
+#: placement expands before the communication scheme so scheme children
+#: can filter the (mem_opt, non_dist) pair the validator rejects.
 STRUCT_AXES: Tuple[str, ...] = (
     "collective",
     "placement",
+    "comm_scheme",
     "factor_axes",
     "gradient_reduction",
 )
+
+
+def _scheme_allows(placement: str, comm_scheme: str) -> bool:
+    """Whether the validator accepts this (placement, comm_scheme) pair."""
+    return not (comm_scheme == "mem_opt" and placement == "non_dist")
 
 
 @dataclass(frozen=True)
@@ -94,12 +102,14 @@ class AxisDomains:
     wire_dtypes: Tuple[Tuple[str, str, str], ...]
     compressions: Tuple[float, ...]
     intervals: Tuple[Tuple[int, int], ...]
+    comm_schemes: Tuple[str, ...] = ("paper",)
 
     def structural(self, axis: str) -> Tuple:
         """The option tuple of one structural axis (a ``STRUCT_AXES`` name)."""
         return {
             "collective": self.collectives,
             "placement": self.placements,
+            "comm_scheme": self.comm_schemes,
             "factor_axes": self.factor_axes,
             "gradient_reduction": self.gradient_reductions,
         }[axis]
@@ -110,10 +120,29 @@ class AxisDomains:
 
     @property
     def total_leaves(self) -> int:
-        n = self.family_size
-        for axis in STRUCT_AXES:
-            n *= len(self.structural(axis))
-        return n
+        return count_completions(self, {})
+
+
+def count_completions(domains: AxisDomains, assign: Dict[str, object]) -> int:
+    """How many grid leaves complete a partial assignment.
+
+    Mirrors :func:`repro.autotune.grid.strategy_grid`'s enumeration
+    exactly: the placement × comm-scheme cross product is restricted to
+    validator-legal pairs, so subtree candidate accounting matches the
+    grid's candidate count leaf for leaf.
+    """
+    n = domains.family_size
+    for axis in ("collective", "factor_axes", "gradient_reduction"):
+        if axis not in assign:
+            n *= len(domains.structural(axis))
+    placements = (
+        (assign["placement"],) if "placement" in assign else domains.placements
+    )
+    schemes = (
+        (assign["comm_scheme"],) if "comm_scheme" in assign else domains.comm_schemes
+    )
+    pairs = sum(1 for p in placements for s in schemes if _scheme_allows(p, s))
+    return n * pairs
 
 
 class _ProfileCtx:
@@ -139,11 +168,15 @@ class _ProfileCtx:
         self.grad_sizes = [layer.num_params for layer in reversed(spec.layers)]
         self.a_sizes = [layer.a_elements for layer in spec.layers]
         self.g_sizes = [layer.g_elements for layer in reversed(spec.layers)]
+        #: MEM_OPT's per-layer preconditioned-gradient sizes (layer order).
+        self.precond_grad_sizes = [layer.num_params for layer in spec.layers]
         self._grad_plans: Dict[str, object] = {}
         self._fplans: Dict[Tuple[Tuple[str, bool, bool], str], object] = {}
         self._placements: Dict[str, object] = {}
         self._placement_load: Dict[str, float] = {}
         self._placement_bcast: Dict[str, List[int]] = {}
+        self._memopt_placements: Dict[str, object] = {}
+        self._memopt_load: Dict[Tuple[str, bool], float] = {}
 
     def grad_plan(self, reduction: str):
         plan = self._grad_plans.get(reduction)
@@ -205,6 +238,33 @@ class _ProfileCtx:
             self._placement_bcast[name] = sizes
         return sizes
 
+    def memopt_placement(self, name: str):
+        pl = self._memopt_placements.get(name)
+        if pl is None:
+            pl = mem_opt_placement(name, self.spec, self.profile, self.num_ranks)
+            self._memopt_placements[name] = pl
+        return pl
+
+    def memopt_load(self, name: str, with_inverses: bool) -> float:
+        """Busiest owner's MEM_OPT solve load: its preconditioning GEMMs
+        plus (in refresh shapes) its pair of inversions per owned layer."""
+        key = (name, with_inverses)
+        load = self._memopt_load.get(key)
+        if load is None:
+            pl = self.memopt_placement(name)
+            loads = [0.0] * self.num_ranks
+            for l in range(len(self.spec.layers)):
+                owner = pl.assignments[2 * l][0]
+                loads[owner] += self.precond[l]
+                if with_inverses:
+                    loads[owner] += self.profile.inverse_actual.time(pl.dims[2 * l])
+                    loads[owner] += self.profile.inverse_actual.time(
+                        pl.dims[2 * l + 1]
+                    )
+            load = max(loads, default=0.0)
+            self._memopt_load[key] = load
+        return load
+
 
 def _relaxed_phase_bound(
     ctx: _ProfileCtx,
@@ -217,6 +277,7 @@ def _relaxed_phase_bound(
     grad_price: Callable[[int], float],
     factor_price: Callable[[int], float],
     inverse_price: Callable[[int], float],
+    comm_scheme: str = "paper",
 ) -> CandidateBound:
     """One phase's relaxed bound: every free axis at its per-term minimum.
 
@@ -226,12 +287,25 @@ def _relaxed_phase_bound(
     Mirrors :func:`repro.autotune.bounds._phase_bound` term by term (all
     grid candidates are distributed second-order with the solve stage,
     which is what makes the relaxations below valid for every member).
+    ``comm_scheme`` is always fixed by the caller (``partial_bound``
+    enumerates schemes exactly, like the interval axis), with
+    ``placement_options`` already filtered to the scheme-legal set.
     """
+    mem_opt = comm_scheme == "mem_opt"
+
     # -- compute stream ----------------------------------------------------
-    compute = ctx.base_compute + ctx.precond_sum + ctx.update
+    compute = ctx.base_compute + ctx.update
+    if not mem_opt:
+        compute += ctx.precond_sum
     if with_factors:
         compute += ctx.factor_compute
-    if with_inverses:
+    if mem_opt:
+        # The busiest owner owes its preconds every shape and its
+        # inversions in refresh shapes.
+        compute += min(
+            ctx.memopt_load(p, with_inverses) for p in placement_options
+        )
+    elif with_inverses:
         compute += min(ctx.placement_load(p) for p in placement_options)
 
     # -- communication channel --------------------------------------------
@@ -261,13 +335,18 @@ def _relaxed_phase_bound(
             for axes in factor_options
             for g in grad_options
         )
-    if with_inverses and ctx.num_ranks > 1:
+    if ctx.num_ranks > 1:
         # Single-rank candidates broadcast nothing (the exact bound's
         # collective iterator skips placements when num_ranks == 1).
-        comm += min(
-            sum(inverse_price(e) for e in ctx.placement_bcast(p))
-            for p in placement_options
-        )
+        if mem_opt:
+            # Preconditioned-gradient broadcasts ship every shape and
+            # their sizes are placement-independent.
+            comm += sum(inverse_price(e) for e in ctx.precond_grad_sizes)
+        elif with_inverses:
+            comm += min(
+                sum(inverse_price(e) for e in ctx.placement_bcast(p))
+                for p in placement_options
+            )
 
     # -- dependency chains -------------------------------------------------
     backward_end = ctx.base_compute
@@ -279,7 +358,15 @@ def _relaxed_phase_bound(
         )
         for g in grad_options
     )
-    chain = backward_end + last_bucket + ctx.precond_sum + ctx.update
+    if mem_opt:
+        # P_0 on layer 0's owner waits for the last gradient bucket; its
+        # preconditioned-gradient broadcast then gates the update.
+        tail = ctx.precond[0]
+        if ctx.num_ranks > 1:
+            tail += inverse_price(ctx.precond_grad_sizes[0])
+        chain = backward_end + last_bucket + tail + ctx.update
+    else:
+        chain = backward_end + last_bucket + ctx.precond_sum + ctx.update
 
     if with_factors and with_inverses:
 
@@ -292,7 +379,14 @@ def _relaxed_phase_bound(
             base = backward_end + ctx.t_fg0
             if fp.combine_passes:
                 comm_post = factor_price(sum(ctx.a_sizes) + sum(ctx.g_sizes))
-                tail = ctx.placement_load(p) + ctx.precond_sum
+                if mem_opt:
+                    tail = ctx.memopt_load(p, True) + ctx.update
+                elif comm_scheme == "comm_opt":
+                    # The decoupled refresh runs after the update: only
+                    # the inverse work serializes behind the all-reduce.
+                    tail = ctx.placement_load(p)
+                else:
+                    tail = ctx.placement_load(p) + ctx.precond_sum + ctx.update
             else:
                 comm_post = sum(
                     factor_price(sum(ctx.g_sizes[i] for i in bucket))
@@ -301,12 +395,15 @@ def _relaxed_phase_bound(
                 last_layer = (
                     len(ctx.spec.layers) - 1 - fp.g_plan.buckets[-1][-1]
                 )
-                pl = ctx.placement(p)
-                tail = ctx.profile.inverse_actual.time(
+                pl = ctx.memopt_placement(p) if mem_opt else ctx.placement(p)
+                t_inv_last = ctx.profile.inverse_actual.time(
                     pl.dims[2 * last_layer + 1]
                 )
-                tail += ctx.precond[last_layer]
-            return base + comm_post + tail + ctx.update
+                if comm_scheme == "comm_opt":
+                    tail = t_inv_last
+                else:
+                    tail = t_inv_last + ctx.precond[last_layer] + ctx.update
+            return base + comm_post + tail
 
         chain = max(
             chain,
@@ -332,10 +429,11 @@ def partial_bound(
     ``assign`` fixes a prefix of :data:`STRUCT_AXES` (``collective``
     must already be fixed — the caller enumerates profiles); every
     unassigned axis is relaxed to its component-wise best value.  The
-    small interval axis is enumerated exactly (each option induces its
-    own phase weighting) and the component-wise minimum across options
-    is returned, which is admissible for the same reason as the per-term
-    minima (each completion uses one of the options).
+    small interval and comm-scheme axes are enumerated exactly (each
+    option induces its own phase weighting / graph shape) and the
+    component-wise minimum across options is returned, which is
+    admissible for the same reason as the per-term minima (each
+    completion uses one of the options).
     """
     grad_options = (
         (assign["gradient_reduction"],)
@@ -349,6 +447,11 @@ def partial_bound(
     )
     placement_options = (
         (assign["placement"],) if "placement" in assign else domains.placements
+    )
+    scheme_options = (
+        (assign["comm_scheme"],)
+        if "comm_scheme" in assign
+        else domains.comm_schemes
     )
     grad_dtypes = sorted({t[0] for t in domains.wire_dtypes})
     factor_dtypes = sorted({t[1] for t in domains.wire_dtypes})
@@ -370,35 +473,45 @@ def partial_bound(
         return min(collective_time(broadcast, elements, dt) for dt in inverse_dtypes)
 
     best: Optional[CandidateBound] = None
-    for factor_interval, inverse_interval in domains.intervals:
-        weights = interval_weights(factor_interval, inverse_interval)
-        cycle = inverse_interval
-        compute = comm = chain = 0.0
-        for phase, count in weights:
-            bound = _relaxed_phase_bound(
-                ctx,
-                with_factors=phase in (REFRESH, FACTOR_REFRESH),
-                with_inverses=phase == REFRESH,
-                grad_options=grad_options,
-                factor_options=factor_options,
-                placement_options=placement_options,
-                grad_price=grad_price,
-                factor_price=factor_price,
-                inverse_price=inverse_price,
-            )
-            compute += bound.compute * count / cycle
-            comm += bound.comm * count / cycle
-            chain += bound.chain * count / cycle
-        candidate = CandidateBound(compute=compute, comm=comm, chain=chain)
-        if best is None:
-            best = candidate
-        else:
-            best = CandidateBound(
-                compute=min(best.compute, candidate.compute),
-                comm=min(best.comm, candidate.comm),
-                chain=min(best.chain, candidate.chain),
-            )
-    assert best is not None  # domains.intervals is never empty
+    for comm_scheme in scheme_options:
+        scheme_placements = tuple(
+            p for p in placement_options if _scheme_allows(p, comm_scheme)
+        )
+        if not scheme_placements:
+            continue  # no valid completion under this scheme
+        for factor_interval, inverse_interval in domains.intervals:
+            weights = interval_weights(factor_interval, inverse_interval)
+            cycle = inverse_interval
+            compute = comm = chain = 0.0
+            for phase, count in weights:
+                bound = _relaxed_phase_bound(
+                    ctx,
+                    with_factors=phase in (REFRESH, FACTOR_REFRESH),
+                    with_inverses=phase == REFRESH,
+                    grad_options=grad_options,
+                    factor_options=factor_options,
+                    placement_options=scheme_placements,
+                    grad_price=grad_price,
+                    factor_price=factor_price,
+                    inverse_price=inverse_price,
+                    comm_scheme=comm_scheme,
+                )
+                compute += bound.compute * count / cycle
+                comm += bound.comm * count / cycle
+                chain += bound.chain * count / cycle
+            candidate = CandidateBound(compute=compute, comm=comm, chain=chain)
+            if best is None:
+                best = candidate
+            else:
+                best = CandidateBound(
+                    compute=min(best.compute, candidate.compute),
+                    comm=min(best.comm, candidate.comm),
+                    chain=min(best.chain, candidate.chain),
+                )
+    if best is None:
+        # Every (placement, scheme) pair was invalid: zero completions.
+        inf = float("inf")
+        return CandidateBound(compute=inf, comm=inf, chain=inf)
     return best
 
 
@@ -427,6 +540,7 @@ def family_strategies(
             grad_compression=comp,
             factor_update_interval=fi,
             inverse_update_interval=ii,
+            comm_scheme=assign.get("comm_scheme", "paper"),
         )
         out.append(strategy.but(name=strategy_label(strategy)))
     return out
@@ -541,10 +655,16 @@ class BnbSearch:
             for option in self.domains.structural(axis):
                 child_assign = dict(node.assign)
                 child_assign[axis] = option
+                leaves = count_completions(self.domains, child_assign)
+                if leaves == 0:
+                    # e.g. comm_scheme="mem_opt" under placement="non_dist":
+                    # the validator rejects every completion, so there is
+                    # no subtree to search (and nothing to count as pruned).
+                    continue
                 child = _Node(
                     assign=child_assign,
                     depth=node.depth + 1,
-                    leaves=node.leaves // len(self.domains.structural(axis)),
+                    leaves=leaves,
                     bound=0.0,
                 )
                 child.bound = max(node.bound, self.node_bound(child_assign))
@@ -557,6 +677,7 @@ class BnbSearch:
             axes = {
                 "collective": twin.collective,
                 "placement": twin.placement,
+                "comm_scheme": twin.comm_scheme,
                 "factor_axes": (
                     twin.factor_fusion,
                     twin.factor_pipelining,

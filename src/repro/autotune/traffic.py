@@ -27,6 +27,7 @@ from repro.plan.plan import Plan
 GRAD_ALLREDUCE = "allreduce.grad"
 FACTOR_ALLREDUCE = "allreduce.factor"
 INVERSE_BROADCAST = "broadcast.inverse"
+PRECOND_BROADCAST = "broadcast.precond_grad"
 
 
 def iter_collective_elements(
@@ -36,13 +37,16 @@ def iter_collective_elements(
     grad_plan: Optional[FusionPlan],
     fplan: Optional[FactorCommPlan],
     placement: Optional[Placement],
+    comm_scheme: str = "paper",
 ) -> Iterator[Tuple[str, int]]:
     """``(op, element count)`` per collective the schedule would launch.
 
     One entry per gradient bucket, per factor bucket (or the single
     merged all-reduce), and per CT-placed inverse (its packed symmetric
-    broadcast).  This is the single source of per-collective sizes:
-    :func:`parts_traffic` counts them and
+    broadcast).  Under ``comm_scheme="mem_opt"`` the inverse broadcasts
+    are replaced by one ``num_params``-sized preconditioned-gradient
+    broadcast per layer.  This is the single source of per-collective
+    sizes: :func:`parts_traffic` counts them and
     :func:`repro.autotune.bounds.candidate_bound` prices them, so the
     pruning bound and the Pareto traffic axis can never drift apart.
     """
@@ -61,9 +65,13 @@ def iter_collective_elements(
             for bucket in fplan.g_plan.buckets:
                 yield FACTOR_ALLREDUCE, sum(g_sizes[i] for i in bucket)
     if placement is not None and num_ranks > 1:
-        for i, dim in enumerate(placement.dims):
-            if not placement.is_nct(i):
-                yield INVERSE_BROADCAST, packed_size(dim)
+        if comm_scheme == "mem_opt":
+            for layer in spec.layers:
+                yield PRECOND_BROADCAST, layer.num_params
+        else:
+            for i, dim in enumerate(placement.dims):
+                if not placement.is_nct(i):
+                    yield INVERSE_BROADCAST, packed_size(dim)
 
 
 def resolve_wire_axes(strategy) -> Tuple[str, str, str, float, int, int]:
@@ -107,7 +115,10 @@ def iter_collective_wire(
     ``inverse_dtype`` weighted by ``1 / inverse_update_interval``.
     Weighted entries are fractional; with ``strategy=None`` (or default
     axes) every entry is the exact integer accounting the runtime's
-    :class:`~repro.comm.TrafficCounter` uses.
+    :class:`~repro.comm.TrafficCounter` uses.  MEM_OPT's
+    preconditioned-gradient broadcasts ship *every* iteration (they
+    carry the gradients, not the amortizable inverses), so they take the
+    ``inverse_dtype`` cast but never the interval weighting.
     """
     (
         grad_dtype,
@@ -117,9 +128,10 @@ def iter_collective_wire(
         factor_interval,
         inverse_interval,
     ) = resolve_wire_axes(strategy)
+    comm_scheme = "paper" if strategy is None else strategy.comm_scheme
     for op, elements in iter_collective_elements(
         spec, num_ranks=num_ranks, grad_plan=grad_plan, fplan=fplan,
-        placement=placement,
+        placement=placement, comm_scheme=comm_scheme,
     ):
         if op == GRAD_ALLREDUCE:
             yield op, compressed_elements(elements, compression), wire_bytes(
@@ -131,6 +143,8 @@ def iter_collective_wire(
                 yield op, elements / factor_interval, nbytes / factor_interval
             else:
                 yield op, elements, nbytes
+        elif op == PRECOND_BROADCAST:
+            yield op, elements, wire_bytes(elements, inverse_dtype)
         else:
             nbytes = wire_bytes(elements, inverse_dtype)
             if inverse_interval > 1:

@@ -36,6 +36,7 @@ from repro.obs import Histogram, RATIO_BUCKETS, recorder
 from repro.autotune.grid import (
     DISTRIBUTED_GRADIENT_REDUCTIONS,
     FACTOR_AXES,
+    PAPER_COMM_SCHEMES,
     PAPER_COMPRESSIONS,
     PAPER_INTERVALS,
     PAPER_WIRE_DTYPES,
@@ -413,6 +414,7 @@ def autotune(
     wire_dtypes: Optional[Sequence[Tuple[str, str, str]]] = None,
     compressions: Optional[Sequence[float]] = None,
     intervals: Optional[Sequence[Tuple[int, int]]] = None,
+    comm_schemes: Optional[Sequence[str]] = None,
     objective: Optional[str] = None,
     scenario: Union[None, str, FaultScenario] = None,
     samples: int = 32,
@@ -432,13 +434,15 @@ def autotune(
     Pareto surface at full cost.  ``candidates`` overrides the searched
     grid entirely (e.g. a hand-written shortlist).
 
-    ``wire_dtypes`` / ``compressions`` / ``intervals`` extend the grid
-    along the precision, top-k compression, and stale-refresh axes (see
+    ``wire_dtypes`` / ``compressions`` / ``intervals`` /
+    ``comm_schemes`` extend the grid along the precision, top-k
+    compression, stale-refresh, and communication-scheme axes (see
     :func:`repro.autotune.strategy_grid`); by default only the paper's
-    point (fp32, dense, every-iteration refresh) is searched.  Bounds,
-    traffic, and the Pareto frontier all account for the extended axes
-    — a stale candidate's traffic is its amortized per-iteration byte
-    volume.
+    point (fp32, dense, every-iteration refresh, inverse broadcasts) is
+    searched.  Bounds, traffic, and the Pareto frontier all account for
+    the extended axes — a stale candidate's traffic is its amortized
+    per-iteration byte volume, and a MEM_OPT candidate's is its
+    per-layer preconditioned-gradient broadcasts.
 
     ``scenario`` (a :class:`~repro.faults.FaultScenario` or preset name)
     switches the search to a **robust objective**: every surviving
@@ -522,6 +526,8 @@ def autotune(
         grid_kwargs["compressions"] = compressions
     if intervals is not None:
         grid_kwargs["intervals"] = intervals
+    if comm_schemes is not None:
+        grid_kwargs["comm_schemes"] = comm_schemes
     if candidates is None:
         if collectives is None:
             collectives = (
@@ -557,6 +563,9 @@ def autotune(
             intervals=tuple(
                 tuple(p)
                 for p in (intervals if intervals is not None else PAPER_INTERVALS)
+            ),
+            comm_schemes=tuple(
+                comm_schemes if comm_schemes is not None else PAPER_COMM_SCHEMES
             ),
         )
 
@@ -648,6 +657,7 @@ def autotune(
                 and preset.include_solve
                 and preset.collective in domains.collectives
                 and preset.placement in domains.placements
+                and preset.comm_scheme in domains.comm_schemes
                 and factor_triple in domains.factor_axes
                 and preset.gradient_reduction in domains.gradient_reductions
                 and wire_triple in domains.wire_dtypes

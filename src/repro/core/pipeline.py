@@ -107,6 +107,17 @@ def precondition_times(spec: ModelSpec, factor_compute: object) -> Tuple[float, 
 
 
 @lru_cache(maxsize=256)
+def preconditioned_gradient_sizes(spec: ModelSpec) -> Tuple[int, ...]:
+    """Per-layer element counts of the preconditioned gradients (layer order).
+
+    MEM_OPT ships exactly one of these per layer per iteration — the same
+    shape as the layer's parameter gradient, independent of batch size and
+    much smaller than the packed ``d(d+1)/2`` inverse pair it replaces.
+    """
+    return tuple(layer.num_params for layer in spec.layers)
+
+
+@lru_cache(maxsize=256)
 def factor_availability(
     spec: ModelSpec, profile: ClusterPerfProfile
 ) -> Tuple[Tuple[float, ...], Tuple[float, ...]]:

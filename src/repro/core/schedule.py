@@ -39,11 +39,13 @@ from repro.core.pipeline import (
     gradient_fusion_plan,
     layer_compute_times,
     precondition_times,
+    preconditioned_gradient_sizes,
 )
 from repro.perf.models import LinearCommModel, symmetric_elements
 from repro.utils.deprecation import warn_deprecated
 from repro.core.placement import (
     Placement,
+    _greedy_least_loaded,
     balanced_placement,
     lbp_placement,
     non_dist_placement,
@@ -278,6 +280,58 @@ def resolve_placement(
     raise ValueError(f"unknown placement {name!r}; options: {PLACEMENT_STRATEGIES}")
 
 
+@lru_cache(maxsize=256)
+def mem_opt_placement(
+    name: str, spec: ModelSpec, profile: ClusterPerfProfile, num_ranks: int
+) -> Placement:
+    """Per-layer single-owner placement for the MEM_OPT scheme.
+
+    MEM_OPT assigns a layer's *pair* of inverses (A and G) plus its
+    preconditioning GEMMs to one owner rank, which then broadcasts only
+    the preconditioned gradient.  Both of a layer's tensors are therefore
+    CTs with the same owner; the named policies pick the owners:
+
+    =============== =====================================================
+    ``seq_dist``    round-robin layers over ranks
+    ``balanced``    LPT over layers by ``a^2 + g^2`` (inversion work)
+    ``lbp``         LPT over layers by the calibrated per-layer load
+                    (both inversions + the preconditioning GEMM pair)
+    =============== =====================================================
+
+    ``non_dist`` is rejected at strategy validation — replicated
+    inversion contradicts the single-owner broadcast scheme.
+    """
+    dims = tuple(interleaved_factor_dims(spec))
+    num_layers = len(spec.layers)
+    if name == "seq_dist":
+        owners = [l % num_ranks for l in range(num_layers)]
+    elif name in ("balanced", "lbp"):
+        if name == "balanced":
+            weights = [
+                float(dims[2 * l]) ** 2 + float(dims[2 * l + 1]) ** 2
+                for l in range(num_layers)
+            ]
+        else:
+            t_precond = precondition_times(spec, profile.factor_compute)
+            weights = [
+                profile.inverse_actual.time(dims[2 * l])
+                + profile.inverse_actual.time(dims[2 * l + 1])
+                + t_precond[l]
+                for l in range(num_layers)
+            ]
+        order = sorted(range(num_layers), key=lambda l: -weights[l])
+        owners = _greedy_least_loaded(order, weights, num_ranks)
+    else:
+        raise ValueError(
+            f"placement {name!r} is incompatible with comm_scheme='mem_opt'; "
+            "options: ('seq_dist', 'balanced', 'lbp')"
+        )
+    assignments: List[Tuple[int, ...]] = []
+    for l in range(num_layers):
+        assignments.extend([(owners[l],), (owners[l],)])
+    return Placement(num_ranks, dims, tuple(assignments))
+
+
 # ---------------------------------------------------------------------------
 # the core builder
 # ---------------------------------------------------------------------------
@@ -325,6 +379,7 @@ def build_graph_from_parts(
     grad_compression: float = 1.0,
     with_factors: bool = True,
     with_inverses: bool = True,
+    comm_scheme: str = "paper",
 ) -> TaskGraph:
     """Assemble one iteration's task graph from resolved planning parts.
 
@@ -346,6 +401,20 @@ def build_graph_from_parts(
     factor-only-refresh iteration shapes of a stale-update
     (``K_f``/``K_inv`` interval) strategy, in which preconditioning
     reuses resident inverses.
+
+    ``comm_scheme`` reorganizes the solve stage (arXiv:2007.00784):
+
+    * ``"paper"`` — SPD-KFAC's scheme: inverses broadcast packed, every
+      rank preconditions every layer (the historical code path, kept
+      bit-identical);
+    * ``"comm_opt"`` — preconditioning uses the *resident* (stale)
+      inverses even in refresh iterations, so ``P``/``U`` depend only on
+      gradients and the inverse refresh is appended after the update
+      (decoupled, FIFO-serialized behind it on each compute stream);
+    * ``"mem_opt"`` — one owner rank per layer computes both inverses
+      *and* the preconditioned gradient, broadcasting only the
+      ``num_params``-sized gradient (``CPG{l}``) every iteration; packed
+      inverse broadcasts disappear entirely.
     """
     layers = spec.layers
     num_layers = len(layers)
@@ -493,51 +562,103 @@ def build_graph_from_parts(
         return fg_tasks[layer][rank]
 
     # ---- inverses, broadcasts, preconditioning, update ------------------------
-    if kfac and include_solve:
-        inverse_available = None
-        if with_inverses:
-            if placement is None:
-                raise ValueError("K-FAC schedules need an inverse placement strategy")
-            dims = placement.dims
-            inv_task: Dict[Tuple[int, int], int] = {}  # (tensor, rank) -> task
-            bcast_task: Dict[int, int] = {}
-            order = sorted(range(len(dims)), key=lambda i: -dims[i])
-            for i in order:
-                ready = factor_ready_global(i)
-                assigned = placement.assignments[i]
-                if ready is not None:
-                    deps_per_rank: Optional[List[List[int]]] = [[ready]] * len(assigned)
-                elif factors:
-                    deps_per_rank = [[factor_ready_local(i, r)] for r in assigned]
-                else:
-                    # Inverse-only refresh from factors resident since an
-                    # earlier iteration: nothing this iteration gates them.
-                    deps_per_rank = None
-                tids = graph.add_compute_batch(
-                    f"I{i}",
-                    Phase.INVERSE_COMP,
-                    assigned,
-                    profile.inverse_actual.time(dims[i]),
-                    deps_per_rank=deps_per_rank,
+    solve = kfac and include_solve
+
+    def emit_inverse_refresh():
+        """Emit the I{i} batches (+ packed CI{i} broadcasts outside
+        MEM_OPT); returns the (tensor, rank) -> gating-task lookup."""
+        if placement is None:
+            raise ValueError("K-FAC schedules need an inverse placement strategy")
+        dims = placement.dims
+        inv_task: Dict[Tuple[int, int], int] = {}  # (tensor, rank) -> task
+        bcast_task: Dict[int, int] = {}
+        order = sorted(range(len(dims)), key=lambda i: -dims[i])
+        for i in order:
+            ready = factor_ready_global(i)
+            assigned = placement.assignments[i]
+            if ready is not None:
+                deps_per_rank: Optional[List[List[int]]] = [[ready]] * len(assigned)
+            elif factors:
+                deps_per_rank = [[factor_ready_local(i, r)] for r in assigned]
+            else:
+                # Inverse-only refresh from factors resident since an
+                # earlier iteration: nothing this iteration gates them.
+                deps_per_rank = None
+            tids = graph.add_compute_batch(
+                f"I{i}",
+                Phase.INVERSE_COMP,
+                assigned,
+                profile.inverse_actual.time(dims[i]),
+                deps_per_rank=deps_per_rank,
+            )
+            for r, tid in zip(assigned, tids):
+                inv_task[(i, r)] = tid
+            if distributed and not placement.is_nct(i) and comm_scheme != "mem_opt":
+                root = placement.owner(i)
+                bcast_task[i] = graph.add_collective(
+                    f"CI{i}",
+                    Phase.INVERSE_COMM,
+                    all_ranks,
+                    broadcast_symmetric_time(
+                        profile.broadcast_streamed, dims[i], inverse_dtype
+                    ),
+                    deps=[inv_task[(i, root)]],
                 )
-                for r, tid in zip(assigned, tids):
-                    inv_task[(i, r)] = tid
-                if distributed and not placement.is_nct(i):
-                    root = placement.owner(i)
-                    bcast_task[i] = graph.add_collective(
-                        f"CI{i}",
+
+        def available(tensor_index: int, rank: int) -> int:
+            if (tensor_index, rank) in inv_task:
+                return inv_task[(tensor_index, rank)]
+            return bcast_task[tensor_index]
+
+        return available
+
+    cpg_tasks: List[int] = []
+    if solve and comm_scheme == "mem_opt":
+        # MEM_OPT: each layer's owner computes its inverses (refresh
+        # iterations only) and its preconditioned gradient, then
+        # broadcasts that small gradient; packed inverse broadcasts
+        # disappear entirely and the broadcast ships every iteration.
+        if placement is None:
+            raise ValueError("K-FAC schedules need an inverse placement strategy")
+        inverse_available = emit_inverse_refresh() if with_inverses else None
+        cpg_sizes = preconditioned_gradient_sizes(spec)
+        for l in range(num_layers):
+            owner = placement.assignments[2 * l][0]
+            deps: List[int] = []
+            if inverse_available is not None:
+                deps = [
+                    inverse_available(2 * l, owner),
+                    inverse_available(2 * l + 1, owner),
+                ]
+            if grad_plan is not None:
+                backward_pos = num_layers - 1 - l
+                deps.append(grad_bucket_task[grad_plan.bucket_of(backward_pos)])
+            else:
+                deps.append(bwd_tasks[l][owner])
+            p_tids = graph.add_compute_batch(
+                f"P{l}", Phase.PRECONDITION, [owner], t_precond[l],
+                deps_per_rank=[deps],
+            )
+            if distributed:
+                cpg_tasks.append(
+                    graph.add_collective(
+                        f"CPG{l}",
                         Phase.INVERSE_COMM,
                         all_ranks,
-                        broadcast_symmetric_time(
-                            profile.broadcast_streamed, dims[i], inverse_dtype
+                        collective_time(
+                            profile.broadcast_streamed, cpg_sizes[l], inverse_dtype
                         ),
-                        deps=[inv_task[(i, root)]],
+                        deps=[p_tids[0]],
                     )
-
-            def inverse_available(tensor_index: int, rank: int) -> int:
-                if (tensor_index, rank) in inv_task:
-                    return inv_task[(tensor_index, rank)]
-                return bcast_task[tensor_index]
+                )
+    elif solve:
+        # COMM_OPT refresh iterations precondition with the *resident*
+        # (stale) inverses, so the fresh ones are emitted after the
+        # update; every other shape is the paper's.
+        decoupled_refresh = with_inverses and comm_scheme == "comm_opt"
+        inverse_available = (
+            emit_inverse_refresh() if with_inverses and not decoupled_refresh else None
+        )
 
         for l in range(num_layers):
             precond_deps: List[List[int]] = []
@@ -562,17 +683,27 @@ def build_graph_from_parts(
             )
 
     update_time = profile.train_compute.time(2.0 * spec.num_params)
-    if not kfac or not include_solve:
+    if not solve:
         if grad_plan is not None:
             shared = list(grad_bucket_task.values())
             update_deps: Optional[List[List[int]]] = [shared] * num_ranks
         else:
             update_deps = [[bwd_tasks[0][r]] for r in all_ranks]
+    elif cpg_tasks:
+        # MEM_OPT: every rank applies the broadcast preconditioned
+        # gradients, so the update waits on every CPG collective.
+        update_deps = [list(cpg_tasks)] * num_ranks
     else:
         update_deps = None
     graph.add_compute_batch(
         "U", Phase.UPDATE, all_ranks, update_time, deps_per_rank=update_deps
     )
+
+    if solve and comm_scheme == "comm_opt" and with_inverses:
+        # The decoupled refresh: I{i}/CI{i} appended after the update on
+        # each compute stream (FIFO serializes them behind it), priced
+        # into the refresh iteration without gating P or U.
+        emit_inverse_refresh()
 
     return graph
 

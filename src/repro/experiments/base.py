@@ -50,6 +50,7 @@ EXPERIMENTS: Dict[str, str] = {
     "ext_autotune": "repro.experiments.ext_autotune",
     "ext_precision": "repro.experiments.ext_precision",
     "ext_elastic": "repro.experiments.ext_elastic",
+    "ext_comm_schemes": "repro.experiments.ext_comm_schemes",
 }
 
 PAPER_MODEL_NAMES = ("ResNet-50", "ResNet-152", "DenseNet-201", "Inception-v4")

@@ -1,0 +1,125 @@
+"""Extension: COMM_OPT / MEM_OPT communication schemes vs paper SPD-KFAC.
+
+The paper broadcasts each layer's packed inverse factors from their
+owner and preconditions everywhere.  Pauloski et al.'s distributed
+K-FAC [arXiv:2007.00784] reorganize exactly this stage two ways:
+COMM_OPT preconditions with the resident (possibly stale-by-a-refresh)
+inverses and appends the refresh after the weight update, taking the
+inverse stage off the critical path at unchanged wire volume; MEM_OPT
+keeps each layer's inverses on one owner, preconditions there, and
+broadcasts the ``num_params``-sized preconditioned gradient every
+iteration — less wire per broadcast for the paper's large conv layers
+(``d(d+1)/2`` packed inverse elements vs ``num_params``), but no
+interval amortization ever.
+
+This sweep prices all three schemes on SPD-KFAC's axes for every paper
+model on the flat paper fabric, a 4-rack ethernet-spine cluster, and a
+bandwidth-heterogeneous NVLink+PCIe cluster, reporting iteration time,
+speedup over paper SPD-KFAC, and wire bytes per iteration.
+
+Expected shape: MEM_OPT wins on every cell, largest where
+inverse-broadcast bytes dominate and the interconnect is starved — the
+ethernet spine — because every paper model's packed inverse volume
+exceeds its parameter count.  COMM_OPT's schedule only differs from the
+paper's in refresh iterations, and the SPD-KFAC preset refreshes every
+iteration, so here it pays the appended refresh tail on every iteration
+and loses slightly; its payoff is stale refresh intervals, where the
+steady-state iterations (identical to the paper's) dominate the cycle.
+Numeric-accuracy effects of stale preconditioning are out of scope (the
+simulator prices time, not convergence); the notes say so explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.autotune import plan_traffic
+from repro.experiments.base import PAPER_MODEL_NAMES, ExperimentResult
+from repro.perf import ClusterPerfProfile
+from repro.plan import Session, strategy_registry
+from repro.topo import ClusterTopology, named_topology
+
+#: The swept 64-GPU cluster shapes (differences are purely topological).
+SCENARIO_NAMES = ("flat", "multi-rack", "heterogeneous")
+
+#: Communication-scheme variants on the SPD-KFAC preset, in report order.
+VARIANTS: Tuple[str, ...] = ("paper", "comm_opt", "mem_opt")
+
+#: The headline scheme the notes single out.
+HEADLINE_VARIANT = "mem_opt"
+
+
+def default_scenarios() -> Tuple[ClusterTopology, ...]:
+    """The default 64-GPU topology sweep."""
+    return tuple(named_topology(name) for name in SCENARIO_NAMES)
+
+
+def run(
+    profile: Optional[ClusterPerfProfile] = None,
+    scenarios: Optional[Sequence[ClusterTopology]] = None,
+    models: Optional[Sequence[str]] = None,
+) -> ExperimentResult:
+    """Price every (model, topology, scheme) cell against paper SPD-KFAC."""
+    del profile  # each cell derives its profiles from the topology
+    scenarios = tuple(scenarios) if scenarios is not None else default_scenarios()
+    models = tuple(models) if models is not None else PAPER_MODEL_NAMES
+
+    result = ExperimentResult(
+        experiment_id="ext_comm_schemes",
+        title=(
+            "Extension: COMM_OPT / MEM_OPT communication schemes vs paper SPD-KFAC"
+        ),
+        columns=(
+            "model", "topology", "scheme", "time(s)", "speedup", "wire(MB/iter)",
+        ),
+    )
+    spd = strategy_registry["SPD-KFAC"]
+    headline: Dict[Tuple[str, str], float] = {}
+    for topo in scenarios:
+        for model in models:
+            session = Session(model, topo)
+            base_time = None
+            for label in VARIANTS:
+                strategy = spd.but(name=f"SPD-KFAC[{label}]", comm_scheme=label)
+                plan = session.plan(strategy)
+                time = plan.predicted_makespan
+                if label == "paper":
+                    base_time = time
+                speedup = base_time / time
+                wire_mb = plan_traffic(plan).total_bytes() / 1e6
+                result.rows.append(
+                    {
+                        "model": model,
+                        "topology": topo.name,
+                        "scheme": label,
+                        "time(s)": time,
+                        "speedup": speedup,
+                        "wire(MB/iter)": wire_mb,
+                    }
+                )
+                if label == HEADLINE_VARIANT:
+                    headline[(model, topo.name)] = speedup
+
+    if headline:
+        best_cell = max(headline, key=headline.get)
+        worst_cell = min(headline, key=headline.get)
+        result.notes.append(
+            f"{HEADLINE_VARIANT} (owner-side preconditioning with per-layer "
+            "preconditioned-gradient broadcasts) beats paper SPD-KFAC on "
+            f"{sum(s > 1.0 for s in headline.values())}/{len(headline)} "
+            f"cells: from {headline[worst_cell]:.3f}x on {worst_cell[0]} @ "
+            f"{worst_cell[1]} to {headline[best_cell]:.3f}x on "
+            f"{best_cell[0]} @ {best_cell[1]}."
+        )
+    result.notes.append(
+        "'paper' is bit-identical to the SPD-KFAC preset, so every speedup "
+        "is against the paper's own schedule; wire bytes count each "
+        "scheme's actual collectives (packed inverse broadcasts vs "
+        "per-layer preconditioned-gradient broadcasts)."
+    )
+    result.notes.append(
+        "The simulator prices time and traffic only: convergence effects of "
+        "COMM_OPT's stale preconditioning are out of scope (see KAISA "
+        "[arXiv:2107.01739] for the accuracy side of this trade)."
+    )
+    return result

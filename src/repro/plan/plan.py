@@ -39,13 +39,13 @@ from repro.sim import TaskGraph
 from repro.utils.digest import content_digest
 
 #: Current plan format.  Version 2 added the strategy's wire-precision /
-#: compression / update-interval axes; version-1 documents (written
-#: before those axes existed) still load, with every new axis at its
-#: paper-faithful default.
-PLAN_FORMAT_VERSION = 2
+#: compression / update-interval axes; version 3 the ``comm_scheme``
+#: axis.  Documents written before an axis existed still load, with
+#: every new axis at its paper-faithful default.
+PLAN_FORMAT_VERSION = 3
 
 #: Formats :meth:`Plan.from_dict` can read.
-READABLE_PLAN_FORMAT_VERSIONS = (1, 2)
+READABLE_PLAN_FORMAT_VERSIONS = (1, 2, 3)
 
 _COST_MODEL_CLASSES = {
     cls.__name__: cls
@@ -162,6 +162,7 @@ class Plan:
             factor_dtype=self.strategy.factor_dtype,
             inverse_dtype=self.strategy.inverse_dtype,
             grad_compression=self.strategy.grad_compression,
+            comm_scheme=self.strategy.comm_scheme,
         )
 
     def build_phase_graphs(self, spec: Optional[ModelSpec] = None) -> Dict[str, TaskGraph]:
@@ -248,6 +249,12 @@ class Plan:
         """
         payload = self.to_dict()
         del payload["version"]
+        # Like TrainingStrategy.digest(): the paper scheme predates the
+        # comm_scheme axis, so omit its default to keep pre-axis plan
+        # digests (and the stores keyed on them) stable.
+        if payload["strategy"].get("comm_scheme") == "paper":
+            payload["strategy"] = dict(payload["strategy"])
+            del payload["strategy"]["comm_scheme"]
         return content_digest({"kind": "plan", **payload})
 
     # -- serialization -----------------------------------------------------

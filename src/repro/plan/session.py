@@ -49,6 +49,7 @@ from repro.core.schedule import (
     AmortizedIterationResult,
     IterationResult,
     build_graph_from_parts,
+    mem_opt_placement,
     phase_results_from_timelines,
     resolve_placement,
     run_phase_iterations,
@@ -267,18 +268,25 @@ def resolve_plan_parts(
 
     placement = None
     if kfac and strategy.include_solve:
-        placement = resolve_placement(strategy.placement, spec, profile, num_ranks)
+        if strategy.comm_scheme == "mem_opt":
+            # MEM_OPT pins both of a layer's inverses (and its
+            # preconditioning) on one owner rank.
+            placement = mem_opt_placement(strategy.placement, spec, profile, num_ranks)
+        else:
+            placement = resolve_placement(strategy.placement, spec, profile, num_ranks)
 
     return num_ranks, grad_plan, fplan, placement
 
 
 def wire_axis_kwargs(strategy: TrainingStrategy) -> Dict[str, object]:
-    """The strategy's wire axes as :func:`build_graph_from_parts` kwargs."""
+    """The strategy's wire axes (+ comm scheme) as
+    :func:`build_graph_from_parts` kwargs."""
     return {
         "grad_dtype": strategy.grad_dtype,
         "factor_dtype": strategy.factor_dtype,
         "inverse_dtype": strategy.inverse_dtype,
         "grad_compression": strategy.grad_compression,
+        "comm_scheme": strategy.comm_scheme,
     }
 
 
@@ -307,6 +315,9 @@ def build_phase_graphs(
     ):
         with_factors = phase in (REFRESH, FACTOR_REFRESH)
         with_inverses = phase == REFRESH
+        # MEM_OPT preconditions on the owner rank in *every* shape, so
+        # the placement travels into the stale phases too.
+        keep_placement = with_inverses or strategy.comm_scheme == "mem_opt"
         graphs[phase] = build_graph_from_parts(
             spec,
             profile,
@@ -314,7 +325,7 @@ def build_phase_graphs(
             kfac=strategy.second_order,
             fplan=fplan if with_factors else None,
             grad_plan=grad_plan,
-            placement=placement if with_inverses else None,
+            placement=placement if keep_placement else None,
             include_solve=strategy.include_solve,
             with_factors=with_factors,
             with_inverses=with_inverses,

@@ -43,6 +43,14 @@ COLLECTIVE_ALGORITHMS = ("auto", "ring", "tree", "hierarchical")
 #: Wire dtypes a traffic class may use (``fp32`` is the paper's format).
 WIRE_DTYPE_NAMES: Tuple[str, ...] = tuple(WIRE_DTYPES)
 
+#: Communication schemes for distributing K-FAC preconditioning work
+#: (Pauloski et al., arXiv:2007.00784).  ``"paper"`` is SPD-KFAC's
+#: broadcast-the-inverses scheme; ``"comm_opt"`` preconditions with the
+#: resident (stale) inverses so the refresh overlaps the optimizer step;
+#: ``"mem_opt"`` keeps each layer's inverses on one owner rank and
+#: broadcasts only the small preconditioned gradient every iteration.
+COMM_SCHEMES = ("paper", "comm_opt", "mem_opt")
+
 
 def _check_choice(field_name: str, value: object, options: Tuple[str, ...]) -> None:
     if value not in options:
@@ -101,6 +109,15 @@ class TrainingStrategy:
                         ``K_inv`` iterations; must be a multiple of
                         ``factor_update_interval`` (inverses are rebuilt
                         from freshly aggregated factors)
+    ``comm_scheme``     how preconditioning work reaches the ranks:
+                        ``"paper"`` (SPD-KFAC: broadcast packed
+                        inverses, precondition everywhere),
+                        ``"comm_opt"`` (precondition with the resident
+                        stale inverses so the refresh overlaps the
+                        optimizer step), or ``"mem_opt"`` (one owner
+                        rank per layer computes inverses *and* the
+                        preconditioned gradient, broadcasting only the
+                        small gradient every iteration)
     ================== ====================================================
 
     Defaults reproduce the paper bit-identically; every new axis has to
@@ -132,6 +149,7 @@ class TrainingStrategy:
     grad_compression: float = 1.0
     factor_update_interval: int = 1
     inverse_update_interval: int = 1
+    comm_scheme: str = "paper"
 
     def __post_init__(self) -> None:
         _check_choice("gradient_reduction", self.gradient_reduction, GRADIENT_REDUCTIONS)
@@ -217,6 +235,28 @@ class TrainingStrategy:
                 f"aggregated factors); got {self.inverse_update_interval} "
                 f"vs {self.factor_update_interval}"
             )
+        _check_choice("comm_scheme", self.comm_scheme, COMM_SCHEMES)
+        if self.comm_scheme != "paper":
+            if not (self.second_order and self.distributed):
+                raise ValueError(
+                    "comm_scheme reorganizes distributed K-FAC "
+                    "preconditioning; first-order or single-device "
+                    "strategies have nothing to reorganize (keep "
+                    "comm_scheme='paper')"
+                )
+            if not self.include_solve:
+                raise ValueError(
+                    "include_solve=False drops the inverse/precondition "
+                    "stage that comm_scheme reorganizes; keep "
+                    "comm_scheme='paper' for the factor-pipeline diagnostic"
+                )
+        if self.comm_scheme == "mem_opt" and self.placement == "non_dist":
+            raise ValueError(
+                "mem_opt assigns each layer's inverses and preconditioning "
+                "to a single owner rank; placement='non_dist' (every rank "
+                "inverts everything) contradicts that — pick 'seq_dist', "
+                "'balanced', or 'lbp'"
+            )
 
     # -- derived views -----------------------------------------------------
 
@@ -281,6 +321,8 @@ class TrainingStrategy:
                 f"refresh=K_f{self.factor_update_interval}/"
                 f"K_inv{self.inverse_update_interval}"
             )
+        if self.comm_scheme != "paper":
+            extras.append(f"comm-scheme={self.comm_scheme}")
         extra = (", " + ", ".join(extras)) if extras else ""
         return (
             f"{self.name}: {order}, {scope}, grad={grad}, "
@@ -321,6 +363,10 @@ class TrainingStrategy:
         del axes["name"]
         # Compression is numeric: normalize so 1 and 1.0 share a digest.
         axes["grad_compression"] = float(axes["grad_compression"])
+        # The paper scheme predates the comm_scheme axis: omit it at its
+        # default so pre-axis store/LRU entries stay warm.
+        if axes["comm_scheme"] == "paper":
+            del axes["comm_scheme"]
         return content_digest({"kind": "training_strategy", "axes": axes})
 
     @classmethod

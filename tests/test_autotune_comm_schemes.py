@@ -1,0 +1,137 @@
+"""Differential tests: the comm-scheme-extended grid, B&B vs exhaustive.
+
+Enabling ``comm_schemes=("paper", "comm_opt", "mem_opt")`` nearly
+triples the autotuner's grid and adds the first *constrained* axis pair
+(``mem_opt`` excludes ``placement="non_dist"``).  The contract stays
+winner identity: on every (model, cluster) cell, nominal or robust,
+``search="bnb"`` must return the same best candidate — same label, same
+objective value, bit-identical resolved plan digest — as the exhaustive
+grid, with both engines accounting the same candidate universe
+(simulated + reused + pruned == candidates, no double counting of the
+excluded pairs).
+"""
+
+import pytest
+
+from repro.autotune import autotune
+from repro.autotune.search import AxisDomains, count_completions
+from repro.core.schedule import PLACEMENT_STRATEGIES
+from repro.autotune.grid import FACTOR_AXES
+from repro.models.catalog import PAPER_MODELS
+from repro.plan import Session
+from repro.plan.strategy import COMM_SCHEMES
+from repro.topo import heterogeneous, multi_rack
+
+CLUSTER_NAMES = ("flat", "multi-rack", "heterogeneous")
+
+
+def make_cluster(name):
+    """Small instances of the three cluster shapes the suite sweeps."""
+    if name == "flat":
+        return 8  # profile-backed session, collective axis fixed to "auto"
+    if name == "multi-rack":
+        return multi_rack(2, 2, 1)
+    return heterogeneous([(1, 2, "nvlink"), (1, 2, "pcie")])
+
+
+CELLS = [
+    (model, cluster) for model in sorted(PAPER_MODELS) for cluster in CLUSTER_NAMES
+]
+
+
+def assert_same_winner(session, grid_report, bnb_report):
+    """Label, objective value, and resolved plan digest must all agree."""
+    assert grid_report.best.label == bnb_report.best.label
+    assert grid_report.outcome_value(grid_report.best) == bnb_report.outcome_value(
+        bnb_report.best
+    )
+    grid_plan = session.plan(grid_report.best.strategy)
+    bnb_plan = session.plan(bnb_report.best.strategy)
+    assert grid_plan.digest() == bnb_plan.digest()
+    # Both engines cover the same candidate universe, fully accounted:
+    # the grid skips mem_opt x non_dist by construction and B&B must
+    # neither search nor count those leaves.
+    assert grid_report.stats["candidates"] == bnb_report.stats["candidates"]
+    for report in (grid_report, bnb_report):
+        assert (
+            report.stats["simulated"]
+            + report.stats["reused"]
+            + report.stats["pruned"]
+            == report.stats["candidates"]
+        )
+
+
+@pytest.mark.parametrize("model,cluster_name", CELLS)
+def test_bnb_matches_grid_nominal(model, cluster_name):
+    session = Session(model, make_cluster(cluster_name))
+    grid = autotune(session, comm_schemes=COMM_SCHEMES)
+    bnb = autotune(session, search="bnb", comm_schemes=COMM_SCHEMES)
+    # 198 = 72 x 3 schemes - 2x9 excluded mem_opt/non_dist points, per
+    # collective option.
+    assert grid.stats["candidates"] % 198 == 0
+    assert_same_winner(session, grid, bnb)
+    assert bnb.speedup_over_presets >= 1.0
+
+
+@pytest.mark.parametrize("model,cluster_name", CELLS)
+def test_bnb_matches_grid_robust(model, cluster_name):
+    session = Session(model, make_cluster(cluster_name))
+    kwargs = dict(
+        comm_schemes=COMM_SCHEMES, scenario="stragglers", samples=3
+    )
+    grid = autotune(session, **kwargs)
+    bnb = autotune(session, search="bnb", **kwargs)
+    assert grid.objective == bnb.objective == "p95"
+    assert_same_winner(session, grid, bnb)
+
+
+def test_mem_opt_wins_some_cell():
+    """The new axis must actually matter: on the heterogeneous cluster
+    the winner under the extended grid uses a non-paper scheme."""
+    session = Session("ResNet-50", make_cluster("heterogeneous"))
+    report = autotune(session, search="bnb", comm_schemes=COMM_SCHEMES)
+    assert report.best.strategy.comm_scheme == "mem_opt"
+    # ...and it strictly beats the best all-paper candidate.
+    paper = autotune(session, search="bnb")
+    assert report.best.iteration_time < paper.best.iteration_time
+
+
+def test_default_grid_unchanged_without_comm_schemes():
+    """Omitting comm_schemes= keeps the classic 72-point grid and a
+    paper-scheme winner — the axis is strictly opt-in."""
+    session = Session("ResNet-50", 8)
+    report = autotune(session)
+    assert report.stats["candidates"] == 72
+    assert report.best.strategy.comm_scheme == "paper"
+
+
+def test_count_completions_excludes_constrained_pairs():
+    """The leaf accounting matches the grid size at every prefix."""
+    domains = AxisDomains(
+        collectives=("auto",),
+        placements=tuple(PLACEMENT_STRATEGIES),
+        factor_axes=tuple(FACTOR_AXES),
+        gradient_reductions=("wfbp", "bulk"),
+        wire_dtypes=(("fp32", "fp32", "fp32"),),
+        compressions=(1.0,),
+        intervals=((1, 1),),
+        comm_schemes=tuple(COMM_SCHEMES),
+    )
+    assert domains.total_leaves == 198
+    # Fixing the constrained axes splits the count exactly.
+    assert count_completions(domains, {"comm_scheme": "mem_opt"}) == 54
+    assert count_completions(domains, {"comm_scheme": "paper"}) == 72
+    assert count_completions(domains, {"placement": "non_dist"}) == 36
+    assert (
+        count_completions(
+            domains, {"placement": "non_dist", "comm_scheme": "mem_opt"}
+        )
+        == 0
+    )
+    assert sum(
+        count_completions(domains, {"comm_scheme": s}) for s in COMM_SCHEMES
+    ) == 198
+    assert sum(
+        count_completions(domains, {"placement": p})
+        for p in PLACEMENT_STRATEGIES
+    ) == 198

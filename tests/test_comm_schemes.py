@@ -1,0 +1,311 @@
+"""Property + regression suite for the communication-scheme axis.
+
+``comm_scheme`` (``"paper" | "comm_opt" | "mem_opt"``) is the axis the
+KAISA-style systems [arXiv:2007.00784] add on top of SPD-KFAC's packed
+inverse broadcasts: COMM_OPT preconditions with resident inverses and
+appends the refresh after the update; MEM_OPT preconditions on each
+layer's owner and broadcasts the preconditioned gradient every
+iteration.  This suite property-tests the extended validator against an
+independently stated predicate, plans/simulates every valid combo,
+holds the autotuner's pruning bound admissible across the extended
+grid, round-trips plans through JSON bit-identically, and pins the
+graph-shape digests that keep ``simulate_plans`` from batching
+different schemes' graphs together.
+"""
+
+import math
+
+import pytest
+
+from repro.autotune import candidate_bound, strategy_grid
+from repro.core.pipeline import FACTOR_FUSION_POLICIES
+from repro.core.schedule import PLACEMENT_STRATEGIES
+from repro.models.builder import SpecBuilder
+from repro.perf import scaled_cluster_profile
+from repro.plan import (
+    COLLECTIVE_ALGORITHMS,
+    GRADIENT_REDUCTIONS,
+    Plan,
+    Session,
+    TrainingStrategy,
+    resolve_plan_parts,
+)
+from repro.plan.session import build_phase_graphs
+from repro.plan.strategy import COMM_SCHEMES
+from repro.sim import graph_shape_digest, simulate, simulate_plans
+from repro.utils.rng import new_rng
+
+SEED = 20260808
+
+#: Every axis with its full domain — the fuzzer draws uniformly here.
+#: Extends test_strategy_property's domains with the comm-scheme axis.
+AXIS_DOMAINS = {
+    "second_order": (True, False),
+    "distributed": (True, False),
+    "gradient_reduction": GRADIENT_REDUCTIONS,
+    "factor_fusion": FACTOR_FUSION_POLICIES,
+    "factor_pipelining": (True, False),
+    "combine_factor_passes": (True, False),
+    "placement": PLACEMENT_STRATEGIES,
+    "include_solve": (True, False),
+    "collective": COLLECTIVE_ALGORITHMS,
+    "comm_scheme": COMM_SCHEMES,
+}
+
+
+def is_valid(combo):
+    """The validity rules, stated independently of the validator."""
+    if combo["distributed"] and combo["gradient_reduction"] == "none":
+        return False
+    if not combo["distributed"] and combo["gradient_reduction"] != "none":
+        return False
+    if (
+        not combo["distributed"]
+        and combo["second_order"]
+        and combo["placement"] != "non_dist"
+    ):
+        return False
+    if combo["combine_factor_passes"] and (
+        combo["factor_fusion"] != "bulk" or combo["factor_pipelining"]
+    ):
+        return False
+    if not combo["second_order"] and not combo["include_solve"]:
+        return False
+    # The comm-scheme rules: non-paper schemes reorganize the
+    # distributed preconditioning stage, so they need that stage.
+    if combo["comm_scheme"] != "paper":
+        if not (combo["second_order"] and combo["distributed"]):
+            return False
+        if not combo["include_solve"]:
+            return False
+    if combo["comm_scheme"] == "mem_opt" and combo["placement"] == "non_dist":
+        return False
+    return True
+
+
+def random_combo(rng):
+    return {
+        axis: domain[int(rng.integers(len(domain)))]
+        for axis, domain in AXIS_DOMAINS.items()
+    }
+
+
+def tiny_spec():
+    builder = SpecBuilder(model_name="tiny-schemes", batch_size=4, input_size=16)
+    builder.conv("conv0", 3, 8, kernel=3, stride=1, padding="same")
+    builder.conv("conv1", 8, 16, kernel=3, stride=1, padding="same")
+    builder.linear("fc", 16, 10)
+    return builder.build()
+
+
+def spd_variant(scheme, **axes):
+    from repro.plan import strategy_registry
+
+    return strategy_registry["SPD-KFAC"].but(
+        name=f"SPD-KFAC[{scheme}]", comm_scheme=scheme, **axes
+    )
+
+
+def test_validator_agrees_with_independent_predicate():
+    """400 seeded random combos: constructibility == the stated rules."""
+    rng = new_rng(SEED)
+    valid_seen = invalid_seen = scheme_seen = valid_scheme_seen = 0
+    for _ in range(400):
+        combo = random_combo(rng)
+        if combo["comm_scheme"] != "paper":
+            scheme_seen += 1
+        if is_valid(combo):
+            TrainingStrategy(**combo)  # must not raise
+            valid_seen += 1
+            if combo["comm_scheme"] != "paper":
+                valid_scheme_seen += 1
+        else:
+            with pytest.raises(ValueError):
+                TrainingStrategy(**combo)
+            invalid_seen += 1
+    # The draw must actually exercise both sides and the new axis —
+    # including valid non-paper schemes (which need second-order
+    # distributed solve-on combos, so they are rare under uniform draws).
+    assert valid_seen > 20
+    assert invalid_seen > 200
+    assert scheme_seen > 100
+    assert valid_scheme_seen > 5
+
+
+def test_every_valid_combo_plans_and_simulates():
+    """Seeded valid combos (plus the extended grid) all plan, simulate,
+    and account their time consistently, with the pruning bound below."""
+    spec = tiny_spec()
+    profile = scaled_cluster_profile(4)
+    session = Session(spec, profile)
+
+    rng = new_rng(SEED + 1)
+    sampled = []
+    while len(sampled) < 60:
+        combo = random_combo(rng)
+        if is_valid(combo):
+            sampled.append(TrainingStrategy(**combo))
+    assert any(s.comm_scheme != "paper" for s in sampled)
+    extended = strategy_grid(comm_schemes=COMM_SCHEMES)
+    assert len(extended) == 198  # 72 x 3 schemes - 2x9 mem_opt/non_dist
+    for strategy in sampled + extended:
+        plan = session.plan(strategy)
+        result = session.simulate(strategy)
+
+        # Planning and simulation agree on the headline number.
+        assert result.iteration_time > 0
+        assert plan.predicted_makespan == result.iteration_time
+
+        # Breakdown components sum to the iteration time.
+        breakdown = result.breakdown
+        assert breakdown.total == result.iteration_time
+        assert math.isclose(
+            sum(breakdown.seconds.values()), breakdown.total, rel_tol=1e-9
+        )
+        assert math.isclose(
+            sum(result.categories().values()), result.iteration_time, rel_tol=1e-9
+        )
+
+        # The autotuner's pruning bound never exceeds the simulated time.
+        num_ranks, grad_plan, fplan, placement = resolve_plan_parts(
+            spec, profile, strategy
+        )
+        bound = candidate_bound(
+            spec,
+            profile,
+            num_ranks=num_ranks,
+            grad_plan=grad_plan,
+            fplan=fplan,
+            placement=placement,
+            include_solve=strategy.include_solve,
+            strategy=strategy,
+        )
+        assert bound.total <= result.iteration_time + 1e-12
+
+
+def test_bound_admissible_on_extended_grid_with_stale_intervals():
+    """Schemes x stale intervals: the cycle-weighted bound stays under
+    the cycle-averaged simulated time for every combination."""
+    spec = tiny_spec()
+    profile = scaled_cluster_profile(4)
+    session = Session(spec, profile)
+    grid = strategy_grid(
+        comm_schemes=COMM_SCHEMES,
+        placements=("lbp", "balanced"),
+        gradient_reductions=("wfbp",),
+        intervals=[(1, 1), (2, 4)],
+    )
+    assert len(grid) > 50
+    for strategy in grid:
+        result = session.simulate(strategy)
+        num_ranks, grad_plan, fplan, placement = resolve_plan_parts(
+            spec, profile, strategy
+        )
+        bound = candidate_bound(
+            spec,
+            profile,
+            num_ranks=num_ranks,
+            grad_plan=grad_plan,
+            fplan=fplan,
+            placement=placement,
+            include_solve=strategy.include_solve,
+            strategy=strategy,
+        )
+        assert bound.total <= result.iteration_time + 1e-12
+
+
+def test_json_round_trip_resimulates_bit_identically():
+    """to_json -> from_json preserves the digest and the schedule."""
+    spec = tiny_spec()
+    profile = scaled_cluster_profile(4)
+    session = Session(spec, profile)
+    for scheme in COMM_SCHEMES:
+        strategy = TrainingStrategy(
+            name=f"rt-{scheme}",
+            second_order=True,
+            distributed=True,
+            gradient_reduction="wfbp",
+            placement="balanced",
+            collective="auto",
+            comm_scheme=scheme,
+        )
+        plan = session.plan(strategy)
+        restored = Plan.from_json(plan.to_json())
+        assert restored == plan
+        assert restored.digest() == plan.digest()
+        assert restored.strategy.comm_scheme == scheme
+        makespan = simulate(restored.build_graph(spec)).makespan
+        assert makespan == plan.predicted_makespan
+
+
+def test_plan_reads_v2_payload_without_comm_scheme():
+    """A pre-axis (format v2) payload deserializes to the paper scheme."""
+    spec = tiny_spec()
+    session = Session(spec, scaled_cluster_profile(4))
+    plan = session.plan(spd_variant("paper"))
+    payload = plan.to_dict()
+    assert payload["version"] == 3
+    payload["version"] = 2
+    del payload["strategy"]["comm_scheme"]
+    restored = Plan.from_dict(payload)
+    assert restored.strategy.comm_scheme == "paper"
+    assert restored.digest() == plan.digest()
+
+
+class TestShapeDigests:
+    """The regression net under ``simulate_plans``'s shape grouping:
+    different schemes' graphs must never share a digest unless their
+    structures really are identical."""
+
+    @pytest.fixture(scope="class")
+    def graphs(self):
+        spec = tiny_spec()
+        profile = scaled_cluster_profile(4)
+        out = {}
+        for scheme in COMM_SCHEMES:
+            strategy = spd_variant(
+                scheme, factor_update_interval=4, inverse_update_interval=4
+            )
+            num_ranks, grad_plan, fplan, placement = resolve_plan_parts(
+                spec, profile, strategy
+            )
+            out[scheme] = build_phase_graphs(
+                spec,
+                profile,
+                strategy,
+                num_ranks=num_ranks,
+                grad_plan=grad_plan,
+                fplan=fplan,
+                placement=placement,
+            )
+        return out
+
+    def test_refresh_graphs_pairwise_distinct(self, graphs):
+        digests = {s: graph_shape_digest(g["refresh"]) for s, g in graphs.items()}
+        assert len(set(digests.values())) == 3, digests
+
+    def test_mem_opt_steady_differs_from_paper(self, graphs):
+        """MEM_OPT keeps P + CPG broadcasts in the steady shape; batching
+        it with the paper's steady graph would price the wrong waves."""
+        assert graph_shape_digest(graphs["mem_opt"]["steady"]) != graph_shape_digest(
+            graphs["paper"]["steady"]
+        )
+
+    def test_comm_opt_steady_identical_to_paper(self, graphs):
+        """COMM_OPT only reorganizes refresh iterations: its steady graph
+        is deliberately bit-identical to the paper's, so the batcher
+        *should* group them."""
+        assert graph_shape_digest(graphs["comm_opt"]["steady"]) == graph_shape_digest(
+            graphs["paper"]["steady"]
+        )
+
+    def test_simulate_plans_matches_per_graph_simulate(self, graphs):
+        """Mixed-scheme batched pricing is bit-identical to one-by-one."""
+        batch = [g for shapes in graphs.values() for g in shapes.values()]
+        sizes = []
+        timelines = simulate_plans(batch, batch_sizes=sizes)
+        for graph, timeline in zip(batch, timelines):
+            assert timeline.makespan == simulate(graph).makespan
+        # The two identical steady graphs share a digest; everything else
+        # must have been priced alone.
+        assert sorted(sizes, reverse=True)[0] <= 2

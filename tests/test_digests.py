@@ -100,6 +100,26 @@ class TestStrategyDigest:
                 strategy.digest()
             )
 
+    def test_paper_comm_scheme_hashes_like_pre_axis_strategy(self):
+        """comm_scheme="paper" is the pre-axis strategy: same digest.
+
+        The frozen SPD-KFAC literal above predates the axis, so this is
+        what keeps every stored plan/result addressable after the axis
+        landed.  Explicitly setting the default must not drift either.
+        """
+        spd = strategy_registry["SPD-KFAC"]
+        assert spd.comm_scheme == "paper"
+        assert spd.but(comm_scheme="paper").digest() == "d5e045a43035648b"
+
+    def test_new_comm_schemes_hash_distinctly(self):
+        spd = strategy_registry["SPD-KFAC"]
+        digests = {
+            scheme: spd.but(comm_scheme=scheme).digest()
+            for scheme in ("paper", "comm_opt", "mem_opt")
+        }
+        assert len(set(digests.values())) == 3
+        assert digests["paper"] == spd.digest()
+
 
 class TestModelAndProfileDigests:
     def test_model_frozen(self):
@@ -153,3 +173,22 @@ class TestPlanDigestAndStoreKey:
         nominal = plan_store_key(session.spec, strategy, profile, None)
         faulted = plan_store_key(session.spec, strategy, profile, "abcd1234abcd1234")
         assert nominal != faulted
+
+    def test_comm_scheme_separates_plan_digests_and_store_keys(self):
+        """New schemes address distinct content; "paper" stays put."""
+        session = Session("ResNet-50", 4)
+        spd = strategy_registry["SPD-KFAC"]
+        profile = session.profile_for(spd)
+        digests = set()
+        keys = set()
+        for scheme in ("paper", "comm_opt", "mem_opt"):
+            strategy = spd.but(name=f"SPD-KFAC[{scheme}]", comm_scheme=scheme)
+            digests.add(session.plan(strategy).digest())
+            keys.add(plan_store_key(session.spec, strategy, profile, None))
+        assert len(digests) == 3
+        assert len(keys) == 3
+        # Explicitly setting the default scheme is the preset's plan,
+        # digest included (the v3 payload drops "paper" before hashing).
+        assert session.plan(
+            spd.but(comm_scheme="paper")
+        ).digest() == session.plan(spd).digest()

@@ -53,7 +53,7 @@ class TestRegistry:
         assert set(EXPERIMENTS) - paper_ids == {
             "ext_scaling", "ext_planner", "ext_convergence",
             "ext_topology", "ext_topo_crossover", "ext_autotune",
-            "ext_precision", "ext_elastic",
+            "ext_precision", "ext_elastic", "ext_comm_schemes",
         }
 
     def test_unknown_id(self):
